@@ -1,0 +1,56 @@
+//! Baseline distributed APSP algorithms, for comparison against the
+//! paper's Algorithm 1.
+//!
+//! Section 3.1 of the paper observes that the two classical routing
+//! approaches *without* bandwidth limits both finish in `D` rounds, but
+//! once messages are restricted to `O(log n)` bits (serialized), "they will
+//! need strictly superlinear (and sometimes quadratic) time". This crate
+//! implements those serialized baselines so the claim can be measured:
+//!
+//! * [`distance_vector`] — RIP-style routing-table exchange, serialized
+//!   **round-robin** (each round, each edge carries the table's next
+//!   entry): information moves one hop per table cycle, `Θ(n·D)` rounds;
+//! * [`distance_vector_eager`] — an event-driven distance-vector that only
+//!   transmits changed entries (smallest id first). Fast in benign
+//!   synchronous runs but with no worst-case congestion guarantee, and
+//!   re-announcements on late improvements cost extra messages;
+//! * [`link_state`] — OSPF-style full topology flooding with one edge
+//!   record per message: every edge must carry all `m` records, `Θ(m + D)`
+//!   rounds, `Θ(m²)` messages, then free local computation;
+//! * [`sequential_bfs`] — the unmodified classical approach: one BFS per
+//!   node, one after another, `Θ(n·D)` rounds (this is exactly the schedule
+//!   Algorithm 1's pebble replaces).
+//!
+//! All baselines produce a [`DistanceMatrix`] checked against the oracle in
+//! tests, so the comparison with Algorithm 1 is apples to apples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dv_eager;
+mod dv_round_robin;
+mod flooding;
+mod sequential;
+
+pub use dv_eager::distance_vector_eager;
+pub use dv_round_robin::distance_vector;
+pub use flooding::link_state;
+pub use sequential::sequential_bfs;
+
+use dapsp_congest::RunStats;
+use dapsp_graph::DistanceMatrix;
+
+/// The outcome of a baseline APSP run.
+#[derive(Clone, Debug)]
+pub struct BaselineResult {
+    /// The computed all-pairs distances.
+    pub distances: DistanceMatrix,
+    /// Rounds until the computation was *complete* (for the round-robin
+    /// distance vector, the last round in which any routing table changed;
+    /// for the others, the quiescence round).
+    pub rounds_to_converge: u64,
+    /// Full simulation statistics (the simulation may run longer than
+    /// `rounds_to_converge`, e.g. the round-robin protocol never stops by
+    /// itself).
+    pub stats: RunStats,
+}

@@ -1,0 +1,147 @@
+//! Criterion wall-clock benches, one group per Table 1 experiment.
+//!
+//! The paper's complexity measure is *rounds*, which the `table1_*`
+//! binaries report; these benches complement them by profiling the
+//! simulator wall-time of each algorithm on representative instances, so
+//! performance regressions in the implementation itself are caught.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dapsp_core::{apsp, approx, girth, girth_approx, metrics, ssp, three_halves, two_vs_four};
+use dapsp_graph::{generators, lowerbound};
+
+fn e1_apsp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_apsp");
+    group.sample_size(10);
+    for n in [64usize, 128] {
+        let g = generators::erdos_renyi_connected(n, 8.0 / n as f64, 1);
+        group.bench_with_input(BenchmarkId::new("algorithm1", n), &g, |b, g| {
+            b.iter(|| apsp::run(g).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("sequential_bfs", n), &g, |b, g| {
+            b.iter(|| dapsp_baselines::sequential_bfs(g).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("dv_eager", n), &g, |b, g| {
+            b.iter(|| dapsp_baselines::distance_vector_eager(g).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn e2_ssp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_ssp");
+    group.sample_size(10);
+    let g = generators::erdos_renyi_connected(128, 8.0 / 128.0, 2);
+    for s in [8usize, 32] {
+        let sources: Vec<u32> = (0..s as u32).collect();
+        group.bench_with_input(BenchmarkId::new("ssp", s), &sources, |b, sources| {
+            b.iter(|| ssp::run(&g, sources).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn e3_exact_apps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_exact_apps");
+    group.sample_size(10);
+    let g = generators::grid(8, 8);
+    group.bench_function("diameter", |b| b.iter(|| metrics::diameter(&g).unwrap()));
+    group.bench_function("center", |b| b.iter(|| metrics::center(&g).unwrap()));
+    group.finish();
+}
+
+fn e4_girth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_girth");
+    group.sample_size(10);
+    let g = generators::tadpole(9, 96);
+    group.bench_function("girth_exact", |b| b.iter(|| girth::run(&g).unwrap()));
+    group.finish();
+}
+
+fn e5_lower_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_lower_bounds");
+    group.sample_size(10);
+    let (a, bb) = lowerbound::canonical_inputs(32, true);
+    group.bench_function("build_and_certify", |b| {
+        b.iter(|| {
+            let inst = lowerbound::two_vs_three(32, &a, &bb);
+            inst.bound.rounds(20)
+        })
+    });
+    let inst = lowerbound::two_vs_three(32, &a, &bb);
+    group.bench_function("exact_diameter_on_hard_instance", |b| {
+        b.iter(|| metrics::diameter(&inst.graph).unwrap())
+    });
+    group.finish();
+}
+
+fn e6_approx_diameter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_approx_diameter");
+    group.sample_size(10);
+    let g = generators::double_broom(256, 64);
+    group.bench_function("exact", |b| b.iter(|| metrics::diameter(&g).unwrap()));
+    group.bench_function("approx_eps_0.5", |b| {
+        b.iter(|| approx::diameter(&g, 0.5).unwrap())
+    });
+    group.finish();
+}
+
+fn e7_approx_girth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_approx_girth");
+    group.sample_size(10);
+    let g = generators::tadpole(32, 128);
+    group.bench_function("exact", |b| b.iter(|| girth::run(&g).unwrap()));
+    group.bench_function("approx_eps_0.5", |b| {
+        b.iter(|| girth_approx::run(&g, 0.5).unwrap())
+    });
+    group.finish();
+}
+
+fn e8_two_vs_four(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_two_vs_four");
+    group.sample_size(10);
+    let (a, bb) = lowerbound::canonical_inputs(48, false);
+    let inst = lowerbound::two_vs_three(48, &a, &bb);
+    group.bench_function("algorithm3", |b| {
+        b.iter(|| two_vs_four::run(&inst.graph, 3).unwrap())
+    });
+    group.finish();
+}
+
+fn e9_cor1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_cor1_crossover");
+    group.sample_size(10);
+    for d in [4usize, 64] {
+        let g = generators::double_broom(192, d);
+        group.bench_with_input(BenchmarkId::new("three_halves", d), &g, |b, g| {
+            b.iter(|| three_halves::run(g, 9).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn e10_bits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_bits");
+    group.sample_size(10);
+    let g = generators::erdos_renyi_connected(96, 16.0 / 96.0, 2);
+    let sources: Vec<u32> = (0..32).collect();
+    group.bench_function("ssp_message_accounting", |b| {
+        b.iter(|| ssp::run(&g, &sources).unwrap().stats.bits)
+    });
+    group.finish();
+}
+
+criterion_group!(
+    table1,
+    e1_apsp,
+    e2_ssp,
+    e3_exact_apps,
+    e4_girth,
+    e5_lower_bounds,
+    e6_approx_diameter,
+    e7_approx_girth,
+    e8_two_vs_four,
+    e9_cor1,
+    e10_bits
+);
+criterion_main!(table1);

@@ -1,0 +1,49 @@
+//! Ablation — Algorithm 1's one-slot wait (paper line 5) is load-bearing.
+//!
+//! Lemma 1's proof needs `t_v >= t_u + d(u, v) + 1` between consecutive
+//! BFS starts; the `+1` comes exactly from the wait. This binary removes
+//! the wait and shows the simulator's bandwidth discipline catching the
+//! resulting wave collision on every family, with the round at which the
+//! first collision happens.
+
+use dapsp_bench::print_table;
+use dapsp_congest::SimError;
+use dapsp_core::{apsp, CoreError};
+use dapsp_graph::{generators, Graph};
+
+fn main() {
+    println!("# Ablation: Algorithm 1 without the one-slot wait (Lemma 1)\n");
+    let instances: Vec<(String, Graph)> = vec![
+        ("path n=24".into(), generators::path(24)),
+        ("cycle n=24".into(), generators::cycle(24)),
+        ("grid 5x5".into(), generators::grid(5, 5)),
+        ("tree n=31".into(), generators::balanced_tree(2, 4)),
+        (
+            "ER n=32 p=0.2".into(),
+            generators::erdos_renyi_connected(32, 0.2, 7),
+        ),
+        ("hypercube d=5".into(), generators::hypercube(5)),
+    ];
+    let mut rows = Vec::new();
+    for (label, g) in &instances {
+        let with_wait = apsp::run(g).expect("with the wait everything is clean");
+        let outcome = match apsp::run_without_wait(g) {
+            Err(CoreError::Sim(SimError::DuplicateSend { node, round, .. })) => {
+                format!("collision at node {node}, round {round}")
+            }
+            Ok(_) => "no collision (traversal order got lucky)".into(),
+            Err(other) => format!("other failure: {other}"),
+        };
+        rows.push(vec![
+            label.clone(),
+            with_wait.stats.rounds.to_string(),
+            outcome,
+        ]);
+    }
+    print_table(
+        "the wait removed: the simulator detects Lemma 1 violations",
+        &["instance", "rounds (with wait)", "without wait"],
+        &rows,
+    );
+    println!("The one-slot wait costs n rounds total and buys congestion-freedom for all n waves.");
+}

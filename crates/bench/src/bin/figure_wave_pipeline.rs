@@ -1,0 +1,73 @@
+//! A "figure" for the reproduction: the per-round message activity of
+//! Algorithm 1's wave phase, visualized as a text profile.
+//!
+//! Lemma 1's point is that all `n` BFS waves overlap without congestion:
+//! the network sustains high delivery volume for the whole traversal
+//! instead of running one wave at a time. The profile makes that shape
+//! visible — a long plateau near the maximum, then a short tail as the
+//! last waves finish — and reports the achieved edge utilization.
+
+use dapsp_bench::print_table;
+use dapsp_core::apsp;
+use dapsp_graph::generators;
+
+fn sparkline(profile: &[u64], buckets: usize) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if profile.is_empty() {
+        return String::new();
+    }
+    let max = *profile.iter().max().expect("nonempty") as f64;
+    let chunk = profile.len().div_ceil(buckets);
+    profile
+        .chunks(chunk)
+        .map(|c| {
+            let avg = c.iter().sum::<u64>() as f64 / c.len() as f64;
+            let idx = ((avg / max) * (LEVELS.len() - 1) as f64).round() as usize;
+            LEVELS[idx]
+        })
+        .collect()
+}
+
+fn main() {
+    println!("# Figure: per-round message activity of Algorithm 1's wave phase\n");
+    let mut rows = Vec::new();
+    for (label, g) in [
+        ("cycle n=96", generators::cycle(96)),
+        ("grid 10x10", generators::grid(10, 10)),
+        (
+            "ER n=96 p=8/n",
+            generators::erdos_renyi_connected(96, 8.0 / 96.0, 3),
+        ),
+        ("tree n=96", generators::random_tree(96, 3)),
+    ] {
+        let (result, profile) = apsp::run_profiled(&g).expect("apsp");
+        let m = g.num_edges() as f64;
+        let peak = *profile.iter().max().unwrap_or(&0);
+        let mean = profile.iter().sum::<u64>() as f64 / profile.len().max(1) as f64;
+        rows.push(vec![
+            label.to_string(),
+            result.stats.rounds.to_string(),
+            peak.to_string(),
+            format!("{:.1}%", 100.0 * peak as f64 / (2.0 * m)),
+            format!("{:.1}%", 100.0 * mean / (2.0 * m)),
+            sparkline(&profile, 48),
+        ]);
+    }
+    print_table(
+        "wave-phase activity (utilization = deliveries / 2m edge-slots)",
+        &[
+            "instance",
+            "rounds",
+            "peak msgs/round",
+            "peak util",
+            "mean util",
+            "activity over time",
+        ],
+        &rows,
+    );
+    println!(
+        "The sustained plateau is Lemma 1 at work: n overlapping BFS waves keep\n\
+         a large fraction of all 2m directed edge-slots busy every round, which\n\
+         is how n searches finish in O(n) instead of O(n·D) rounds."
+    );
+}

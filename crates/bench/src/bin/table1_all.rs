@@ -1,0 +1,45 @@
+//! Runs every Table 1 experiment (E1–E10) in sequence by invoking the
+//! sibling experiment binaries. Intended as the one-shot regeneration of
+//! EXPERIMENTS.md's measured columns:
+//!
+//! ```text
+//! cargo run --release -p dapsp-bench --bin table1_all
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1_apsp",
+        "table1_ssp",
+        "table1_exact_apps",
+        "table1_girth",
+        "table1_lower_bounds",
+        "table1_approx_diameter",
+        "table1_approx_girth",
+        "table1_two_vs_four",
+        "table1_cor1_crossover",
+        "table1_bits",
+        "ablation_ssp_variants",
+        "ablation_pebble_wait",
+        "table1_summary",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for bin in bins {
+        println!("\n===== {bin} =====\n");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            failures.push(bin);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nAll Table 1 experiments completed with their shape assertions passing.");
+    } else {
+        eprintln!("\nFAILED experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,43 @@
+//! E4 — exact girth in `O(n)` rounds (Lemma 7 + Claim 1).
+//!
+//! Trees short-circuit after the `O(D)` Claim 1 test; everything else pays
+//! one APSP plus a min-aggregation. All values are oracle-checked.
+
+use dapsp_bench::print_table;
+use dapsp_core::girth;
+use dapsp_graph::{generators, reference, Graph};
+
+fn main() {
+    println!("# E4: exact girth in O(n) rounds (Lemma 7, Claim 1)\n");
+    let instances: Vec<(String, Graph)> = vec![
+        ("cycle n=64 (g=64)".into(), generators::cycle(64)),
+        ("tadpole g=5 n=64".into(), generators::tadpole(5, 64)),
+        ("tadpole g=17 n=64".into(), generators::tadpole(17, 64)),
+        ("grid 8x8 (g=4)".into(), generators::grid(8, 8)),
+        ("hypercube d=6 (g=4)".into(), generators::hypercube(6)),
+        ("complete n=24 (g=3)".into(), generators::complete(24)),
+        (
+            "ER n=64 p=6/n".into(),
+            generators::erdos_renyi_connected(64, 6.0 / 64.0, 11),
+        ),
+        ("path n=64 (tree)".into(), generators::path(64)),
+        ("random tree n=64".into(), generators::random_tree(64, 11)),
+    ];
+    let mut rows = Vec::new();
+    for (label, g) in &instances {
+        let r = girth::run(g).expect("girth");
+        assert_eq!(r.girth, reference::girth(g), "{label}");
+        rows.push(vec![
+            label.clone(),
+            r.girth.map_or("∞".into(), |v| v.to_string()),
+            r.stats.rounds.to_string(),
+            format!("{:.2}", r.stats.rounds as f64 / g.num_nodes() as f64),
+        ]);
+    }
+    print_table(
+        "girth, oracle-verified",
+        &["instance", "girth", "rounds", "rounds/n"],
+        &rows,
+    );
+    println!("OK: exact girth everywhere; trees exit after the O(D) Claim 1 test.");
+}

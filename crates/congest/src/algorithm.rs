@@ -1,0 +1,52 @@
+//! The per-node algorithm interface.
+
+use crate::message::Message;
+use crate::node::{Inbox, NodeContext, Outbox};
+
+/// The state machine a single node runs.
+///
+/// One value of the implementing type exists per node; the
+/// [`Simulator`](crate::Simulator) drives all of them in lock-step:
+///
+/// 1. [`on_start`](Self::on_start) is called once per node before any
+///    communication (round 0); messages queued here are delivered in round 1.
+/// 2. Each round, [`on_round`](Self::on_round) is called on **every** node —
+///    including nodes that received nothing, so algorithms may keep local
+///    round counters and act on timers, as Algorithm 2 of the paper does.
+/// 3. The run ends when no messages are in flight and no node reports
+///    [`is_active`](Self::is_active); then [`into_output`](Self::into_output)
+///    extracts each node's result.
+///
+/// See the crate-level documentation for a complete example.
+pub trait NodeAlgorithm {
+    /// The message type this algorithm exchanges.
+    type Message: Message;
+    /// The per-node result extracted when the run ends.
+    type Output;
+
+    /// One-time initialization before round 1. Queue initial sends here.
+    ///
+    /// The default does nothing, which suits purely reactive nodes.
+    fn on_start(&mut self, ctx: &NodeContext<'_>, outbox: &mut Outbox<Self::Message>) {
+        let _ = (ctx, outbox);
+    }
+
+    /// Invoked every round with the messages delivered this round.
+    fn on_round(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        inbox: &Inbox<Self::Message>,
+        outbox: &mut Outbox<Self::Message>,
+    );
+
+    /// True while this node may still send *spontaneously*, i.e. without
+    /// first receiving a message (for example, while an internal timer is
+    /// running). Purely reactive nodes keep the default `false`; the
+    /// simulator then stops as soon as the network is silent.
+    fn is_active(&self) -> bool {
+        false
+    }
+
+    /// Consumes the node state and produces its final output.
+    fn into_output(self, ctx: &NodeContext<'_>) -> Self::Output;
+}

@@ -1,0 +1,172 @@
+//! Simulation parameters.
+
+use crate::message::bits_for_id;
+
+/// Deterministic message-loss injection: each delivery is dropped
+/// independently with `probability`, decided by a hash of
+/// `(seed, round, sender, port)` — reproducible across runs.
+///
+/// The paper's model assumes reliable links; loss plans exist to *test*
+/// that assumption (algorithms are expected to miscompute or stall, and
+/// callers to detect it).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LossPlan {
+    /// Per-message drop probability in `[0, 1]`.
+    pub probability: f64,
+    /// Seed of the deterministic drop decisions.
+    pub seed: u64,
+}
+
+impl LossPlan {
+    /// Whether the message sent by `node` on `port` in `round` is dropped.
+    pub fn drops(&self, round: u64, node: u32, port: u32) -> bool {
+        if self.probability <= 0.0 {
+            return false;
+        }
+        if self.probability >= 1.0 {
+            return true;
+        }
+        // SplitMix64-style hash of the coordinates.
+        let mut z = self
+            .seed
+            .wrapping_add(round.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(u64::from(node) << 32)
+            .wrapping_add(u64::from(port));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z as f64 / u64::MAX as f64) < self.probability
+    }
+}
+
+/// Parameters of a simulation run.
+///
+/// Construct with [`Config::for_n`] for the paper's standard setting
+/// (`B = Θ(log n)`), then adjust fields with the builder-style setters.
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_congest::Config;
+///
+/// let cfg = Config::for_n(1024).with_max_rounds(50_000);
+/// assert_eq!(cfg.bandwidth_bits, 2 * 10 + 8);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Config {
+    /// Per-edge, per-direction, per-round bandwidth `B` in bits.
+    pub bandwidth_bits: u32,
+    /// Hard cap on the number of rounds; exceeding it aborts the run with
+    /// [`SimError::RoundLimitExceeded`](crate::SimError::RoundLimitExceeded).
+    pub max_rounds: u64,
+    /// Whether to record a (bounded) event trace; see [`crate::trace`].
+    pub trace: bool,
+    /// Whether to record the per-round delivered-message counts in
+    /// [`Report::round_profile`](crate::Report::round_profile).
+    pub round_profile: bool,
+    /// Optional deterministic message-loss injection.
+    pub loss: Option<LossPlan>,
+}
+
+impl Config {
+    /// The standard CONGEST setting for an `n`-node network:
+    /// `B = 2·⌈log₂ n⌉ + 8` bits — enough for one node id, one hop count,
+    /// and a small message tag, i.e. "a constant number of node or edge IDs
+    /// per message" (§2 of the paper).
+    ///
+    /// The round limit defaults to `max(10_000, 64·n)`, far above any of the
+    /// `O(n)` algorithms in this crate family, so hitting it indicates a
+    /// bug (e.g. a message loop) rather than a slow algorithm.
+    pub fn for_n(n: usize) -> Self {
+        Config {
+            bandwidth_bits: 2 * bits_for_id(n) + 8,
+            max_rounds: 10_000u64.max(64 * n as u64),
+            trace: false,
+            round_profile: false,
+            loss: None,
+        }
+    }
+
+    /// Overrides the bandwidth `B` (bits per edge-direction per round).
+    pub fn with_bandwidth_bits(mut self, bits: u32) -> Self {
+        self.bandwidth_bits = bits;
+        self
+    }
+
+    /// Overrides the round budget.
+    pub fn with_max_rounds(mut self, rounds: u64) -> Self {
+        self.max_rounds = rounds;
+        self
+    }
+
+    /// Enables event tracing (see [`crate::trace`]).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Injects deterministic message loss (see [`LossPlan`]).
+    pub fn with_loss(mut self, probability: f64, seed: u64) -> Self {
+        self.loss = Some(LossPlan { probability, seed });
+        self
+    }
+
+    /// Records per-round delivered-message counts in the report.
+    pub fn with_round_profile(mut self) -> Self {
+        self.round_profile = true;
+        self
+    }
+}
+
+impl Default for Config {
+    /// Equivalent to `Config::for_n(1 << 16)`: a 40-bit bandwidth suitable
+    /// for networks of up to 65 536 nodes.
+    fn default() -> Self {
+        Config::for_n(1 << 16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_scales_with_log_n() {
+        assert_eq!(Config::for_n(2).bandwidth_bits, 2 + 8);
+        assert_eq!(Config::for_n(1 << 10).bandwidth_bits, 20 + 8);
+        assert!(Config::for_n(1 << 20).bandwidth_bits > Config::for_n(1 << 10).bandwidth_bits);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let c = Config::for_n(8)
+            .with_bandwidth_bits(5)
+            .with_max_rounds(7)
+            .with_trace();
+        assert_eq!(c.bandwidth_bits, 5);
+        assert_eq!(c.max_rounds, 7);
+        assert!(c.trace);
+    }
+
+    #[test]
+    fn default_is_for_64k() {
+        assert_eq!(Config::default(), Config::for_n(1 << 16));
+    }
+
+    #[test]
+    fn loss_plan_determinism_and_extremes() {
+        let plan = LossPlan { probability: 0.5, seed: 7 };
+        for round in 0..20 {
+            assert_eq!(plan.drops(round, 3, 1), plan.drops(round, 3, 1));
+        }
+        let never = LossPlan { probability: 0.0, seed: 7 };
+        let always = LossPlan { probability: 1.0, seed: 7 };
+        assert!(!never.drops(1, 0, 0));
+        assert!(always.drops(1, 0, 0));
+        // Roughly half of many coordinates drop.
+        let hits = (0..1000)
+            .filter(|&r| plan.drops(r, 1, 0))
+            .count();
+        assert!((350..650).contains(&hits), "hits={hits}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Message sizing discipline.
+
+/// A message that knows its own encoded size in bits.
+///
+/// The CONGEST model restricts every edge to `B` bits per direction per
+/// round. Rather than trusting algorithms to respect that, the simulator
+/// asks every message for its size and rejects oversized sends with
+/// [`SimError::BandwidthExceeded`](crate::SimError::BandwidthExceeded).
+///
+/// Implementations should report the size of a reasonable binary encoding of
+/// the message: a node id costs [`bits_for_id`]`(n)` bits, a hop distance at
+/// most [`bits_for_count`]`(n)` bits (distances in an `n`-node graph are
+/// `< n`), and an enum discriminant `ceil(log2(#variants))` bits.
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_congest::{bits_for_id, Message};
+///
+/// /// A BFS token: the root's id and the sender's distance from it.
+/// #[derive(Clone, Debug)]
+/// struct Wave { root: u32, dist: u32, n: u32 }
+///
+/// impl Message for Wave {
+///     fn bit_size(&self) -> u32 {
+///         2 * bits_for_id(self.n as usize)
+///     }
+/// }
+/// ```
+pub trait Message: Clone + std::fmt::Debug {
+    /// The size of this message in bits under its binary encoding.
+    fn bit_size(&self) -> u32;
+}
+
+/// Number of bits needed to encode one identifier from `{0, …, n-1}`.
+///
+/// Returns 1 for `n <= 2` so that even degenerate graphs exchange nonzero
+/// payloads.
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_congest::bits_for_id;
+/// assert_eq!(bits_for_id(2), 1);
+/// assert_eq!(bits_for_id(1024), 10);
+/// assert_eq!(bits_for_id(1025), 11);
+/// ```
+pub fn bits_for_id(n: usize) -> u32 {
+    if n <= 2 {
+        1
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+/// Number of bits needed to encode a count in `{0, …, n}` (inclusive).
+///
+/// Useful for hop distances, which range over `0..=n-1` plus an "infinity"
+/// sentinel.
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_congest::bits_for_count;
+/// assert_eq!(bits_for_count(1), 1);
+/// assert_eq!(bits_for_count(255), 8);
+/// assert_eq!(bits_for_count(256), 9);
+/// ```
+pub fn bits_for_count(n: usize) -> u32 {
+    if n == 0 {
+        1
+    } else {
+        usize::BITS - n.leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_bits_matches_ceil_log2() {
+        for n in 2..2000usize {
+            let expected = (n as f64).log2().ceil() as u32;
+            assert_eq!(bits_for_id(n), expected.max(1), "n={n}");
+        }
+    }
+
+    #[test]
+    fn count_bits_covers_inclusive_range() {
+        for n in 1..2000usize {
+            let b = bits_for_count(n);
+            assert!((1u64 << b) > n as u64, "n={n} b={b}");
+            assert!(b == 1 || (1u64 << (b - 1)) <= n as u64, "n={n} b={b}");
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(bits_for_id(0), 1);
+        assert_eq!(bits_for_id(1), 1);
+        assert_eq!(bits_for_count(0), 1);
+    }
+}

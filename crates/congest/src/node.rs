@@ -1,0 +1,192 @@
+//! Node-local identifiers and the per-round communication interface.
+
+use crate::message::Message;
+
+/// Identifier of a node, in `0..n`.
+///
+/// The paper assumes ids fit in `O(log n)` bits and that a node with id `1`
+/// exists; with zero-based ids that distinguished node is id `0` here, and
+/// id order (used by Algorithm 2's priority rule) is plain integer order.
+pub type NodeId = u32;
+
+/// A node-local port: the index of a neighbor in the node's adjacency list.
+///
+/// Ports are how algorithms address messages; a node does not need to know
+/// the global structure of the graph to communicate.
+pub type Port = u32;
+
+/// The read-only view a node has of itself and its immediate surroundings.
+///
+/// This corresponds to the initial knowledge the CONGEST model grants a
+/// node: its own id, the total number of nodes `n` (assumed known, §2 of the
+/// paper), and the ids of its neighbors.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeContext<'a> {
+    pub(crate) node_id: NodeId,
+    pub(crate) num_nodes: usize,
+    pub(crate) neighbor_ids: &'a [NodeId],
+    pub(crate) round: u64,
+}
+
+impl<'a> NodeContext<'a> {
+    /// This node's identifier.
+    pub fn node_id(&self) -> NodeId {
+        self.node_id
+    }
+
+    /// Total number of nodes `n` in the network.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// This node's degree.
+    pub fn degree(&self) -> usize {
+        self.neighbor_ids.len()
+    }
+
+    /// The ids of this node's neighbors, indexed by port.
+    pub fn neighbor_ids(&self) -> &'a [NodeId] {
+        self.neighbor_ids
+    }
+
+    /// The id of the neighbor reached through `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port >= degree()`.
+    pub fn neighbor(&self, port: Port) -> NodeId {
+        self.neighbor_ids[port as usize]
+    }
+
+    /// The current round number (1-based; `0` during
+    /// [`on_start`](crate::NodeAlgorithm::on_start)).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+}
+
+/// The messages a node received at the start of a round, tagged with the
+/// port they arrived on.
+#[derive(Debug)]
+pub struct Inbox<M> {
+    pub(crate) items: Vec<(Port, M)>,
+}
+
+impl<M> Inbox<M> {
+    /// True if no messages arrived this round.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of messages that arrived this round.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Iterates over `(port, message)` pairs in increasing port order.
+    pub fn iter(&self) -> impl Iterator<Item = (Port, &M)> {
+        self.items.iter().map(|(p, m)| (*p, m))
+    }
+
+    /// The message received on `port` this round, if any.
+    pub fn from_port(&self, port: Port) -> Option<&M> {
+        self.items
+            .iter()
+            .find(|(p, _)| *p == port)
+            .map(|(_, m)| m)
+    }
+}
+
+/// Where a node queues the messages it sends this round.
+///
+/// At most one message may be queued per port per round, and each message
+/// must fit in the configured bandwidth; violations are detected by the
+/// simulator and surface as [`SimError`](crate::SimError)s when the round is
+/// committed.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    pub(crate) items: Vec<(Port, M)>,
+}
+
+impl<M: Message> Outbox<M> {
+    pub(crate) fn new() -> Self {
+        Outbox { items: Vec::new() }
+    }
+
+    /// Queues `message` for delivery through `port` at the start of the next
+    /// round.
+    ///
+    /// Sending twice on the same port in one round, addressing an invalid
+    /// port, or exceeding the bandwidth is *recorded* here and reported by
+    /// [`Simulator::run`](crate::Simulator::run) as an error; this method
+    /// itself never panics, so algorithm code stays straight-line.
+    pub fn send(&mut self, port: Port, message: M) {
+        self.items.push((port, message));
+    }
+
+    /// Queues `message` to every port in `ports`.
+    pub fn send_to_all<I: IntoIterator<Item = Port>>(&mut self, ports: I, message: M) {
+        for p in ports {
+            self.items.push((p, message.clone()));
+        }
+    }
+
+    /// Number of messages queued so far this round.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if nothing has been queued this round.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Unit;
+    impl Message for Unit {
+        fn bit_size(&self) -> u32 {
+            1
+        }
+    }
+
+    #[test]
+    fn context_accessors() {
+        let neighbors = [3u32, 7];
+        let ctx = NodeContext {
+            node_id: 5,
+            num_nodes: 10,
+            neighbor_ids: &neighbors,
+            round: 2,
+        };
+        assert_eq!(ctx.node_id(), 5);
+        assert_eq!(ctx.num_nodes(), 10);
+        assert_eq!(ctx.degree(), 2);
+        assert_eq!(ctx.neighbor(1), 7);
+        assert_eq!(ctx.round(), 2);
+    }
+
+    #[test]
+    fn inbox_lookup() {
+        let inbox = Inbox {
+            items: vec![(0, Unit), (2, Unit)],
+        };
+        assert_eq!(inbox.len(), 2);
+        assert!(inbox.from_port(0).is_some());
+        assert!(inbox.from_port(1).is_none());
+        let ports: Vec<Port> = inbox.iter().map(|(p, _)| p).collect();
+        assert_eq!(ports, vec![0, 2]);
+    }
+
+    #[test]
+    fn outbox_send_to_all() {
+        let mut out = Outbox::new();
+        out.send_to_all(0..3, Unit);
+        assert_eq!(out.len(), 3);
+        assert!(!out.is_empty());
+    }
+}

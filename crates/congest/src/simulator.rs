@@ -1,0 +1,569 @@
+//! The synchronous round engine.
+
+use crate::algorithm::NodeAlgorithm;
+use crate::config::Config;
+use crate::error::SimError;
+use crate::message::Message;
+use crate::node::{Inbox, NodeContext, NodeId, Outbox};
+use crate::stats::RunStats;
+use crate::topology::Topology;
+use crate::trace::{Event, Trace};
+
+/// The result of a completed simulation.
+#[derive(Debug)]
+pub struct Report<O> {
+    /// Per-node outputs, indexed by node id.
+    pub outputs: Vec<O>,
+    /// Aggregate round/message/bit statistics.
+    pub stats: RunStats,
+    /// The event trace, if [`Config::trace`] was enabled.
+    pub trace: Option<Trace>,
+    /// Messages delivered in each round (`round_profile[t]` = deliveries in
+    /// round `t+1`), if [`Config::round_profile`] was enabled; else empty.
+    pub round_profile: Vec<u64>,
+}
+
+/// Drives one [`NodeAlgorithm`] instance per node in synchronous lock-step.
+///
+/// The simulator delivers messages sent in round `t` at the beginning of
+/// round `t+1`, calls [`NodeAlgorithm::on_round`] on *every* node each round
+/// (so nodes can run local timers), enforces the `B`-bit-per-edge-direction
+/// bandwidth constraint, and stops when the network is silent and no node is
+/// [`active`](NodeAlgorithm::is_active).
+///
+/// Execution is fully deterministic: nodes are processed in id order and
+/// inboxes are sorted by port.
+pub struct Simulator<'t, A: NodeAlgorithm> {
+    topology: &'t Topology,
+    config: Config,
+    nodes: Vec<Option<A>>,
+    /// `pending[v]` holds the messages to be delivered to `v` next round.
+    pending: Vec<Vec<(u32, A::Message)>>,
+    in_flight: u64,
+    round: u64,
+    stats: RunStats,
+    trace: Option<Trace>,
+    round_profile: Vec<u64>,
+}
+
+impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
+    /// Creates a simulator, instantiating one algorithm state per node via
+    /// `init` (called with each node's context, in id order).
+    pub fn new<F>(topology: &'t Topology, config: Config, mut init: F) -> Self
+    where
+        F: FnMut(&NodeContext<'_>) -> A,
+    {
+        let n = topology.num_nodes();
+        let nodes = (0..n)
+            .map(|v| {
+                let ctx = NodeContext {
+                    node_id: v as NodeId,
+                    num_nodes: n,
+                    neighbor_ids: topology.neighbors(v as NodeId),
+                    round: 0,
+                };
+                Some(init(&ctx))
+            })
+            .collect();
+        Simulator {
+            topology,
+            config,
+            nodes,
+            pending: (0..n).map(|_| Vec::new()).collect(),
+            in_flight: 0,
+            round: 0,
+            stats: RunStats::default(),
+            trace: if config.trace {
+                Some(Trace::default())
+            } else {
+                None
+            },
+            round_profile: Vec::new(),
+        }
+    }
+
+    /// The number of rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    fn commit_outbox(
+        &mut self,
+        v: NodeId,
+        outbox: Outbox<A::Message>,
+        send_round: u64,
+    ) -> Result<(), SimError> {
+        let degree = self.topology.degree(v);
+        let mut used = vec![false; degree];
+        for (port, msg) in outbox.items {
+            if port as usize >= degree {
+                return Err(SimError::InvalidPort {
+                    node: v,
+                    port,
+                    degree,
+                });
+            }
+            if used[port as usize] {
+                return Err(SimError::DuplicateSend {
+                    node: v,
+                    port,
+                    round: send_round,
+                });
+            }
+            used[port as usize] = true;
+            let bits = msg.bit_size();
+            if bits > self.config.bandwidth_bits {
+                return Err(SimError::BandwidthExceeded {
+                    node: v,
+                    port,
+                    round: send_round,
+                    message_bits: bits,
+                    bandwidth_bits: self.config.bandwidth_bits,
+                });
+            }
+            if let Some(plan) = &self.config.loss {
+                if plan.drops(send_round, v, port) {
+                    self.stats.dropped += 1;
+                    continue;
+                }
+            }
+            let to = self.topology.neighbor_at(v, port);
+            let to_port = self.topology.reverse_port(v, port);
+            if let Some(trace) = &mut self.trace {
+                trace.record(Event {
+                    round: send_round + 1,
+                    from: v,
+                    to,
+                    port: to_port,
+                    bits,
+                    payload: format!("{msg:?}"),
+                });
+            }
+            self.stats.messages += 1;
+            self.stats.bits += u64::from(bits);
+            self.stats.max_message_bits = self.stats.max_message_bits.max(bits);
+            self.pending[to as usize].push((to_port, msg));
+            self.in_flight += 1;
+        }
+        Ok(())
+    }
+
+    fn start_all(&mut self) -> Result<(), SimError> {
+        for v in 0..self.nodes.len() {
+            let ctx = NodeContext {
+                node_id: v as NodeId,
+                num_nodes: self.nodes.len(),
+                neighbor_ids: self.topology.neighbors(v as NodeId),
+                round: 0,
+            };
+            let mut outbox = Outbox::new();
+            self.nodes[v]
+                .as_mut()
+                .expect("node state present")
+                .on_start(&ctx, &mut outbox);
+            self.commit_outbox(v as NodeId, outbox, 0)?;
+        }
+        Ok(())
+    }
+
+    /// Executes one communication round: delivers all pending messages and
+    /// invokes `on_round` on every node.
+    fn step(&mut self) -> Result<(), SimError> {
+        self.round += 1;
+        self.stats.rounds = self.round;
+        self.stats.max_messages_per_round = self.stats.max_messages_per_round.max(self.in_flight);
+        if self.config.round_profile {
+            self.round_profile.push(self.in_flight);
+        }
+        self.in_flight = 0;
+        let n = self.nodes.len();
+        // Take all inboxes up front so sends this round are buffered for the
+        // next one.
+        let mut inboxes: Vec<Vec<(u32, A::Message)>> =
+            std::mem::replace(&mut self.pending, (0..n).map(|_| Vec::new()).collect());
+        #[allow(clippy::needless_range_loop)] // v doubles as the node id
+        for v in 0..n {
+            inboxes[v].sort_by_key(|(p, _)| *p);
+            let inbox = Inbox {
+                items: std::mem::take(&mut inboxes[v]),
+            };
+            let ctx = NodeContext {
+                node_id: v as NodeId,
+                num_nodes: n,
+                neighbor_ids: self.topology.neighbors(v as NodeId),
+                round: self.round,
+            };
+            let mut outbox = Outbox::new();
+            self.nodes[v]
+                .as_mut()
+                .expect("node state present")
+                .on_round(&ctx, &inbox, &mut outbox);
+            self.commit_outbox(v as NodeId, outbox, self.round)?;
+        }
+        Ok(())
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.in_flight == 0
+            && self
+                .nodes
+                .iter()
+                .all(|node| !node.as_ref().expect("node state present").is_active())
+    }
+
+    /// Runs to quiescence and extracts every node's output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any bandwidth/port violation committed by a node, and
+    /// returns [`SimError::RoundLimitExceeded`] if the run does not quiesce
+    /// within [`Config::max_rounds`].
+    pub fn run(mut self) -> Result<Report<A::Output>, SimError> {
+        self.start_all()?;
+        while !self.is_quiescent() {
+            if self.round >= self.config.max_rounds {
+                return Err(SimError::RoundLimitExceeded {
+                    limit: self.config.max_rounds,
+                });
+            }
+            self.step()?;
+        }
+        let n = self.nodes.len();
+        let outputs = self
+            .nodes
+            .iter_mut()
+            .enumerate()
+            .map(|(v, node)| {
+                let ctx = NodeContext {
+                    node_id: v as NodeId,
+                    num_nodes: n,
+                    neighbor_ids: self.topology.neighbors(v as NodeId),
+                    round: self.round,
+                };
+                node.take().expect("node state present").into_output(&ctx)
+            })
+            .collect();
+        Ok(Report {
+            outputs,
+            stats: self.stats,
+            trace: self.trace,
+            round_profile: self.round_profile,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::bits_for_id;
+
+    /// Flood fill: node 0 emits a token; everyone forwards it once.
+    #[derive(Clone, Debug)]
+    struct Token;
+    impl Message for Token {
+        fn bit_size(&self) -> u32 {
+            1
+        }
+    }
+
+    struct Flood {
+        seen_round: Option<u64>,
+    }
+    impl NodeAlgorithm for Flood {
+        type Message = Token;
+        type Output = Option<u64>;
+        fn on_start(&mut self, ctx: &NodeContext<'_>, out: &mut Outbox<Token>) {
+            if ctx.node_id() == 0 {
+                self.seen_round = Some(0);
+                out.send_to_all(0..ctx.degree() as u32, Token);
+            }
+        }
+        fn on_round(&mut self, ctx: &NodeContext<'_>, inbox: &Inbox<Token>, out: &mut Outbox<Token>) {
+            if !inbox.is_empty() && self.seen_round.is_none() {
+                self.seen_round = Some(ctx.round());
+                out.send_to_all(0..ctx.degree() as u32, Token);
+            }
+        }
+        fn into_output(self, _ctx: &NodeContext<'_>) -> Option<u64> {
+            self.seen_round
+        }
+    }
+
+    fn path(n: usize) -> Topology {
+        let adj = (0..n)
+            .map(|v| {
+                let mut a = vec![];
+                if v > 0 {
+                    a.push(v as u32 - 1);
+                }
+                if v + 1 < n {
+                    a.push(v as u32 + 1);
+                }
+                a
+            })
+            .collect();
+        Topology::from_adjacency(adj).unwrap()
+    }
+
+    #[test]
+    fn flood_reaches_everyone_in_distance_rounds() {
+        let topo = path(6);
+        let sim = Simulator::new(&topo, Config::for_n(6), |_| Flood { seen_round: None });
+        let report = sim.run().unwrap();
+        for (v, round) in report.outputs.iter().enumerate() {
+            assert_eq!(*round, Some(v as u64), "node {v}");
+        }
+        assert_eq!(report.stats.rounds, 6);
+    }
+
+    #[test]
+    fn message_and_bit_counts() {
+        let topo = path(4);
+        let sim = Simulator::new(&topo, Config::for_n(4), |_| Flood { seen_round: None });
+        let report = sim.run().unwrap();
+        // Node 0 sends 1, nodes 1 and 2 send 2 each, node 3 sends 1.
+        assert_eq!(report.stats.messages, 6);
+        assert_eq!(report.stats.bits, 6);
+        assert_eq!(report.stats.max_message_bits, 1);
+    }
+
+    /// An algorithm that violates the bandwidth limit on purpose.
+    #[derive(Clone, Debug)]
+    struct Fat;
+    impl Message for Fat {
+        fn bit_size(&self) -> u32 {
+            10_000
+        }
+    }
+    struct Blaster;
+    impl NodeAlgorithm for Blaster {
+        type Message = Fat;
+        type Output = ();
+        fn on_start(&mut self, ctx: &NodeContext<'_>, out: &mut Outbox<Fat>) {
+            if ctx.node_id() == 0 {
+                out.send(0, Fat);
+            }
+        }
+        fn on_round(&mut self, _: &NodeContext<'_>, _: &Inbox<Fat>, _: &mut Outbox<Fat>) {}
+        fn into_output(self, _: &NodeContext<'_>) {}
+    }
+
+    #[test]
+    fn oversized_message_is_rejected() {
+        let topo = path(2);
+        let sim = Simulator::new(&topo, Config::for_n(2), |_| Blaster);
+        let err = sim.run().unwrap_err();
+        assert!(matches!(err, SimError::BandwidthExceeded { node: 0, .. }));
+    }
+
+    struct DoubleSender;
+    impl NodeAlgorithm for DoubleSender {
+        type Message = Token;
+        type Output = ();
+        fn on_start(&mut self, ctx: &NodeContext<'_>, out: &mut Outbox<Token>) {
+            if ctx.node_id() == 0 {
+                out.send(0, Token);
+                out.send(0, Token);
+            }
+        }
+        fn on_round(&mut self, _: &NodeContext<'_>, _: &Inbox<Token>, _: &mut Outbox<Token>) {}
+        fn into_output(self, _: &NodeContext<'_>) {}
+    }
+
+    #[test]
+    fn duplicate_send_is_rejected() {
+        let topo = path(2);
+        let sim = Simulator::new(&topo, Config::for_n(2), |_| DoubleSender);
+        let err = sim.run().unwrap_err();
+        assert!(matches!(err, SimError::DuplicateSend { node: 0, port: 0, .. }));
+    }
+
+    struct BadPort;
+    impl NodeAlgorithm for BadPort {
+        type Message = Token;
+        type Output = ();
+        fn on_start(&mut self, ctx: &NodeContext<'_>, out: &mut Outbox<Token>) {
+            if ctx.node_id() == 0 {
+                out.send(9, Token);
+            }
+        }
+        fn on_round(&mut self, _: &NodeContext<'_>, _: &Inbox<Token>, _: &mut Outbox<Token>) {}
+        fn into_output(self, _: &NodeContext<'_>) {}
+    }
+
+    #[test]
+    fn invalid_port_is_rejected() {
+        let topo = path(2);
+        let sim = Simulator::new(&topo, Config::for_n(2), |_| BadPort);
+        let err = sim.run().unwrap_err();
+        assert!(matches!(err, SimError::InvalidPort { node: 0, port: 9, degree: 1 }));
+    }
+
+    /// Two nodes ping-pong forever; the round limit must fire.
+    struct PingPong;
+    impl NodeAlgorithm for PingPong {
+        type Message = Token;
+        type Output = u64;
+        fn on_start(&mut self, ctx: &NodeContext<'_>, out: &mut Outbox<Token>) {
+            if ctx.node_id() == 0 {
+                out.send(0, Token);
+            }
+        }
+        fn on_round(&mut self, _: &NodeContext<'_>, inbox: &Inbox<Token>, out: &mut Outbox<Token>) {
+            if !inbox.is_empty() {
+                out.send(0, Token);
+            }
+        }
+        fn into_output(self, ctx: &NodeContext<'_>) -> u64 {
+            ctx.round()
+        }
+    }
+
+    #[test]
+    fn round_limit_fires_on_livelock() {
+        let topo = path(2);
+        let cfg = Config::for_n(2).with_max_rounds(25);
+        let sim = Simulator::new(&topo, cfg, |_| PingPong);
+        let err = sim.run().unwrap_err();
+        assert_eq!(err, SimError::RoundLimitExceeded { limit: 25 });
+    }
+
+    /// A silent node that stays active for 5 rounds, then sends once. Tests
+    /// that `is_active` keeps the clock running without traffic.
+    struct Timer {
+        fired: bool,
+    }
+    impl NodeAlgorithm for Timer {
+        type Message = Token;
+        type Output = bool;
+        fn on_round(&mut self, ctx: &NodeContext<'_>, inbox: &Inbox<Token>, out: &mut Outbox<Token>) {
+            if ctx.node_id() == 0 && ctx.round() == 5 {
+                self.fired = true;
+                out.send(0, Token);
+            }
+            if !inbox.is_empty() {
+                self.fired = true;
+            }
+        }
+        fn is_active(&self) -> bool {
+            !self.fired
+        }
+        fn into_output(self, _: &NodeContext<'_>) -> bool {
+            self.fired
+        }
+    }
+
+    #[test]
+    fn timers_run_without_traffic() {
+        let topo = path(2);
+        let sim = Simulator::new(&topo, Config::for_n(2), |_| Timer { fired: false });
+        let report = sim.run().unwrap();
+        assert_eq!(report.outputs, vec![true, true]);
+        assert_eq!(report.stats.rounds, 6); // fired in round 5, delivered in 6
+    }
+
+    #[test]
+    fn trace_records_deliveries() {
+        let topo = path(3);
+        let cfg = Config::for_n(3).with_trace();
+        let sim = Simulator::new(&topo, cfg, |_| Flood { seen_round: None });
+        let report = sim.run().unwrap();
+        let trace = report.trace.expect("trace enabled");
+        assert_eq!(trace.events().len() as u64, report.stats.messages);
+        let first = &trace.events()[0];
+        assert_eq!(first.from, 0);
+        assert_eq!(first.to, 1);
+        assert_eq!(first.round, 1);
+    }
+
+    #[test]
+    fn empty_network_quiesces_immediately() {
+        let topo = Topology::from_adjacency(vec![vec![]]).unwrap();
+        let sim = Simulator::new(&topo, Config::for_n(1), |_| Flood { seen_round: None });
+        let report = sim.run().unwrap();
+        assert_eq!(report.stats.rounds, 0);
+    }
+
+    #[test]
+    fn bits_helper_consistency() {
+        // A message carrying two ids must fit the default config.
+        let n = 1000;
+        assert!(2 * bits_for_id(n) <= Config::for_n(n).bandwidth_bits);
+    }
+}
+
+#[cfg(test)]
+mod profile_tests {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    struct T;
+    impl crate::Message for T {
+        fn bit_size(&self) -> u32 {
+            1
+        }
+    }
+    struct Relay {
+        seen: bool,
+    }
+    impl NodeAlgorithm for Relay {
+        type Message = T;
+        type Output = ();
+        fn on_start(&mut self, ctx: &NodeContext<'_>, out: &mut Outbox<T>) {
+            if ctx.node_id() == 0 {
+                self.seen = true;
+                out.send_to_all(0..ctx.degree() as u32, T);
+            }
+        }
+        fn on_round(&mut self, ctx: &NodeContext<'_>, inbox: &Inbox<T>, out: &mut Outbox<T>) {
+            if !inbox.is_empty() && !self.seen {
+                self.seen = true;
+                out.send_to_all(0..ctx.degree() as u32, T);
+            }
+        }
+        fn into_output(self, _: &NodeContext<'_>) {}
+    }
+
+    #[test]
+    fn round_profile_sums_to_total_messages() {
+        let adj = (0..6usize)
+            .map(|v| {
+                let mut a = vec![];
+                if v > 0 {
+                    a.push(v as u32 - 1);
+                }
+                if v + 1 < 6 {
+                    a.push(v as u32 + 1);
+                }
+                a
+            })
+            .collect();
+        let topo = Topology::from_adjacency(adj).unwrap();
+        let cfg = Config::for_n(6).with_round_profile();
+        let report = Simulator::new(&topo, cfg, |_| Relay { seen: false })
+            .run()
+            .unwrap();
+        assert_eq!(report.round_profile.len() as u64, report.stats.rounds);
+        assert_eq!(
+            report.round_profile.iter().sum::<u64>(),
+            report.stats.messages
+        );
+        // On a path the flood delivers one message forward (plus one echo)
+        // per round: the profile is flat, never zero until the end.
+        assert!(report.round_profile.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn profile_is_empty_when_disabled() {
+        let topo = Topology::from_adjacency(vec![vec![1], vec![0]]).unwrap();
+        let report = Simulator::new(&topo, Config::for_n(2), |_| Relay { seen: false })
+            .run()
+            .unwrap();
+        assert!(report.round_profile.is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! Round, message, and bit accounting.
+
+/// Aggregate statistics of a completed run.
+///
+/// Rounds are the CONGEST complexity measure; messages and bits let the
+/// benchmarks reproduce the paper's §3.2 communication-volume comparisons
+/// (e.g. S-SP exchanging `O((|S|+D)·m)` messages).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Number of synchronous communication rounds executed.
+    pub rounds: u64,
+    /// Total messages delivered over the whole run.
+    pub messages: u64,
+    /// Total payload bits delivered over the whole run.
+    pub bits: u64,
+    /// Largest single message observed, in bits (always `<= B` in a
+    /// successful run — the simulator enforces it).
+    pub max_message_bits: u32,
+    /// Largest number of messages delivered in any single round.
+    pub max_messages_per_round: u64,
+    /// Messages dropped by fault injection (see
+    /// [`LossPlan`](crate::Config)); always 0 without a loss plan.
+    pub dropped: u64,
+}
+
+impl RunStats {
+    /// Accumulates another run's statistics into this one, summing rounds —
+    /// used when an algorithm is composed of sequential phases.
+    pub fn absorb_sequential(&mut self, other: &RunStats) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.bits += other.bits;
+        self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
+        self.max_messages_per_round = self
+            .max_messages_per_round
+            .max(other.max_messages_per_round);
+        self.dropped += other.dropped;
+    }
+}
+
+impl std::fmt::Display for RunStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} rounds, {} messages, {} bits",
+            self.rounds, self.messages, self.bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_and_maxes() {
+        let mut a = RunStats {
+            rounds: 10,
+            messages: 100,
+            bits: 1000,
+            max_message_bits: 16,
+            max_messages_per_round: 30,
+            dropped: 1,
+        };
+        let b = RunStats {
+            rounds: 5,
+            messages: 50,
+            bits: 700,
+            max_message_bits: 20,
+            max_messages_per_round: 10,
+            dropped: 2,
+        };
+        a.absorb_sequential(&b);
+        assert_eq!(a.rounds, 15);
+        assert_eq!(a.messages, 150);
+        assert_eq!(a.bits, 1700);
+        assert_eq!(a.max_message_bits, 20);
+        assert_eq!(a.max_messages_per_round, 30);
+        assert_eq!(a.dropped, 3);
+    }
+
+    #[test]
+    fn display_mentions_rounds() {
+        let s = RunStats {
+            rounds: 3,
+            ..RunStats::default()
+        };
+        assert!(s.to_string().contains("3 rounds"));
+    }
+}

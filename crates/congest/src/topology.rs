@@ -1,0 +1,205 @@
+//! The communication graph over which a distributed algorithm runs.
+
+use crate::error::SimError;
+use crate::node::NodeId;
+
+/// A validated, undirected communication topology given as adjacency lists.
+///
+/// Node identifiers are `0..n`. The structure is immutable after
+/// construction; [`Topology::from_adjacency`] checks that the lists describe
+/// a simple undirected graph (symmetric, no self-loops, no parallel edges).
+///
+/// The *port* of a neighbor is its index in the node's adjacency list; ports
+/// are the only way algorithms address messages, mirroring the CONGEST
+/// assumption that a node initially knows nothing beyond its immediate
+/// neighborhood.
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_congest::Topology;
+///
+/// # fn main() -> Result<(), dapsp_congest::SimError> {
+/// let triangle = Topology::from_adjacency(vec![vec![1, 2], vec![0, 2], vec![0, 1]])?;
+/// assert_eq!(triangle.num_nodes(), 3);
+/// assert_eq!(triangle.num_edges(), 3);
+/// assert_eq!(triangle.degree(0), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Topology {
+    /// `adj[v]` lists the neighbors of `v`; `adj[v][p]` is the node reached
+    /// from `v` through port `p`.
+    adj: Vec<Vec<NodeId>>,
+    /// `reverse_port[v][p]` is the port *at the neighbor* `adj[v][p]` that
+    /// leads back to `v`. Precomputed so message delivery is O(1).
+    reverse_port: Vec<Vec<u32>>,
+    num_edges: usize,
+}
+
+impl Topology {
+    /// Builds a topology from adjacency lists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidTopology`] if any list mentions a node id
+    /// `>= n`, contains a self-loop or a duplicate neighbor, or if the lists
+    /// are not symmetric (`u` lists `v` but `v` does not list `u`).
+    pub fn from_adjacency(adj: Vec<Vec<NodeId>>) -> Result<Self, SimError> {
+        let n = adj.len();
+        let mut degree_pairs = 0usize;
+        for (u, neighbors) in adj.iter().enumerate() {
+            let mut seen = vec![];
+            for &v in neighbors {
+                if v as usize >= n {
+                    return Err(SimError::InvalidTopology(format!(
+                        "node {u} lists neighbor {v}, but there are only {n} nodes"
+                    )));
+                }
+                if v as usize == u {
+                    return Err(SimError::InvalidTopology(format!(
+                        "node {u} has a self-loop"
+                    )));
+                }
+                if seen.contains(&v) {
+                    return Err(SimError::InvalidTopology(format!(
+                        "node {u} lists neighbor {v} twice"
+                    )));
+                }
+                seen.push(v);
+            }
+            degree_pairs += neighbors.len();
+        }
+        // Symmetry check and reverse-port table.
+        let mut reverse_port = vec![vec![]; n];
+        for (u, neighbors) in adj.iter().enumerate() {
+            let mut rp = Vec::with_capacity(neighbors.len());
+            for &v in neighbors {
+                match adj[v as usize].iter().position(|&w| w as usize == u) {
+                    Some(p) => rp.push(p as u32),
+                    None => {
+                        return Err(SimError::InvalidTopology(format!(
+                            "edge {u}->{v} is not symmetric: {v} does not list {u}"
+                        )))
+                    }
+                }
+            }
+            reverse_port[u] = rp;
+        }
+        Ok(Self {
+            adj,
+            reverse_port,
+            num_edges: degree_pairs / 2,
+        })
+    }
+
+    /// Number of nodes `n`.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges `m`.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Degree of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// The neighbors of `v`, in port order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v as usize]
+    }
+
+    /// The node reached from `v` through port `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` or `p` is out of range.
+    pub fn neighbor_at(&self, v: NodeId, p: u32) -> NodeId {
+        self.adj[v as usize][p as usize]
+    }
+
+    /// The port at `neighbor_at(v, p)` that leads back to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` or `p` is out of range.
+    pub fn reverse_port(&self, v: NodeId, p: u32) -> u32 {
+        self.reverse_port[v as usize][p as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Vec<Vec<NodeId>> {
+        vec![vec![1], vec![0, 2], vec![1]]
+    }
+
+    #[test]
+    fn accepts_valid_path() {
+        let t = Topology::from_adjacency(path3()).unwrap();
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.num_edges(), 2);
+        assert_eq!(t.degree(1), 2);
+        assert_eq!(t.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn reverse_ports_round_trip() {
+        let t = Topology::from_adjacency(path3()).unwrap();
+        for v in 0..3u32 {
+            for p in 0..t.degree(v) as u32 {
+                let u = t.neighbor_at(v, p);
+                let back = t.reverse_port(v, p);
+                assert_eq!(t.neighbor_at(u, back), v);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let err = Topology::from_adjacency(vec![vec![0]]).unwrap_err();
+        assert!(matches!(err, SimError::InvalidTopology(_)));
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        let err = Topology::from_adjacency(vec![vec![1], vec![]]).unwrap_err();
+        assert!(matches!(err, SimError::InvalidTopology(_)));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = Topology::from_adjacency(vec![vec![5]]).unwrap_err();
+        assert!(matches!(err, SimError::InvalidTopology(_)));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let err = Topology::from_adjacency(vec![vec![1, 1], vec![0, 0]]).unwrap_err();
+        assert!(matches!(err, SimError::InvalidTopology(_)));
+    }
+
+    #[test]
+    fn empty_and_single_node() {
+        let t = Topology::from_adjacency(vec![]).unwrap();
+        assert_eq!(t.num_nodes(), 0);
+        let t = Topology::from_adjacency(vec![vec![]]).unwrap();
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.num_edges(), 0);
+    }
+}

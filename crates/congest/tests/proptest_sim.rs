@@ -1,0 +1,178 @@
+//! Property tests for the simulator's core guarantees: message delivery,
+//! determinism, and bandwidth enforcement.
+
+use proptest::prelude::*;
+
+use dapsp_congest::{
+    Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port, SimError, Simulator,
+    Topology,
+};
+
+/// A flood token carrying a configurable size.
+#[derive(Clone, Debug)]
+struct Sized(u32);
+impl Message for Sized {
+    fn bit_size(&self) -> u32 {
+        self.0
+    }
+}
+
+struct Flood {
+    bits: u32,
+    seen_round: Option<u64>,
+}
+impl NodeAlgorithm for Flood {
+    type Message = Sized;
+    type Output = Option<u64>;
+    fn on_start(&mut self, ctx: &NodeContext<'_>, out: &mut Outbox<Sized>) {
+        if ctx.node_id() == 0 {
+            self.seen_round = Some(0);
+            out.send_to_all(0..ctx.degree() as Port, Sized(self.bits));
+        }
+    }
+    fn on_round(&mut self, ctx: &NodeContext<'_>, inbox: &Inbox<Sized>, out: &mut Outbox<Sized>) {
+        if !inbox.is_empty() && self.seen_round.is_none() {
+            self.seen_round = Some(ctx.round());
+            out.send_to_all(0..ctx.degree() as Port, Sized(self.bits));
+        }
+    }
+    fn into_output(self, _: &NodeContext<'_>) -> Option<u64> {
+        self.seen_round
+    }
+}
+
+/// Builds a random connected topology: a random-attachment tree plus extra
+/// edges decided by the seed.
+fn random_connected_adj(n: usize, seed: u64, extra_per_node: usize) -> Vec<Vec<u32>> {
+    let mut edges = std::collections::BTreeSet::new();
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for v in 1..n as u64 {
+        let p = next() % v;
+        edges.insert((p.min(v) as u32, p.max(v) as u32));
+    }
+    for _ in 0..extra_per_node * n {
+        let a = (next() % n as u64) as u32;
+        let b = (next() % n as u64) as u32;
+        if a != b {
+            edges.insert((a.min(b), a.max(b)));
+        }
+    }
+    let mut adj = vec![vec![]; n];
+    for (a, b) in edges {
+        adj[a as usize].push(b);
+        adj[b as usize].push(a);
+    }
+    adj
+}
+
+/// Centralized BFS for the expected delivery rounds.
+fn bfs_rounds(adj: &[Vec<u32>]) -> Vec<u64> {
+    let mut dist = vec![u64::MAX; adj.len()];
+    dist[0] = 0;
+    let mut q = std::collections::VecDeque::from([0u32]);
+    while let Some(u) = q.pop_front() {
+        for &v in &adj[u as usize] {
+            if dist[v as usize] == u64::MAX {
+                dist[v as usize] = dist[u as usize] + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A flood from node 0 reaches node v exactly at round d(0, v).
+    #[test]
+    fn flood_delivery_times_match_bfs(n in 2usize..40, seed in any::<u64>(), extra in 0usize..3) {
+        let adj = random_connected_adj(n, seed, extra);
+        let expected = bfs_rounds(&adj);
+        let topo = Topology::from_adjacency(adj).expect("valid");
+        let sim = Simulator::new(&topo, Config::for_n(n), |_| Flood { bits: 1, seen_round: None });
+        let report = sim.run().expect("runs");
+        for (v, got) in report.outputs.iter().enumerate() {
+            prop_assert_eq!(got.unwrap(), expected[v], "node {}", v);
+        }
+        // Total rounds: last delivery plus at most two quiescence rounds.
+        let max = *expected.iter().max().unwrap();
+        prop_assert!(report.stats.rounds <= max + 2);
+    }
+
+    /// Message sizes above the bandwidth are rejected, at or below pass.
+    #[test]
+    fn bandwidth_is_enforced_exactly(n in 2usize..20, seed in any::<u64>(), over in 1u32..50) {
+        let adj = random_connected_adj(n, seed, 1);
+        let topo = Topology::from_adjacency(adj).expect("valid");
+        let budget = Config::for_n(n).bandwidth_bits;
+        // At the limit: fine.
+        let sim = Simulator::new(&topo, Config::for_n(n), |_| Flood { bits: budget, seen_round: None });
+        prop_assert!(sim.run().is_ok());
+        // One bit over: rejected with the precise error.
+        let sim = Simulator::new(&topo, Config::for_n(n), |_| Flood { bits: budget + over, seen_round: None });
+        match sim.run() {
+            Err(SimError::BandwidthExceeded { message_bits, bandwidth_bits, .. }) => {
+                prop_assert_eq!(message_bits, budget + over);
+                prop_assert_eq!(bandwidth_bits, budget);
+            }
+            other => prop_assert!(false, "expected bandwidth error, got {:?}", other.is_ok()),
+        }
+    }
+
+    /// Runs are deterministic: identical inputs give identical outputs and
+    /// statistics.
+    #[test]
+    fn simulation_is_deterministic(n in 2usize..30, seed in any::<u64>()) {
+        let adj = random_connected_adj(n, seed, 2);
+        let topo = Topology::from_adjacency(adj).expect("valid");
+        let run = || {
+            let sim = Simulator::new(&topo, Config::for_n(n), |_| Flood { bits: 3, seen_round: None });
+            sim.run().expect("runs")
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.outputs, b.outputs);
+        prop_assert_eq!(a.stats, b.stats);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Fault injection: zero loss behaves identically to no plan; full loss
+    /// delivers nothing; partial loss is deterministic in the seed and
+    /// drops are accounted.
+    #[test]
+    fn loss_injection_properties(n in 3usize..24, seed in any::<u64>()) {
+        let adj = random_connected_adj(n, seed, 1);
+        let topo = Topology::from_adjacency(adj).expect("valid");
+        let base = Simulator::new(&topo, Config::for_n(n), |_| Flood { bits: 1, seen_round: None })
+            .run().expect("runs");
+        let zero = Simulator::new(&topo, Config::for_n(n).with_loss(0.0, seed), |_| Flood { bits: 1, seen_round: None })
+            .run().expect("runs");
+        prop_assert_eq!(&base.outputs, &zero.outputs);
+        prop_assert_eq!(zero.stats.dropped, 0);
+
+        let full = Simulator::new(&topo, Config::for_n(n).with_loss(1.0, seed), |_| Flood { bits: 1, seen_round: None })
+            .run().expect("runs");
+        // Only the origin ever sees the token; everything it sent was lost.
+        for (v, got) in full.outputs.iter().enumerate() {
+            prop_assert_eq!(got.is_some(), v == 0);
+        }
+        prop_assert!(full.stats.dropped > 0);
+        prop_assert_eq!(full.stats.messages, 0);
+
+        let half_a = Simulator::new(&topo, Config::for_n(n).with_loss(0.5, seed), |_| Flood { bits: 1, seen_round: None })
+            .run().expect("runs");
+        let half_b = Simulator::new(&topo, Config::for_n(n).with_loss(0.5, seed), |_| Flood { bits: 1, seen_round: None })
+            .run().expect("runs");
+        prop_assert_eq!(half_a.outputs, half_b.outputs);
+        prop_assert_eq!(half_a.stats.dropped, half_b.stats.dropped);
+    }
+}

@@ -1,0 +1,281 @@
+//! Convergecast + broadcast aggregation over a rooted spanning tree.
+//!
+//! The paper repeatedly "aggregates the maximum/minimum using `T_1` in
+//! additional time `O(D)`" (Lemmas 3–7). This module implements that
+//! primitive distributedly: values flow up the tree (each node combines its
+//! children's partial results with its own), the root learns the total, and
+//! the total flows back down so *every* node knows it, as Definition 6
+//! requires.
+
+use dapsp_congest::{
+    bits_for_count, Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port, RunStats,
+};
+use dapsp_graph::Graph;
+
+use crate::error::CoreError;
+use crate::runner::run_algorithm;
+use crate::tree::TreeKnowledge;
+
+/// The associative, commutative operations supported by the aggregation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggOp {
+    /// Maximum of all values.
+    Max,
+    /// Minimum of all values.
+    Min,
+    /// Sum of all values (caller must ensure the total fits the bandwidth —
+    /// counts up to `n` always do).
+    Sum,
+    /// Logical OR of 0/1 values.
+    Or,
+}
+
+impl AggOp {
+    fn combine(self, a: u64, b: u64) -> u64 {
+        match self {
+            AggOp::Max => a.max(b),
+            AggOp::Min => a.min(b),
+            AggOp::Sum => a + b,
+            AggOp::Or => a | b,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum AggMsg {
+    Up(u64),
+    Down(u64),
+}
+
+impl Message for AggMsg {
+    fn bit_size(&self) -> u32 {
+        let v = match self {
+            AggMsg::Up(v) | AggMsg::Down(v) => *v,
+        };
+        1 + bits_for_count(v as usize)
+    }
+}
+
+struct AggNode {
+    op: AggOp,
+    acc: u64,
+    parent_port: Option<Port>,
+    children_ports: Vec<Port>,
+    missing_children: usize,
+    /// Set once the node must push `acc` up (or, at the root, start the
+    /// downward broadcast) next round.
+    ready: bool,
+    result: Option<u64>,
+}
+
+impl NodeAlgorithm for AggNode {
+    type Message = AggMsg;
+    type Output = u64;
+
+    fn on_start(&mut self, _ctx: &NodeContext<'_>, out: &mut Outbox<AggMsg>) {
+        if self.missing_children == 0 {
+            if let Some(parent) = self.parent_port {
+                out.send(parent, AggMsg::Up(self.acc));
+            } else {
+                // Root of a single-node tree: done immediately.
+                self.result = Some(self.acc);
+            }
+        }
+    }
+
+    fn on_round(&mut self, _ctx: &NodeContext<'_>, inbox: &Inbox<AggMsg>, out: &mut Outbox<AggMsg>) {
+        for (_port, msg) in inbox.iter() {
+            match msg {
+                AggMsg::Up(v) => {
+                    self.acc = self.op.combine(self.acc, *v);
+                    self.missing_children -= 1;
+                    if self.missing_children == 0 {
+                        self.ready = true;
+                    }
+                }
+                AggMsg::Down(v) => {
+                    self.result = Some(*v);
+                    for &c in &self.children_ports {
+                        out.send(c, AggMsg::Down(*v));
+                    }
+                }
+            }
+        }
+        if self.ready {
+            self.ready = false;
+            match self.parent_port {
+                Some(p) => out.send(p, AggMsg::Up(self.acc)),
+                None => {
+                    // Root: aggregation complete, broadcast downward.
+                    self.result = Some(self.acc);
+                    for &c in &self.children_ports {
+                        out.send(c, AggMsg::Down(self.acc));
+                    }
+                }
+            }
+        }
+    }
+
+    fn into_output(self, _ctx: &NodeContext<'_>) -> u64 {
+        self.result.unwrap_or(self.acc)
+    }
+}
+
+/// The outcome of a tree aggregation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AggregateResult {
+    /// The combined value, known to every node at the end.
+    pub value: u64,
+    /// Round/message statistics (about `2 · depth(T)` rounds).
+    pub stats: RunStats,
+}
+
+/// Aggregates `values[v]` over all nodes with `op`, using the rooted tree
+/// `tree`; every node learns the result (convergecast + broadcast,
+/// `O(depth)` rounds).
+///
+/// Values must be small enough that any partial combination fits the
+/// `B`-bit bandwidth; all uses in this crate send counts/distances
+/// `≤ O(n)`.
+///
+/// # Errors
+///
+/// * [`CoreError::EmptyGraph`] on an empty graph.
+/// * [`CoreError::InvalidParameter`] if `values.len() != n` or the tree does
+///   not span the graph.
+/// * [`CoreError::Sim`] on simulator failures (e.g. a value too large for
+///   the bandwidth).
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_core::{aggregate, bfs};
+/// use dapsp_graph::generators;
+///
+/// # fn main() -> Result<(), dapsp_core::CoreError> {
+/// let g = generators::path(5);
+/// let t1 = bfs::run(&g, 0)?;
+/// let degrees: Vec<u64> = (0..5).map(|v| g.degree(v) as u64).collect();
+/// let total = aggregate::run(&g, &t1.tree, &degrees, aggregate::AggOp::Sum)?;
+/// assert_eq!(total.value, 8); // 2m
+/// # Ok(())
+/// # }
+/// ```
+pub fn run(
+    graph: &Graph,
+    tree: &TreeKnowledge,
+    values: &[u64],
+    op: AggOp,
+) -> Result<AggregateResult, CoreError> {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    if values.len() != n {
+        return Err(CoreError::InvalidParameter(format!(
+            "got {} values for {} nodes",
+            values.len(),
+            n
+        )));
+    }
+    if !tree.spans_all() {
+        return Err(CoreError::InvalidParameter(
+            "aggregation tree does not span the graph".into(),
+        ));
+    }
+    let report = run_algorithm(graph, Config::for_n(n), |ctx| {
+        let v = ctx.node_id() as usize;
+        AggNode {
+            op,
+            acc: values[v],
+            parent_port: tree.parent_port[v],
+            children_ports: tree.children_ports[v].clone(),
+            missing_children: tree.children_ports[v].len(),
+            ready: false,
+            result: None,
+        }
+    })?;
+    let value = report.outputs[tree.root as usize];
+    debug_assert!(
+        report.outputs.iter().all(|&r| r == value),
+        "all nodes must agree on the aggregate"
+    );
+    Ok(AggregateResult {
+        value,
+        stats: report.stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs;
+    use dapsp_graph::generators;
+
+    fn setup(g: &Graph) -> TreeKnowledge {
+        bfs::run(g, 0).unwrap().tree
+    }
+
+    #[test]
+    fn all_ops_on_a_path() {
+        let g = generators::path(6);
+        let t = setup(&g);
+        let values: Vec<u64> = vec![3, 1, 4, 1, 5, 9];
+        assert_eq!(run(&g, &t, &values, AggOp::Max).unwrap().value, 9);
+        assert_eq!(run(&g, &t, &values, AggOp::Min).unwrap().value, 1);
+        assert_eq!(run(&g, &t, &values, AggOp::Sum).unwrap().value, 23);
+        let bits: Vec<u64> = vec![0, 0, 1, 0, 0, 0];
+        assert_eq!(run(&g, &t, &bits, AggOp::Or).unwrap().value, 1);
+        assert_eq!(run(&g, &t, &[0; 6], AggOp::Or).unwrap().value, 0);
+    }
+
+    #[test]
+    fn rounds_are_linear_in_depth() {
+        let g = generators::path(30); // depth 29 from node 0
+        let t = setup(&g);
+        let r = run(&g, &t, &vec![1; 30], AggOp::Sum).unwrap();
+        assert_eq!(r.value, 30);
+        assert!(r.stats.rounds <= 2 * 29 + 4, "rounds={}", r.stats.rounds);
+    }
+
+    #[test]
+    fn works_on_bushy_trees_and_cliques() {
+        let g = generators::complete(8);
+        let t = setup(&g);
+        let r = run(&g, &t, &(0..8u64).collect::<Vec<_>>(), AggOp::Max).unwrap();
+        assert_eq!(r.value, 7);
+        assert!(r.stats.rounds <= 6);
+        let g = generators::balanced_tree(3, 3);
+        let t = setup(&g);
+        let n = g.num_nodes();
+        let r = run(&g, &t, &vec![1; n], AggOp::Sum).unwrap();
+        assert_eq!(r.value, n as u64);
+    }
+
+    #[test]
+    fn single_node_aggregation() {
+        let g = Graph::builder(1).build();
+        let t = setup(&g);
+        let r = run(&g, &t, &[42], AggOp::Max).unwrap();
+        assert_eq!(r.value, 42);
+        assert_eq!(r.stats.rounds, 0);
+    }
+
+    #[test]
+    fn rejects_wrong_value_count_and_nonspanning_tree() {
+        let g = generators::path(4);
+        let t = setup(&g);
+        assert!(matches!(
+            run(&g, &t, &[1, 2], AggOp::Max).unwrap_err(),
+            CoreError::InvalidParameter(_)
+        ));
+        let mut broken = t.clone();
+        broken.parent_port[3] = None;
+        assert!(matches!(
+            run(&g, &broken, &[1, 2, 3, 4], AggOp::Max).unwrap_err(),
+            CoreError::InvalidParameter(_)
+        ));
+    }
+
+    use dapsp_graph::Graph;
+}

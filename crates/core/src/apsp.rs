@@ -1,0 +1,756 @@
+//! Algorithm 1 of the paper: exact APSP in `O(n)` rounds (Theorem 1).
+//!
+//! The algorithm first builds the BFS tree `T_1` rooted at the node with the
+//! smallest id, then sends a *pebble* on a depth-first traversal of `T_1`.
+//! Each time the pebble enters a node `v` for the first time it **waits one
+//! time slot** and then starts a full breadth-first search `BFS_v`. The wait
+//! plus the pebble's travel time guarantee (Lemma 1) that no node is ever
+//! active for two BFS waves in the same round, so no edge ever needs to
+//! carry two wave messages at once and every wave runs at full speed.
+//!
+//! Total rounds: `O(D)` to build `T_1`, `O(n)` for the traversal (each tree
+//! edge is crossed twice, each first visit holds the pebble one slot), and
+//! `O(D)` for the last wave to finish — `O(n)` overall since `D < n`.
+//!
+//! The simulator *checks* Lemma 1 as a side effect: were two waves ever to
+//! collide on an edge, the run would abort with a duplicate-send error.
+//!
+//! Following Remark 4, every node records its distance to each root, so the
+//! result is the full distance matrix (stored distributedly in the model;
+//! assembled into a [`DistanceMatrix`] here for inspection). Shortest-path
+//! trees are kept as per-root parent pointers. As a by-product the nodes
+//! also record *cycle candidates* (two wave receipts for the same root),
+//! which is exactly what Lemma 7 needs to compute the girth.
+
+use dapsp_congest::{
+    bits_for_count, bits_for_id, Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port,
+    RunStats,
+};
+use dapsp_graph::{DistanceMatrix, Graph, INFINITY};
+
+use crate::bfs;
+use crate::error::CoreError;
+use crate::runner::run_algorithm;
+use crate::tree::TreeKnowledge;
+
+/// A combined message: an optional pebble token and an optional BFS wave.
+///
+/// The pebble may have to cross an edge in the same round as some wave
+/// (Lemma 1 only de-conflicts waves from each other), so both ride in one
+/// `B`-bit message: a wave is two ids (`root`, `dist`), the pebble one bit.
+#[derive(Clone, Debug)]
+pub(crate) struct ApspMsg {
+    pebble: bool,
+    wave: Option<(u32, u32)>, // (root id, distance of the receiver)
+    n: u32,
+}
+
+impl Message for ApspMsg {
+    fn bit_size(&self) -> u32 {
+        let mut bits = 1; // pebble flag
+        if let Some((_, dist)) = self.wave {
+            bits += bits_for_id(self.n as usize) + bits_for_count(dist as usize);
+        }
+        bits
+    }
+}
+
+pub(crate) struct ApspNode {
+    n: u32,
+    /// Whether first visits wait one slot before starting their wave
+    /// (paper line 5). `false` only in the Lemma 1 ablation.
+    wait_one_slot: bool,
+    /// Waves stop expanding at this depth (`u32::MAX` = full BFS). Used by
+    /// the k-BFS-tree computation of Definition 7 / §8.
+    max_depth: u32,
+    // T_1 knowledge, injected from the phase-A BFS.
+    parent_port: Option<Port>,
+    children_ports: Vec<Port>,
+    // Pebble DFS state.
+    visited: bool,
+    start_wave_next_round: bool,
+    next_child: usize,
+    // Per-root BFS bookkeeping.
+    dist: Vec<u32>,
+    parent: Vec<Port>, // u32::MAX = none
+    girth_candidate: u32,
+}
+
+impl ApspNode {
+    fn new(n: u32, me: u32, tree: &TreeKnowledge, wait_one_slot: bool, max_depth: u32) -> Self {
+        let v = me as usize;
+        let mut dist = vec![INFINITY; n as usize];
+        dist[v] = 0;
+        ApspNode {
+            n,
+            wait_one_slot,
+            max_depth,
+            parent_port: tree.parent_port[v],
+            children_ports: tree.children_ports[v].clone(),
+            visited: false,
+            start_wave_next_round: false,
+            next_child: 0,
+            dist,
+            parent: vec![u32::MAX; n as usize],
+            girth_candidate: INFINITY,
+        }
+    }
+
+    /// Where the pebble goes next: the next unvisited child, else back to
+    /// the parent (`None` when the traversal is over at the root).
+    fn pebble_exit(&mut self) -> Option<Port> {
+        if self.next_child < self.children_ports.len() {
+            let p = self.children_ports[self.next_child];
+            self.next_child += 1;
+            Some(p)
+        } else {
+            self.parent_port
+        }
+    }
+
+    fn first_visit(&mut self) {
+        debug_assert!(!self.visited, "pebble first visit happens once");
+        self.visited = true;
+        // Paper, line 5: wait one time slot before starting BFS_v.
+        self.start_wave_next_round = true;
+    }
+}
+
+/// Sends accumulated for one round, merged per port into single messages.
+struct Sends {
+    pebble_port: Option<Port>,
+    waves: Vec<(Port, u32, u32)>,
+}
+
+impl Sends {
+    fn flush(self, n: u32, out: &mut Outbox<ApspMsg>) {
+        let mut per_port: std::collections::BTreeMap<Port, ApspMsg> = std::collections::BTreeMap::new();
+        if let Some(p) = self.pebble_port {
+            per_port.insert(
+                p,
+                ApspMsg {
+                    pebble: true,
+                    wave: None,
+                    n,
+                },
+            );
+        }
+        for (p, root, dist) in self.waves {
+            let entry = per_port.entry(p).or_insert(ApspMsg {
+                pebble: false,
+                wave: None,
+                n,
+            });
+            if entry.wave.is_some() {
+                // Two waves on one edge in one round: Lemma 1 is violated
+                // (this happens only in the no-wait ablation). Emit the
+                // second wave as a separate message so the simulator
+                // reports the violation as a typed duplicate-send error.
+                out.send(
+                    p,
+                    ApspMsg {
+                        pebble: false,
+                        wave: Some((root, dist)),
+                        n,
+                    },
+                );
+                continue;
+            }
+            entry.wave = Some((root, dist));
+        }
+        for (p, msg) in per_port {
+            out.send(p, msg);
+        }
+    }
+}
+
+impl NodeAlgorithm for ApspNode {
+    type Message = ApspMsg;
+    type Output = ApspNodeOutput;
+
+    fn on_start(&mut self, ctx: &NodeContext<'_>, _out: &mut Outbox<ApspMsg>) {
+        if ctx.node_id() == 0 {
+            // The pebble starts at the root of T_1 (the paper's node 1).
+            self.first_visit();
+        }
+    }
+
+    fn on_round(&mut self, ctx: &NodeContext<'_>, inbox: &Inbox<ApspMsg>, out: &mut Outbox<ApspMsg>) {
+        let mut sends = Sends {
+            pebble_port: None,
+            waves: Vec::new(),
+        };
+        // 1. A first visit one round ago: start BFS_v now and release the
+        //    pebble (the combined travel guarantees of Lemma 1 start here).
+        if self.start_wave_next_round {
+            self.start_wave_next_round = false;
+            if self.max_depth >= 1 {
+                let me = ctx.node_id();
+                for p in 0..ctx.degree() as Port {
+                    sends.waves.push((p, me, 1));
+                }
+            }
+            sends.pebble_port = self.pebble_exit();
+        }
+        // 2. Incoming waves, grouped by root so simultaneous arrivals pick
+        //    the lowest port as parent and count the rest as cycle evidence.
+        let mut arrivals: Vec<(u32, u32, Port)> = Vec::new();
+        let mut pebble_arrived = false;
+        for (port, msg) in inbox.iter() {
+            if msg.pebble {
+                pebble_arrived = true;
+            }
+            if let Some((root, dist)) = msg.wave {
+                arrivals.push((root, dist, port));
+            }
+        }
+        arrivals.sort_unstable(); // by root, then dist, then port
+        let mut i = 0;
+        while i < arrivals.len() {
+            let root = arrivals[i].0;
+            let mut j = i;
+            while j < arrivals.len() && arrivals[j].0 == root {
+                j += 1;
+            }
+            let group = &arrivals[i..j];
+            let r = root as usize;
+            if self.dist[r] == INFINITY {
+                // Adopt: all simultaneous arrivals carry the same distance.
+                let (_, d, first_port) = group[0];
+                self.dist[r] = d;
+                self.parent[r] = first_port;
+                // Forward to every port that did not deliver this wave now
+                // (truncated at max_depth for the k-BFS variant).
+                if d < self.max_depth {
+                    let received: Vec<Port> = group.iter().map(|&(_, _, p)| p).collect();
+                    for p in 0..ctx.degree() as Port {
+                        if !received.contains(&p) {
+                            sends.waves.push((p, root, d + 1));
+                        }
+                    }
+                }
+            }
+            // Cycle candidates (Lemma 7): every non-parent arrival closes a
+            // walk of length dist + sender_dist + 1 through the root.
+            for &(_, d, port) in group {
+                let sender_dist = d - 1;
+                if port != self.parent[r] && sender_dist <= self.dist[r] {
+                    self.girth_candidate = self
+                        .girth_candidate
+                        .min(self.dist[r] + sender_dist + 1);
+                }
+            }
+            i = j;
+        }
+        // 3. The pebble.
+        if pebble_arrived {
+            if self.visited {
+                sends.pebble_port = self.pebble_exit();
+            } else if self.wait_one_slot {
+                self.first_visit();
+            } else {
+                // Ablation: skip the paper's one-slot wait and start the
+                // wave in the arrival round. Lemma 1's spacing is lost and
+                // the simulator will detect colliding waves.
+                self.visited = true;
+                if self.max_depth >= 1 {
+                    let me = ctx.node_id();
+                    for p in 0..ctx.degree() as Port {
+                        sends.waves.push((p, me, 1));
+                    }
+                }
+                sends.pebble_port = self.pebble_exit();
+            }
+        }
+        sends.flush(self.n, out);
+    }
+
+    fn is_active(&self) -> bool {
+        self.start_wave_next_round
+    }
+
+    fn into_output(self, _ctx: &NodeContext<'_>) -> ApspNodeOutput {
+        ApspNodeOutput {
+            dist: self.dist,
+            parent: self.parent,
+            girth_candidate: self.girth_candidate,
+        }
+    }
+}
+
+/// Per-node output of the wave phase.
+#[derive(Clone, Debug)]
+pub(crate) struct ApspNodeOutput {
+    dist: Vec<u32>,
+    parent: Vec<Port>,
+    girth_candidate: u32,
+}
+
+/// The result of a distributed APSP computation.
+#[derive(Clone, Debug)]
+pub struct ApspResult {
+    /// The full hop-distance matrix (`distances.get(u, v)` = `d(u, v)`).
+    pub distances: DistanceMatrix,
+    /// `next_hop[v][r]` is the neighbor `v` forwards to on a shortest path
+    /// toward `r` (its parent in `T_r`), or `None` at `v == r`.
+    pub next_hop: Vec<Vec<Option<u32>>>,
+    /// The smallest cycle candidate any node observed, i.e. the girth, or
+    /// `None` if no wave ever hit a node twice (the graph is a tree).
+    pub girth_candidate: Option<u32>,
+    /// Each node's own smallest cycle candidate
+    /// ([`INFINITY`] if it saw none) — the local
+    /// values that Lemma 7 min-aggregates.
+    pub local_girth_candidates: Vec<u32>,
+    /// The tree `T_1` built in phase A — reused by the `O(D)` aggregations
+    /// of Lemmas 3–7.
+    pub tree: TreeKnowledge,
+    /// Combined statistics of both phases (`T_1` construction + waves).
+    pub stats: RunStats,
+}
+
+impl ApspResult {
+    /// Reconstructs one shortest path from `u` to `v` (inclusive) by
+    /// following next-hop pointers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn path(&self, u: u32, v: u32) -> Vec<u32> {
+        let mut path = vec![u];
+        let mut cur = u;
+        while cur != v {
+            match self.next_hop[cur as usize][v as usize] {
+                Some(next) => {
+                    path.push(next);
+                    cur = next;
+                }
+                None => unreachable!("connected graph has a complete next-hop table"),
+            }
+        }
+        path
+    }
+}
+
+/// Runs Algorithm 1: exact all-pairs shortest paths in `O(n)` rounds.
+///
+/// # Errors
+///
+/// * [`CoreError::EmptyGraph`] on an empty graph.
+/// * [`CoreError::Disconnected`] if the graph is not connected (the model
+///   assumes a connected network).
+/// * [`CoreError::Sim`] on simulator failures — which would indicate a
+///   violation of Lemma 1.
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_core::apsp;
+/// use dapsp_graph::{generators, reference};
+///
+/// # fn main() -> Result<(), dapsp_core::CoreError> {
+/// let g = generators::grid(3, 3);
+/// let result = apsp::run(&g)?;
+/// assert_eq!(result.distances, reference::apsp(&g));
+/// # Ok(())
+/// # }
+/// ```
+pub fn run(graph: &Graph) -> Result<ApspResult, CoreError> {
+    run_with_wait(graph, true)
+}
+
+/// Like [`run`], but also returns the wave phase's per-round
+/// delivered-message counts — the "shape" of the pipelined schedule, used
+/// by the `figure_wave_pipeline` experiment to visualize Lemma 1's
+/// congestion-free overlap.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_profiled(graph: &Graph) -> Result<(ApspResult, Vec<u64>), CoreError> {
+    run_phases(graph, true, u32::MAX, true)
+        .map(|(result, profile)| (result, profile.expect("profiling was requested")))
+}
+
+/// Computes **all k-BFS trees** (Definition 7 of the paper): every node
+/// learns its distance to every node within `k` hops, via the Algorithm 1
+/// schedule with waves truncated at depth `k`. `O(n)` rounds.
+///
+/// Entries beyond distance `k` read back as `None`/[`INFINITY`] in the
+/// matrix; [`KbfsResult::neighborhood_sizes`] gives each node's
+/// `|N_k(v)|`, the quantity §8's Theorem 8 reduction asks about (all
+/// `|N_2(v)| = n` iff the diameter is at most 2).
+///
+/// # Errors
+///
+/// Same as [`run`].
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_core::apsp;
+/// use dapsp_graph::generators;
+///
+/// # fn main() -> Result<(), dapsp_core::CoreError> {
+/// let g = generators::path(6);
+/// let r = apsp::run_truncated(&g, 2)?;
+/// assert_eq!(r.result.distances.get(0, 2), Some(2));
+/// assert_eq!(r.result.distances.get(0, 3), None); // beyond depth 2
+/// assert_eq!(r.neighborhood_sizes(), vec![3, 4, 5, 5, 4, 3]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_truncated(graph: &Graph, k: u32) -> Result<KbfsResult, CoreError> {
+    run_phases(graph, true, k, false).map(|(result, _)| KbfsResult { k, result })
+}
+
+/// The outcome of a truncated (k-BFS) run; see [`run_truncated`].
+#[derive(Clone, Debug)]
+pub struct KbfsResult {
+    /// The truncation depth `k`.
+    pub k: u32,
+    /// The partial APSP result: distances beyond `k` are absent, the girth
+    /// candidates only witness cycles of length at most `2k + 1`.
+    pub result: ApspResult,
+}
+
+impl KbfsResult {
+    /// `|N_k(v)|` per node: how many nodes (including `v`) lie within `k`
+    /// hops. Row `v` of the matrix holds `d(v, u)` for exactly those `u`.
+    pub fn neighborhood_sizes(&self) -> Vec<u32> {
+        let n = self.result.distances.num_nodes();
+        (0..n as u32)
+            .map(|v| {
+                self.result
+                    .distances
+                    .row(v)
+                    .iter()
+                    .filter(|&&d| d != INFINITY)
+                    .count() as u32
+            })
+            .collect()
+    }
+
+    /// True iff every node's k-neighborhood is the whole graph — i.e. the
+    /// diameter is at most `k` (the §8 / Theorem 8 predicate).
+    pub fn covers_everything(&self) -> bool {
+        let n = self.result.distances.num_nodes() as u32;
+        self.neighborhood_sizes().iter().all(|&c| c == n)
+    }
+}
+
+/// The Lemma 1 ablation: Algorithm 1 **without** the one-slot wait at
+/// first visits.
+///
+/// The paper's wait is what spaces consecutive BFS starts far enough apart
+/// that waves never contend for an edge. Without it the simulator's
+/// bandwidth discipline detects the collision and the run fails with a
+/// duplicate-send [`CoreError::Sim`] error on any graph where two waves
+/// meet — demonstrating that the wait is load-bearing, not cosmetic.
+///
+/// # Errors
+///
+/// Usually [`CoreError::Sim`] with
+/// [`SimError::DuplicateSend`](dapsp_congest::SimError::DuplicateSend);
+/// same input validation as [`run`].
+pub fn run_without_wait(graph: &Graph) -> Result<ApspResult, CoreError> {
+    run_with_wait(graph, false)
+}
+
+fn run_with_wait(graph: &Graph, wait_one_slot: bool) -> Result<ApspResult, CoreError> {
+    run_phases(graph, wait_one_slot, u32::MAX, false).map(|(result, _)| result)
+}
+
+/// The shared two-phase pipeline behind every Algorithm 1 variant:
+/// phase A builds `T_1`, phase B runs the pebble + (possibly truncated)
+/// waves, optionally recording the per-round activity profile.
+fn run_phases(
+    graph: &Graph,
+    wait_one_slot: bool,
+    max_depth: u32,
+    profile: bool,
+) -> Result<(ApspResult, Option<Vec<u64>>), CoreError> {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    // Phase A: build T_1 (BFS from node 0, the smallest id).
+    let t1 = bfs::run(graph, 0)?;
+    if !t1.reached_all() {
+        return Err(CoreError::Disconnected);
+    }
+    // Phase B: pebble traversal + one BFS wave per node.
+    let mut config = Config::for_n(n);
+    if profile {
+        config = config.with_round_profile();
+    }
+    let report = run_algorithm(graph, config, |ctx| {
+        ApspNode::new(n as u32, ctx.node_id(), &t1.tree, wait_one_slot, max_depth)
+    })?;
+    let round_profile = profile.then(|| report.round_profile.clone());
+    Ok((assemble(graph, t1, report), round_profile))
+}
+
+/// Folds per-node outputs into the host-side result structure.
+fn assemble(
+    graph: &Graph,
+    t1: crate::bfs::BfsResult,
+    report: dapsp_congest::Report<ApspNodeOutput>,
+) -> ApspResult {
+    let n = graph.num_nodes();
+    let mut distances = DistanceMatrix::new(n);
+    let mut next_hop = vec![vec![None; n]; n];
+    let mut girth_candidate = INFINITY;
+    let mut local_girth_candidates = vec![INFINITY; n];
+    for (v, out) in report.outputs.into_iter().enumerate() {
+        distances.set_row(v as u32, &out.dist);
+        for (r, &p) in out.parent.iter().enumerate() {
+            if p != u32::MAX {
+                next_hop[v][r] = Some(graph.neighbors(v as u32)[p as usize]);
+            }
+        }
+        local_girth_candidates[v] = out.girth_candidate;
+        girth_candidate = girth_candidate.min(out.girth_candidate);
+    }
+    let mut stats = t1.stats;
+    stats.absorb_sequential(&report.stats);
+    ApspResult {
+        distances,
+        next_hop,
+        girth_candidate: if girth_candidate == INFINITY {
+            None
+        } else {
+            Some(girth_candidate)
+        },
+        local_girth_candidates,
+        tree: t1.tree,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dapsp_graph::{generators, reference};
+
+    fn check_against_oracle(g: &Graph) -> ApspResult {
+        let result = run(g).unwrap();
+        assert_eq!(result.distances, reference::apsp(g));
+        result
+    }
+
+    #[test]
+    fn matches_oracle_on_zoo() {
+        check_against_oracle(&generators::path(12));
+        check_against_oracle(&generators::cycle(11));
+        check_against_oracle(&generators::star(9));
+        check_against_oracle(&generators::complete(7));
+        check_against_oracle(&generators::grid(4, 5));
+        check_against_oracle(&generators::balanced_tree(3, 3));
+        check_against_oracle(&generators::hypercube(4));
+        check_against_oracle(&generators::lollipop(5, 7));
+        check_against_oracle(&generators::barbell(5, 4));
+        check_against_oracle(&generators::double_broom(20, 7));
+    }
+
+    #[test]
+    fn matches_oracle_on_random_graphs() {
+        for seed in 0..6 {
+            let g = generators::erdos_renyi_connected(30, 0.12, seed);
+            check_against_oracle(&g);
+        }
+    }
+
+    #[test]
+    fn single_node() {
+        let g = Graph::builder(1).build();
+        let r = run(&g).unwrap();
+        assert_eq!(r.distances.get(0, 0), Some(0));
+        assert_eq!(r.girth_candidate, None);
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        let mut b = Graph::builder(4);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(2, 3).unwrap();
+        assert_eq!(run(&b.build()).unwrap_err(), CoreError::Disconnected);
+    }
+
+    #[test]
+    fn theorem1_linear_round_bound() {
+        // rounds <= T1 (ecc+2) + traversal (2(n-1) tree-edge hops + n holds)
+        // + last wave (<= D) + slack. A generous linear cap: 4n + 10.
+        for g in [
+            generators::path(40),
+            generators::cycle(40),
+            generators::erdos_renyi_connected(40, 0.1, 1),
+            generators::star(40),
+        ] {
+            let n = g.num_nodes() as u64;
+            let r = run(&g).unwrap();
+            assert!(
+                r.stats.rounds <= 4 * n + 10,
+                "rounds={} n={n}",
+                r.stats.rounds
+            );
+        }
+    }
+
+    #[test]
+    fn girth_candidates_match_oracle_girth() {
+        for g in [
+            generators::cycle(9),
+            generators::complete(6),
+            generators::grid(3, 4),
+            generators::lollipop(7, 5),
+            generators::hypercube(3),
+        ] {
+            let r = run(&g).unwrap();
+            assert_eq!(r.girth_candidate, reference::girth(&g));
+        }
+        // Trees produce no candidate at all.
+        let r = run(&generators::balanced_tree(2, 4)).unwrap();
+        assert_eq!(r.girth_candidate, None);
+    }
+
+    #[test]
+    fn next_hop_paths_are_shortest() {
+        let g = generators::grid(4, 4);
+        let r = run(&g).unwrap();
+        for u in 0..16u32 {
+            for v in 0..16u32 {
+                let path = r.path(u, v);
+                assert_eq!(path.len() as u32 - 1, r.distances.get(u, v).unwrap());
+                assert_eq!(*path.first().unwrap(), u);
+                assert_eq!(*path.last().unwrap(), v);
+                for w in path.windows(2) {
+                    assert!(g.has_edge(w[0], w[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn message_volume_is_order_n_times_m() {
+        // Each wave crosses each edge at most once per direction, plus the
+        // pebble's 2(n-1) hops and T1 construction.
+        let g = generators::grid(5, 5);
+        let (n, m) = (g.num_nodes() as u64, g.num_edges() as u64);
+        let r = run(&g).unwrap();
+        assert!(r.stats.messages <= 2 * m * n + 2 * (n - 1) + 4 * m);
+    }
+}
+
+#[cfg(test)]
+mod ablation_tests {
+    use super::*;
+    use dapsp_congest::SimError;
+    use dapsp_graph::generators;
+
+    /// The one-slot wait is load-bearing: without it, the forwarded wave of
+    /// an earlier root and the freshly started wave collide on an edge, and
+    /// the simulator's bandwidth discipline catches it.
+    #[test]
+    fn removing_the_wait_violates_lemma_1() {
+        for g in [
+            generators::path(8),
+            generators::cycle(9),
+            generators::grid(3, 3),
+            generators::erdos_renyi_connected(16, 0.2, 4),
+        ] {
+            match run_without_wait(&g) {
+                Err(CoreError::Sim(SimError::DuplicateSend { .. })) => {}
+                other => panic!("expected a duplicate-send violation, got {other:?}"),
+            }
+        }
+    }
+
+    /// Control: with the wait, the same instances run clean.
+    #[test]
+    fn with_the_wait_the_same_instances_run_clean() {
+        for g in [
+            generators::path(8),
+            generators::cycle(9),
+            generators::grid(3, 3),
+            generators::erdos_renyi_connected(16, 0.2, 4),
+        ] {
+            assert!(run(&g).is_ok());
+        }
+    }
+}
+
+#[cfg(test)]
+mod kbfs_tests {
+    use super::*;
+    use dapsp_graph::{generators, lowerbound, reference};
+
+    #[test]
+    fn truncated_distances_match_oracle_within_k() {
+        for g in [
+            generators::grid(4, 4),
+            generators::cycle(11),
+            generators::erdos_renyi_connected(24, 0.12, 5),
+        ] {
+            let oracle = reference::apsp(&g);
+            for k in [0u32, 1, 2, 3] {
+                let r = run_truncated(&g, k).unwrap();
+                for u in 0..g.num_nodes() as u32 {
+                    for v in 0..g.num_nodes() as u32 {
+                        let want = oracle.get(u, v).filter(|&d| d <= k);
+                        assert_eq!(r.result.distances.get(u, v), want, "k={k} u={u} v={v}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighborhood_census_matches_oracle() {
+        let g = generators::barabasi_albert(30, 2, 4);
+        let oracle = reference::apsp(&g);
+        let r = run_truncated(&g, 2).unwrap();
+        let counts = r.neighborhood_sizes();
+        for v in 0..30u32 {
+            let want = (0..30u32)
+                .filter(|&u| oracle.get(v, u).is_some_and(|d| d <= 2))
+                .count() as u32;
+            assert_eq!(counts[v as usize], want, "v={v}");
+        }
+    }
+
+    /// The Theorem 8 / §8 reduction: all |N_2(v)| = n iff diameter <= 2,
+    /// exercised on the hard family whose dichotomy encodes disjointness.
+    #[test]
+    fn theorem8_predicate_decides_the_hard_family() {
+        for intersecting in [false, true] {
+            let (a, b) = lowerbound::canonical_inputs(10, intersecting);
+            let inst = lowerbound::girth3_two_bfs_hard(10, &a, &b);
+            let r = run_truncated(&inst.graph, 2).unwrap();
+            assert_eq!(
+                r.covers_everything(),
+                inst.expected_diameter <= 2,
+                "intersecting={intersecting}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_saves_rounds_when_k_is_small() {
+        // The schedule (pebble traversal) dominates the rounds either way,
+        // but truncation never costs extra and the message volume
+        // collapses: each wave wets <= 2 hops of edges instead of D.
+        let g = generators::path(80);
+        let full = run(&g).unwrap();
+        let trunc = run_truncated(&g, 2).unwrap();
+        assert!(trunc.result.stats.rounds <= full.stats.rounds);
+        assert!(trunc.result.stats.messages * 4 < full.stats.messages);
+    }
+
+    #[test]
+    fn k_zero_knows_only_itself() {
+        let g = generators::complete(5);
+        let r = run_truncated(&g, 0).unwrap();
+        assert_eq!(r.neighborhood_sizes(), vec![1; 5]);
+        assert!(!r.covers_everything());
+    }
+}

@@ -1,0 +1,367 @@
+//! Distributed breadth-first search — the building block of everything else.
+//!
+//! One BFS from a root builds the paper's tree `T_v` (Definition 8) in
+//! `O(ecc(v))` rounds: the wave expands one hop per round, every node adopts
+//! the lowest-index port that delivered the wave first as its parent, and
+//! reports back so parents learn their children. Nodes also count how often
+//! the wave reached them; a count above one at any node witnesses a cycle,
+//! which is exactly the paper's Claim 1 tree test.
+
+use dapsp_congest::{
+    bits_for_count, Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port,
+};
+use dapsp_graph::{Graph, INFINITY};
+
+use crate::error::CoreError;
+use crate::runner::run_algorithm;
+use crate::tree::TreeKnowledge;
+
+/// Messages of the single-root BFS.
+#[derive(Clone, Debug)]
+pub(crate) enum BfsMsg {
+    /// "You are at distance `dist` from the root (if you adopt me)."
+    Wave {
+        /// The distance the receiver would be at.
+        dist: u32,
+    },
+    /// "I adopted you as my parent."
+    Adopt,
+}
+
+impl Message for BfsMsg {
+    fn bit_size(&self) -> u32 {
+        match self {
+            BfsMsg::Wave { dist } => 1 + bits_for_count(*dist as usize),
+            BfsMsg::Adopt => 1,
+        }
+    }
+}
+
+/// Per-node state of the BFS.
+pub(crate) struct BfsNode {
+    root: u32,
+    dist: Option<u32>,
+    parent_port: Option<Port>,
+    children_ports: Vec<Port>,
+    wave_receipts: u32,
+}
+
+impl BfsNode {
+    pub(crate) fn new(root: u32) -> Self {
+        BfsNode {
+            root,
+            dist: None,
+            parent_port: None,
+            children_ports: Vec::new(),
+            wave_receipts: 0,
+        }
+    }
+}
+
+/// What each node knows when the BFS quiesces.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BfsNodeOutput {
+    /// Distance to the root (`None` if never reached — disconnected graph).
+    pub dist: Option<u32>,
+    /// The port toward the parent in the BFS tree (`None` at the root and
+    /// at unreached nodes).
+    pub parent_port: Option<Port>,
+    /// The ports toward this node's children in the BFS tree.
+    pub children_ports: Vec<Port>,
+    /// How many times the wave reached this node. A value `> 1` anywhere
+    /// proves the graph is not a tree (Claim 1).
+    pub wave_receipts: u32,
+}
+
+impl NodeAlgorithm for BfsNode {
+    type Message = BfsMsg;
+    type Output = BfsNodeOutput;
+
+    fn on_start(&mut self, ctx: &NodeContext<'_>, out: &mut Outbox<BfsMsg>) {
+        if ctx.node_id() == self.root {
+            self.dist = Some(0);
+            out.send_to_all(0..ctx.degree() as Port, BfsMsg::Wave { dist: 1 });
+        }
+    }
+
+    fn on_round(&mut self, ctx: &NodeContext<'_>, inbox: &Inbox<BfsMsg>, out: &mut Outbox<BfsMsg>) {
+        let mut wave_ports: Vec<(Port, u32)> = Vec::new();
+        for (port, msg) in inbox.iter() {
+            match msg {
+                BfsMsg::Wave { dist } => {
+                    self.wave_receipts += 1;
+                    wave_ports.push((port, *dist));
+                }
+                BfsMsg::Adopt => self.children_ports.push(port),
+            }
+        }
+        if self.dist.is_none() {
+            if let Some(&(first_port, dist)) = wave_ports.first() {
+                // Adopt the lowest port (all simultaneous arrivals carry
+                // the same distance in a single-root BFS) and forward the
+                // wave immediately, per Claim 1: to every neighbor that
+                // did not deliver it this round.
+                self.dist = Some(dist);
+                self.parent_port = Some(first_port);
+                let received: Vec<Port> = wave_ports.iter().map(|(p, _)| *p).collect();
+                for p in 0..ctx.degree() as Port {
+                    if !received.contains(&p) {
+                        out.send(p, BfsMsg::Wave { dist: dist + 1 });
+                    }
+                }
+                out.send(first_port, BfsMsg::Adopt);
+            }
+        }
+    }
+
+    fn into_output(self, _ctx: &NodeContext<'_>) -> BfsNodeOutput {
+        BfsNodeOutput {
+            dist: self.dist,
+            parent_port: self.parent_port,
+            children_ports: self.children_ports,
+            wave_receipts: self.wave_receipts,
+        }
+    }
+}
+
+/// The result of one distributed BFS.
+#[derive(Clone, Debug)]
+pub struct BfsResult {
+    /// The root the search started from.
+    pub root: u32,
+    /// Hop distance from the root per node
+    /// ([`INFINITY`] if unreached).
+    pub dist: Vec<u32>,
+    /// The tree structure (parents/children as node-local ports).
+    pub tree: TreeKnowledge,
+    /// True if some node received the wave more than once — by Claim 1 of
+    /// the paper, this holds iff the graph is not a tree.
+    pub cycle_detected: bool,
+    /// Per-node wave receipt counts (the node-local Claim 1 evidence).
+    pub receipts: Vec<u32>,
+    /// Round/message statistics of the run.
+    pub stats: dapsp_congest::RunStats,
+}
+
+impl BfsResult {
+    /// The eccentricity of the root (max distance), or `None` if some node
+    /// was unreached.
+    pub fn root_eccentricity(&self) -> Option<u32> {
+        let max = self.dist.iter().copied().max().unwrap_or(0);
+        if max == INFINITY {
+            None
+        } else {
+            Some(max)
+        }
+    }
+
+    /// True if the BFS reached every node.
+    pub fn reached_all(&self) -> bool {
+        self.dist.iter().all(|&d| d != INFINITY)
+    }
+}
+
+/// Runs a distributed BFS from `root` and returns distances, the BFS tree
+/// `T_root`, and the Claim 1 cycle flag.
+///
+/// Takes `O(ecc(root))` rounds.
+///
+/// # Errors
+///
+/// * [`CoreError::EmptyGraph`] if the graph has no nodes.
+/// * [`CoreError::InvalidNode`] if `root >= n`.
+/// * [`CoreError::Sim`] on simulator-level failures.
+///
+/// Note that a disconnected graph is *not* an error here: unreached nodes
+/// simply keep infinite distance (check [`BfsResult::reached_all`]).
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_core::bfs;
+/// use dapsp_graph::generators;
+///
+/// # fn main() -> Result<(), dapsp_core::CoreError> {
+/// let g = generators::path(5);
+/// let r = bfs::run(&g, 0)?;
+/// assert_eq!(r.dist, vec![0, 1, 2, 3, 4]);
+/// assert_eq!(r.root_eccentricity(), Some(4));
+/// assert!(!r.cycle_detected);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run(graph: &Graph, root: u32) -> Result<BfsResult, CoreError> {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    if root as usize >= n {
+        return Err(CoreError::InvalidNode {
+            node: root,
+            num_nodes: n,
+        });
+    }
+    let report = run_algorithm(graph, Config::for_n(n), |_| BfsNode::new(root))?;
+    let mut dist = vec![INFINITY; n];
+    let mut parent_port = vec![None; n];
+    let mut children_ports = vec![Vec::new(); n];
+    let mut receipts = vec![0; n];
+    let mut cycle_detected = false;
+    for (v, out) in report.outputs.iter().enumerate() {
+        if let Some(d) = out.dist {
+            dist[v] = d;
+        }
+        parent_port[v] = out.parent_port;
+        children_ports[v] = out.children_ports.clone();
+        receipts[v] = out.wave_receipts;
+        if out.wave_receipts > 1 {
+            cycle_detected = true;
+        }
+    }
+    Ok(BfsResult {
+        root,
+        dist,
+        tree: TreeKnowledge {
+            root,
+            parent_port,
+            children_ports,
+        },
+        cycle_detected,
+        receipts,
+        stats: report.stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dapsp_graph::{generators, reference};
+
+    #[test]
+    fn distances_match_oracle_on_zoo() {
+        let zoo: Vec<Graph> = vec![
+            generators::path(9),
+            generators::cycle(8),
+            generators::star(7),
+            generators::grid(3, 4),
+            generators::complete(6),
+            generators::balanced_tree(2, 3),
+            generators::erdos_renyi_connected(24, 0.15, 3),
+        ];
+        for g in &zoo {
+            for root in [0u32, (g.num_nodes() / 2) as u32] {
+                let r = run(g, root).unwrap();
+                assert_eq!(r.dist, reference::bfs(g, root));
+            }
+        }
+    }
+
+    #[test]
+    fn runs_in_eccentricity_plus_constant_rounds() {
+        let g = generators::path(20);
+        let r = run(&g, 0).unwrap();
+        // Wave reaches depth 19 in 19 rounds; adopt takes one more; the
+        // final quiescence check adds at most one.
+        assert!(r.stats.rounds <= 19 + 3, "rounds={}", r.stats.rounds);
+    }
+
+    #[test]
+    fn tree_structure_is_consistent() {
+        let g = generators::grid(4, 4);
+        let r = run(&g, 5).unwrap();
+        let parents = r.tree.parent_ids(&g);
+        // Exactly the root has no parent; every parent is one hop closer.
+        for v in 0..16u32 {
+            if v == 5 {
+                assert_eq!(parents[v as usize], None);
+            } else {
+                let p = parents[v as usize].unwrap();
+                assert_eq!(r.dist[p as usize] + 1, r.dist[v as usize]);
+                assert!(g.has_edge(v, p));
+            }
+        }
+        // Children lists mirror parents.
+        let children = r.tree.children_ids(&g);
+        for v in 0..16u32 {
+            for &c in &children[v as usize] {
+                assert_eq!(parents[c as usize], Some(v));
+            }
+        }
+    }
+
+    #[test]
+    fn claim1_tree_check() {
+        assert!(!run(&generators::balanced_tree(3, 3), 0).unwrap().cycle_detected);
+        assert!(!run(&generators::path(6), 3).unwrap().cycle_detected);
+        assert!(run(&generators::cycle(6), 0).unwrap().cycle_detected);
+        assert!(run(&generators::complete(4), 0).unwrap().cycle_detected);
+        assert!(run(&generators::lollipop(5, 6), 8).unwrap().cycle_detected);
+    }
+
+    #[test]
+    fn disconnected_graph_leaves_infinities() {
+        let mut b = Graph::builder(4);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(2, 3).unwrap();
+        let g = b.build();
+        let r = run(&g, 0).unwrap();
+        assert!(!r.reached_all());
+        assert_eq!(r.root_eccentricity(), None);
+        assert_eq!(r.dist[2], INFINITY);
+    }
+
+    #[test]
+    fn invalid_root_is_rejected() {
+        let g = generators::path(3);
+        assert!(matches!(
+            run(&g, 9).unwrap_err(),
+            CoreError::InvalidNode { node: 9, .. }
+        ));
+    }
+
+    #[test]
+    fn parent_is_lowest_port_among_first_arrivals() {
+        // In a 4-cycle 0-1-2-3, node 2 hears the wave from both 1 and 3 in
+        // the same round; it must adopt the lower port (neighbor 1).
+        let g = generators::cycle(4);
+        let r = run(&g, 0).unwrap();
+        let parents = r.tree.parent_ids(&g);
+        assert_eq!(parents[2], Some(1));
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use dapsp_congest::Config;
+    use dapsp_graph::generators;
+
+    /// The model assumes reliable links; under injected loss the BFS wave
+    /// dies and the shortfall is *detectable* (unreached nodes), not
+    /// silent.
+    #[test]
+    fn message_loss_is_detectable() {
+        let g = generators::path(12);
+        let topo = g.to_topology();
+        let cfg = Config::for_n(12).with_loss(1.0, 3);
+        let sim = dapsp_congest::Simulator::new(&topo, cfg, |_| BfsNode::new(0));
+        let report = sim.run().unwrap();
+        // The root knows itself; every downstream message was dropped.
+        let reached = report.outputs.iter().filter(|o| o.dist.is_some()).count();
+        assert_eq!(reached, 1);
+        assert!(report.stats.dropped > 0);
+    }
+
+    /// Mild loss on a well-connected graph may still reach everyone via
+    /// redundant paths — but distances can then be wrong; the receipts and
+    /// stats expose that the run was lossy.
+    #[test]
+    fn lossy_runs_are_flagged_by_stats() {
+        let g = generators::complete(10);
+        let topo = g.to_topology();
+        let cfg = Config::for_n(10).with_loss(0.3, 5);
+        let sim = dapsp_congest::Simulator::new(&topo, cfg, |_| BfsNode::new(0));
+        let report = sim.run().unwrap();
+        assert!(report.stats.dropped > 0, "loss must be visible in stats");
+    }
+}

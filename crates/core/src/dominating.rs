@@ -1,0 +1,416 @@
+//! Distributed k-dominating set construction (the paper's Lemma 10).
+//!
+//! The paper uses Kutten & Peleg's `Diam_DOM` as a black box with two
+//! guarantees: the set has size at most `max{1, ⌊n/(k+1)⌋}` and costs
+//! `O(D + k)` rounds. This module provides the same interface via the
+//! classical bottom-up tree rule on the BFS tree `T_1` (see DESIGN.md for
+//! the substitution note):
+//!
+//! Every node convergecasts a pair `(need, cover)` — the furthest
+//! not-yet-dominated node in its subtree and the nearest chosen dominator
+//! in its subtree. A node whose `need` reaches `k` joins the set (its whole
+//! pending chain of `k+1` nodes is then covered), and the root joins if
+//! anything is left pending. One convergecast = `O(depth(T_1)) = O(D)`
+//! rounds; a final sum-aggregation tells every node `|DOM|`, which the
+//! S-SP round budget needs.
+//!
+//! Every dominator placed below the root absorbs a private chain of `k+1`
+//! nodes, which yields the Kutten–Peleg size bound.
+
+use dapsp_congest::{
+    bits_for_count, Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port, RunStats,
+};
+use dapsp_graph::Graph;
+
+use crate::aggregate::{self, AggOp};
+use crate::error::CoreError;
+use crate::runner::run_algorithm;
+use crate::tree::TreeKnowledge;
+
+/// Convergecast payload: the subtree summary `(need + 1, cover)`, both in
+/// `0..=k+1`.
+#[derive(Clone, Debug)]
+struct DomMsg {
+    /// `need + 1` where `need` is the max distance to a pending node
+    /// (`0` encodes "nothing pending").
+    need_plus_one: u32,
+    /// Min distance to a chosen dominator, capped at `k + 1` (= "too far").
+    cover: u32,
+}
+
+impl Message for DomMsg {
+    fn bit_size(&self) -> u32 {
+        bits_for_count(self.need_plus_one as usize) + bits_for_count(self.cover as usize)
+    }
+}
+
+struct DomNode {
+    k: u32,
+    parent_port: Option<Port>,
+    missing_children: usize,
+    /// Accumulated over children: max pending depth (+1 encoding), min
+    /// dominator distance.
+    acc_need_plus_one: u32,
+    acc_cover: u32,
+    is_dominator: bool,
+    done: bool,
+}
+
+impl DomNode {
+    /// Combines children summaries with this node itself and applies the
+    /// join rule; returns the summary to report upward.
+    fn resolve(&mut self, is_root: bool) -> DomMsg {
+        let k = self.k;
+        // Children's pending nodes are one hop further from us; same for
+        // their dominators.
+        let mut need_plus_one = if self.acc_need_plus_one == 0 {
+            0
+        } else {
+            self.acc_need_plus_one + 1
+        };
+        let mut cover = (self.acc_cover + 1).min(k + 1);
+        // This node itself: pending unless a subtree dominator covers it.
+        if cover > k {
+            need_plus_one = need_plus_one.max(1);
+        }
+        // Cross-subtree coverage: if the furthest pending node can reach
+        // the nearest dominator within k, everything pending is covered.
+        if need_plus_one > 0 && need_plus_one - 1 + cover <= k {
+            need_plus_one = 0;
+        }
+        // Join rule: a pending chain of depth k must be absorbed now —
+        // waiting one more level would strand its deepest node.
+        if need_plus_one == k + 1 || (is_root && need_plus_one > 0) {
+            self.is_dominator = true;
+            need_plus_one = 0;
+            cover = 0;
+        }
+        DomMsg {
+            need_plus_one,
+            cover,
+        }
+    }
+
+    fn absorb(&mut self, msg: &DomMsg) {
+        self.acc_need_plus_one = self.acc_need_plus_one.max(msg.need_plus_one);
+        self.acc_cover = self.acc_cover.min(msg.cover);
+        self.missing_children -= 1;
+    }
+}
+
+impl NodeAlgorithm for DomNode {
+    type Message = DomMsg;
+    type Output = bool;
+
+    fn on_start(&mut self, _ctx: &NodeContext<'_>, out: &mut Outbox<DomMsg>) {
+        if self.missing_children == 0 {
+            let is_root = self.parent_port.is_none();
+            let summary = self.resolve(is_root);
+            self.done = true;
+            if let Some(p) = self.parent_port {
+                out.send(p, summary);
+            }
+        }
+    }
+
+    fn on_round(&mut self, _ctx: &NodeContext<'_>, inbox: &Inbox<DomMsg>, out: &mut Outbox<DomMsg>) {
+        for (_port, msg) in inbox.iter() {
+            self.absorb(msg);
+        }
+        if !self.done && self.missing_children == 0 {
+            let is_root = self.parent_port.is_none();
+            let summary = self.resolve(is_root);
+            self.done = true;
+            if let Some(p) = self.parent_port {
+                out.send(p, summary);
+            }
+        }
+    }
+
+    fn into_output(self, _ctx: &NodeContext<'_>) -> bool {
+        self.is_dominator
+    }
+}
+
+/// The constructed k-dominating set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DominatingResult {
+    /// `members[v]` is true iff `v` was chosen.
+    pub members: Vec<bool>,
+    /// `|DOM|`, known to every node (needed by the S-SP round budget).
+    pub size: u64,
+    /// The parameter `k` used.
+    pub k: u32,
+    /// Round/message statistics (convergecast + size aggregation).
+    pub stats: RunStats,
+}
+
+impl DominatingResult {
+    /// The chosen node ids, ascending.
+    pub fn member_ids(&self) -> Vec<u32> {
+        self.members
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(v, _)| v as u32)
+            .collect()
+    }
+}
+
+/// Builds a k-dominating set of size at most `max{1, ⌊n/(k+1)⌋}` over the
+/// spanning tree `tree` in `O(D)` rounds, then sum-aggregates its size so
+/// every node knows `|DOM|`.
+///
+/// # Errors
+///
+/// * [`CoreError::EmptyGraph`] on an empty graph.
+/// * [`CoreError::InvalidParameter`] if `tree` does not span the graph.
+/// * [`CoreError::Sim`] on simulator failures.
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_core::{bfs, dominating};
+/// use dapsp_graph::{generators, reference};
+///
+/// # fn main() -> Result<(), dapsp_core::CoreError> {
+/// let g = generators::path(12);
+/// let t1 = bfs::run(&g, 0)?;
+/// let dom = dominating::run(&g, &t1.tree, 2)?;
+/// assert!(reference::is_k_dominating_set(&g, &dom.member_ids(), 2));
+/// assert!(dom.size <= 12 / 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run(graph: &Graph, tree: &TreeKnowledge, k: u32) -> Result<DominatingResult, CoreError> {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    if !tree.spans_all() {
+        return Err(CoreError::InvalidParameter(
+            "dominating-set tree does not span the graph".into(),
+        ));
+    }
+    let report = run_algorithm(graph, Config::for_n(n), |ctx| {
+        let v = ctx.node_id() as usize;
+        DomNode {
+            k,
+            parent_port: tree.parent_port[v],
+            missing_children: tree.children_ports[v].len(),
+            acc_need_plus_one: 0,
+            acc_cover: k + 1,
+            is_dominator: false,
+            done: false,
+        }
+    })?;
+    let members = report.outputs;
+    let flags: Vec<u64> = members.iter().map(|&m| u64::from(m)).collect();
+    let sum = aggregate::run(graph, tree, &flags, AggOp::Sum)?;
+    let mut stats = report.stats;
+    stats.absorb_sequential(&sum.stats);
+    Ok(DominatingResult {
+        members,
+        size: sum.value,
+        k,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs;
+    use dapsp_graph::{generators, reference};
+
+    fn check(g: &Graph, k: u32) -> DominatingResult {
+        let t1 = bfs::run(g, 0).unwrap();
+        let dom = run(g, &t1.tree, k).unwrap();
+        let ids = dom.member_ids();
+        assert!(
+            reference::is_k_dominating_set(g, &ids, k),
+            "not {k}-dominating: {ids:?}"
+        );
+        assert_eq!(dom.size as usize, ids.len());
+        let n = g.num_nodes() as u64;
+        let bound = 1u64.max(n / (u64::from(k) + 1));
+        assert!(
+            dom.size <= bound,
+            "size {} exceeds Kutten–Peleg bound {bound} (n={n}, k={k})",
+            dom.size
+        );
+        dom
+    }
+
+    #[test]
+    fn covers_and_respects_size_bound_on_zoo() {
+        for k in [0u32, 1, 2, 3, 5] {
+            check(&generators::path(17), k);
+            check(&generators::cycle(12), k);
+            check(&generators::star(9), k);
+            check(&generators::grid(4, 5), k);
+            check(&generators::balanced_tree(2, 4), k);
+            check(&generators::complete(6), k);
+            check(&generators::double_broom(20, 9), k);
+        }
+    }
+
+    #[test]
+    fn covers_random_graphs_and_trees() {
+        for seed in 0..6 {
+            check(&generators::random_tree(30, seed), 2);
+            check(&generators::erdos_renyi_connected(28, 0.1, seed), 3);
+        }
+    }
+
+    #[test]
+    fn k_zero_selects_everyone() {
+        let g = generators::path(5);
+        let t1 = bfs::run(&g, 0).unwrap();
+        let dom = run(&g, &t1.tree, 0).unwrap();
+        assert_eq!(dom.size, 5);
+    }
+
+    #[test]
+    fn huge_k_selects_single_node() {
+        let g = generators::grid(3, 3);
+        let t1 = bfs::run(&g, 0).unwrap();
+        let dom = run(&g, &t1.tree, 100).unwrap();
+        assert_eq!(dom.size, 1);
+    }
+
+    #[test]
+    fn rounds_are_linear_in_depth() {
+        let g = generators::path(40);
+        let t1 = bfs::run(&g, 0).unwrap();
+        let dom = run(&g, &t1.tree, 3).unwrap();
+        // Convergecast is one sweep (≤ depth+2), the size aggregation two.
+        assert!(dom.stats.rounds <= 3 * 40 + 10, "rounds={}", dom.stats.rounds);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = Graph::builder(1).build();
+        let t1 = bfs::run(&g, 0).unwrap();
+        let dom = run(&g, &t1.tree, 4).unwrap();
+        assert_eq!(dom.member_ids(), vec![0]);
+    }
+
+    use dapsp_graph::Graph;
+}
+
+/// Definition 9's partition `P`: every node assigned to one dominator at
+/// distance at most `k`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionResult {
+    /// The underlying dominating set.
+    pub dominating: DominatingResult,
+    /// `dominator_of[v]` — the dominator `v` belongs to (its nearest one,
+    /// smallest id on ties).
+    pub dominator_of: Vec<u32>,
+    /// `distance_to_dominator[v] <= k`.
+    pub distance_to_dominator: Vec<u32>,
+    /// Statistics across the construction, the DOM-SP, and the assignment.
+    pub stats: dapsp_congest::RunStats,
+}
+
+/// Builds a k-dominating set and the partition of Definition 9 on top of
+/// it: a DOM-SP run (Algorithm 2) gives every node its distances to all
+/// dominators, and each node joins its nearest one. `O(n/(k+1) + D)`
+/// rounds — the same cost the paper's Lemma 10 charges for `DOM` plus `P`.
+///
+/// # Errors
+///
+/// Same as [`run`], plus S-SP failures.
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_core::{bfs, dominating};
+/// use dapsp_graph::generators;
+///
+/// # fn main() -> Result<(), dapsp_core::CoreError> {
+/// let g = generators::path(12);
+/// let t1 = bfs::run(&g, 0)?;
+/// let p = dominating::partition(&g, &t1.tree, 2)?;
+/// for v in 0..12 {
+///     assert!(p.distance_to_dominator[v] <= 2);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub fn partition(
+    graph: &Graph,
+    tree: &TreeKnowledge,
+    k: u32,
+) -> Result<PartitionResult, CoreError> {
+    let dominating = run(graph, tree, k)?;
+    let sources = dominating.member_ids();
+    let sp = crate::ssp::run(graph, &sources)?;
+    let n = graph.num_nodes();
+    let mut dominator_of = Vec::with_capacity(n);
+    let mut distance_to_dominator = Vec::with_capacity(n);
+    for v in 0..n {
+        let (idx, &d) = sp.dist[v]
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &d)| (d, sources[i]))
+            .expect("dominating set is nonempty");
+        dominator_of.push(sources[idx]);
+        distance_to_dominator.push(d);
+    }
+    let mut stats = dominating.stats;
+    stats.absorb_sequential(&sp.stats);
+    Ok(PartitionResult {
+        dominating,
+        dominator_of,
+        distance_to_dominator,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod partition_tests {
+    use super::*;
+    use crate::bfs;
+    use dapsp_graph::{generators, reference};
+
+    #[test]
+    fn every_node_is_within_k_of_its_dominator() {
+        for (g, k) in [
+            (generators::path(20), 2u32),
+            (generators::grid(4, 5), 1),
+            (generators::erdos_renyi_connected(24, 0.12, 6), 3),
+            (generators::cycle(15), 0),
+        ] {
+            let t1 = bfs::run(&g, 0).unwrap();
+            let p = partition(&g, &t1.tree, k).unwrap();
+            let oracle = reference::apsp(&g);
+            for v in 0..g.num_nodes() as u32 {
+                let dom = p.dominator_of[v as usize];
+                assert!(p.dominating.members[dom as usize], "assigned to a dominator");
+                assert_eq!(
+                    Some(p.distance_to_dominator[v as usize]),
+                    oracle.get(v, dom),
+                    "distance is exact"
+                );
+                assert!(p.distance_to_dominator[v as usize] <= k, "within k");
+                // Nearest: no dominator is strictly closer.
+                for u in p.dominating.member_ids() {
+                    assert!(oracle.get(v, u).unwrap() >= p.distance_to_dominator[v as usize]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dominators_own_themselves() {
+        let g = generators::grid(4, 4);
+        let t1 = bfs::run(&g, 0).unwrap();
+        let p = partition(&g, &t1.tree, 2).unwrap();
+        for d in p.dominating.member_ids() {
+            assert_eq!(p.dominator_of[d as usize], d);
+            assert_eq!(p.distance_to_dominator[d as usize], 0);
+        }
+    }
+}

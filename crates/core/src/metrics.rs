@@ -1,0 +1,312 @@
+//! Exact graph metrics from APSP (Lemmas 2–6 of the paper), all `O(n)`
+//! rounds: eccentricities, diameter, radius, center, peripheral vertices.
+//!
+//! Each function runs Algorithm 1 once and then performs the paper's `O(D)`
+//! aggregation over `T_1` distributedly, so the reported round counts are
+//! the true end-to-end CONGEST costs. If you need several metrics at once,
+//! compute APSP once with [`apsp::run`] and derive the
+//! rest from [`from_apsp`].
+
+use dapsp_congest::RunStats;
+use dapsp_graph::Graph;
+
+use crate::aggregate::{self, AggOp};
+use crate::apsp::{self, ApspResult};
+use crate::error::CoreError;
+
+/// Per-node eccentricities (Lemma 2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EccentricityResult {
+    /// `eccentricities[v]` = `ecc(v)`; per Definition 6, node `v` knows its
+    /// own entry.
+    pub eccentricities: Vec<u32>,
+    /// Round/message statistics.
+    pub stats: RunStats,
+}
+
+/// A single graph-wide value (diameter or radius) known to every node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScalarResult {
+    /// The computed value.
+    pub value: u32,
+    /// Round/message statistics.
+    pub stats: RunStats,
+}
+
+/// A vertex subset defined by an eccentricity threshold (center or
+/// peripheral vertices); per Definition 6, each node knows whether it
+/// belongs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MembershipResult {
+    /// `members[v]` is true iff `v` belongs to the set.
+    pub members: Vec<bool>,
+    /// The threshold used (radius for the center, diameter for peripheral
+    /// vertices).
+    pub threshold: u32,
+    /// Round/message statistics.
+    pub stats: RunStats,
+}
+
+impl MembershipResult {
+    /// The member node ids, ascending.
+    pub fn member_ids(&self) -> Vec<u32> {
+        self.members
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(v, _)| v as u32)
+            .collect()
+    }
+}
+
+/// What each metric needs from a finished APSP run: the local
+/// eccentricities (free local computation, Lemma 2).
+fn local_eccentricities(apsp: &ApspResult) -> Vec<u32> {
+    let n = apsp.distances.num_nodes();
+    (0..n as u32)
+        .map(|v| {
+            apsp.distances
+                .eccentricity(v)
+                .expect("APSP result of a connected graph is finite")
+        })
+        .collect()
+}
+
+/// Computes every node's eccentricity (Lemma 2): APSP + free local maxima.
+///
+/// # Errors
+///
+/// Propagates [`apsp::run`]'s errors (empty/disconnected graph, simulation
+/// failures).
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_core::metrics;
+/// use dapsp_graph::generators;
+///
+/// # fn main() -> Result<(), dapsp_core::CoreError> {
+/// let g = generators::path(5);
+/// assert_eq!(metrics::eccentricities(&g)?.eccentricities, vec![4, 3, 2, 3, 4]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn eccentricities(graph: &Graph) -> Result<EccentricityResult, CoreError> {
+    let result = apsp::run(graph)?;
+    Ok(EccentricityResult {
+        eccentricities: local_eccentricities(&result),
+        stats: result.stats,
+    })
+}
+
+/// Derives all five Lemma 2–6 metrics from one APSP run, performing the
+/// required `O(D)` aggregations over `T_1` distributedly.
+#[derive(Clone, Debug)]
+pub struct MetricsBundle {
+    /// Per-node eccentricities.
+    pub eccentricities: Vec<u32>,
+    /// The diameter.
+    pub diameter: u32,
+    /// The radius.
+    pub radius: u32,
+    /// Center membership per node.
+    pub center: Vec<bool>,
+    /// Peripheral-vertex membership per node.
+    pub peripheral: Vec<bool>,
+    /// Statistics including the APSP run and both aggregations.
+    pub stats: RunStats,
+}
+
+/// Computes the full metric bundle from an existing APSP result.
+///
+/// # Errors
+///
+/// Propagates aggregation failures.
+pub fn from_apsp(graph: &Graph, apsp: &ApspResult) -> Result<MetricsBundle, CoreError> {
+    let ecc = local_eccentricities(apsp);
+    let values: Vec<u64> = ecc.iter().map(|&e| u64::from(e)).collect();
+    let max = aggregate::run(graph, &apsp.tree, &values, AggOp::Max)?;
+    let min = aggregate::run(graph, &apsp.tree, &values, AggOp::Min)?;
+    let diameter = max.value as u32;
+    let radius = min.value as u32;
+    let center = ecc.iter().map(|&e| e == radius).collect();
+    let peripheral = ecc.iter().map(|&e| e == diameter).collect();
+    let mut stats = apsp.stats;
+    stats.absorb_sequential(&max.stats);
+    stats.absorb_sequential(&min.stats);
+    Ok(MetricsBundle {
+        eccentricities: ecc,
+        diameter,
+        radius,
+        center,
+        peripheral,
+        stats,
+    })
+}
+
+/// Computes the diameter in `O(n)` rounds (Lemma 3): APSP + max-aggregation
+/// over `T_1`.
+///
+/// # Errors
+///
+/// Propagates [`apsp::run`] and aggregation errors.
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_core::metrics;
+/// use dapsp_graph::generators;
+///
+/// # fn main() -> Result<(), dapsp_core::CoreError> {
+/// assert_eq!(metrics::diameter(&generators::cycle(12))?.value, 6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn diameter(graph: &Graph) -> Result<ScalarResult, CoreError> {
+    let result = apsp::run(graph)?;
+    let ecc = local_eccentricities(&result);
+    let values: Vec<u64> = ecc.iter().map(|&e| u64::from(e)).collect();
+    let agg = aggregate::run(graph, &result.tree, &values, AggOp::Max)?;
+    let mut stats = result.stats;
+    stats.absorb_sequential(&agg.stats);
+    Ok(ScalarResult {
+        value: agg.value as u32,
+        stats,
+    })
+}
+
+/// Computes the radius in `O(n)` rounds (Lemma 4): APSP +
+/// min-aggregation over `T_1`.
+///
+/// # Errors
+///
+/// Propagates [`apsp::run`] and aggregation errors.
+pub fn radius(graph: &Graph) -> Result<ScalarResult, CoreError> {
+    let result = apsp::run(graph)?;
+    let ecc = local_eccentricities(&result);
+    let values: Vec<u64> = ecc.iter().map(|&e| u64::from(e)).collect();
+    let agg = aggregate::run(graph, &result.tree, &values, AggOp::Min)?;
+    let mut stats = result.stats;
+    stats.absorb_sequential(&agg.stats);
+    Ok(ScalarResult {
+        value: agg.value as u32,
+        stats,
+    })
+}
+
+/// Computes the center in `O(n)` rounds (Lemma 5): each node compares its
+/// eccentricity to the broadcast radius.
+///
+/// # Errors
+///
+/// Propagates [`apsp::run`] and aggregation errors.
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_core::metrics;
+/// use dapsp_graph::generators;
+///
+/// # fn main() -> Result<(), dapsp_core::CoreError> {
+/// let c = metrics::center(&generators::path(7))?;
+/// assert_eq!(c.member_ids(), vec![3]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn center(graph: &Graph) -> Result<MembershipResult, CoreError> {
+    let result = apsp::run(graph)?;
+    let bundle = from_apsp(graph, &result)?;
+    Ok(MembershipResult {
+        members: bundle.center,
+        threshold: bundle.radius,
+        stats: bundle.stats,
+    })
+}
+
+/// Computes the peripheral vertices in `O(n)` rounds (Lemma 6): each node
+/// compares its eccentricity to the broadcast diameter.
+///
+/// # Errors
+///
+/// Propagates [`apsp::run`] and aggregation errors.
+pub fn peripheral_vertices(graph: &Graph) -> Result<MembershipResult, CoreError> {
+    let result = apsp::run(graph)?;
+    let bundle = from_apsp(graph, &result)?;
+    Ok(MembershipResult {
+        members: bundle.peripheral,
+        threshold: bundle.diameter,
+        stats: bundle.stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dapsp_graph::{generators, reference};
+
+    fn zoo() -> Vec<Graph> {
+        vec![
+            generators::path(10),
+            generators::cycle(9),
+            generators::star(8),
+            generators::complete(6),
+            generators::grid(3, 4),
+            generators::balanced_tree(2, 3),
+            generators::lollipop(5, 6),
+            generators::erdos_renyi_connected(22, 0.15, 5),
+            generators::double_broom(18, 6),
+        ]
+    }
+
+    #[test]
+    fn eccentricities_match_oracle() {
+        for g in zoo() {
+            let r = eccentricities(&g).unwrap();
+            assert_eq!(Some(r.eccentricities), reference::eccentricities(&g));
+        }
+    }
+
+    #[test]
+    fn diameter_and_radius_match_oracle() {
+        for g in zoo() {
+            assert_eq!(Some(diameter(&g).unwrap().value), reference::diameter(&g));
+            assert_eq!(Some(radius(&g).unwrap().value), reference::radius(&g));
+        }
+    }
+
+    #[test]
+    fn center_and_peripheral_match_oracle() {
+        for g in zoo() {
+            assert_eq!(
+                Some(center(&g).unwrap().member_ids()),
+                reference::center(&g)
+            );
+            assert_eq!(
+                Some(peripheral_vertices(&g).unwrap().member_ids()),
+                reference::peripheral_vertices(&g)
+            );
+        }
+    }
+
+    #[test]
+    fn bundle_is_internally_consistent() {
+        let g = generators::grid(4, 4);
+        let a = apsp::run(&g).unwrap();
+        let b = from_apsp(&g, &a).unwrap();
+        assert!(b.radius <= b.diameter && b.diameter <= 2 * b.radius);
+        assert!(b.center.iter().any(|&c| c));
+        assert!(b.peripheral.iter().any(|&p| p));
+        for v in 0..16 {
+            assert_eq!(b.center[v], b.eccentricities[v] == b.radius);
+            assert_eq!(b.peripheral[v], b.eccentricities[v] == b.diameter);
+        }
+    }
+
+    #[test]
+    fn rounds_stay_linear_including_aggregation() {
+        let g = generators::cycle(30);
+        let r = diameter(&g).unwrap();
+        // APSP (~3n) plus one BFS-depth aggregation (~2D <= n) and slack.
+        assert!(r.stats.rounds <= 5 * 30 + 10, "rounds={}", r.stats.rounds);
+    }
+}

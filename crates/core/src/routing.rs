@@ -1,0 +1,360 @@
+//! Packet forwarding over APSP-derived routing tables — the paper's
+//! framing application (§1: link-state vs distance-vector both exist to
+//! compute exactly these tables).
+//!
+//! [`RoutingTables`] extracts per-node next-hop tables from an
+//! [`ApspResult`]; [`simulate_flows`] then runs actual packet delivery over
+//! the same CONGEST network: each flow is a `(source, destination)` pair
+//! known network-wide (like a traffic-engineering config), a packet is a
+//! `B`-bit message carrying its flow id, and every edge forwards at most
+//! one packet per direction per round — so *congestion is part of the
+//! simulation*: flows sharing an edge queue up, and the delivery report
+//! shows exactly how much each packet waited beyond its hop distance.
+
+use dapsp_congest::{bits_for_id, Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port, RunStats};
+use dapsp_graph::Graph;
+
+use crate::apsp::ApspResult;
+use crate::error::CoreError;
+use crate::runner::run_algorithm;
+
+/// Per-node forwarding state derived from an APSP computation.
+#[derive(Clone, Debug)]
+pub struct RoutingTables {
+    /// `next_hop[v][dst]` — the neighbor `v` forwards to for `dst`
+    /// (`None` at `v == dst`).
+    next_hop: Vec<Vec<Option<u32>>>,
+    /// `hops[v][dst]` — path length, for reporting.
+    hops: Vec<Vec<u32>>,
+}
+
+impl RoutingTables {
+    /// Builds tables from a finished APSP run.
+    pub fn from_apsp(result: &ApspResult) -> Self {
+        let n = result.distances.num_nodes();
+        let hops = (0..n as u32)
+            .map(|v| result.distances.row(v).to_vec())
+            .collect();
+        RoutingTables {
+            next_hop: result.next_hop.clone(),
+            hops,
+        }
+    }
+
+    /// The neighbor `v` forwards to when routing toward `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` or `dst` is out of range.
+    pub fn next_hop(&self, v: u32, dst: u32) -> Option<u32> {
+        self.next_hop[v as usize][dst as usize]
+    }
+
+    /// Path length from `v` to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` or `dst` is out of range.
+    pub fn hops(&self, v: u32, dst: u32) -> u32 {
+        self.hops[v as usize][dst as usize]
+    }
+}
+
+/// One traffic demand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Flow {
+    /// Injecting node.
+    pub source: u32,
+    /// Destination node.
+    pub destination: u32,
+}
+
+/// A packet in flight: just its flow id (the flow list is network-wide
+/// configuration, so `log₂ |flows|` bits suffice — comfortably within `B`).
+#[derive(Clone, Debug)]
+struct PacketMsg {
+    flow: u32,
+    num_flows: u32,
+}
+
+impl Message for PacketMsg {
+    fn bit_size(&self) -> u32 {
+        bits_for_id(self.num_flows as usize)
+    }
+}
+
+struct RouterNode {
+    num_flows: u32,
+    flows: std::sync::Arc<Vec<Flow>>,
+    /// Port toward each flow's next hop from here (`None` = we are the
+    /// destination).
+    out_port: Vec<Option<Port>>,
+    /// FIFO queue per port — one packet per edge-direction per round.
+    queues: Vec<std::collections::VecDeque<u32>>,
+    /// Arrival round per flow terminating here.
+    arrivals: Vec<Option<u64>>,
+}
+
+impl RouterNode {
+    fn enqueue(&mut self, flow: u32, round: u64) {
+        match self.out_port[flow as usize] {
+            Some(p) => self.queues[p as usize].push_back(flow),
+            None => self.arrivals[flow as usize] = Some(round),
+        }
+    }
+
+    /// Transmits the head of every port queue (one packet per
+    /// edge-direction per round).
+    fn transmit(&mut self, out: &mut Outbox<PacketMsg>) {
+        for (port, queue) in self.queues.iter_mut().enumerate() {
+            if let Some(flow) = queue.pop_front() {
+                out.send(
+                    port as Port,
+                    PacketMsg {
+                        flow,
+                        num_flows: self.num_flows,
+                    },
+                );
+            }
+        }
+    }
+}
+
+impl NodeAlgorithm for RouterNode {
+    type Message = PacketMsg;
+    type Output = Vec<Option<u64>>;
+
+    fn on_start(&mut self, ctx: &NodeContext<'_>, out: &mut Outbox<PacketMsg>) {
+        let me = ctx.node_id();
+        let flows = std::sync::Arc::clone(&self.flows);
+        for (idx, flow) in flows.iter().enumerate() {
+            if flow.source == me {
+                self.enqueue(idx as u32, 0);
+            }
+        }
+        self.transmit(out);
+    }
+
+    fn on_round(&mut self, ctx: &NodeContext<'_>, inbox: &Inbox<PacketMsg>, out: &mut Outbox<PacketMsg>) {
+        let round = ctx.round();
+        for (_port, msg) in inbox.iter() {
+            self.enqueue(msg.flow, round);
+        }
+        self.transmit(out);
+    }
+
+    fn is_active(&self) -> bool {
+        self.queues.iter().any(|q| !q.is_empty())
+    }
+
+    fn into_output(self, _ctx: &NodeContext<'_>) -> Vec<Option<u64>> {
+        self.arrivals
+    }
+}
+
+/// Delivery record for one flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// The flow.
+    pub flow: Flow,
+    /// Shortest-path hop distance (what the packet would take alone).
+    pub hops: u32,
+    /// Round the packet actually arrived.
+    pub arrival_round: u64,
+    /// Rounds spent queueing behind other flows (`arrival - hops`).
+    pub queueing_delay: u64,
+}
+
+/// The outcome of a flow simulation.
+#[derive(Clone, Debug)]
+pub struct FlowReport {
+    /// Per-flow delivery records, in input order.
+    pub deliveries: Vec<Delivery>,
+    /// Simulation statistics.
+    pub stats: RunStats,
+}
+
+impl FlowReport {
+    /// The worst queueing delay over all flows.
+    pub fn max_queueing_delay(&self) -> u64 {
+        self.deliveries
+            .iter()
+            .map(|d| d.queueing_delay)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Injects one packet per flow and forwards them along the routing tables
+/// until every packet arrives, one packet per edge-direction per round.
+///
+/// # Errors
+///
+/// * [`CoreError::EmptyGraph`] on an empty graph.
+/// * [`CoreError::InvalidNode`] for out-of-range flow endpoints.
+/// * [`CoreError::Sim`] on simulator failures.
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_core::{apsp, routing};
+/// use dapsp_graph::generators;
+///
+/// # fn main() -> Result<(), dapsp_core::CoreError> {
+/// let g = generators::grid(4, 4);
+/// let tables = routing::RoutingTables::from_apsp(&apsp::run(&g)?);
+/// let flows = vec![routing::Flow { source: 0, destination: 15 }];
+/// let report = routing::simulate_flows(&g, &tables, &flows)?;
+/// assert_eq!(report.deliveries[0].arrival_round, 6); // = d(0, 15)
+/// assert_eq!(report.deliveries[0].queueing_delay, 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate_flows(
+    graph: &Graph,
+    tables: &RoutingTables,
+    flows: &[Flow],
+) -> Result<FlowReport, CoreError> {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    if tables.next_hop.len() != n {
+        return Err(CoreError::InvalidParameter(format!(
+            "routing tables cover {} nodes but the graph has {n}",
+            tables.next_hop.len()
+        )));
+    }
+    for f in flows {
+        for node in [f.source, f.destination] {
+            if node as usize >= n {
+                return Err(CoreError::InvalidNode {
+                    node,
+                    num_nodes: n,
+                });
+            }
+        }
+    }
+    let flows_arc = std::sync::Arc::new(flows.to_vec());
+    let report = run_algorithm(graph, Config::for_n(n.max(flows.len())), |ctx| {
+        let me = ctx.node_id();
+        let out_port: Vec<Option<Port>> = flows_arc
+            .iter()
+            .map(|f| {
+                tables.next_hop(me, f.destination).map(|hop| {
+                    // Tables validated against this graph above; a next hop
+                    // is by construction one of our neighbors.
+                    ctx.neighbor_ids()
+                        .iter()
+                        .position(|&u| u == hop)
+                        .expect("next hop is a neighbor") as Port
+                })
+            })
+            .collect();
+        RouterNode {
+            num_flows: flows_arc.len() as u32,
+            flows: std::sync::Arc::clone(&flows_arc),
+            out_port,
+            queues: vec![std::collections::VecDeque::new(); ctx.degree()],
+            arrivals: vec![None; flows_arc.len()],
+        }
+    })?;
+    let mut deliveries = Vec::with_capacity(flows.len());
+    for (idx, flow) in flows.iter().enumerate() {
+        let arrival = report
+            .outputs
+            .iter()
+            .find_map(|arr| arr[idx])
+            .expect("every packet reaches its destination on a connected graph");
+        let hops = tables.hops(flow.source, flow.destination);
+        deliveries.push(Delivery {
+            flow: *flow,
+            hops,
+            arrival_round: arrival,
+            queueing_delay: arrival - u64::from(hops),
+        });
+    }
+    Ok(FlowReport {
+        deliveries,
+        stats: report.stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apsp;
+    use dapsp_graph::generators;
+
+    fn tables(g: &Graph) -> RoutingTables {
+        RoutingTables::from_apsp(&apsp::run(g).unwrap())
+    }
+
+    #[test]
+    fn lone_packets_arrive_in_exactly_their_hop_distance() {
+        let g = generators::grid(5, 5);
+        let t = tables(&g);
+        for (s, d) in [(0u32, 24u32), (3, 20), (12, 12)] {
+            let flows = vec![Flow {
+                source: s,
+                destination: d,
+            }];
+            let r = simulate_flows(&g, &t, &flows).unwrap();
+            assert_eq!(u64::from(r.deliveries[0].hops), r.deliveries[0].arrival_round);
+            assert_eq!(r.deliveries[0].queueing_delay, 0);
+        }
+    }
+
+    #[test]
+    fn self_flow_arrives_instantly() {
+        let g = generators::path(4);
+        let t = tables(&g);
+        let r = simulate_flows(&g, &t, &[Flow { source: 2, destination: 2 }]).unwrap();
+        assert_eq!(r.deliveries[0].arrival_round, 0);
+    }
+
+    #[test]
+    fn contending_flows_queue_on_the_shared_edge() {
+        // A star: every cross-leaf packet must traverse the hub, and the
+        // hub can push one packet per leaf-edge per round. k flows to the
+        // same destination serialize on the final edge.
+        let g = generators::star(8);
+        let t = tables(&g);
+        let flows: Vec<Flow> = (1..6)
+            .map(|s| Flow {
+                source: s,
+                destination: 7,
+            })
+            .collect();
+        let r = simulate_flows(&g, &t, &flows).unwrap();
+        // All have hop distance 2; arrivals serialize: 2, 3, 4, 5, 6.
+        let mut arrivals: Vec<u64> = r.deliveries.iter().map(|d| d.arrival_round).collect();
+        arrivals.sort_unstable();
+        assert_eq!(arrivals, vec![2, 3, 4, 5, 6]);
+        assert_eq!(r.max_queueing_delay(), 4);
+    }
+
+    #[test]
+    fn disjoint_flows_do_not_interact() {
+        let g = generators::cycle(12);
+        let t = tables(&g);
+        let flows = vec![
+            Flow { source: 0, destination: 2 },
+            Flow { source: 6, destination: 8 },
+        ];
+        let r = simulate_flows(&g, &t, &flows).unwrap();
+        for d in &r.deliveries {
+            assert_eq!(d.queueing_delay, 0);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_endpoints() {
+        let g = generators::path(3);
+        let t = tables(&g);
+        assert!(matches!(
+            simulate_flows(&g, &t, &[Flow { source: 0, destination: 9 }]).unwrap_err(),
+            CoreError::InvalidNode { node: 9, .. }
+        ));
+    }
+}

@@ -1,0 +1,91 @@
+//! Convenience glue between [`Graph`]s and the simulator.
+
+use dapsp_congest::{Config, NodeAlgorithm, NodeContext, Report, Simulator};
+use dapsp_graph::Graph;
+
+use crate::error::CoreError;
+
+/// Runs `init`-constructed node algorithms over `graph` to quiescence and
+/// returns the simulator's [`Report`] (per-node outputs plus round/bit
+/// statistics).
+///
+/// This is the entry point used by every algorithm in this crate; it is
+/// public so downstream users can run custom CONGEST algorithms over a
+/// [`Graph`] without hand-building a topology.
+///
+/// # Errors
+///
+/// Propagates simulator failures ([`CoreError::Sim`]) and rejects empty
+/// graphs.
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_congest::{Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox};
+/// use dapsp_core::run_algorithm;
+/// use dapsp_graph::generators;
+///
+/// #[derive(Clone, Debug)]
+/// struct Noop;
+/// impl Message for Noop { fn bit_size(&self) -> u32 { 1 } }
+///
+/// struct Idle;
+/// impl NodeAlgorithm for Idle {
+///     type Message = Noop;
+///     type Output = u32;
+///     fn on_round(&mut self, _: &NodeContext<'_>, _: &Inbox<Noop>, _: &mut Outbox<Noop>) {}
+///     fn into_output(self, ctx: &NodeContext<'_>) -> u32 { ctx.node_id() }
+/// }
+///
+/// # fn main() -> Result<(), dapsp_core::CoreError> {
+/// let g = generators::path(3);
+/// let report = run_algorithm(&g, Config::for_n(3), |_| Idle)?;
+/// assert_eq!(report.outputs, vec![0, 1, 2]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_algorithm<A, F>(
+    graph: &Graph,
+    config: Config,
+    init: F,
+) -> Result<Report<A::Output>, CoreError>
+where
+    A: NodeAlgorithm,
+    F: FnMut(&NodeContext<'_>) -> A,
+{
+    if graph.num_nodes() == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    let topology = graph.to_topology();
+    let sim = Simulator::new(&topology, config, init);
+    sim.run().map_err(CoreError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dapsp_congest::{Inbox, Message, Outbox};
+    use dapsp_graph::Graph;
+
+    #[derive(Clone, Debug)]
+    struct Noop;
+    impl Message for Noop {
+        fn bit_size(&self) -> u32 {
+            1
+        }
+    }
+    struct Idle;
+    impl NodeAlgorithm for Idle {
+        type Message = Noop;
+        type Output = ();
+        fn on_round(&mut self, _: &NodeContext<'_>, _: &Inbox<Noop>, _: &mut Outbox<Noop>) {}
+        fn into_output(self, _: &NodeContext<'_>) {}
+    }
+
+    #[test]
+    fn empty_graph_is_rejected() {
+        let g = Graph::builder(0).build();
+        let err = run_algorithm(&g, Config::for_n(1), |_| Idle).unwrap_err();
+        assert_eq!(err, CoreError::EmptyGraph);
+    }
+}

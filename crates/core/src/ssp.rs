@@ -1,0 +1,482 @@
+//! Algorithm 2 of the paper: S-Shortest-Paths in `O(|S| + D)` rounds
+//! (Theorem 3) — `|S|` BFS trees, all grown **simultaneously**.
+//!
+//! Every source `v ∈ S` starts a BFS at the same time. When two searches
+//! contend for an edge in the same round, the *smaller id wins* and the
+//! larger is delayed; a delayed id waits in the per-port queue `L_i` until
+//! it is transmitted successfully. The paper proves each search is delayed
+//! at most once per smaller id, so after `|S| + D₀` rounds (where
+//! `D₀ = 2·ecc(1)` is the broadcast diameter upper bound from Fact 1) every
+//! node knows its distance to every source.
+//!
+//! Phases, with their honest round costs:
+//!
+//! 1. `BFS_1` builds `T_1` — `O(D)`;
+//! 2. max-aggregation of depths over `T_1` computes and broadcasts
+//!    `D₀ = 2·ecc(1)` (lines 7–12 of Algorithm 2) — `O(D)`;
+//! 3. the simultaneous growth — `O(|S| + D)`. The paper runs it for a
+//!    fixed `|S| + D₀` rounds; the simulator instead stops at quiescence
+//!    (all queues drained, nothing in flight), which is exact by a
+//!    standard relaxation argument, and reports the paper's budget
+//!    alongside the measured rounds (see `SspResult::budget` and the
+//!    deviation notes on `settle_round` / in DESIGN.md).
+//!
+//! As in Algorithm 1, nodes opportunistically record cycle candidates from
+//! repeated wave arrivals; the girth approximation (Theorem 5) feeds on
+//! them.
+
+use dapsp_congest::{
+    bits_for_count, bits_for_id, Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port,
+    RunStats,
+};
+use dapsp_graph::{Graph, INFINITY};
+
+use crate::aggregate::{self, AggOp};
+use crate::bfs;
+use crate::error::CoreError;
+use crate::runner::run_algorithm;
+use crate::tree::TreeKnowledge;
+
+/// One (id, distance) announcement: "`id` is at distance `dist` from you".
+#[derive(Clone, Debug)]
+pub(crate) struct SspMsg {
+    id: u32,
+    dist: u32,
+    n: u32,
+}
+
+impl Message for SspMsg {
+    fn bit_size(&self) -> u32 {
+        bits_for_id(self.n as usize) + bits_for_count(self.dist as usize)
+    }
+}
+
+pub(crate) struct SspNode {
+    n: u32,
+    /// `delta[u]` = distance to source `u` (`INFINITY` unknown). The set
+    /// `L` of the paper is `{u : delta[u] != INFINITY}`.
+    delta: Vec<u32>,
+    /// `parent[u]` = port toward `u` (`u32::MAX` = none).
+    parent: Vec<Port>,
+    /// Per-port pending queues `L_i` (ids still to transmit).
+    li: Vec<std::collections::BTreeSet<u32>>,
+    girth_candidate: u32,
+    /// How often a known distance was improved by a later arrival (rare
+    /// under the `(dist, id)` priority; see `settle_round`).
+    relaxations: u64,
+}
+
+impl SspNode {
+    fn new(ctx: &NodeContext<'_>, is_source: bool) -> Self {
+        let n = ctx.num_nodes();
+        let me = ctx.node_id();
+        let degree = ctx.degree();
+        let mut delta = vec![INFINITY; n];
+        let mut li = vec![std::collections::BTreeSet::new(); degree];
+        if is_source {
+            delta[me as usize] = 0;
+            for set in &mut li {
+                set.insert(me);
+            }
+        }
+        SspNode {
+            n: n as u32,
+            delta,
+            parent: vec![u32::MAX; n],
+            li,
+            girth_candidate: INFINITY,
+            relaxations: 0,
+        }
+    }
+
+    /// The priority of a queued id: the `(dist, id)` pair it would be sent
+    /// as. Smaller is more urgent.
+    fn priority(&self, id: u32) -> (u32, u32) {
+        (self.delta[id as usize] + 1, id)
+    }
+
+    /// Pops the most urgent queued id for a port, by `(dist, id)`.
+    fn pop_head(&mut self, port: usize) -> Option<(u32, u32)> {
+        let head = self.li[port].iter().map(|&id| self.priority(id)).min();
+        if let Some((_, id)) = head {
+            self.li[port].remove(&id);
+        }
+        head
+    }
+
+    /// Processes one round of arrivals.
+    ///
+    /// Two refinements over the paper's as-written pseudocode (see the
+    /// module docs):
+    ///
+    /// * **Every arrival is accepted.** The paper's lines 18–27 drop a
+    ///   message when a smaller id crosses the same edge in the opposite
+    ///   direction and have the sender retry; but in the CONGEST model both
+    ///   `B`-bit messages of a bidirectional crossing *are* delivered — the
+    ///   drop is bookkeeping for the proof, and the retries it forces can
+    ///   pile up beyond the `|S| + D₀` budget. Accepting both sides lets
+    ///   every transmission count.
+    /// * **Relaxation.** A wave blocked on its shortest path can be outrun
+    ///   by its own announcements over a longer, less-contended path, so
+    ///   the first claim for an id need not be shortest (the paper's
+    ///   tie-break assumes it is). A node therefore keeps the best claim
+    ///   per id and re-announces improvements; claims are genuine path
+    ///   lengths, so the final value is exact once the true wavefront
+    ///   lands. Sending is ordered by the lexicographic `(dist, id)`
+    ///   priority (smaller distances first), which keeps wavefronts nearly
+    ///   sorted and makes improvements rare (`relaxations` counts them).
+    fn settle_round(&mut self, arrivals: &[(Port, u32, u32)]) {
+        let mut sorted: Vec<(u32, u32, Port)> = arrivals
+            .iter()
+            .map(|&(port, rid, rdist)| (rid, rdist, port))
+            .collect();
+        sorted.sort_unstable(); // by id, then dist, then port
+        let mut i = 0;
+        while i < sorted.len() {
+            let id = sorted[i].0;
+            let mut j = i;
+            while j < sorted.len() && sorted[j].0 == id {
+                j += 1;
+            }
+            let u = id as usize;
+            let (_, dist, port) = sorted[i]; // smallest dist, lowest port
+            if dist < self.delta[u] {
+                if self.delta[u] != INFINITY {
+                    self.relaxations += 1;
+                }
+                self.delta[u] = dist;
+                self.parent[u] = port;
+                for (p, set) in self.li.iter_mut().enumerate() {
+                    if p != port as usize {
+                        set.insert(id);
+                    }
+                }
+            }
+            for &(_, d, p) in &sorted[i..j] {
+                if p != self.parent[u] {
+                    self.record_candidate(p, id, d);
+                }
+            }
+            i = j;
+        }
+    }
+
+    /// A repeated arrival of a known id closes a walk through that source:
+    /// the same Lemma 7 bookkeeping as in Algorithm 1.
+    fn record_candidate(&mut self, port: Port, id: u32, dist: u32) {
+        let u = id as usize;
+        if self.delta[u] == INFINITY || dist == 0 {
+            return;
+        }
+        let sender_dist = dist - 1;
+        if port != self.parent[u] && sender_dist <= self.delta[u] {
+            self.girth_candidate = self.girth_candidate.min(self.delta[u] + sender_dist + 1);
+        }
+    }
+}
+
+impl NodeAlgorithm for SspNode {
+    type Message = SspMsg;
+    type Output = SspNodeOutput;
+
+    fn on_round(&mut self, ctx: &NodeContext<'_>, inbox: &Inbox<SspMsg>, out: &mut Outbox<SspMsg>) {
+        let arrivals: Vec<(Port, u32, u32)> =
+            inbox.iter().map(|(p, m)| (p, m.id, m.dist)).collect();
+        self.settle_round(&arrivals);
+        // Transmit the most urgent pending id per port (paper lines 13–17,
+        // with the (dist, id) priority).
+        for port in 0..ctx.degree() as Port {
+            if let Some((dist, id)) = self.pop_head(port as usize) {
+                out.send(port, SspMsg { id, dist, n: self.n });
+            }
+        }
+    }
+
+    fn is_active(&self) -> bool {
+        self.li.iter().any(|set| !set.is_empty())
+    }
+
+    fn into_output(self, _ctx: &NodeContext<'_>) -> SspNodeOutput {
+        SspNodeOutput {
+            delta: self.delta,
+            parent: self.parent,
+            girth_candidate: self.girth_candidate,
+            relaxations: self.relaxations,
+        }
+    }
+}
+
+/// Per-node output of the main loop.
+#[derive(Clone, Debug)]
+pub(crate) struct SspNodeOutput {
+    delta: Vec<u32>,
+    parent: Vec<Port>,
+    girth_candidate: u32,
+    relaxations: u64,
+}
+
+/// The result of an S-SP computation.
+#[derive(Clone, Debug)]
+pub struct SspResult {
+    /// The source set, as given.
+    pub sources: Vec<u32>,
+    /// `dist[v][i]` = `d(v, sources[i])`.
+    pub dist: Vec<Vec<u32>>,
+    /// `next_hop[v][i]` = `v`'s parent in `T_{sources[i]}` (`None` at the
+    /// source itself).
+    pub next_hop: Vec<Vec<Option<u32>>>,
+    /// The broadcast diameter bound `D₀ = 2·ecc(1)` (the paper's
+    /// self-termination horizon `|S| + D₀`; see [`SspResult::budget`]).
+    pub d0: u32,
+    /// The paper's round budget `|S| + D₀` for the main loop. The
+    /// simulator terminates the loop by quiescence instead, which is
+    /// usually earlier; both are reported so Theorem 3's accounting can be
+    /// checked.
+    pub budget: u64,
+    /// Per-node smallest cycle candidates observed during the growth
+    /// ([`INFINITY`] = none) — used by Theorem 5.
+    pub local_girth_candidates: Vec<u32>,
+    /// Total distance relaxations across all nodes — how often an early
+    /// claim was improved by a later, shorter one (rare under the
+    /// `(dist, id)` send priority).
+    pub relaxations: u64,
+    /// The tree `T_1`, reusable for subsequent aggregations.
+    pub tree: TreeKnowledge,
+    /// Combined statistics of all three phases.
+    pub stats: RunStats,
+}
+
+impl SspResult {
+    /// Distance from `v` to source `s`, if `s` was in the source set.
+    pub fn dist_to(&self, v: u32, s: u32) -> Option<u32> {
+        let i = self.sources.iter().position(|&x| x == s)?;
+        Some(self.dist[v as usize][i])
+    }
+}
+
+/// Runs Algorithm 2: exact shortest paths from every node to every source
+/// in `O(|S| + D)` rounds.
+///
+/// # Errors
+///
+/// * [`CoreError::EmptySourceSet`] if `sources` is empty.
+/// * [`CoreError::InvalidNode`] for out-of-range sources, and
+///   [`CoreError::InvalidParameter`] for duplicated sources.
+/// * [`CoreError::EmptyGraph`] / [`CoreError::Disconnected`] on bad graphs.
+/// * [`CoreError::Sim`] on simulator failures.
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_core::ssp;
+/// use dapsp_graph::generators;
+///
+/// # fn main() -> Result<(), dapsp_core::CoreError> {
+/// let g = generators::path(8);
+/// let r = ssp::run(&g, &[0, 7])?;
+/// assert_eq!(r.dist_to(3, 0), Some(3));
+/// assert_eq!(r.dist_to(3, 7), Some(4));
+/// # Ok(())
+/// # }
+/// ```
+pub fn run(graph: &Graph, sources: &[u32]) -> Result<SspResult, CoreError> {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    if sources.is_empty() {
+        return Err(CoreError::EmptySourceSet);
+    }
+    let mut seen = vec![false; n];
+    for &s in sources {
+        if s as usize >= n {
+            return Err(CoreError::InvalidNode {
+                node: s,
+                num_nodes: n,
+            });
+        }
+        if seen[s as usize] {
+            return Err(CoreError::InvalidParameter(format!(
+                "source {s} listed twice"
+            )));
+        }
+        seen[s as usize] = true;
+    }
+    // Phase 1+2: T_1, then D0 = 2·ecc(1) via max-aggregation of depths.
+    let t1 = bfs::run(graph, 0)?;
+    if !t1.reached_all() {
+        return Err(CoreError::Disconnected);
+    }
+    let depths: Vec<u64> = t1.dist.iter().map(|&d| u64::from(d)).collect();
+    let agg = aggregate::run(graph, &t1.tree, &depths, AggOp::Max)?;
+    let d0 = 2 * agg.value as u32;
+    let budget = sources.len() as u64 + u64::from(d0);
+    // Phase 3: the simultaneous growth, run to quiescence.
+    let is_source = seen;
+    let report = run_algorithm(graph, Config::for_n(n), |ctx| {
+        SspNode::new(ctx, is_source[ctx.node_id() as usize])
+    })?;
+    let mut dist = vec![Vec::with_capacity(sources.len()); n];
+    let mut next_hop = vec![Vec::with_capacity(sources.len()); n];
+    let mut local_girth_candidates = vec![INFINITY; n];
+    let mut relaxations = 0;
+    for (v, out) in report.outputs.into_iter().enumerate() {
+        for &s in sources {
+            dist[v].push(out.delta[s as usize]);
+            let p = out.parent[s as usize];
+            next_hop[v].push(if p == u32::MAX {
+                None
+            } else {
+                Some(graph.neighbors(v as u32)[p as usize])
+            });
+        }
+        local_girth_candidates[v] = out.girth_candidate;
+        relaxations += out.relaxations;
+    }
+    let mut stats = t1.stats;
+    stats.absorb_sequential(&agg.stats);
+    stats.absorb_sequential(&report.stats);
+    debug_assert!(
+        dist.iter().all(|row| row.iter().all(|&d| d != INFINITY)),
+        "quiescence implies every source was learned on a connected graph"
+    );
+    Ok(SspResult {
+        sources: sources.to_vec(),
+        dist,
+        next_hop,
+        d0,
+        budget,
+        local_girth_candidates,
+        relaxations,
+        tree: t1.tree,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dapsp_graph::{generators, reference};
+
+    fn check(g: &Graph, sources: &[u32]) -> SspResult {
+        let r = run(g, sources).unwrap();
+        let oracle = reference::s_shortest_paths(g, sources);
+        for (i, &s) in sources.iter().enumerate() {
+            for v in 0..g.num_nodes() as u32 {
+                assert_eq!(
+                    r.dist[v as usize][i], oracle[i][v as usize],
+                    "d({v}, {s}) wrong"
+                );
+            }
+        }
+        r
+    }
+
+    #[test]
+    fn matches_oracle_on_zoo() {
+        check(&generators::path(12), &[0, 6, 11]);
+        check(&generators::cycle(10), &[2, 7]);
+        check(&generators::star(9), &[0, 3, 4, 5]);
+        check(&generators::complete(6), &[1, 2]);
+        check(&generators::grid(4, 4), &[0, 5, 15]);
+        check(&generators::balanced_tree(2, 3), &[0, 7, 14]);
+        check(&generators::lollipop(5, 6), &[0, 10]);
+    }
+
+    #[test]
+    fn matches_oracle_on_random_graphs_with_many_sources() {
+        for seed in 0..5 {
+            let g = generators::erdos_renyi_connected(26, 0.12, seed);
+            let sources: Vec<u32> = (0..26).step_by(3).collect();
+            check(&g, &sources);
+        }
+    }
+
+    #[test]
+    fn all_nodes_as_sources_is_apsp() {
+        let g = generators::grid(3, 3);
+        let sources: Vec<u32> = (0..9).collect();
+        let r = check(&g, &sources);
+        let apsp = reference::apsp(&g);
+        for v in 0..9u32 {
+            for (i, &s) in r.sources.iter().enumerate() {
+                assert_eq!(Some(r.dist[v as usize][i]), apsp.get(v, s));
+            }
+        }
+    }
+
+    #[test]
+    fn theorem3_round_bound() {
+        // rounds <= BFS (ecc+2) + aggregation (2·ecc+3) + |S| + D0 + 1.
+        for (g, s_count) in [
+            (generators::path(30), 4usize),
+            (generators::cycle(30), 10),
+            (generators::erdos_renyi_connected(30, 0.15, 2), 15),
+        ] {
+            let sources: Vec<u32> = (0..s_count as u32).collect();
+            let r = run(&g, &sources).unwrap();
+            let ecc0 = reference::bfs(&g, 0).iter().copied().max().unwrap() as u64;
+            let bound = (ecc0 + 2) + (2 * ecc0 + 4) + sources.len() as u64 + 2 * ecc0 + 2;
+            assert!(
+                r.stats.rounds <= bound,
+                "rounds={} bound={bound}",
+                r.stats.rounds
+            );
+        }
+    }
+
+    #[test]
+    fn priority_contention_on_a_path_still_yields_exact_distances() {
+        // All sources at one end: maximal contention on the single path.
+        let g = generators::path(16);
+        let sources: Vec<u32> = (0..8).collect();
+        check(&g, &sources);
+    }
+
+    #[test]
+    fn d0_is_twice_root_eccentricity() {
+        let g = generators::double_broom(20, 8);
+        let r = run(&g, &[0]).unwrap();
+        let ecc0 = reference::bfs(&g, 0).iter().copied().max().unwrap();
+        assert_eq!(r.d0, 2 * ecc0);
+    }
+
+    #[test]
+    fn input_validation() {
+        let g = generators::path(4);
+        assert_eq!(run(&g, &[]).unwrap_err(), CoreError::EmptySourceSet);
+        assert!(matches!(
+            run(&g, &[9]).unwrap_err(),
+            CoreError::InvalidNode { node: 9, .. }
+        ));
+        assert!(matches!(
+            run(&g, &[1, 1]).unwrap_err(),
+            CoreError::InvalidParameter(_)
+        ));
+    }
+
+    #[test]
+    fn next_hops_point_one_step_closer() {
+        let g = generators::grid(4, 4);
+        let r = run(&g, &[0, 15]).unwrap();
+        for v in 0..16u32 {
+            for (i, &s) in r.sources.iter().enumerate() {
+                if v == s {
+                    assert_eq!(r.next_hop[v as usize][i], None);
+                } else {
+                    let h = r.next_hop[v as usize][i].unwrap();
+                    assert_eq!(r.dist[h as usize][i] + 1, r.dist[v as usize][i]);
+                    assert!(g.has_edge(v, h));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn girth_candidates_on_cycles() {
+        let g = generators::cycle(9);
+        let r = run(&g, &(0..9).collect::<Vec<_>>()).unwrap();
+        let min = r.local_girth_candidates.iter().min().copied().unwrap();
+        assert_eq!(min, 9);
+    }
+}

@@ -1,0 +1,96 @@
+//! Node-local knowledge of a rooted spanning tree.
+
+use dapsp_congest::Port;
+use dapsp_graph::Graph;
+
+/// What every node knows about a rooted spanning tree (such as the paper's
+/// `T_1`) after a BFS: its parent port and its children ports.
+///
+/// This is deliberately *port-based* — it is exactly the local knowledge a
+/// node acquires distributedly, and it is what the tree-based algorithms
+/// (pebble traversal, convergecast/broadcast aggregation, the k-dominating
+/// set rule) consume as their starting state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeKnowledge {
+    /// The root node's id.
+    pub root: u32,
+    /// `parent_port[v]` is the port at `v` toward its parent (`None` at the
+    /// root and at nodes outside the tree).
+    pub parent_port: Vec<Option<Port>>,
+    /// `children_ports[v]` lists the ports at `v` toward its children.
+    pub children_ports: Vec<Vec<Port>>,
+}
+
+impl TreeKnowledge {
+    /// Resolves parent ports to parent node ids using the graph.
+    pub fn parent_ids(&self, graph: &Graph) -> Vec<Option<u32>> {
+        self.parent_port
+            .iter()
+            .enumerate()
+            .map(|(v, p)| p.map(|p| graph.neighbors(v as u32)[p as usize]))
+            .collect()
+    }
+
+    /// Resolves children ports to children node ids using the graph.
+    pub fn children_ids(&self, graph: &Graph) -> Vec<Vec<u32>> {
+        self.children_ports
+            .iter()
+            .enumerate()
+            .map(|(v, ports)| {
+                ports
+                    .iter()
+                    .map(|&p| graph.neighbors(v as u32)[p as usize])
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Number of nodes the structure covers (the graph size, not the tree
+    /// size).
+    pub fn num_nodes(&self) -> usize {
+        self.parent_port.len()
+    }
+
+    /// True if every node is in the tree (has a parent or is the root).
+    pub fn spans_all(&self) -> bool {
+        self.parent_port
+            .iter()
+            .enumerate()
+            .all(|(v, p)| p.is_some() || v as u32 == self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::bfs;
+    use dapsp_graph::generators;
+
+    #[test]
+    fn ids_resolve_consistently() {
+        let g = generators::grid(3, 3);
+        let r = bfs::run(&g, 0).unwrap();
+        let parents = r.tree.parent_ids(&g);
+        let children = r.tree.children_ids(&g);
+        let mut edge_count = 0;
+        for v in 0..9u32 {
+            for &c in &children[v as usize] {
+                assert_eq!(parents[c as usize], Some(v));
+                edge_count += 1;
+            }
+        }
+        // A spanning tree on 9 nodes has 8 edges.
+        assert_eq!(edge_count, 8);
+        assert!(r.tree.spans_all());
+        assert_eq!(r.tree.num_nodes(), 9);
+    }
+
+    #[test]
+    fn spans_all_is_false_on_disconnected() {
+        let mut b = dapsp_graph::Graph::builder(3);
+        b.add_edge(0, 1).unwrap();
+        let g = b.build();
+        let r = bfs::run(&g, 0).unwrap();
+        assert!(!r.tree.spans_all());
+    }
+}

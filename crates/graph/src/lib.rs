@@ -1,0 +1,44 @@
+//! Graph toolkit for the distributed-APSP reproduction.
+//!
+//! Provides the pieces the paper's algorithms and experiments stand on:
+//!
+//! * [`Graph`] — a simple undirected graph with a validating
+//!   [`GraphBuilder`], convertible into a
+//!   [`Topology`](dapsp_congest::Topology) for simulation,
+//! * [`generators`] — deterministic and seeded-random graph families (paths,
+//!   cycles, trees, grids, tori, hypercubes, Erdős–Rényi, brooms,
+//!   lollipops, …) used as benchmark workloads,
+//! * [`lowerbound`] — the communication-complexity hard families behind the
+//!   paper's lower bounds (diameter 2-vs-3, the `(+,1)`-approximation gap
+//!   family, the girth-3 2-BFS-hardness family) together with an analytic
+//!   round-lower-bound certifier,
+//! * [`reference`](mod@reference) — centralized oracle algorithms (BFS, APSP,
+//!   eccentricities, diameter, radius, center, peripheral vertices, girth,
+//!   domination checks) against which every distributed result is tested,
+//! * [`DistanceMatrix`] — the `n × n` hop-distance table shared by oracles
+//!   and distributed solvers.
+//!
+//! # Example
+//!
+//! ```
+//! use dapsp_graph::{generators, reference};
+//!
+//! let g = generators::cycle(9);
+//! assert_eq!(reference::diameter(&g), Some(4));
+//! assert_eq!(reference::girth(&g), Some(9));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod distance;
+mod graph;
+
+pub mod generators;
+pub mod io;
+pub mod lowerbound;
+pub mod properties;
+pub mod reference;
+
+pub use distance::{DistanceMatrix, INFINITY};
+pub use graph::{Graph, GraphBuilder, GraphError};

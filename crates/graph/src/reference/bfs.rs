@@ -1,0 +1,154 @@
+//! Breadth-first search and the oracles built directly on it.
+
+use std::collections::VecDeque;
+
+use crate::distance::{DistanceMatrix, INFINITY};
+use crate::graph::Graph;
+
+/// Hop distances from `source` to every node ([`INFINITY`] if unreachable).
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_graph::{generators, reference};
+///
+/// let g = generators::path(4);
+/// assert_eq!(reference::bfs(&g, 0), vec![0, 1, 2, 3]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `source >= n`.
+pub fn bfs(g: &Graph, source: u32) -> Vec<u32> {
+    let n = g.num_nodes();
+    assert!((source as usize) < n, "source out of range");
+    let mut dist = vec![INFINITY; n];
+    dist[source as usize] = 0;
+    let mut queue = VecDeque::with_capacity(n);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == INFINITY {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// The full all-pairs hop-distance table, via one BFS per node (`O(n·m)`).
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_graph::{generators, reference};
+///
+/// let g = generators::cycle(6);
+/// let d = reference::apsp(&g);
+/// assert_eq!(d.get(0, 3), Some(3));
+/// assert_eq!(d.get(1, 5), Some(2));
+/// ```
+pub fn apsp(g: &Graph) -> DistanceMatrix {
+    let n = g.num_nodes();
+    let mut matrix = DistanceMatrix::new(n);
+    for v in 0..n as u32 {
+        matrix.set_row(v, &bfs(g, v));
+    }
+    matrix
+}
+
+/// Distances between every node of `sources` and every node of the graph —
+/// the centralized answer to the paper's S-SP problem.
+///
+/// Returns one distance row per source, in the order given.
+///
+/// # Panics
+///
+/// Panics if any source is `>= n`.
+pub fn s_shortest_paths(g: &Graph, sources: &[u32]) -> Vec<Vec<u32>> {
+    sources.iter().map(|&s| bfs(g, s)).collect()
+}
+
+/// True if the graph is connected (vacuously true for `n <= 1`).
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_graph::{generators, reference, Graph};
+///
+/// assert!(reference::is_connected(&generators::star(5)));
+/// assert!(!reference::is_connected(&Graph::builder(2).build()));
+/// ```
+pub fn is_connected(g: &Graph) -> bool {
+    if g.num_nodes() <= 1 {
+        return true;
+    }
+    bfs(g, 0).iter().all(|&d| d != INFINITY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_on_disconnected_graph_marks_unreachable() {
+        let mut b = Graph::builder(4);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(2, 3).unwrap();
+        let g = b.build();
+        let d = bfs(&g, 0);
+        assert_eq!(d, vec![0, 1, INFINITY, INFINITY]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn apsp_is_symmetric_on_undirected_graphs() {
+        let g = generators::grid(3, 4);
+        let d = apsp(&g);
+        let n = g.num_nodes() as u32;
+        for u in 0..n {
+            for v in 0..n {
+                assert_eq!(d.get(u, v), d.get(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn apsp_satisfies_triangle_inequality() {
+        let g = generators::erdos_renyi_connected(30, 0.15, 42);
+        let d = apsp(&g);
+        let n = g.num_nodes() as u32;
+        for u in 0..n {
+            for v in 0..n {
+                for w in 0..n {
+                    let (duv, duw, dwv) = (
+                        d.get(u, v).unwrap(),
+                        d.get(u, w).unwrap(),
+                        d.get(w, v).unwrap(),
+                    );
+                    assert!(duv <= duw + dwv);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn s_shortest_paths_matches_apsp_rows() {
+        let g = generators::grid(3, 3);
+        let full = apsp(&g);
+        let sources = [0u32, 4, 8];
+        let rows = s_shortest_paths(&g, &sources);
+        for (i, &s) in sources.iter().enumerate() {
+            assert_eq!(rows[i], full.row(s));
+        }
+    }
+
+    #[test]
+    fn singleton_is_connected() {
+        let g = Graph::builder(1).build();
+        assert!(is_connected(&g));
+    }
+}

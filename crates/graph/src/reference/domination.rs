@@ -1,0 +1,159 @@
+//! Verification oracles for (k-)dominating sets (Definition 9).
+
+use crate::distance::INFINITY;
+use crate::graph::Graph;
+
+/// True if every node of the graph is within distance `k` of some node in
+/// `dom` (a *k-dominating set*, Definition 9 of the paper).
+///
+/// An empty `dom` only dominates the empty graph.
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_graph::{generators, reference};
+///
+/// let g = generators::path(7); // 0-1-2-3-4-5-6
+/// assert!(reference::is_k_dominating_set(&g, &[1, 3, 5], 1));
+/// assert!(!reference::is_k_dominating_set(&g, &[1, 5], 1)); // node 3 uncovered
+/// assert!(reference::is_k_dominating_set(&g, &[1, 5], 2));
+/// assert!(reference::is_k_dominating_set(&g, &[3], 3));
+/// ```
+///
+/// # Panics
+///
+/// Panics if any dominator id is `>= n`.
+pub fn is_k_dominating_set(g: &Graph, dom: &[u32], k: u32) -> bool {
+    let n = g.num_nodes();
+    if n == 0 {
+        return true;
+    }
+    if dom.is_empty() {
+        return false;
+    }
+    // Multi-source BFS from all dominators.
+    let mut dist = vec![INFINITY; n];
+    let mut queue = std::collections::VecDeque::new();
+    for &d in dom {
+        assert!((d as usize) < n, "dominator out of range");
+        if dist[d as usize] == INFINITY {
+            dist[d as usize] = 0;
+            queue.push_back(d);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        if dist[u as usize] >= k {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == INFINITY {
+                dist[v as usize] = dist[u as usize] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist.iter().all(|&d| d <= k)
+}
+
+/// True if `dom` is a 1-dominating set for the nodes in `targets`: every
+/// target is in `dom` or adjacent to a member of `dom`.
+///
+/// This is the property Remark 6 of the paper needs for the high-degree set
+/// `H(V)` in Algorithm 3.
+///
+/// # Panics
+///
+/// Panics if any id is `>= n`.
+pub fn is_dominating_set(g: &Graph, dom: &[u32], targets: &[u32]) -> bool {
+    let n = g.num_nodes();
+    let mut in_dom = vec![false; n];
+    for &d in dom {
+        in_dom[d as usize] = true;
+    }
+    targets.iter().all(|&t| {
+        in_dom[t as usize] || g.neighbors(t).iter().any(|&u| in_dom[u as usize])
+    })
+}
+
+/// Distance from every node to its nearest member of `sources`
+/// (multi-source BFS). Unreachable nodes get [`INFINITY`].
+///
+/// # Panics
+///
+/// Panics if any source is `>= n`.
+pub fn distance_to_set(g: &Graph, sources: &[u32]) -> Vec<u32> {
+    let n = g.num_nodes();
+    let mut dist = vec![INFINITY; n];
+    let mut queue = std::collections::VecDeque::new();
+    for &s in sources {
+        assert!((s as usize) < n, "source out of range");
+        if dist[s as usize] == INFINITY {
+            dist[s as usize] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == INFINITY {
+                dist[v as usize] = dist[u as usize] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::reference::bfs::bfs;
+
+    #[test]
+    fn whole_vertex_set_dominates_at_k_zero() {
+        let g = generators::cycle(6);
+        let all: Vec<u32> = (0..6).collect();
+        assert!(is_k_dominating_set(&g, &all, 0));
+    }
+
+    #[test]
+    fn single_center_dominates_star() {
+        let g = generators::star(9);
+        assert!(is_k_dominating_set(&g, &[0], 1));
+        assert!(!is_k_dominating_set(&g, &[1], 1));
+        assert!(is_k_dominating_set(&g, &[1], 2));
+    }
+
+    #[test]
+    fn empty_dom_fails_on_nonempty_graph() {
+        let g = generators::path(3);
+        assert!(!is_k_dominating_set(&g, &[], 5));
+    }
+
+    #[test]
+    fn k_domination_matches_bfs_definition() {
+        let g = generators::erdos_renyi_connected(20, 0.15, 7);
+        let dom = [0u32, 10];
+        for k in 0..6 {
+            let expected = (0..20u32).all(|v| {
+                dom.iter().any(|&d| bfs(&g, d)[v as usize] <= k)
+            });
+            assert_eq!(is_k_dominating_set(&g, &dom, k), expected, "k={k}");
+        }
+    }
+
+    #[test]
+    fn targeted_domination() {
+        let g = generators::path(5);
+        assert!(is_dominating_set(&g, &[1], &[0, 1, 2]));
+        assert!(!is_dominating_set(&g, &[1], &[4]));
+        assert!(is_dominating_set(&g, &[], &[]));
+    }
+
+    #[test]
+    fn distance_to_set_multi_source() {
+        let g = generators::path(7);
+        let d = distance_to_set(&g, &[0, 6]);
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1, 0]);
+    }
+}

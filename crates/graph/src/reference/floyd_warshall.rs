@@ -1,0 +1,81 @@
+//! A second, independent APSP oracle (Floyd–Warshall).
+//!
+//! The BFS oracle in [`super::bfs`] is itself used to judge the distributed
+//! algorithms; this `O(n³)` dynamic program shares no code with it, so the
+//! two can cross-validate each other in tests. Use the BFS oracle for
+//! anything performance-sensitive.
+
+use crate::distance::DistanceMatrix;
+use crate::graph::Graph;
+
+/// All-pairs hop distances by the Floyd–Warshall recurrence.
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_graph::{generators, reference};
+///
+/// let g = generators::cycle(7);
+/// assert_eq!(reference::floyd_warshall(&g), reference::apsp(&g));
+/// ```
+pub fn floyd_warshall(g: &Graph) -> DistanceMatrix {
+    let n = g.num_nodes();
+    let mut d = DistanceMatrix::new(n);
+    for (u, v) in g.edges() {
+        d.set(u, v, 1);
+        d.set(v, u, 1);
+    }
+    for w in 0..n as u32 {
+        for u in 0..n as u32 {
+            let Some(duw) = d.get(u, w) else { continue };
+            for v in 0..n as u32 {
+                let Some(dwv) = d.get(w, v) else { continue };
+                let via = duw + dwv;
+                if d.get(u, v).is_none_or(|cur| via < cur) {
+                    d.set(u, v, via);
+                }
+            }
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::reference::apsp;
+
+    #[test]
+    fn agrees_with_the_bfs_oracle_on_a_zoo() {
+        for g in [
+            generators::path(9),
+            generators::cycle(8),
+            generators::grid(3, 4),
+            generators::complete(6),
+            generators::star(7),
+            generators::barbell(4, 3),
+            generators::hypercube(3),
+        ] {
+            assert_eq!(floyd_warshall(&g), apsp(&g));
+        }
+    }
+
+    #[test]
+    fn agrees_on_random_graphs_including_disconnected() {
+        for seed in 0..8 {
+            let g = generators::erdos_renyi(18, 0.12, seed); // may be disconnected
+            assert_eq!(floyd_warshall(&g), apsp(&g), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(
+            floyd_warshall(&crate::Graph::builder(0).build()).num_nodes(),
+            0
+        );
+        let one = floyd_warshall(&crate::Graph::builder(1).build());
+        assert_eq!(one.get(0, 0), Some(0));
+    }
+}

@@ -1,0 +1,166 @@
+//! Girth oracle and tree detection.
+
+use std::collections::VecDeque;
+
+use crate::distance::INFINITY;
+use crate::graph::Graph;
+
+/// True if the graph is a forest with exactly one component covering all
+/// nodes — i.e. a tree. The empty graph is not a tree; a single node is.
+///
+/// This is the centralized counterpart of the paper's Claim 1.
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_graph::{generators, reference};
+///
+/// assert!(reference::is_tree(&generators::star(6)));
+/// assert!(!reference::is_tree(&generators::cycle(6)));
+/// ```
+pub fn is_tree(g: &Graph) -> bool {
+    let n = g.num_nodes();
+    n > 0 && g.num_edges() == n - 1 && crate::reference::is_connected(g)
+}
+
+/// The girth: the length of a shortest cycle, or `None` if the graph is a
+/// forest (the paper defines forest girth as infinity).
+///
+/// Runs one truncated BFS per node; from a root on a minimum cycle the first
+/// non-tree edge encountered closes that cycle exactly, and no candidate can
+/// undercut the girth, so the minimum over all roots is exact (the argument
+/// behind the paper's Lemma 7).
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_graph::{generators, reference};
+///
+/// assert_eq!(reference::girth(&generators::cycle(7)), Some(7));
+/// assert_eq!(reference::girth(&generators::complete(4)), Some(3));
+/// assert_eq!(reference::girth(&generators::path(5)), None);
+/// ```
+pub fn girth(g: &Graph) -> Option<u32> {
+    let n = g.num_nodes();
+    let mut best: u32 = INFINITY;
+    let mut dist = vec![INFINITY; n];
+    let mut parent = vec![u32::MAX; n];
+    for root in 0..n as u32 {
+        dist.fill(INFINITY);
+        parent.fill(u32::MAX);
+        dist[root as usize] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u as usize];
+            // Once 2·d(u) >= best no shorter cycle can be found from this root.
+            if best != INFINITY && 2 * du >= best {
+                break;
+            }
+            for &v in g.neighbors(u) {
+                if dist[v as usize] == INFINITY {
+                    dist[v as usize] = du + 1;
+                    parent[v as usize] = u;
+                    queue.push_back(v);
+                } else if parent[u as usize] != v && parent[v as usize] != u {
+                    // Non-tree edge: closes a cycle through the deepest
+                    // common ancestor of u and v, of length at most
+                    // d(u) + d(v) + 1.
+                    best = best.min(du + dist[v as usize] + 1);
+                }
+            }
+        }
+    }
+    if best == INFINITY {
+        None
+    } else {
+        Some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn cycles_have_their_length_as_girth() {
+        for k in 3..12 {
+            assert_eq!(girth(&generators::cycle(k)), Some(k as u32));
+        }
+    }
+
+    #[test]
+    fn trees_have_no_girth() {
+        assert_eq!(girth(&generators::path(10)), None);
+        assert_eq!(girth(&generators::balanced_tree(2, 4)), None);
+        assert_eq!(girth(&generators::star(8)), None);
+    }
+
+    #[test]
+    fn complete_and_bipartite_girths() {
+        assert_eq!(girth(&generators::complete(5)), Some(3));
+        // Grid graphs are bipartite with 4-cycles.
+        assert_eq!(girth(&generators::grid(3, 3)), Some(4));
+        // Hypercubes have girth 4.
+        assert_eq!(girth(&generators::hypercube(3)), Some(4));
+    }
+
+    #[test]
+    fn lollipop_girth_is_cycle_length() {
+        let g = generators::lollipop(6, 10);
+        assert_eq!(girth(&g), Some(6));
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_node() {
+        let mut b = Graph::builder(5);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)] {
+            b.add_edge(u, v).unwrap();
+        }
+        assert_eq!(girth(&b.build()), Some(3));
+    }
+
+    #[test]
+    fn is_tree_cases() {
+        assert!(is_tree(&generators::path(1)));
+        assert!(is_tree(&generators::balanced_tree(3, 3)));
+        assert!(!is_tree(&generators::cycle(4)));
+        // Disconnected forest is not a tree.
+        let g = Graph::builder(2).build();
+        assert!(!is_tree(&g));
+    }
+
+    #[test]
+    fn girth_matches_brute_force_on_small_random_graphs() {
+        // Brute force: shortest cycle through each edge via BFS in G - e.
+        for seed in 0..8 {
+            let g = generators::erdos_renyi_connected(14, 0.2, seed);
+            let fast = girth(&g);
+            let mut brute = INFINITY;
+            for (u, v) in g.edges() {
+                // BFS from u to v avoiding the direct edge (u, v).
+                let mut dist = vec![INFINITY; g.num_nodes()];
+                dist[u as usize] = 0;
+                let mut q = VecDeque::new();
+                q.push_back(u);
+                while let Some(x) = q.pop_front() {
+                    for &y in g.neighbors(x) {
+                        if (x, y) == (u, v) || (x, y) == (v, u) {
+                            continue;
+                        }
+                        if dist[y as usize] == INFINITY {
+                            dist[y as usize] = dist[x as usize] + 1;
+                            q.push_back(y);
+                        }
+                    }
+                }
+                if dist[v as usize] != INFINITY {
+                    brute = brute.min(dist[v as usize] + 1);
+                }
+            }
+            let brute = if brute == INFINITY { None } else { Some(brute) };
+            assert_eq!(fast, brute, "seed={seed}");
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Eccentricity-derived graph metrics (Definitions 3 and 4 of the paper).
+
+use crate::distance::INFINITY;
+use crate::graph::Graph;
+use crate::reference::bfs::bfs;
+
+/// The eccentricity of `v`: `max_u d(v, u)`, or `None` if the graph is
+/// disconnected (some node unreachable from `v`).
+///
+/// # Panics
+///
+/// Panics if `v >= n` or the graph is empty.
+pub fn eccentricity(g: &Graph, v: u32) -> Option<u32> {
+    let max = *bfs(g, v).iter().max().expect("nonempty graph");
+    if max == INFINITY {
+        None
+    } else {
+        Some(max)
+    }
+}
+
+/// Every node's eccentricity, or `None` if the graph is disconnected or
+/// empty.
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_graph::{generators, reference};
+///
+/// let g = generators::path(4);
+/// assert_eq!(reference::eccentricities(&g), Some(vec![3, 2, 2, 3]));
+/// ```
+pub fn eccentricities(g: &Graph) -> Option<Vec<u32>> {
+    (0..g.num_nodes() as u32)
+        .map(|v| eccentricity(g, v))
+        .collect()
+}
+
+/// The diameter `max_{u,v} d(u, v)`, or `None` if disconnected or empty.
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_graph::{generators, reference};
+///
+/// assert_eq!(reference::diameter(&generators::cycle(10)), Some(5));
+/// ```
+pub fn diameter(g: &Graph) -> Option<u32> {
+    eccentricities(g).map(|e| e.into_iter().max().unwrap_or(0))
+}
+
+/// The radius `min_v ecc(v)`, or `None` if disconnected or empty.
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_graph::{generators, reference};
+///
+/// assert_eq!(reference::radius(&generators::star(9)), Some(1));
+/// ```
+pub fn radius(g: &Graph) -> Option<u32> {
+    eccentricities(g).map(|e| e.into_iter().min().unwrap_or(0))
+}
+
+/// The center: all nodes whose eccentricity equals the radius (Definition 4).
+///
+/// Returns `None` if the graph is disconnected or empty.
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_graph::{generators, reference};
+///
+/// assert_eq!(reference::center(&generators::path(5)), Some(vec![2]));
+/// ```
+pub fn center(g: &Graph) -> Option<Vec<u32>> {
+    let ecc = eccentricities(g)?;
+    let rad = *ecc.iter().min()?;
+    Some(
+        ecc.iter()
+            .enumerate()
+            .filter(|(_, &e)| e == rad)
+            .map(|(v, _)| v as u32)
+            .collect(),
+    )
+}
+
+/// The peripheral vertices: all nodes whose eccentricity equals the diameter
+/// (Definition 4). Returns `None` if the graph is disconnected or empty.
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_graph::{generators, reference};
+///
+/// assert_eq!(reference::peripheral_vertices(&generators::path(5)), Some(vec![0, 4]));
+/// ```
+pub fn peripheral_vertices(g: &Graph) -> Option<Vec<u32>> {
+    let ecc = eccentricities(g)?;
+    let diam = *ecc.iter().max()?;
+    Some(
+        ecc.iter()
+            .enumerate()
+            .filter(|(_, &e)| e == diam)
+            .map(|(v, _)| v as u32)
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_metrics() {
+        let g = generators::path(7);
+        assert_eq!(diameter(&g), Some(6));
+        assert_eq!(radius(&g), Some(3));
+        assert_eq!(center(&g), Some(vec![3]));
+        assert_eq!(peripheral_vertices(&g), Some(vec![0, 6]));
+    }
+
+    #[test]
+    fn even_path_has_two_centers() {
+        let g = generators::path(6);
+        assert_eq!(center(&g), Some(vec![2, 3]));
+    }
+
+    #[test]
+    fn complete_graph_everyone_is_center_and_peripheral() {
+        let g = generators::complete(5);
+        assert_eq!(diameter(&g), Some(1));
+        assert_eq!(radius(&g), Some(1));
+        assert_eq!(center(&g), Some(vec![0, 1, 2, 3, 4]));
+        assert_eq!(peripheral_vertices(&g), Some(vec![0, 1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn disconnected_yields_none() {
+        let g = Graph::builder(3).build();
+        assert_eq!(diameter(&g), None);
+        assert_eq!(radius(&g), None);
+        assert_eq!(center(&g), None);
+        assert_eq!(peripheral_vertices(&g), None);
+    }
+
+    #[test]
+    fn eccentricity_bounds_diameter_both_ways() {
+        // Fact 1 of the paper: ecc(u) <= D <= 2·ecc(u) for every u.
+        for seed in 0..5 {
+            let g = generators::erdos_renyi_connected(25, 0.12, seed);
+            let d = diameter(&g).unwrap();
+            for v in 0..g.num_nodes() as u32 {
+                let e = eccentricity(&g, v).unwrap();
+                assert!(e <= d && d <= 2 * e, "seed={seed} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_graph() {
+        let g = Graph::builder(1).build();
+        assert_eq!(diameter(&g), Some(0));
+        assert_eq!(radius(&g), Some(0));
+        assert_eq!(center(&g), Some(vec![0]));
+    }
+}

@@ -1,0 +1,20 @@
+//! Centralized oracle algorithms.
+//!
+//! Every distributed result in this repository is checked against these
+//! straightforward sequential implementations. They favor obviousness over
+//! speed (the fastest one is `O(n·m)`), which is exactly what a test oracle
+//! should do.
+
+mod bfs;
+mod domination;
+mod floyd_warshall;
+mod girth;
+mod metrics;
+
+pub use bfs::{apsp, bfs, is_connected, s_shortest_paths};
+pub use floyd_warshall::floyd_warshall;
+pub use domination::{distance_to_set, is_dominating_set, is_k_dominating_set};
+pub use girth::{girth, is_tree};
+pub use metrics::{
+    center, diameter, eccentricities, eccentricity, peripheral_vertices, radius,
+};

@@ -1,0 +1,119 @@
+//! Property tests for the graph toolkit: builder invariants, oracle
+//! algebra, and the lower-bound family dichotomies.
+
+use proptest::prelude::*;
+
+use dapsp_graph::{generators, lowerbound, reference, Graph, INFINITY};
+
+fn connected(n: usize, p: f64, seed: u64) -> Graph {
+    generators::erdos_renyi_connected(n, p, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Builder output is always simple and symmetric.
+    #[test]
+    fn graphs_are_simple_and_symmetric(n in 2usize..40, p in 0.0f64..0.4, seed in any::<u64>()) {
+        let g = generators::erdos_renyi(n, p, seed);
+        for v in 0..n as u32 {
+            let nbrs = g.neighbors(v);
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "sorted, no dups");
+            prop_assert!(!nbrs.contains(&v), "no self-loop");
+            for &u in nbrs {
+                prop_assert!(g.has_edge(u, v), "symmetric");
+            }
+        }
+        prop_assert_eq!(g.edges().count(), g.num_edges());
+    }
+
+    /// APSP oracle: symmetry, identity, triangle inequality, and edge
+    /// consistency (d differs by at most 1 across an edge).
+    #[test]
+    fn oracle_apsp_is_a_metric(n in 2usize..28, p in 0.02f64..0.3, seed in any::<u64>()) {
+        let g = connected(n, p, seed);
+        let d = reference::apsp(&g);
+        for u in 0..n as u32 {
+            prop_assert_eq!(d.get(u, u), Some(0));
+            for v in 0..n as u32 {
+                prop_assert_eq!(d.get(u, v), d.get(v, u));
+            }
+        }
+        for (u, v) in g.edges() {
+            prop_assert_eq!(d.get(u, v), Some(1));
+            for w in 0..n as u32 {
+                let (a, b) = (d.get(u, w).unwrap() as i64, d.get(v, w).unwrap() as i64);
+                prop_assert!((a - b).abs() <= 1, "edge-consistency");
+            }
+        }
+    }
+
+    /// Eccentricity facts: rad <= D <= 2·rad and Fact 1 per node.
+    #[test]
+    fn radius_diameter_relations(n in 2usize..30, p in 0.02f64..0.3, seed in any::<u64>()) {
+        let g = connected(n, p, seed);
+        let d = reference::diameter(&g).unwrap();
+        let r = reference::radius(&g).unwrap();
+        prop_assert!(r <= d && d <= 2 * r);
+        for e in reference::eccentricities(&g).unwrap() {
+            prop_assert!(e <= d && d <= 2 * e);
+        }
+    }
+
+    /// The girth oracle never reports a value below 3, and any reported
+    /// value is witnessed by some closed walk: cross-check against the
+    /// tree test.
+    #[test]
+    fn girth_consistency(n in 3usize..24, p in 0.0f64..0.3, seed in any::<u64>()) {
+        let g = connected(n, p, seed);
+        match reference::girth(&g) {
+            None => prop_assert!(reference::is_tree(&g)),
+            Some(girth) => {
+                prop_assert!(girth >= 3);
+                prop_assert!(!reference::is_tree(&g));
+                prop_assert!(girth <= 2 * reference::diameter(&g).unwrap() + 1);
+            }
+        }
+    }
+
+    /// Multi-source distances agree with the per-source minimum.
+    #[test]
+    fn distance_to_set_is_min_over_sources(n in 2usize..24, seed in any::<u64>(), k in 1usize..5) {
+        let g = connected(n, 0.15, seed);
+        let sources: Vec<u32> = (0..k.min(n) as u32).collect();
+        let multi = reference::distance_to_set(&g, &sources);
+        let singles = reference::s_shortest_paths(&g, &sources);
+        for v in 0..n {
+            let want = singles.iter().map(|row| row[v]).min().unwrap();
+            prop_assert_eq!(multi[v], want);
+            prop_assert!(multi[v] != INFINITY);
+        }
+    }
+
+    /// The 2-vs-3 dichotomy holds for arbitrary random inputs, and the
+    /// certificate is consistent with the cut actually present.
+    #[test]
+    fn two_vs_three_dichotomy(k in 2usize..12, da in 0.0f64..0.6, db in 0.0f64..0.6, seed in any::<u64>()) {
+        let alice = lowerbound::random_pair_set(k, da, seed);
+        let bob = lowerbound::random_pair_set(k, db, seed.wrapping_add(1));
+        let inst = lowerbound::two_vs_three(k, &alice, &bob);
+        prop_assert_eq!(
+            reference::diameter(&inst.graph),
+            Some(inst.expected_diameter)
+        );
+        let in_alice = |x: u32| inst.alice_nodes.contains(&x);
+        let crossing = inst.graph.edges().filter(|&(x, y)| in_alice(x) != in_alice(y)).count() as u64;
+        prop_assert_eq!(crossing, inst.bound.cut_edges);
+    }
+
+    /// The diameter-gap family keeps its promised diameter at every scale.
+    #[test]
+    fn diameter_gap_family(k in 4usize..9, h in 1usize..5, intersecting in any::<bool>()) {
+        let (alice, bob) = lowerbound::canonical_inputs(k, intersecting);
+        let inst = lowerbound::diameter_gap(k, h, &alice, &bob);
+        prop_assert_eq!(
+            reference::diameter(&inst.graph),
+            Some(inst.expected_diameter)
+        );
+    }
+}
