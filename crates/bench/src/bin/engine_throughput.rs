@@ -1,0 +1,344 @@
+//! Engine throughput benchmark: the seed round engine versus the
+//! zero-allocation engine, on identical workloads.
+//!
+//! Two workloads run on four topology families at several sizes:
+//!
+//! * **bfs-flood** — one wave from node 0; every node forwards once.
+//!   Sparse traffic, so the measurement is dominated by per-round engine
+//!   overhead (buffer churn in the seed engine).
+//! * **apsp-gossip** — every node floods its id and adopts the first
+//!   arrival per origin, queueing forwards at one token per port per round
+//!   (n simultaneous BFS waves, the Algorithm 1 traffic pattern). Dense
+//!   traffic, so the measurement is dominated by per-message commit cost.
+//!
+//! Engines compared: the verbatim seed engine
+//! ([`ReferenceSimulator`]), the optimized engine sequentially, and the
+//! optimized engine with 4 worker threads. Outputs are asserted identical
+//! across all three before a row is recorded.
+//!
+//! Results go to stdout as a table and to `BENCH_engine.json` at the repo
+//! root (override with the first CLI argument): one JSON object per row
+//! with `label`, `family`, `n`, `engine`, `threads`, `rounds`, `messages`,
+//! `wall_ms`, `msgs_per_sec`.
+
+use std::collections::VecDeque;
+
+use dapsp_bench::print_table;
+use dapsp_congest::{
+    Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port, ReferenceSimulator, RunStats,
+    Simulator, Topology,
+};
+use dapsp_graph::generators;
+
+/// A token carrying an origin id and a hop count; sized like a real
+/// CONGEST message (id + counter).
+#[derive(Clone, Debug)]
+struct Token {
+    origin: u32,
+    hops: u32,
+}
+impl Message for Token {
+    fn bit_size(&self) -> u32 {
+        32
+    }
+}
+
+/// Single-source flood: forward the first arrival, then go quiet.
+struct BfsFlood {
+    dist: Option<u32>,
+}
+impl NodeAlgorithm for BfsFlood {
+    type Message = Token;
+    type Output = u32;
+
+    fn on_start(&mut self, ctx: &NodeContext<'_>, out: &mut Outbox<Token>) {
+        if ctx.node_id() == 0 {
+            self.dist = Some(0);
+            out.send_to_all(0..ctx.degree() as Port, Token { origin: 0, hops: 1 });
+        }
+    }
+
+    fn on_round(&mut self, ctx: &NodeContext<'_>, inbox: &Inbox<Token>, out: &mut Outbox<Token>) {
+        if self.dist.is_none() {
+            if let Some((_, m)) = inbox.iter().next() {
+                self.dist = Some(m.hops);
+                out.send_to_all(
+                    0..ctx.degree() as Port,
+                    Token {
+                        origin: 0,
+                        hops: m.hops + 1,
+                    },
+                );
+            }
+        }
+    }
+
+    fn is_active(&self) -> bool {
+        false
+    }
+
+    fn into_output(self, _: &NodeContext<'_>) -> u32 {
+        self.dist.unwrap_or(u32::MAX)
+    }
+}
+
+/// n simultaneous waves: adopt the first arrival per origin, forward each
+/// adopted origin once, one token per port per round.
+struct ApspGossip {
+    dist: Vec<u32>,
+    queue: VecDeque<Token>,
+}
+impl NodeAlgorithm for ApspGossip {
+    type Message = Token;
+    type Output = u64;
+
+    fn on_start(&mut self, ctx: &NodeContext<'_>, out: &mut Outbox<Token>) {
+        self.dist[ctx.node_id() as usize] = 0;
+        out.send_to_all(
+            0..ctx.degree() as Port,
+            Token {
+                origin: ctx.node_id(),
+                hops: 1,
+            },
+        );
+    }
+
+    fn on_round(&mut self, ctx: &NodeContext<'_>, inbox: &Inbox<Token>, out: &mut Outbox<Token>) {
+        for (_, m) in inbox.iter() {
+            if self.dist[m.origin as usize] == u32::MAX {
+                self.dist[m.origin as usize] = m.hops;
+                self.queue.push_back(Token {
+                    origin: m.origin,
+                    hops: m.hops + 1,
+                });
+            }
+        }
+        if let Some(t) = self.queue.pop_front() {
+            out.send_to_all(0..ctx.degree() as Port, t);
+        }
+    }
+
+    fn is_active(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    fn into_output(self, _: &NodeContext<'_>) -> u64 {
+        // A distance checksum, enough to catch any cross-engine divergence.
+        self.dist
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| u64::from(d).wrapping_mul(i as u64 + 1))
+            .fold(0u64, u64::wrapping_add)
+    }
+}
+
+/// One benchmark row.
+struct Row {
+    label: String,
+    family: &'static str,
+    n: usize,
+    engine: &'static str,
+    threads: usize,
+    stats: RunStats,
+}
+
+impl Row {
+    fn wall_ms(&self) -> f64 {
+        self.stats.wall_time.as_secs_f64() * 1e3
+    }
+
+    fn msgs_per_sec(&self) -> f64 {
+        let secs = self.stats.wall_time.as_secs_f64();
+        if secs > 0.0 {
+            self.stats.messages as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"label\":\"{}\",\"family\":\"{}\",\"n\":{},",
+                "\"engine\":\"{}\",\"threads\":{},\"rounds\":{},",
+                "\"messages\":{},\"wall_ms\":{:.4},\"msgs_per_sec\":{:.1}}}"
+            ),
+            self.label,
+            self.family,
+            self.n,
+            self.engine,
+            self.threads,
+            self.stats.rounds,
+            self.stats.messages,
+            self.wall_ms(),
+            self.msgs_per_sec(),
+        )
+    }
+}
+
+fn config(n: usize) -> Config {
+    let base = Config::for_n(n);
+    let bw = base.bandwidth_bits.max(32);
+    base.with_bandwidth_bits(bw)
+}
+
+fn digest<O: std::hash::Hash>(outputs: &[O]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    outputs.hash(&mut h);
+    h.finish()
+}
+
+/// Runs `workload` on all three engines and returns the rows, panicking if
+/// any engine disagrees on the outputs or round/message counts.
+fn measure<A, F>(label: &str, family: &'static str, topo: &Topology, init: F) -> Vec<Row>
+where
+    A: NodeAlgorithm + Send,
+    A::Message: Send,
+    A::Output: std::hash::Hash,
+    F: Fn(&NodeContext<'_>) -> A + Copy,
+{
+    let n = topo.num_nodes();
+    let seed = ReferenceSimulator::new(topo, config(n), init)
+        .run()
+        .expect("seed engine runs");
+    let opt = Simulator::new(topo, config(n), init)
+        .run()
+        .expect("optimized engine runs");
+    let par = Simulator::new(topo, config(n).with_threads(4), init)
+        .run()
+        .expect("threaded engine runs");
+    let d = digest(&seed.outputs);
+    assert_eq!(d, digest(&opt.outputs), "{label}: optimized output diverged");
+    assert_eq!(d, digest(&par.outputs), "{label}: threaded output diverged");
+    assert_eq!(seed.stats, opt.stats, "{label}: optimized stats diverged");
+    assert_eq!(seed.stats, par.stats, "{label}: threaded stats diverged");
+    vec![
+        Row {
+            label: label.into(),
+            family,
+            n,
+            engine: "seed",
+            threads: 1,
+            stats: seed.stats,
+        },
+        Row {
+            label: label.into(),
+            family,
+            n,
+            engine: "optimized",
+            threads: 1,
+            stats: opt.stats,
+        },
+        Row {
+            label: label.into(),
+            family,
+            n,
+            engine: "optimized",
+            threads: 4,
+            stats: par.stats,
+        },
+    ]
+}
+
+fn family_topology(family: &str, n: usize) -> Topology {
+    match family {
+        "path" => generators::path(n).to_topology(),
+        "tree" => generators::random_tree(n, 12).to_topology(),
+        // Near-regular random graph: a Watts–Strogatz rewired ring, every
+        // degree 6 before rewiring and 6 on average after.
+        "regular6" => generators::watts_strogatz(n, 3, 0.1, 12).to_topology(),
+        "clique" => generators::complete(n).to_topology(),
+        other => panic!("unknown family {other}"),
+    }
+}
+
+/// (family, sizes for the sparse bfs-flood workload, sizes for the dense
+/// apsp-gossip workload). Cliques get smaller sizes: their edge count is
+/// quadratic in `n`.
+const FAMILIES: &[(&str, &[usize], &[usize])] = &[
+    ("path", &[256, 1024, 4096], &[64, 128, 256]),
+    ("tree", &[256, 1024, 4096], &[64, 128, 256]),
+    ("regular6", &[256, 1024, 4096], &[64, 128, 256]),
+    ("clique", &[128, 256, 512], &[48, 96]),
+];
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| {
+        format!("{}/../../BENCH_engine.json", env!("CARGO_MANIFEST_DIR"))
+    });
+    let mut rows: Vec<Row> = Vec::new();
+
+    println!("# Engine throughput: seed vs zero-allocation engine\n");
+
+    for &(family, flood_sizes, gossip_sizes) in FAMILIES {
+        for &n in flood_sizes {
+            let topo = family_topology(family, n);
+            let label = format!("bfs-flood/{family}/n={n}");
+            rows.extend(measure(&label, family, &topo, |_| BfsFlood { dist: None }));
+        }
+        for &n in gossip_sizes {
+            let topo = family_topology(family, n);
+            let label = format!("apsp-gossip/{family}/n={n}");
+            rows.extend(measure(&label, family, &topo, move |_| ApspGossip {
+                dist: vec![u32::MAX; n],
+                queue: VecDeque::new(),
+            }));
+        }
+    }
+
+    // Table: one line per (label, engine, threads), plus the speedup of the
+    // optimized sequential engine over the seed engine.
+    let mut table = Vec::new();
+    for chunk in rows.chunks(3) {
+        let speedup = chunk[0].stats.wall_time.as_secs_f64()
+            / chunk[1].stats.wall_time.as_secs_f64().max(1e-9);
+        for r in chunk {
+            table.push(vec![
+                r.label.clone(),
+                r.engine.to_string(),
+                r.threads.to_string(),
+                r.stats.rounds.to_string(),
+                r.stats.messages.to_string(),
+                format!("{:.3}", r.wall_ms()),
+                format!("{:.2e}", r.msgs_per_sec()),
+                if r.engine == "optimized" && r.threads == 1 {
+                    format!("{speedup:.2}x")
+                } else {
+                    String::new()
+                },
+            ]);
+        }
+    }
+    print_table(
+        "engine throughput",
+        &[
+            "workload", "engine", "thr", "rounds", "msgs", "wall ms", "msg/s", "vs seed",
+        ],
+        &table,
+    );
+
+    // Geometric-mean speedup of the optimized sequential engine.
+    let mut log_sum = 0.0;
+    let mut count = 0u32;
+    for chunk in rows.chunks(3) {
+        let s = chunk[0].stats.wall_time.as_secs_f64()
+            / chunk[1].stats.wall_time.as_secs_f64().max(1e-9);
+        log_sum += s.ln();
+        count += 1;
+    }
+    println!(
+        "geometric-mean speedup (optimized sequential vs seed): {:.2}x over {count} workloads",
+        (log_sum / f64::from(count)).exp()
+    );
+
+    let json: String = std::iter::once("[".to_string())
+        .chain(rows.iter().enumerate().map(|(i, r)| {
+            let sep = if i + 1 == rows.len() { "" } else { "," };
+            format!("\n  {}{}", r.json(), sep)
+        }))
+        .chain(std::iter::once("\n]\n".to_string()))
+        .collect();
+    std::fs::write(&out_path, json).expect("write BENCH_engine.json");
+    println!("wrote {out_path}");
+}

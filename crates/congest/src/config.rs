@@ -66,6 +66,11 @@ pub struct Config {
     pub round_profile: bool,
     /// Optional deterministic message-loss injection.
     pub loss: Option<LossPlan>,
+    /// Number of worker threads stepping nodes each round (default 1 —
+    /// fully sequential). Any value produces bit-for-bit identical runs:
+    /// outboxes are always committed sequentially in node-id order, so
+    /// outputs, statistics, traces, and round counts do not depend on this.
+    pub threads: usize,
 }
 
 impl Config {
@@ -84,6 +89,7 @@ impl Config {
             trace: false,
             round_profile: false,
             loss: None,
+            threads: 1,
         }
     }
 
@@ -114,6 +120,14 @@ impl Config {
     /// Records per-round delivered-message counts in the report.
     pub fn with_round_profile(mut self) -> Self {
         self.round_profile = true;
+        self
+    }
+
+    /// Steps nodes on `threads` worker threads each round (clamped to at
+    /// least 1). The simulation stays deterministic: results are identical
+    /// to a sequential run, only wall-clock time changes.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 }
@@ -151,6 +165,13 @@ mod tests {
     #[test]
     fn default_is_for_64k() {
         assert_eq!(Config::default(), Config::for_n(1 << 16));
+    }
+
+    #[test]
+    fn with_threads_clamps_to_one() {
+        assert_eq!(Config::for_n(8).with_threads(0).threads, 1);
+        assert_eq!(Config::for_n(8).with_threads(4).threads, 4);
+        assert_eq!(Config::for_n(8).threads, 1);
     }
 
     #[test]

@@ -71,6 +71,7 @@ mod config;
 mod error;
 mod message;
 mod node;
+mod reference;
 mod simulator;
 mod stats;
 mod topology;
@@ -82,6 +83,7 @@ pub use config::{Config, LossPlan};
 pub use error::SimError;
 pub use message::{bits_for_count, bits_for_id, Message};
 pub use node::{Inbox, NodeContext, NodeId, Outbox, Port};
+pub use reference::ReferenceSimulator;
 pub use simulator::{Report, Simulator};
 pub use stats::RunStats;
 pub use topology::Topology;

@@ -1,0 +1,238 @@
+//! The original (pre-optimization) round engine, kept verbatim for A/B
+//! benchmarking.
+//!
+//! [`ReferenceSimulator`] preserves the seed engine's behavior *and* its
+//! allocation profile: `n` fresh inbox `Vec`s per round, a fresh [`Outbox`]
+//! per node per round, and a fresh `vec![false; degree]` duplicate-send
+//! check per commit. The optimized [`Simulator`](crate::Simulator) must
+//! produce bit-for-bit identical reports; benchmarks (see
+//! `dapsp-bench/engine_throughput`) quantify the throughput difference.
+
+use crate::algorithm::NodeAlgorithm;
+use crate::config::Config;
+use crate::error::SimError;
+use crate::message::Message;
+use crate::node::{Inbox, NodeContext, NodeId, Outbox};
+use crate::simulator::Report;
+use crate::stats::RunStats;
+use crate::trace::{Event, Trace};
+use crate::topology::Topology;
+
+/// The seed round engine: allocates per round, steps sequentially.
+///
+/// Exists solely as the baseline against which the optimized
+/// [`Simulator`](crate::Simulator) is benchmarked and equivalence-tested;
+/// use the optimized engine for real runs.
+pub struct ReferenceSimulator<'t, A: NodeAlgorithm> {
+    topology: &'t Topology,
+    config: Config,
+    nodes: Vec<Option<A>>,
+    /// `pending[v]` holds the messages to be delivered to `v` next round.
+    pending: Vec<Vec<(u32, A::Message)>>,
+    in_flight: u64,
+    round: u64,
+    stats: RunStats,
+    trace: Option<Trace>,
+    round_profile: Vec<u64>,
+}
+
+impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
+    /// Creates a reference simulator; same contract as
+    /// [`Simulator::new`](crate::Simulator::new).
+    pub fn new<F>(topology: &'t Topology, config: Config, mut init: F) -> Self
+    where
+        F: FnMut(&NodeContext<'_>) -> A,
+    {
+        let n = topology.num_nodes();
+        let nodes = (0..n)
+            .map(|v| {
+                let ctx = NodeContext {
+                    node_id: v as NodeId,
+                    num_nodes: n,
+                    neighbor_ids: topology.neighbors(v as NodeId),
+                    round: 0,
+                };
+                Some(init(&ctx))
+            })
+            .collect();
+        ReferenceSimulator {
+            topology,
+            config,
+            nodes,
+            pending: (0..n).map(|_| Vec::new()).collect(),
+            in_flight: 0,
+            round: 0,
+            stats: RunStats::default(),
+            trace: if config.trace {
+                Some(Trace::default())
+            } else {
+                None
+            },
+            round_profile: Vec::new(),
+        }
+    }
+
+    fn commit_outbox(
+        &mut self,
+        v: NodeId,
+        outbox: Outbox<A::Message>,
+        send_round: u64,
+    ) -> Result<(), SimError> {
+        let degree = self.topology.degree(v);
+        let mut used = vec![false; degree];
+        for (port, msg) in outbox.items {
+            if port as usize >= degree {
+                return Err(SimError::InvalidPort {
+                    node: v,
+                    port,
+                    degree,
+                });
+            }
+            if used[port as usize] {
+                return Err(SimError::DuplicateSend {
+                    node: v,
+                    port,
+                    round: send_round,
+                });
+            }
+            used[port as usize] = true;
+            let bits = msg.bit_size();
+            if bits > self.config.bandwidth_bits {
+                return Err(SimError::BandwidthExceeded {
+                    node: v,
+                    port,
+                    round: send_round,
+                    message_bits: bits,
+                    bandwidth_bits: self.config.bandwidth_bits,
+                });
+            }
+            if let Some(plan) = &self.config.loss {
+                if plan.drops(send_round, v, port) {
+                    self.stats.dropped += 1;
+                    continue;
+                }
+            }
+            let to = self.topology.neighbor_at(v, port);
+            let to_port = self.topology.reverse_port(v, port);
+            if let Some(trace) = &mut self.trace {
+                trace.record(Event {
+                    round: send_round + 1,
+                    from: v,
+                    to,
+                    port: to_port,
+                    bits,
+                    payload: format!("{msg:?}"),
+                });
+            }
+            self.stats.messages += 1;
+            self.stats.bits += u64::from(bits);
+            self.stats.max_message_bits = self.stats.max_message_bits.max(bits);
+            self.pending[to as usize].push((to_port, msg));
+            self.in_flight += 1;
+        }
+        Ok(())
+    }
+
+    fn start_all(&mut self) -> Result<(), SimError> {
+        for v in 0..self.nodes.len() {
+            let ctx = NodeContext {
+                node_id: v as NodeId,
+                num_nodes: self.nodes.len(),
+                neighbor_ids: self.topology.neighbors(v as NodeId),
+                round: 0,
+            };
+            let mut outbox = Outbox::new();
+            self.nodes[v]
+                .as_mut()
+                .expect("node state present")
+                .on_start(&ctx, &mut outbox);
+            self.commit_outbox(v as NodeId, outbox, 0)?;
+        }
+        Ok(())
+    }
+
+    fn step(&mut self) -> Result<(), SimError> {
+        self.round += 1;
+        self.stats.rounds = self.round;
+        self.stats.max_messages_per_round = self.stats.max_messages_per_round.max(self.in_flight);
+        if self.config.round_profile {
+            self.round_profile.push(self.in_flight);
+        }
+        self.in_flight = 0;
+        let n = self.nodes.len();
+        let mut inboxes: Vec<Vec<(u32, A::Message)>> =
+            std::mem::replace(&mut self.pending, (0..n).map(|_| Vec::new()).collect());
+        #[allow(clippy::needless_range_loop)] // v doubles as the node id
+        for v in 0..n {
+            inboxes[v].sort_by_key(|(p, _)| *p);
+            let inbox = Inbox {
+                items: std::mem::take(&mut inboxes[v]),
+            };
+            let ctx = NodeContext {
+                node_id: v as NodeId,
+                num_nodes: n,
+                neighbor_ids: self.topology.neighbors(v as NodeId),
+                round: self.round,
+            };
+            let mut outbox = Outbox::new();
+            self.nodes[v]
+                .as_mut()
+                .expect("node state present")
+                .on_round(&ctx, &inbox, &mut outbox);
+            self.commit_outbox(v as NodeId, outbox, self.round)?;
+        }
+        Ok(())
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.in_flight == 0
+            && self
+                .nodes
+                .iter()
+                .all(|node| !node.as_ref().expect("node state present").is_active())
+    }
+
+    /// Runs to quiescence; same contract as
+    /// [`Simulator::run`](crate::Simulator::run) (minus the `Send` bounds —
+    /// the reference engine is strictly sequential).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any bandwidth/port violation committed by a node, and
+    /// returns [`SimError::RoundLimitExceeded`] if the run does not quiesce
+    /// within [`Config::max_rounds`].
+    pub fn run(mut self) -> Result<Report<A::Output>, SimError> {
+        let started = std::time::Instant::now();
+        self.start_all()?;
+        while !self.is_quiescent() {
+            if self.round >= self.config.max_rounds {
+                return Err(SimError::RoundLimitExceeded {
+                    limit: self.config.max_rounds,
+                });
+            }
+            self.step()?;
+        }
+        let n = self.nodes.len();
+        let outputs = self
+            .nodes
+            .iter_mut()
+            .enumerate()
+            .map(|(v, node)| {
+                let ctx = NodeContext {
+                    node_id: v as NodeId,
+                    num_nodes: n,
+                    neighbor_ids: self.topology.neighbors(v as NodeId),
+                    round: self.round,
+                };
+                node.take().expect("node state present").into_output(&ctx)
+            })
+            .collect();
+        self.stats.wall_time = started.elapsed();
+        Ok(Report {
+            outputs,
+            stats: self.stats,
+            trace: self.trace,
+            round_profile: self.round_profile,
+        })
+    }
+}

@@ -31,14 +31,33 @@ pub struct Report<O> {
 /// bandwidth constraint, and stops when the network is silent and no node is
 /// [`active`](NodeAlgorithm::is_active).
 ///
-/// Execution is fully deterministic: nodes are processed in id order and
-/// inboxes are sorted by port.
+/// Execution is fully deterministic: inboxes are sorted by port, and every
+/// outbox is committed (delivered, traced, counted) in node-id order. This
+/// holds for any [`Config::with_threads`] setting — worker threads only run
+/// the node-local `on_round` calls, which cannot observe each other, so a
+/// `k`-threaded run is bit-for-bit identical to a sequential one.
+///
+/// # Steady-state allocation
+///
+/// All per-round buffers (inboxes, outboxes, the duplicate-send scratch) are
+/// recycled between rounds, so once message volume peaks the engine runs
+/// allocation-free.
 pub struct Simulator<'t, A: NodeAlgorithm> {
     topology: &'t Topology,
     config: Config,
     nodes: Vec<Option<A>>,
-    /// `pending[v]` holds the messages to be delivered to `v` next round.
+    /// `pending[v]` accumulates the messages to be delivered to `v` next
+    /// round.
     pending: Vec<Vec<(u32, A::Message)>>,
+    /// `delivering[v]` is the inbox buffer handed to `v` this round; swapped
+    /// with `pending` at the start of each step and recycled afterwards.
+    delivering: Vec<Vec<(u32, A::Message)>>,
+    /// `outboxes[v]` is `v`'s send buffer, drained on commit and recycled.
+    outboxes: Vec<Outbox<A::Message>>,
+    /// `used_stamp[p] == stamp` iff port `p` was already used by the outbox
+    /// currently being committed; replaces a per-commit `vec![false; deg]`.
+    used_stamp: Vec<u64>,
+    stamp: u64,
     in_flight: u64,
     round: u64,
     stats: RunStats,
@@ -70,6 +89,10 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
             config,
             nodes,
             pending: (0..n).map(|_| Vec::new()).collect(),
+            delivering: (0..n).map(|_| Vec::new()).collect(),
+            outboxes: (0..n).map(|_| Outbox::new()).collect(),
+            used_stamp: vec![0; topology.max_degree()],
+            stamp: 0,
             in_flight: 0,
             round: 0,
             stats: RunStats::default(),
@@ -92,15 +115,14 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
         &self.stats
     }
 
-    fn commit_outbox(
-        &mut self,
-        v: NodeId,
-        outbox: Outbox<A::Message>,
-        send_round: u64,
-    ) -> Result<(), SimError> {
+    /// Drains `outboxes[v]`, validating, counting, tracing, and enqueueing
+    /// each message. The outbox's allocation is kept for the next round.
+    fn commit_outbox(&mut self, v: NodeId, send_round: u64) -> Result<(), SimError> {
         let degree = self.topology.degree(v);
-        let mut used = vec![false; degree];
-        for (port, msg) in outbox.items {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let mut items = std::mem::take(&mut self.outboxes[v as usize].items);
+        for (port, msg) in items.drain(..) {
             if port as usize >= degree {
                 return Err(SimError::InvalidPort {
                     node: v,
@@ -108,14 +130,14 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
                     degree,
                 });
             }
-            if used[port as usize] {
+            if self.used_stamp[port as usize] == stamp {
                 return Err(SimError::DuplicateSend {
                     node: v,
                     port,
                     round: send_round,
                 });
             }
-            used[port as usize] = true;
+            self.used_stamp[port as usize] = stamp;
             let bits = msg.bit_size();
             if bits > self.config.bandwidth_bits {
                 return Err(SimError::BandwidthExceeded {
@@ -150,30 +172,72 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
             self.pending[to as usize].push((to_port, msg));
             self.in_flight += 1;
         }
+        self.outboxes[v as usize].items = items;
         Ok(())
     }
 
     fn start_all(&mut self) -> Result<(), SimError> {
-        for v in 0..self.nodes.len() {
+        let n = self.nodes.len();
+        for v in 0..n {
             let ctx = NodeContext {
                 node_id: v as NodeId,
-                num_nodes: self.nodes.len(),
+                num_nodes: n,
                 neighbor_ids: self.topology.neighbors(v as NodeId),
                 round: 0,
             };
-            let mut outbox = Outbox::new();
             self.nodes[v]
                 .as_mut()
                 .expect("node state present")
-                .on_start(&ctx, &mut outbox);
-            self.commit_outbox(v as NodeId, outbox, 0)?;
+                .on_start(&ctx, &mut self.outboxes[v]);
+            self.commit_outbox(v as NodeId, 0)?;
         }
         Ok(())
     }
 
+    /// Runs `on_round` for one node: sorts its inbox (only when messages
+    /// arrived out of port order — each sender owns a distinct port, so
+    /// keys are unique and an unstable sort is deterministic), invokes the
+    /// algorithm, and recycles the inbox buffer.
+    ///
+    /// This is the only per-round work that worker threads execute; it
+    /// touches nothing but the node's own state and buffers.
+    fn run_node(
+        topology: &Topology,
+        n: usize,
+        round: u64,
+        v: NodeId,
+        node: &mut Option<A>,
+        inbox_buf: &mut Vec<(u32, A::Message)>,
+        outbox: &mut Outbox<A::Message>,
+    ) {
+        if !inbox_buf.windows(2).all(|w| w[0].0 <= w[1].0) {
+            inbox_buf.sort_unstable_by_key(|(p, _)| *p);
+        }
+        let inbox = Inbox {
+            items: std::mem::take(inbox_buf),
+        };
+        let ctx = NodeContext {
+            node_id: v,
+            num_nodes: n,
+            neighbor_ids: topology.neighbors(v),
+            round,
+        };
+        node.as_mut()
+            .expect("node state present")
+            .on_round(&ctx, &inbox, outbox);
+        // Reclaim the inbox allocation for the next round.
+        *inbox_buf = inbox.items;
+        inbox_buf.clear();
+    }
+
     /// Executes one communication round: delivers all pending messages and
-    /// invokes `on_round` on every node.
-    fn step(&mut self) -> Result<(), SimError> {
+    /// invokes `on_round` on every node, then commits every outbox in
+    /// node-id order.
+    fn step(&mut self) -> Result<(), SimError>
+    where
+        A: Send,
+        A::Message: Send,
+    {
         self.round += 1;
         self.stats.rounds = self.round;
         self.stats.max_messages_per_round = self.stats.max_messages_per_round.max(self.in_flight);
@@ -182,28 +246,62 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
         }
         self.in_flight = 0;
         let n = self.nodes.len();
-        // Take all inboxes up front so sends this round are buffered for the
-        // next one.
-        let mut inboxes: Vec<Vec<(u32, A::Message)>> =
-            std::mem::replace(&mut self.pending, (0..n).map(|_| Vec::new()).collect());
-        #[allow(clippy::needless_range_loop)] // v doubles as the node id
+        // Swap the accumulated inboxes in so sends this round are buffered
+        // for the next one; `delivering`'s buffers were cleared (capacity
+        // kept) at the end of the previous step.
+        std::mem::swap(&mut self.pending, &mut self.delivering);
+        let threads = self.config.threads.max(1).min(n.max(1));
+        if threads == 1 {
+            for (v, ((node, inbox), outbox)) in self
+                .nodes
+                .iter_mut()
+                .zip(self.delivering.iter_mut())
+                .zip(self.outboxes.iter_mut())
+                .enumerate()
+            {
+                Self::run_node(self.topology, n, self.round, v as NodeId, node, inbox, outbox);
+            }
+        } else {
+            // Contiguous chunks keep node ids per worker dense, so commit
+            // order below (plain id order) matches the sequential engine.
+            let chunk = n.div_ceil(threads);
+            let topology = self.topology;
+            let round = self.round;
+            std::thread::scope(|scope| {
+                for (i, ((nodes, inboxes), outboxes)) in self
+                    .nodes
+                    .chunks_mut(chunk)
+                    .zip(self.delivering.chunks_mut(chunk))
+                    .zip(self.outboxes.chunks_mut(chunk))
+                    .enumerate()
+                {
+                    scope.spawn(move || {
+                        let base = i * chunk;
+                        for (j, ((node, inbox), outbox)) in nodes
+                            .iter_mut()
+                            .zip(inboxes.iter_mut())
+                            .zip(outboxes.iter_mut())
+                            .enumerate()
+                        {
+                            Self::run_node(
+                                topology,
+                                n,
+                                round,
+                                (base + j) as NodeId,
+                                node,
+                                inbox,
+                                outbox,
+                            );
+                        }
+                    });
+                }
+            });
+        }
+        // Commit sequentially in node-id order: stats, traces, loss
+        // decisions, and delivery order are therefore identical regardless
+        // of the thread count.
         for v in 0..n {
-            inboxes[v].sort_by_key(|(p, _)| *p);
-            let inbox = Inbox {
-                items: std::mem::take(&mut inboxes[v]),
-            };
-            let ctx = NodeContext {
-                node_id: v as NodeId,
-                num_nodes: n,
-                neighbor_ids: self.topology.neighbors(v as NodeId),
-                round: self.round,
-            };
-            let mut outbox = Outbox::new();
-            self.nodes[v]
-                .as_mut()
-                .expect("node state present")
-                .on_round(&ctx, &inbox, &mut outbox);
-            self.commit_outbox(v as NodeId, outbox, self.round)?;
+            self.commit_outbox(v as NodeId, self.round)?;
         }
         Ok(())
     }
@@ -218,12 +316,21 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
 
     /// Runs to quiescence and extracts every node's output.
     ///
+    /// The `Send` bounds exist so [`Config::with_threads`] can fan
+    /// `on_round` calls out to scoped workers; they are trivially satisfied
+    /// by node states and messages made of plain data.
+    ///
     /// # Errors
     ///
     /// Propagates any bandwidth/port violation committed by a node, and
     /// returns [`SimError::RoundLimitExceeded`] if the run does not quiesce
     /// within [`Config::max_rounds`].
-    pub fn run(mut self) -> Result<Report<A::Output>, SimError> {
+    pub fn run(mut self) -> Result<Report<A::Output>, SimError>
+    where
+        A: Send,
+        A::Message: Send,
+    {
+        let started = std::time::Instant::now();
         self.start_all()?;
         while !self.is_quiescent() {
             if self.round >= self.config.max_rounds {
@@ -248,6 +355,7 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
                 node.take().expect("node state present").into_output(&ctx)
             })
             .collect();
+        self.stats.wall_time = started.elapsed();
         Ok(Report {
             outputs,
             stats: self.stats,

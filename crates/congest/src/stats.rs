@@ -5,7 +5,7 @@
 /// Rounds are the CONGEST complexity measure; messages and bits let the
 /// benchmarks reproduce the paper's §3.2 communication-volume comparisons
 /// (e.g. S-SP exchanging `O((|S|+D)·m)` messages).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct RunStats {
     /// Number of synchronous communication rounds executed.
     pub rounds: u64,
@@ -21,11 +21,31 @@ pub struct RunStats {
     /// Messages dropped by fault injection (see
     /// [`LossPlan`](crate::Config)); always 0 without a loss plan.
     pub dropped: u64,
+    /// Wall-clock time of the run, filled in by the simulator. Excluded
+    /// from equality so determinism checks (`stats_a == stats_b`) compare
+    /// only model-level quantities.
+    pub wall_time: std::time::Duration,
 }
 
+/// Equality over the model-level counters only; `wall_time` is ignored so
+/// that two runs of the same deterministic simulation compare equal.
+impl PartialEq for RunStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.rounds == other.rounds
+            && self.messages == other.messages
+            && self.bits == other.bits
+            && self.max_message_bits == other.max_message_bits
+            && self.max_messages_per_round == other.max_messages_per_round
+            && self.dropped == other.dropped
+    }
+}
+
+impl Eq for RunStats {}
+
 impl RunStats {
-    /// Accumulates another run's statistics into this one, summing rounds —
-    /// used when an algorithm is composed of sequential phases.
+    /// Accumulates another run's statistics into this one, summing rounds
+    /// and wall-clock time — used when an algorithm is composed of
+    /// sequential phases.
     pub fn absorb_sequential(&mut self, other: &RunStats) {
         self.rounds += other.rounds;
         self.messages += other.messages;
@@ -35,6 +55,7 @@ impl RunStats {
             .max_messages_per_round
             .max(other.max_messages_per_round);
         self.dropped += other.dropped;
+        self.wall_time += other.wall_time;
     }
 }
 
@@ -61,6 +82,7 @@ mod tests {
             max_message_bits: 16,
             max_messages_per_round: 30,
             dropped: 1,
+            wall_time: std::time::Duration::from_millis(3),
         };
         let b = RunStats {
             rounds: 5,
@@ -69,6 +91,7 @@ mod tests {
             max_message_bits: 20,
             max_messages_per_round: 10,
             dropped: 2,
+            wall_time: std::time::Duration::from_millis(4),
         };
         a.absorb_sequential(&b);
         assert_eq!(a.rounds, 15);
@@ -77,6 +100,27 @@ mod tests {
         assert_eq!(a.max_message_bits, 20);
         assert_eq!(a.max_messages_per_round, 30);
         assert_eq!(a.dropped, 3);
+        assert_eq!(a.wall_time, std::time::Duration::from_millis(7));
+    }
+
+    #[test]
+    fn equality_ignores_wall_time() {
+        let a = RunStats {
+            rounds: 3,
+            wall_time: std::time::Duration::from_secs(1),
+            ..RunStats::default()
+        };
+        let b = RunStats {
+            rounds: 3,
+            wall_time: std::time::Duration::from_secs(9),
+            ..RunStats::default()
+        };
+        assert_eq!(a, b);
+        let c = RunStats {
+            rounds: 4,
+            ..RunStats::default()
+        };
+        assert_ne!(a, c);
     }
 
     #[test]

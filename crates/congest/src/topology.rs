@@ -27,19 +27,30 @@ use crate::node::NodeId;
 /// # Ok(())
 /// # }
 /// ```
+/// The topology is stored in CSR (compressed sparse row) form: one flat
+/// neighbor array plus per-node offsets, so a whole simulation round walks
+/// memory sequentially instead of chasing one heap allocation per node.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Topology {
-    /// `adj[v]` lists the neighbors of `v`; `adj[v][p]` is the node reached
+    /// `offsets[v]..offsets[v+1]` delimits `v`'s slice of `neighbors` and
+    /// `reverse_ports`; `offsets.len() == n + 1`.
+    offsets: Vec<u32>,
+    /// Flat neighbor array: `neighbors[offsets[v] + p]` is the node reached
     /// from `v` through port `p`.
-    adj: Vec<Vec<NodeId>>,
-    /// `reverse_port[v][p]` is the port *at the neighbor* `adj[v][p]` that
-    /// leads back to `v`. Precomputed so message delivery is O(1).
-    reverse_port: Vec<Vec<u32>>,
+    neighbors: Vec<NodeId>,
+    /// `reverse_ports[offsets[v] + p]` is the port *at the neighbor*
+    /// reached through `(v, p)` that leads back to `v`. Precomputed so
+    /// message delivery is O(1).
+    reverse_ports: Vec<u32>,
     num_edges: usize,
 }
 
 impl Topology {
     /// Builds a topology from adjacency lists.
+    ///
+    /// Construction and validation run in `O(n + m)` time (one stamped
+    /// scatter array replaces the per-neighbor membership scans), so even
+    /// clique inputs cost linear-in-`m` work.
     ///
     /// # Errors
     ///
@@ -48,9 +59,11 @@ impl Topology {
     /// are not symmetric (`u` lists `v` but `v` does not list `u`).
     pub fn from_adjacency(adj: Vec<Vec<NodeId>>) -> Result<Self, SimError> {
         let n = adj.len();
+        // `mark[v] == u` iff node u already listed v in this pass; node ids
+        // are `< n <= u32::MAX`, so `u32::MAX` is a safe "never" value.
+        let mut mark = vec![u32::MAX; n];
         let mut degree_pairs = 0usize;
         for (u, neighbors) in adj.iter().enumerate() {
-            let mut seen = vec![];
             for &v in neighbors {
                 if v as usize >= n {
                     return Err(SimError::InvalidTopology(format!(
@@ -62,41 +75,77 @@ impl Topology {
                         "node {u} has a self-loop"
                     )));
                 }
-                if seen.contains(&v) {
+                if mark[v as usize] == u as u32 {
                     return Err(SimError::InvalidTopology(format!(
                         "node {u} lists neighbor {v} twice"
                     )));
                 }
-                seen.push(v);
+                mark[v as usize] = u as u32;
             }
             degree_pairs += neighbors.len();
         }
-        // Symmetry check and reverse-port table.
-        let mut reverse_port = vec![vec![]; n];
-        for (u, neighbors) in adj.iter().enumerate() {
-            let mut rp = Vec::with_capacity(neighbors.len());
-            for &v in neighbors {
-                match adj[v as usize].iter().position(|&w| w as usize == u) {
-                    Some(p) => rp.push(p as u32),
-                    None => {
-                        return Err(SimError::InvalidTopology(format!(
-                            "edge {u}->{v} is not symmetric: {v} does not list {u}"
-                        )))
-                    }
-                }
+        // Flatten into CSR.
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(degree_pairs);
+        offsets.push(0u32);
+        for list in &adj {
+            neighbors.extend_from_slice(list);
+            offsets.push(neighbors.len() as u32);
+        }
+        drop(adj);
+        // Reverse ports in O(n + m): bucket every directed edge u--p-->v by
+        // its target v (a counting sort), then for each v scatter v's own
+        // neighbor->port map into a stamped array and resolve its bucket.
+        let mut incoming = vec![0u32; n + 1];
+        for &v in &neighbors {
+            incoming[v as usize + 1] += 1;
+        }
+        for v in 0..n {
+            incoming[v + 1] += incoming[v];
+        }
+        let mut cursor = incoming.clone();
+        // Bucketed entries grouped by target: the flat index
+        // `offsets[u] + p` of each directed edge plus its source `u`.
+        let mut by_target = vec![(0u32, 0u32); degree_pairs];
+        for u in 0..n {
+            let start = offsets[u] as usize;
+            for (off, &nb) in neighbors[start..offsets[u + 1] as usize].iter().enumerate() {
+                let v = nb as usize;
+                by_target[cursor[v] as usize] = ((start + off) as u32, u as u32);
+                cursor[v] += 1;
             }
-            reverse_port[u] = rp;
+        }
+        let mut reverse_ports = vec![0u32; degree_pairs];
+        // Stamped scatter: port_at[w] is meaningful iff stamp[w] == v.
+        let mut port_at = vec![0u32; n];
+        let mut stamp = vec![u32::MAX; n];
+        for v in 0..n {
+            let (start, end) = (offsets[v] as usize, offsets[v + 1] as usize);
+            for (q, &w) in neighbors[start..end].iter().enumerate() {
+                stamp[w as usize] = v as u32;
+                port_at[w as usize] = q as u32;
+            }
+            for &(e, u) in &by_target[incoming[v] as usize..incoming[v + 1] as usize] {
+                // Edge e is u --p--> v; symmetric iff v also lists u.
+                if stamp[u as usize] != v as u32 {
+                    return Err(SimError::InvalidTopology(format!(
+                        "edge {u}->{v} is not symmetric: {v} does not list {u}"
+                    )));
+                }
+                reverse_ports[e as usize] = port_at[u as usize];
+            }
         }
         Ok(Self {
-            adj,
-            reverse_port,
+            offsets,
+            neighbors,
+            reverse_ports,
             num_edges: degree_pairs / 2,
         })
     }
 
     /// Number of nodes `n`.
     pub fn num_nodes(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Number of undirected edges `m`.
@@ -110,7 +159,15 @@ impl Topology {
     ///
     /// Panics if `v >= n`.
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adj[v as usize].len()
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// The largest degree of any node (0 for an edgeless graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes() as NodeId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// The neighbors of `v`, in port order.
@@ -119,7 +176,7 @@ impl Topology {
     ///
     /// Panics if `v >= n`.
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.adj[v as usize]
+        &self.neighbors[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
     }
 
     /// The node reached from `v` through port `p`.
@@ -128,7 +185,7 @@ impl Topology {
     ///
     /// Panics if `v` or `p` is out of range.
     pub fn neighbor_at(&self, v: NodeId, p: u32) -> NodeId {
-        self.adj[v as usize][p as usize]
+        self.neighbors(v)[p as usize]
     }
 
     /// The port at `neighbor_at(v, p)` that leads back to `v`.
@@ -137,7 +194,8 @@ impl Topology {
     ///
     /// Panics if `v` or `p` is out of range.
     pub fn reverse_port(&self, v: NodeId, p: u32) -> u32 {
-        self.reverse_port[v as usize][p as usize]
+        self.reverse_ports
+            [self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize][p as usize]
     }
 }
 
@@ -192,6 +250,41 @@ mod tests {
     fn rejects_duplicate_edge() {
         let err = Topology::from_adjacency(vec![vec![1, 1], vec![0, 0]]).unwrap_err();
         assert!(matches!(err, SimError::InvalidTopology(_)));
+    }
+
+    #[test]
+    fn csr_handles_isolated_nodes_between_edges() {
+        // Node 1 is isolated; 0, 2, 3 form a path 0-2-3 with unsorted lists.
+        let t =
+            Topology::from_adjacency(vec![vec![2], vec![], vec![3, 0], vec![2]]).unwrap();
+        assert_eq!(t.num_edges(), 2);
+        assert_eq!(t.degree(1), 0);
+        assert_eq!(t.neighbors(1), &[] as &[NodeId]);
+        assert_eq!(t.neighbors(2), &[3, 0]);
+        assert_eq!(t.max_degree(), 2);
+        for v in [0u32, 2, 3] {
+            for p in 0..t.degree(v) as u32 {
+                let u = t.neighbor_at(v, p);
+                assert_eq!(t.neighbor_at(u, t.reverse_port(v, p)), v);
+            }
+        }
+    }
+
+    #[test]
+    fn clique_reverse_ports_round_trip() {
+        let n = 40u32;
+        let adj: Vec<Vec<NodeId>> = (0..n)
+            .map(|u| (0..n).filter(|&v| v != u).collect())
+            .collect();
+        let t = Topology::from_adjacency(adj).unwrap();
+        assert_eq!(t.num_edges(), (n as usize * (n as usize - 1)) / 2);
+        assert_eq!(t.max_degree(), n as usize - 1);
+        for v in 0..n {
+            for p in 0..t.degree(v) as u32 {
+                let u = t.neighbor_at(v, p);
+                assert_eq!(t.neighbor_at(u, t.reverse_port(v, p)), v);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Property tests for the round engine's determinism guarantees: a
+//! `k`-threaded run must be bit-for-bit identical to the sequential run —
+//! same outputs, same statistics, same trace, same per-round profile — and
+//! the optimized engine must agree with the verbatim seed engine
+//! ([`ReferenceSimulator`]).
+
+use proptest::prelude::*;
+
+use dapsp_congest::{
+    Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port, ReferenceSimulator,
+    Simulator, Topology,
+};
+
+/// A gossip token: (origin id, hop count). Sized like a real CONGEST
+/// message so bandwidth checks run on the same path as production code.
+#[derive(Clone, Debug)]
+struct Token {
+    origin: u32,
+    hops: u32,
+}
+impl Message for Token {
+    fn bit_size(&self) -> u32 {
+        16
+    }
+}
+
+/// Every node floods its own id and records, per known origin, the round
+/// it first heard it and the hop count it arrived with. Newly-learned
+/// origins are queued and re-flooded one per round (a port accepts only one
+/// message per round), so all-to-all traffic keeps every edge busy for many
+/// rounds — the interesting regime for the commit-order guarantee.
+struct Gossip {
+    first_heard: Vec<Option<(u64, u32)>>,
+    queue: std::collections::VecDeque<Token>,
+}
+impl NodeAlgorithm for Gossip {
+    type Message = Token;
+    type Output = Vec<Option<(u64, u32)>>;
+
+    fn on_start(&mut self, ctx: &NodeContext<'_>, out: &mut Outbox<Token>) {
+        self.first_heard[ctx.node_id() as usize] = Some((0, 0));
+        out.send_to_all(
+            0..ctx.degree() as Port,
+            Token {
+                origin: ctx.node_id(),
+                hops: 1,
+            },
+        );
+    }
+
+    fn on_round(&mut self, ctx: &NodeContext<'_>, inbox: &Inbox<Token>, out: &mut Outbox<Token>) {
+        // Adopt in port order; queue each newly-learned origin for one
+        // forward. Port order is deterministic, so the queue order is too.
+        for (_, msg) in inbox.iter() {
+            let o = msg.origin as usize;
+            if self.first_heard[o].is_none() {
+                self.first_heard[o] = Some((ctx.round(), msg.hops));
+                self.queue.push_back(Token {
+                    origin: msg.origin,
+                    hops: msg.hops + 1,
+                });
+            }
+        }
+        if let Some(t) = self.queue.pop_front() {
+            out.send_to_all(0..ctx.degree() as Port, t);
+        }
+    }
+
+    fn is_active(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    fn into_output(self, _: &NodeContext<'_>) -> Vec<Option<(u64, u32)>> {
+        self.first_heard
+    }
+}
+
+/// Random connected topology: random-attachment tree plus extra edges.
+fn random_connected_adj(n: usize, seed: u64, extra_per_node: usize) -> Vec<Vec<u32>> {
+    let mut edges = std::collections::BTreeSet::new();
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for v in 1..n as u64 {
+        let p = next() % v;
+        edges.insert((p.min(v) as u32, p.max(v) as u32));
+    }
+    for _ in 0..extra_per_node * n {
+        let a = (next() % n as u64) as u32;
+        let b = (next() % n as u64) as u32;
+        if a != b {
+            edges.insert((a.min(b), a.max(b)));
+        }
+    }
+    let mut adj = vec![vec![]; n];
+    for (a, b) in edges {
+        adj[a as usize].push(b);
+        adj[b as usize].push(a);
+    }
+    adj
+}
+
+fn gossip_config(n: usize) -> Config {
+    // 16-bit tokens need a floor on B for tiny n; trace + profile so the
+    // comparison covers every observable the engine produces.
+    let base = Config::for_n(n);
+    let bw = base.bandwidth_bits.max(16);
+    base.with_bandwidth_bits(bw)
+        .with_trace()
+        .with_round_profile()
+}
+
+fn run_with(topo: &Topology, config: Config) -> dapsp_congest::Report<Vec<Option<(u64, u32)>>> {
+    let n = topo.num_nodes();
+    Simulator::new(topo, config, |_| Gossip {
+        first_heard: vec![None; n],
+        queue: std::collections::VecDeque::new(),
+    })
+    .run()
+    .expect("gossip runs")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole guarantee: for k ∈ {2, 4}, a k-threaded run is
+    /// indistinguishable from the sequential run — outputs, stats
+    /// (wall-time excluded by `RunStats`'s `PartialEq`), round counts,
+    /// per-round profiles, and the full delivery trace all match.
+    #[test]
+    fn threaded_runs_match_sequential(n in 2usize..40, seed in any::<u64>(), extra in 0usize..3) {
+        let adj = random_connected_adj(n, seed, extra);
+        let topo = Topology::from_adjacency(adj).expect("valid");
+        let sequential = run_with(&topo, gossip_config(n));
+        for k in [2usize, 4] {
+            let threaded = run_with(&topo, gossip_config(n).with_threads(k));
+            prop_assert_eq!(&sequential.outputs, &threaded.outputs, "outputs, k={}", k);
+            prop_assert_eq!(sequential.stats, threaded.stats, "stats, k={}", k);
+            prop_assert_eq!(&sequential.round_profile, &threaded.round_profile, "profile, k={}", k);
+            let (st, tt) = (sequential.trace.as_ref().unwrap(), threaded.trace.as_ref().unwrap());
+            prop_assert_eq!(st.events(), tt.events(), "trace, k={}", k);
+        }
+    }
+
+    /// Oversubscription (more threads than nodes) and loss injection keep
+    /// the same guarantee: the loss plan keys on (round, sender, port), all
+    /// of which are thread-count independent.
+    #[test]
+    fn threads_and_loss_stay_deterministic(n in 2usize..24, seed in any::<u64>()) {
+        let adj = random_connected_adj(n, seed, 1);
+        let topo = Topology::from_adjacency(adj).expect("valid");
+        let lossy = |threads: usize| {
+            run_with(&topo, gossip_config(n).with_loss(0.3, seed).with_threads(threads))
+        };
+        let sequential = lossy(1);
+        for k in [3usize, 64] {
+            let threaded = lossy(k);
+            prop_assert_eq!(&sequential.outputs, &threaded.outputs, "outputs, k={}", k);
+            prop_assert_eq!(sequential.stats, threaded.stats, "stats, k={}", k);
+        }
+    }
+
+    /// The optimized engine agrees with the verbatim seed engine on every
+    /// observable — the buffer recycling and skip-sort paths change nothing.
+    #[test]
+    fn optimized_engine_matches_seed_engine(n in 2usize..32, seed in any::<u64>(), extra in 0usize..2) {
+        let adj = random_connected_adj(n, seed, extra);
+        let topo = Topology::from_adjacency(adj).expect("valid");
+        let optimized = run_with(&topo, gossip_config(n));
+        let reference = ReferenceSimulator::new(&topo, gossip_config(n), |_| Gossip {
+            first_heard: vec![None; n],
+            queue: std::collections::VecDeque::new(),
+        })
+        .run()
+        .expect("reference runs");
+        prop_assert_eq!(&optimized.outputs, &reference.outputs);
+        prop_assert_eq!(optimized.stats, reference.stats);
+        prop_assert_eq!(&optimized.round_profile, &reference.round_profile);
+        let (ot, rt) = (optimized.trace.as_ref().unwrap(), reference.trace.as_ref().unwrap());
+        prop_assert_eq!(ot.events(), rt.events());
+    }
+}

@@ -9,11 +9,12 @@
 
 use dapsp_congest::{
     bits_for_count, Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port, RunStats,
+    Topology,
 };
 use dapsp_graph::Graph;
 
 use crate::error::CoreError;
-use crate::runner::run_algorithm;
+use crate::runner::run_algorithm_on;
 use crate::tree::TreeKnowledge;
 
 /// The associative, commutative operations supported by the aggregation.
@@ -167,7 +168,25 @@ pub fn run(
     values: &[u64],
     op: AggOp,
 ) -> Result<AggregateResult, CoreError> {
-    let n = graph.num_nodes();
+    if graph.num_nodes() == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    run_on(&graph.to_topology(), tree, values, op)
+}
+
+/// Like [`run`], but over a prebuilt [`Topology`] — used by multi-phase
+/// algorithms that aggregate repeatedly over the same graph.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_on(
+    topology: &Topology,
+    tree: &TreeKnowledge,
+    values: &[u64],
+    op: AggOp,
+) -> Result<AggregateResult, CoreError> {
+    let n = topology.num_nodes();
     if n == 0 {
         return Err(CoreError::EmptyGraph);
     }
@@ -183,7 +202,7 @@ pub fn run(
             "aggregation tree does not span the graph".into(),
         ));
     }
-    let report = run_algorithm(graph, Config::for_n(n), |ctx| {
+    let report = run_algorithm_on(topology, Config::for_n(n), |ctx| {
         let v = ctx.node_id() as usize;
         AggNode {
             op,

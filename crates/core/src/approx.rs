@@ -15,7 +15,7 @@
 //!    threshold with a `2k` slack (every true member is kept; any extra
 //!    member's true eccentricity is within `2k ≤ ε·D₀/2` of the threshold).
 
-use dapsp_congest::RunStats;
+use dapsp_congest::{RunStats, Topology};
 use dapsp_graph::Graph;
 
 use crate::aggregate::{self, AggOp};
@@ -61,34 +61,36 @@ fn validate_eps(eps: f64) -> Result<(), CoreError> {
     Ok(())
 }
 
-/// Shared phases 1–4; returns per-node estimates plus bookkeeping and the
-/// tree `T_1`, so follow-up aggregations need not rebuild it.
+/// Shared phases 1–4; returns per-node estimates plus bookkeeping, the
+/// tree `T_1`, and the topology all phases ran on, so follow-up
+/// aggregations need not rebuild either.
 fn estimate_eccentricities(
     graph: &Graph,
     eps: f64,
-) -> Result<(ApproxEccResult, TreeKnowledge), CoreError> {
+) -> Result<(ApproxEccResult, TreeKnowledge, Topology), CoreError> {
     validate_eps(eps)?;
     let n = graph.num_nodes();
     if n == 0 {
         return Err(CoreError::EmptyGraph);
     }
+    let topology = graph.to_topology();
     // Phase 1: T_1 and D0 = 2·ecc(1).
-    let t1 = bfs::run(graph, 0)?;
+    let t1 = bfs::run_on(&topology, 0)?;
     if !t1.reached_all() {
         return Err(CoreError::Disconnected);
     }
     let depths: Vec<u64> = t1.dist.iter().map(|&d| u64::from(d)).collect();
-    let agg = aggregate::run(graph, &t1.tree, &depths, AggOp::Max)?;
+    let agg = aggregate::run_on(&topology, &t1.tree, &depths, AggOp::Max)?;
     let d0 = 2 * agg.value as u32;
     let mut stats = t1.stats;
     stats.absorb_sequential(&agg.stats);
     // Phase 2: k-dominating set.
     let k = (eps * f64::from(d0) / 4.0).floor() as u32;
-    let dom = dominating::run(graph, &t1.tree, k)?;
+    let dom = dominating::run_on(&topology, &t1.tree, k)?;
     stats.absorb_sequential(&dom.stats);
     // Phase 3: DOM-SP.
     let sources = dom.member_ids();
-    let sp = ssp::run(graph, &sources)?;
+    let sp = ssp::run_on(&topology, &sources)?;
     stats.absorb_sequential(&sp.stats);
     // Phase 4: local estimates.
     let estimates: Vec<u32> = (0..n)
@@ -102,6 +104,7 @@ fn estimate_eccentricities(
             stats,
         },
         t1.tree,
+        topology,
     ))
 }
 
@@ -132,7 +135,7 @@ fn estimate_eccentricities(
 /// # }
 /// ```
 pub fn eccentricities(graph: &Graph, eps: f64) -> Result<ApproxEccResult, CoreError> {
-    estimate_eccentricities(graph, eps).map(|(r, _)| r)
+    estimate_eccentricities(graph, eps).map(|(r, _, _)| r)
 }
 
 /// Corollary 4: a `(×, 1+ε)` diameter estimate in `O(n/D + D)` rounds.
@@ -155,8 +158,8 @@ pub fn eccentricities(graph: &Graph, eps: f64) -> Result<ApproxEccResult, CoreEr
 /// # }
 /// ```
 pub fn diameter(graph: &Graph, eps: f64) -> Result<ApproxScalarResult, CoreError> {
-    let (ecc, t1) = estimate_eccentricities(graph, eps)?;
-    scalar_from_estimates(graph, ecc, &t1, AggOp::Max)
+    let (ecc, t1, topology) = estimate_eccentricities(graph, eps)?;
+    scalar_from_estimates(&topology, ecc, &t1, AggOp::Max)
 }
 
 /// Corollary 4: a `(×, 1+ε)` radius estimate in `O(n/D + D)` rounds.
@@ -165,19 +168,19 @@ pub fn diameter(graph: &Graph, eps: f64) -> Result<ApproxScalarResult, CoreError
 ///
 /// Same as [`eccentricities`].
 pub fn radius(graph: &Graph, eps: f64) -> Result<ApproxScalarResult, CoreError> {
-    let (ecc, t1) = estimate_eccentricities(graph, eps)?;
-    scalar_from_estimates(graph, ecc, &t1, AggOp::Min)
+    let (ecc, t1, topology) = estimate_eccentricities(graph, eps)?;
+    scalar_from_estimates(&topology, ecc, &t1, AggOp::Min)
 }
 
 fn scalar_from_estimates(
-    graph: &Graph,
+    topology: &Topology,
     ecc: ApproxEccResult,
     t1: &TreeKnowledge,
     op: AggOp,
 ) -> Result<ApproxScalarResult, CoreError> {
     // One more O(D) aggregation over the already-built T_1.
     let values: Vec<u64> = ecc.estimates.iter().map(|&e| u64::from(e)).collect();
-    let agg = aggregate::run(graph, t1, &values, op)?;
+    let agg = aggregate::run_on(topology, t1, &values, op)?;
     let mut stats = ecc.stats;
     stats.absorb_sequential(&agg.stats);
     Ok(ApproxScalarResult {
@@ -199,9 +202,9 @@ fn scalar_from_estimates(
 ///
 /// Same as [`eccentricities`].
 pub fn center(graph: &Graph, eps: f64) -> Result<MembershipResult, CoreError> {
-    let (ecc, t1) = estimate_eccentricities(graph, eps)?;
+    let (ecc, t1, topology) = estimate_eccentricities(graph, eps)?;
     let values: Vec<u64> = ecc.estimates.iter().map(|&e| u64::from(e)).collect();
-    let min = aggregate::run(graph, &t1, &values, AggOp::Min)?;
+    let min = aggregate::run_on(&topology, &t1, &values, AggOp::Min)?;
     let threshold = min.value as u32 + ecc.k;
     let members = ecc.estimates.iter().map(|&e| e <= threshold).collect();
     let mut stats = ecc.stats;
@@ -222,9 +225,9 @@ pub fn center(graph: &Graph, eps: f64) -> Result<MembershipResult, CoreError> {
 ///
 /// Same as [`eccentricities`].
 pub fn peripheral_vertices(graph: &Graph, eps: f64) -> Result<MembershipResult, CoreError> {
-    let (ecc, t1) = estimate_eccentricities(graph, eps)?;
+    let (ecc, t1, topology) = estimate_eccentricities(graph, eps)?;
     let values: Vec<u64> = ecc.estimates.iter().map(|&e| u64::from(e)).collect();
-    let max = aggregate::run(graph, &t1, &values, AggOp::Max)?;
+    let max = aggregate::run_on(&topology, &t1, &values, AggOp::Max)?;
     let threshold = (max.value as u32).saturating_sub(ecc.k);
     let members = ecc.estimates.iter().map(|&e| e >= threshold).collect();
     let mut stats = ecc.stats;
@@ -247,12 +250,13 @@ pub fn diameter_times_two(graph: &Graph) -> Result<ApproxScalarResult, CoreError
     if n == 0 {
         return Err(CoreError::EmptyGraph);
     }
-    let t1 = bfs::run(graph, 0)?;
+    let topology = graph.to_topology();
+    let t1 = bfs::run_on(&topology, 0)?;
     if !t1.reached_all() {
         return Err(CoreError::Disconnected);
     }
     let depths: Vec<u64> = t1.dist.iter().map(|&d| u64::from(d)).collect();
-    let agg = aggregate::run(graph, &t1.tree, &depths, AggOp::Max)?;
+    let agg = aggregate::run_on(&topology, &t1.tree, &depths, AggOp::Max)?;
     let mut stats = t1.stats;
     stats.absorb_sequential(&agg.stats);
     Ok(ApproxScalarResult {
@@ -431,12 +435,13 @@ pub fn eccentricities_times_two(graph: &Graph) -> Result<ApproxEccResult, CoreEr
     if n == 0 {
         return Err(CoreError::EmptyGraph);
     }
-    let t1 = bfs::run(graph, 0)?;
+    let topology = graph.to_topology();
+    let t1 = bfs::run_on(&topology, 0)?;
     if !t1.reached_all() {
         return Err(CoreError::Disconnected);
     }
     let depths: Vec<u64> = t1.dist.iter().map(|&d| u64::from(d)).collect();
-    let agg = aggregate::run(graph, &t1.tree, &depths, AggOp::Max)?;
+    let agg = aggregate::run_on(&topology, &t1.tree, &depths, AggOp::Max)?;
     let ecc0 = agg.value as u32;
     let estimates = t1.dist.iter().map(|&d| d.max(ecc0)).collect();
     let mut stats = t1.stats;

@@ -24,13 +24,13 @@
 
 use dapsp_congest::{
     bits_for_count, bits_for_id, Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port,
-    RunStats,
+    RunStats, Topology,
 };
 use dapsp_graph::{DistanceMatrix, Graph, INFINITY};
 
 use crate::bfs;
 use crate::error::CoreError;
-use crate::runner::run_algorithm;
+use crate::runner::run_algorithm_on;
 use crate::tree::TreeKnowledge;
 
 /// A combined message: an optional pebble token and an optional BFS wave.
@@ -358,6 +358,17 @@ pub fn run(graph: &Graph) -> Result<ApspResult, CoreError> {
     run_with_wait(graph, true)
 }
 
+/// Like [`run`], but over a prebuilt [`Topology`] — used by the metric and
+/// girth pipelines, which follow APSP with `O(D)` aggregations over the
+/// same graph.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_on(topology: &Topology) -> Result<ApspResult, CoreError> {
+    run_phases(topology, true, u32::MAX, false).map(|(result, _)| result)
+}
+
 /// Like [`run`], but also returns the wave phase's per-round
 /// delivered-message counts — the "shape" of the pipelined schedule, used
 /// by the `figure_wave_pipeline` experiment to visualize Lemma 1's
@@ -367,7 +378,10 @@ pub fn run(graph: &Graph) -> Result<ApspResult, CoreError> {
 ///
 /// Same as [`run`].
 pub fn run_profiled(graph: &Graph) -> Result<(ApspResult, Vec<u64>), CoreError> {
-    run_phases(graph, true, u32::MAX, true)
+    if graph.num_nodes() == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    run_phases(&graph.to_topology(), true, u32::MAX, true)
         .map(|(result, profile)| (result, profile.expect("profiling was requested")))
 }
 
@@ -400,7 +414,19 @@ pub fn run_profiled(graph: &Graph) -> Result<(ApspResult, Vec<u64>), CoreError> 
 /// # }
 /// ```
 pub fn run_truncated(graph: &Graph, k: u32) -> Result<KbfsResult, CoreError> {
-    run_phases(graph, true, k, false).map(|(result, _)| KbfsResult { k, result })
+    if graph.num_nodes() == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    run_truncated_on(&graph.to_topology(), k)
+}
+
+/// Like [`run_truncated`], but over a prebuilt [`Topology`].
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_truncated_on(topology: &Topology, k: u32) -> Result<KbfsResult, CoreError> {
+    run_phases(topology, true, k, false).map(|(result, _)| KbfsResult { k, result })
 }
 
 /// The outcome of a truncated (k-BFS) run; see [`run_truncated`].
@@ -457,24 +483,28 @@ pub fn run_without_wait(graph: &Graph) -> Result<ApspResult, CoreError> {
 }
 
 fn run_with_wait(graph: &Graph, wait_one_slot: bool) -> Result<ApspResult, CoreError> {
-    run_phases(graph, wait_one_slot, u32::MAX, false).map(|(result, _)| result)
+    if graph.num_nodes() == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    run_phases(&graph.to_topology(), wait_one_slot, u32::MAX, false).map(|(result, _)| result)
 }
 
 /// The shared two-phase pipeline behind every Algorithm 1 variant:
 /// phase A builds `T_1`, phase B runs the pebble + (possibly truncated)
-/// waves, optionally recording the per-round activity profile.
+/// waves, optionally recording the per-round activity profile. Both phases
+/// share the caller's topology.
 fn run_phases(
-    graph: &Graph,
+    topology: &Topology,
     wait_one_slot: bool,
     max_depth: u32,
     profile: bool,
 ) -> Result<(ApspResult, Option<Vec<u64>>), CoreError> {
-    let n = graph.num_nodes();
+    let n = topology.num_nodes();
     if n == 0 {
         return Err(CoreError::EmptyGraph);
     }
     // Phase A: build T_1 (BFS from node 0, the smallest id).
-    let t1 = bfs::run(graph, 0)?;
+    let t1 = bfs::run_on(topology, 0)?;
     if !t1.reached_all() {
         return Err(CoreError::Disconnected);
     }
@@ -483,20 +513,20 @@ fn run_phases(
     if profile {
         config = config.with_round_profile();
     }
-    let report = run_algorithm(graph, config, |ctx| {
+    let report = run_algorithm_on(topology, config, |ctx| {
         ApspNode::new(n as u32, ctx.node_id(), &t1.tree, wait_one_slot, max_depth)
     })?;
     let round_profile = profile.then(|| report.round_profile.clone());
-    Ok((assemble(graph, t1, report), round_profile))
+    Ok((assemble(topology, t1, report), round_profile))
 }
 
 /// Folds per-node outputs into the host-side result structure.
 fn assemble(
-    graph: &Graph,
+    topology: &Topology,
     t1: crate::bfs::BfsResult,
     report: dapsp_congest::Report<ApspNodeOutput>,
 ) -> ApspResult {
-    let n = graph.num_nodes();
+    let n = topology.num_nodes();
     let mut distances = DistanceMatrix::new(n);
     let mut next_hop = vec![vec![None; n]; n];
     let mut girth_candidate = INFINITY;
@@ -505,7 +535,7 @@ fn assemble(
         distances.set_row(v as u32, &out.dist);
         for (r, &p) in out.parent.iter().enumerate() {
             if p != u32::MAX {
-                next_hop[v][r] = Some(graph.neighbors(v as u32)[p as usize]);
+                next_hop[v][r] = Some(topology.neighbor_at(v as u32, p));
             }
         }
         local_girth_candidates[v] = out.girth_candidate;

@@ -8,12 +8,12 @@
 //! which is exactly the paper's Claim 1 tree test.
 
 use dapsp_congest::{
-    bits_for_count, Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port,
+    bits_for_count, Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port, Topology,
 };
 use dapsp_graph::{Graph, INFINITY};
 
 use crate::error::CoreError;
-use crate::runner::run_algorithm;
+use crate::runner::run_algorithm_on;
 use crate::tree::TreeKnowledge;
 
 /// Messages of the single-root BFS.
@@ -191,7 +191,20 @@ impl BfsResult {
 /// # }
 /// ```
 pub fn run(graph: &Graph, root: u32) -> Result<BfsResult, CoreError> {
-    let n = graph.num_nodes();
+    if graph.num_nodes() == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    run_on(&graph.to_topology(), root)
+}
+
+/// Like [`run`], but over a prebuilt [`Topology`] — used by multi-phase
+/// algorithms that run several simulations over the same graph.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_on(topology: &Topology, root: u32) -> Result<BfsResult, CoreError> {
+    let n = topology.num_nodes();
     if n == 0 {
         return Err(CoreError::EmptyGraph);
     }
@@ -201,7 +214,7 @@ pub fn run(graph: &Graph, root: u32) -> Result<BfsResult, CoreError> {
             num_nodes: n,
         });
     }
-    let report = run_algorithm(graph, Config::for_n(n), |_| BfsNode::new(root))?;
+    let report = run_algorithm_on(topology, Config::for_n(n), |_| BfsNode::new(root))?;
     let mut dist = vec![INFINITY; n];
     let mut parent_port = vec![None; n];
     let mut children_ports = vec![Vec::new(); n];

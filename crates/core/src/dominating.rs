@@ -19,12 +19,13 @@
 
 use dapsp_congest::{
     bits_for_count, Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port, RunStats,
+    Topology,
 };
 use dapsp_graph::Graph;
 
 use crate::aggregate::{self, AggOp};
 use crate::error::CoreError;
-use crate::runner::run_algorithm;
+use crate::runner::run_algorithm_on;
 use crate::tree::TreeKnowledge;
 
 /// Convergecast payload: the subtree summary `(need + 1, cover)`, both in
@@ -183,7 +184,24 @@ impl DominatingResult {
 /// # }
 /// ```
 pub fn run(graph: &Graph, tree: &TreeKnowledge, k: u32) -> Result<DominatingResult, CoreError> {
-    let n = graph.num_nodes();
+    if graph.num_nodes() == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    run_on(&graph.to_topology(), tree, k)
+}
+
+/// Like [`run`], but over a prebuilt [`Topology`] — used by the
+/// approximation pipelines, which chain this with S-SP over the same graph.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_on(
+    topology: &Topology,
+    tree: &TreeKnowledge,
+    k: u32,
+) -> Result<DominatingResult, CoreError> {
+    let n = topology.num_nodes();
     if n == 0 {
         return Err(CoreError::EmptyGraph);
     }
@@ -192,7 +210,7 @@ pub fn run(graph: &Graph, tree: &TreeKnowledge, k: u32) -> Result<DominatingResu
             "dominating-set tree does not span the graph".into(),
         ));
     }
-    let report = run_algorithm(graph, Config::for_n(n), |ctx| {
+    let report = run_algorithm_on(topology, Config::for_n(n), |ctx| {
         let v = ctx.node_id() as usize;
         DomNode {
             k,
@@ -206,7 +224,7 @@ pub fn run(graph: &Graph, tree: &TreeKnowledge, k: u32) -> Result<DominatingResu
     })?;
     let members = report.outputs;
     let flags: Vec<u64> = members.iter().map(|&m| u64::from(m)).collect();
-    let sum = aggregate::run(graph, tree, &flags, AggOp::Sum)?;
+    let sum = aggregate::run_on(topology, tree, &flags, AggOp::Sum)?;
     let mut stats = report.stats;
     stats.absorb_sequential(&sum.stats);
     Ok(DominatingResult {
@@ -344,10 +362,26 @@ pub fn partition(
     tree: &TreeKnowledge,
     k: u32,
 ) -> Result<PartitionResult, CoreError> {
-    let dominating = run(graph, tree, k)?;
+    if graph.num_nodes() == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    partition_on(&graph.to_topology(), tree, k)
+}
+
+/// Like [`partition`], but over a prebuilt [`Topology`].
+///
+/// # Errors
+///
+/// Same as [`partition`].
+pub fn partition_on(
+    topology: &Topology,
+    tree: &TreeKnowledge,
+    k: u32,
+) -> Result<PartitionResult, CoreError> {
+    let dominating = run_on(topology, tree, k)?;
     let sources = dominating.member_ids();
-    let sp = crate::ssp::run(graph, &sources)?;
-    let n = graph.num_nodes();
+    let sp = crate::ssp::run_on(topology, &sources)?;
+    let n = topology.num_nodes();
     let mut dominator_of = Vec::with_capacity(n);
     let mut distance_to_dominator = Vec::with_capacity(n);
     for v in 0..n {

@@ -58,8 +58,9 @@ pub fn run(graph: &Graph) -> Result<GirthResult, CoreError> {
     if n == 0 {
         return Err(CoreError::EmptyGraph);
     }
+    let topology = graph.to_topology();
     // Claim 1: BFS from node 0 doubles as the tree test.
-    let t1 = bfs::run(graph, 0)?;
+    let t1 = bfs::run_on(&topology, 0)?;
     if !t1.reached_all() {
         return Err(CoreError::Disconnected);
     }
@@ -67,7 +68,7 @@ pub fn run(graph: &Graph) -> Result<GirthResult, CoreError> {
     // OR-aggregate the per-node "received the wave twice" flags over T_1 so
     // every node learns whether the graph is a tree.
     let flags: Vec<u64> = t1.receipts.iter().map(|&r| u64::from(r > 1)).collect();
-    let or = aggregate::run(graph, &t1.tree, &flags, AggOp::Or)?;
+    let or = aggregate::run_on(&topology, &t1.tree, &flags, AggOp::Or)?;
     stats.absorb_sequential(&or.stats);
     if or.value == 0 {
         return Ok(GirthResult { girth: None, stats });
@@ -75,7 +76,7 @@ pub fn run(graph: &Graph) -> Result<GirthResult, CoreError> {
     // Not a tree: run Algorithm 1 and min-aggregate the per-node cycle
     // candidates. Sentinel for "no candidate at this node": anything above
     // 2n + 1 works, since every cycle candidate is at most 2D + 1 < 2n + 2.
-    let apsp_result = apsp::run(graph)?;
+    let apsp_result = apsp::run_on(&topology)?;
     stats.absorb_sequential(&apsp_result.stats);
     let sentinel = 2 * n as u64 + 2;
     let candidates: Vec<u64> = apsp_result
@@ -89,7 +90,7 @@ pub fn run(graph: &Graph) -> Result<GirthResult, CoreError> {
             }
         })
         .collect();
-    let min = aggregate::run(graph, &apsp_result.tree, &candidates, AggOp::Min)?;
+    let min = aggregate::run_on(&topology, &apsp_result.tree, &candidates, AggOp::Min)?;
     stats.absorb_sequential(&min.stats);
     debug_assert!(min.value < sentinel, "non-tree graph must have a cycle");
     Ok(GirthResult {

@@ -13,7 +13,7 @@
 //! estimate `ĝ` costs `O(n/ĝ + D)` rounds, and the sum telescopes to the
 //! theorem's bound.
 
-use dapsp_congest::RunStats;
+use dapsp_congest::{RunStats, Topology};
 use dapsp_graph::{Graph, INFINITY};
 
 use crate::aggregate::{self, AggOp};
@@ -37,15 +37,15 @@ pub struct GirthApproxResult {
 /// One probe: dominating set with radius `k`, DOM-SP, min-aggregate the
 /// cycle candidates. Returns the smallest candidate seen (`None` if none).
 fn probe(
-    graph: &Graph,
+    topology: &Topology,
     tree: &TreeKnowledge,
     k: u32,
     stats: &mut RunStats,
 ) -> Result<Option<u32>, CoreError> {
-    let n = graph.num_nodes();
-    let dom = dominating::run(graph, tree, k)?;
+    let n = topology.num_nodes();
+    let dom = dominating::run_on(topology, tree, k)?;
     stats.absorb_sequential(&dom.stats);
-    let sp = ssp::run(graph, &dom.member_ids())?;
+    let sp = ssp::run_on(topology, &dom.member_ids())?;
     stats.absorb_sequential(&sp.stats);
     let sentinel = 2 * n as u64 + 2;
     let candidates: Vec<u64> = sp
@@ -53,7 +53,7 @@ fn probe(
         .iter()
         .map(|&c| if c == INFINITY { sentinel } else { u64::from(c) })
         .collect();
-    let min = aggregate::run(graph, tree, &candidates, AggOp::Min)?;
+    let min = aggregate::run_on(topology, tree, &candidates, AggOp::Min)?;
     stats.absorb_sequential(&min.stats);
     Ok(if min.value >= sentinel {
         None
@@ -94,14 +94,15 @@ pub fn run(graph: &Graph, eps: f64) -> Result<GirthApproxResult, CoreError> {
     if n == 0 {
         return Err(CoreError::EmptyGraph);
     }
+    let topology = graph.to_topology();
     // Claim 1 tree test, as in the exact algorithm.
-    let t1 = bfs::run(graph, 0)?;
+    let t1 = bfs::run_on(&topology, 0)?;
     if !t1.reached_all() {
         return Err(CoreError::Disconnected);
     }
     let mut stats = t1.stats;
     let flags: Vec<u64> = t1.receipts.iter().map(|&r| u64::from(r > 1)).collect();
-    let or = aggregate::run(graph, &t1.tree, &flags, AggOp::Or)?;
+    let or = aggregate::run_on(&topology, &t1.tree, &flags, AggOp::Or)?;
     stats.absorb_sequential(&or.stats);
     if or.value == 0 {
         return Ok(GirthApproxResult {
@@ -112,7 +113,7 @@ pub fn run(graph: &Graph, eps: f64) -> Result<GirthApproxResult, CoreError> {
     }
     // D0 for the initial loose bound ĝ = 2·D0 + 1 >= 2·D + 1 >= g.
     let depths: Vec<u64> = t1.dist.iter().map(|&d| u64::from(d)).collect();
-    let agg = aggregate::run(graph, &t1.tree, &depths, AggOp::Max)?;
+    let agg = aggregate::run_on(&topology, &t1.tree, &depths, AggOp::Max)?;
     stats.absorb_sequential(&agg.stats);
     let d0 = 2 * agg.value as u32;
     let mut g_hat = 2 * d0 + 1;
@@ -123,7 +124,7 @@ pub fn run(graph: &Graph, eps: f64) -> Result<GirthApproxResult, CoreError> {
     for _ in 0..max_iters {
         iterations += 1;
         let k = g_hat / 4;
-        let found = probe(graph, &t1.tree, k, &mut stats)?
+        let found = probe(&topology, &t1.tree, k, &mut stats)?
             .expect("a non-tree graph always yields a candidate");
         let new_hat = found.min(g_hat);
         if k == 0 {
@@ -142,7 +143,7 @@ pub fn run(graph: &Graph, eps: f64) -> Result<GirthApproxResult, CoreError> {
     }
     // Final precision pass: k = ⌊ε·ĝ/8⌋ gives estimate <= g + 2k <= (1+ε)g.
     let k = (eps * f64::from(g_hat) / 8.0).floor() as u32;
-    let found = probe(graph, &t1.tree, k, &mut stats)?
+    let found = probe(&topology, &t1.tree, k, &mut stats)?
         .expect("a non-tree graph always yields a candidate");
     Ok(GirthApproxResult {
         estimate: Some(found.min(g_hat)),

@@ -59,4 +59,4 @@ pub mod tree;
 pub mod two_vs_four;
 
 pub use error::CoreError;
-pub use runner::run_algorithm;
+pub use runner::{run_algorithm, run_algorithm_on};

@@ -7,7 +7,7 @@
 //! compute APSP once with [`apsp::run`] and derive the
 //! rest from [`from_apsp`].
 
-use dapsp_congest::RunStats;
+use dapsp_congest::{RunStats, Topology};
 use dapsp_graph::Graph;
 
 use crate::aggregate::{self, AggOp};
@@ -92,7 +92,8 @@ fn local_eccentricities(apsp: &ApspResult) -> Vec<u32> {
 /// # }
 /// ```
 pub fn eccentricities(graph: &Graph) -> Result<EccentricityResult, CoreError> {
-    let result = apsp::run(graph)?;
+    let topology = graph.to_topology();
+    let result = apsp::run_on(&topology)?;
     Ok(EccentricityResult {
         eccentricities: local_eccentricities(&result),
         stats: result.stats,
@@ -123,10 +124,20 @@ pub struct MetricsBundle {
 ///
 /// Propagates aggregation failures.
 pub fn from_apsp(graph: &Graph, apsp: &ApspResult) -> Result<MetricsBundle, CoreError> {
+    from_apsp_on(&graph.to_topology(), apsp)
+}
+
+/// [`from_apsp`] on a prebuilt [`Topology`], so callers that already hold
+/// one avoid rebuilding the CSR arrays.
+///
+/// # Errors
+///
+/// Propagates aggregation failures.
+pub fn from_apsp_on(topology: &Topology, apsp: &ApspResult) -> Result<MetricsBundle, CoreError> {
     let ecc = local_eccentricities(apsp);
     let values: Vec<u64> = ecc.iter().map(|&e| u64::from(e)).collect();
-    let max = aggregate::run(graph, &apsp.tree, &values, AggOp::Max)?;
-    let min = aggregate::run(graph, &apsp.tree, &values, AggOp::Min)?;
+    let max = aggregate::run_on(topology, &apsp.tree, &values, AggOp::Max)?;
+    let min = aggregate::run_on(topology, &apsp.tree, &values, AggOp::Min)?;
     let diameter = max.value as u32;
     let radius = min.value as u32;
     let center = ecc.iter().map(|&e| e == radius).collect();
@@ -163,10 +174,11 @@ pub fn from_apsp(graph: &Graph, apsp: &ApspResult) -> Result<MetricsBundle, Core
 /// # }
 /// ```
 pub fn diameter(graph: &Graph) -> Result<ScalarResult, CoreError> {
-    let result = apsp::run(graph)?;
+    let topology = graph.to_topology();
+    let result = apsp::run_on(&topology)?;
     let ecc = local_eccentricities(&result);
     let values: Vec<u64> = ecc.iter().map(|&e| u64::from(e)).collect();
-    let agg = aggregate::run(graph, &result.tree, &values, AggOp::Max)?;
+    let agg = aggregate::run_on(&topology, &result.tree, &values, AggOp::Max)?;
     let mut stats = result.stats;
     stats.absorb_sequential(&agg.stats);
     Ok(ScalarResult {
@@ -182,10 +194,11 @@ pub fn diameter(graph: &Graph) -> Result<ScalarResult, CoreError> {
 ///
 /// Propagates [`apsp::run`] and aggregation errors.
 pub fn radius(graph: &Graph) -> Result<ScalarResult, CoreError> {
-    let result = apsp::run(graph)?;
+    let topology = graph.to_topology();
+    let result = apsp::run_on(&topology)?;
     let ecc = local_eccentricities(&result);
     let values: Vec<u64> = ecc.iter().map(|&e| u64::from(e)).collect();
-    let agg = aggregate::run(graph, &result.tree, &values, AggOp::Min)?;
+    let agg = aggregate::run_on(&topology, &result.tree, &values, AggOp::Min)?;
     let mut stats = result.stats;
     stats.absorb_sequential(&agg.stats);
     Ok(ScalarResult {
@@ -214,8 +227,9 @@ pub fn radius(graph: &Graph) -> Result<ScalarResult, CoreError> {
 /// # }
 /// ```
 pub fn center(graph: &Graph) -> Result<MembershipResult, CoreError> {
-    let result = apsp::run(graph)?;
-    let bundle = from_apsp(graph, &result)?;
+    let topology = graph.to_topology();
+    let result = apsp::run_on(&topology)?;
+    let bundle = from_apsp_on(&topology, &result)?;
     Ok(MembershipResult {
         members: bundle.center,
         threshold: bundle.radius,
@@ -230,8 +244,9 @@ pub fn center(graph: &Graph) -> Result<MembershipResult, CoreError> {
 ///
 /// Propagates [`apsp::run`] and aggregation errors.
 pub fn peripheral_vertices(graph: &Graph) -> Result<MembershipResult, CoreError> {
-    let result = apsp::run(graph)?;
-    let bundle = from_apsp(graph, &result)?;
+    let topology = graph.to_topology();
+    let result = apsp::run_on(&topology)?;
+    let bundle = from_apsp_on(&topology, &result)?;
     Ok(MembershipResult {
         members: bundle.peripheral,
         threshold: bundle.diameter,

@@ -1,6 +1,6 @@
 //! Convenience glue between [`Graph`]s and the simulator.
 
-use dapsp_congest::{Config, NodeAlgorithm, NodeContext, Report, Simulator};
+use dapsp_congest::{Config, NodeAlgorithm, NodeContext, Report, Simulator, Topology};
 use dapsp_graph::Graph;
 
 use crate::error::CoreError;
@@ -50,14 +50,42 @@ pub fn run_algorithm<A, F>(
     init: F,
 ) -> Result<Report<A::Output>, CoreError>
 where
-    A: NodeAlgorithm,
+    A: NodeAlgorithm + Send,
+    A::Message: Send,
     F: FnMut(&NodeContext<'_>) -> A,
 {
     if graph.num_nodes() == 0 {
         return Err(CoreError::EmptyGraph);
     }
     let topology = graph.to_topology();
-    let sim = Simulator::new(&topology, config, init);
+    run_algorithm_on(&topology, config, init)
+}
+
+/// Like [`run_algorithm`], but over a prebuilt [`Topology`].
+///
+/// Multi-phase algorithms (APSP = BFS + pebble walk, the approximations =
+/// dominating set + S-SP, …) run several simulations over the *same* graph;
+/// building the topology once and passing it here avoids re-validating and
+/// re-flattening the adjacency lists for every phase.
+///
+/// # Errors
+///
+/// Propagates simulator failures ([`CoreError::Sim`]) and rejects empty
+/// topologies.
+pub fn run_algorithm_on<A, F>(
+    topology: &Topology,
+    config: Config,
+    init: F,
+) -> Result<Report<A::Output>, CoreError>
+where
+    A: NodeAlgorithm + Send,
+    A::Message: Send,
+    F: FnMut(&NodeContext<'_>) -> A,
+{
+    if topology.num_nodes() == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    let sim = Simulator::new(topology, config, init);
     sim.run().map_err(CoreError::from)
 }
 

@@ -27,14 +27,14 @@
 
 use dapsp_congest::{
     bits_for_count, bits_for_id, Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port,
-    RunStats,
+    RunStats, Topology,
 };
 use dapsp_graph::{Graph, INFINITY};
 
 use crate::aggregate::{self, AggOp};
 use crate::bfs;
 use crate::error::CoreError;
-use crate::runner::run_algorithm;
+use crate::runner::run_algorithm_on;
 use crate::tree::TreeKnowledge;
 
 /// One (id, distance) announcement: "`id` is at distance `dist` from you".
@@ -280,7 +280,20 @@ impl SspResult {
 /// # }
 /// ```
 pub fn run(graph: &Graph, sources: &[u32]) -> Result<SspResult, CoreError> {
-    let n = graph.num_nodes();
+    if graph.num_nodes() == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    run_on(&graph.to_topology(), sources)
+}
+
+/// Like [`run`], but over a prebuilt [`Topology`] — this is the entry point
+/// the approximation pipelines use, sharing one topology across all phases.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_on(topology: &Topology, sources: &[u32]) -> Result<SspResult, CoreError> {
+    let n = topology.num_nodes();
     if n == 0 {
         return Err(CoreError::EmptyGraph);
     }
@@ -303,17 +316,17 @@ pub fn run(graph: &Graph, sources: &[u32]) -> Result<SspResult, CoreError> {
         seen[s as usize] = true;
     }
     // Phase 1+2: T_1, then D0 = 2·ecc(1) via max-aggregation of depths.
-    let t1 = bfs::run(graph, 0)?;
+    let t1 = bfs::run_on(topology, 0)?;
     if !t1.reached_all() {
         return Err(CoreError::Disconnected);
     }
     let depths: Vec<u64> = t1.dist.iter().map(|&d| u64::from(d)).collect();
-    let agg = aggregate::run(graph, &t1.tree, &depths, AggOp::Max)?;
+    let agg = aggregate::run_on(topology, &t1.tree, &depths, AggOp::Max)?;
     let d0 = 2 * agg.value as u32;
     let budget = sources.len() as u64 + u64::from(d0);
     // Phase 3: the simultaneous growth, run to quiescence.
     let is_source = seen;
-    let report = run_algorithm(graph, Config::for_n(n), |ctx| {
+    let report = run_algorithm_on(topology, Config::for_n(n), |ctx| {
         SspNode::new(ctx, is_source[ctx.node_id() as usize])
     })?;
     let mut dist = vec![Vec::with_capacity(sources.len()); n];
@@ -327,7 +340,7 @@ pub fn run(graph: &Graph, sources: &[u32]) -> Result<SspResult, CoreError> {
             next_hop[v].push(if p == u32::MAX {
                 None
             } else {
-                Some(graph.neighbors(v as u32)[p as usize])
+                Some(topology.neighbor_at(v as u32, p))
             });
         }
         local_girth_candidates[v] = out.girth_candidate;

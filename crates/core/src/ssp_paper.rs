@@ -26,7 +26,7 @@ use dapsp_graph::{Graph, INFINITY};
 use crate::aggregate::{self, AggOp};
 use crate::bfs;
 use crate::error::CoreError;
-use crate::runner::run_algorithm;
+use crate::runner::run_algorithm_on;
 
 #[derive(Clone, Debug)]
 struct PaperMsg {
@@ -175,15 +175,16 @@ pub fn run(graph: &Graph, sources: &[u32]) -> Result<PaperSspResult, CoreError> 
         }
         is_source[s as usize] = true;
     }
-    let t1 = bfs::run(graph, 0)?;
+    let topology = graph.to_topology();
+    let t1 = bfs::run_on(&topology, 0)?;
     if !t1.reached_all() {
         return Err(CoreError::Disconnected);
     }
     let depths: Vec<u64> = t1.dist.iter().map(|&d| u64::from(d)).collect();
-    let agg = aggregate::run(graph, &t1.tree, &depths, AggOp::Max)?;
+    let agg = aggregate::run_on(&topology, &t1.tree, &depths, AggOp::Max)?;
     let d0 = 2 * agg.value as u32;
     let budget = sources.len() as u64 + u64::from(d0);
-    let report = run_algorithm(graph, Config::for_n(n), |ctx| {
+    let report = run_algorithm_on(&topology, Config::for_n(n), |ctx| {
         let me = ctx.node_id();
         let mut delta = vec![INFINITY; n];
         let mut li = vec![std::collections::BTreeSet::new(); ctx.degree()];

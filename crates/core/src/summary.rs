@@ -79,8 +79,9 @@ impl NetworkSummary {
 /// # }
 /// ```
 pub fn analyze(graph: &Graph) -> Result<NetworkSummary, CoreError> {
-    let a = apsp::run(graph)?;
-    let bundle = metrics::from_apsp(graph, &a)?;
+    let topology = graph.to_topology();
+    let a = apsp::run_on(&topology)?;
+    let bundle = metrics::from_apsp_on(&topology, &a)?;
     // Girth: min-aggregate the cycle candidates collected during the run
     // (or report a tree if none anywhere).
     let n = graph.num_nodes();
@@ -91,7 +92,7 @@ pub fn analyze(graph: &Graph) -> Result<NetworkSummary, CoreError> {
         .iter()
         .map(|&c| if c == INFINITY { sentinel } else { u64::from(c) })
         .collect();
-    let min = aggregate::run(graph, &a.tree, &candidates, AggOp::Min)?;
+    let min = aggregate::run_on(&topology, &a.tree, &candidates, AggOp::Min)?;
     stats.absorb_sequential(&min.stats);
     // The sentinel surviving the aggregation means no node ever saw a
     // repeated wave: the graph is a tree (girth ∞).

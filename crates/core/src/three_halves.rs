@@ -69,7 +69,8 @@ pub fn sampled_lower_estimate(graph: &Graph, seed: u64) -> Result<(u32, RunStats
     if n == 0 {
         return Err(CoreError::EmptyGraph);
     }
-    let t1 = bfs::run(graph, 0)?;
+    let topology = graph.to_topology();
+    let t1 = bfs::run_on(&topology, 0)?;
     if !t1.reached_all() {
         return Err(CoreError::Disconnected);
     }
@@ -82,12 +83,12 @@ pub fn sampled_lower_estimate(graph: &Graph, seed: u64) -> Result<(u32, RunStats
     // 2. S-SP from the sample; every node's max distance to the sample is
     //    exactly max_{u∈S} at that node, so one max-aggregation yields
     //    max_{u∈S} ecc(u).
-    let sp = ssp::run(graph, &sample)?;
+    let sp = ssp::run_on(&topology, &sample)?;
     stats.absorb_sequential(&sp.stats);
     let per_node_max: Vec<u64> = (0..n)
         .map(|v| u64::from(*sp.dist[v].iter().max().expect("nonempty sample")))
         .collect();
-    let l1 = aggregate::run(graph, &t1.tree, &per_node_max, AggOp::Max)?;
+    let l1 = aggregate::run_on(&topology, &t1.tree, &per_node_max, AggOp::Max)?;
     stats.absorb_sequential(&l1.stats);
     // 3. The node farthest from the sample (ties broken toward larger id),
     //    via an encoded (distance, id) max-aggregation.
@@ -97,7 +98,7 @@ pub fn sampled_lower_estimate(graph: &Graph, seed: u64) -> Result<(u32, RunStats
             dmin * n as u64 + v as u64
         })
         .collect();
-    let far = aggregate::run(graph, &t1.tree, &encoded, AggOp::Max)?;
+    let far = aggregate::run_on(&topology, &t1.tree, &encoded, AggOp::Max)?;
     stats.absorb_sequential(&far.stats);
     let w = (far.value % n as u64) as u32;
     // 4. Probe w and its neighborhood (capped to the usual √(n log n)).
@@ -111,12 +112,12 @@ pub fn sampled_lower_estimate(graph: &Graph, seed: u64) -> Result<(u32, RunStats
     );
     probes.sort_unstable();
     probes.dedup();
-    let sp2 = ssp::run(graph, &probes)?;
+    let sp2 = ssp::run_on(&topology, &probes)?;
     stats.absorb_sequential(&sp2.stats);
     let per_node_max2: Vec<u64> = (0..n)
         .map(|v| u64::from(*sp2.dist[v].iter().max().expect("nonempty probes")))
         .collect();
-    let l2 = aggregate::run(graph, &t1.tree, &per_node_max2, AggOp::Max)?;
+    let l2 = aggregate::run_on(&topology, &t1.tree, &per_node_max2, AggOp::Max)?;
     stats.absorb_sequential(&l2.stats);
     Ok((l1.value.max(l2.value) as u32, stats))
 }

@@ -21,7 +21,7 @@
 //! restriction is the point of the theorem, since distinguishing 2 from 3
 //! needs `Ω(n/B)` rounds (Theorem 6).
 
-use dapsp_congest::RunStats;
+use dapsp_congest::{RunStats, Topology};
 use dapsp_graph::Graph;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -68,31 +68,31 @@ pub fn degree_threshold(n: usize) -> usize {
 /// node (or fall back to random sampling when none exists) and derive the
 /// probe set. Charges its min-aggregation to `stats`.
 fn select_probes(
-    graph: &Graph,
+    topology: &Topology,
     t1: &crate::tree::TreeKnowledge,
     seed: u64,
     stats: &mut RunStats,
 ) -> Result<(Vec<u32>, Strategy), CoreError> {
-    let n = graph.num_nodes();
+    let n = topology.num_nodes();
     let s = degree_threshold(n);
     // The sentinel n means "no low-degree node"; the broadcast tells
     // everyone the winner, so its neighbors know they are sources without
     // extra rounds.
     let candidate_ids: Vec<u64> = (0..n as u32)
         .map(|v| {
-            if graph.degree(v) < s {
+            if topology.degree(v) < s {
                 u64::from(v)
             } else {
                 n as u64
             }
         })
         .collect();
-    let min = aggregate::run(graph, t1, &candidate_ids, AggOp::Min)?;
+    let min = aggregate::run_on(topology, t1, &candidate_ids, AggOp::Min)?;
     stats.absorb_sequential(&min.stats);
     Ok(if (min.value as usize) < n {
         let chosen = min.value as u32;
         let mut srcs = vec![chosen];
-        srcs.extend_from_slice(graph.neighbors(chosen));
+        srcs.extend_from_slice(topology.neighbors(chosen));
         srcs.sort_unstable();
         (srcs, Strategy::LowDegreeNeighborhood { chosen })
     } else {
@@ -134,19 +134,20 @@ pub fn run(graph: &Graph, seed: u64) -> Result<TwoVsFourResult, CoreError> {
     if n == 0 {
         return Err(CoreError::EmptyGraph);
     }
-    let t1 = bfs::run(graph, 0)?;
+    let topology = graph.to_topology();
+    let t1 = bfs::run_on(&topology, 0)?;
     if !t1.reached_all() {
         return Err(CoreError::Disconnected);
     }
     let mut stats = t1.stats;
-    let (sources, strategy) = select_probes(graph, &t1.tree, seed, &mut stats)?;
-    let sp = ssp::run(graph, &sources)?;
+    let (sources, strategy) = select_probes(&topology, &t1.tree, seed, &mut stats)?;
+    let sp = ssp::run_on(&topology, &sources)?;
     stats.absorb_sequential(&sp.stats);
     // Depth test: does any node sit deeper than 2 in any probed tree?
     let deep: Vec<u64> = (0..n)
         .map(|v| u64::from(sp.dist[v].iter().any(|&d| d > 2)))
         .collect();
-    let or = aggregate::run(graph, &t1.tree, &deep, AggOp::Or)?;
+    let or = aggregate::run_on(&topology, &t1.tree, &deep, AggOp::Or)?;
     stats.absorb_sequential(&or.stats);
     Ok(TwoVsFourResult {
         claimed_diameter: if or.value == 1 { 4 } else { 2 },
@@ -252,16 +253,17 @@ pub fn run_sequential_probes(graph: &Graph, seed: u64) -> Result<TwoVsFourResult
     if n == 0 {
         return Err(CoreError::EmptyGraph);
     }
-    let t1 = bfs::run(graph, 0)?;
+    let topology = graph.to_topology();
+    let t1 = bfs::run_on(&topology, 0)?;
     if !t1.reached_all() {
         return Err(CoreError::Disconnected);
     }
     let mut stats = t1.stats;
-    let (sources, strategy) = select_probes(graph, &t1.tree, seed, &mut stats)?;
+    let (sources, strategy) = select_probes(&topology, &t1.tree, seed, &mut stats)?;
     // The paper's schedule: one full BFS per probed vertex, sequentially.
     let mut deep = vec![0u64; n];
     for &src in &sources {
-        let b = bfs::run(graph, src)?;
+        let b = bfs::run_on(&topology, src)?;
         stats.absorb_sequential(&b.stats);
         for (flag, &d) in deep.iter_mut().zip(&b.dist) {
             if d != dapsp_graph::INFINITY && d > 2 {
@@ -269,7 +271,7 @@ pub fn run_sequential_probes(graph: &Graph, seed: u64) -> Result<TwoVsFourResult
             }
         }
     }
-    let or = aggregate::run(graph, &t1.tree, &deep, AggOp::Or)?;
+    let or = aggregate::run_on(&topology, &t1.tree, &deep, AggOp::Or)?;
     stats.absorb_sequential(&or.stats);
     Ok(TwoVsFourResult {
         claimed_diameter: if or.value == 1 { 4 } else { 2 },

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full local verification: build, test, lint. All offline — the workspace
+# vendors its few dependencies under vendor/, so no registry is needed.
+#
+# Note: the workspace root is itself a package, so a bare `cargo test`
+# would only run the root crate; every invocation below passes
+# --workspace explicitly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --offline --release --workspace
+
+echo "==> cargo test"
+cargo test --offline --workspace -q
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "OK: build + tests + clippy all green"

@@ -1,0 +1,165 @@
+//! Offline stub of the `criterion` crate.
+//!
+//! Implements the API surface `crates/bench/benches/table1.rs` uses —
+//! benchmark groups, [`BenchmarkId`], `bench_function`/`bench_with_input`,
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — with a simple
+//! mean-of-samples timer instead of upstream's statistical machinery.
+//! Results are printed as one line per benchmark.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Identifier of one parameterized benchmark within a group.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a displayable parameter, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// The per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `samples` times and keeping the mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.nanos_per_iter = start.elapsed().as_nanos() as f64 / self.samples as f64;
+    }
+}
+
+/// A named set of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    group_name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many iterations each benchmark averages over.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    fn record(&mut self, bench_name: &str, nanos: f64) {
+        let label = format!("{}/{}", self.group_name, bench_name);
+        println!("{label:<60} {:>12.1} ns/iter", nanos);
+        self.criterion.results.push((label, nanos));
+    }
+
+    /// Runs one unparameterized benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            nanos_per_iter: 0.0,
+        };
+        f(&mut b);
+        let id = id.into();
+        self.record(&id, b.nanos_per_iter);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            nanos_per_iter: 0.0,
+        };
+        f(&mut b, input);
+        self.record(&id.name, b.nanos_per_iter);
+        self
+    }
+
+    /// Ends the group. (Upstream flushes reports here; the stub prints
+    /// eagerly, so this is a no-op kept for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            group_name: name.into(),
+            samples: 10,
+            criterion: self,
+        }
+    }
+}
+
+/// Bundles benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 42), &42u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(demo, sample_bench);
+
+    #[test]
+    fn group_runs_and_records() {
+        demo();
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+        assert_eq!(c.results.len(), 2);
+        assert!(c.results[0].0.starts_with("g/plain"));
+        assert!(c.results[1].0.contains("with_input/42"));
+    }
+}

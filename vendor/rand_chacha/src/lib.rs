@@ -1,0 +1,135 @@
+//! Offline stub of the `rand_chacha` crate: a genuine ChaCha8 keystream
+//! generator behind the workspace's [`rand`] stub traits.
+//!
+//! The keystream is a faithful ChaCha implementation (8 rounds, RFC 8439
+//! state layout, zero nonce), but callers should treat the exact stream as
+//! an implementation detail: everything in this repository that consumes it
+//! asserts *properties* of the derived values, never golden outputs.
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// A deterministic ChaCha generator with 8 keystream rounds.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Key words 0..8, then the 64-bit block counter in words 8..10.
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; 16],
+    /// Next unread word of `buf`; 16 means exhausted.
+    idx: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut x = [0u32; 16];
+        x[..4].copy_from_slice(&CONSTANTS);
+        x[4..12].copy_from_slice(&self.key);
+        x[12] = self.counter as u32;
+        x[13] = (self.counter >> 32) as u32;
+        // x[14], x[15]: zero nonce.
+        let input = x;
+        for _ in 0..4 {
+            // One double round: a column round then a diagonal round.
+            quarter(&mut x, 0, 4, 8, 12);
+            quarter(&mut x, 1, 5, 9, 13);
+            quarter(&mut x, 2, 6, 10, 14);
+            quarter(&mut x, 3, 7, 11, 15);
+            quarter(&mut x, 0, 5, 10, 15);
+            quarter(&mut x, 1, 6, 11, 12);
+            quarter(&mut x, 2, 7, 8, 13);
+            quarter(&mut x, 3, 4, 9, 14);
+        }
+        for (out, (a, b)) in self.buf.iter_mut().zip(x.iter().zip(input.iter())) {
+            *out = a.wrapping_add(*b);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.idx = 0;
+    }
+}
+
+#[inline]
+fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(16);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(12);
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(8);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(7);
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let word = self.buf[self.idx];
+        self.idx += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_in_the_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        assert_ne!(ChaCha8Rng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn stream_crosses_block_boundaries() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let first: Vec<u32> = (0..40).map(|_| rng.next_u32()).collect();
+        let mut again = ChaCha8Rng::seed_from_u64(7);
+        let second: Vec<u32> = (0..40).map(|_| again.next_u32()).collect();
+        assert_eq!(first, second);
+        // The two 16-word blocks differ (counter feeds the state).
+        assert_ne!(&first[..16], &first[16..32]);
+    }
+
+    #[test]
+    fn usable_through_the_rng_trait() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let hits = (0..1000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((150..350).contains(&hits), "hits={hits}");
+        for _ in 0..100 {
+            let v = rng.gen_range(0usize..10);
+            assert!(v < 10);
+        }
+    }
+}
