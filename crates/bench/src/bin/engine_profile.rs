@@ -1,0 +1,252 @@
+//! Engine phase profiler: where does a simulated round's wall-clock time
+//! go — delivering inboxes, stepping nodes, or committing outboxes?
+//!
+//! ROADMAP's sharded-commit item rests on a hypothesis: with worker
+//! threads, the *sequential* commit phase dominates the (parallelized)
+//! step phase. This benchmark measures that split directly by attaching a
+//! [`PhaseProfiler`] — the node-step,
+//! outbox-commit, and inbox-delivery portions of every round are timed
+//! separately and accumulated per run.
+//!
+//! The sweep mirrors `engine_throughput` (same workloads and topology
+//! families, see [`dapsp_bench::workloads`]): **bfs-flood** and
+//! **apsp-gossip** over path / random tree / near-regular / clique, each
+//! under the seed engine, the optimized engine with 1 thread, and the
+//! optimized engine with 4 threads.
+//!
+//! Results go to stdout as a table and to `BENCH_profile.json` at the
+//! repo root: one JSON object per row with `label`, `family`,
+//! `workload`, `n`, `engine`, `threads`, `rounds`, `messages`,
+//! `wall_ms`, `deliver_ms`, `step_ms`, `commit_ms`, `commit_share`.
+//!
+//! Usage: `engine_profile [--smoke] [OUT_PATH]`. `--smoke` runs tiny
+//! instances and writes to `target/BENCH_profile_smoke.json` instead, so
+//! CI can exercise the full path without touching the committed numbers.
+
+use dapsp_bench::print_table;
+use dapsp_bench::workloads::{
+    digest, engine_config, family_topology, json_array, ApspGossip, BfsFlood,
+};
+use dapsp_congest::{
+    NodeAlgorithm, NodeContext, PhaseProfiler, ReferenceSimulator, SharedObserver, Simulator,
+    Topology,
+};
+
+/// One profiled run.
+struct Row {
+    label: String,
+    family: &'static str,
+    workload: &'static str,
+    n: usize,
+    engine: &'static str,
+    threads: usize,
+    rounds: u64,
+    messages: u64,
+    wall_ms: f64,
+    deliver_ms: f64,
+    step_ms: f64,
+    commit_ms: f64,
+    commit_share: f64,
+}
+
+impl Row {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"label\":\"{}\",\"family\":\"{}\",\"workload\":\"{}\",\"n\":{},",
+                "\"engine\":\"{}\",\"threads\":{},\"rounds\":{},\"messages\":{},",
+                "\"wall_ms\":{:.4},\"deliver_ms\":{:.4},\"step_ms\":{:.4},",
+                "\"commit_ms\":{:.4},\"commit_share\":{:.4}}}"
+            ),
+            self.label,
+            self.family,
+            self.workload,
+            self.n,
+            self.engine,
+            self.threads,
+            self.rounds,
+            self.messages,
+            self.wall_ms,
+            self.deliver_ms,
+            self.step_ms,
+            self.commit_ms,
+            self.commit_share,
+        )
+    }
+}
+
+const MS: f64 = 1e3;
+
+/// Profiles `init` on one engine configuration; returns the row and the
+/// output digest (for cross-engine equality checks).
+#[allow(clippy::too_many_arguments)] // a flat description of one bench cell
+fn profile_one<A, F>(
+    label: &str,
+    family: &'static str,
+    workload: &'static str,
+    topo: &Topology,
+    init: F,
+    engine: &'static str,
+    threads: usize,
+) -> (Row, u64)
+where
+    A: NodeAlgorithm + Send,
+    A::Message: Send,
+    A::Output: std::hash::Hash,
+    F: Fn(&NodeContext<'_>) -> A + Copy,
+{
+    let n = topo.num_nodes();
+    let profiler = SharedObserver::new(PhaseProfiler::new());
+    let config = engine_config(n)
+        .with_threads(threads)
+        .with_observer(profiler.observer())
+        .with_phase(label);
+    let report = if engine == "seed" {
+        ReferenceSimulator::new(topo, config, init)
+            .run()
+            .expect("seed engine runs")
+    } else {
+        Simulator::new(topo, config, init)
+            .run()
+            .expect("optimized engine runs")
+    };
+    let total = profiler.with(|p| p.total());
+    let row = Row {
+        label: label.into(),
+        family,
+        workload,
+        n,
+        engine,
+        threads,
+        rounds: report.stats.rounds,
+        messages: report.stats.messages,
+        wall_ms: report.stats.wall_time.as_secs_f64() * MS,
+        deliver_ms: total.deliver.as_secs_f64() * MS,
+        step_ms: total.step.as_secs_f64() * MS,
+        commit_ms: total.commit.as_secs_f64() * MS,
+        commit_share: total.commit_share(),
+    };
+    (row, digest(&report.outputs))
+}
+
+/// Profiles one workload instance under all three engine configurations.
+fn profile<A, F>(
+    label: &str,
+    family: &'static str,
+    workload: &'static str,
+    topo: &Topology,
+    init: F,
+) -> Vec<Row>
+where
+    A: NodeAlgorithm + Send,
+    A::Message: Send,
+    A::Output: std::hash::Hash,
+    F: Fn(&NodeContext<'_>) -> A + Copy,
+{
+    let (seed, d0) = profile_one(label, family, workload, topo, init, "seed", 1);
+    let (opt, d1) = profile_one(label, family, workload, topo, init, "optimized", 1);
+    let (par, d4) = profile_one(label, family, workload, topo, init, "optimized", 4);
+    assert_eq!(d0, d1, "{label}: optimized output diverged");
+    assert_eq!(d0, d4, "{label}: threaded output diverged");
+    vec![seed, opt, par]
+}
+
+/// (family, bfs-flood size, apsp-gossip size) for the full sweep and for
+/// `--smoke`. One size per cell: the profiler's product is a *split*, not
+/// a scaling curve (engine_throughput covers scaling).
+const FULL: &[(&str, usize, usize)] = &[
+    ("path", 2048, 192),
+    ("tree", 2048, 192),
+    ("regular6", 2048, 192),
+    ("clique", 256, 96),
+];
+const SMOKE: &[(&str, usize, usize)] = &[
+    ("path", 64, 32),
+    ("tree", 64, 32),
+    ("regular6", 64, 32),
+    ("clique", 32, 24),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let default_path = if smoke {
+        format!(
+            "{}/../../target/BENCH_profile_smoke.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    } else {
+        format!("{}/../../BENCH_profile.json", env!("CARGO_MANIFEST_DIR"))
+    };
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or(default_path);
+
+    println!("# Engine phase profile: deliver / step / commit wall-clock split\n");
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &(family, flood_n, gossip_n) in if smoke { SMOKE } else { FULL } {
+        let topo = family_topology(family, flood_n);
+        let label = format!("bfs-flood/{family}/n={flood_n}");
+        rows.extend(profile(&label, family, "bfs-flood", &topo, |_| {
+            BfsFlood::new()
+        }));
+        let topo = family_topology(family, gossip_n);
+        let label = format!("apsp-gossip/{family}/n={gossip_n}");
+        rows.extend(profile(&label, family, "apsp-gossip", &topo, move |_| {
+            ApspGossip::new(gossip_n)
+        }));
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                r.engine.to_string(),
+                r.threads.to_string(),
+                r.rounds.to_string(),
+                format!("{:.3}", r.deliver_ms),
+                format!("{:.3}", r.step_ms),
+                format!("{:.3}", r.commit_ms),
+                format!("{:.0}%", r.commit_share * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "phase profile",
+        &[
+            "workload",
+            "engine",
+            "thr",
+            "rounds",
+            "deliver ms",
+            "step ms",
+            "commit ms",
+            "commit",
+        ],
+        &table,
+    );
+
+    // The sharded-commit hypothesis, quantified: mean commit share of the
+    // optimized engine at 1 vs 4 threads (threads parallelize the step
+    // phase only, so the share should rise with thread count).
+    for threads in [1usize, 4] {
+        let shares: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.engine == "optimized" && r.threads == threads)
+            .map(|r| r.commit_share)
+            .collect();
+        let mean = shares.iter().sum::<f64>() / shares.len() as f64;
+        println!(
+            "mean commit share, optimized engine, threads={threads}: {:.0}%",
+            mean * 100.0
+        );
+    }
+
+    let objects: Vec<String> = rows.iter().map(Row::json).collect();
+    std::fs::write(&out_path, json_array(&objects)).expect("write BENCH_profile.json");
+    println!("wrote {out_path}");
+}

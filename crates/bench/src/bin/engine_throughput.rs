@@ -1,136 +1,35 @@
 //! Engine throughput benchmark: the seed round engine versus the
 //! zero-allocation engine, on identical workloads.
 //!
-//! Two workloads run on four topology families at several sizes:
-//!
-//! * **bfs-flood** — one wave from node 0; every node forwards once.
-//!   Sparse traffic, so the measurement is dominated by per-round engine
-//!   overhead (buffer churn in the seed engine).
-//! * **apsp-gossip** — every node floods its id and adopts the first
-//!   arrival per origin, queueing forwards at one token per port per round
-//!   (n simultaneous BFS waves, the Algorithm 1 traffic pattern). Dense
-//!   traffic, so the measurement is dominated by per-message commit cost.
+//! The workloads and topology families are shared with `engine_profile`
+//! (see [`dapsp_bench::workloads`]): **bfs-flood** (sparse, per-round
+//! overhead dominated) and **apsp-gossip** (dense, per-message commit cost
+//! dominated) over path / random tree / near-regular / clique graphs.
 //!
 //! Engines compared: the verbatim seed engine
 //! ([`ReferenceSimulator`]), the optimized engine sequentially, and the
 //! optimized engine with 4 worker threads. Outputs are asserted identical
-//! across all three before a row is recorded.
+//! across all three before a row is recorded. Timed rows run observer-free
+//! (observation must cost nothing when disabled — that claim is *checked*
+//! here, not assumed: at the smallest size of every family an extra,
+//! untimed run repeats the workload with a
+//! [`MetricsRecorder`] attached and
+//! asserts the recorded per-round stream sums back to exactly the
+//! `RunStats` the timed rows report).
 //!
 //! Results go to stdout as a table and to `BENCH_engine.json` at the repo
 //! root (override with the first CLI argument): one JSON object per row
 //! with `label`, `family`, `n`, `engine`, `threads`, `rounds`, `messages`,
 //! `wall_ms`, `msgs_per_sec`.
 
-use std::collections::VecDeque;
-
 use dapsp_bench::print_table;
+use dapsp_bench::workloads::{
+    digest, engine_config, family_topology, json_array, ApspGossip, BfsFlood,
+};
 use dapsp_congest::{
-    Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port, ReferenceSimulator, RunStats,
+    MetricsRecorder, NodeAlgorithm, NodeContext, ReferenceSimulator, RunStats, SharedObserver,
     Simulator, Topology,
 };
-use dapsp_graph::generators;
-
-/// A token carrying an origin id and a hop count; sized like a real
-/// CONGEST message (id + counter).
-#[derive(Clone, Debug)]
-struct Token {
-    origin: u32,
-    hops: u32,
-}
-impl Message for Token {
-    fn bit_size(&self) -> u32 {
-        32
-    }
-}
-
-/// Single-source flood: forward the first arrival, then go quiet.
-struct BfsFlood {
-    dist: Option<u32>,
-}
-impl NodeAlgorithm for BfsFlood {
-    type Message = Token;
-    type Output = u32;
-
-    fn on_start(&mut self, ctx: &NodeContext<'_>, out: &mut Outbox<Token>) {
-        if ctx.node_id() == 0 {
-            self.dist = Some(0);
-            out.send_to_all(0..ctx.degree() as Port, Token { origin: 0, hops: 1 });
-        }
-    }
-
-    fn on_round(&mut self, ctx: &NodeContext<'_>, inbox: &Inbox<Token>, out: &mut Outbox<Token>) {
-        if self.dist.is_none() {
-            if let Some((_, m)) = inbox.iter().next() {
-                self.dist = Some(m.hops);
-                out.send_to_all(
-                    0..ctx.degree() as Port,
-                    Token {
-                        origin: 0,
-                        hops: m.hops + 1,
-                    },
-                );
-            }
-        }
-    }
-
-    fn is_active(&self) -> bool {
-        false
-    }
-
-    fn into_output(self, _: &NodeContext<'_>) -> u32 {
-        self.dist.unwrap_or(u32::MAX)
-    }
-}
-
-/// n simultaneous waves: adopt the first arrival per origin, forward each
-/// adopted origin once, one token per port per round.
-struct ApspGossip {
-    dist: Vec<u32>,
-    queue: VecDeque<Token>,
-}
-impl NodeAlgorithm for ApspGossip {
-    type Message = Token;
-    type Output = u64;
-
-    fn on_start(&mut self, ctx: &NodeContext<'_>, out: &mut Outbox<Token>) {
-        self.dist[ctx.node_id() as usize] = 0;
-        out.send_to_all(
-            0..ctx.degree() as Port,
-            Token {
-                origin: ctx.node_id(),
-                hops: 1,
-            },
-        );
-    }
-
-    fn on_round(&mut self, ctx: &NodeContext<'_>, inbox: &Inbox<Token>, out: &mut Outbox<Token>) {
-        for (_, m) in inbox.iter() {
-            if self.dist[m.origin as usize] == u32::MAX {
-                self.dist[m.origin as usize] = m.hops;
-                self.queue.push_back(Token {
-                    origin: m.origin,
-                    hops: m.hops + 1,
-                });
-            }
-        }
-        if let Some(t) = self.queue.pop_front() {
-            out.send_to_all(0..ctx.degree() as Port, t);
-        }
-    }
-
-    fn is_active(&self) -> bool {
-        !self.queue.is_empty()
-    }
-
-    fn into_output(self, _: &NodeContext<'_>) -> u64 {
-        // A distance checksum, enough to catch any cross-engine divergence.
-        self.dist
-            .iter()
-            .enumerate()
-            .map(|(i, &d)| u64::from(d).wrapping_mul(i as u64 + 1))
-            .fold(0u64, u64::wrapping_add)
-    }
-}
 
 /// One benchmark row.
 struct Row {
@@ -176,19 +75,6 @@ impl Row {
     }
 }
 
-fn config(n: usize) -> Config {
-    let base = Config::for_n(n);
-    let bw = base.bandwidth_bits.max(32);
-    base.with_bandwidth_bits(bw)
-}
-
-fn digest<O: std::hash::Hash>(outputs: &[O]) -> u64 {
-    use std::hash::{Hash, Hasher};
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    outputs.hash(&mut h);
-    h.finish()
-}
-
 /// Runs `workload` on all three engines and returns the rows, panicking if
 /// any engine disagrees on the outputs or round/message counts.
 fn measure<A, F>(label: &str, family: &'static str, topo: &Topology, init: F) -> Vec<Row>
@@ -199,13 +85,13 @@ where
     F: Fn(&NodeContext<'_>) -> A + Copy,
 {
     let n = topo.num_nodes();
-    let seed = ReferenceSimulator::new(topo, config(n), init)
+    let seed = ReferenceSimulator::new(topo, engine_config(n), init)
         .run()
         .expect("seed engine runs");
-    let opt = Simulator::new(topo, config(n), init)
+    let opt = Simulator::new(topo, engine_config(n), init)
         .run()
         .expect("optimized engine runs");
-    let par = Simulator::new(topo, config(n).with_threads(4), init)
+    let par = Simulator::new(topo, engine_config(n).with_threads(4), init)
         .run()
         .expect("threaded engine runs");
     let d = digest(&seed.outputs);
@@ -241,16 +127,31 @@ where
     ]
 }
 
-fn family_topology(family: &str, n: usize) -> Topology {
-    match family {
-        "path" => generators::path(n).to_topology(),
-        "tree" => generators::random_tree(n, 12).to_topology(),
-        // Near-regular random graph: a Watts–Strogatz rewired ring, every
-        // degree 6 before rewiring and 6 on average after.
-        "regular6" => generators::watts_strogatz(n, 3, 0.1, 12).to_topology(),
-        "clique" => generators::complete(n).to_topology(),
-        other => panic!("unknown family {other}"),
-    }
+/// Re-runs `workload` with a [`MetricsRecorder`] attached and asserts the
+/// recorded stream reproduces `expected` exactly — the cross-check that
+/// the observer-free timed rows and the recorder path report the same
+/// numbers (one source of truth for metrics).
+fn verify_recorder<A, F>(label: &str, topo: &Topology, init: F, expected: &RunStats)
+where
+    A: NodeAlgorithm + Send,
+    A::Message: Send,
+    F: Fn(&NodeContext<'_>) -> A + Copy,
+{
+    let n = topo.num_nodes();
+    let recorder = SharedObserver::new(MetricsRecorder::new());
+    let config = engine_config(n)
+        .with_observer(recorder.observer())
+        .with_phase(label);
+    let report = Simulator::new(topo, config, init)
+        .run()
+        .expect("observed engine runs");
+    assert_eq!(&report.stats, expected, "{label}: observed stats diverged");
+    let stream = report.metrics.expect("observed run returns its stream");
+    assert_eq!(stream.len() as u64, expected.rounds + 1, "{label}: rows");
+    let messages: u64 = stream.iter().map(|m| m.messages).sum();
+    let bits: u64 = stream.iter().map(|m| m.bits).sum();
+    assert_eq!(messages, expected.messages, "{label}: recorder messages");
+    assert_eq!(bits, expected.bits, "{label}: recorder bits");
 }
 
 /// (family, sizes for the sparse bfs-flood workload, sizes for the dense
@@ -264,26 +165,31 @@ const FAMILIES: &[(&str, &[usize], &[usize])] = &[
 ];
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| {
-        format!("{}/../../BENCH_engine.json", env!("CARGO_MANIFEST_DIR"))
-    });
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| format!("{}/../../BENCH_engine.json", env!("CARGO_MANIFEST_DIR")));
     let mut rows: Vec<Row> = Vec::new();
 
     println!("# Engine throughput: seed vs zero-allocation engine\n");
 
     for &(family, flood_sizes, gossip_sizes) in FAMILIES {
-        for &n in flood_sizes {
+        for (i, &n) in flood_sizes.iter().enumerate() {
             let topo = family_topology(family, n);
             let label = format!("bfs-flood/{family}/n={n}");
-            rows.extend(measure(&label, family, &topo, |_| BfsFlood { dist: None }));
+            rows.extend(measure(&label, family, &topo, |_| BfsFlood::new()));
+            if i == 0 {
+                let expected = rows.last().expect("rows recorded").stats;
+                verify_recorder(&label, &topo, |_| BfsFlood::new(), &expected);
+            }
         }
-        for &n in gossip_sizes {
+        for (i, &n) in gossip_sizes.iter().enumerate() {
             let topo = family_topology(family, n);
             let label = format!("apsp-gossip/{family}/n={n}");
-            rows.extend(measure(&label, family, &topo, move |_| ApspGossip {
-                dist: vec![u32::MAX; n],
-                queue: VecDeque::new(),
-            }));
+            rows.extend(measure(&label, family, &topo, move |_| ApspGossip::new(n)));
+            if i == 0 {
+                let expected = rows.last().expect("rows recorded").stats;
+                verify_recorder(&label, &topo, move |_| ApspGossip::new(n), &expected);
+            }
         }
     }
 
@@ -332,13 +238,7 @@ fn main() {
         (log_sum / f64::from(count)).exp()
     );
 
-    let json: String = std::iter::once("[".to_string())
-        .chain(rows.iter().enumerate().map(|(i, r)| {
-            let sep = if i + 1 == rows.len() { "" } else { "," };
-            format!("\n  {}{}", r.json(), sep)
-        }))
-        .chain(std::iter::once("\n]\n".to_string()))
-        .collect();
-    std::fs::write(&out_path, json).expect("write BENCH_engine.json");
+    let objects: Vec<String> = rows.iter().map(Row::json).collect();
+    std::fs::write(&out_path, json_array(&objects)).expect("write BENCH_engine.json");
     println!("wrote {out_path}");
 }

@@ -14,6 +14,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod workloads;
+
 /// One measured configuration.
 #[derive(Clone, Debug)]
 pub struct Measurement {

@@ -1,0 +1,231 @@
+//! Shared engine-benchmark workloads and helpers.
+//!
+//! Both engine benchmarks (`engine_throughput`, `engine_profile`) drive the
+//! same two synthetic workloads over the same four topology families, so
+//! their numbers are comparable:
+//!
+//! * [`BfsFlood`] — one wave from node 0; every node forwards once.
+//!   Sparse traffic, dominated by per-round engine overhead.
+//! * [`ApspGossip`] — every node floods its id and adopts the first
+//!   arrival per origin, queueing forwards at one token per port per round
+//!   (n simultaneous BFS waves, the Algorithm 1 traffic pattern). Dense
+//!   traffic, dominated by per-message commit cost.
+
+use std::collections::VecDeque;
+
+use dapsp_congest::{Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port, Topology};
+use dapsp_graph::generators;
+
+/// A token carrying an origin id and a hop count; sized like a real
+/// CONGEST message (id + counter).
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The node whose wave this token serves.
+    pub origin: u32,
+    /// Hop count the receiver would be at.
+    pub hops: u32,
+}
+
+impl Message for Token {
+    fn bit_size(&self) -> u32 {
+        32
+    }
+
+    /// Tokens belong to their origin's wave, so observers can attribute
+    /// gossip traffic per logical stream.
+    fn stream_id(&self) -> Option<u32> {
+        Some(self.origin)
+    }
+}
+
+/// Single-source flood: forward the first arrival, then go quiet.
+#[derive(Default)]
+pub struct BfsFlood {
+    dist: Option<u32>,
+}
+
+impl BfsFlood {
+    /// A node that has not heard the wave yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl NodeAlgorithm for BfsFlood {
+    type Message = Token;
+    type Output = u32;
+
+    fn on_start(&mut self, ctx: &NodeContext<'_>, out: &mut Outbox<Token>) {
+        if ctx.node_id() == 0 {
+            self.dist = Some(0);
+            out.send_to_all(0..ctx.degree() as Port, Token { origin: 0, hops: 1 });
+        }
+    }
+
+    fn on_round(&mut self, ctx: &NodeContext<'_>, inbox: &Inbox<Token>, out: &mut Outbox<Token>) {
+        if self.dist.is_none() {
+            if let Some((_, m)) = inbox.iter().next() {
+                self.dist = Some(m.hops);
+                out.send_to_all(
+                    0..ctx.degree() as Port,
+                    Token {
+                        origin: 0,
+                        hops: m.hops + 1,
+                    },
+                );
+            }
+        }
+    }
+
+    fn is_active(&self) -> bool {
+        false
+    }
+
+    fn into_output(self, _: &NodeContext<'_>) -> u32 {
+        self.dist.unwrap_or(u32::MAX)
+    }
+}
+
+/// n simultaneous waves: adopt the first arrival per origin, forward each
+/// adopted origin once, one token per port per round.
+pub struct ApspGossip {
+    dist: Vec<u32>,
+    queue: VecDeque<Token>,
+}
+
+impl ApspGossip {
+    /// A node of an `n`-node network that knows only its own distance.
+    pub fn new(n: usize) -> Self {
+        ApspGossip {
+            dist: vec![u32::MAX; n],
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+impl NodeAlgorithm for ApspGossip {
+    type Message = Token;
+    type Output = u64;
+
+    fn on_start(&mut self, ctx: &NodeContext<'_>, out: &mut Outbox<Token>) {
+        self.dist[ctx.node_id() as usize] = 0;
+        out.send_to_all(
+            0..ctx.degree() as Port,
+            Token {
+                origin: ctx.node_id(),
+                hops: 1,
+            },
+        );
+    }
+
+    fn on_round(&mut self, ctx: &NodeContext<'_>, inbox: &Inbox<Token>, out: &mut Outbox<Token>) {
+        for (_, m) in inbox.iter() {
+            if self.dist[m.origin as usize] == u32::MAX {
+                self.dist[m.origin as usize] = m.hops;
+                self.queue.push_back(Token {
+                    origin: m.origin,
+                    hops: m.hops + 1,
+                });
+            }
+        }
+        if let Some(t) = self.queue.pop_front() {
+            out.send_to_all(0..ctx.degree() as Port, t);
+        }
+    }
+
+    fn is_active(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    fn into_output(self, _: &NodeContext<'_>) -> u64 {
+        // A distance checksum, enough to catch any cross-engine divergence.
+        self.dist
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| u64::from(d).wrapping_mul(i as u64 + 1))
+            .fold(0u64, u64::wrapping_add)
+    }
+}
+
+/// The benchmark config for an `n`-node run: standard `Config::for_n`, but
+/// with at least 32 bandwidth bits so a [`Token`] always fits.
+pub fn engine_config(n: usize) -> Config {
+    let base = Config::for_n(n);
+    let bw = base.bandwidth_bits.max(32);
+    base.with_bandwidth_bits(bw)
+}
+
+/// The four topology families both engine benchmarks sweep.
+pub const FAMILY_NAMES: &[&str] = &["path", "tree", "regular6", "clique"];
+
+/// Builds the `n`-node member of `family` (deterministic seeds).
+///
+/// # Panics
+///
+/// Panics on an unknown family name (see [`FAMILY_NAMES`]).
+pub fn family_topology(family: &str, n: usize) -> Topology {
+    match family {
+        "path" => generators::path(n).to_topology(),
+        "tree" => generators::random_tree(n, 12).to_topology(),
+        // Near-regular random graph: a Watts–Strogatz rewired ring, every
+        // degree 6 before rewiring and 6 on average after.
+        "regular6" => generators::watts_strogatz(n, 3, 0.1, 12).to_topology(),
+        "clique" => generators::complete(n).to_topology(),
+        other => panic!("unknown family {other}"),
+    }
+}
+
+/// Order-sensitive hash of a run's outputs, for cross-engine equality
+/// checks.
+pub fn digest<O: std::hash::Hash>(outputs: &[O]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    outputs.hash(&mut h);
+    h.finish()
+}
+
+/// Renders pre-serialized JSON objects as a pretty-printed JSON array —
+/// the on-disk format of `BENCH_engine.json` and `BENCH_profile.json`.
+pub fn json_array(objects: &[String]) -> String {
+    std::iter::once("[".to_string())
+        .chain(objects.iter().enumerate().map(|(i, obj)| {
+            let sep = if i + 1 == objects.len() { "" } else { "," };
+            format!("\n  {obj}{sep}")
+        }))
+        .chain(std::iter::once("\n]\n".to_string()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dapsp_congest::Simulator;
+
+    #[test]
+    fn gossip_token_carries_its_stream() {
+        let t = Token { origin: 7, hops: 2 };
+        assert_eq!(t.stream_id(), Some(7));
+        assert_eq!(t.bit_size(), 32);
+    }
+
+    #[test]
+    fn families_build_and_flood_converges() {
+        for &family in FAMILY_NAMES {
+            let topo = family_topology(family, 16);
+            let report = Simulator::new(&topo, engine_config(16), |_| BfsFlood::new())
+                .run()
+                .unwrap();
+            assert!(
+                report.outputs.iter().all(|&d| d != u32::MAX),
+                "{family}: flood reached everyone"
+            );
+        }
+    }
+
+    #[test]
+    fn json_array_shapes_rows() {
+        let arr = json_array(&["{\"a\":1}".into(), "{\"b\":2}".into()]);
+        assert_eq!(arr, "[\n  {\"a\":1},\n  {\"b\":2}\n]\n");
+        assert_eq!(json_array(&[]), "[\n]\n");
+    }
+}

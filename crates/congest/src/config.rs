@@ -1,6 +1,7 @@
 //! Simulation parameters.
 
 use crate::message::bits_for_id;
+use crate::obs::ObserverHandle;
 
 /// Deterministic message-loss injection: each delivery is dropped
 /// independently with `probability`, decided by a hash of
@@ -52,7 +53,7 @@ impl LossPlan {
 /// let cfg = Config::for_n(1024).with_max_rounds(50_000);
 /// assert_eq!(cfg.bandwidth_bits, 2 * 10 + 8);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct Config {
     /// Per-edge, per-direction, per-round bandwidth `B` in bits.
     pub bandwidth_bits: u32,
@@ -61,6 +62,11 @@ pub struct Config {
     pub max_rounds: u64,
     /// Whether to record a (bounded) event trace; see [`crate::trace`].
     pub trace: bool,
+    /// Capacity of the event trace when `trace` is set (default
+    /// [`Trace::DEFAULT_CAPACITY`](crate::Trace::DEFAULT_CAPACITY)); events
+    /// past it are counted but not stored, and the trace reports itself
+    /// [`truncated`](crate::Trace::truncated).
+    pub trace_capacity: usize,
     /// Whether to record the per-round delivered-message counts in
     /// [`Report::round_profile`](crate::Report::round_profile).
     pub round_profile: bool,
@@ -71,6 +77,31 @@ pub struct Config {
     /// outboxes are always committed sequentially in node-id order, so
     /// outputs, statistics, traces, and round counts do not depend on this.
     pub threads: usize,
+    /// Optional observer receiving round/message/timing events as the run
+    /// executes (see [`crate::obs`]). `None` — the default — keeps every
+    /// hook site a single branch, so observation is free when disabled.
+    pub observer: Option<ObserverHandle>,
+    /// Label attached to this run in observer events and recorded metric
+    /// streams; composite pipelines set one per phase (e.g. `"apsp:waves"`).
+    pub phase: String,
+}
+
+/// Equality over the *simulation semantics* only: the `observer` handle is
+/// ignored (two configs that simulate identically compare equal whether or
+/// not someone is watching), mirroring how
+/// [`RunStats`](crate::RunStats)' equality ignores wall time. The `phase`
+/// label participates: it is part of what a run reports about itself.
+impl PartialEq for Config {
+    fn eq(&self, other: &Self) -> bool {
+        self.bandwidth_bits == other.bandwidth_bits
+            && self.max_rounds == other.max_rounds
+            && self.trace == other.trace
+            && self.trace_capacity == other.trace_capacity
+            && self.round_profile == other.round_profile
+            && self.loss == other.loss
+            && self.threads == other.threads
+            && self.phase == other.phase
+    }
 }
 
 impl Config {
@@ -87,9 +118,12 @@ impl Config {
             bandwidth_bits: 2 * bits_for_id(n) + 8,
             max_rounds: 10_000u64.max(64 * n as u64),
             trace: false,
+            trace_capacity: crate::trace::Trace::DEFAULT_CAPACITY,
             round_profile: false,
             loss: None,
             threads: 1,
+            observer: None,
+            phase: String::new(),
         }
     }
 
@@ -128,6 +162,30 @@ impl Config {
     /// to a sequential run, only wall-clock time changes.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Caps the event trace at `capacity` stored events (and implies
+    /// `with_trace`). Overflowing events are counted, not stored; see
+    /// [`Trace::truncated`](crate::Trace::truncated).
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace = true;
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Attaches an observer receiving live round/message/timing events
+    /// (see [`crate::obs`]). Cloning a config shares the handle, so one
+    /// observer can watch every phase of a composite pipeline.
+    pub fn with_observer(mut self, observer: ObserverHandle) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Labels this run's observer events and metric rows (e.g.
+    /// `"ssp:growth"`).
+    pub fn with_phase(mut self, phase: impl Into<String>) -> Self {
+        self.phase = phase.into();
         self
     }
 }
@@ -172,6 +230,25 @@ mod tests {
         assert_eq!(Config::for_n(8).with_threads(0).threads, 1);
         assert_eq!(Config::for_n(8).with_threads(4).threads, 4);
         assert_eq!(Config::for_n(8).threads, 1);
+    }
+
+    #[test]
+    fn equality_ignores_observer_but_not_phase() {
+        use crate::obs::{MetricsRecorder, SharedObserver};
+        let base = Config::for_n(8);
+        let watched = base
+            .clone()
+            .with_observer(SharedObserver::new(MetricsRecorder::new()).observer());
+        assert_eq!(base, watched);
+        assert_ne!(base, base.clone().with_phase("bfs"));
+    }
+
+    #[test]
+    fn trace_capacity_implies_trace() {
+        let c = Config::for_n(8).with_trace_capacity(3);
+        assert!(c.trace);
+        assert_eq!(c.trace_capacity, 3);
+        assert!(!Config::for_n(8).trace);
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //! * [`Simulator`] — the synchronous round engine, which detects quiescence,
 //!   enforces bandwidth, and collects [`RunStats`] (rounds, messages, bits),
 //! * [`trace`] — an optional bounded event log for debugging and for testing
-//!   algorithm invariants (e.g. that two BFS waves never congest an edge).
+//!   algorithm invariants (e.g. that two BFS waves never congest an edge),
+//! * [`obs`] — live observers: per-round metric streams, a wall-clock phase
+//!   profiler, and probes that check the paper's congestion/delay invariants
+//!   while a run executes (attach with [`Config::with_observer`]).
 //!
 //! # Example
 //!
@@ -76,6 +79,7 @@ mod simulator;
 mod stats;
 mod topology;
 
+pub mod obs;
 pub mod trace;
 
 pub use algorithm::NodeAlgorithm;
@@ -83,7 +87,12 @@ pub use config::{Config, LossPlan};
 pub use error::SimError;
 pub use message::{bits_for_count, bits_for_id, Message};
 pub use node::{Inbox, NodeContext, NodeId, Outbox, Port};
+pub use obs::{
+    EdgeCongestionProbe, FanOut, MetricsRecorder, Observer, ObserverHandle, PhaseProfiler,
+    SharedObserver, WaveArrivalProbe,
+};
 pub use reference::ReferenceSimulator;
 pub use simulator::{Report, Simulator};
 pub use stats::RunStats;
 pub use topology::Topology;
+pub use trace::Trace;

@@ -30,6 +30,15 @@
 pub trait Message: Clone + std::fmt::Debug {
     /// The size of this message in bits under its binary encoding.
     fn bit_size(&self) -> u32;
+
+    /// The logical stream this message belongs to, if any — e.g. the root
+    /// id of the BFS wave it serves. Observers use this to attribute
+    /// traffic to concurrent logical executions (the paper's Lemma 1
+    /// argues about per-wave congestion, not raw message counts); message
+    /// types that don't distinguish streams keep the default `None`.
+    fn stream_id(&self) -> Option<u32> {
+        None
+    }
 }
 
 /// Number of bits needed to encode one identifier from `{0, …, n-1}`.

@@ -13,6 +13,7 @@ use crate::config::Config;
 use crate::error::SimError;
 use crate::message::Message;
 use crate::node::{Inbox, NodeContext, NodeId, Outbox};
+use crate::obs::{MessageEvent, RoundTiming, RunInfo};
 use crate::simulator::Report;
 use crate::stats::RunStats;
 use crate::trace::{Event, Trace};
@@ -55,6 +56,9 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
                 Some(init(&ctx))
             })
             .collect();
+        let trace = config
+            .trace
+            .then(|| Trace::new(config.trace_capacity));
         ReferenceSimulator {
             topology,
             config,
@@ -63,11 +67,7 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
             in_flight: 0,
             round: 0,
             stats: RunStats::default(),
-            trace: if config.trace {
-                Some(Trace::default())
-            } else {
-                None
-            },
+            trace,
             round_profile: Vec::new(),
         }
     }
@@ -80,6 +80,7 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
     ) -> Result<(), SimError> {
         let degree = self.topology.degree(v);
         let mut used = vec![false; degree];
+        let mut observer = self.config.observer.as_ref().map(|h| h.lock());
         for (port, msg) in outbox.items {
             if port as usize >= degree {
                 return Err(SimError::InvalidPort {
@@ -109,6 +110,9 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
             if let Some(plan) = &self.config.loss {
                 if plan.drops(send_round, v, port) {
                     self.stats.dropped += 1;
+                    if let Some(obs) = observer.as_deref_mut() {
+                        obs.on_drop(send_round, v, port);
+                    }
                     continue;
                 }
             }
@@ -122,6 +126,18 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
                     port: to_port,
                     bits,
                     payload: format!("{msg:?}"),
+                });
+            }
+            if let Some(obs) = observer.as_deref_mut() {
+                obs.on_message(&MessageEvent {
+                    send_round,
+                    from: v,
+                    to,
+                    to_port,
+                    edge: self.topology.directed_edge_index(v, port),
+                    reverse_edge: self.topology.directed_edge_index(to, to_port),
+                    bits,
+                    stream: msg.stream_id(),
                 });
             }
             self.stats.messages += 1;
@@ -158,12 +174,27 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
         if self.config.round_profile {
             self.round_profile.push(self.in_flight);
         }
+        let delivered = self.in_flight;
         self.in_flight = 0;
         let n = self.nodes.len();
+        let watch = self.config.observer.is_some();
+        let mut timing = RoundTiming::default();
+        if let Some(obs) = &self.config.observer {
+            obs.lock().on_round_start(self.round, delivered);
+        }
+        // The seed engine allocates n fresh inboxes per round — its
+        // "deliver" time is real work, unlike the optimized engine's swap.
+        let clock = watch.then(std::time::Instant::now);
         let mut inboxes: Vec<Vec<(u32, A::Message)>> =
             std::mem::replace(&mut self.pending, (0..n).map(|_| Vec::new()).collect());
+        if let Some(t) = clock {
+            timing.deliver = t.elapsed();
+        }
+        // Stepping and committing interleave per node here, so the split
+        // accumulates per-node durations instead of bracketing two loops.
         #[allow(clippy::needless_range_loop)] // v doubles as the node id
         for v in 0..n {
+            let clock = watch.then(std::time::Instant::now);
             inboxes[v].sort_by_key(|(p, _)| *p);
             let inbox = Inbox {
                 items: std::mem::take(&mut inboxes[v]),
@@ -179,7 +210,17 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
                 .as_mut()
                 .expect("node state present")
                 .on_round(&ctx, &inbox, &mut outbox);
+            if let Some(t) = clock {
+                timing.step += t.elapsed();
+            }
+            let clock = watch.then(std::time::Instant::now);
             self.commit_outbox(v as NodeId, outbox, self.round)?;
+            if let Some(t) = clock {
+                timing.commit += t.elapsed();
+            }
+        }
+        if let Some(obs) = &self.config.observer {
+            obs.lock().on_round_end(self.round, &timing);
         }
         Ok(())
     }
@@ -203,6 +244,13 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
     /// within [`Config::max_rounds`].
     pub fn run(mut self) -> Result<Report<A::Output>, SimError> {
         let started = std::time::Instant::now();
+        if let Some(obs) = &self.config.observer {
+            obs.lock().on_run_start(&RunInfo {
+                phase: &self.config.phase,
+                nodes: self.topology.num_nodes(),
+                directed_edges: self.topology.num_directed_edges(),
+            });
+        }
         self.start_all()?;
         while !self.is_quiescent() {
             if self.round >= self.config.max_rounds {
@@ -228,11 +276,19 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
             })
             .collect();
         self.stats.wall_time = started.elapsed();
+        let metrics = if let Some(obs) = &self.config.observer {
+            let mut obs = obs.lock();
+            obs.on_run_end(&self.stats);
+            obs.take_run_stream()
+        } else {
+            None
+        };
         Ok(Report {
             outputs,
             stats: self.stats,
             trace: self.trace,
             round_profile: self.round_profile,
+            metrics,
         })
     }
 }

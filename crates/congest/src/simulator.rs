@@ -5,6 +5,7 @@ use crate::config::Config;
 use crate::error::SimError;
 use crate::message::Message;
 use crate::node::{Inbox, NodeContext, NodeId, Outbox};
+use crate::obs::{MessageEvent, RoundMetrics, RoundTiming, RunInfo};
 use crate::stats::RunStats;
 use crate::topology::Topology;
 use crate::trace::{Event, Trace};
@@ -21,6 +22,10 @@ pub struct Report<O> {
     /// Messages delivered in each round (`round_profile[t]` = deliveries in
     /// round `t+1`), if [`Config::round_profile`] was enabled; else empty.
     pub round_profile: Vec<u64>,
+    /// This run's per-round metric stream, if the configured observer
+    /// records one (see
+    /// [`MetricsRecorder`](crate::obs::MetricsRecorder)); `None` otherwise.
+    pub metrics: Option<Vec<RoundMetrics>>,
 }
 
 /// Drives one [`NodeAlgorithm`] instance per node in synchronous lock-step.
@@ -84,6 +89,9 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
                 Some(init(&ctx))
             })
             .collect();
+        let trace = config
+            .trace
+            .then(|| Trace::new(config.trace_capacity));
         Simulator {
             topology,
             config,
@@ -96,11 +104,7 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
             in_flight: 0,
             round: 0,
             stats: RunStats::default(),
-            trace: if config.trace {
-                Some(Trace::default())
-            } else {
-                None
-            },
+            trace,
             round_profile: Vec::new(),
         }
     }
@@ -121,6 +125,8 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
         let degree = self.topology.degree(v);
         self.stamp += 1;
         let stamp = self.stamp;
+        // One lock per node-commit (not per message); None when unobserved.
+        let mut observer = self.config.observer.as_ref().map(|h| h.lock());
         let mut items = std::mem::take(&mut self.outboxes[v as usize].items);
         for (port, msg) in items.drain(..) {
             if port as usize >= degree {
@@ -151,6 +157,9 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
             if let Some(plan) = &self.config.loss {
                 if plan.drops(send_round, v, port) {
                     self.stats.dropped += 1;
+                    if let Some(obs) = observer.as_deref_mut() {
+                        obs.on_drop(send_round, v, port);
+                    }
                     continue;
                 }
             }
@@ -164,6 +173,18 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
                     port: to_port,
                     bits,
                     payload: format!("{msg:?}"),
+                });
+            }
+            if let Some(obs) = observer.as_deref_mut() {
+                obs.on_message(&MessageEvent {
+                    send_round,
+                    from: v,
+                    to,
+                    to_port,
+                    edge: self.topology.directed_edge_index(v, port),
+                    reverse_edge: self.topology.directed_edge_index(to, to_port),
+                    bits,
+                    stream: msg.stream_id(),
                 });
             }
             self.stats.messages += 1;
@@ -244,12 +265,25 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
         if self.config.round_profile {
             self.round_profile.push(self.in_flight);
         }
+        let delivered = self.in_flight;
         self.in_flight = 0;
         let n = self.nodes.len();
+        // Wall-clock sub-phase timing exists only while observed: with no
+        // observer the `watch` checks below are the entire cost.
+        let watch = self.config.observer.is_some();
+        let mut timing = RoundTiming::default();
+        if let Some(obs) = &self.config.observer {
+            obs.lock().on_round_start(self.round, delivered);
+        }
         // Swap the accumulated inboxes in so sends this round are buffered
         // for the next one; `delivering`'s buffers were cleared (capacity
         // kept) at the end of the previous step.
+        let clock = watch.then(std::time::Instant::now);
         std::mem::swap(&mut self.pending, &mut self.delivering);
+        if let Some(t) = clock {
+            timing.deliver = t.elapsed();
+        }
+        let clock = watch.then(std::time::Instant::now);
         let threads = self.config.threads.max(1).min(n.max(1));
         if threads == 1 {
             for (v, ((node, inbox), outbox)) in self
@@ -297,11 +331,21 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
                 }
             });
         }
+        if let Some(t) = clock {
+            timing.step = t.elapsed();
+        }
         // Commit sequentially in node-id order: stats, traces, loss
         // decisions, and delivery order are therefore identical regardless
         // of the thread count.
+        let clock = watch.then(std::time::Instant::now);
         for v in 0..n {
             self.commit_outbox(v as NodeId, self.round)?;
+        }
+        if let Some(t) = clock {
+            timing.commit = t.elapsed();
+        }
+        if let Some(obs) = &self.config.observer {
+            obs.lock().on_round_end(self.round, &timing);
         }
         Ok(())
     }
@@ -331,6 +375,13 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
         A::Message: Send,
     {
         let started = std::time::Instant::now();
+        if let Some(obs) = &self.config.observer {
+            obs.lock().on_run_start(&RunInfo {
+                phase: &self.config.phase,
+                nodes: self.topology.num_nodes(),
+                directed_edges: self.topology.num_directed_edges(),
+            });
+        }
         self.start_all()?;
         while !self.is_quiescent() {
             if self.round >= self.config.max_rounds {
@@ -356,11 +407,19 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
             })
             .collect();
         self.stats.wall_time = started.elapsed();
+        let metrics = if let Some(obs) = &self.config.observer {
+            let mut obs = obs.lock();
+            obs.on_run_end(&self.stats);
+            obs.take_run_stream()
+        } else {
+            None
+        };
         Ok(Report {
             outputs,
             stats: self.stats,
             trace: self.trace,
             round_profile: self.round_profile,
+            metrics,
         })
     }
 }
@@ -602,6 +661,194 @@ mod tests {
         // A message carrying two ids must fit the default config.
         let n = 1000;
         assert!(2 * bits_for_id(n) <= Config::for_n(n).bandwidth_bits);
+    }
+}
+
+#[cfg(test)]
+mod obs_tests {
+    use super::*;
+    use crate::obs::{MetricsRecorder, PhaseProfiler, SharedObserver};
+    use crate::ReferenceSimulator;
+
+    #[derive(Clone, Debug)]
+    struct Tagged {
+        origin: u32,
+    }
+    impl Message for Tagged {
+        fn bit_size(&self) -> u32 {
+            8
+        }
+        fn stream_id(&self) -> Option<u32> {
+            Some(self.origin)
+        }
+    }
+
+    /// Every node floods its own id once (a miniature Algorithm 1 pattern).
+    struct Gossip {
+        seen: Vec<bool>,
+        queue: std::collections::VecDeque<Tagged>,
+    }
+    impl NodeAlgorithm for Gossip {
+        type Message = Tagged;
+        type Output = usize;
+        fn on_start(&mut self, ctx: &NodeContext<'_>, out: &mut Outbox<Tagged>) {
+            self.seen[ctx.node_id() as usize] = true;
+            out.send_to_all(
+                0..ctx.degree() as u32,
+                Tagged {
+                    origin: ctx.node_id(),
+                },
+            );
+        }
+        fn on_round(&mut self, ctx: &NodeContext<'_>, inbox: &Inbox<Tagged>, out: &mut Outbox<Tagged>) {
+            for (_, m) in inbox.iter() {
+                if !self.seen[m.origin as usize] {
+                    self.seen[m.origin as usize] = true;
+                    self.queue.push_back(m.clone());
+                }
+            }
+            if let Some(m) = self.queue.pop_front() {
+                out.send_to_all(0..ctx.degree() as u32, m);
+            }
+        }
+        fn is_active(&self) -> bool {
+            !self.queue.is_empty()
+        }
+        fn into_output(self, _: &NodeContext<'_>) -> usize {
+            self.seen.iter().filter(|&&s| s).count()
+        }
+    }
+
+    fn ring(n: usize) -> Topology {
+        let adj = (0..n)
+            .map(|v| {
+                vec![
+                    ((v + n - 1) % n) as NodeId,
+                    ((v + 1) % n) as NodeId,
+                ]
+            })
+            .collect();
+        Topology::from_adjacency(adj).unwrap()
+    }
+
+    fn gossip(n: usize) -> impl Fn(&NodeContext<'_>) -> Gossip + Copy {
+        move |_| Gossip {
+            seen: vec![false; n],
+            queue: std::collections::VecDeque::new(),
+        }
+    }
+
+    #[test]
+    fn unobserved_runs_carry_no_metrics() {
+        let topo = ring(6);
+        let report = Simulator::new(&topo, Config::for_n(6), gossip(6))
+            .run()
+            .unwrap();
+        assert!(report.metrics.is_none());
+    }
+
+    #[test]
+    fn recorder_stream_sums_to_stats() {
+        let topo = ring(8);
+        let rec = SharedObserver::new(MetricsRecorder::new());
+        let cfg = Config::for_n(8)
+            .with_phase("gossip")
+            .with_observer(rec.observer());
+        let report = Simulator::new(&topo, cfg, gossip(8)).run().unwrap();
+        let stream = report.metrics.as_ref().expect("recorder attached");
+        assert_eq!(stream.len() as u64, report.stats.rounds + 1);
+        assert_eq!(
+            stream.iter().map(|r| r.messages).sum::<u64>(),
+            report.stats.messages
+        );
+        assert_eq!(stream.iter().map(|r| r.bits).sum::<u64>(), report.stats.bits);
+        assert!(stream.iter().all(|r| &*r.phase == "gossip"));
+        // Round 0 is every node's on_start flood: all nodes active, every
+        // undirected ring edge carrying both directions.
+        assert_eq!(stream[0].active_nodes, 8);
+        assert_eq!(stream[0].max_edge_load, 2);
+        assert_eq!(stream[0].edge_load_hist, vec![0, 8]);
+    }
+
+    #[test]
+    fn both_engines_feed_identical_streams() {
+        let topo = ring(7);
+        let opt = SharedObserver::new(MetricsRecorder::new());
+        let seed = SharedObserver::new(MetricsRecorder::new());
+        let opt_report = Simulator::new(
+            &topo,
+            Config::for_n(7).with_observer(opt.observer()),
+            gossip(7),
+        )
+        .run()
+        .unwrap();
+        let seed_report = ReferenceSimulator::new(
+            &topo,
+            Config::for_n(7).with_observer(seed.observer()),
+            gossip(7),
+        )
+        .run()
+        .unwrap();
+        assert_eq!(opt_report.stats, seed_report.stats);
+        // RoundMetrics equality ignores wall-clock columns, so the streams
+        // must match row for row.
+        assert_eq!(opt_report.metrics, seed_report.metrics);
+        assert_eq!(opt.with(|r| r.stream().to_vec()), seed.with(|r| r.stream().to_vec()));
+    }
+
+    #[test]
+    fn profiler_measures_rounds_when_attached() {
+        let topo = ring(6);
+        let prof = SharedObserver::new(PhaseProfiler::new());
+        let cfg = Config::for_n(6)
+            .with_phase("ring")
+            .with_observer(prof.observer());
+        let report = Simulator::new(&topo, cfg, gossip(6)).run().unwrap();
+        // The profiler records no stream, so the report carries none.
+        assert!(report.metrics.is_none());
+        prof.with(|p| {
+            assert_eq!(p.profiles().len(), 1);
+            let total = p.total();
+            assert_eq!(total.rounds, report.stats.rounds);
+            assert_eq!(total.messages, report.stats.messages);
+            assert!(total.step + total.commit > std::time::Duration::ZERO);
+            assert_eq!(total.phase, "ring");
+        });
+    }
+
+    #[test]
+    fn report_surfaces_trace_truncation() {
+        let topo = ring(8);
+        let cfg = Config::for_n(8).with_trace_capacity(5);
+        let report = Simulator::new(&topo, cfg, gossip(8)).run().unwrap();
+        let trace = report.trace.expect("trace enabled");
+        assert!(trace.truncated());
+        assert_eq!(trace.events().len(), 5);
+        assert_eq!(trace.total_events(), report.stats.messages);
+        // An unbounded trace of the same run is not truncated.
+        let full = Simulator::new(&topo, Config::for_n(8).with_trace(), gossip(8))
+            .run()
+            .unwrap()
+            .trace
+            .expect("trace enabled");
+        assert!(!full.truncated());
+        assert_eq!(full.total_events(), report.stats.messages);
+    }
+
+    #[test]
+    fn drops_reach_the_observer() {
+        let topo = ring(8);
+        let rec = SharedObserver::new(MetricsRecorder::new());
+        let cfg = Config::for_n(8)
+            .with_loss(0.3, 42)
+            .with_observer(rec.observer());
+        let report = Simulator::new(&topo, cfg, gossip(8)).run().unwrap();
+        assert!(report.stats.dropped > 0, "loss plan should fire");
+        let stream = report.metrics.expect("recorder attached");
+        assert_eq!(
+            stream.iter().map(|r| r.dropped).sum::<u64>(),
+            report.stats.dropped
+        );
     }
 }
 

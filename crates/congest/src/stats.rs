@@ -65,7 +65,14 @@ impl std::fmt::Display for RunStats {
             f,
             "{} rounds, {} messages, {} bits",
             self.rounds, self.messages, self.bits
-        )
+        )?;
+        if self.max_messages_per_round > 0 {
+            write!(f, ", peak {}/round", self.max_messages_per_round)?;
+        }
+        if self.dropped > 0 {
+            write!(f, ", {} dropped", self.dropped)?;
+        }
+        Ok(())
     }
 }
 
@@ -130,5 +137,22 @@ mod tests {
             ..RunStats::default()
         };
         assert!(s.to_string().contains("3 rounds"));
+        // Zero-valued optional counters stay out of the rendering.
+        assert!(!s.to_string().contains("peak"));
+        assert!(!s.to_string().contains("dropped"));
+    }
+
+    #[test]
+    fn display_includes_drops_and_peak_when_nonzero() {
+        let s = RunStats {
+            rounds: 3,
+            messages: 9,
+            max_messages_per_round: 4,
+            dropped: 2,
+            ..RunStats::default()
+        };
+        let rendered = s.to_string();
+        assert!(rendered.contains("peak 4/round"), "{rendered}");
+        assert!(rendered.contains("2 dropped"), "{rendered}");
     }
 }

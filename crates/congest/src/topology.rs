@@ -197,6 +197,24 @@ impl Topology {
         self.reverse_ports
             [self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize][p as usize]
     }
+
+    /// The flat index of the directed edge leaving `v` through port `p`:
+    /// a unique value in `0..2m` (it is `v`'s CSR slot for that port), used
+    /// by observers to key per-edge accounting without hashing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range; an out-of-range `p` yields an index
+    /// beyond `v`'s slice rather than panicking here.
+    pub fn directed_edge_index(&self, v: NodeId, p: u32) -> u32 {
+        self.offsets[v as usize] + p
+    }
+
+    /// Number of directed edges (`2m`), the exclusive upper bound of
+    /// [`Topology::directed_edge_index`].
+    pub fn num_directed_edges(&self) -> usize {
+        self.neighbors.len()
+    }
 }
 
 #[cfg(test)]
@@ -285,6 +303,25 @@ mod tests {
                 assert_eq!(t.neighbor_at(u, t.reverse_port(v, p)), v);
             }
         }
+    }
+
+    #[test]
+    fn directed_edge_indices_are_unique_and_dense() {
+        let t = Topology::from_adjacency(vec![vec![2], vec![], vec![3, 0], vec![2]]).unwrap();
+        assert_eq!(t.num_directed_edges(), 4);
+        let mut seen = vec![false; t.num_directed_edges()];
+        for v in 0..t.num_nodes() as NodeId {
+            for p in 0..t.degree(v) as u32 {
+                let e = t.directed_edge_index(v, p) as usize;
+                assert!(!seen[e], "index {e} repeated");
+                seen[e] = true;
+                // The reverse direction pairs up through reverse_port.
+                let u = t.neighbor_at(v, p);
+                let r = t.directed_edge_index(u, t.reverse_port(v, p));
+                assert_ne!(e as u32, r);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

@@ -38,6 +38,11 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// Default stored-event capacity (one million events); see
+    /// [`Config::with_trace_capacity`](crate::Config::with_trace_capacity)
+    /// to override it per run.
+    pub const DEFAULT_CAPACITY: usize = 1_000_000;
+
     /// Creates an empty trace holding at most `capacity` events.
     pub fn new(capacity: usize) -> Self {
         Trace {
@@ -64,12 +69,24 @@ impl Trace {
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
+
+    /// Whether any event was dropped, i.e. [`Trace::events`] is an
+    /// incomplete record of the run. A caller analyzing a trace should
+    /// check this before trusting absence-of-event conclusions.
+    pub fn truncated(&self) -> bool {
+        self.dropped > 0
+    }
+
+    /// Total events the run produced — stored plus dropped.
+    pub fn total_events(&self) -> u64 {
+        self.events.len() as u64 + self.dropped
+    }
 }
 
 impl Default for Trace {
-    /// A trace with a one-million-event capacity.
+    /// A trace with the [`Trace::DEFAULT_CAPACITY`] event capacity.
     fn default() -> Self {
-        Trace::new(1_000_000)
+        Trace::new(Trace::DEFAULT_CAPACITY)
     }
 }
 
@@ -92,14 +109,17 @@ mod tests {
     fn bounded_capacity_drops_overflow() {
         let mut t = Trace::new(2);
         t.record(ev(1));
+        assert!(!t.truncated());
         t.record(ev(2));
         t.record(ev(3));
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.dropped(), 1);
+        assert!(t.truncated());
+        assert_eq!(t.total_events(), 3);
     }
 
     #[test]
     fn default_is_large() {
-        assert!(Trace::default().capacity >= 1_000_000);
+        assert!(Trace::default().capacity >= Trace::DEFAULT_CAPACITY);
     }
 }

@@ -14,6 +14,7 @@ use dapsp_congest::{
 use dapsp_graph::Graph;
 
 use crate::error::CoreError;
+use crate::observe::Obs;
 use crate::runner::run_algorithm_on;
 use crate::tree::TreeKnowledge;
 
@@ -32,6 +33,17 @@ pub enum AggOp {
 }
 
 impl AggOp {
+    /// The phase label this aggregation reports to observers
+    /// (`"agg:max"`, `"agg:min"`, `"agg:sum"`, `"agg:or"`).
+    pub fn phase_label(self) -> &'static str {
+        match self {
+            AggOp::Max => "agg:max",
+            AggOp::Min => "agg:min",
+            AggOp::Sum => "agg:sum",
+            AggOp::Or => "agg:or",
+        }
+    }
+
     fn combine(self, a: u64, b: u64) -> u64 {
         match self {
             AggOp::Max => a.max(b),
@@ -186,6 +198,22 @@ pub fn run_on(
     values: &[u64],
     op: AggOp,
 ) -> Result<AggregateResult, CoreError> {
+    run_on_obs(topology, tree, values, op, Obs::none())
+}
+
+/// Like [`run_on`], with an optional observer attached under the phase
+/// label [`AggOp::phase_label`].
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_on_obs(
+    topology: &Topology,
+    tree: &TreeKnowledge,
+    values: &[u64],
+    op: AggOp,
+    obs: Obs<'_>,
+) -> Result<AggregateResult, CoreError> {
     let n = topology.num_nodes();
     if n == 0 {
         return Err(CoreError::EmptyGraph);
@@ -202,7 +230,8 @@ pub fn run_on(
             "aggregation tree does not span the graph".into(),
         ));
     }
-    let report = run_algorithm_on(topology, Config::for_n(n), |ctx| {
+    let config = obs.apply(Config::for_n(n), op.phase_label());
+    let report = run_algorithm_on(topology, config, |ctx| {
         let v = ctx.node_id() as usize;
         AggNode {
             op,

@@ -15,7 +15,7 @@
 //!    threshold with a `2k` slack (every true member is kept; any extra
 //!    member's true eccentricity is within `2k ≤ ε·D₀/2` of the threshold).
 
-use dapsp_congest::{RunStats, Topology};
+use dapsp_congest::{ObserverHandle, RunStats, Topology};
 use dapsp_graph::Graph;
 
 use crate::aggregate::{self, AggOp};
@@ -23,6 +23,7 @@ use crate::bfs;
 use crate::dominating;
 use crate::error::CoreError;
 use crate::metrics::MembershipResult;
+use crate::observe::Obs;
 use crate::ssp;
 use crate::tree::TreeKnowledge;
 
@@ -67,6 +68,7 @@ fn validate_eps(eps: f64) -> Result<(), CoreError> {
 fn estimate_eccentricities(
     graph: &Graph,
     eps: f64,
+    obs: Obs<'_>,
 ) -> Result<(ApproxEccResult, TreeKnowledge, Topology), CoreError> {
     validate_eps(eps)?;
     let n = graph.num_nodes();
@@ -75,22 +77,22 @@ fn estimate_eccentricities(
     }
     let topology = graph.to_topology();
     // Phase 1: T_1 and D0 = 2·ecc(1).
-    let t1 = bfs::run_on(&topology, 0)?;
+    let t1 = bfs::run_on_obs(&topology, 0, obs)?;
     if !t1.reached_all() {
         return Err(CoreError::Disconnected);
     }
     let depths: Vec<u64> = t1.dist.iter().map(|&d| u64::from(d)).collect();
-    let agg = aggregate::run_on(&topology, &t1.tree, &depths, AggOp::Max)?;
+    let agg = aggregate::run_on_obs(&topology, &t1.tree, &depths, AggOp::Max, obs)?;
     let d0 = 2 * agg.value as u32;
     let mut stats = t1.stats;
     stats.absorb_sequential(&agg.stats);
     // Phase 2: k-dominating set.
     let k = (eps * f64::from(d0) / 4.0).floor() as u32;
-    let dom = dominating::run_on(&topology, &t1.tree, k)?;
+    let dom = dominating::run_on_obs(&topology, &t1.tree, k, obs)?;
     stats.absorb_sequential(&dom.stats);
     // Phase 3: DOM-SP.
     let sources = dom.member_ids();
-    let sp = ssp::run_on(&topology, &sources)?;
+    let sp = ssp::run_on_obs(&topology, &sources, obs)?;
     stats.absorb_sequential(&sp.stats);
     // Phase 4: local estimates.
     let estimates: Vec<u32> = (0..n)
@@ -135,7 +137,23 @@ fn estimate_eccentricities(
 /// # }
 /// ```
 pub fn eccentricities(graph: &Graph, eps: f64) -> Result<ApproxEccResult, CoreError> {
-    estimate_eccentricities(graph, eps).map(|(r, _, _)| r)
+    estimate_eccentricities(graph, eps, Obs::none()).map(|(r, _, _)| r)
+}
+
+/// Like [`eccentricities`], streaming round/message/timing events of every
+/// phase to `observer` — the phases report as `"bfs"`, `"agg:max"`,
+/// `"dom:select"`, `"agg:sum"`, then the S-SP phases (`"bfs"`,
+/// `"agg:max"`, `"ssp:growth"`), matching Theorem 4's pipeline structure.
+///
+/// # Errors
+///
+/// Same as [`eccentricities`].
+pub fn eccentricities_observed(
+    graph: &Graph,
+    eps: f64,
+    observer: &ObserverHandle,
+) -> Result<ApproxEccResult, CoreError> {
+    estimate_eccentricities(graph, eps, Obs::watching(observer)).map(|(r, _, _)| r)
 }
 
 /// Corollary 4: a `(×, 1+ε)` diameter estimate in `O(n/D + D)` rounds.
@@ -158,7 +176,7 @@ pub fn eccentricities(graph: &Graph, eps: f64) -> Result<ApproxEccResult, CoreEr
 /// # }
 /// ```
 pub fn diameter(graph: &Graph, eps: f64) -> Result<ApproxScalarResult, CoreError> {
-    let (ecc, t1, topology) = estimate_eccentricities(graph, eps)?;
+    let (ecc, t1, topology) = estimate_eccentricities(graph, eps, Obs::none())?;
     scalar_from_estimates(&topology, ecc, &t1, AggOp::Max)
 }
 
@@ -168,7 +186,7 @@ pub fn diameter(graph: &Graph, eps: f64) -> Result<ApproxScalarResult, CoreError
 ///
 /// Same as [`eccentricities`].
 pub fn radius(graph: &Graph, eps: f64) -> Result<ApproxScalarResult, CoreError> {
-    let (ecc, t1, topology) = estimate_eccentricities(graph, eps)?;
+    let (ecc, t1, topology) = estimate_eccentricities(graph, eps, Obs::none())?;
     scalar_from_estimates(&topology, ecc, &t1, AggOp::Min)
 }
 
@@ -202,7 +220,7 @@ fn scalar_from_estimates(
 ///
 /// Same as [`eccentricities`].
 pub fn center(graph: &Graph, eps: f64) -> Result<MembershipResult, CoreError> {
-    let (ecc, t1, topology) = estimate_eccentricities(graph, eps)?;
+    let (ecc, t1, topology) = estimate_eccentricities(graph, eps, Obs::none())?;
     let values: Vec<u64> = ecc.estimates.iter().map(|&e| u64::from(e)).collect();
     let min = aggregate::run_on(&topology, &t1, &values, AggOp::Min)?;
     let threshold = min.value as u32 + ecc.k;
@@ -225,7 +243,7 @@ pub fn center(graph: &Graph, eps: f64) -> Result<MembershipResult, CoreError> {
 ///
 /// Same as [`eccentricities`].
 pub fn peripheral_vertices(graph: &Graph, eps: f64) -> Result<MembershipResult, CoreError> {
-    let (ecc, t1, topology) = estimate_eccentricities(graph, eps)?;
+    let (ecc, t1, topology) = estimate_eccentricities(graph, eps, Obs::none())?;
     let values: Vec<u64> = ecc.estimates.iter().map(|&e| u64::from(e)).collect();
     let max = aggregate::run_on(&topology, &t1, &values, AggOp::Max)?;
     let threshold = (max.value as u32).saturating_sub(ecc.k);

@@ -23,13 +23,14 @@
 //! which is exactly what Lemma 7 needs to compute the girth.
 
 use dapsp_congest::{
-    bits_for_count, bits_for_id, Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port,
-    RunStats, Topology,
+    bits_for_count, bits_for_id, Config, Inbox, Message, NodeAlgorithm, NodeContext, ObserverHandle,
+    Outbox, Port, RunStats, Topology,
 };
 use dapsp_graph::{DistanceMatrix, Graph, INFINITY};
 
 use crate::bfs;
 use crate::error::CoreError;
+use crate::observe::Obs;
 use crate::runner::run_algorithm_on;
 use crate::tree::TreeKnowledge;
 
@@ -52,6 +53,12 @@ impl Message for ApspMsg {
             bits += bits_for_id(self.n as usize) + bits_for_count(dist as usize);
         }
         bits
+    }
+
+    /// A wave message belongs to its root's stream, so observers can check
+    /// Lemma 1 per wave; pure pebble hand-offs carry no stream.
+    fn stream_id(&self) -> Option<u32> {
+        self.wave.map(|(root, _)| root)
     }
 }
 
@@ -366,7 +373,49 @@ pub fn run(graph: &Graph) -> Result<ApspResult, CoreError> {
 ///
 /// Same as [`run`].
 pub fn run_on(topology: &Topology) -> Result<ApspResult, CoreError> {
-    run_phases(topology, true, u32::MAX, false).map(|(result, _)| result)
+    run_on_obs(topology, Obs::none())
+}
+
+/// Like [`run_on`], with an optional observer attached: the `T_1` phase
+/// reports as `"bfs"` and the pebble + wave phase as `"apsp:waves"`.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_on_obs(topology: &Topology, obs: Obs<'_>) -> Result<ApspResult, CoreError> {
+    run_phases(topology, true, u32::MAX, false, obs).map(|(result, _)| result)
+}
+
+/// Like [`run`], streaming round/message/timing events of both phases to
+/// `observer` (see [`dapsp_congest::obs`]). Attach a
+/// [`MetricsRecorder`](dapsp_congest::MetricsRecorder) to get the
+/// per-round metric stream, or congestion probes to check the paper's
+/// Lemma 1 on a live run.
+///
+/// # Errors
+///
+/// Same as [`run`].
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_congest::{MetricsRecorder, SharedObserver};
+/// use dapsp_core::apsp;
+/// use dapsp_graph::generators;
+///
+/// # fn main() -> Result<(), dapsp_core::CoreError> {
+/// let recorder = SharedObserver::new(MetricsRecorder::new());
+/// let result = apsp::run_observed(&generators::cycle(8), &recorder.observer())?;
+/// let recorded: u64 = recorder.with(|r| r.stream().iter().map(|m| m.messages).sum());
+/// assert_eq!(recorded, result.stats.messages);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_observed(graph: &Graph, observer: &ObserverHandle) -> Result<ApspResult, CoreError> {
+    if graph.num_nodes() == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    run_on_obs(&graph.to_topology(), Obs::watching(observer))
 }
 
 /// Like [`run`], but also returns the wave phase's per-round
@@ -381,7 +430,7 @@ pub fn run_profiled(graph: &Graph) -> Result<(ApspResult, Vec<u64>), CoreError> 
     if graph.num_nodes() == 0 {
         return Err(CoreError::EmptyGraph);
     }
-    run_phases(&graph.to_topology(), true, u32::MAX, true)
+    run_phases(&graph.to_topology(), true, u32::MAX, true, Obs::none())
         .map(|(result, profile)| (result, profile.expect("profiling was requested")))
 }
 
@@ -426,7 +475,7 @@ pub fn run_truncated(graph: &Graph, k: u32) -> Result<KbfsResult, CoreError> {
 ///
 /// Same as [`run`].
 pub fn run_truncated_on(topology: &Topology, k: u32) -> Result<KbfsResult, CoreError> {
-    run_phases(topology, true, k, false).map(|(result, _)| KbfsResult { k, result })
+    run_phases(topology, true, k, false, Obs::none()).map(|(result, _)| KbfsResult { k, result })
 }
 
 /// The outcome of a truncated (k-BFS) run; see [`run_truncated`].
@@ -486,7 +535,8 @@ fn run_with_wait(graph: &Graph, wait_one_slot: bool) -> Result<ApspResult, CoreE
     if graph.num_nodes() == 0 {
         return Err(CoreError::EmptyGraph);
     }
-    run_phases(&graph.to_topology(), wait_one_slot, u32::MAX, false).map(|(result, _)| result)
+    run_phases(&graph.to_topology(), wait_one_slot, u32::MAX, false, Obs::none())
+        .map(|(result, _)| result)
 }
 
 /// The shared two-phase pipeline behind every Algorithm 1 variant:
@@ -498,18 +548,19 @@ fn run_phases(
     wait_one_slot: bool,
     max_depth: u32,
     profile: bool,
+    obs: Obs<'_>,
 ) -> Result<(ApspResult, Option<Vec<u64>>), CoreError> {
     let n = topology.num_nodes();
     if n == 0 {
         return Err(CoreError::EmptyGraph);
     }
     // Phase A: build T_1 (BFS from node 0, the smallest id).
-    let t1 = bfs::run_on(topology, 0)?;
+    let t1 = bfs::run_on_obs(topology, 0, obs)?;
     if !t1.reached_all() {
         return Err(CoreError::Disconnected);
     }
     // Phase B: pebble traversal + one BFS wave per node.
-    let mut config = Config::for_n(n);
+    let mut config = obs.apply(Config::for_n(n), "apsp:waves");
     if profile {
         config = config.with_round_profile();
     }

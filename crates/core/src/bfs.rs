@@ -13,6 +13,7 @@ use dapsp_congest::{
 use dapsp_graph::{Graph, INFINITY};
 
 use crate::error::CoreError;
+use crate::observe::Obs;
 use crate::runner::run_algorithm_on;
 use crate::tree::TreeKnowledge;
 
@@ -204,6 +205,17 @@ pub fn run(graph: &Graph, root: u32) -> Result<BfsResult, CoreError> {
 ///
 /// Same as [`run`].
 pub fn run_on(topology: &Topology, root: u32) -> Result<BfsResult, CoreError> {
+    run_on_obs(topology, root, Obs::none())
+}
+
+/// Like [`run_on`], with an optional observer attached under the phase
+/// label `"bfs"` — the hook multi-phase pipelines use so their `T_1`
+/// construction shows up as its own phase in recorded metric streams.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_on_obs(topology: &Topology, root: u32, obs: Obs<'_>) -> Result<BfsResult, CoreError> {
     let n = topology.num_nodes();
     if n == 0 {
         return Err(CoreError::EmptyGraph);
@@ -214,7 +226,8 @@ pub fn run_on(topology: &Topology, root: u32) -> Result<BfsResult, CoreError> {
             num_nodes: n,
         });
     }
-    let report = run_algorithm_on(topology, Config::for_n(n), |_| BfsNode::new(root))?;
+    let config = obs.apply(Config::for_n(n), "bfs");
+    let report = run_algorithm_on(topology, config, |_| BfsNode::new(root))?;
     let mut dist = vec![INFINITY; n];
     let mut parent_port = vec![None; n];
     let mut children_ports = vec![Vec::new(); n];

@@ -25,6 +25,7 @@ use dapsp_graph::Graph;
 
 use crate::aggregate::{self, AggOp};
 use crate::error::CoreError;
+use crate::observe::Obs;
 use crate::runner::run_algorithm_on;
 use crate::tree::TreeKnowledge;
 
@@ -201,6 +202,22 @@ pub fn run_on(
     tree: &TreeKnowledge,
     k: u32,
 ) -> Result<DominatingResult, CoreError> {
+    run_on_obs(topology, tree, k, Obs::none())
+}
+
+/// Like [`run_on`], with an optional observer attached: the selection
+/// convergecast reports under the phase label `"dom:select"` and the size
+/// aggregation under `"agg:sum"`.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_on_obs(
+    topology: &Topology,
+    tree: &TreeKnowledge,
+    k: u32,
+    obs: Obs<'_>,
+) -> Result<DominatingResult, CoreError> {
     let n = topology.num_nodes();
     if n == 0 {
         return Err(CoreError::EmptyGraph);
@@ -210,7 +227,8 @@ pub fn run_on(
             "dominating-set tree does not span the graph".into(),
         ));
     }
-    let report = run_algorithm_on(topology, Config::for_n(n), |ctx| {
+    let config = obs.apply(Config::for_n(n), "dom:select");
+    let report = run_algorithm_on(topology, config, |ctx| {
         let v = ctx.node_id() as usize;
         DomNode {
             k,
@@ -224,7 +242,7 @@ pub fn run_on(
     })?;
     let members = report.outputs;
     let flags: Vec<u64> = members.iter().map(|&m| u64::from(m)).collect();
-    let sum = aggregate::run_on(topology, tree, &flags, AggOp::Sum)?;
+    let sum = aggregate::run_on_obs(topology, tree, &flags, AggOp::Sum, obs)?;
     let mut stats = report.stats;
     stats.absorb_sequential(&sum.stats);
     Ok(DominatingResult {

@@ -4,7 +4,10 @@
 //!
 //! All algorithms run on the [`dapsp_congest`] simulator, which enforces the
 //! `B = Θ(log n)`-bit per-edge bandwidth, and report the exact number of
-//! synchronous rounds used — the paper's complexity measure.
+//! synchronous rounds used — the paper's complexity measure. Pipelines can
+//! also stream per-phase, per-round metrics to a live observer — see
+//! [`observe`] and the `run_observed` entry points on [`apsp`], [`ssp`],
+//! [`approx`], [`girth`], and [`metrics`].
 //!
 //! # What's here
 //!
@@ -50,6 +53,7 @@ pub mod girth;
 pub mod girth_approx;
 pub mod leader;
 pub mod metrics;
+pub mod observe;
 pub mod routing;
 pub mod ssp;
 pub mod ssp_paper;
@@ -59,4 +63,5 @@ pub mod tree;
 pub mod two_vs_four;
 
 pub use error::CoreError;
+pub use observe::Obs;
 pub use runner::{run_algorithm, run_algorithm_on};

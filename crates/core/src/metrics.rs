@@ -7,12 +7,13 @@
 //! compute APSP once with [`apsp::run`] and derive the
 //! rest from [`from_apsp`].
 
-use dapsp_congest::{RunStats, Topology};
+use dapsp_congest::{ObserverHandle, RunStats, Topology};
 use dapsp_graph::Graph;
 
 use crate::aggregate::{self, AggOp};
 use crate::apsp::{self, ApspResult};
 use crate::error::CoreError;
+use crate::observe::Obs;
 
 /// Per-node eccentricities (Lemma 2).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -134,10 +135,35 @@ pub fn from_apsp(graph: &Graph, apsp: &ApspResult) -> Result<MetricsBundle, Core
 ///
 /// Propagates aggregation failures.
 pub fn from_apsp_on(topology: &Topology, apsp: &ApspResult) -> Result<MetricsBundle, CoreError> {
+    from_apsp_obs(topology, apsp, Obs::none())
+}
+
+/// Computes the full Lemma 2–6 bundle with every phase streamed to
+/// `observer`: the APSP run reports as `"bfs"` + `"apsp:waves"` and the
+/// two threshold aggregations as `"agg:max"` / `"agg:min"`.
+///
+/// # Errors
+///
+/// Propagates [`apsp::run`] and aggregation failures.
+pub fn bundle_observed(
+    graph: &Graph,
+    observer: &ObserverHandle,
+) -> Result<MetricsBundle, CoreError> {
+    let topology = graph.to_topology();
+    let obs = Obs::watching(observer);
+    let result = apsp::run_on_obs(&topology, obs)?;
+    from_apsp_obs(&topology, &result, obs)
+}
+
+fn from_apsp_obs(
+    topology: &Topology,
+    apsp: &ApspResult,
+    obs: Obs<'_>,
+) -> Result<MetricsBundle, CoreError> {
     let ecc = local_eccentricities(apsp);
     let values: Vec<u64> = ecc.iter().map(|&e| u64::from(e)).collect();
-    let max = aggregate::run_on(topology, &apsp.tree, &values, AggOp::Max)?;
-    let min = aggregate::run_on(topology, &apsp.tree, &values, AggOp::Min)?;
+    let max = aggregate::run_on_obs(topology, &apsp.tree, &values, AggOp::Max, obs)?;
+    let min = aggregate::run_on_obs(topology, &apsp.tree, &values, AggOp::Min, obs)?;
     let diameter = max.value as u32;
     let radius = min.value as u32;
     let center = ecc.iter().map(|&e| e == radius).collect();

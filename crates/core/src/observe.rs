@@ -1,0 +1,105 @@
+//! Threading one [`ObserverHandle`] through multi-phase pipelines.
+//!
+//! Every algorithm in this crate is a sequence of simulator runs (a BFS,
+//! some aggregations, a main phase, …). To observe a *pipeline* rather
+//! than a single run, the same handle must reach every [`Config`] the
+//! pipeline builds, each labeled with a phase name so the recorded metric
+//! stream attributes rounds to phases (`"bfs"`, `"agg:max"`,
+//! `"apsp:waves"`, …).
+//!
+//! [`Obs`] is that plumbing: a `Copy` wrapper around an optional borrowed
+//! handle. Internal phase functions take an `Obs<'_>` parameter;
+//! [`Obs::none`] keeps the unobserved call sites zero-cost (a `None`
+//! branch), and the public `run_observed` entry points construct
+//! [`Obs::watching`] from a caller's handle.
+//!
+//! # Examples
+//!
+//! ```
+//! use dapsp_congest::{MetricsRecorder, SharedObserver};
+//! use dapsp_core::apsp;
+//! use dapsp_graph::generators;
+//!
+//! # fn main() -> Result<(), dapsp_core::CoreError> {
+//! let recorder = SharedObserver::new(MetricsRecorder::new());
+//! let result = apsp::run_observed(&generators::path(6), &recorder.observer())?;
+//! let phases: Vec<String> = recorder.with(|r| {
+//!     r.stream().iter().map(|row| row.phase.to_string()).collect()
+//! });
+//! assert!(phases.contains(&"bfs".to_string()));
+//! assert!(phases.contains(&"apsp:waves".to_string()));
+//! assert_eq!(result.stats.messages, recorder.with(|r| {
+//!     r.stream().iter().map(|row| row.messages).sum::<u64>()
+//! }));
+//! # Ok(())
+//! # }
+//! ```
+
+use dapsp_congest::{Config, ObserverHandle};
+
+/// An optional, borrowed observer to attach to each phase of a pipeline.
+///
+/// `Copy`, so phase functions pass it along by value; the handle inside is
+/// only cloned (an `Arc` bump) at the moment a phase actually attaches it
+/// to a [`Config`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Obs<'a> {
+    handle: Option<&'a ObserverHandle>,
+}
+
+impl<'a> Obs<'a> {
+    /// Nobody is watching: [`apply`](Self::apply) returns configs
+    /// untouched (not even the phase label is set, keeping unobserved
+    /// runs identical to pre-observer behavior).
+    pub fn none() -> Self {
+        Obs { handle: None }
+    }
+
+    /// Attach `handle` to every phase config this `Obs` is applied to.
+    pub fn watching(handle: &'a ObserverHandle) -> Self {
+        Obs {
+            handle: Some(handle),
+        }
+    }
+
+    /// Whether an observer is attached.
+    pub fn is_watching(&self) -> bool {
+        self.handle.is_some()
+    }
+
+    /// Labels `config` with `phase` and attaches the observer — or, when
+    /// nobody is watching, returns `config` unchanged.
+    pub fn apply(&self, config: Config, phase: &str) -> Config {
+        match self.handle {
+            Some(h) => config.with_observer(h.clone()).with_phase(phase),
+            None => config,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dapsp_congest::{MetricsRecorder, SharedObserver};
+
+    #[test]
+    fn none_leaves_config_untouched() {
+        let obs = Obs::none();
+        assert!(!obs.is_watching());
+        let config = obs.apply(Config::for_n(8), "bfs");
+        assert!(config.observer.is_none());
+        assert_eq!(config.phase, "");
+        assert_eq!(config, Config::for_n(8));
+    }
+
+    #[test]
+    fn watching_attaches_observer_and_phase() {
+        let shared = SharedObserver::new(MetricsRecorder::new());
+        let handle = shared.observer();
+        let obs = Obs::watching(&handle);
+        assert!(obs.is_watching());
+        let config = obs.apply(Config::for_n(8), "apsp:waves");
+        assert!(config.observer.is_some());
+        assert_eq!(config.phase, "apsp:waves");
+    }
+}

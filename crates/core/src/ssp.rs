@@ -26,14 +26,15 @@
 //! them.
 
 use dapsp_congest::{
-    bits_for_count, bits_for_id, Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port,
-    RunStats, Topology,
+    bits_for_count, bits_for_id, Config, Inbox, Message, NodeAlgorithm, NodeContext, ObserverHandle,
+    Outbox, Port, RunStats, Topology,
 };
 use dapsp_graph::{Graph, INFINITY};
 
 use crate::aggregate::{self, AggOp};
 use crate::bfs;
 use crate::error::CoreError;
+use crate::observe::Obs;
 use crate::runner::run_algorithm_on;
 use crate::tree::TreeKnowledge;
 
@@ -48,6 +49,12 @@ pub(crate) struct SspMsg {
 impl Message for SspMsg {
     fn bit_size(&self) -> u32 {
         bits_for_id(self.n as usize) + bits_for_count(self.dist as usize)
+    }
+
+    /// Each announcement serves the growth of one source's shortest-path
+    /// tree; observers use this to measure per-source wave delays.
+    fn stream_id(&self) -> Option<u32> {
+        Some(self.id)
     }
 }
 
@@ -293,6 +300,42 @@ pub fn run(graph: &Graph, sources: &[u32]) -> Result<SspResult, CoreError> {
 ///
 /// Same as [`run`].
 pub fn run_on(topology: &Topology, sources: &[u32]) -> Result<SspResult, CoreError> {
+    run_on_obs(topology, sources, Obs::none())
+}
+
+/// Like [`run`], streaming round/message/timing events of every phase to
+/// `observer`: `"bfs"` and `"agg:max"` for the `D₀` estimate, then
+/// `"ssp:growth"` for the simultaneous growth itself. Since the growth's
+/// announcements carry their source id as
+/// [`stream_id`](Message::stream_id), a
+/// [`WaveArrivalProbe`](dapsp_congest::obs::WaveArrivalProbe) attached
+/// here can verify the paper's Lemma 8 delay bound directly.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_observed(
+    graph: &Graph,
+    sources: &[u32],
+    observer: &ObserverHandle,
+) -> Result<SspResult, CoreError> {
+    if graph.num_nodes() == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    run_on_obs(&graph.to_topology(), sources, Obs::watching(observer))
+}
+
+/// Like [`run_on`], with an optional observer attached (see
+/// [`run_observed`] for the phase labels).
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_on_obs(
+    topology: &Topology,
+    sources: &[u32],
+    obs: Obs<'_>,
+) -> Result<SspResult, CoreError> {
     let n = topology.num_nodes();
     if n == 0 {
         return Err(CoreError::EmptyGraph);
@@ -316,17 +359,18 @@ pub fn run_on(topology: &Topology, sources: &[u32]) -> Result<SspResult, CoreErr
         seen[s as usize] = true;
     }
     // Phase 1+2: T_1, then D0 = 2·ecc(1) via max-aggregation of depths.
-    let t1 = bfs::run_on(topology, 0)?;
+    let t1 = bfs::run_on_obs(topology, 0, obs)?;
     if !t1.reached_all() {
         return Err(CoreError::Disconnected);
     }
     let depths: Vec<u64> = t1.dist.iter().map(|&d| u64::from(d)).collect();
-    let agg = aggregate::run_on(topology, &t1.tree, &depths, AggOp::Max)?;
+    let agg = aggregate::run_on_obs(topology, &t1.tree, &depths, AggOp::Max, obs)?;
     let d0 = 2 * agg.value as u32;
     let budget = sources.len() as u64 + u64::from(d0);
     // Phase 3: the simultaneous growth, run to quiescence.
     let is_source = seen;
-    let report = run_algorithm_on(topology, Config::for_n(n), |ctx| {
+    let config = obs.apply(Config::for_n(n), "ssp:growth");
+    let report = run_algorithm_on(topology, config, |ctx| {
         SspNode::new(ctx, is_source[ctx.node_id() as usize])
     })?;
     let mut dist = vec![Vec::with_capacity(sources.len()); n];

@@ -1,0 +1,126 @@
+//! Paper-invariant probes: the observer layer watching the real algorithms
+//! for the structural claims the proofs rest on.
+//!
+//! * **Lemma 1** (pebble-APSP): during the wave phase, no directed edge
+//!   ever carries more than one message per round, and no node is first
+//!   reached by two different waves in the same round. A corollary checked
+//!   here too: each wave propagates at exactly speed 1, so per stream the
+//!   quantity `first_arrival − distance` is a constant (the wave's start
+//!   offset).
+//! * **Lemma 8 / Theorem 3** (S-SP): during the simultaneous growth of
+//!   `|S|` BFS trees, a wave's first arrival at any node lags the ideal
+//!   uncongested schedule by at most `|S|` rounds.
+
+use std::collections::HashMap;
+
+use dapsp_congest::{EdgeCongestionProbe, FanOut, ObserverHandle, SharedObserver, WaveArrivalProbe};
+use dapsp_core::{apsp, ssp};
+use dapsp_graph::{generators, Graph, INFINITY};
+
+/// The four topology families of the acceptance criteria. Cliques are kept
+/// smaller: pebble-APSP traffic is cubic in `n` there.
+fn families() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("path", generators::path(32)),
+        ("tree", generators::random_tree(32, 12)),
+        ("regular6", generators::watts_strogatz(32, 3, 0.1, 12)),
+        ("clique", generators::complete(16)),
+    ]
+}
+
+#[test]
+fn lemma1_wave_phase_congestion_and_spacing() {
+    for (family, g) in families() {
+        let congestion =
+            SharedObserver::new(EdgeCongestionProbe::new(1).for_phase("apsp:waves"));
+        let arrivals = SharedObserver::new(WaveArrivalProbe::new().for_phase("apsp:waves"));
+        let fan = ObserverHandle::new(FanOut::new(vec![
+            congestion.observer(),
+            arrivals.observer(),
+        ]));
+        let result = apsp::run_observed(&g, &fan).expect("apsp runs");
+
+        congestion.with(|p| {
+            assert!(
+                p.is_clean(),
+                "{family}: Lemma 1 violated, edge loads {:?}",
+                p.violations()
+            );
+            assert_eq!(p.max_load(), 1, "{family}: wave phase sent messages");
+        });
+
+        arrivals.with(|p| {
+            assert!(
+                !p.first_arrivals().is_empty(),
+                "{family}: wave arrivals were recorded"
+            );
+            let collisions = p.node_collisions();
+            assert!(
+                collisions.is_empty(),
+                "{family}: waves first-reached a node in the same round: {collisions:?}"
+            );
+            // Speed-1 propagation: within one wave, arrival − distance is
+            // the same for every node (the wave's start offset). The root
+            // itself is excluded — it only hears its own wave echoed back.
+            let mut offsets: HashMap<u32, u64> = HashMap::new();
+            for (&(stream, node), &round) in p.first_arrivals() {
+                if node == stream {
+                    continue;
+                }
+                let d = u64::from(
+                    result
+                        .distances
+                        .get(stream, node)
+                        .unwrap_or_else(|| panic!("{family}: d({stream}, {node}) known")),
+                );
+                let offset = round
+                    .checked_sub(d)
+                    .unwrap_or_else(|| panic!("{family}: wave {stream} outran distance"));
+                let prev = offsets.entry(stream).or_insert(offset);
+                assert_eq!(
+                    *prev, offset,
+                    "{family}: wave {stream} did not propagate at speed 1 (node {node})"
+                );
+            }
+        });
+    }
+}
+
+#[test]
+fn ssp_wave_delay_is_at_most_the_source_count() {
+    for (family, g) in families() {
+        let n = g.num_nodes();
+        for set_size in [1usize, 3, 8] {
+            let step = (n / set_size).max(1);
+            let sources: Vec<u32> = (0..n as u32).step_by(step).take(set_size).collect();
+            let arrivals = SharedObserver::new(WaveArrivalProbe::new().for_phase("ssp:growth"));
+            let handle = arrivals.observer();
+            let result = ssp::run_observed(&g, &sources, &handle).expect("ssp runs");
+
+            let index: HashMap<u32, usize> = result
+                .sources
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (s, i))
+                .collect();
+            let dist = |stream: u32, v: u32| -> Option<u64> {
+                let i = *index.get(&stream)?;
+                let d = result.dist[v as usize][i];
+                (d != INFINITY).then_some(u64::from(d))
+            };
+            let max_delay = arrivals
+                .with(|p| p.max_delay(dist))
+                .expect("growth arrivals were recorded");
+            assert!(
+                max_delay >= 0,
+                "{family}/|S|={}: a wave outran the BFS schedule ({max_delay})",
+                sources.len()
+            );
+            assert!(
+                max_delay <= sources.len() as i64,
+                "{family}/|S|={}: wave delay {max_delay} exceeds |S|",
+                sources.len()
+            );
+        }
+    }
+}

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Full local verification: build, test, lint. All offline — the workspace
-# vendors its few dependencies under vendor/, so no registry is needed.
+# Full local verification: build, test, lint, docs, and a smoke run of the
+# engine phase profiler. All offline — the workspace vendors its few
+# dependencies under vendor/, so no registry is needed.
 #
 # Note: the workspace root is itself a package, so a bare `cargo test`
 # would only run the root crate; every invocation below passes
@@ -17,4 +18,12 @@ cargo test --offline --workspace -q
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "OK: build + tests + clippy all green"
+echo "==> cargo doc -D warnings"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps --quiet
+
+echo "==> engine_profile --smoke"
+# Exercises the observer-instrumented engines end to end; writes to
+# target/BENCH_profile_smoke.json, never the committed BENCH_profile.json.
+cargo run --offline --release -p dapsp-bench --bin engine_profile -- --smoke
+
+echo "OK: build + tests + clippy + docs + profile smoke all green"
