@@ -11,25 +11,32 @@
 //! The sweep mirrors `engine_throughput` (same workloads and topology
 //! families, see [`dapsp_bench::workloads`]): **bfs-flood** and
 //! **apsp-gossip** over path / random tree / near-regular / clique, each
-//! under the seed engine, the optimized engine with 1 thread, and the
-//! optimized engine with 4 threads.
+//! under the seed engine and the optimized engine at every requested
+//! worker-thread count.
 //!
 //! Results go to stdout as a table and to `BENCH_profile.json` at the
 //! repo root: one JSON object per row with `label`, `family`,
-//! `workload`, `n`, `engine`, `threads`, `rounds`, `messages`,
-//! `wall_ms`, `deliver_ms`, `step_ms`, `commit_ms`, `commit_share`.
+//! `workload`, `n`, `engine`, `executor`, `threads`, `rounds`,
+//! `messages`, `wall_ms`, `deliver_ms`, `step_ms`, `commit_ms`,
+//! `commit_share`. `executor` names the engine that produced the row:
+//! `reference` (the seed engine), `serial`, or `pool`.
 //!
-//! Usage: `engine_profile [--smoke] [OUT_PATH]`. `--smoke` runs tiny
-//! instances and writes to `target/BENCH_profile_smoke.json` instead, so
-//! CI can exercise the full path without touching the committed numbers.
+//! Usage: `engine_profile [--smoke] [--threads LIST] [OUT_PATH]`.
+//! `--threads 1,2,4` (the default) selects the worker counts the
+//! optimized engine is profiled at; `--smoke` runs tiny instances and
+//! writes to `target/BENCH_profile_smoke.json` instead, so CI can
+//! exercise the full path without touching the committed numbers. Pool
+//! runs additionally assert that worker threads were spawned exactly once
+//! per run, so a spawn-per-round regression fails the benchmark itself.
 
 use dapsp_bench::print_table;
 use dapsp_bench::workloads::{
-    digest, engine_config, family_topology, json_array, ApspGossip, BfsFlood,
+    digest, engine_config, executor_for, family_topology, json_array, parse_bench_args,
+    ApspGossip, BfsFlood,
 };
 use dapsp_congest::{
-    NodeAlgorithm, NodeContext, PhaseProfiler, ReferenceSimulator, SharedObserver, Simulator,
-    Topology,
+    pool_workers_spawned, ExecutorKind, NodeAlgorithm, NodeContext, PhaseProfiler,
+    ReferenceSimulator, SharedObserver, Simulator, Topology,
 };
 
 /// One profiled run.
@@ -39,6 +46,7 @@ struct Row {
     workload: &'static str,
     n: usize,
     engine: &'static str,
+    executor: &'static str,
     threads: usize,
     rounds: u64,
     messages: u64,
@@ -54,8 +62,8 @@ impl Row {
         format!(
             concat!(
                 "{{\"label\":\"{}\",\"family\":\"{}\",\"workload\":\"{}\",\"n\":{},",
-                "\"engine\":\"{}\",\"threads\":{},\"rounds\":{},\"messages\":{},",
-                "\"wall_ms\":{:.4},\"deliver_ms\":{:.4},\"step_ms\":{:.4},",
+                "\"engine\":\"{}\",\"executor\":\"{}\",\"threads\":{},\"rounds\":{},",
+                "\"messages\":{},\"wall_ms\":{:.4},\"deliver_ms\":{:.4},\"step_ms\":{:.4},",
                 "\"commit_ms\":{:.4},\"commit_share\":{:.4}}}"
             ),
             self.label,
@@ -63,6 +71,7 @@ impl Row {
             self.workload,
             self.n,
             self.engine,
+            self.executor,
             self.threads,
             self.rounds,
             self.messages,
@@ -97,18 +106,32 @@ where
 {
     let n = topo.num_nodes();
     let profiler = SharedObserver::new(PhaseProfiler::new());
+    let kind = executor_for(threads);
     let config = engine_config(n)
-        .with_threads(threads)
+        .with_executor(kind)
         .with_observer(profiler.observer())
         .with_phase(label);
-    let report = if engine == "seed" {
-        ReferenceSimulator::new(topo, config, init)
+    let spawned_before = pool_workers_spawned();
+    let (report, executor) = if engine == "seed" {
+        let report = ReferenceSimulator::new(topo, config, init)
             .run()
-            .expect("seed engine runs")
+            .expect("seed engine runs");
+        (report, "reference")
     } else {
-        Simulator::new(topo, config, init)
+        let report = Simulator::new(topo, config, init)
             .run()
-            .expect("optimized engine runs")
+            .expect("optimized engine runs");
+        // The pool's core lifecycle promise, checked structurally: worker
+        // threads are created once per run, never per round (the engine
+        // thread itself carries shard 0, hence the minus one).
+        if let ExecutorKind::Pool { workers } = kind {
+            assert_eq!(
+                pool_workers_spawned() - spawned_before,
+                workers.clamp(1, n) as u64 - 1,
+                "{label}: pool spawned threads more than once per run"
+            );
+        }
+        (report, kind.name())
     };
     let total = profiler.with(|p| p.total());
     let row = Row {
@@ -117,6 +140,7 @@ where
         workload,
         n,
         engine,
+        executor,
         threads,
         rounds: report.stats.rounds,
         messages: report.stats.messages,
@@ -129,13 +153,16 @@ where
     (row, digest(&report.outputs))
 }
 
-/// Profiles one workload instance under all three engine configurations.
+/// Profiles one workload instance under the seed engine plus the
+/// optimized engine at every thread count in `threads_list`, asserting all
+/// runs produce identical outputs.
 fn profile<A, F>(
     label: &str,
     family: &'static str,
     workload: &'static str,
     topo: &Topology,
     init: F,
+    threads_list: &[usize],
 ) -> Vec<Row>
 where
     A: NodeAlgorithm + Send,
@@ -144,11 +171,13 @@ where
     F: Fn(&NodeContext<'_>) -> A + Copy,
 {
     let (seed, d0) = profile_one(label, family, workload, topo, init, "seed", 1);
-    let (opt, d1) = profile_one(label, family, workload, topo, init, "optimized", 1);
-    let (par, d4) = profile_one(label, family, workload, topo, init, "optimized", 4);
-    assert_eq!(d0, d1, "{label}: optimized output diverged");
-    assert_eq!(d0, d4, "{label}: threaded output diverged");
-    vec![seed, opt, par]
+    let mut rows = vec![seed];
+    for &threads in threads_list {
+        let (row, d) = profile_one(label, family, workload, topo, init, "optimized", threads);
+        assert_eq!(d0, d, "{label}: {}@{threads} output diverged", row.executor);
+        rows.push(row);
+    }
+    rows
 }
 
 /// (family, bfs-flood size, apsp-gossip size) for the full sweep and for
@@ -169,7 +198,9 @@ const SMOKE: &[(&str, usize, usize)] = &[
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
+    let parsed = parse_bench_args(&args, &[1, 2, 4]);
+    let smoke = parsed.smoke;
+    let threads_list = parsed.threads;
     let default_path = if smoke {
         format!(
             "{}/../../target/BENCH_profile_smoke.json",
@@ -178,11 +209,7 @@ fn main() {
     } else {
         format!("{}/../../BENCH_profile.json", env!("CARGO_MANIFEST_DIR"))
     };
-    let out_path = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or(default_path);
+    let out_path = parsed.out_path.unwrap_or(default_path);
 
     println!("# Engine phase profile: deliver / step / commit wall-clock split\n");
 
@@ -190,14 +217,24 @@ fn main() {
     for &(family, flood_n, gossip_n) in if smoke { SMOKE } else { FULL } {
         let topo = family_topology(family, flood_n);
         let label = format!("bfs-flood/{family}/n={flood_n}");
-        rows.extend(profile(&label, family, "bfs-flood", &topo, |_| {
-            BfsFlood::new()
-        }));
+        rows.extend(profile(
+            &label,
+            family,
+            "bfs-flood",
+            &topo,
+            |_| BfsFlood::new(),
+            &threads_list,
+        ));
         let topo = family_topology(family, gossip_n);
         let label = format!("apsp-gossip/{family}/n={gossip_n}");
-        rows.extend(profile(&label, family, "apsp-gossip", &topo, move |_| {
-            ApspGossip::new(gossip_n)
-        }));
+        rows.extend(profile(
+            &label,
+            family,
+            "apsp-gossip",
+            &topo,
+            move |_| ApspGossip::new(gossip_n),
+            &threads_list,
+        ));
     }
 
     let table: Vec<Vec<String>> = rows
@@ -205,7 +242,7 @@ fn main() {
         .map(|r| {
             vec![
                 r.label.clone(),
-                r.engine.to_string(),
+                r.executor.to_string(),
                 r.threads.to_string(),
                 r.rounds.to_string(),
                 format!("{:.3}", r.deliver_ms),
@@ -219,7 +256,7 @@ fn main() {
         "phase profile",
         &[
             "workload",
-            "engine",
+            "executor",
             "thr",
             "rounds",
             "deliver ms",
@@ -231,9 +268,9 @@ fn main() {
     );
 
     // The sharded-commit hypothesis, quantified: mean commit share of the
-    // optimized engine at 1 vs 4 threads (threads parallelize the step
-    // phase only, so the share should rise with thread count).
-    for threads in [1usize, 4] {
+    // optimized engine at each swept thread count (workers parallelize the
+    // step phase only, so the share should rise with thread count).
+    for &threads in &threads_list {
         let shares: Vec<f64> = rows
             .iter()
             .filter(|r| r.engine == "optimized" && r.threads == threads)

@@ -6,10 +6,10 @@
 //! overhead dominated) and **apsp-gossip** (dense, per-message commit cost
 //! dominated) over path / random tree / near-regular / clique graphs.
 //!
-//! Engines compared: the verbatim seed engine
-//! ([`ReferenceSimulator`]), the optimized engine sequentially, and the
-//! optimized engine with 4 worker threads. Outputs are asserted identical
-//! across all three before a row is recorded. Timed rows run observer-free
+//! Engines compared: the verbatim seed engine ([`ReferenceSimulator`])
+//! and the optimized engine at every requested worker-thread count
+//! (`--threads 1,4` by default). Outputs are asserted identical across
+//! all of them before a row is recorded. Timed rows run observer-free
 //! (observation must cost nothing when disabled — that claim is *checked*
 //! here, not assumed: at the smallest size of every family an extra,
 //! untimed run repeats the workload with a
@@ -18,17 +18,21 @@
 //! `RunStats` the timed rows report).
 //!
 //! Results go to stdout as a table and to `BENCH_engine.json` at the repo
-//! root (override with the first CLI argument): one JSON object per row
-//! with `label`, `family`, `n`, `engine`, `threads`, `rounds`, `messages`,
-//! `wall_ms`, `msgs_per_sec`.
+//! root: one JSON object per row with `label`, `family`, `n`, `engine`,
+//! `executor`, `threads`, `rounds`, `messages`, `wall_ms`,
+//! `msgs_per_sec`. `executor` names the engine that produced the row:
+//! `reference` (the seed engine), `serial`, or `pool`.
+//!
+//! Usage: `engine_throughput [--threads LIST] [OUT_PATH]`.
 
 use dapsp_bench::print_table;
 use dapsp_bench::workloads::{
-    digest, engine_config, family_topology, json_array, ApspGossip, BfsFlood,
+    digest, engine_config, executor_for, family_topology, json_array, parse_bench_args,
+    ApspGossip, BfsFlood,
 };
 use dapsp_congest::{
-    MetricsRecorder, NodeAlgorithm, NodeContext, ReferenceSimulator, RunStats, SharedObserver,
-    Simulator, Topology,
+    pool_workers_spawned, ExecutorKind, MetricsRecorder, NodeAlgorithm, NodeContext,
+    ReferenceSimulator, RunStats, SharedObserver, Simulator, Topology,
 };
 
 /// One benchmark row.
@@ -37,6 +41,7 @@ struct Row {
     family: &'static str,
     n: usize,
     engine: &'static str,
+    executor: &'static str,
     threads: usize,
     stats: RunStats,
 }
@@ -59,13 +64,14 @@ impl Row {
         format!(
             concat!(
                 "{{\"label\":\"{}\",\"family\":\"{}\",\"n\":{},",
-                "\"engine\":\"{}\",\"threads\":{},\"rounds\":{},",
+                "\"engine\":\"{}\",\"executor\":\"{}\",\"threads\":{},\"rounds\":{},",
                 "\"messages\":{},\"wall_ms\":{:.4},\"msgs_per_sec\":{:.1}}}"
             ),
             self.label,
             self.family,
             self.n,
             self.engine,
+            self.executor,
             self.threads,
             self.stats.rounds,
             self.stats.messages,
@@ -75,9 +81,17 @@ impl Row {
     }
 }
 
-/// Runs `workload` on all three engines and returns the rows, panicking if
-/// any engine disagrees on the outputs or round/message counts.
-fn measure<A, F>(label: &str, family: &'static str, topo: &Topology, init: F) -> Vec<Row>
+/// Runs `workload` on the seed engine plus the optimized engine at every
+/// thread count in `threads_list`, returning one row per engine and
+/// panicking if any engine disagrees on the outputs or round/message
+/// counts.
+fn measure<A, F>(
+    label: &str,
+    family: &'static str,
+    topo: &Topology,
+    init: F,
+    threads_list: &[usize],
+) -> Vec<Row>
 where
     A: NodeAlgorithm + Send,
     A::Message: Send,
@@ -88,43 +102,45 @@ where
     let seed = ReferenceSimulator::new(topo, engine_config(n), init)
         .run()
         .expect("seed engine runs");
-    let opt = Simulator::new(topo, engine_config(n), init)
-        .run()
-        .expect("optimized engine runs");
-    let par = Simulator::new(topo, engine_config(n).with_threads(4), init)
-        .run()
-        .expect("threaded engine runs");
     let d = digest(&seed.outputs);
-    assert_eq!(d, digest(&opt.outputs), "{label}: optimized output diverged");
-    assert_eq!(d, digest(&par.outputs), "{label}: threaded output diverged");
-    assert_eq!(seed.stats, opt.stats, "{label}: optimized stats diverged");
-    assert_eq!(seed.stats, par.stats, "{label}: threaded stats diverged");
-    vec![
-        Row {
-            label: label.into(),
-            family,
-            n,
-            engine: "seed",
-            threads: 1,
-            stats: seed.stats,
-        },
-        Row {
+    let mut rows = vec![Row {
+        label: label.into(),
+        family,
+        n,
+        engine: "seed",
+        executor: "reference",
+        threads: 1,
+        stats: seed.stats,
+    }];
+    for &threads in threads_list {
+        let kind = executor_for(threads);
+        let spawned_before = pool_workers_spawned();
+        let report = Simulator::new(topo, engine_config(n).with_executor(kind), init)
+            .run()
+            .expect("optimized engine runs");
+        // Spawn-per-round regression check: the pool creates its threads
+        // once per run (workers minus the engine-resident shard 0).
+        if let ExecutorKind::Pool { workers } = kind {
+            assert_eq!(
+                pool_workers_spawned() - spawned_before,
+                workers.clamp(1, n) as u64 - 1,
+                "{label}: pool spawned threads more than once per run"
+            );
+        }
+        let name = kind.name();
+        assert_eq!(d, digest(&report.outputs), "{label}: {name}@{threads} output diverged");
+        assert_eq!(seed.stats, report.stats, "{label}: {name}@{threads} stats diverged");
+        rows.push(Row {
             label: label.into(),
             family,
             n,
             engine: "optimized",
-            threads: 1,
-            stats: opt.stats,
-        },
-        Row {
-            label: label.into(),
-            family,
-            n,
-            engine: "optimized",
-            threads: 4,
-            stats: par.stats,
-        },
-    ]
+            executor: name,
+            threads,
+            stats: report.stats,
+        });
+    }
+    rows
 }
 
 /// Re-runs `workload` with a [`MetricsRecorder`] attached and asserts the
@@ -165,8 +181,11 @@ const FAMILIES: &[(&str, &[usize], &[usize])] = &[
 ];
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = parse_bench_args(&args, &[1, 4]);
+    let threads_list = parsed.threads;
+    let out_path = parsed
+        .out_path
         .unwrap_or_else(|| format!("{}/../../BENCH_engine.json", env!("CARGO_MANIFEST_DIR")));
     let mut rows: Vec<Row> = Vec::new();
 
@@ -176,7 +195,7 @@ fn main() {
         for (i, &n) in flood_sizes.iter().enumerate() {
             let topo = family_topology(family, n);
             let label = format!("bfs-flood/{family}/n={n}");
-            rows.extend(measure(&label, family, &topo, |_| BfsFlood::new()));
+            rows.extend(measure(&label, family, &topo, |_| BfsFlood::new(), &threads_list));
             if i == 0 {
                 let expected = rows.last().expect("rows recorded").stats;
                 verify_recorder(&label, &topo, |_| BfsFlood::new(), &expected);
@@ -185,7 +204,7 @@ fn main() {
         for (i, &n) in gossip_sizes.iter().enumerate() {
             let topo = family_topology(family, n);
             let label = format!("apsp-gossip/{family}/n={n}");
-            rows.extend(measure(&label, family, &topo, move |_| ApspGossip::new(n)));
+            rows.extend(measure(&label, family, &topo, move |_| ApspGossip::new(n), &threads_list));
             if i == 0 {
                 let expected = rows.last().expect("rows recorded").stats;
                 verify_recorder(&label, &topo, move |_| ApspGossip::new(n), &expected);
@@ -193,22 +212,26 @@ fn main() {
         }
     }
 
-    // Table: one line per (label, engine, threads), plus the speedup of the
-    // optimized sequential engine over the seed engine.
+    // Rows per workload: one seed row plus one optimized row per thread
+    // count. The speedup column compares the seed row against the first
+    // optimized row (sequential when 1 leads the list).
+    let per_workload = 1 + threads_list.len();
+    let speedup_of = |chunk: &[Row]| {
+        chunk[0].stats.wall_time.as_secs_f64() / chunk[1].stats.wall_time.as_secs_f64().max(1e-9)
+    };
     let mut table = Vec::new();
-    for chunk in rows.chunks(3) {
-        let speedup = chunk[0].stats.wall_time.as_secs_f64()
-            / chunk[1].stats.wall_time.as_secs_f64().max(1e-9);
-        for r in chunk {
+    for chunk in rows.chunks(per_workload) {
+        let speedup = speedup_of(chunk);
+        for (i, r) in chunk.iter().enumerate() {
             table.push(vec![
                 r.label.clone(),
-                r.engine.to_string(),
+                r.executor.to_string(),
                 r.threads.to_string(),
                 r.stats.rounds.to_string(),
                 r.stats.messages.to_string(),
                 format!("{:.3}", r.wall_ms()),
                 format!("{:.2e}", r.msgs_per_sec()),
-                if r.engine == "optimized" && r.threads == 1 {
+                if i == 1 {
                     format!("{speedup:.2}x")
                 } else {
                     String::new()
@@ -219,22 +242,22 @@ fn main() {
     print_table(
         "engine throughput",
         &[
-            "workload", "engine", "thr", "rounds", "msgs", "wall ms", "msg/s", "vs seed",
+            "workload", "executor", "thr", "rounds", "msgs", "wall ms", "msg/s", "vs seed",
         ],
         &table,
     );
 
-    // Geometric-mean speedup of the optimized sequential engine.
+    // Geometric-mean speedup of the first optimized configuration.
     let mut log_sum = 0.0;
     let mut count = 0u32;
-    for chunk in rows.chunks(3) {
-        let s = chunk[0].stats.wall_time.as_secs_f64()
-            / chunk[1].stats.wall_time.as_secs_f64().max(1e-9);
-        log_sum += s.ln();
+    for chunk in rows.chunks(per_workload) {
+        log_sum += speedup_of(chunk).ln();
         count += 1;
     }
     println!(
-        "geometric-mean speedup (optimized sequential vs seed): {:.2}x over {count} workloads",
+        "geometric-mean speedup (optimized {}@{} vs seed): {:.2}x over {count} workloads",
+        rows[1].executor,
+        rows[1].threads,
         (log_sum / f64::from(count)).exp()
     );
 

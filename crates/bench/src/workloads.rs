@@ -13,7 +13,9 @@
 
 use std::collections::VecDeque;
 
-use dapsp_congest::{Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port, Topology};
+use dapsp_congest::{
+    Config, ExecutorKind, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port, Topology,
+};
 use dapsp_graph::generators;
 
 /// A token carrying an origin id and a hop count; sized like a real
@@ -175,6 +177,71 @@ pub fn family_topology(family: &str, n: usize) -> Topology {
     }
 }
 
+/// The executor [`Config::with_threads`] maps `threads` onto — benchmarks
+/// resolve it through the real config so JSON rows name exactly the
+/// executor that produced them.
+pub fn executor_for(threads: usize) -> ExecutorKind {
+    Config::for_n(1).with_threads(threads).executor
+}
+
+/// Parsed CLI for the engine benchmarks:
+/// `[--smoke] [--threads LIST] [OUT_PATH]`.
+pub struct BenchArgs {
+    /// `--smoke`: tiny instances, throwaway output path.
+    pub smoke: bool,
+    /// Worker-thread counts to sweep the optimized engine over, from
+    /// `--threads 1,2,4` (or `--threads=1,2,4`).
+    pub threads: Vec<usize>,
+    /// Positional output path override, if given.
+    pub out_path: Option<String>,
+}
+
+/// Parses `args` (without `argv[0]`); `default_threads` applies when no
+/// `--threads` flag is present.
+///
+/// # Panics
+///
+/// Panics on unknown flags or a malformed thread list — these binaries are
+/// developer-facing, so a loud failure beats a silently ignored argument.
+pub fn parse_bench_args(args: &[String], default_threads: &[usize]) -> BenchArgs {
+    let mut smoke = false;
+    let mut threads: Option<Vec<usize>> = None;
+    let mut out_path = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--smoke" {
+            smoke = true;
+        } else if arg == "--threads" {
+            let list = it.next().expect("--threads needs a comma-separated list");
+            threads = Some(parse_threads_list(list));
+        } else if let Some(list) = arg.strip_prefix("--threads=") {
+            threads = Some(parse_threads_list(list));
+        } else if arg.starts_with("--") {
+            panic!("unknown flag {arg}; usage: [--smoke] [--threads LIST] [OUT_PATH]");
+        } else {
+            out_path = Some(arg.clone());
+        }
+    }
+    BenchArgs {
+        smoke,
+        threads: threads.unwrap_or_else(|| default_threads.to_vec()),
+        out_path,
+    }
+}
+
+fn parse_threads_list(list: &str) -> Vec<usize> {
+    let parsed: Vec<usize> = list
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("bad thread count {t:?} in --threads {list}"))
+        })
+        .collect();
+    assert!(!parsed.is_empty(), "--threads list is empty");
+    parsed
+}
+
 /// Order-sensitive hash of a run's outputs, for cross-engine equality
 /// checks.
 pub fn digest<O: std::hash::Hash>(outputs: &[O]) -> u64 {
@@ -220,6 +287,31 @@ mod tests {
                 "{family}: flood reached everyone"
             );
         }
+    }
+
+    #[test]
+    fn bench_args_parse_threads_and_paths() {
+        let to_vec = |args: &[&str]| -> Vec<String> { args.iter().map(|s| s.to_string()).collect() };
+        let parsed = parse_bench_args(&to_vec(&["--smoke", "--threads", "1,2,4", "out.json"]), &[1]);
+        assert!(parsed.smoke);
+        assert_eq!(parsed.threads, vec![1, 2, 4]);
+        assert_eq!(parsed.out_path.as_deref(), Some("out.json"));
+
+        let parsed = parse_bench_args(&to_vec(&["--threads=8"]), &[1, 4]);
+        assert_eq!(parsed.threads, vec![8]);
+        assert!(!parsed.smoke);
+        assert!(parsed.out_path.is_none());
+
+        let parsed = parse_bench_args(&[], &[1, 4]);
+        assert_eq!(parsed.threads, vec![1, 4]);
+    }
+
+    #[test]
+    fn executor_for_matches_with_threads_mapping() {
+        assert_eq!(executor_for(1), ExecutorKind::Serial);
+        assert_eq!(executor_for(1).name(), "serial");
+        assert_eq!(executor_for(4), ExecutorKind::Pool { workers: 4 });
+        assert_eq!(executor_for(4).name(), "pool");
     }
 
     #[test]

@@ -40,6 +40,54 @@ impl LossPlan {
     }
 }
 
+/// Which executor drives the round pipeline in
+/// [`Simulator::run`](crate::Simulator::run).
+///
+/// Every executor produces bit-for-bit identical runs — outputs,
+/// statistics, traces, observer events, and metric streams — because
+/// outboxes are always validated and booked in node-id order. The choice
+/// only affects wall-clock time (see `DESIGN.md` §"Phase pipeline").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ExecutorKind {
+    /// Single-threaded, in-place pipeline: every phase runs on the calling
+    /// thread with zero coordination overhead. The default.
+    #[default]
+    Serial,
+    /// A persistent pool of worker threads created once per run (never per
+    /// round). Workers step disjoint shards of consecutive node ids and
+    /// stage validated outbound messages into per-worker commit queues;
+    /// the engine merges the queues in node-id order on the calling
+    /// thread. The calling thread doubles as the first worker (it steps
+    /// shard 0 itself), so `workers` threads of compute spawn only
+    /// `workers - 1` new threads.
+    Pool {
+        /// Number of worker threads. Clamped at run time to
+        /// `1..=num_nodes`, so oversubscribing a small network degrades to
+        /// one node per worker rather than idle threads.
+        workers: usize,
+    },
+}
+
+impl ExecutorKind {
+    /// The number of node-stepping threads this executor uses (1 for
+    /// [`ExecutorKind::Serial`], before per-run clamping for pools).
+    pub fn threads(&self) -> usize {
+        match self {
+            ExecutorKind::Serial => 1,
+            ExecutorKind::Pool { workers } => (*workers).max(1),
+        }
+    }
+
+    /// A short stable name for logs and benchmark rows: `"serial"` or
+    /// `"pool"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecutorKind::Serial => "serial",
+            ExecutorKind::Pool { .. } => "pool",
+        }
+    }
+}
+
 /// Parameters of a simulation run.
 ///
 /// Construct with [`Config::for_n`] for the paper's standard setting
@@ -72,11 +120,11 @@ pub struct Config {
     pub round_profile: bool,
     /// Optional deterministic message-loss injection.
     pub loss: Option<LossPlan>,
-    /// Number of worker threads stepping nodes each round (default 1 —
-    /// fully sequential). Any value produces bit-for-bit identical runs:
-    /// outboxes are always committed sequentially in node-id order, so
-    /// outputs, statistics, traces, and round counts do not depend on this.
-    pub threads: usize,
+    /// Which executor drives the round pipeline (default
+    /// [`ExecutorKind::Serial`]). Any choice produces bit-for-bit identical
+    /// runs: outboxes are always committed in node-id order, so outputs,
+    /// statistics, traces, and round counts do not depend on this.
+    pub executor: ExecutorKind,
     /// Optional observer receiving round/message/timing events as the run
     /// executes (see [`crate::obs`]). `None` — the default — keeps every
     /// hook site a single branch, so observation is free when disabled.
@@ -99,7 +147,7 @@ impl PartialEq for Config {
             && self.trace_capacity == other.trace_capacity
             && self.round_profile == other.round_profile
             && self.loss == other.loss
-            && self.threads == other.threads
+            && self.executor == other.executor
             && self.phase == other.phase
     }
 }
@@ -121,7 +169,7 @@ impl Config {
             trace_capacity: crate::trace::Trace::DEFAULT_CAPACITY,
             round_profile: false,
             loss: None,
-            threads: 1,
+            executor: ExecutorKind::Serial,
             observer: None,
             phase: String::new(),
         }
@@ -157,12 +205,32 @@ impl Config {
         self
     }
 
-    /// Steps nodes on `threads` worker threads each round (clamped to at
-    /// least 1). The simulation stays deterministic: results are identical
+    /// Steps nodes on `threads` worker threads each round. Maps onto the
+    /// executor selection: `threads <= 1` keeps [`ExecutorKind::Serial`],
+    /// anything larger selects [`ExecutorKind::Pool`] with that many
+    /// workers. The simulation stays deterministic: results are identical
     /// to a sequential run, only wall-clock time changes.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.executor = if threads <= 1 {
+            ExecutorKind::Serial
+        } else {
+            ExecutorKind::Pool { workers: threads }
+        };
         self
+    }
+
+    /// Selects the round-pipeline executor explicitly (see
+    /// [`ExecutorKind`]). [`Config::with_threads`] is the thread-count
+    /// shorthand for the same choice.
+    pub fn with_executor(mut self, executor: ExecutorKind) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// The configured number of node-stepping threads (1 for the serial
+    /// executor).
+    pub fn threads(&self) -> usize {
+        self.executor.threads()
     }
 
     /// Caps the event trace at `capacity` stored events (and implies
@@ -226,10 +294,27 @@ mod tests {
     }
 
     #[test]
-    fn with_threads_clamps_to_one() {
-        assert_eq!(Config::for_n(8).with_threads(0).threads, 1);
-        assert_eq!(Config::for_n(8).with_threads(4).threads, 4);
-        assert_eq!(Config::for_n(8).threads, 1);
+    fn with_threads_maps_onto_executors() {
+        assert_eq!(Config::for_n(8).with_threads(0).executor, ExecutorKind::Serial);
+        assert_eq!(Config::for_n(8).with_threads(1).executor, ExecutorKind::Serial);
+        assert_eq!(
+            Config::for_n(8).with_threads(4).executor,
+            ExecutorKind::Pool { workers: 4 }
+        );
+        assert_eq!(Config::for_n(8).executor, ExecutorKind::Serial);
+        assert_eq!(Config::for_n(8).threads(), 1);
+        assert_eq!(Config::for_n(8).with_threads(4).threads(), 4);
+    }
+
+    #[test]
+    fn with_executor_is_explicit_selection() {
+        let c = Config::for_n(8).with_executor(ExecutorKind::Pool { workers: 3 });
+        assert_eq!(c.executor, ExecutorKind::Pool { workers: 3 });
+        assert_eq!(c, Config::for_n(8).with_threads(3));
+        assert_eq!(ExecutorKind::Serial.name(), "serial");
+        assert_eq!(ExecutorKind::Pool { workers: 3 }.name(), "pool");
+        assert_eq!(ExecutorKind::Pool { workers: 0 }.threads(), 1);
+        assert_eq!(ExecutorKind::default(), ExecutorKind::Serial);
     }
 
     #[test]

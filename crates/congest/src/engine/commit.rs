@@ -1,0 +1,359 @@
+//! The commit phase: message validation, accounting, and the staged-queue
+//! merge that keeps the pool executor bit-for-bit identical to serial.
+//!
+//! Every message, on every executor, passes through exactly one call to
+//! [`validate`] (port range → duplicate-send → bandwidth → loss decision,
+//! in that order) and exactly one accounting step on the engine thread
+//! ([`Core::account_deliver`] / [`Core::account_drop`]). The serial
+//! executor fuses the two in [`Core::commit_outbox`]; the pool executor
+//! splits them — workers validate into per-worker [`StagedShard`] queues
+//! during the step phase, and [`Core::merge_shard`] replays each queue on
+//! the engine thread in node-id order. Because shards hold consecutive
+//! node ids and are merged in shard order, the replay visits outboxes in
+//! plain node-id order: stats, trace events, observer callbacks, and
+//! delivery order are byte-identical to the serial engine's.
+
+use std::sync::MutexGuard;
+
+use crate::config::LossPlan;
+use crate::error::SimError;
+use crate::message::Message;
+use crate::node::{NodeId, Port};
+use crate::obs::{MessageEvent, Observer};
+use crate::topology::Topology;
+use crate::trace::Event;
+
+use super::Core;
+
+/// An observer lock held for the duration of one commit (or start) phase;
+/// `None` when the run is unobserved. Callers clone the
+/// [`ObserverHandle`](crate::ObserverHandle) out of the config and lock it
+/// once per phase, not once per message.
+pub(crate) type ObsGuard<'g> = Option<MutexGuard<'g, dyn Observer + 'static>>;
+
+/// Duplicate-send detection scratch: `stamps[p] == stamp` iff port `p` was
+/// already used by the outbox currently being validated. Replaces a
+/// per-commit `vec![false; degree]` with a single epoch bump.
+///
+/// Each executor thread owns its own `DupScratch` (the serial executor has
+/// one; every pool worker has one), so concurrent shards can never alias
+/// each other's stamps — the regression the shared `used_stamp` vector of
+/// the pre-pipeline engine would have hit.
+pub(crate) struct DupScratch {
+    stamps: Vec<u64>,
+    stamp: u64,
+}
+
+impl DupScratch {
+    /// Scratch for outboxes of up to `max_degree` ports.
+    pub(crate) fn new(max_degree: usize) -> Self {
+        DupScratch {
+            stamps: vec![0; max_degree],
+            stamp: 0,
+        }
+    }
+
+    /// Opens a new outbox: `mark` now detects duplicates within this
+    /// outbox only.
+    fn begin_outbox(&mut self) {
+        self.stamp += 1;
+    }
+
+    /// Marks `port` used by the current outbox; `false` if it already was.
+    fn mark(&mut self, port: Port) -> bool {
+        let slot = &mut self.stamps[port as usize];
+        if *slot == self.stamp {
+            false
+        } else {
+            *slot = self.stamp;
+            true
+        }
+    }
+}
+
+/// The fate of one validated outbox item.
+enum Verdict {
+    /// Accepted: deliver to `to` on its port `to_port` next round.
+    Deliver { to: NodeId, to_port: Port, bits: u32 },
+    /// Discarded by the loss plan (accounted as a drop).
+    Dropped,
+}
+
+/// Validates one `(port, msg)` outbox item of node `v`. The check order —
+/// port range, duplicate send, bandwidth, loss — is part of the engine's
+/// observable behavior (it decides *which* error a doubly-faulty send
+/// reports), so both the serial commit and the worker-side staging call
+/// exactly this function.
+#[inline]
+#[allow(clippy::too_many_arguments)] // one validation check, described flat
+fn validate<M: Message>(
+    topology: &Topology,
+    bandwidth_bits: u32,
+    loss: &Option<LossPlan>,
+    scratch: &mut DupScratch,
+    v: NodeId,
+    port: Port,
+    msg: &M,
+    send_round: u64,
+) -> Result<Verdict, SimError> {
+    let degree = topology.degree(v);
+    if port as usize >= degree {
+        return Err(SimError::InvalidPort {
+            node: v,
+            port,
+            degree,
+        });
+    }
+    if !scratch.mark(port) {
+        return Err(SimError::DuplicateSend {
+            node: v,
+            port,
+            round: send_round,
+        });
+    }
+    let bits = msg.bit_size();
+    if bits > bandwidth_bits {
+        return Err(SimError::BandwidthExceeded {
+            node: v,
+            port,
+            round: send_round,
+            message_bits: bits,
+            bandwidth_bits,
+        });
+    }
+    if let Some(plan) = loss {
+        if plan.drops(send_round, v, port) {
+            return Ok(Verdict::Dropped);
+        }
+    }
+    Ok(Verdict::Deliver {
+        to: topology.neighbor_at(v, port),
+        to_port: topology.reverse_port(v, port),
+        bits,
+    })
+}
+
+/// One entry of a per-worker commit queue: a validated send with its
+/// routing pre-computed, or a loss-plan drop. Stored in node-id order
+/// within the shard.
+pub(crate) enum Staged<M> {
+    /// `from` sends `msg` (of `bits` bits) on its `port`; it arrives at
+    /// `to` on `to_port`.
+    Deliver {
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Sender-side port (for the observer's edge index).
+        port: Port,
+        /// Receiver-side port.
+        to_port: Port,
+        /// Message size in bits.
+        bits: u32,
+        /// The message itself.
+        msg: M,
+    },
+    /// The loss plan dropped `from`'s send on `port`.
+    Dropped {
+        /// Sending node.
+        from: NodeId,
+        /// Sender-side port.
+        port: Port,
+    },
+}
+
+/// One worker's staged commit queue for one round. The `entries` end at
+/// the shard's first validation error, mirroring where the serial commit
+/// would have stopped.
+pub(crate) struct StagedShard<M> {
+    pub(crate) entries: Vec<Staged<M>>,
+    pub(crate) error: Option<SimError>,
+}
+
+impl<M> Default for StagedShard<M> {
+    fn default() -> Self {
+        StagedShard {
+            entries: Vec::new(),
+            error: None,
+        }
+    }
+}
+
+/// Worker-side half of the pool commit: validates node `v`'s outbox into
+/// the shard's queue. On the first invalid item the error is recorded on
+/// the shard and staging stops — exactly the point the serial commit would
+/// have aborted — and the caller must not stage further outboxes (returns
+/// `false`). The outbox is left drained either way so its allocation is
+/// recycled.
+#[allow(clippy::too_many_arguments)] // one outbox staging pass, described flat
+pub(crate) fn stage_outbox<M: Message>(
+    topology: &Topology,
+    bandwidth_bits: u32,
+    loss: &Option<LossPlan>,
+    scratch: &mut DupScratch,
+    v: NodeId,
+    items: &mut Vec<(Port, M)>,
+    send_round: u64,
+    shard: &mut StagedShard<M>,
+) -> bool {
+    scratch.begin_outbox();
+    for (port, msg) in items.drain(..) {
+        match validate(
+            topology,
+            bandwidth_bits,
+            loss,
+            scratch,
+            v,
+            port,
+            &msg,
+            send_round,
+        ) {
+            Ok(Verdict::Deliver { to, to_port, bits }) => shard.entries.push(Staged::Deliver {
+                from: v,
+                to,
+                port,
+                to_port,
+                bits,
+                msg,
+            }),
+            Ok(Verdict::Dropped) => shard.entries.push(Staged::Dropped { from: v, port }),
+            Err(err) => {
+                // Dropping the `drain` clears the rest of the outbox.
+                shard.error = Some(err);
+                return false;
+            }
+        }
+    }
+    true
+}
+
+impl<M: Message> Core<'_, M> {
+    /// Books one accepted message: trace, observer callback, statistics,
+    /// and the receiver's pending inbox — the engine-thread half of every
+    /// commit, shared verbatim by both executors.
+    #[inline]
+    #[allow(clippy::too_many_arguments)] // one flat, pre-routed send
+    fn account_deliver(
+        &mut self,
+        observer: &mut ObsGuard<'_>,
+        send_round: u64,
+        from: NodeId,
+        port: Port,
+        to: NodeId,
+        to_port: Port,
+        bits: u32,
+        msg: M,
+    ) {
+        if let Some(trace) = &mut self.trace {
+            if trace.will_store() {
+                trace.record(Event {
+                    round: send_round + 1,
+                    from,
+                    to,
+                    port: to_port,
+                    bits,
+                    payload: format!("{msg:?}"),
+                });
+            } else {
+                // Past capacity the payload is never rendered: a truncated
+                // trace costs one counter bump per message, not a `format!`.
+                trace.count_overflow();
+            }
+        }
+        if let Some(obs) = observer.as_deref_mut() {
+            obs.on_message(&MessageEvent {
+                send_round,
+                from,
+                to,
+                to_port,
+                edge: self.topology.directed_edge_index(from, port),
+                reverse_edge: self.topology.directed_edge_index(to, to_port),
+                bits,
+                stream: msg.stream_id(),
+            });
+        }
+        self.stats.messages += 1;
+        self.stats.bits += u64::from(bits);
+        self.stats.max_message_bits = self.stats.max_message_bits.max(bits);
+        self.pending[to as usize].push((to_port, msg));
+        self.in_flight += 1;
+    }
+
+    /// Books one loss-plan drop.
+    #[inline]
+    fn account_drop(&mut self, observer: &mut ObsGuard<'_>, send_round: u64, from: NodeId, port: Port) {
+        self.stats.dropped += 1;
+        if let Some(obs) = observer.as_deref_mut() {
+            obs.on_drop(send_round, from, port);
+        }
+    }
+
+    /// The fused (serial) commit path: validates and books node `v`'s
+    /// outbox in item order, draining it so the allocation is recycled.
+    /// Used by the serial executor every round and by the pool executor
+    /// for the `on_start` round (which runs on the engine thread).
+    ///
+    /// The send round is `self.round`: the pipeline advances it before any
+    /// phase runs, and `on_start` commits happen at round 0.
+    pub(crate) fn commit_outbox(
+        &mut self,
+        observer: &mut ObsGuard<'_>,
+        scratch: &mut DupScratch,
+        v: NodeId,
+        items: &mut Vec<(Port, M)>,
+    ) -> Result<(), SimError> {
+        let send_round = self.round;
+        scratch.begin_outbox();
+        for (port, msg) in items.drain(..) {
+            match validate(
+                self.topology,
+                self.config.bandwidth_bits,
+                &self.config.loss,
+                scratch,
+                v,
+                port,
+                &msg,
+                send_round,
+            )? {
+                Verdict::Deliver { to, to_port, bits } => {
+                    self.account_deliver(observer, send_round, v, port, to, to_port, bits, msg);
+                }
+                Verdict::Dropped => self.account_drop(observer, send_round, v, port),
+            }
+        }
+        Ok(())
+    }
+
+    /// The engine-thread half of the pool commit: replays one worker's
+    /// staged queue in order (shards arrive in worker order and hold
+    /// consecutive node ids, so the overall replay is node-id order), then
+    /// surfaces the shard's validation error, if any, exactly where the
+    /// serial commit would have aborted — after the partial accounting
+    /// that precedes the faulty item.
+    pub(crate) fn merge_shard(
+        &mut self,
+        observer: &mut ObsGuard<'_>,
+        shard: &mut StagedShard<M>,
+    ) -> Result<(), SimError> {
+        let send_round = self.round;
+        for entry in shard.entries.drain(..) {
+            match entry {
+                Staged::Deliver {
+                    from,
+                    to,
+                    port,
+                    to_port,
+                    bits,
+                    msg,
+                } => self.account_deliver(observer, send_round, from, port, to, to_port, bits, msg),
+                Staged::Dropped { from, port } => {
+                    self.account_drop(observer, send_round, from, port);
+                }
+            }
+        }
+        if let Some(err) = shard.error.take() {
+            return Err(err);
+        }
+        Ok(())
+    }
+}

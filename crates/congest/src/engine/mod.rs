@@ -1,14 +1,59 @@
-//! The synchronous round engine.
+//! The synchronous round engine, structured as an explicit three-phase
+//! pipeline over pluggable executors.
+//!
+//! Every round is `deliver → step → commit`:
+//!
+//! 1. **deliver** — the inboxes accumulated last round become this
+//!    round's inputs (a buffer swap for the serial executor; a shard
+//!    dispatch for the pool);
+//! 2. **step** — [`NodeAlgorithm::on_round`] runs on every node,
+//!    filling outboxes (node-local work, the only phase that
+//!    parallelizes);
+//! 3. **commit** — every outbox is validated and booked **in node-id
+//!    order**: bandwidth/duplicate/port checks, loss decisions, trace
+//!    events, observer callbacks, statistics, and next-round inboxes.
+//!
+//! The pipeline itself lives in [`Simulator::run`]; *how* each phase
+//! executes is delegated to an [`Executor`]. Two implementations exist:
+//! [`serial::SerialExecutor`] (everything in place on the calling thread;
+//! the default) and [`pool::PoolExecutor`] (a persistent worker pool
+//! created once per run — see that module for the protocol). Because
+//! commit is always replayed in node-id order on the engine thread, every
+//! executor yields bit-for-bit identical [`Report`]s, traces, and
+//! observer streams; the equivalence proptests in
+//! `tests/engine_equivalence.rs` pin this against the seed-verbatim
+//! [`ReferenceSimulator`](crate::ReferenceSimulator).
+//!
+//! Phase wall-clock timing ([`RoundTiming`]) is measured here, around the
+//! executor calls, and emitted through
+//! [`Observer::on_round_end`](crate::Observer::on_round_end) — executors
+//! never touch the clock.
 
 use crate::algorithm::NodeAlgorithm;
-use crate::config::Config;
+use crate::config::{Config, ExecutorKind};
 use crate::error::SimError;
-use crate::message::Message;
-use crate::node::{Inbox, NodeContext, NodeId, Outbox};
-use crate::obs::{MessageEvent, RoundMetrics, RoundTiming, RunInfo};
+use crate::node::{Inbox, NodeContext, NodeId, Outbox, Port};
+use crate::obs::{RoundMetrics, RoundTiming, RunInfo};
 use crate::stats::RunStats;
 use crate::topology::Topology;
-use crate::trace::{Event, Trace};
+use crate::trace::Trace;
+
+mod commit;
+mod pool;
+mod serial;
+
+use pool::PoolExecutor;
+use serial::SerialExecutor;
+
+/// Process-wide count of pool worker threads spawned so far. The delta
+/// across a run equals the clamped worker count minus one (the engine
+/// thread carries shard 0 itself) — threads are spawned once per run,
+/// never per round — which benches and tests assert to keep the
+/// per-round-spawn regression of the pre-pipeline engine from coming back.
+#[doc(hidden)]
+pub fn pool_workers_spawned() -> u64 {
+    pool::workers_spawned()
+}
 
 /// The result of a completed simulation.
 #[derive(Debug)]
@@ -28,6 +73,81 @@ pub struct Report<O> {
     pub metrics: Option<Vec<RoundMetrics>>,
 }
 
+/// Engine state shared by every executor: the network, the run's
+/// bookkeeping, and the accounting sinks (stats, trace, profile). The
+/// executor owns everything node-local (states, inboxes-in-flight,
+/// outboxes); the `Core` owns everything observable.
+pub(crate) struct Core<'t, M> {
+    pub(crate) topology: &'t Topology,
+    pub(crate) config: Config,
+    /// `pending[v]` accumulates the messages to be delivered to `v` next
+    /// round.
+    pub(crate) pending: Vec<Vec<(Port, M)>>,
+    pub(crate) in_flight: u64,
+    pub(crate) round: u64,
+    pub(crate) stats: RunStats,
+    pub(crate) trace: Option<Trace>,
+    pub(crate) round_profile: Vec<u64>,
+}
+
+/// One phase-pipeline backend. The pipeline calls `start` once, then
+/// `deliver`/`step`/`commit` once per round in that order, then
+/// `into_outputs` once; `any_active` is polled between rounds for the
+/// quiescence check.
+pub(crate) trait Executor<A: NodeAlgorithm> {
+    /// Round 0: run every node's [`NodeAlgorithm::on_start`] and commit
+    /// the queued sends in node-id order.
+    fn start(&mut self, core: &mut Core<'_, A::Message>) -> Result<(), SimError>;
+    /// Phase 1 — hand the inboxes accumulated in `core.pending` to the
+    /// nodes for the round `core.round`.
+    fn deliver(&mut self, core: &mut Core<'_, A::Message>);
+    /// Phase 2 — run [`NodeAlgorithm::on_round`] on every node.
+    fn step(&mut self, core: &mut Core<'_, A::Message>);
+    /// Phase 3 — validate and book every outbox in node-id order.
+    fn commit(&mut self, core: &mut Core<'_, A::Message>) -> Result<(), SimError>;
+    /// Whether any node reported [`NodeAlgorithm::is_active`] after the
+    /// most recent `start`/`step`.
+    fn any_active(&self) -> bool;
+    /// Tears the executor down and extracts outputs in node-id order.
+    fn into_outputs(self, final_round: u64) -> Vec<A::Output>;
+}
+
+/// Runs `on_round` for one node: sorts its inbox (only when messages
+/// arrived out of port order — each sender owns a distinct port, so keys
+/// are unique and an unstable sort is deterministic), invokes the
+/// algorithm, and recycles the inbox buffer.
+///
+/// This is the only per-round work that pool workers execute on node
+/// state; it touches nothing but the node's own state and buffers.
+pub(crate) fn step_node<A: NodeAlgorithm>(
+    topology: &Topology,
+    n: usize,
+    round: u64,
+    v: NodeId,
+    node: &mut Option<A>,
+    inbox_buf: &mut Vec<(Port, A::Message)>,
+    outbox: &mut Outbox<A::Message>,
+) {
+    if !inbox_buf.windows(2).all(|w| w[0].0 <= w[1].0) {
+        inbox_buf.sort_unstable_by_key(|(p, _)| *p);
+    }
+    let inbox = Inbox {
+        items: std::mem::take(inbox_buf),
+    };
+    let ctx = NodeContext {
+        node_id: v,
+        num_nodes: n,
+        neighbor_ids: topology.neighbors(v),
+        round,
+    };
+    node.as_mut()
+        .expect("node state present")
+        .on_round(&ctx, &inbox, outbox);
+    // Reclaim the inbox allocation for the next round.
+    *inbox_buf = inbox.items;
+    inbox_buf.clear();
+}
+
 /// Drives one [`NodeAlgorithm`] instance per node in synchronous lock-step.
 ///
 /// The simulator delivers messages sent in round `t` at the beginning of
@@ -36,38 +156,19 @@ pub struct Report<O> {
 /// bandwidth constraint, and stops when the network is silent and no node is
 /// [`active`](NodeAlgorithm::is_active).
 ///
-/// Execution is fully deterministic: inboxes are sorted by port, and every
-/// outbox is committed (delivered, traced, counted) in node-id order. This
-/// holds for any [`Config::with_threads`] setting — worker threads only run
-/// the node-local `on_round` calls, which cannot observe each other, so a
-/// `k`-threaded run is bit-for-bit identical to a sequential one.
+/// Execution is fully deterministic for every [`ExecutorKind`]: inboxes are
+/// sorted by port, and every outbox is committed (delivered, traced,
+/// counted) in node-id order on the engine thread — see this module's
+/// source docs for the pipeline and executor contract.
 ///
 /// # Steady-state allocation
 ///
-/// All per-round buffers (inboxes, outboxes, the duplicate-send scratch) are
-/// recycled between rounds, so once message volume peaks the engine runs
-/// allocation-free.
+/// All per-round buffers (inboxes, outboxes, staged commit queues, the
+/// duplicate-send scratches) are recycled between rounds, so once message
+/// volume peaks the engine runs allocation-free.
 pub struct Simulator<'t, A: NodeAlgorithm> {
-    topology: &'t Topology,
-    config: Config,
+    core: Core<'t, A::Message>,
     nodes: Vec<Option<A>>,
-    /// `pending[v]` accumulates the messages to be delivered to `v` next
-    /// round.
-    pending: Vec<Vec<(u32, A::Message)>>,
-    /// `delivering[v]` is the inbox buffer handed to `v` this round; swapped
-    /// with `pending` at the start of each step and recycled afterwards.
-    delivering: Vec<Vec<(u32, A::Message)>>,
-    /// `outboxes[v]` is `v`'s send buffer, drained on commit and recycled.
-    outboxes: Vec<Outbox<A::Message>>,
-    /// `used_stamp[p] == stamp` iff port `p` was already used by the outbox
-    /// currently being committed; replaces a per-commit `vec![false; deg]`.
-    used_stamp: Vec<u64>,
-    stamp: u64,
-    in_flight: u64,
-    round: u64,
-    stats: RunStats,
-    trace: Option<Trace>,
-    round_profile: Vec<u64>,
 }
 
 impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
@@ -89,280 +190,37 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
                 Some(init(&ctx))
             })
             .collect();
-        let trace = config
-            .trace
-            .then(|| Trace::new(config.trace_capacity));
+        let trace = config.trace.then(|| Trace::new(config.trace_capacity));
         Simulator {
-            topology,
-            config,
+            core: Core {
+                topology,
+                config,
+                pending: (0..n).map(|_| Vec::new()).collect(),
+                in_flight: 0,
+                round: 0,
+                stats: RunStats::default(),
+                trace,
+                round_profile: Vec::new(),
+            },
             nodes,
-            pending: (0..n).map(|_| Vec::new()).collect(),
-            delivering: (0..n).map(|_| Vec::new()).collect(),
-            outboxes: (0..n).map(|_| Outbox::new()).collect(),
-            used_stamp: vec![0; topology.max_degree()],
-            stamp: 0,
-            in_flight: 0,
-            round: 0,
-            stats: RunStats::default(),
-            trace,
-            round_profile: Vec::new(),
         }
     }
 
     /// The number of rounds executed so far.
     pub fn round(&self) -> u64 {
-        self.round
+        self.core.round
     }
 
     /// Statistics accumulated so far.
     pub fn stats(&self) -> &RunStats {
-        &self.stats
-    }
-
-    /// Drains `outboxes[v]`, validating, counting, tracing, and enqueueing
-    /// each message. The outbox's allocation is kept for the next round.
-    fn commit_outbox(&mut self, v: NodeId, send_round: u64) -> Result<(), SimError> {
-        let degree = self.topology.degree(v);
-        self.stamp += 1;
-        let stamp = self.stamp;
-        // One lock per node-commit (not per message); None when unobserved.
-        let mut observer = self.config.observer.as_ref().map(|h| h.lock());
-        let mut items = std::mem::take(&mut self.outboxes[v as usize].items);
-        for (port, msg) in items.drain(..) {
-            if port as usize >= degree {
-                return Err(SimError::InvalidPort {
-                    node: v,
-                    port,
-                    degree,
-                });
-            }
-            if self.used_stamp[port as usize] == stamp {
-                return Err(SimError::DuplicateSend {
-                    node: v,
-                    port,
-                    round: send_round,
-                });
-            }
-            self.used_stamp[port as usize] = stamp;
-            let bits = msg.bit_size();
-            if bits > self.config.bandwidth_bits {
-                return Err(SimError::BandwidthExceeded {
-                    node: v,
-                    port,
-                    round: send_round,
-                    message_bits: bits,
-                    bandwidth_bits: self.config.bandwidth_bits,
-                });
-            }
-            if let Some(plan) = &self.config.loss {
-                if plan.drops(send_round, v, port) {
-                    self.stats.dropped += 1;
-                    if let Some(obs) = observer.as_deref_mut() {
-                        obs.on_drop(send_round, v, port);
-                    }
-                    continue;
-                }
-            }
-            let to = self.topology.neighbor_at(v, port);
-            let to_port = self.topology.reverse_port(v, port);
-            if let Some(trace) = &mut self.trace {
-                trace.record(Event {
-                    round: send_round + 1,
-                    from: v,
-                    to,
-                    port: to_port,
-                    bits,
-                    payload: format!("{msg:?}"),
-                });
-            }
-            if let Some(obs) = observer.as_deref_mut() {
-                obs.on_message(&MessageEvent {
-                    send_round,
-                    from: v,
-                    to,
-                    to_port,
-                    edge: self.topology.directed_edge_index(v, port),
-                    reverse_edge: self.topology.directed_edge_index(to, to_port),
-                    bits,
-                    stream: msg.stream_id(),
-                });
-            }
-            self.stats.messages += 1;
-            self.stats.bits += u64::from(bits);
-            self.stats.max_message_bits = self.stats.max_message_bits.max(bits);
-            self.pending[to as usize].push((to_port, msg));
-            self.in_flight += 1;
-        }
-        self.outboxes[v as usize].items = items;
-        Ok(())
-    }
-
-    fn start_all(&mut self) -> Result<(), SimError> {
-        let n = self.nodes.len();
-        for v in 0..n {
-            let ctx = NodeContext {
-                node_id: v as NodeId,
-                num_nodes: n,
-                neighbor_ids: self.topology.neighbors(v as NodeId),
-                round: 0,
-            };
-            self.nodes[v]
-                .as_mut()
-                .expect("node state present")
-                .on_start(&ctx, &mut self.outboxes[v]);
-            self.commit_outbox(v as NodeId, 0)?;
-        }
-        Ok(())
-    }
-
-    /// Runs `on_round` for one node: sorts its inbox (only when messages
-    /// arrived out of port order — each sender owns a distinct port, so
-    /// keys are unique and an unstable sort is deterministic), invokes the
-    /// algorithm, and recycles the inbox buffer.
-    ///
-    /// This is the only per-round work that worker threads execute; it
-    /// touches nothing but the node's own state and buffers.
-    fn run_node(
-        topology: &Topology,
-        n: usize,
-        round: u64,
-        v: NodeId,
-        node: &mut Option<A>,
-        inbox_buf: &mut Vec<(u32, A::Message)>,
-        outbox: &mut Outbox<A::Message>,
-    ) {
-        if !inbox_buf.windows(2).all(|w| w[0].0 <= w[1].0) {
-            inbox_buf.sort_unstable_by_key(|(p, _)| *p);
-        }
-        let inbox = Inbox {
-            items: std::mem::take(inbox_buf),
-        };
-        let ctx = NodeContext {
-            node_id: v,
-            num_nodes: n,
-            neighbor_ids: topology.neighbors(v),
-            round,
-        };
-        node.as_mut()
-            .expect("node state present")
-            .on_round(&ctx, &inbox, outbox);
-        // Reclaim the inbox allocation for the next round.
-        *inbox_buf = inbox.items;
-        inbox_buf.clear();
-    }
-
-    /// Executes one communication round: delivers all pending messages and
-    /// invokes `on_round` on every node, then commits every outbox in
-    /// node-id order.
-    fn step(&mut self) -> Result<(), SimError>
-    where
-        A: Send,
-        A::Message: Send,
-    {
-        self.round += 1;
-        self.stats.rounds = self.round;
-        self.stats.max_messages_per_round = self.stats.max_messages_per_round.max(self.in_flight);
-        if self.config.round_profile {
-            self.round_profile.push(self.in_flight);
-        }
-        let delivered = self.in_flight;
-        self.in_flight = 0;
-        let n = self.nodes.len();
-        // Wall-clock sub-phase timing exists only while observed: with no
-        // observer the `watch` checks below are the entire cost.
-        let watch = self.config.observer.is_some();
-        let mut timing = RoundTiming::default();
-        if let Some(obs) = &self.config.observer {
-            obs.lock().on_round_start(self.round, delivered);
-        }
-        // Swap the accumulated inboxes in so sends this round are buffered
-        // for the next one; `delivering`'s buffers were cleared (capacity
-        // kept) at the end of the previous step.
-        let clock = watch.then(std::time::Instant::now);
-        std::mem::swap(&mut self.pending, &mut self.delivering);
-        if let Some(t) = clock {
-            timing.deliver = t.elapsed();
-        }
-        let clock = watch.then(std::time::Instant::now);
-        let threads = self.config.threads.max(1).min(n.max(1));
-        if threads == 1 {
-            for (v, ((node, inbox), outbox)) in self
-                .nodes
-                .iter_mut()
-                .zip(self.delivering.iter_mut())
-                .zip(self.outboxes.iter_mut())
-                .enumerate()
-            {
-                Self::run_node(self.topology, n, self.round, v as NodeId, node, inbox, outbox);
-            }
-        } else {
-            // Contiguous chunks keep node ids per worker dense, so commit
-            // order below (plain id order) matches the sequential engine.
-            let chunk = n.div_ceil(threads);
-            let topology = self.topology;
-            let round = self.round;
-            std::thread::scope(|scope| {
-                for (i, ((nodes, inboxes), outboxes)) in self
-                    .nodes
-                    .chunks_mut(chunk)
-                    .zip(self.delivering.chunks_mut(chunk))
-                    .zip(self.outboxes.chunks_mut(chunk))
-                    .enumerate()
-                {
-                    scope.spawn(move || {
-                        let base = i * chunk;
-                        for (j, ((node, inbox), outbox)) in nodes
-                            .iter_mut()
-                            .zip(inboxes.iter_mut())
-                            .zip(outboxes.iter_mut())
-                            .enumerate()
-                        {
-                            Self::run_node(
-                                topology,
-                                n,
-                                round,
-                                (base + j) as NodeId,
-                                node,
-                                inbox,
-                                outbox,
-                            );
-                        }
-                    });
-                }
-            });
-        }
-        if let Some(t) = clock {
-            timing.step = t.elapsed();
-        }
-        // Commit sequentially in node-id order: stats, traces, loss
-        // decisions, and delivery order are therefore identical regardless
-        // of the thread count.
-        let clock = watch.then(std::time::Instant::now);
-        for v in 0..n {
-            self.commit_outbox(v as NodeId, self.round)?;
-        }
-        if let Some(t) = clock {
-            timing.commit = t.elapsed();
-        }
-        if let Some(obs) = &self.config.observer {
-            obs.lock().on_round_end(self.round, &timing);
-        }
-        Ok(())
-    }
-
-    fn is_quiescent(&self) -> bool {
-        self.in_flight == 0
-            && self
-                .nodes
-                .iter()
-                .all(|node| !node.as_ref().expect("node state present").is_active())
+        &self.core.stats
     }
 
     /// Runs to quiescence and extracts every node's output.
     ///
-    /// The `Send` bounds exist so [`Config::with_threads`] can fan
-    /// `on_round` calls out to scoped workers; they are trivially satisfied
-    /// by node states and messages made of plain data.
+    /// The `Send` bounds exist so the pool executor can move node states
+    /// and messages to its workers; they are trivially satisfied by states
+    /// and messages made of plain data.
     ///
     /// # Errors
     ///
@@ -375,59 +233,120 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
         A::Message: Send,
     {
         let started = std::time::Instant::now();
-        if let Some(obs) = &self.config.observer {
+        if let Some(obs) = &self.core.config.observer {
             obs.lock().on_run_start(&RunInfo {
-                phase: &self.config.phase,
-                nodes: self.topology.num_nodes(),
-                directed_edges: self.topology.num_directed_edges(),
+                phase: &self.core.config.phase,
+                nodes: self.core.topology.num_nodes(),
+                directed_edges: self.core.topology.num_directed_edges(),
             });
         }
-        self.start_all()?;
-        while !self.is_quiescent() {
-            if self.round >= self.config.max_rounds {
+        let nodes = std::mem::take(&mut self.nodes);
+        match self.core.config.executor {
+            ExecutorKind::Serial => {
+                let executor = SerialExecutor::new(self.core.topology, nodes);
+                self.drive(executor, started)
+            }
+            ExecutorKind::Pool { workers } => {
+                // The scope spans the whole run: workers are spawned once
+                // by `PoolExecutor::new` and live until `drive` returns
+                // (dropping the executor's channels shuts them down before
+                // the scope's implicit join).
+                let topology = self.core.topology;
+                let bandwidth_bits = self.core.config.bandwidth_bits;
+                let loss = self.core.config.loss;
+                std::thread::scope(move |scope| {
+                    let executor =
+                        PoolExecutor::new(scope, topology, bandwidth_bits, loss, nodes, workers);
+                    self.drive(executor, started)
+                })
+            }
+        }
+    }
+
+    /// The pipeline: `start`, then rounds of timed
+    /// `deliver → step → commit` until quiescence, then output extraction
+    /// and observer teardown. Identical for every executor — all
+    /// executor-specific behavior lives behind the [`Executor`] calls.
+    fn drive<E: Executor<A>>(
+        mut self,
+        mut executor: E,
+        started: std::time::Instant,
+    ) -> Result<Report<A::Output>, SimError> {
+        executor.start(&mut self.core)?;
+        // Quiescence: no messages in flight and no node still active. The
+        // in-flight count is checked first so the executor's node scan
+        // only runs when delivery has drained.
+        while self.core.in_flight != 0 || executor.any_active() {
+            if self.core.round >= self.core.config.max_rounds {
                 return Err(SimError::RoundLimitExceeded {
-                    limit: self.config.max_rounds,
+                    limit: self.core.config.max_rounds,
                 });
             }
-            self.step()?;
+            self.step_round(&mut executor)?;
         }
-        let n = self.nodes.len();
-        let outputs = self
-            .nodes
-            .iter_mut()
-            .enumerate()
-            .map(|(v, node)| {
-                let ctx = NodeContext {
-                    node_id: v as NodeId,
-                    num_nodes: n,
-                    neighbor_ids: self.topology.neighbors(v as NodeId),
-                    round: self.round,
-                };
-                node.take().expect("node state present").into_output(&ctx)
-            })
-            .collect();
-        self.stats.wall_time = started.elapsed();
-        let metrics = if let Some(obs) = &self.config.observer {
+        let outputs = executor.into_outputs(self.core.round);
+        self.core.stats.wall_time = started.elapsed();
+        let metrics = if let Some(obs) = &self.core.config.observer {
             let mut obs = obs.lock();
-            obs.on_run_end(&self.stats);
+            obs.on_run_end(&self.core.stats);
             obs.take_run_stream()
         } else {
             None
         };
         Ok(Report {
             outputs,
-            stats: self.stats,
-            trace: self.trace,
-            round_profile: self.round_profile,
+            stats: self.core.stats,
+            trace: self.core.trace,
+            round_profile: self.core.round_profile,
             metrics,
         })
+    }
+
+    /// Executes one communication round through the three pipeline phases,
+    /// timing each around the executor call when observed.
+    fn step_round<E: Executor<A>>(&mut self, executor: &mut E) -> Result<(), SimError> {
+        let core = &mut self.core;
+        core.round += 1;
+        core.stats.rounds = core.round;
+        core.stats.max_messages_per_round = core.stats.max_messages_per_round.max(core.in_flight);
+        if core.config.round_profile {
+            core.round_profile.push(core.in_flight);
+        }
+        let delivered = core.in_flight;
+        core.in_flight = 0;
+        // Wall-clock phase timing exists only while observed: with no
+        // observer the `watch` checks below are the entire cost.
+        let watch = core.config.observer.is_some();
+        let mut timing = RoundTiming::default();
+        if let Some(obs) = &core.config.observer {
+            obs.lock().on_round_start(core.round, delivered);
+        }
+        let clock = watch.then(std::time::Instant::now);
+        executor.deliver(core);
+        if let Some(t) = clock {
+            timing.deliver = t.elapsed();
+        }
+        let clock = watch.then(std::time::Instant::now);
+        executor.step(core);
+        if let Some(t) = clock {
+            timing.step = t.elapsed();
+        }
+        let clock = watch.then(std::time::Instant::now);
+        executor.commit(core)?;
+        if let Some(t) = clock {
+            timing.commit = t.elapsed();
+        }
+        if let Some(obs) = &core.config.observer {
+            obs.lock().on_round_end(core.round, &timing);
+        }
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::message::bits_for_id;
+    use crate::message::{bits_for_id, Message};
 
     /// Flood fill: node 0 emits a token; everyone forwards it once.
     #[derive(Clone, Debug)]
@@ -486,6 +405,21 @@ mod tests {
             assert_eq!(*round, Some(v as u64), "node {v}");
         }
         assert_eq!(report.stats.rounds, 6);
+    }
+
+    #[test]
+    fn flood_is_identical_under_the_pool_executor() {
+        let topo = path(6);
+        for workers in [2, 4, 16] {
+            let cfg = Config::for_n(6).with_executor(ExecutorKind::Pool { workers });
+            let report = Simulator::new(&topo, cfg, |_| Flood { seen_round: None })
+                .run()
+                .unwrap();
+            for (v, round) in report.outputs.iter().enumerate() {
+                assert_eq!(*round, Some(v as u64), "workers {workers}, node {v}");
+            }
+            assert_eq!(report.stats.rounds, 6);
+        }
     }
 
     #[test]
@@ -594,10 +528,12 @@ mod tests {
     #[test]
     fn round_limit_fires_on_livelock() {
         let topo = path(2);
-        let cfg = Config::for_n(2).with_max_rounds(25);
-        let sim = Simulator::new(&topo, cfg, |_| PingPong);
-        let err = sim.run().unwrap_err();
-        assert_eq!(err, SimError::RoundLimitExceeded { limit: 25 });
+        for executor in [ExecutorKind::Serial, ExecutorKind::Pool { workers: 2 }] {
+            let cfg = Config::for_n(2).with_max_rounds(25).with_executor(executor);
+            let sim = Simulator::new(&topo, cfg, |_| PingPong);
+            let err = sim.run().unwrap_err();
+            assert_eq!(err, SimError::RoundLimitExceeded { limit: 25 });
+        }
     }
 
     /// A silent node that stays active for 5 rounds, then sends once. Tests
@@ -628,10 +564,13 @@ mod tests {
     #[test]
     fn timers_run_without_traffic() {
         let topo = path(2);
-        let sim = Simulator::new(&topo, Config::for_n(2), |_| Timer { fired: false });
-        let report = sim.run().unwrap();
-        assert_eq!(report.outputs, vec![true, true]);
-        assert_eq!(report.stats.rounds, 6); // fired in round 5, delivered in 6
+        for executor in [ExecutorKind::Serial, ExecutorKind::Pool { workers: 2 }] {
+            let cfg = Config::for_n(2).with_executor(executor);
+            let sim = Simulator::new(&topo, cfg, |_| Timer { fired: false });
+            let report = sim.run().unwrap();
+            assert_eq!(report.outputs, vec![true, true]);
+            assert_eq!(report.stats.rounds, 6); // fired in round 5, delivered in 6
+        }
     }
 
     #[test]
@@ -651,9 +590,12 @@ mod tests {
     #[test]
     fn empty_network_quiesces_immediately() {
         let topo = Topology::from_adjacency(vec![vec![]]).unwrap();
-        let sim = Simulator::new(&topo, Config::for_n(1), |_| Flood { seen_round: None });
-        let report = sim.run().unwrap();
-        assert_eq!(report.stats.rounds, 0);
+        for executor in [ExecutorKind::Serial, ExecutorKind::Pool { workers: 4 }] {
+            let cfg = Config::for_n(1).with_executor(executor);
+            let sim = Simulator::new(&topo, cfg, |_| Flood { seen_round: None });
+            let report = sim.run().unwrap();
+            assert_eq!(report.stats.rounds, 0);
+        }
     }
 
     #[test]
@@ -667,6 +609,7 @@ mod tests {
 #[cfg(test)]
 mod obs_tests {
     use super::*;
+    use crate::message::Message;
     use crate::obs::{MetricsRecorder, PhaseProfiler, SharedObserver};
     use crate::ReferenceSimulator;
 
@@ -794,6 +737,35 @@ mod obs_tests {
         // must match row for row.
         assert_eq!(opt_report.metrics, seed_report.metrics);
         assert_eq!(opt.with(|r| r.stream().to_vec()), seed.with(|r| r.stream().to_vec()));
+    }
+
+    #[test]
+    fn pool_executor_feeds_the_same_stream() {
+        let topo = ring(7);
+        let serial = SharedObserver::new(MetricsRecorder::new());
+        let pooled = SharedObserver::new(MetricsRecorder::new());
+        let serial_report = Simulator::new(
+            &topo,
+            Config::for_n(7).with_observer(serial.observer()),
+            gossip(7),
+        )
+        .run()
+        .unwrap();
+        let pool_report = Simulator::new(
+            &topo,
+            Config::for_n(7)
+                .with_threads(3)
+                .with_observer(pooled.observer()),
+            gossip(7),
+        )
+        .run()
+        .unwrap();
+        assert_eq!(serial_report.stats, pool_report.stats);
+        assert_eq!(serial_report.metrics, pool_report.metrics);
+        assert_eq!(
+            serial.with(|r| r.stream().to_vec()),
+            pooled.with(|r| r.stream().to_vec())
+        );
     }
 
     #[test]

@@ -1,0 +1,470 @@
+//! The persistent-pool executor: long-lived worker threads created once
+//! per run, with one channel rendezvous per round instead of a per-round
+//! `thread::scope` spawn/join (the ~50–100 µs/round overhead PR 2
+//! measured).
+//!
+//! # Protocol
+//!
+//! The node ids are split into `workers` contiguous shards of
+//! `ceil(n / workers)` ids each. The **engine thread itself owns shard 0**
+//! and only `workers - 1` threads are spawned: while the spawned workers
+//! step their shards, the engine thread steps shard 0 instead of blocking,
+//! so a pool of `k` workers uses exactly `k` threads of compute (not
+//! `k + 1` with one parked) and the per-round rendezvous costs one
+//! wake/park pair per *spawned* worker.
+//!
+//! Per round the engine thread sends every spawned worker a
+//! [`Command::Step`] carrying the shard's inboxes plus an empty
+//! [`StagedShard`]; each worker steps its nodes, validates their outboxes
+//! into the shard queue (per-worker [`DupScratch`], so stamps can never
+//! alias across concurrently-validating shards), and sends everything
+//! back. Meanwhile the engine thread steps and stages shard 0 in place.
+//! The engine thread then merges the queues in shard order — which is
+//! node-id order, because shards are contiguous and ascending — doing all
+//! accounting (stats, trace, observer hooks, pending inboxes) itself.
+//! Every container round-trips through the channels and is recycled, so
+//! the steady state stays allocation-free.
+//!
+//! The crate forbids `unsafe`, so workers are scoped threads: `run`
+//! wraps the whole round loop in one `std::thread::scope`, and the
+//! executor's channel senders drop when the loop ends, which makes each
+//! worker's `recv` fail and the thread exit before the scope joins.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::{Scope, ScopedJoinHandle};
+
+use crate::algorithm::NodeAlgorithm;
+use crate::config::LossPlan;
+use crate::error::SimError;
+use crate::node::{NodeContext, NodeId, Outbox, Port};
+use crate::topology::Topology;
+
+use super::commit::{stage_outbox, DupScratch, StagedShard};
+use super::{step_node, Core, Executor};
+
+/// Total worker threads ever spawned by pool executors, process-wide.
+/// Exists so tests and benches can pin the "threads are created once per
+/// run, never once per round" property: the counter's delta across a run
+/// must equal the spawned-thread count (`workers - 1`, the engine thread
+/// carrying shard 0 itself), independent of how many rounds ran.
+static SPAWNED: AtomicU64 = AtomicU64::new(0);
+
+/// One shard's worth of inbox buffers: `bufs[j]` holds the pending
+/// messages for the shard's `j`-th node. Shipped between the engine and a
+/// worker each round with capacities intact.
+type ShardInboxes<M> = Vec<Vec<(Port, M)>>;
+
+/// Process-wide count of pool worker threads spawned so far; see
+/// [`pool_workers_spawned`](crate::pool_workers_spawned).
+pub(crate) fn workers_spawned() -> u64 {
+    SPAWNED.load(Ordering::Relaxed)
+}
+
+/// Engine-to-worker commands.
+enum Command<A: NodeAlgorithm> {
+    /// Take ownership of the shard's node states (sent once, right after
+    /// the engine thread ran `on_start`).
+    Load(Vec<Option<A>>),
+    /// Step the shard for `round`: `inboxes[j]` belongs to node
+    /// `base + j`. Stage the resulting outboxes into `shard`.
+    Step {
+        round: u64,
+        inboxes: ShardInboxes<A::Message>,
+        shard: StagedShard<A::Message>,
+    },
+    /// Return the node states for output extraction; the worker exits.
+    Finish,
+}
+
+/// Worker-to-engine replies.
+enum Reply<A: NodeAlgorithm> {
+    /// One stepped round: the (drained, capacity-keeping) inbox buffers,
+    /// the staged commit queue, and whether any shard node `is_active`.
+    Stepped {
+        inboxes: ShardInboxes<A::Message>,
+        shard: StagedShard<A::Message>,
+        any_active: bool,
+    },
+    /// Response to [`Command::Finish`].
+    Finished { nodes: Vec<Option<A>> },
+}
+
+struct Worker<'scope, A: NodeAlgorithm> {
+    /// First node id of this worker's shard.
+    base: usize,
+    /// Number of nodes in the shard.
+    len: usize,
+    cmd: Sender<Command<A>>,
+    reply: Receiver<Reply<A>>,
+    _thread: ScopedJoinHandle<'scope, ()>,
+}
+
+/// The body of one worker thread: step the shard, stage its outboxes,
+/// repeat until the command channel closes or `Finish` arrives.
+fn worker_loop<A: NodeAlgorithm>(
+    topology: &Topology,
+    n: usize,
+    base: usize,
+    bandwidth_bits: u32,
+    loss: Option<LossPlan>,
+    cmd: Receiver<Command<A>>,
+    reply: Sender<Reply<A>>,
+) {
+    let mut nodes: Vec<Option<A>> = Vec::new();
+    let mut outboxes: Vec<Outbox<A::Message>> = Vec::new();
+    let mut scratch = DupScratch::new(topology.max_degree());
+    while let Ok(command) = cmd.recv() {
+        match command {
+            Command::Load(shard_nodes) => {
+                outboxes = (0..shard_nodes.len()).map(|_| Outbox::new()).collect();
+                nodes = shard_nodes;
+            }
+            Command::Step {
+                round,
+                mut inboxes,
+                mut shard,
+            } => {
+                let any_active = step_shard(
+                    topology,
+                    n,
+                    base,
+                    round,
+                    bandwidth_bits,
+                    &loss,
+                    &mut scratch,
+                    &mut nodes,
+                    &mut inboxes,
+                    &mut outboxes,
+                    &mut shard,
+                );
+                if reply
+                    .send(Reply::Stepped {
+                        inboxes,
+                        shard,
+                        any_active,
+                    })
+                    .is_err()
+                {
+                    return; // engine gone (run aborted)
+                }
+            }
+            Command::Finish => {
+                let _ = reply.send(Reply::Finished {
+                    nodes: std::mem::take(&mut nodes),
+                });
+                return;
+            }
+        }
+    }
+}
+
+/// Steps one contiguous shard and stages its outboxes: the shared body of
+/// the worker threads and of the engine thread's own shard 0. Staging
+/// walks nodes in id order and stops at the shard's first validation
+/// error (mirroring the serial abort point). Returns whether any shard
+/// node `is_active`.
+#[allow(clippy::too_many_arguments)] // one shard-step, described flat
+fn step_shard<A: NodeAlgorithm>(
+    topology: &Topology,
+    n: usize,
+    base: usize,
+    round: u64,
+    bandwidth_bits: u32,
+    loss: &Option<LossPlan>,
+    scratch: &mut DupScratch,
+    nodes: &mut [Option<A>],
+    inboxes: &mut [Vec<(Port, A::Message)>],
+    outboxes: &mut [Outbox<A::Message>],
+    shard: &mut StagedShard<A::Message>,
+) -> bool {
+    for (j, ((node, inbox), outbox)) in nodes
+        .iter_mut()
+        .zip(inboxes.iter_mut())
+        .zip(outboxes.iter_mut())
+        .enumerate()
+    {
+        step_node(topology, n, round, (base + j) as NodeId, node, inbox, outbox);
+    }
+    for (j, outbox) in outboxes.iter_mut().enumerate() {
+        if !stage_outbox(
+            topology,
+            bandwidth_bits,
+            loss,
+            scratch,
+            (base + j) as NodeId,
+            &mut outbox.items,
+            round,
+            shard,
+        ) {
+            break;
+        }
+    }
+    nodes
+        .iter()
+        .any(|node| node.as_ref().expect("node state present").is_active())
+}
+
+/// The pool executor. Lives inside the `thread::scope` that `run` opens;
+/// dropping it (normally or on error) closes the command channels, which
+/// terminates every worker before the scope joins them.
+pub(crate) struct PoolExecutor<'t, 'scope, A: NodeAlgorithm> {
+    topology: &'t Topology,
+    n: usize,
+    bandwidth_bits: u32,
+    loss: Option<LossPlan>,
+    /// All node states before `start` hands the spawned workers their
+    /// shards; shard 0's states afterwards.
+    nodes: Vec<Option<A>>,
+    /// Shard 0's size — the engine thread steps these nodes itself.
+    local_len: usize,
+    /// Recycled inbox containers and outboxes for shard 0.
+    local_inboxes: ShardInboxes<A::Message>,
+    local_outboxes: Vec<Outbox<A::Message>>,
+    /// Shard 0's staged commit queue (drained by every merge, so one
+    /// long-lived instance suffices).
+    local_shard: StagedShard<A::Message>,
+    local_active: bool,
+    /// The spawned workers, owning shards 1.. in ascending node-id order.
+    workers: Vec<Worker<'scope, A>>,
+    /// Staged queues received this round, one per spawned worker; merged
+    /// by `commit` and recycled into `spare_shards`.
+    staged: Vec<Option<StagedShard<A::Message>>>,
+    spare_shards: Vec<StagedShard<A::Message>>,
+    /// Recycled per-worker inbox containers for the deliver phase.
+    spare_inboxes: Vec<ShardInboxes<A::Message>>,
+    any_active: bool,
+    /// Scratch for the `on_start` commits and shard 0's staging, all on
+    /// the engine thread.
+    scratch: DupScratch,
+    /// Outbox recycled across the `on_start` calls.
+    start_outbox: Outbox<A::Message>,
+}
+
+impl<'t, 'scope, A> PoolExecutor<'t, 'scope, A>
+where
+    A: NodeAlgorithm + Send,
+    A::Message: Send,
+{
+    /// Splits the node ids into `workers` (clamped to `1..=n`) contiguous
+    /// shards, keeps shard 0 on the engine thread, and spawns one thread
+    /// per remaining shard. This is the only place the pool creates
+    /// threads; rounds are pure channel rendezvous.
+    pub(crate) fn new<'env>(
+        scope: &'scope Scope<'scope, 'env>,
+        topology: &'t Topology,
+        bandwidth_bits: u32,
+        loss: Option<LossPlan>,
+        nodes: Vec<Option<A>>,
+        workers: usize,
+    ) -> Self
+    where
+        't: 'scope,
+        A: 'scope,
+    {
+        let n = nodes.len();
+        let workers = workers.clamp(1, n.max(1));
+        let chunk = n.div_ceil(workers).max(1);
+        let local_len = chunk.min(n);
+        let mut pool = Vec::with_capacity(workers.saturating_sub(1));
+        for w in 1..workers {
+            let base = (w * chunk).min(n);
+            let len = chunk.min(n - base);
+            let (cmd_tx, cmd_rx) = channel();
+            let (reply_tx, reply_rx) = channel();
+            SPAWNED.fetch_add(1, Ordering::Relaxed);
+            let thread = scope.spawn(move || {
+                worker_loop::<A>(topology, n, base, bandwidth_bits, loss, cmd_rx, reply_tx);
+            });
+            pool.push(Worker {
+                base,
+                len,
+                cmd: cmd_tx,
+                reply: reply_rx,
+                _thread: thread,
+            });
+        }
+        let spawned = pool.len();
+        PoolExecutor {
+            topology,
+            n,
+            bandwidth_bits,
+            loss,
+            nodes,
+            local_len,
+            local_inboxes: Vec::new(),
+            local_outboxes: (0..local_len).map(|_| Outbox::new()).collect(),
+            local_shard: StagedShard::default(),
+            local_active: false,
+            staged: (0..spawned).map(|_| None).collect(),
+            spare_shards: (0..spawned).map(|_| StagedShard::default()).collect(),
+            spare_inboxes: (0..spawned).map(|_| Vec::new()).collect(),
+            workers: pool,
+            any_active: false,
+            scratch: DupScratch::new(topology.max_degree()),
+            start_outbox: Outbox::new(),
+        }
+    }
+}
+
+impl<A> Executor<A> for PoolExecutor<'_, '_, A>
+where
+    A: NodeAlgorithm + Send,
+    A::Message: Send,
+{
+    fn start(&mut self, core: &mut Core<'_, A::Message>) -> Result<(), SimError> {
+        // `on_start` and its commits run on the engine thread, exactly as
+        // the serial executor does: round 0 has no step phase to shard.
+        let n = self.n;
+        {
+            let handle = core.config.observer.clone();
+            let mut observer = handle.as_ref().map(|h| h.lock());
+            for v in 0..n {
+                let ctx = NodeContext {
+                    node_id: v as NodeId,
+                    num_nodes: n,
+                    neighbor_ids: self.topology.neighbors(v as NodeId),
+                    round: 0,
+                };
+                self.nodes[v]
+                    .as_mut()
+                    .expect("node state present")
+                    .on_start(&ctx, &mut self.start_outbox);
+                core.commit_outbox(
+                    &mut observer,
+                    &mut self.scratch,
+                    v as NodeId,
+                    &mut self.start_outbox.items,
+                )?;
+            }
+        }
+        self.any_active = self
+            .nodes
+            .iter()
+            .any(|node| node.as_ref().expect("node state present").is_active());
+        // Hand each spawned worker its shard's node states — the only time
+        // node state crosses threads until `into_outputs`. Shard 0 stays
+        // in `self.nodes`.
+        let mut rest = self.nodes.split_off(self.local_len).into_iter();
+        for worker in &self.workers {
+            let shard_nodes: Vec<Option<A>> = rest.by_ref().take(worker.len).collect();
+            let _ = worker.cmd.send(Command::Load(shard_nodes));
+        }
+        Ok(())
+    }
+
+    fn deliver(&mut self, core: &mut Core<'_, A::Message>) {
+        // Move each shard's pending inboxes into the worker's (recycled)
+        // container and dispatch; workers begin stepping as soon as their
+        // own shard arrives. Shard 0's inboxes are pulled last — the
+        // engine thread steps them itself during the step phase.
+        let round = core.round;
+        for (w, worker) in self.workers.iter().enumerate() {
+            let mut inboxes = std::mem::take(&mut self.spare_inboxes[w]);
+            for pending in &mut core.pending[worker.base..worker.base + worker.len] {
+                inboxes.push(std::mem::take(pending));
+            }
+            let shard = std::mem::take(&mut self.spare_shards[w]);
+            let _ = worker.cmd.send(Command::Step {
+                round,
+                inboxes,
+                shard,
+            });
+        }
+        for pending in &mut core.pending[..self.local_len] {
+            self.local_inboxes.push(std::mem::take(pending));
+        }
+    }
+
+    fn step(&mut self, core: &mut Core<'_, A::Message>) {
+        // Step shard 0 on this thread while the spawned workers run, then
+        // rendezvous: collect every worker's reply, restore the drained
+        // inbox buffers to `pending` (keeping their capacity), and park
+        // the staged queues for the commit phase.
+        self.local_active = step_shard(
+            self.topology,
+            self.n,
+            0,
+            core.round,
+            self.bandwidth_bits,
+            &self.loss,
+            &mut self.scratch,
+            &mut self.nodes,
+            &mut self.local_inboxes,
+            &mut self.local_outboxes,
+            &mut self.local_shard,
+        );
+        for (j, buf) in self.local_inboxes.drain(..).enumerate() {
+            core.pending[j] = buf;
+        }
+        self.any_active = self.local_active;
+        for (w, worker) in self.workers.iter().enumerate() {
+            match worker.reply.recv() {
+                Ok(Reply::Stepped {
+                    mut inboxes,
+                    shard,
+                    any_active,
+                }) => {
+                    for (j, buf) in inboxes.drain(..).enumerate() {
+                        core.pending[worker.base + j] = buf;
+                    }
+                    self.spare_inboxes[w] = inboxes;
+                    self.staged[w] = Some(shard);
+                    self.any_active |= any_active;
+                }
+                Ok(Reply::Finished { .. }) => unreachable!("worker finished mid-run"),
+                Err(_) => panic!("pool worker {w} disconnected (node panic?)"),
+            }
+        }
+    }
+
+    fn commit(&mut self, core: &mut Core<'_, A::Message>) -> Result<(), SimError> {
+        let handle = core.config.observer.clone();
+        let mut observer = handle.as_ref().map(|h| h.lock());
+        // Shard 0 first, then the spawned workers in ascending shard
+        // order: exactly node-id order.
+        core.merge_shard(&mut observer, &mut self.local_shard)?;
+        for w in 0..self.workers.len() {
+            let mut shard = self.staged[w].take().expect("staged shard present after step");
+            let merged = core.merge_shard(&mut observer, &mut shard);
+            self.spare_shards[w] = shard;
+            merged?;
+        }
+        Ok(())
+    }
+
+    fn any_active(&self) -> bool {
+        self.any_active
+    }
+
+    fn into_outputs(self, final_round: u64) -> Vec<A::Output> {
+        let n = self.n;
+        for worker in &self.workers {
+            let _ = worker.cmd.send(Command::Finish);
+        }
+        let output_of = |v: NodeId, node: Option<A>| {
+            let ctx = NodeContext {
+                node_id: v,
+                num_nodes: n,
+                neighbor_ids: self.topology.neighbors(v),
+                round: final_round,
+            };
+            node.expect("node state present").into_output(&ctx)
+        };
+        let mut outputs = Vec::with_capacity(n);
+        for (j, node) in self.nodes.into_iter().enumerate() {
+            outputs.push(output_of(j as NodeId, node));
+        }
+        for worker in &self.workers {
+            match worker.reply.recv() {
+                Ok(Reply::Finished { nodes }) => {
+                    for (j, node) in nodes.into_iter().enumerate() {
+                        outputs.push(output_of((worker.base + j) as NodeId, node));
+                    }
+                }
+                _ => panic!("pool worker disconnected before finishing"),
+            }
+        }
+        outputs
+    }
+}

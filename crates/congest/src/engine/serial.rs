@@ -1,0 +1,118 @@
+//! The single-threaded executor: every phase runs in place on the calling
+//! thread. This is the pre-pipeline engine's behavior verbatim — zero
+//! coordination overhead — and stays the default.
+
+use crate::algorithm::NodeAlgorithm;
+use crate::error::SimError;
+use crate::node::{NodeContext, NodeId, Outbox};
+use crate::topology::Topology;
+
+use super::commit::DupScratch;
+use super::{step_node, Core, Executor};
+
+/// Runs the pipeline phases in place: deliver is a buffer swap, step is a
+/// sequential sweep over the nodes, commit validates and books each outbox
+/// immediately.
+pub(crate) struct SerialExecutor<'t, A: NodeAlgorithm> {
+    topology: &'t Topology,
+    nodes: Vec<Option<A>>,
+    /// `delivering[v]` is the inbox buffer handed to `v` this round;
+    /// swapped with `Core::pending` each deliver phase and recycled.
+    delivering: Vec<Vec<(u32, A::Message)>>,
+    /// `outboxes[v]` is `v`'s send buffer, drained on commit and recycled.
+    outboxes: Vec<Outbox<A::Message>>,
+    scratch: DupScratch,
+}
+
+impl<'t, A: NodeAlgorithm> SerialExecutor<'t, A> {
+    pub(crate) fn new(topology: &'t Topology, nodes: Vec<Option<A>>) -> Self {
+        let n = nodes.len();
+        SerialExecutor {
+            topology,
+            nodes,
+            delivering: (0..n).map(|_| Vec::new()).collect(),
+            outboxes: (0..n).map(|_| Outbox::new()).collect(),
+            scratch: DupScratch::new(topology.max_degree()),
+        }
+    }
+}
+
+impl<A: NodeAlgorithm> Executor<A> for SerialExecutor<'_, A> {
+    fn start(&mut self, core: &mut Core<'_, A::Message>) -> Result<(), SimError> {
+        let n = self.nodes.len();
+        let handle = core.config.observer.clone();
+        let mut observer = handle.as_ref().map(|h| h.lock());
+        for v in 0..n {
+            let ctx = NodeContext {
+                node_id: v as NodeId,
+                num_nodes: n,
+                neighbor_ids: self.topology.neighbors(v as NodeId),
+                round: 0,
+            };
+            self.nodes[v]
+                .as_mut()
+                .expect("node state present")
+                .on_start(&ctx, &mut self.outboxes[v]);
+            core.commit_outbox(
+                &mut observer,
+                &mut self.scratch,
+                v as NodeId,
+                &mut self.outboxes[v].items,
+            )?;
+        }
+        Ok(())
+    }
+
+    fn deliver(&mut self, core: &mut Core<'_, A::Message>) {
+        // Swap the accumulated inboxes in so sends this round are buffered
+        // for the next one; `delivering`'s buffers were cleared (capacity
+        // kept) at the end of the previous step.
+        std::mem::swap(&mut core.pending, &mut self.delivering);
+    }
+
+    fn step(&mut self, core: &mut Core<'_, A::Message>) {
+        let n = self.nodes.len();
+        for (v, ((node, inbox), outbox)) in self
+            .nodes
+            .iter_mut()
+            .zip(self.delivering.iter_mut())
+            .zip(self.outboxes.iter_mut())
+            .enumerate()
+        {
+            step_node(self.topology, n, core.round, v as NodeId, node, inbox, outbox);
+        }
+    }
+
+    fn commit(&mut self, core: &mut Core<'_, A::Message>) -> Result<(), SimError> {
+        // One observer lock per commit phase; `None` when unobserved.
+        let handle = core.config.observer.clone();
+        let mut observer = handle.as_ref().map(|h| h.lock());
+        for (v, outbox) in self.outboxes.iter_mut().enumerate() {
+            core.commit_outbox(&mut observer, &mut self.scratch, v as NodeId, &mut outbox.items)?;
+        }
+        Ok(())
+    }
+
+    fn any_active(&self) -> bool {
+        self.nodes
+            .iter()
+            .any(|node| node.as_ref().expect("node state present").is_active())
+    }
+
+    fn into_outputs(mut self, final_round: u64) -> Vec<A::Output> {
+        let n = self.nodes.len();
+        self.nodes
+            .iter_mut()
+            .enumerate()
+            .map(|(v, node)| {
+                let ctx = NodeContext {
+                    node_id: v as NodeId,
+                    num_nodes: n,
+                    neighbor_ids: self.topology.neighbors(v as NodeId),
+                    round: final_round,
+                };
+                node.take().expect("node state present").into_output(&ctx)
+            })
+            .collect()
+    }
+}

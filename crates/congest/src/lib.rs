@@ -17,8 +17,11 @@
 //!   bits, so the simulator can *enforce* the bandwidth restriction instead
 //!   of trusting the algorithm,
 //! * [`NodeAlgorithm`] — the per-node state machine interface,
-//! * [`Simulator`] — the synchronous round engine, which detects quiescence,
-//!   enforces bandwidth, and collects [`RunStats`] (rounds, messages, bits),
+//! * [`Simulator`] — the synchronous round engine: an explicit
+//!   `deliver → step → commit` phase pipeline over a pluggable executor
+//!   ([`ExecutorKind`] — single-threaded, or a persistent worker pool with
+//!   bit-for-bit identical results), which detects quiescence, enforces
+//!   bandwidth, and collects [`RunStats`] (rounds, messages, bits),
 //! * [`trace`] — an optional bounded event log for debugging and for testing
 //!   algorithm invariants (e.g. that two BFS waves never congest an edge),
 //! * [`obs`] — live observers: per-round metric streams, a wall-clock phase
@@ -71,11 +74,11 @@
 
 mod algorithm;
 mod config;
+mod engine;
 mod error;
 mod message;
 mod node;
 mod reference;
-mod simulator;
 mod stats;
 mod topology;
 
@@ -83,7 +86,8 @@ pub mod obs;
 pub mod trace;
 
 pub use algorithm::NodeAlgorithm;
-pub use config::{Config, LossPlan};
+pub use config::{Config, ExecutorKind, LossPlan};
+pub use engine::pool_workers_spawned;
 pub use error::SimError;
 pub use message::{bits_for_count, bits_for_id, Message};
 pub use node::{Inbox, NodeContext, NodeId, Outbox, Port};
@@ -91,8 +95,8 @@ pub use obs::{
     EdgeCongestionProbe, FanOut, MetricsRecorder, Observer, ObserverHandle, PhaseProfiler,
     SharedObserver, WaveArrivalProbe,
 };
+pub use engine::{Report, Simulator};
 pub use reference::ReferenceSimulator;
-pub use simulator::{Report, Simulator};
 pub use stats::RunStats;
 pub use topology::Topology;
 pub use trace::Trace;

@@ -106,18 +106,30 @@ pub struct MessageEvent {
 
 /// Wall-clock split of one engine round. Only measured while an observer is
 /// attached; all-zero otherwise.
+///
+/// The optimized engine's phase pipeline times each phase on the engine
+/// thread, bracketing the executor's `deliver`/`step`/`commit` calls, so
+/// the split means the same thing for every
+/// [`ExecutorKind`](crate::ExecutorKind). The seed engine interleaves
+/// stepping and committing per node and accumulates the same three
+/// buckets from per-node clocks instead.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RoundTiming {
-    /// Inbox turnover: swapping (optimized engine) or allocating (seed
-    /// engine) the per-node inbox buffers. The zero-allocation engine fuses
-    /// delivery enqueueing into commit and inbox sorting into step, so its
-    /// deliver share is near zero *by design* — the contrast against the
-    /// seed engine's per-round allocations is itself an observable.
+    /// Inbox turnover: swapping (serial executor), distributing shards to
+    /// workers (pool executor), or allocating (seed engine) the per-node
+    /// inbox buffers. The zero-allocation engine fuses delivery
+    /// enqueueing into commit and inbox sorting into step, so its deliver
+    /// share is near zero *by design* — the contrast against the seed
+    /// engine's per-round allocations is itself an observable.
     pub deliver: Duration,
-    /// Node-local `on_round` execution — the only part
+    /// Node-local `on_round` execution. The pool executor runs this phase
+    /// on its workers (which also pre-validate outboxes into staged
+    /// commit queues); it is the only phase
     /// [`Config::with_threads`](crate::Config) parallelizes.
     pub step: Duration,
-    /// The sequential outbox validation/accounting/enqueue phase.
+    /// The outbox validation/accounting/enqueue phase, always replayed on
+    /// the engine thread in node-id order (under the pool, the merge of
+    /// the workers' staged queues).
     pub commit: Duration,
 }
 

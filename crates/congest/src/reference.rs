@@ -14,7 +14,7 @@ use crate::error::SimError;
 use crate::message::Message;
 use crate::node::{Inbox, NodeContext, NodeId, Outbox};
 use crate::obs::{MessageEvent, RoundTiming, RunInfo};
-use crate::simulator::Report;
+use crate::engine::Report;
 use crate::stats::RunStats;
 use crate::trace::{Event, Trace};
 use crate::topology::Topology;

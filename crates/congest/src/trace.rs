@@ -60,6 +60,21 @@ impl Trace {
         }
     }
 
+    /// Whether the next [`Trace::record`] would store its event. When this
+    /// is `false` the engine skips building the event entirely — in
+    /// particular the `format!("{msg:?}")` payload rendering — and calls
+    /// [`Trace::count_overflow`] instead, so a truncated trace costs one
+    /// counter increment per message rather than an allocation.
+    pub(crate) fn will_store(&self) -> bool {
+        self.events.len() < self.capacity
+    }
+
+    /// Counts an event past capacity without materializing it. Equivalent
+    /// to `record(..)` once the trace is full.
+    pub(crate) fn count_overflow(&mut self) {
+        self.dropped += 1;
+    }
+
     /// The recorded events, in delivery order.
     pub fn events(&self) -> &[Event] {
         &self.events
@@ -121,5 +136,17 @@ mod tests {
     #[test]
     fn default_is_large() {
         assert!(Trace::default().capacity >= Trace::DEFAULT_CAPACITY);
+    }
+
+    #[test]
+    fn overflow_counting_matches_record() {
+        let mut t = Trace::new(1);
+        assert!(t.will_store());
+        t.record(ev(1));
+        assert!(!t.will_store());
+        t.count_overflow();
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.total_events(), 2);
+        assert!(t.truncated());
     }
 }

@@ -7,8 +7,8 @@
 use proptest::prelude::*;
 
 use dapsp_congest::{
-    Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port, ReferenceSimulator,
-    Simulator, Topology,
+    Config, ExecutorKind, Inbox, Message, MetricsRecorder, NodeAlgorithm, NodeContext, Outbox,
+    Port, ReferenceSimulator, SharedObserver, Simulator, Topology,
 };
 
 /// A gossip token: (origin id, hop count). Sized like a real CONGEST
@@ -161,6 +161,87 @@ proptest! {
             let threaded = lossy(k);
             prop_assert_eq!(&sequential.outputs, &threaded.outputs, "outputs, k={}", k);
             prop_assert_eq!(sequential.stats, threaded.stats, "stats, k={}", k);
+        }
+    }
+
+    /// Four-way executor parity under every observability mode: Serial vs
+    /// Pool(2) vs Pool(4) vs the seed-verbatim `ReferenceSimulator`, on
+    /// random graphs × loss plans × observer attached/detached. Asserts
+    /// identical `RunStats`, identical metric streams whose column sums
+    /// decompose the stats, and identical (truncated) trace prefixes —
+    /// the tight capacity keeps the stored-prefix/counted-overflow split
+    /// itself part of the comparison.
+    #[test]
+    fn executors_match_reference_under_observation(
+        n in 2usize..24,
+        seed in any::<u64>(),
+        lossy in any::<bool>(),
+        observed in any::<bool>(),
+    ) {
+        let adj = random_connected_adj(n, seed, 1);
+        let topo = Topology::from_adjacency(adj).expect("valid");
+        let make_config = || {
+            let mut c = gossip_config(n).with_trace_capacity(64).with_phase("parity");
+            if lossy {
+                c = c.with_loss(0.25, seed);
+            }
+            c
+        };
+        let init = |_: &NodeContext<'_>| Gossip {
+            first_heard: vec![None; n],
+            queue: std::collections::VecDeque::new(),
+        };
+        // `reference: true` ignores the executor and runs the seed engine.
+        let run_one = |executor: ExecutorKind, reference: bool| {
+            let mut config = make_config().with_executor(executor);
+            if observed {
+                let rec = SharedObserver::new(MetricsRecorder::new());
+                config = config.with_observer(rec.observer());
+            }
+            if reference {
+                ReferenceSimulator::new(&topo, config, init).run().expect("reference runs")
+            } else {
+                Simulator::new(&topo, config, init).run().expect("pipeline runs")
+            }
+        };
+        let baseline = run_one(ExecutorKind::Serial, false);
+        if observed {
+            // The metric stream's columns decompose the aggregate stats.
+            let stream = baseline.metrics.as_ref().expect("recorder attached");
+            prop_assert_eq!(stream.len() as u64, baseline.stats.rounds + 1);
+            prop_assert_eq!(
+                stream.iter().map(|r| r.messages).sum::<u64>(),
+                baseline.stats.messages
+            );
+            prop_assert_eq!(stream.iter().map(|r| r.bits).sum::<u64>(), baseline.stats.bits);
+            prop_assert_eq!(
+                stream.iter().map(|r| r.dropped).sum::<u64>(),
+                baseline.stats.dropped
+            );
+        } else {
+            prop_assert!(baseline.metrics.is_none());
+        }
+        let candidates = [
+            (ExecutorKind::Pool { workers: 2 }, false),
+            (ExecutorKind::Pool { workers: 4 }, false),
+            (ExecutorKind::Serial, true),
+        ];
+        for (executor, reference) in candidates {
+            let other = run_one(executor, reference);
+            let label = if reference { "reference" } else { executor.name() };
+            prop_assert_eq!(&baseline.outputs, &other.outputs, "outputs vs {}", label);
+            prop_assert_eq!(baseline.stats, other.stats, "stats vs {}", label);
+            prop_assert_eq!(
+                &baseline.round_profile, &other.round_profile,
+                "profile vs {}", label
+            );
+            // RoundMetrics equality ignores wall-clock columns, so entire
+            // streams must match row for row (both None when unobserved).
+            prop_assert_eq!(&baseline.metrics, &other.metrics, "metrics vs {}", label);
+            let (bt, ot) = (baseline.trace.as_ref().unwrap(), other.trace.as_ref().unwrap());
+            prop_assert_eq!(bt.events(), ot.events(), "trace prefix vs {}", label);
+            prop_assert_eq!(bt.dropped(), ot.dropped(), "trace overflow vs {}", label);
+            prop_assert_eq!(bt.total_events(), ot.total_events(), "trace totals vs {}", label);
         }
     }
 

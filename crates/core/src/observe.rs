@@ -35,16 +35,24 @@
 //! # }
 //! ```
 
-use dapsp_congest::{Config, ObserverHandle};
+use dapsp_congest::{Config, ExecutorKind, ObserverHandle};
 
-/// An optional, borrowed observer to attach to each phase of a pipeline.
+/// An optional, borrowed observer to attach to each phase of a pipeline,
+/// plus the round-engine executor every phase should run on.
 ///
 /// `Copy`, so phase functions pass it along by value; the handle inside is
 /// only cloned (an `Arc` bump) at the moment a phase actually attaches it
 /// to a [`Config`].
+///
+/// The executor selection rides along because composite pipelines build
+/// their `Config`s internally: [`Obs::with_executor`] is how a caller runs
+/// every phase of, say, the APSP pipeline on the worker-pool executor.
+/// Results are bit-for-bit identical for any executor (the engine's core
+/// guarantee), so this is purely a wall-clock knob.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Obs<'a> {
     handle: Option<&'a ObserverHandle>,
+    executor: ExecutorKind,
 }
 
 impl<'a> Obs<'a> {
@@ -52,14 +60,30 @@ impl<'a> Obs<'a> {
     /// untouched (not even the phase label is set, keeping unobserved
     /// runs identical to pre-observer behavior).
     pub fn none() -> Self {
-        Obs { handle: None }
+        Obs {
+            handle: None,
+            executor: ExecutorKind::Serial,
+        }
     }
 
     /// Attach `handle` to every phase config this `Obs` is applied to.
     pub fn watching(handle: &'a ObserverHandle) -> Self {
         Obs {
             handle: Some(handle),
+            executor: ExecutorKind::Serial,
         }
+    }
+
+    /// Run every phase this `Obs` is applied to on `executor` (default
+    /// [`ExecutorKind::Serial`], which leaves configs untouched).
+    pub fn with_executor(mut self, executor: ExecutorKind) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// The executor phases will run on.
+    pub fn executor(&self) -> ExecutorKind {
+        self.executor
     }
 
     /// Whether an observer is attached.
@@ -67,9 +91,14 @@ impl<'a> Obs<'a> {
         self.handle.is_some()
     }
 
-    /// Labels `config` with `phase` and attaches the observer — or, when
-    /// nobody is watching, returns `config` unchanged.
+    /// Labels `config` with `phase`, attaches the observer, and selects
+    /// the executor. When nobody is watching and the executor is the
+    /// default serial one, `config` comes back unchanged.
     pub fn apply(&self, config: Config, phase: &str) -> Config {
+        let config = match self.executor {
+            ExecutorKind::Serial => config,
+            other => config.with_executor(other),
+        };
         match self.handle {
             Some(h) => config.with_observer(h.clone()).with_phase(phase),
             None => config,
@@ -101,5 +130,24 @@ mod tests {
         let config = obs.apply(Config::for_n(8), "apsp:waves");
         assert!(config.observer.is_some());
         assert_eq!(config.phase, "apsp:waves");
+    }
+
+    #[test]
+    fn executor_rides_along_with_and_without_observer() {
+        let pool = ExecutorKind::Pool { workers: 2 };
+        let unwatched = Obs::none().with_executor(pool);
+        assert_eq!(unwatched.executor(), pool);
+        let config = unwatched.apply(Config::for_n(8), "bfs");
+        assert_eq!(config.executor, pool);
+        assert!(config.observer.is_none());
+
+        let shared = SharedObserver::new(MetricsRecorder::new());
+        let handle = shared.observer();
+        let watched = Obs::watching(&handle).with_executor(pool);
+        let config = watched.apply(Config::for_n(8), "bfs");
+        assert_eq!(config.executor, pool);
+        assert!(config.observer.is_some());
+        // The default executor keeps unobserved configs byte-identical.
+        assert_eq!(Obs::none().apply(Config::for_n(8), "x"), Config::for_n(8));
     }
 }

@@ -1,0 +1,60 @@
+//! End-to-end executor parity at the pipeline layer: running the paper's
+//! composite algorithms (pebble APSP, S-SP) with `Obs::with_executor`
+//! selecting the worker-pool engine must reproduce the serial results —
+//! distances, next hops, statistics, and the full per-phase metric stream
+//! — bit for bit. This pins the plumbing from `crates/core` down through
+//! `Config::with_executor` into the pool's staged commit.
+
+use dapsp_congest::{ExecutorKind, MetricsRecorder, SharedObserver};
+use dapsp_core::{apsp, ssp, Obs};
+use dapsp_graph::generators;
+
+#[test]
+fn apsp_pipeline_matches_across_executors() {
+    let g = generators::watts_strogatz(24, 3, 0.1, 12);
+    let topo = g.to_topology();
+    let serial = apsp::run_on_obs(&topo, Obs::none()).expect("serial apsp");
+    for workers in [2, 4] {
+        let pooled = apsp::run_on_obs(
+            &topo,
+            Obs::none().with_executor(ExecutorKind::Pool { workers }),
+        )
+        .expect("pooled apsp");
+        assert_eq!(serial.distances, pooled.distances, "workers={workers}");
+        assert_eq!(serial.next_hop, pooled.next_hop, "workers={workers}");
+        assert_eq!(
+            serial.girth_candidate, pooled.girth_candidate,
+            "workers={workers}"
+        );
+        assert_eq!(serial.stats, pooled.stats, "workers={workers}");
+    }
+}
+
+#[test]
+fn ssp_pipeline_streams_identical_metrics_across_executors() {
+    let g = generators::random_tree(20, 7);
+    let topo = g.to_topology();
+    let sources = [0u32, 3, 11];
+
+    let record = |executor: ExecutorKind| {
+        let rec = SharedObserver::new(MetricsRecorder::new());
+        let handle = rec.observer();
+        let result = ssp::run_on_obs(
+            &topo,
+            &sources,
+            Obs::watching(&handle).with_executor(executor),
+        )
+        .expect("ssp runs");
+        (result, rec.with(|r| r.stream().to_vec()))
+    };
+
+    let (serial, serial_stream) = record(ExecutorKind::Serial);
+    let (pooled, pooled_stream) = record(ExecutorKind::Pool { workers: 3 });
+    assert_eq!(serial.dist, pooled.dist);
+    assert_eq!(serial.next_hop, pooled.next_hop);
+    assert_eq!(serial.d0, pooled.d0);
+    assert_eq!(serial.stats, pooled.stats);
+    // RoundMetrics equality ignores wall-clock columns: the per-phase
+    // streams ("bfs", "agg:max", "ssp:growth") must match row for row.
+    assert_eq!(serial_stream, pooled_stream);
+}

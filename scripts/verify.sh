@@ -15,15 +15,23 @@ cargo build --offline --release --workspace
 echo "==> cargo test"
 cargo test --offline --workspace -q
 
+echo "==> executor parity suites (serial vs pool vs reference)"
+# Redundant with the workspace run above, but named explicitly so a log
+# reader can see the determinism suites ran: the four-way engine
+# equivalence proptests and the pool lifecycle/stamp regressions.
+cargo test --offline -q -p dapsp-congest --test engine_equivalence --test engine_pipeline
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "==> cargo doc -D warnings"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps --quiet
 
-echo "==> engine_profile --smoke"
-# Exercises the observer-instrumented engines end to end; writes to
+echo "==> engine_profile --smoke --threads 1,2"
+# Exercises the observer-instrumented engines end to end, including the
+# worker-pool executor: pool rows assert threads spawn once per run, so a
+# spawn-per-round regression fails this step. Writes to
 # target/BENCH_profile_smoke.json, never the committed BENCH_profile.json.
-cargo run --offline --release -p dapsp-bench --bin engine_profile -- --smoke
+cargo run --offline --release -p dapsp-bench --bin engine_profile -- --smoke --threads 1,2
 
 echo "OK: build + tests + clippy + docs + profile smoke all green"
