@@ -27,7 +27,10 @@ struct Update {
 
 impl Message for Update {
     fn bit_size(&self) -> u32 {
-        bits_for_id(self.n as usize) + bits_for_count(self.dist as usize)
+        // Fixed-width fields sized by their domains: charging by the
+        // *current* distance value would be a variable-width encoding
+        // with no delimiter, under-counting the wire cost.
+        bits_for_id(self.n as usize) + bits_for_count(self.n as usize)
     }
 }
 
@@ -180,5 +183,32 @@ mod tests {
             distance_vector_eager(&g).unwrap_err(),
             CoreError::Disconnected
         );
+    }
+}
+
+#[cfg(test)]
+mod width_tests {
+    use super::*;
+    use dapsp_congest::Config;
+
+    /// An update is a fixed-width id plus a fixed-width distance over
+    /// `0..=n` — within the budget, and independent of the current value.
+    #[test]
+    fn update_width_fits_the_budget() {
+        for n in [2usize, 100, 1 << 16] {
+            let budget = Config::for_n(n).message_budget.unwrap();
+            let far = Update {
+                id: n as u32 - 1,
+                dist: n as u32 - 1,
+                n: n as u32,
+            };
+            assert!(far.bit_size() <= budget, "n={n}");
+            let near = Update { dist: 0, ..far };
+            assert_eq!(
+                near.bit_size(),
+                far.bit_size(),
+                "width must be domain-fixed"
+            );
+        }
     }
 }

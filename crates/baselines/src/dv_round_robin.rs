@@ -116,20 +116,24 @@ pub fn distance_vector(graph: &Graph) -> Result<BaselineResult, CoreError> {
     // The protocol has no termination detection; give it a budget that is
     // provably enough and measure the actual convergence round.
     let budget = (n as u64) * (n as u64 + 2) + 2 * n as u64;
-    let report = run_algorithm(graph, Config::for_n(n).with_max_rounds(budget + 10), |ctx| {
-        let me = ctx.node_id();
-        let mut dist = vec![INFINITY; n];
-        dist[me as usize] = 0;
-        DvNode {
-            n: n as u32,
-            dist,
-            known: vec![me],
-            cursor: vec![0; ctx.degree()],
-            budget,
-            rounds_done: 0,
-            last_change: 0,
-        }
-    })?;
+    let report = run_algorithm(
+        graph,
+        Config::for_n(n).with_max_rounds(budget + 10),
+        |ctx| {
+            let me = ctx.node_id();
+            let mut dist = vec![INFINITY; n];
+            dist[me as usize] = 0;
+            DvNode {
+                n: n as u32,
+                dist,
+                known: vec![me],
+                cursor: vec![0; ctx.degree()],
+                budget,
+                rounds_done: 0,
+                last_change: 0,
+            }
+        },
+    )?;
     let mut distances = DistanceMatrix::new(n);
     let mut converged = 0;
     for (v, (row, last_change)) in report.outputs.iter().enumerate() {
@@ -188,5 +192,26 @@ mod tests {
             distance_vector(&b.build()).unwrap_err(),
             CoreError::Disconnected
         );
+    }
+}
+
+#[cfg(test)]
+mod width_tests {
+    use super::*;
+    use dapsp_congest::Config;
+
+    /// A table entry is a fixed-width id plus a fixed-width distance —
+    /// within the budget for all n.
+    #[test]
+    fn entry_width_fits_the_budget() {
+        for n in [2usize, 100, 1 << 16] {
+            let budget = Config::for_n(n).message_budget.unwrap();
+            let entry = Entry {
+                id: n as u32 - 1,
+                dist: n as u32 - 1,
+                n: n as u32,
+            };
+            assert!(entry.bit_size() <= budget, "n={n}");
+        }
     }
 }

@@ -63,7 +63,12 @@ impl NodeAlgorithm for FloodNode {
         }
     }
 
-    fn on_round(&mut self, ctx: &NodeContext<'_>, inbox: &Inbox<EdgeRecord>, out: &mut Outbox<EdgeRecord>) {
+    fn on_round(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        inbox: &Inbox<EdgeRecord>,
+        out: &mut Outbox<EdgeRecord>,
+    ) {
         for (port, msg) in inbox.iter() {
             self.learn((msg.u, msg.v), Some(port));
         }
@@ -179,5 +184,25 @@ mod tests {
     fn rejects_disconnected() {
         let g = dapsp_graph::Graph::builder(3).build();
         assert_eq!(link_state(&g).unwrap_err(), CoreError::Disconnected);
+    }
+}
+
+#[cfg(test)]
+mod width_tests {
+    use super::*;
+    use dapsp_congest::Config;
+
+    /// An edge record is two fixed-width node ids — within the budget.
+    #[test]
+    fn edge_record_width_fits_the_budget() {
+        for n in [2usize, 100, 1 << 16] {
+            let budget = Config::for_n(n).message_budget.unwrap();
+            let record = EdgeRecord {
+                u: n as u32 - 2,
+                v: n as u32 - 1,
+                n: n as u32,
+            };
+            assert!(record.bit_size() <= budget, "n={n}");
+        }
     }
 }

@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use dapsp_core::{apsp, approx, girth, girth_approx, metrics, ssp, three_halves, two_vs_four};
+use dapsp_core::{approx, apsp, girth, girth_approx, metrics, ssp, three_halves, two_vs_four};
 use dapsp_graph::{generators, lowerbound};
 
 fn e1_apsp(c: &mut Criterion) {

@@ -68,7 +68,11 @@ fn main() {
         let fixed = ssp::run(g, sources).expect("repaired");
         let (paper_wrong, paper_unresolved) = wrong_count(&paper.dist, sources, g);
         let (fixed_wrong, fixed_unresolved) = wrong_count(&fixed.dist, sources, g);
-        assert_eq!(fixed_wrong + fixed_unresolved, 0, "{label}: repaired must be exact");
+        assert_eq!(
+            fixed_wrong + fixed_unresolved,
+            0,
+            "{label}: repaired must be exact"
+        );
         total_paper_defects += paper_wrong + paper_unresolved;
         rows.push(vec![
             label.clone(),

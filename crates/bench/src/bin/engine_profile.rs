@@ -31,8 +31,8 @@
 
 use dapsp_bench::print_table;
 use dapsp_bench::workloads::{
-    digest, engine_config, executor_for, family_topology, json_array, parse_bench_args,
-    ApspGossip, BfsFlood,
+    digest, engine_config, executor_for, family_topology, json_array, parse_bench_args, ApspGossip,
+    BfsFlood,
 };
 use dapsp_congest::{
     pool_workers_spawned, ExecutorKind, NodeAlgorithm, NodeContext, PhaseProfiler,

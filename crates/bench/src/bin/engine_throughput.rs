@@ -27,8 +27,8 @@
 
 use dapsp_bench::print_table;
 use dapsp_bench::workloads::{
-    digest, engine_config, executor_for, family_topology, json_array, parse_bench_args,
-    ApspGossip, BfsFlood,
+    digest, engine_config, executor_for, family_topology, json_array, parse_bench_args, ApspGossip,
+    BfsFlood,
 };
 use dapsp_congest::{
     pool_workers_spawned, ExecutorKind, MetricsRecorder, NodeAlgorithm, NodeContext,
@@ -128,8 +128,15 @@ where
             );
         }
         let name = kind.name();
-        assert_eq!(d, digest(&report.outputs), "{label}: {name}@{threads} output diverged");
-        assert_eq!(seed.stats, report.stats, "{label}: {name}@{threads} stats diverged");
+        assert_eq!(
+            d,
+            digest(&report.outputs),
+            "{label}: {name}@{threads} output diverged"
+        );
+        assert_eq!(
+            seed.stats, report.stats,
+            "{label}: {name}@{threads} stats diverged"
+        );
         rows.push(Row {
             label: label.into(),
             family,
@@ -195,7 +202,13 @@ fn main() {
         for (i, &n) in flood_sizes.iter().enumerate() {
             let topo = family_topology(family, n);
             let label = format!("bfs-flood/{family}/n={n}");
-            rows.extend(measure(&label, family, &topo, |_| BfsFlood::new(), &threads_list));
+            rows.extend(measure(
+                &label,
+                family,
+                &topo,
+                |_| BfsFlood::new(),
+                &threads_list,
+            ));
             if i == 0 {
                 let expected = rows.last().expect("rows recorded").stats;
                 verify_recorder(&label, &topo, |_| BfsFlood::new(), &expected);
@@ -204,7 +217,13 @@ fn main() {
         for (i, &n) in gossip_sizes.iter().enumerate() {
             let topo = family_topology(family, n);
             let label = format!("apsp-gossip/{family}/n={n}");
-            rows.extend(measure(&label, family, &topo, move |_| ApspGossip::new(n), &threads_list));
+            rows.extend(measure(
+                &label,
+                family,
+                &topo,
+                move |_| ApspGossip::new(n),
+                &threads_list,
+            ));
             if i == 0 {
                 let expected = rows.last().expect("rows recorded").stats;
                 verify_recorder(&label, &topo, move |_| ApspGossip::new(n), &expected);

@@ -78,7 +78,14 @@ fn main() {
     }
     print_table(
         "tadpoles: D ~ n, the min{·, n} regime (no speedup expected)",
-        &["instance", "g", "estimate", "iterations", "exact rounds", "approx rounds"],
+        &[
+            "instance",
+            "g",
+            "estimate",
+            "iterations",
+            "exact rounds",
+            "approx rounds",
+        ],
         &rows,
     );
     println!("OK: estimates within (1+eps)·g everywhere; speedup in the small-D regime.");

@@ -81,7 +81,10 @@ fn main() {
     );
 
     let split = |pts: &[(f64, f64)]| -> (Vec<f64>, Vec<f64>) {
-        (pts.iter().map(|p| p.0).collect(), pts.iter().map(|p| p.1).collect())
+        (
+            pts.iter().map(|p| p.0).collect(),
+            pts.iter().map(|p| p.1).collect(),
+        )
     };
     let (xs, ys) = split(&apsp_path);
     let apsp_slope = loglog_slope(&xs, &ys);
@@ -93,7 +96,11 @@ fn main() {
         "empirical growth exponents on paths (rounds ~ n^slope)",
         &["algorithm", "paper bound", "measured slope"],
         &[
-            vec!["Alg.1 APSP".into(), "Θ(n) → 1".into(), format!("{apsp_slope:.2}")],
+            vec![
+                "Alg.1 APSP".into(),
+                "Θ(n) → 1".into(),
+                format!("{apsp_slope:.2}"),
+            ],
             vec![
                 "sequential BFS".into(),
                 "Θ(n·D) → 2 on paths".into(),
@@ -106,8 +113,14 @@ fn main() {
             ],
         ],
     );
-    assert!(apsp_slope < 1.25, "APSP must scale ~linearly, got {apsp_slope:.2}");
-    assert!(seq_slope > 1.7, "sequential BFS must be ~quadratic on paths");
+    assert!(
+        apsp_slope < 1.25,
+        "APSP must scale ~linearly, got {apsp_slope:.2}"
+    );
+    assert!(
+        seq_slope > 1.7,
+        "sequential BFS must be ~quadratic on paths"
+    );
     assert!(dv_slope > 1.7, "round-robin DV must be ~quadratic on paths");
     println!("OK: shapes match the paper (APSP linear; naive baselines quadratic on paths).");
 }

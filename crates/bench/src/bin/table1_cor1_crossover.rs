@@ -13,7 +13,10 @@ use dapsp_graph::{generators, reference};
 fn main() {
     println!("# E9: Corollary 1 crossover, O(min{{D*sqrt(n), n/D + D}})\n");
     let n = 256;
-    println!("n = {n}, so the theoretical crossover sits near D ≈ n^(1/4) = {:.1}\n", (n as f64).powf(0.25));
+    println!(
+        "n = {n}, so the theoretical crossover sits near D ≈ n^(1/4) = {:.1}\n",
+        (n as f64).powf(0.25)
+    );
     let mut rows = Vec::new();
     let mut seen_sampled = false;
     let mut seen_domset = false;

@@ -45,7 +45,10 @@ fn main() {
                 measured.push(exact.stats.rounds as f64);
             }
             rows.push(vec![
-                format!("2-vs-3 k={k} ({})", if intersecting { "D=3" } else { "D=2" }),
+                format!(
+                    "2-vs-3 k={k} ({})",
+                    if intersecting { "D=3" } else { "D=2" }
+                ),
                 n.to_string(),
                 inst.expected_diameter.to_string(),
                 inst.bound.input_bits.to_string(),

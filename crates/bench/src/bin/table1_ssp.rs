@@ -39,7 +39,10 @@ fn main() {
     );
     let avg_inc = increments.iter().sum::<f64>() / increments.len() as f64;
     println!("marginal rounds per extra source: {avg_inc:.2} (theory: ~1)\n");
-    assert!(avg_inc < 2.0, "rounds must grow ~1 per source, got {avg_inc:.2}");
+    assert!(
+        avg_inc < 2.0,
+        "rounds must grow ~1 per source, got {avg_inc:.2}"
+    );
 
     // Sweep D at fixed |S| and n (double brooms).
     let mut rows = Vec::new();

@@ -93,9 +93,7 @@ fn main() {
     println!(
         "Alg.3 rounds exponent on the hard family: {fast_slope:.2}; exact: {exact_slope:.2} (theory 1.0)"
     );
-    println!(
-        "Alg.3 probe-count exponent on dense promise graphs: {probe_slope:.2} (theory ~0.5)"
-    );
+    println!("Alg.3 probe-count exponent on dense promise graphs: {probe_slope:.2} (theory ~0.5)");
     assert!(
         fast_slope < exact_slope,
         "Algorithm 3 must scale strictly better than exact diameter"

@@ -105,7 +105,10 @@ pub fn loglog_slope(xs: &[f64], ys: &[f64]) -> f64 {
     let my = ly.iter().sum::<f64>() / n;
     let cov: f64 = lx.iter().zip(&ly).map(|(x, y)| (x - mx) * (y - my)).sum();
     let var: f64 = lx.iter().map(|x| (x - mx) * (x - mx)).sum();
-    assert!(var > 0.0, "log-log fit needs at least two distinct x values");
+    assert!(
+        var > 0.0,
+        "log-log fit needs at least two distinct x values"
+    );
     cov / var
 }
 

@@ -291,8 +291,12 @@ mod tests {
 
     #[test]
     fn bench_args_parse_threads_and_paths() {
-        let to_vec = |args: &[&str]| -> Vec<String> { args.iter().map(|s| s.to_string()).collect() };
-        let parsed = parse_bench_args(&to_vec(&["--smoke", "--threads", "1,2,4", "out.json"]), &[1]);
+        let to_vec =
+            |args: &[&str]| -> Vec<String> { args.iter().map(|s| s.to_string()).collect() };
+        let parsed = parse_bench_args(
+            &to_vec(&["--smoke", "--threads", "1,2,4", "out.json"]),
+            &[1],
+        );
         assert!(parsed.smoke);
         assert_eq!(parsed.threads, vec![1, 2, 4]);
         assert_eq!(parsed.out_path.as_deref(), Some("out.json"));

@@ -105,6 +105,15 @@ impl ExecutorKind {
 pub struct Config {
     /// Per-edge, per-direction, per-round bandwidth `B` in bits.
     pub bandwidth_bits: u32,
+    /// The CONGEST contract `B = c·⌈log₂ n⌉ + O(1)` as an *enforced*
+    /// invariant: in builds with debug assertions, the engine panics if any
+    /// message's declared width exceeds this budget (both executors check
+    /// it at the single validation point every message passes through).
+    /// `None` disables the check. [`Config::for_n`] sets it to the
+    /// bandwidth, and [`Config::with_bandwidth_bits`] keeps the two in
+    /// sync; decouple them with [`Config::with_message_budget`] to assert
+    /// a budget tighter than the transport allows.
+    pub message_budget: Option<u32>,
     /// Hard cap on the number of rounds; exceeding it aborts the run with
     /// [`SimError::RoundLimitExceeded`](crate::SimError::RoundLimitExceeded).
     pub max_rounds: u64,
@@ -142,6 +151,7 @@ pub struct Config {
 impl PartialEq for Config {
     fn eq(&self, other: &Self) -> bool {
         self.bandwidth_bits == other.bandwidth_bits
+            && self.message_budget == other.message_budget
             && self.max_rounds == other.max_rounds
             && self.trace == other.trace
             && self.trace_capacity == other.trace_capacity
@@ -164,6 +174,7 @@ impl Config {
     pub fn for_n(n: usize) -> Self {
         Config {
             bandwidth_bits: 2 * bits_for_id(n) + 8,
+            message_budget: Some(2 * bits_for_id(n) + 8),
             max_rounds: 10_000u64.max(64 * n as u64),
             trace: false,
             trace_capacity: crate::trace::Trace::DEFAULT_CAPACITY,
@@ -176,8 +187,21 @@ impl Config {
     }
 
     /// Overrides the bandwidth `B` (bits per edge-direction per round).
+    ///
+    /// The debug-build message budget follows the bandwidth (workloads that
+    /// widen `B` for fixed-width tokens stay consistent); set a tighter
+    /// budget afterwards with [`Config::with_message_budget`].
     pub fn with_bandwidth_bits(mut self, bits: u32) -> Self {
         self.bandwidth_bits = bits;
+        self.message_budget = Some(bits);
+        self
+    }
+
+    /// Overrides the debug-build message-width budget independently of the
+    /// transport bandwidth (`None` disables the check). See
+    /// [`Config::message_budget`].
+    pub fn with_message_budget(mut self, budget: Option<u32>) -> Self {
+        self.message_budget = budget;
         self
     }
 
@@ -295,8 +319,14 @@ mod tests {
 
     #[test]
     fn with_threads_maps_onto_executors() {
-        assert_eq!(Config::for_n(8).with_threads(0).executor, ExecutorKind::Serial);
-        assert_eq!(Config::for_n(8).with_threads(1).executor, ExecutorKind::Serial);
+        assert_eq!(
+            Config::for_n(8).with_threads(0).executor,
+            ExecutorKind::Serial
+        );
+        assert_eq!(
+            Config::for_n(8).with_threads(1).executor,
+            ExecutorKind::Serial
+        );
         assert_eq!(
             Config::for_n(8).with_threads(4).executor,
             ExecutorKind::Pool { workers: 4 }
@@ -329,6 +359,24 @@ mod tests {
     }
 
     #[test]
+    fn message_budget_follows_bandwidth_until_decoupled() {
+        let n = 1 << 10;
+        let c = Config::for_n(n);
+        assert_eq!(c.message_budget, Some(c.bandwidth_bits));
+        let widened = c.clone().with_bandwidth_bits(64);
+        assert_eq!(widened.message_budget, Some(64));
+        let tight = widened.with_message_budget(Some(20));
+        assert_eq!(tight.bandwidth_bits, 64);
+        assert_eq!(tight.message_budget, Some(20));
+        assert_eq!(
+            Config::for_n(n).with_message_budget(None).message_budget,
+            None
+        );
+        // Budget participates in semantic equality.
+        assert_ne!(Config::for_n(n), Config::for_n(n).with_message_budget(None));
+    }
+
+    #[test]
     fn trace_capacity_implies_trace() {
         let c = Config::for_n(8).with_trace_capacity(3);
         assert!(c.trace);
@@ -338,18 +386,25 @@ mod tests {
 
     #[test]
     fn loss_plan_determinism_and_extremes() {
-        let plan = LossPlan { probability: 0.5, seed: 7 };
+        let plan = LossPlan {
+            probability: 0.5,
+            seed: 7,
+        };
         for round in 0..20 {
             assert_eq!(plan.drops(round, 3, 1), plan.drops(round, 3, 1));
         }
-        let never = LossPlan { probability: 0.0, seed: 7 };
-        let always = LossPlan { probability: 1.0, seed: 7 };
+        let never = LossPlan {
+            probability: 0.0,
+            seed: 7,
+        };
+        let always = LossPlan {
+            probability: 1.0,
+            seed: 7,
+        };
         assert!(!never.drops(1, 0, 0));
         assert!(always.drops(1, 0, 0));
         // Roughly half of many coordinates drop.
-        let hits = (0..1000)
-            .filter(|&r| plan.drops(r, 1, 0))
-            .count();
+        let hits = (0..1000).filter(|&r| plan.drops(r, 1, 0)).count();
         assert!((350..650).contains(&hits), "hits={hits}");
     }
 }

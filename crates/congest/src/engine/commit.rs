@@ -71,10 +71,33 @@ impl DupScratch {
     }
 }
 
+/// The per-message size discipline both executors enforce: the hard
+/// transport bandwidth, plus the debug-build `B = O(log n)` budget
+/// ([`Config::message_budget`](crate::Config::message_budget)). Copied out
+/// of the config once per run so workers don't borrow it.
+#[derive(Clone, Copy)]
+pub(crate) struct Limits {
+    pub(crate) bandwidth_bits: u32,
+    pub(crate) message_budget: Option<u32>,
+}
+
+impl Limits {
+    pub(crate) fn of(config: &crate::config::Config) -> Self {
+        Limits {
+            bandwidth_bits: config.bandwidth_bits,
+            message_budget: config.message_budget,
+        }
+    }
+}
+
 /// The fate of one validated outbox item.
 enum Verdict {
     /// Accepted: deliver to `to` on its port `to_port` next round.
-    Deliver { to: NodeId, to_port: Port, bits: u32 },
+    Deliver {
+        to: NodeId,
+        to_port: Port,
+        bits: u32,
+    },
     /// Discarded by the loss plan (accounted as a drop).
     Dropped,
 }
@@ -88,7 +111,7 @@ enum Verdict {
 #[allow(clippy::too_many_arguments)] // one validation check, described flat
 fn validate<M: Message>(
     topology: &Topology,
-    bandwidth_bits: u32,
+    limits: Limits,
     loss: &Option<LossPlan>,
     scratch: &mut DupScratch,
     v: NodeId,
@@ -112,14 +135,27 @@ fn validate<M: Message>(
         });
     }
     let bits = msg.bit_size();
-    if bits > bandwidth_bits {
+    if bits > limits.bandwidth_bits {
         return Err(SimError::BandwidthExceeded {
             node: v,
             port,
             round: send_round,
             message_bits: bits,
-            bandwidth_bits,
+            bandwidth_bits: limits.bandwidth_bits,
         });
+    }
+    // The CONGEST `B = O(log n)` contract as a debug-build assertion. It
+    // sits *after* the bandwidth check on purpose: a message too large for
+    // the transport still reports the typed error, while one that fits the
+    // transport but overruns the declared budget is a protocol bug and
+    // fails the test run loudly.
+    #[cfg(debug_assertions)]
+    if let Some(budget) = limits.message_budget {
+        assert!(
+            bits <= budget,
+            "message budget exceeded: node {v} sent {bits} bits on port {port} in round \
+             {send_round}, over the B = O(log n) budget of {budget} bits ({msg:?})"
+        );
     }
     if let Some(plan) = loss {
         if plan.drops(send_round, v, port) {
@@ -188,7 +224,7 @@ impl<M> Default for StagedShard<M> {
 #[allow(clippy::too_many_arguments)] // one outbox staging pass, described flat
 pub(crate) fn stage_outbox<M: Message>(
     topology: &Topology,
-    bandwidth_bits: u32,
+    limits: Limits,
     loss: &Option<LossPlan>,
     scratch: &mut DupScratch,
     v: NodeId,
@@ -198,16 +234,7 @@ pub(crate) fn stage_outbox<M: Message>(
 ) -> bool {
     scratch.begin_outbox();
     for (port, msg) in items.drain(..) {
-        match validate(
-            topology,
-            bandwidth_bits,
-            loss,
-            scratch,
-            v,
-            port,
-            &msg,
-            send_round,
-        ) {
+        match validate(topology, limits, loss, scratch, v, port, &msg, send_round) {
             Ok(Verdict::Deliver { to, to_port, bits }) => shard.entries.push(Staged::Deliver {
                 from: v,
                 to,
@@ -281,7 +308,13 @@ impl<M: Message> Core<'_, M> {
 
     /// Books one loss-plan drop.
     #[inline]
-    fn account_drop(&mut self, observer: &mut ObsGuard<'_>, send_round: u64, from: NodeId, port: Port) {
+    fn account_drop(
+        &mut self,
+        observer: &mut ObsGuard<'_>,
+        send_round: u64,
+        from: NodeId,
+        port: Port,
+    ) {
         self.stats.dropped += 1;
         if let Some(obs) = observer.as_deref_mut() {
             obs.on_drop(send_round, from, port);
@@ -304,10 +337,11 @@ impl<M: Message> Core<'_, M> {
     ) -> Result<(), SimError> {
         let send_round = self.round;
         scratch.begin_outbox();
+        let limits = Limits::of(&self.config);
         for (port, msg) in items.drain(..) {
             match validate(
                 self.topology,
-                self.config.bandwidth_bits,
+                limits,
                 &self.config.loss,
                 scratch,
                 v,

@@ -252,11 +252,10 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
                 // (dropping the executor's channels shuts them down before
                 // the scope's implicit join).
                 let topology = self.core.topology;
-                let bandwidth_bits = self.core.config.bandwidth_bits;
+                let limits = commit::Limits::of(&self.core.config);
                 let loss = self.core.config.loss;
                 std::thread::scope(move |scope| {
-                    let executor =
-                        PoolExecutor::new(scope, topology, bandwidth_bits, loss, nodes, workers);
+                    let executor = PoolExecutor::new(scope, topology, limits, loss, nodes, workers);
                     self.drive(executor, started)
                 })
             }
@@ -369,7 +368,12 @@ mod tests {
                 out.send_to_all(0..ctx.degree() as u32, Token);
             }
         }
-        fn on_round(&mut self, ctx: &NodeContext<'_>, inbox: &Inbox<Token>, out: &mut Outbox<Token>) {
+        fn on_round(
+            &mut self,
+            ctx: &NodeContext<'_>,
+            inbox: &Inbox<Token>,
+            out: &mut Outbox<Token>,
+        ) {
             if !inbox.is_empty() && self.seen_round.is_none() {
                 self.seen_round = Some(ctx.round());
                 out.send_to_all(0..ctx.degree() as u32, Token);
@@ -481,7 +485,14 @@ mod tests {
         let topo = path(2);
         let sim = Simulator::new(&topo, Config::for_n(2), |_| DoubleSender);
         let err = sim.run().unwrap_err();
-        assert!(matches!(err, SimError::DuplicateSend { node: 0, port: 0, .. }));
+        assert!(matches!(
+            err,
+            SimError::DuplicateSend {
+                node: 0,
+                port: 0,
+                ..
+            }
+        ));
     }
 
     struct BadPort;
@@ -502,7 +513,14 @@ mod tests {
         let topo = path(2);
         let sim = Simulator::new(&topo, Config::for_n(2), |_| BadPort);
         let err = sim.run().unwrap_err();
-        assert!(matches!(err, SimError::InvalidPort { node: 0, port: 9, degree: 1 }));
+        assert!(matches!(
+            err,
+            SimError::InvalidPort {
+                node: 0,
+                port: 9,
+                degree: 1
+            }
+        ));
     }
 
     /// Two nodes ping-pong forever; the round limit must fire.
@@ -544,7 +562,12 @@ mod tests {
     impl NodeAlgorithm for Timer {
         type Message = Token;
         type Output = bool;
-        fn on_round(&mut self, ctx: &NodeContext<'_>, inbox: &Inbox<Token>, out: &mut Outbox<Token>) {
+        fn on_round(
+            &mut self,
+            ctx: &NodeContext<'_>,
+            inbox: &Inbox<Token>,
+            out: &mut Outbox<Token>,
+        ) {
             if ctx.node_id() == 0 && ctx.round() == 5 {
                 self.fired = true;
                 out.send(0, Token);
@@ -604,6 +627,67 @@ mod tests {
         let n = 1000;
         assert!(2 * bits_for_id(n) <= Config::for_n(n).bandwidth_bits);
     }
+
+    /// A message that fits the transport but overruns the declared
+    /// `B = O(log n)` budget is a protocol bug: debug builds must fail the
+    /// run loudly at the validation point (serial executor).
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "message budget exceeded"))]
+    fn budget_overrun_panics_in_debug_builds_serial() {
+        let topo = path(3);
+        let cfg = Config::for_n(3)
+            .with_bandwidth_bits(64)
+            .with_message_budget(Some(0));
+        let sim = Simulator::new(&topo, cfg, |_| Flood { seen_round: None });
+        let _ = sim.run();
+    }
+
+    /// The same check must execute on the pool executor's worker-side
+    /// staging path: the sender sits in the last shard, so its outbox is
+    /// validated by a spawned worker, never on the engine thread.
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic)]
+    fn budget_overrun_panics_in_debug_builds_pool() {
+        struct LateSender {
+            me: NodeId,
+            sent: bool,
+        }
+        impl NodeAlgorithm for LateSender {
+            type Message = Token;
+            type Output = ();
+            fn on_round(&mut self, _: &NodeContext<'_>, _: &Inbox<Token>, out: &mut Outbox<Token>) {
+                if self.me == 7 && !self.sent {
+                    self.sent = true;
+                    out.send(0, Token);
+                }
+            }
+            fn is_active(&self) -> bool {
+                self.me == 7 && !self.sent
+            }
+            fn into_output(self, _: &NodeContext<'_>) {}
+        }
+        let topo = path(8);
+        let cfg = Config::for_n(8)
+            .with_bandwidth_bits(64)
+            .with_message_budget(Some(0))
+            .with_threads(2);
+        let sim = Simulator::new(&topo, cfg, |ctx| LateSender {
+            me: ctx.node_id(),
+            sent: false,
+        });
+        let _ = sim.run();
+    }
+
+    /// Disabling the budget (or keeping it at the bandwidth) lets the same
+    /// run pass in every build.
+    #[test]
+    fn budget_disabled_or_matching_bandwidth_is_clean() {
+        let topo = path(3);
+        for cfg in [Config::for_n(3).with_message_budget(None), Config::for_n(3)] {
+            let sim = Simulator::new(&topo, cfg, |_| Flood { seen_round: None });
+            assert!(sim.run().is_ok());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -643,7 +727,12 @@ mod obs_tests {
                 },
             );
         }
-        fn on_round(&mut self, ctx: &NodeContext<'_>, inbox: &Inbox<Tagged>, out: &mut Outbox<Tagged>) {
+        fn on_round(
+            &mut self,
+            ctx: &NodeContext<'_>,
+            inbox: &Inbox<Tagged>,
+            out: &mut Outbox<Tagged>,
+        ) {
             for (_, m) in inbox.iter() {
                 if !self.seen[m.origin as usize] {
                     self.seen[m.origin as usize] = true;
@@ -664,12 +753,7 @@ mod obs_tests {
 
     fn ring(n: usize) -> Topology {
         let adj = (0..n)
-            .map(|v| {
-                vec![
-                    ((v + n - 1) % n) as NodeId,
-                    ((v + 1) % n) as NodeId,
-                ]
-            })
+            .map(|v| vec![((v + n - 1) % n) as NodeId, ((v + 1) % n) as NodeId])
             .collect();
         Topology::from_adjacency(adj).unwrap()
     }
@@ -704,7 +788,10 @@ mod obs_tests {
             stream.iter().map(|r| r.messages).sum::<u64>(),
             report.stats.messages
         );
-        assert_eq!(stream.iter().map(|r| r.bits).sum::<u64>(), report.stats.bits);
+        assert_eq!(
+            stream.iter().map(|r| r.bits).sum::<u64>(),
+            report.stats.bits
+        );
         assert!(stream.iter().all(|r| &*r.phase == "gossip"));
         // Round 0 is every node's on_start flood: all nodes active, every
         // undirected ring edge carrying both directions.
@@ -736,7 +823,10 @@ mod obs_tests {
         // RoundMetrics equality ignores wall-clock columns, so the streams
         // must match row for row.
         assert_eq!(opt_report.metrics, seed_report.metrics);
-        assert_eq!(opt.with(|r| r.stream().to_vec()), seed.with(|r| r.stream().to_vec()));
+        assert_eq!(
+            opt.with(|r| r.stream().to_vec()),
+            seed.with(|r| r.stream().to_vec())
+        );
     }
 
     #[test]

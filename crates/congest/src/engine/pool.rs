@@ -40,7 +40,7 @@ use crate::error::SimError;
 use crate::node::{NodeContext, NodeId, Outbox, Port};
 use crate::topology::Topology;
 
-use super::commit::{stage_outbox, DupScratch, StagedShard};
+use super::commit::{stage_outbox, DupScratch, Limits, StagedShard};
 use super::{step_node, Core, Executor};
 
 /// Total worker threads ever spawned by pool executors, process-wide.
@@ -106,7 +106,7 @@ fn worker_loop<A: NodeAlgorithm>(
     topology: &Topology,
     n: usize,
     base: usize,
-    bandwidth_bits: u32,
+    limits: Limits,
     loss: Option<LossPlan>,
     cmd: Receiver<Command<A>>,
     reply: Sender<Reply<A>>,
@@ -130,7 +130,7 @@ fn worker_loop<A: NodeAlgorithm>(
                     n,
                     base,
                     round,
-                    bandwidth_bits,
+                    limits,
                     &loss,
                     &mut scratch,
                     &mut nodes,
@@ -170,7 +170,7 @@ fn step_shard<A: NodeAlgorithm>(
     n: usize,
     base: usize,
     round: u64,
-    bandwidth_bits: u32,
+    limits: Limits,
     loss: &Option<LossPlan>,
     scratch: &mut DupScratch,
     nodes: &mut [Option<A>],
@@ -184,12 +184,20 @@ fn step_shard<A: NodeAlgorithm>(
         .zip(outboxes.iter_mut())
         .enumerate()
     {
-        step_node(topology, n, round, (base + j) as NodeId, node, inbox, outbox);
+        step_node(
+            topology,
+            n,
+            round,
+            (base + j) as NodeId,
+            node,
+            inbox,
+            outbox,
+        );
     }
     for (j, outbox) in outboxes.iter_mut().enumerate() {
         if !stage_outbox(
             topology,
-            bandwidth_bits,
+            limits,
             loss,
             scratch,
             (base + j) as NodeId,
@@ -211,7 +219,7 @@ fn step_shard<A: NodeAlgorithm>(
 pub(crate) struct PoolExecutor<'t, 'scope, A: NodeAlgorithm> {
     topology: &'t Topology,
     n: usize,
-    bandwidth_bits: u32,
+    limits: Limits,
     loss: Option<LossPlan>,
     /// All node states before `start` hands the spawned workers their
     /// shards; shard 0's states afterwards.
@@ -253,7 +261,7 @@ where
     pub(crate) fn new<'env>(
         scope: &'scope Scope<'scope, 'env>,
         topology: &'t Topology,
-        bandwidth_bits: u32,
+        limits: Limits,
         loss: Option<LossPlan>,
         nodes: Vec<Option<A>>,
         workers: usize,
@@ -274,7 +282,7 @@ where
             let (reply_tx, reply_rx) = channel();
             SPAWNED.fetch_add(1, Ordering::Relaxed);
             let thread = scope.spawn(move || {
-                worker_loop::<A>(topology, n, base, bandwidth_bits, loss, cmd_rx, reply_tx);
+                worker_loop::<A>(topology, n, base, limits, loss, cmd_rx, reply_tx);
             });
             pool.push(Worker {
                 base,
@@ -288,7 +296,7 @@ where
         PoolExecutor {
             topology,
             n,
-            bandwidth_bits,
+            limits,
             loss,
             nodes,
             local_len,
@@ -386,7 +394,7 @@ where
             self.n,
             0,
             core.round,
-            self.bandwidth_bits,
+            self.limits,
             &self.loss,
             &mut self.scratch,
             &mut self.nodes,
@@ -425,7 +433,9 @@ where
         // order: exactly node-id order.
         core.merge_shard(&mut observer, &mut self.local_shard)?;
         for w in 0..self.workers.len() {
-            let mut shard = self.staged[w].take().expect("staged shard present after step");
+            let mut shard = self.staged[w]
+                .take()
+                .expect("staged shard present after step");
             let merged = core.merge_shard(&mut observer, &mut shard);
             self.spare_shards[w] = shard;
             merged?;

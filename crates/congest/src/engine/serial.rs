@@ -79,7 +79,15 @@ impl<A: NodeAlgorithm> Executor<A> for SerialExecutor<'_, A> {
             .zip(self.outboxes.iter_mut())
             .enumerate()
         {
-            step_node(self.topology, n, core.round, v as NodeId, node, inbox, outbox);
+            step_node(
+                self.topology,
+                n,
+                core.round,
+                v as NodeId,
+                node,
+                inbox,
+                outbox,
+            );
         }
     }
 
@@ -88,7 +96,12 @@ impl<A: NodeAlgorithm> Executor<A> for SerialExecutor<'_, A> {
         let handle = core.config.observer.clone();
         let mut observer = handle.as_ref().map(|h| h.lock());
         for (v, outbox) in self.outboxes.iter_mut().enumerate() {
-            core.commit_outbox(&mut observer, &mut self.scratch, v as NodeId, &mut outbox.items)?;
+            core.commit_outbox(
+                &mut observer,
+                &mut self.scratch,
+                v as NodeId,
+                &mut outbox.items,
+            )?;
         }
         Ok(())
     }

@@ -88,14 +88,14 @@ pub mod trace;
 pub use algorithm::NodeAlgorithm;
 pub use config::{Config, ExecutorKind, LossPlan};
 pub use engine::pool_workers_spawned;
+pub use engine::{Report, Simulator};
 pub use error::SimError;
-pub use message::{bits_for_count, bits_for_id, Message};
+pub use message::{bits_for_count, bits_for_id, Envelope, Message, Width};
 pub use node::{Inbox, NodeContext, NodeId, Outbox, Port};
 pub use obs::{
     EdgeCongestionProbe, FanOut, MetricsRecorder, Observer, ObserverHandle, PhaseProfiler,
     SharedObserver, WaveArrivalProbe,
 };
-pub use engine::{Report, Simulator};
 pub use reference::ReferenceSimulator;
 pub use stats::RunStats;
 pub use topology::Topology;

@@ -41,6 +41,84 @@ pub trait Message: Clone + std::fmt::Debug {
     }
 }
 
+/// An accumulator for the declared encoded width of a message, built from
+/// the same primitives the paper's `B = O(log n)` accounting uses: node
+/// ids ([`bits_for_id`]), hop counts ([`bits_for_count`]), and single tag
+/// bits for enum discriminants / presence flags.
+///
+/// Protocol kernels build a `Width` instead of hand-summing bit counts so
+/// every field of a multi-field message is visibly accounted for — the
+/// under-counting audit this type exists to make impossible.
+///
+/// # Examples
+///
+/// ```
+/// use dapsp_congest::Width;
+///
+/// // A wave announcement: 1 presence bit, one id, one hop count.
+/// let w = Width::ZERO.tag().id(1024).count(37);
+/// assert_eq!(w.bits(), 1 + 10 + 6);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Width(u32);
+
+impl Width {
+    /// The empty message.
+    pub const ZERO: Width = Width(0);
+
+    /// Total bits accumulated so far.
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Adds one tag bit (an enum discriminant or presence flag).
+    pub fn tag(self) -> Width {
+        Width(self.0 + 1)
+    }
+
+    /// Adds one node id drawn from `{0, …, n-1}`.
+    pub fn id(self, n: usize) -> Width {
+        Width(self.0 + bits_for_id(n))
+    }
+
+    /// Adds one count in `{0, …, max}` (inclusive).
+    pub fn count(self, max: usize) -> Width {
+        Width(self.0 + bits_for_count(max))
+    }
+
+    /// Adds `bits` raw bits (for payloads measured elsewhere).
+    pub fn raw(self, bits: u32) -> Width {
+        Width(self.0 + bits)
+    }
+}
+
+/// A typed payload wrapped with its declared encoded width and logical
+/// stream — the message type of the protocol-kernel layer.
+///
+/// Kernels produce payloads; the host wraps each one in an `Envelope`
+/// whose `width` was computed through [`Width`], so the engine's bandwidth
+/// and budget checks see an honest per-message bit count without the
+/// payload type itself having to implement [`Message`].
+#[derive(Clone, Debug)]
+pub struct Envelope<P> {
+    /// The protocol-level payload.
+    pub payload: P,
+    /// Declared encoded width in bits (see [`Width`]).
+    pub width: u32,
+    /// The logical stream this message serves (e.g. a BFS wave's root id).
+    pub stream: Option<u32>,
+}
+
+impl<P: Clone + std::fmt::Debug> Message for Envelope<P> {
+    fn bit_size(&self) -> u32 {
+        self.width
+    }
+
+    fn stream_id(&self) -> Option<u32> {
+        self.stream
+    }
+}
+
 /// Number of bits needed to encode one identifier from `{0, …, n-1}`.
 ///
 /// Returns 1 for `n <= 2` so that even degenerate graphs exchange nonzero
@@ -109,5 +187,35 @@ mod tests {
         assert_eq!(bits_for_id(0), 1);
         assert_eq!(bits_for_id(1), 1);
         assert_eq!(bits_for_count(0), 1);
+    }
+
+    #[test]
+    fn width_accumulates_the_primitives() {
+        assert_eq!(Width::ZERO.bits(), 0);
+        assert_eq!(Width::ZERO.tag().bits(), 1);
+        assert_eq!(Width::ZERO.id(1024).bits(), bits_for_id(1024));
+        assert_eq!(Width::ZERO.count(255).bits(), bits_for_count(255));
+        assert_eq!(Width::ZERO.raw(7).bits(), 7);
+        assert_eq!(
+            Width::ZERO.tag().id(100).count(50).raw(3).bits(),
+            1 + bits_for_id(100) + bits_for_count(50) + 3
+        );
+    }
+
+    #[test]
+    fn envelope_reports_declared_width_and_stream() {
+        let env = Envelope {
+            payload: 42u32,
+            width: Width::ZERO.tag().id(16).bits(),
+            stream: Some(3),
+        };
+        assert_eq!(env.bit_size(), 1 + bits_for_id(16));
+        assert_eq!(env.stream_id(), Some(3));
+        let silent = Envelope {
+            payload: (),
+            width: 1,
+            stream: None,
+        };
+        assert_eq!(silent.stream_id(), None);
     }
 }

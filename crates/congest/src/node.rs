@@ -90,10 +90,7 @@ impl<M> Inbox<M> {
 
     /// The message received on `port` this round, if any.
     pub fn from_port(&self, port: Port) -> Option<&M> {
-        self.items
-            .iter()
-            .find(|(p, _)| *p == port)
-            .map(|(_, m)| m)
+        self.items.iter().find(|(p, _)| *p == port).map(|(_, m)| m)
     }
 }
 

@@ -190,7 +190,9 @@ impl ObserverHandle {
     /// uncontended there; a poisoned lock (an observer panicked) is
     /// recovered rather than propagated.
     pub fn lock(&self) -> MutexGuard<'_, dyn Observer + 'static> {
-        self.0.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+        self.0
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 }
 
@@ -437,7 +439,9 @@ impl MetricsRecorder {
     }
 
     fn row(&mut self) -> &mut RoundMetrics {
-        self.stream.last_mut().expect("row exists while a run is active")
+        self.stream
+            .last_mut()
+            .expect("row exists while a run is active")
     }
 
     /// Folds the current round's edge loads into the open row and resets
@@ -696,10 +700,7 @@ impl EdgeCongestionProbe {
 
 impl Observer for EdgeCongestionProbe {
     fn on_run_start(&mut self, info: &RunInfo<'_>) {
-        self.active = self
-            .phase_filter
-            .as_deref()
-            .is_none_or(|f| f == info.phase);
+        self.active = self.phase_filter.as_deref().is_none_or(|f| f == info.phase);
         if self.active {
             self.load.clear();
             self.load.resize(info.directed_edges, 0);
@@ -816,10 +817,7 @@ impl WaveArrivalProbe {
 
 impl Observer for WaveArrivalProbe {
     fn on_run_start(&mut self, info: &RunInfo<'_>) {
-        self.active = self
-            .phase_filter
-            .as_deref()
-            .is_none_or(|f| f == info.phase);
+        self.active = self.phase_filter.as_deref().is_none_or(|f| f == info.phase);
     }
 
     fn on_message(&mut self, ev: &MessageEvent) {
@@ -968,7 +966,9 @@ mod tests {
         assert_eq!(probe.first_arrivals().len(), 2);
         assert_eq!(probe.node_collisions(), vec![(1, 1, 7, 9)]);
         // Stream 7 reached node 1 at round 1; with dist 1 the delay is 0.
-        let delay = probe.max_delay(|s, v| (s == 7 && v == 1).then_some(1)).unwrap();
+        let delay = probe
+            .max_delay(|s, v| (s == 7 && v == 1).then_some(1))
+            .unwrap();
         assert_eq!(delay, 0);
     }
 

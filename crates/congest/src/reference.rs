@@ -10,14 +10,14 @@
 
 use crate::algorithm::NodeAlgorithm;
 use crate::config::Config;
+use crate::engine::Report;
 use crate::error::SimError;
 use crate::message::Message;
 use crate::node::{Inbox, NodeContext, NodeId, Outbox};
 use crate::obs::{MessageEvent, RoundTiming, RunInfo};
-use crate::engine::Report;
 use crate::stats::RunStats;
-use crate::trace::{Event, Trace};
 use crate::topology::Topology;
+use crate::trace::{Event, Trace};
 
 /// The seed round engine: allocates per round, steps sequentially.
 ///
@@ -56,9 +56,7 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
                 Some(init(&ctx))
             })
             .collect();
-        let trace = config
-            .trace
-            .then(|| Trace::new(config.trace_capacity));
+        let trace = config.trace.then(|| Trace::new(config.trace_capacity));
         ReferenceSimulator {
             topology,
             config,

@@ -194,8 +194,8 @@ impl Topology {
     ///
     /// Panics if `v` or `p` is out of range.
     pub fn reverse_port(&self, v: NodeId, p: u32) -> u32 {
-        self.reverse_ports
-            [self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize][p as usize]
+        self.reverse_ports[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+            [p as usize]
     }
 
     /// The flat index of the directed edge leaving `v` through port `p`:
@@ -273,8 +273,7 @@ mod tests {
     #[test]
     fn csr_handles_isolated_nodes_between_edges() {
         // Node 1 is isolated; 0, 2, 3 form a path 0-2-3 with unsorted lists.
-        let t =
-            Topology::from_adjacency(vec![vec![2], vec![], vec![3, 0], vec![2]]).unwrap();
+        let t = Topology::from_adjacency(vec![vec![2], vec![], vec![3, 0], vec![2]]).unwrap();
         assert_eq!(t.num_edges(), 2);
         assert_eq!(t.degree(1), 0);
         assert_eq!(t.neighbors(1), &[] as &[NodeId]);

@@ -7,8 +7,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
 use dapsp_congest::{
-    pool_workers_spawned, Config, ExecutorKind, Inbox, Message, NodeAlgorithm, NodeContext,
-    Outbox, Port, SimError, Simulator, Topology,
+    pool_workers_spawned, Config, ExecutorKind, Inbox, Message, NodeAlgorithm, NodeContext, Outbox,
+    Port, SimError, Simulator, Topology,
 };
 
 /// `pool_workers_spawned` is process-wide, and the test harness runs this
@@ -90,7 +90,10 @@ fn pool_spawns_workers_once_per_run_not_per_round() {
         )
         .run()
         .unwrap();
-        assert!(report.stats.rounds >= 50, "enough rounds to expose per-round spawns");
+        assert!(
+            report.stats.rounds >= 50,
+            "enough rounds to expose per-round spawns"
+        );
         assert_eq!(
             pool_workers_spawned() - before,
             workers as u64 - 1,
@@ -116,14 +119,12 @@ fn same_round_commits_cannot_alias_duplicate_stamps() {
         ExecutorKind::Pool { workers: 2 },
         ExecutorKind::Pool { workers: 3 },
     ] {
-        let report = Simulator::new(
-            &topo,
-            Config::for_n(3).with_executor(executor),
-            |_| Chatter {
+        let report = Simulator::new(&topo, Config::for_n(3).with_executor(executor), |_| {
+            Chatter {
                 rounds: 4,
                 received: 0,
-            },
-        )
+            }
+        })
         .run()
         .unwrap_or_else(|e| panic!("{executor:?}: false duplicate? {e}"));
         // Sends happen in rounds 0..=3, so the middle node hears both
@@ -162,11 +163,20 @@ fn duplicate_detection_is_shard_local_but_still_fires() {
         ExecutorKind::Pool { workers: 2 },
         ExecutorKind::Pool { workers: 4 },
     ] {
-        let err = Simulator::new(&topo, Config::for_n(4).with_executor(executor), |_| DoubleAtTwo)
-            .run()
-            .unwrap_err();
+        let err = Simulator::new(&topo, Config::for_n(4).with_executor(executor), |_| {
+            DoubleAtTwo
+        })
+        .run()
+        .unwrap_err();
         assert!(
-            matches!(err, SimError::DuplicateSend { node: 2, port: 0, round: 1 }),
+            matches!(
+                err,
+                SimError::DuplicateSend {
+                    node: 2,
+                    port: 0,
+                    round: 1
+                }
+            ),
             "{executor:?}: {err:?}"
         );
         errors.push(err);
@@ -205,7 +215,12 @@ impl NodeAlgorithm for Wave {
             out.send_to_all(0..ctx.degree() as Port, CountsFormats);
         }
     }
-    fn on_round(&mut self, ctx: &NodeContext<'_>, inbox: &Inbox<CountsFormats>, out: &mut Outbox<CountsFormats>) {
+    fn on_round(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        inbox: &Inbox<CountsFormats>,
+        out: &mut Outbox<CountsFormats>,
+    ) {
         if !inbox.is_empty() && !self.seen {
             self.seen = true;
             out.send_to_all(0..ctx.degree() as Port, CountsFormats);

@@ -5,11 +5,11 @@
 
 use proptest::prelude::*;
 
+use dapsp_congest::obs::RoundMetrics;
 use dapsp_congest::{
     Config, Inbox, Message, MetricsRecorder, NodeAlgorithm, NodeContext, Outbox, Port,
     ReferenceSimulator, Report, RunStats, SharedObserver, Simulator, Topology,
 };
-use dapsp_congest::obs::RoundMetrics;
 
 /// A gossip token: (origin id, hop count), tagged with its origin stream.
 #[derive(Clone, Debug)]

@@ -4,8 +4,7 @@
 use proptest::prelude::*;
 
 use dapsp_congest::{
-    Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port, SimError, Simulator,
-    Topology,
+    Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port, SimError, Simulator, Topology,
 };
 
 /// A flood token carrying a configurable size.

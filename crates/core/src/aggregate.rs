@@ -7,15 +7,12 @@
 //! the total flows back down so *every* node knows it, as Definition 6
 //! requires.
 
-use dapsp_congest::{
-    bits_for_count, Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port, RunStats,
-    Topology,
-};
+use dapsp_congest::{Config, RunStats, Topology};
 use dapsp_graph::Graph;
 
 use crate::error::CoreError;
+use crate::kernel::{run_protocol_on, ConvergecastKernel};
 use crate::observe::Obs;
-use crate::runner::run_algorithm_on;
 use crate::tree::TreeKnowledge;
 
 /// The associative, commutative operations supported by the aggregation.
@@ -44,93 +41,14 @@ impl AggOp {
         }
     }
 
-    fn combine(self, a: u64, b: u64) -> u64 {
+    /// Combines two partial values.
+    pub fn combine(self, a: u64, b: u64) -> u64 {
         match self {
             AggOp::Max => a.max(b),
             AggOp::Min => a.min(b),
             AggOp::Sum => a + b,
             AggOp::Or => a | b,
         }
-    }
-}
-
-#[derive(Clone, Debug)]
-enum AggMsg {
-    Up(u64),
-    Down(u64),
-}
-
-impl Message for AggMsg {
-    fn bit_size(&self) -> u32 {
-        let v = match self {
-            AggMsg::Up(v) | AggMsg::Down(v) => *v,
-        };
-        1 + bits_for_count(v as usize)
-    }
-}
-
-struct AggNode {
-    op: AggOp,
-    acc: u64,
-    parent_port: Option<Port>,
-    children_ports: Vec<Port>,
-    missing_children: usize,
-    /// Set once the node must push `acc` up (or, at the root, start the
-    /// downward broadcast) next round.
-    ready: bool,
-    result: Option<u64>,
-}
-
-impl NodeAlgorithm for AggNode {
-    type Message = AggMsg;
-    type Output = u64;
-
-    fn on_start(&mut self, _ctx: &NodeContext<'_>, out: &mut Outbox<AggMsg>) {
-        if self.missing_children == 0 {
-            if let Some(parent) = self.parent_port {
-                out.send(parent, AggMsg::Up(self.acc));
-            } else {
-                // Root of a single-node tree: done immediately.
-                self.result = Some(self.acc);
-            }
-        }
-    }
-
-    fn on_round(&mut self, _ctx: &NodeContext<'_>, inbox: &Inbox<AggMsg>, out: &mut Outbox<AggMsg>) {
-        for (_port, msg) in inbox.iter() {
-            match msg {
-                AggMsg::Up(v) => {
-                    self.acc = self.op.combine(self.acc, *v);
-                    self.missing_children -= 1;
-                    if self.missing_children == 0 {
-                        self.ready = true;
-                    }
-                }
-                AggMsg::Down(v) => {
-                    self.result = Some(*v);
-                    for &c in &self.children_ports {
-                        out.send(c, AggMsg::Down(*v));
-                    }
-                }
-            }
-        }
-        if self.ready {
-            self.ready = false;
-            match self.parent_port {
-                Some(p) => out.send(p, AggMsg::Up(self.acc)),
-                None => {
-                    // Root: aggregation complete, broadcast downward.
-                    self.result = Some(self.acc);
-                    for &c in &self.children_ports {
-                        out.send(c, AggMsg::Down(self.acc));
-                    }
-                }
-            }
-        }
-    }
-
-    fn into_output(self, _ctx: &NodeContext<'_>) -> u64 {
-        self.result.unwrap_or(self.acc)
     }
 }
 
@@ -231,17 +149,8 @@ pub fn run_on_obs(
         ));
     }
     let config = obs.apply(Config::for_n(n), op.phase_label());
-    let report = run_algorithm_on(topology, config, |ctx| {
-        let v = ctx.node_id() as usize;
-        AggNode {
-            op,
-            acc: values[v],
-            parent_port: tree.parent_port[v],
-            children_ports: tree.children_ports[v].clone(),
-            missing_children: tree.children_ports[v].len(),
-            ready: false,
-            result: None,
-        }
+    let report = run_protocol_on(topology, config, |ctx| {
+        ConvergecastKernel::new(ctx, tree, values[ctx.node_id() as usize], op)
     })?;
     let value = report.outputs[tree.root as usize];
     debug_assert!(

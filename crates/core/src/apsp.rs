@@ -22,275 +22,28 @@
 //! also record *cycle candidates* (two wave receipts for the same root),
 //! which is exactly what Lemma 7 needs to compute the girth.
 
-use dapsp_congest::{
-    bits_for_count, bits_for_id, Config, Inbox, Message, NodeAlgorithm, NodeContext, ObserverHandle,
-    Outbox, Port, RunStats, Topology,
-};
+use dapsp_congest::{Config, NodeContext, ObserverHandle, RunStats, Topology};
 use dapsp_graph::{DistanceMatrix, Graph, INFINITY};
 
 use crate::bfs;
 use crate::error::CoreError;
+use crate::kernel::{run_protocol_on, Coupling, PebbleKernel, Stack, WaveKernel, WaveState};
 use crate::observe::Obs;
-use crate::runner::run_algorithm_on;
+use crate::runner::fold_outputs;
 use crate::tree::TreeKnowledge;
 
-/// A combined message: an optional pebble token and an optional BFS wave.
-///
-/// The pebble may have to cross an edge in the same round as some wave
-/// (Lemma 1 only de-conflicts waves from each other), so both ride in one
-/// `B`-bit message: a wave is two ids (`root`, `dist`), the pebble one bit.
-#[derive(Clone, Debug)]
-pub(crate) struct ApspMsg {
-    pebble: bool,
-    wave: Option<(u32, u32)>, // (root id, distance of the receiver)
-    n: u32,
-}
+/// The pebble-to-wave wiring of Algorithm 1: the round the pebble leaves
+/// a first-visited node (after the paper's one-slot wait, or immediately
+/// in the ablation), that node's own `BFS_v` starts — the staggering that
+/// Lemma 1 turns into a congestion-free wave schedule.
+struct StartWaveOnRelease;
 
-impl Message for ApspMsg {
-    fn bit_size(&self) -> u32 {
-        let mut bits = 1; // pebble flag
-        if let Some((_, dist)) = self.wave {
-            bits += bits_for_id(self.n as usize) + bits_for_count(dist as usize);
-        }
-        bits
-    }
-
-    /// A wave message belongs to its root's stream, so observers can check
-    /// Lemma 1 per wave; pure pebble hand-offs carry no stream.
-    fn stream_id(&self) -> Option<u32> {
-        self.wave.map(|(root, _)| root)
-    }
-}
-
-pub(crate) struct ApspNode {
-    n: u32,
-    /// Whether first visits wait one slot before starting their wave
-    /// (paper line 5). `false` only in the Lemma 1 ablation.
-    wait_one_slot: bool,
-    /// Waves stop expanding at this depth (`u32::MAX` = full BFS). Used by
-    /// the k-BFS-tree computation of Definition 7 / §8.
-    max_depth: u32,
-    // T_1 knowledge, injected from the phase-A BFS.
-    parent_port: Option<Port>,
-    children_ports: Vec<Port>,
-    // Pebble DFS state.
-    visited: bool,
-    start_wave_next_round: bool,
-    next_child: usize,
-    // Per-root BFS bookkeeping.
-    dist: Vec<u32>,
-    parent: Vec<Port>, // u32::MAX = none
-    girth_candidate: u32,
-}
-
-impl ApspNode {
-    fn new(n: u32, me: u32, tree: &TreeKnowledge, wait_one_slot: bool, max_depth: u32) -> Self {
-        let v = me as usize;
-        let mut dist = vec![INFINITY; n as usize];
-        dist[v] = 0;
-        ApspNode {
-            n,
-            wait_one_slot,
-            max_depth,
-            parent_port: tree.parent_port[v],
-            children_ports: tree.children_ports[v].clone(),
-            visited: false,
-            start_wave_next_round: false,
-            next_child: 0,
-            dist,
-            parent: vec![u32::MAX; n as usize],
-            girth_candidate: INFINITY,
+impl Coupling<PebbleKernel, WaveKernel> for StartWaveOnRelease {
+    fn couple(&mut self, _ctx: &NodeContext<'_>, pebble: &mut PebbleKernel, wave: &mut WaveKernel) {
+        if pebble.take_released() {
+            wave.schedule_start();
         }
     }
-
-    /// Where the pebble goes next: the next unvisited child, else back to
-    /// the parent (`None` when the traversal is over at the root).
-    fn pebble_exit(&mut self) -> Option<Port> {
-        if self.next_child < self.children_ports.len() {
-            let p = self.children_ports[self.next_child];
-            self.next_child += 1;
-            Some(p)
-        } else {
-            self.parent_port
-        }
-    }
-
-    fn first_visit(&mut self) {
-        debug_assert!(!self.visited, "pebble first visit happens once");
-        self.visited = true;
-        // Paper, line 5: wait one time slot before starting BFS_v.
-        self.start_wave_next_round = true;
-    }
-}
-
-/// Sends accumulated for one round, merged per port into single messages.
-struct Sends {
-    pebble_port: Option<Port>,
-    waves: Vec<(Port, u32, u32)>,
-}
-
-impl Sends {
-    fn flush(self, n: u32, out: &mut Outbox<ApspMsg>) {
-        let mut per_port: std::collections::BTreeMap<Port, ApspMsg> = std::collections::BTreeMap::new();
-        if let Some(p) = self.pebble_port {
-            per_port.insert(
-                p,
-                ApspMsg {
-                    pebble: true,
-                    wave: None,
-                    n,
-                },
-            );
-        }
-        for (p, root, dist) in self.waves {
-            let entry = per_port.entry(p).or_insert(ApspMsg {
-                pebble: false,
-                wave: None,
-                n,
-            });
-            if entry.wave.is_some() {
-                // Two waves on one edge in one round: Lemma 1 is violated
-                // (this happens only in the no-wait ablation). Emit the
-                // second wave as a separate message so the simulator
-                // reports the violation as a typed duplicate-send error.
-                out.send(
-                    p,
-                    ApspMsg {
-                        pebble: false,
-                        wave: Some((root, dist)),
-                        n,
-                    },
-                );
-                continue;
-            }
-            entry.wave = Some((root, dist));
-        }
-        for (p, msg) in per_port {
-            out.send(p, msg);
-        }
-    }
-}
-
-impl NodeAlgorithm for ApspNode {
-    type Message = ApspMsg;
-    type Output = ApspNodeOutput;
-
-    fn on_start(&mut self, ctx: &NodeContext<'_>, _out: &mut Outbox<ApspMsg>) {
-        if ctx.node_id() == 0 {
-            // The pebble starts at the root of T_1 (the paper's node 1).
-            self.first_visit();
-        }
-    }
-
-    fn on_round(&mut self, ctx: &NodeContext<'_>, inbox: &Inbox<ApspMsg>, out: &mut Outbox<ApspMsg>) {
-        let mut sends = Sends {
-            pebble_port: None,
-            waves: Vec::new(),
-        };
-        // 1. A first visit one round ago: start BFS_v now and release the
-        //    pebble (the combined travel guarantees of Lemma 1 start here).
-        if self.start_wave_next_round {
-            self.start_wave_next_round = false;
-            if self.max_depth >= 1 {
-                let me = ctx.node_id();
-                for p in 0..ctx.degree() as Port {
-                    sends.waves.push((p, me, 1));
-                }
-            }
-            sends.pebble_port = self.pebble_exit();
-        }
-        // 2. Incoming waves, grouped by root so simultaneous arrivals pick
-        //    the lowest port as parent and count the rest as cycle evidence.
-        let mut arrivals: Vec<(u32, u32, Port)> = Vec::new();
-        let mut pebble_arrived = false;
-        for (port, msg) in inbox.iter() {
-            if msg.pebble {
-                pebble_arrived = true;
-            }
-            if let Some((root, dist)) = msg.wave {
-                arrivals.push((root, dist, port));
-            }
-        }
-        arrivals.sort_unstable(); // by root, then dist, then port
-        let mut i = 0;
-        while i < arrivals.len() {
-            let root = arrivals[i].0;
-            let mut j = i;
-            while j < arrivals.len() && arrivals[j].0 == root {
-                j += 1;
-            }
-            let group = &arrivals[i..j];
-            let r = root as usize;
-            if self.dist[r] == INFINITY {
-                // Adopt: all simultaneous arrivals carry the same distance.
-                let (_, d, first_port) = group[0];
-                self.dist[r] = d;
-                self.parent[r] = first_port;
-                // Forward to every port that did not deliver this wave now
-                // (truncated at max_depth for the k-BFS variant).
-                if d < self.max_depth {
-                    let received: Vec<Port> = group.iter().map(|&(_, _, p)| p).collect();
-                    for p in 0..ctx.degree() as Port {
-                        if !received.contains(&p) {
-                            sends.waves.push((p, root, d + 1));
-                        }
-                    }
-                }
-            }
-            // Cycle candidates (Lemma 7): every non-parent arrival closes a
-            // walk of length dist + sender_dist + 1 through the root.
-            for &(_, d, port) in group {
-                let sender_dist = d - 1;
-                if port != self.parent[r] && sender_dist <= self.dist[r] {
-                    self.girth_candidate = self
-                        .girth_candidate
-                        .min(self.dist[r] + sender_dist + 1);
-                }
-            }
-            i = j;
-        }
-        // 3. The pebble.
-        if pebble_arrived {
-            if self.visited {
-                sends.pebble_port = self.pebble_exit();
-            } else if self.wait_one_slot {
-                self.first_visit();
-            } else {
-                // Ablation: skip the paper's one-slot wait and start the
-                // wave in the arrival round. Lemma 1's spacing is lost and
-                // the simulator will detect colliding waves.
-                self.visited = true;
-                if self.max_depth >= 1 {
-                    let me = ctx.node_id();
-                    for p in 0..ctx.degree() as Port {
-                        sends.waves.push((p, me, 1));
-                    }
-                }
-                sends.pebble_port = self.pebble_exit();
-            }
-        }
-        sends.flush(self.n, out);
-    }
-
-    fn is_active(&self) -> bool {
-        self.start_wave_next_round
-    }
-
-    fn into_output(self, _ctx: &NodeContext<'_>) -> ApspNodeOutput {
-        ApspNodeOutput {
-            dist: self.dist,
-            parent: self.parent,
-            girth_candidate: self.girth_candidate,
-        }
-    }
-}
-
-/// Per-node output of the wave phase.
-#[derive(Clone, Debug)]
-pub(crate) struct ApspNodeOutput {
-    dist: Vec<u32>,
-    parent: Vec<Port>,
-    girth_candidate: u32,
 }
 
 /// The result of a distributed APSP computation.
@@ -535,8 +288,14 @@ fn run_with_wait(graph: &Graph, wait_one_slot: bool) -> Result<ApspResult, CoreE
     if graph.num_nodes() == 0 {
         return Err(CoreError::EmptyGraph);
     }
-    run_phases(&graph.to_topology(), wait_one_slot, u32::MAX, false, Obs::none())
-        .map(|(result, _)| result)
+    run_phases(
+        &graph.to_topology(),
+        wait_one_slot,
+        u32::MAX,
+        false,
+        Obs::none(),
+    )
+    .map(|(result, _)| result)
 }
 
 /// The shared two-phase pipeline behind every Algorithm 1 variant:
@@ -564,8 +323,12 @@ fn run_phases(
     if profile {
         config = config.with_round_profile();
     }
-    let report = run_algorithm_on(topology, config, |ctx| {
-        ApspNode::new(n as u32, ctx.node_id(), &t1.tree, wait_one_slot, max_depth)
+    let report = run_protocol_on(topology, config, |ctx| {
+        Stack::coupled(
+            PebbleKernel::new(ctx, &t1.tree, wait_one_slot),
+            WaveKernel::all_roots(ctx, max_depth),
+            StartWaveOnRelease,
+        )
     })?;
     let round_profile = profile.then(|| report.round_profile.clone());
     Ok((assemble(topology, t1, report), round_profile))
@@ -575,23 +338,26 @@ fn run_phases(
 fn assemble(
     topology: &Topology,
     t1: crate::bfs::BfsResult,
-    report: dapsp_congest::Report<ApspNodeOutput>,
+    report: dapsp_congest::Report<((), WaveState)>,
 ) -> ApspResult {
     let n = topology.num_nodes();
-    let mut distances = DistanceMatrix::new(n);
-    let mut next_hop = vec![vec![None; n]; n];
-    let mut girth_candidate = INFINITY;
-    let mut local_girth_candidates = vec![INFINITY; n];
-    for (v, out) in report.outputs.into_iter().enumerate() {
-        distances.set_row(v as u32, &out.dist);
-        for (r, &p) in out.parent.iter().enumerate() {
-            if p != u32::MAX {
-                next_hop[v][r] = Some(topology.neighbor_at(v as u32, p));
+    let seed = (
+        DistanceMatrix::new(n),
+        vec![vec![None; n]; n],
+        INFINITY,
+        vec![INFINITY; n],
+    );
+    let (distances, next_hop, girth_candidate, local_girth_candidates) =
+        fold_outputs(report.outputs, seed, |acc, v, (_, state)| {
+            acc.0.set_row(v, &state.dist);
+            for (r, &p) in state.parent.iter().enumerate() {
+                if p != u32::MAX {
+                    acc.1[v as usize][r] = Some(topology.neighbor_at(v, p));
+                }
             }
-        }
-        local_girth_candidates[v] = out.girth_candidate;
-        girth_candidate = girth_candidate.min(out.girth_candidate);
-    }
+            acc.3[v as usize] = state.girth_candidate;
+            acc.2 = acc.2.min(state.girth_candidate);
+        });
     let mut stats = t1.stats;
     stats.absorb_sequential(&report.stats);
     ApspResult {

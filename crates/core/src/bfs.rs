@@ -6,58 +6,19 @@
 //! reports back so parents learn their children. Nodes also count how often
 //! the wave reached them; a count above one at any node witnesses a cycle,
 //! which is exactly the paper's Claim 1 tree test.
+//!
+//! The state machine is the shared [`WaveKernel`] in single-root,
+//! adoption-announcing configuration; this module only validates input and
+//! folds the per-node [`WaveState`]s into a [`BfsResult`].
 
-use dapsp_congest::{
-    bits_for_count, Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port, Topology,
-};
+use dapsp_congest::{Config, Port, Topology};
 use dapsp_graph::{Graph, INFINITY};
 
 use crate::error::CoreError;
+use crate::kernel::{run_protocol_on, WaveKernel, WaveState};
 use crate::observe::Obs;
-use crate::runner::run_algorithm_on;
+use crate::runner::fold_outputs;
 use crate::tree::TreeKnowledge;
-
-/// Messages of the single-root BFS.
-#[derive(Clone, Debug)]
-pub(crate) enum BfsMsg {
-    /// "You are at distance `dist` from the root (if you adopt me)."
-    Wave {
-        /// The distance the receiver would be at.
-        dist: u32,
-    },
-    /// "I adopted you as my parent."
-    Adopt,
-}
-
-impl Message for BfsMsg {
-    fn bit_size(&self) -> u32 {
-        match self {
-            BfsMsg::Wave { dist } => 1 + bits_for_count(*dist as usize),
-            BfsMsg::Adopt => 1,
-        }
-    }
-}
-
-/// Per-node state of the BFS.
-pub(crate) struct BfsNode {
-    root: u32,
-    dist: Option<u32>,
-    parent_port: Option<Port>,
-    children_ports: Vec<Port>,
-    wave_receipts: u32,
-}
-
-impl BfsNode {
-    pub(crate) fn new(root: u32) -> Self {
-        BfsNode {
-            root,
-            dist: None,
-            parent_port: None,
-            children_ports: Vec::new(),
-            wave_receipts: 0,
-        }
-    }
-}
 
 /// What each node knows when the BFS quiesces.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -74,53 +35,14 @@ pub struct BfsNodeOutput {
     pub wave_receipts: u32,
 }
 
-impl NodeAlgorithm for BfsNode {
-    type Message = BfsMsg;
-    type Output = BfsNodeOutput;
-
-    fn on_start(&mut self, ctx: &NodeContext<'_>, out: &mut Outbox<BfsMsg>) {
-        if ctx.node_id() == self.root {
-            self.dist = Some(0);
-            out.send_to_all(0..ctx.degree() as Port, BfsMsg::Wave { dist: 1 });
-        }
-    }
-
-    fn on_round(&mut self, ctx: &NodeContext<'_>, inbox: &Inbox<BfsMsg>, out: &mut Outbox<BfsMsg>) {
-        let mut wave_ports: Vec<(Port, u32)> = Vec::new();
-        for (port, msg) in inbox.iter() {
-            match msg {
-                BfsMsg::Wave { dist } => {
-                    self.wave_receipts += 1;
-                    wave_ports.push((port, *dist));
-                }
-                BfsMsg::Adopt => self.children_ports.push(port),
-            }
-        }
-        if self.dist.is_none() {
-            if let Some(&(first_port, dist)) = wave_ports.first() {
-                // Adopt the lowest port (all simultaneous arrivals carry
-                // the same distance in a single-root BFS) and forward the
-                // wave immediately, per Claim 1: to every neighbor that
-                // did not deliver it this round.
-                self.dist = Some(dist);
-                self.parent_port = Some(first_port);
-                let received: Vec<Port> = wave_ports.iter().map(|(p, _)| *p).collect();
-                for p in 0..ctx.degree() as Port {
-                    if !received.contains(&p) {
-                        out.send(p, BfsMsg::Wave { dist: dist + 1 });
-                    }
-                }
-                out.send(first_port, BfsMsg::Adopt);
-            }
-        }
-    }
-
-    fn into_output(self, _ctx: &NodeContext<'_>) -> BfsNodeOutput {
+impl BfsNodeOutput {
+    /// Reads the single-root slot of a wave kernel's final state.
+    fn from_wave(state: WaveState) -> Self {
         BfsNodeOutput {
-            dist: self.dist,
-            parent_port: self.parent_port,
-            children_ports: self.children_ports,
-            wave_receipts: self.wave_receipts,
+            dist: (state.dist[0] != INFINITY).then_some(state.dist[0]),
+            parent_port: (state.parent[0] != u32::MAX).then_some(state.parent[0]),
+            children_ports: state.children_ports,
+            wave_receipts: state.receipts,
         }
     }
 }
@@ -227,35 +149,32 @@ pub fn run_on_obs(topology: &Topology, root: u32, obs: Obs<'_>) -> Result<BfsRes
         });
     }
     let config = obs.apply(Config::for_n(n), "bfs");
-    let report = run_algorithm_on(topology, config, |_| BfsNode::new(root))?;
-    let mut dist = vec![INFINITY; n];
-    let mut parent_port = vec![None; n];
-    let mut children_ports = vec![Vec::new(); n];
-    let mut receipts = vec![0; n];
-    let mut cycle_detected = false;
-    for (v, out) in report.outputs.iter().enumerate() {
-        if let Some(d) = out.dist {
-            dist[v] = d;
-        }
-        parent_port[v] = out.parent_port;
-        children_ports[v] = out.children_ports.clone();
-        receipts[v] = out.wave_receipts;
-        if out.wave_receipts > 1 {
-            cycle_detected = true;
-        }
-    }
-    Ok(BfsResult {
+    let report = run_protocol_on(topology, config, |ctx| WaveKernel::single_root(ctx, root))?;
+    let seed = BfsResult {
         root,
-        dist,
+        dist: vec![INFINITY; n],
         tree: TreeKnowledge {
             root,
-            parent_port,
-            children_ports,
+            parent_port: vec![None; n],
+            children_ports: vec![Vec::new(); n],
         },
-        cycle_detected,
-        receipts,
+        cycle_detected: false,
+        receipts: vec![0; n],
         stats: report.stats,
-    })
+    };
+    Ok(fold_outputs(report.outputs, seed, |acc, v, state| {
+        let out = BfsNodeOutput::from_wave(state);
+        let v = v as usize;
+        if let Some(d) = out.dist {
+            acc.dist[v] = d;
+        }
+        acc.tree.parent_port[v] = out.parent_port;
+        acc.tree.children_ports[v] = out.children_ports;
+        acc.receipts[v] = out.wave_receipts;
+        if out.wave_receipts > 1 {
+            acc.cycle_detected = true;
+        }
+    }))
 }
 
 #[cfg(test)]
@@ -317,7 +236,11 @@ mod tests {
 
     #[test]
     fn claim1_tree_check() {
-        assert!(!run(&generators::balanced_tree(3, 3), 0).unwrap().cycle_detected);
+        assert!(
+            !run(&generators::balanced_tree(3, 3), 0)
+                .unwrap()
+                .cycle_detected
+        );
         assert!(!run(&generators::path(6), 3).unwrap().cycle_detected);
         assert!(run(&generators::cycle(6), 0).unwrap().cycle_detected);
         assert!(run(&generators::complete(4), 0).unwrap().cycle_detected);
@@ -359,6 +282,7 @@ mod tests {
 #[cfg(test)]
 mod fault_tests {
     use super::*;
+    use crate::kernel::ProtocolHost;
     use dapsp_congest::Config;
     use dapsp_graph::generators;
 
@@ -370,10 +294,16 @@ mod fault_tests {
         let g = generators::path(12);
         let topo = g.to_topology();
         let cfg = Config::for_n(12).with_loss(1.0, 3);
-        let sim = dapsp_congest::Simulator::new(&topo, cfg, |_| BfsNode::new(0));
+        let sim = dapsp_congest::Simulator::new(&topo, cfg, |ctx| {
+            ProtocolHost::new(WaveKernel::single_root(ctx, 0))
+        });
         let report = sim.run().unwrap();
         // The root knows itself; every downstream message was dropped.
-        let reached = report.outputs.iter().filter(|o| o.dist.is_some()).count();
+        let reached = report
+            .outputs
+            .iter()
+            .filter(|state| state.dist[0] != INFINITY)
+            .count();
         assert_eq!(reached, 1);
         assert!(report.stats.dropped > 0);
     }
@@ -386,7 +316,9 @@ mod fault_tests {
         let g = generators::complete(10);
         let topo = g.to_topology();
         let cfg = Config::for_n(10).with_loss(0.3, 5);
-        let sim = dapsp_congest::Simulator::new(&topo, cfg, |_| BfsNode::new(0));
+        let sim = dapsp_congest::Simulator::new(&topo, cfg, |ctx| {
+            ProtocolHost::new(WaveKernel::single_root(ctx, 0))
+        });
         let report = sim.run().unwrap();
         assert!(report.stats.dropped > 0, "loss must be visible in stats");
     }

@@ -38,11 +38,16 @@ struct DomMsg {
     need_plus_one: u32,
     /// Min distance to a chosen dominator, capped at `k + 1` (= "too far").
     cover: u32,
+    /// The parameter `k`, fixing both fields' domain `0..=k+1`.
+    k: u32,
 }
 
 impl Message for DomMsg {
     fn bit_size(&self) -> u32 {
-        bits_for_count(self.need_plus_one as usize) + bits_for_count(self.cover as usize)
+        // Both fields are fixed-width over `0..=k+1`; charging by the
+        // current values would under-count (a decoder cannot parse two
+        // concatenated variable-width fields without delimiters).
+        2 * bits_for_count(self.k as usize + 1)
     }
 }
 
@@ -90,6 +95,7 @@ impl DomNode {
         DomMsg {
             need_plus_one,
             cover,
+            k,
         }
     }
 
@@ -115,7 +121,12 @@ impl NodeAlgorithm for DomNode {
         }
     }
 
-    fn on_round(&mut self, _ctx: &NodeContext<'_>, inbox: &Inbox<DomMsg>, out: &mut Outbox<DomMsg>) {
+    fn on_round(
+        &mut self,
+        _ctx: &NodeContext<'_>,
+        inbox: &Inbox<DomMsg>,
+        out: &mut Outbox<DomMsg>,
+    ) {
         for (_port, msg) in inbox.iter() {
             self.absorb(msg);
         }
@@ -321,7 +332,11 @@ mod tests {
         let t1 = bfs::run(&g, 0).unwrap();
         let dom = run(&g, &t1.tree, 3).unwrap();
         // Convergecast is one sweep (≤ depth+2), the size aggregation two.
-        assert!(dom.stats.rounds <= 3 * 40 + 10, "rounds={}", dom.stats.rounds);
+        assert!(
+            dom.stats.rounds <= 3 * 40 + 10,
+            "rounds={}",
+            dom.stats.rounds
+        );
     }
 
     #[test]
@@ -440,7 +455,10 @@ mod partition_tests {
             let oracle = reference::apsp(&g);
             for v in 0..g.num_nodes() as u32 {
                 let dom = p.dominator_of[v as usize];
-                assert!(p.dominating.members[dom as usize], "assigned to a dominator");
+                assert!(
+                    p.dominating.members[dom as usize],
+                    "assigned to a dominator"
+                );
                 assert_eq!(
                     Some(p.distance_to_dominator[v as usize]),
                     oracle.get(v, dom),
@@ -463,6 +481,38 @@ mod partition_tests {
         for d in p.dominating.member_ids() {
             assert_eq!(p.dominator_of[d as usize], d);
             assert_eq!(p.distance_to_dominator[d as usize], 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod width_tests {
+    use super::*;
+
+    /// Worst-case summaries fit the budget `B = 2⌈log₂ n⌉ + 8` even for
+    /// `k = n`, and the width is fixed by the domain `0..=k+1`, not by the
+    /// current field values.
+    #[test]
+    fn worst_case_width_fits_the_budget() {
+        for n in [4usize, 100, 1 << 16] {
+            let budget = Config::for_n(n).message_budget.unwrap();
+            let k = n as u32;
+            let worst = DomMsg {
+                need_plus_one: k + 1,
+                cover: k + 1,
+                k,
+            };
+            assert!(worst.bit_size() <= budget, "n={n}");
+            let idle = DomMsg {
+                need_plus_one: 0,
+                cover: 0,
+                k,
+            };
+            assert_eq!(
+                idle.bit_size(),
+                worst.bit_size(),
+                "width must be domain-fixed"
+            );
         }
     }
 }

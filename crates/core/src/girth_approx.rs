@@ -51,7 +51,13 @@ fn probe(
     let candidates: Vec<u64> = sp
         .local_girth_candidates
         .iter()
-        .map(|&c| if c == INFINITY { sentinel } else { u64::from(c) })
+        .map(|&c| {
+            if c == INFINITY {
+                sentinel
+            } else {
+                u64::from(c)
+            }
+        })
         .collect();
     let min = aggregate::run_on(topology, tree, &candidates, AggOp::Min)?;
     stats.absorb_sequential(&min.stats);

@@ -1,0 +1,72 @@
+//! The wave-kernel protocol layer: the paper's primitives as composable,
+//! reusable per-node state machines.
+//!
+//! Every algorithm in the paper is assembled from a tiny toolbox — BFS
+//! waves with start delays and ID priority (Algorithms 1–2), a pebble
+//! walking a DFS of `T_1`, and convergecast/broadcast aggregation over
+//! `T_1` (Lemmas 2–7). This module makes that composition explicit in the
+//! code:
+//!
+//! * [`Protocol`] — the per-node interface kernels implement:
+//!   `init` / `on_message` / `on_round_end` over a typed payload, plus a
+//!   declared per-payload [`Width`](dapsp_congest::Width) so the engine's
+//!   `B = O(log n)` budget check sees an honest bit count for every
+//!   message.
+//! * [`WaveKernel`] — BFS wave growth: single- or all-root, immediate
+//!   forwarding (Claim 1) or per-port ID-priority queues (Algorithm 2),
+//!   optional depth truncation (k-BFS, Definition 7), adoption
+//!   announcements, wave-receipt counting, and Lemma 7 cycle-candidate
+//!   recording.
+//! * [`PebbleKernel`] — the DFS token over a known tree, with the paper's
+//!   one-slot wait at first visits (line 5 of Algorithm 1) or the ablated
+//!   immediate start.
+//! * [`ConvergecastKernel`] — aggregate up `T_1`, broadcast the total
+//!   down (Definition 6).
+//! * [`Stack`] / [`compose!`](crate::compose) — run several kernels on
+//!   one node, multiplexing their payloads into one
+//!   [`Envelope`](dapsp_congest::Envelope) per edge per round with a
+//!   presence tag per kernel; a [`Coupling`] lets one kernel's events
+//!   drive another (the pebble's release starting `BFS_v` is exactly such
+//!   a coupling).
+//!
+//! The concrete algorithms (`bfs`, `apsp`, `ssp`, `aggregate`, …) are thin
+//! shells over these kernels: input validation, phase labels, and
+//! result-folding — no per-module message enums or state machines.
+
+mod convergecast;
+mod pebble;
+mod protocol;
+mod stack;
+mod wave;
+
+pub use convergecast::{CastMsg, ConvergecastKernel};
+pub use pebble::{PebbleKernel, Token};
+pub use protocol::{Protocol, ProtocolHost, Tx};
+pub use stack::{Both, Coupling, Stack};
+pub use wave::{WaveKernel, WaveMsg, WaveState};
+
+use dapsp_congest::{Config, NodeContext, Report, Topology};
+
+use crate::error::CoreError;
+use crate::runner::run_algorithm_on;
+
+/// Runs a [`Protocol`] over every node of `topology` to quiescence,
+/// wrapping each node's kernel in a [`ProtocolHost`] (which turns payloads
+/// into width-checked [`Envelope`](dapsp_congest::Envelope)s).
+///
+/// # Errors
+///
+/// Same as [`run_algorithm_on`]: empty topologies are rejected and
+/// simulator failures propagate as [`CoreError::Sim`].
+pub fn run_protocol_on<P, F>(
+    topology: &Topology,
+    config: Config,
+    mut init: F,
+) -> Result<Report<P::Output>, CoreError>
+where
+    P: Protocol + Send,
+    P::Payload: Send,
+    F: FnMut(&NodeContext<'_>) -> P,
+{
+    run_algorithm_on(topology, config, |ctx| ProtocolHost::new(init(ctx)))
+}

@@ -1,0 +1,174 @@
+//! The [`Protocol`] trait and the host adapter that runs a protocol as a
+//! [`NodeAlgorithm`] over width-declaring [`Envelope`]s.
+
+use std::fmt::Debug;
+
+use dapsp_congest::{Envelope, Inbox, NodeAlgorithm, NodeContext, Outbox, Port, Width};
+
+/// A per-node protocol kernel: the state machine interface the wave-kernel
+/// layer builds algorithms from.
+///
+/// `Protocol` differs from [`NodeAlgorithm`] in two ways that make kernels
+/// composable:
+///
+/// * it exchanges *payloads*, not messages — the width of every payload is
+///   declared through [`width`](Self::width), and the host (or an enclosing
+///   [`Stack`](super::Stack)) wraps payloads into [`Envelope`]s, so the
+///   engine's `B = O(log n)` budget check always sees an honest bit count;
+/// * delivery is *per message* ([`on_message`](Self::on_message)), with a
+///   separate end-of-round step ([`on_round_end`](Self::on_round_end)) —
+///   a [`Stack`](super::Stack) can therefore demultiplex one wire message
+///   to several kernels and still give each kernel its own round boundary.
+pub trait Protocol {
+    /// The payload this kernel exchanges.
+    type Payload: Clone + Debug;
+    /// The per-node result extracted when the run ends.
+    type Output;
+
+    /// One-time initialization before round 1 (the engine's `on_start`).
+    fn init(&mut self, ctx: &NodeContext<'_>, tx: &mut Tx<Self::Payload>) {
+        let _ = (ctx, tx);
+    }
+
+    /// One payload delivered on `port` this round. Called once per arrival,
+    /// in increasing port order, before [`on_round_end`](Self::on_round_end).
+    fn on_message(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        port: Port,
+        payload: Self::Payload,
+        tx: &mut Tx<Self::Payload>,
+    );
+
+    /// End of the round: called on **every** node every round, after all
+    /// deliveries, so kernels can run timers and contention schedules.
+    fn on_round_end(&mut self, ctx: &NodeContext<'_>, tx: &mut Tx<Self::Payload>) {
+        let _ = (ctx, tx);
+    }
+
+    /// True while this kernel may still send without first receiving
+    /// (e.g. a pending delayed wave start). Mirrors
+    /// [`NodeAlgorithm::is_active`].
+    fn is_active(&self) -> bool {
+        false
+    }
+
+    /// The declared encoded width of `payload`, built from the
+    /// [`Width`] primitives so the `O(log n)` accounting is explicit.
+    fn width(&self, payload: &Self::Payload) -> Width;
+
+    /// The logical stream `payload` belongs to (e.g. the root of a BFS
+    /// wave), for congestion observers. `None` (the default) for untagged
+    /// traffic.
+    fn stream(&self, payload: &Self::Payload) -> Option<u32> {
+        let _ = payload;
+        None
+    }
+
+    /// Consumes the kernel and produces the node's final output.
+    fn finish(self, ctx: &NodeContext<'_>) -> Self::Output;
+}
+
+/// A kernel's send buffer for the current step: `(port, payload)` pairs,
+/// flushed by the host (or enclosing stack) when the step ends.
+///
+/// Sends accumulate in call order; the engine's one-message-per-port rule
+/// is *not* enforced here — a kernel that sends twice on a port produces
+/// two envelopes and trips the engine's `DuplicateSend` check, exactly as
+/// a hand-written algorithm would (the duplicate-send ablation relies on
+/// this).
+pub struct Tx<P> {
+    sends: Vec<(Port, P)>,
+}
+
+impl<P> Tx<P> {
+    pub(crate) fn new() -> Self {
+        Tx { sends: Vec::new() }
+    }
+
+    /// Queues `payload` for the neighbor on `port`.
+    pub fn send(&mut self, port: Port, payload: P) {
+        self.sends.push((port, payload));
+    }
+
+    /// Queues a clone of `payload` for every port of a degree-`degree`
+    /// node.
+    pub fn send_to_all(&mut self, degree: usize, payload: P)
+    where
+        P: Clone,
+    {
+        for port in 0..degree {
+            self.sends.push((port as Port, payload.clone()));
+        }
+    }
+
+    /// Drains the buffered sends in call order.
+    pub(crate) fn drain(&mut self) -> std::vec::Drain<'_, (Port, P)> {
+        self.sends.drain(..)
+    }
+}
+
+/// Runs a [`Protocol`] as a [`NodeAlgorithm`] whose wire type is
+/// [`Envelope<P::Payload>`](Envelope): every queued payload is stamped
+/// with the width and stream the kernel declares for it.
+pub struct ProtocolHost<P: Protocol> {
+    proto: P,
+    tx: Tx<P::Payload>,
+}
+
+impl<P: Protocol> ProtocolHost<P> {
+    /// Hosts `proto`.
+    pub fn new(proto: P) -> Self {
+        ProtocolHost {
+            proto,
+            tx: Tx::new(),
+        }
+    }
+
+    fn flush(&mut self, out: &mut Outbox<Envelope<P::Payload>>) {
+        for (port, payload) in self.tx.drain() {
+            let width = self.proto.width(&payload).bits();
+            let stream = self.proto.stream(&payload);
+            out.send(
+                port,
+                Envelope {
+                    payload,
+                    width,
+                    stream,
+                },
+            );
+        }
+    }
+}
+
+impl<P: Protocol> NodeAlgorithm for ProtocolHost<P> {
+    type Message = Envelope<P::Payload>;
+    type Output = P::Output;
+
+    fn on_start(&mut self, ctx: &NodeContext<'_>, out: &mut Outbox<Self::Message>) {
+        self.proto.init(ctx, &mut self.tx);
+        self.flush(out);
+    }
+
+    fn on_round(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        inbox: &Inbox<Self::Message>,
+        out: &mut Outbox<Self::Message>,
+    ) {
+        for (port, envelope) in inbox.iter() {
+            self.proto
+                .on_message(ctx, port, envelope.payload.clone(), &mut self.tx);
+        }
+        self.proto.on_round_end(ctx, &mut self.tx);
+        self.flush(out);
+    }
+
+    fn is_active(&self) -> bool {
+        self.proto.is_active()
+    }
+
+    fn into_output(self, ctx: &NodeContext<'_>) -> Self::Output {
+        self.proto.finish(ctx)
+    }
+}

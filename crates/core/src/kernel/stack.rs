@@ -1,0 +1,300 @@
+//! [`Stack`]: run two kernels on one node, multiplexing their payloads
+//! into one `B`-bit message per edge per round.
+
+use std::collections::BTreeMap;
+
+use dapsp_congest::{NodeContext, Port, Width};
+
+use super::protocol::{Protocol, Tx};
+
+/// The multiplexed payload of a [`Stack`]: each component is present iff
+/// its kernel sent on that port this round. On the wire each component
+/// costs one presence tag plus, when present, the payload's own declared
+/// width.
+#[derive(Clone, Debug)]
+pub struct Both<PA, PB> {
+    /// The lower kernel's payload, if it sent on this port.
+    pub a: Option<PA>,
+    /// The upper kernel's payload, if it sent on this port.
+    pub b: Option<PB>,
+}
+
+/// A cross-kernel wiring: after the lower kernel's round end and before
+/// the upper kernel's, `couple` may read events off one kernel and drive
+/// the other.
+///
+/// Algorithm 1 is the motivating instance: the pebble's release event
+/// schedules the wave start, so `BFS_v` begins exactly when the pebble
+/// leaves `v`. The unit coupling `()` wires nothing.
+pub trait Coupling<A, B> {
+    /// Invoked every round between `A::on_round_end` and
+    /// `B::on_round_end` (and once at init, between the two `init`s).
+    fn couple(&mut self, ctx: &NodeContext<'_>, a: &mut A, b: &mut B);
+}
+
+impl<A, B> Coupling<A, B> for () {
+    fn couple(&mut self, _ctx: &NodeContext<'_>, _a: &mut A, _b: &mut B) {}
+}
+
+/// Two kernels sharing one node and one message stream.
+///
+/// Per round, the stack runs `A`'s round end, the [`Coupling`], then `B`'s
+/// round end, and merges both kernels' sends per port: the first payload
+/// each kernel queued for a port rides in one [`Both`] envelope. A kernel
+/// that queues *two* payloads for one port overflows into a second
+/// envelope — deliberately tripping the engine's duplicate-send check,
+/// exactly as the un-stacked kernel would have (the Lemma 1 ablation
+/// depends on this being detectable).
+///
+/// Stacks nest: `Stack<A, Stack<B, C, _>, _>` multiplexes three kernels
+/// (see [`compose!`](crate::compose)).
+pub struct Stack<A: Protocol, B: Protocol, C> {
+    a: A,
+    b: B,
+    coupling: C,
+    tx_a: Tx<A::Payload>,
+    tx_b: Tx<B::Payload>,
+}
+
+impl<A: Protocol, B: Protocol> Stack<A, B, ()> {
+    /// Stacks `a` under `b` with no cross-kernel wiring.
+    pub fn new(a: A, b: B) -> Self {
+        Stack::coupled(a, b, ())
+    }
+}
+
+impl<A: Protocol, B: Protocol, C: Coupling<A, B>> Stack<A, B, C> {
+    /// Stacks `a` under `b`, wiring them with `coupling` (invoked between
+    /// their round ends, in that order).
+    pub fn coupled(a: A, b: B, coupling: C) -> Self {
+        Stack {
+            a,
+            b,
+            coupling,
+            tx_a: Tx::new(),
+            tx_b: Tx::new(),
+        }
+    }
+
+    /// Merges both kernels' buffered sends into per-port [`Both`]
+    /// envelopes (ports in increasing order); a kernel's second payload
+    /// for one port overflows into its own envelope.
+    fn flush(&mut self, tx: &mut Tx<Both<A::Payload, B::Payload>>) {
+        let mut per_port: BTreeMap<Port, Both<A::Payload, B::Payload>> = BTreeMap::new();
+        for (port, payload) in self.tx_a.drain() {
+            let slot = &mut per_port.entry(port).or_insert(Both { a: None, b: None }).a;
+            if slot.is_some() {
+                tx.send(
+                    port,
+                    Both {
+                        a: Some(payload),
+                        b: None,
+                    },
+                );
+            } else {
+                *slot = Some(payload);
+            }
+        }
+        for (port, payload) in self.tx_b.drain() {
+            let slot = &mut per_port.entry(port).or_insert(Both { a: None, b: None }).b;
+            if slot.is_some() {
+                tx.send(
+                    port,
+                    Both {
+                        a: None,
+                        b: Some(payload),
+                    },
+                );
+            } else {
+                *slot = Some(payload);
+            }
+        }
+        for (port, both) in per_port {
+            tx.send(port, both);
+        }
+    }
+}
+
+impl<A: Protocol, B: Protocol, C: Coupling<A, B>> Protocol for Stack<A, B, C> {
+    type Payload = Both<A::Payload, B::Payload>;
+    type Output = (A::Output, B::Output);
+
+    fn init(&mut self, ctx: &NodeContext<'_>, tx: &mut Tx<Self::Payload>) {
+        self.a.init(ctx, &mut self.tx_a);
+        self.coupling.couple(ctx, &mut self.a, &mut self.b);
+        self.b.init(ctx, &mut self.tx_b);
+        self.flush(tx);
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        port: Port,
+        payload: Self::Payload,
+        _tx: &mut Tx<Self::Payload>,
+    ) {
+        if let Some(pa) = payload.a {
+            self.a.on_message(ctx, port, pa, &mut self.tx_a);
+        }
+        if let Some(pb) = payload.b {
+            self.b.on_message(ctx, port, pb, &mut self.tx_b);
+        }
+    }
+
+    fn on_round_end(&mut self, ctx: &NodeContext<'_>, tx: &mut Tx<Self::Payload>) {
+        self.a.on_round_end(ctx, &mut self.tx_a);
+        self.coupling.couple(ctx, &mut self.a, &mut self.b);
+        self.b.on_round_end(ctx, &mut self.tx_b);
+        self.flush(tx);
+    }
+
+    fn is_active(&self) -> bool {
+        self.a.is_active() || self.b.is_active()
+    }
+
+    fn width(&self, payload: &Self::Payload) -> Width {
+        let mut w = Width::ZERO.tag().tag(); // one presence tag per kernel
+        if let Some(pa) = &payload.a {
+            w = w.raw(self.a.width(pa).bits());
+        }
+        if let Some(pb) = &payload.b {
+            w = w.raw(self.b.width(pb).bits());
+        }
+        w
+    }
+
+    fn stream(&self, payload: &Self::Payload) -> Option<u32> {
+        payload
+            .a
+            .as_ref()
+            .and_then(|pa| self.a.stream(pa))
+            .or_else(|| payload.b.as_ref().and_then(|pb| self.b.stream(pb)))
+    }
+
+    fn finish(self, ctx: &NodeContext<'_>) -> Self::Output {
+        (self.a.finish(ctx), self.b.finish(ctx))
+    }
+}
+
+/// Stacks two or more kernels right-associatively with unit couplings:
+/// `compose!(a, b, c)` is `Stack::new(a, Stack::new(b, c))`. For a
+/// coupled pair, use [`Stack::coupled`] directly.
+#[macro_export]
+macro_rules! compose {
+    ($a:expr, $b:expr $(,)?) => {
+        $crate::kernel::Stack::new($a, $b)
+    };
+    ($a:expr $(, $rest:expr)+ $(,)?) => {
+        $crate::kernel::Stack::new($a, $crate::compose!($($rest),+))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dapsp_congest::NodeContext;
+
+    /// A test kernel whose payloads are bytes of a declared fixed width.
+    struct Fixed(u32);
+
+    impl Protocol for Fixed {
+        type Payload = u8;
+        type Output = ();
+
+        fn on_message(&mut self, _: &NodeContext<'_>, _: Port, _: u8, _: &mut Tx<u8>) {}
+
+        fn width(&self, _: &u8) -> Width {
+            Width::ZERO.raw(self.0)
+        }
+
+        fn stream(&self, payload: &u8) -> Option<u32> {
+            (*payload >= 100).then_some(*payload as u32)
+        }
+
+        fn finish(self, _: &NodeContext<'_>) {}
+    }
+
+    /// Wire width = one presence tag per kernel plus each present
+    /// component's own width — absent components cost only their tag.
+    #[test]
+    fn width_charges_tags_plus_present_components() {
+        let stack = Stack::new(Fixed(5), Fixed(9));
+        let both = Both {
+            a: Some(1u8),
+            b: Some(2u8),
+        };
+        assert_eq!(stack.width(&both).bits(), 2 + 5 + 9);
+        let a_only = Both {
+            a: Some(1u8),
+            b: None,
+        };
+        assert_eq!(stack.width(&a_only).bits(), 2 + 5);
+        let empty: Both<u8, u8> = Both { a: None, b: None };
+        assert_eq!(stack.width(&empty).bits(), 2);
+    }
+
+    /// The lower kernel's stream tag wins; the upper kernel's is the
+    /// fallback.
+    #[test]
+    fn stream_prefers_lower_kernel() {
+        let stack = Stack::new(Fixed(1), Fixed(1));
+        let both = Both {
+            a: Some(100u8),
+            b: Some(101u8),
+        };
+        assert_eq!(stack.stream(&both), Some(100));
+        let b_only = Both {
+            a: Some(1u8), // below the stream threshold
+            b: Some(101u8),
+        };
+        assert_eq!(stack.stream(&b_only), Some(101));
+    }
+
+    /// Both kernels' sends for one port ride in one merged envelope;
+    /// ports come out in increasing order.
+    #[test]
+    fn flush_merges_per_port() {
+        let mut stack = Stack::new(Fixed(1), Fixed(1));
+        stack.tx_a.send(1, 10);
+        stack.tx_b.send(1, 20);
+        stack.tx_b.send(0, 30);
+        let mut out = Tx::new();
+        stack.flush(&mut out);
+        let sends: Vec<_> = out.drain().collect();
+        assert_eq!(sends.len(), 2);
+        let (port0, both0) = &sends[0];
+        assert_eq!((*port0, both0.a, both0.b), (0, None, Some(30)));
+        let (port1, both1) = &sends[1];
+        assert_eq!((*port1, both1.a, both1.b), (1, Some(10), Some(20)));
+    }
+
+    /// A kernel that queues two payloads for one port overflows into a
+    /// second envelope — the duplicate-send the engine must keep seeing
+    /// for the Lemma 1 ablation to stay detectable.
+    #[test]
+    fn duplicate_same_kernel_send_overflows() {
+        let mut stack = Stack::new(Fixed(1), Fixed(1));
+        stack.tx_a.send(0, 10);
+        stack.tx_a.send(0, 11);
+        let mut out = Tx::new();
+        stack.flush(&mut out);
+        let sends: Vec<_> = out.drain().collect();
+        assert_eq!(sends.len(), 2, "second send must not be silently merged");
+        assert!(sends.iter().all(|(p, _)| *p == 0));
+    }
+
+    /// `compose!` nests right-associatively: three kernels, two nested
+    /// stacks, width = all four presence tags plus the components.
+    #[test]
+    fn compose_macro_nests_stacks() {
+        let stack = crate::compose!(Fixed(3), Fixed(5), Fixed(7));
+        let msg = Both {
+            a: Some(1u8),
+            b: Some(Both {
+                a: Some(2u8),
+                b: Some(3u8),
+            }),
+        };
+        assert_eq!(stack.width(&msg).bits(), 2 + 3 + (2 + 5 + 7));
+    }
+}

@@ -9,7 +9,9 @@
 //! their trees at node 0 — precisely the node this election would select
 //! under the crate's id scheme.
 
-use dapsp_congest::{bits_for_id, Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port, RunStats};
+use dapsp_congest::{
+    bits_for_id, Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port, RunStats,
+};
 use dapsp_graph::Graph;
 
 use crate::error::CoreError;
@@ -167,5 +169,23 @@ mod tests {
     fn single_node_is_its_own_leader() {
         let g = dapsp_graph::Graph::builder(1).build();
         assert_eq!(elect(&g).unwrap().leader, 0);
+    }
+}
+
+#[cfg(test)]
+mod width_tests {
+    use super::*;
+
+    /// A claim is one fixed-width node id — always within the budget.
+    #[test]
+    fn claim_width_fits_the_budget() {
+        for n in [2usize, 100, 1 << 16] {
+            let budget = Config::for_n(n).message_budget.unwrap();
+            let claim = Claim {
+                id: n as u32 - 1,
+                n: n as u32,
+            };
+            assert!(claim.bit_size() <= budget, "n={n}");
+        }
     }
 }

@@ -45,12 +45,13 @@ mod error;
 mod runner;
 
 pub mod aggregate;
-pub mod apsp;
 pub mod approx;
+pub mod apsp;
 pub mod bfs;
 pub mod dominating;
 pub mod girth;
 pub mod girth_approx;
+pub mod kernel;
 pub mod leader;
 pub mod metrics;
 pub mod observe;
@@ -64,4 +65,4 @@ pub mod two_vs_four;
 
 pub use error::CoreError;
 pub use observe::Obs;
-pub use runner::{run_algorithm, run_algorithm_on};
+pub use runner::{fold_outputs, run_algorithm, run_algorithm_on};

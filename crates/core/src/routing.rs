@@ -11,7 +11,9 @@
 //! simulation*: flows sharing an edge queue up, and the delivery report
 //! shows exactly how much each packet waited beyond its hop distance.
 
-use dapsp_congest::{bits_for_id, Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port, RunStats};
+use dapsp_congest::{
+    bits_for_id, Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port, RunStats,
+};
 use dapsp_graph::Graph;
 
 use crate::apsp::ApspResult;
@@ -135,7 +137,12 @@ impl NodeAlgorithm for RouterNode {
         self.transmit(out);
     }
 
-    fn on_round(&mut self, ctx: &NodeContext<'_>, inbox: &Inbox<PacketMsg>, out: &mut Outbox<PacketMsg>) {
+    fn on_round(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        inbox: &Inbox<PacketMsg>,
+        out: &mut Outbox<PacketMsg>,
+    ) {
         let round = ctx.round();
         for (_port, msg) in inbox.iter() {
             self.enqueue(msg.flow, round);
@@ -228,10 +235,7 @@ pub fn simulate_flows(
     for f in flows {
         for node in [f.source, f.destination] {
             if node as usize >= n {
-                return Err(CoreError::InvalidNode {
-                    node,
-                    num_nodes: n,
-                });
+                return Err(CoreError::InvalidNode { node, num_nodes: n });
             }
         }
     }
@@ -300,7 +304,10 @@ mod tests {
                 destination: d,
             }];
             let r = simulate_flows(&g, &t, &flows).unwrap();
-            assert_eq!(u64::from(r.deliveries[0].hops), r.deliveries[0].arrival_round);
+            assert_eq!(
+                u64::from(r.deliveries[0].hops),
+                r.deliveries[0].arrival_round
+            );
             assert_eq!(r.deliveries[0].queueing_delay, 0);
         }
     }
@@ -309,7 +316,15 @@ mod tests {
     fn self_flow_arrives_instantly() {
         let g = generators::path(4);
         let t = tables(&g);
-        let r = simulate_flows(&g, &t, &[Flow { source: 2, destination: 2 }]).unwrap();
+        let r = simulate_flows(
+            &g,
+            &t,
+            &[Flow {
+                source: 2,
+                destination: 2,
+            }],
+        )
+        .unwrap();
         assert_eq!(r.deliveries[0].arrival_round, 0);
     }
 
@@ -339,8 +354,14 @@ mod tests {
         let g = generators::cycle(12);
         let t = tables(&g);
         let flows = vec![
-            Flow { source: 0, destination: 2 },
-            Flow { source: 6, destination: 8 },
+            Flow {
+                source: 0,
+                destination: 2,
+            },
+            Flow {
+                source: 6,
+                destination: 8,
+            },
         ];
         let r = simulate_flows(&g, &t, &flows).unwrap();
         for d in &r.deliveries {
@@ -353,8 +374,36 @@ mod tests {
         let g = generators::path(3);
         let t = tables(&g);
         assert!(matches!(
-            simulate_flows(&g, &t, &[Flow { source: 0, destination: 9 }]).unwrap_err(),
+            simulate_flows(
+                &g,
+                &t,
+                &[Flow {
+                    source: 0,
+                    destination: 9
+                }]
+            )
+            .unwrap_err(),
             CoreError::InvalidNode { node: 9, .. }
         ));
+    }
+}
+
+#[cfg(test)]
+mod width_tests {
+    use super::*;
+
+    /// A packet names its flow out of at most `n²` demands (all pairs) —
+    /// `⌈log₂ n²⌉ ≤ 2⌈log₂ n⌉` bits, within the budget.
+    #[test]
+    fn packet_width_fits_the_budget() {
+        for n in [2usize, 100, 1 << 10] {
+            let budget = Config::for_n(n).message_budget.unwrap();
+            let num_flows = (n * n) as u32;
+            let packet = PacketMsg {
+                flow: num_flows - 1,
+                num_flows,
+            };
+            assert!(packet.bit_size() <= budget, "n={n}");
+        }
     }
 }

@@ -89,6 +89,24 @@ where
     sim.run().map_err(CoreError::from)
 }
 
+/// Folds a [`Report`]'s per-node outputs into one host-side accumulator:
+/// `fold(&mut acc, node_id, output)` runs once per node, in node-id order.
+///
+/// Every algorithm module ends with this step — turning `n` per-node
+/// outputs into a result struct (a distance matrix, a tree, a candidate
+/// minimum). Naming the step keeps the per-module code to just the
+/// folding closure.
+pub fn fold_outputs<O, S, F>(outputs: Vec<O>, seed: S, mut fold: F) -> S
+where
+    F: FnMut(&mut S, u32, O),
+{
+    let mut acc = seed;
+    for (v, out) in outputs.into_iter().enumerate() {
+        fold(&mut acc, v as u32, out);
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +133,13 @@ mod tests {
         let g = Graph::builder(0).build();
         let err = run_algorithm(&g, Config::for_n(1), |_| Idle).unwrap_err();
         assert_eq!(err, CoreError::EmptyGraph);
+    }
+
+    #[test]
+    fn fold_outputs_visits_every_node_in_order() {
+        let visited = fold_outputs(vec![10u32, 20, 30], Vec::new(), |acc, v, out| {
+            acc.push((v, out));
+        });
+        assert_eq!(visited, vec![(0, 10), (1, 20), (2, 30)]);
     }
 }

@@ -25,202 +25,16 @@
 //! repeated wave arrivals; the girth approximation (Theorem 5) feeds on
 //! them.
 
-use dapsp_congest::{
-    bits_for_count, bits_for_id, Config, Inbox, Message, NodeAlgorithm, NodeContext, ObserverHandle,
-    Outbox, Port, RunStats, Topology,
-};
+use dapsp_congest::{Config, ObserverHandle, RunStats, Topology};
 use dapsp_graph::{Graph, INFINITY};
 
 use crate::aggregate::{self, AggOp};
 use crate::bfs;
 use crate::error::CoreError;
+use crate::kernel::{run_protocol_on, WaveKernel};
 use crate::observe::Obs;
-use crate::runner::run_algorithm_on;
+use crate::runner::fold_outputs;
 use crate::tree::TreeKnowledge;
-
-/// One (id, distance) announcement: "`id` is at distance `dist` from you".
-#[derive(Clone, Debug)]
-pub(crate) struct SspMsg {
-    id: u32,
-    dist: u32,
-    n: u32,
-}
-
-impl Message for SspMsg {
-    fn bit_size(&self) -> u32 {
-        bits_for_id(self.n as usize) + bits_for_count(self.dist as usize)
-    }
-
-    /// Each announcement serves the growth of one source's shortest-path
-    /// tree; observers use this to measure per-source wave delays.
-    fn stream_id(&self) -> Option<u32> {
-        Some(self.id)
-    }
-}
-
-pub(crate) struct SspNode {
-    n: u32,
-    /// `delta[u]` = distance to source `u` (`INFINITY` unknown). The set
-    /// `L` of the paper is `{u : delta[u] != INFINITY}`.
-    delta: Vec<u32>,
-    /// `parent[u]` = port toward `u` (`u32::MAX` = none).
-    parent: Vec<Port>,
-    /// Per-port pending queues `L_i` (ids still to transmit).
-    li: Vec<std::collections::BTreeSet<u32>>,
-    girth_candidate: u32,
-    /// How often a known distance was improved by a later arrival (rare
-    /// under the `(dist, id)` priority; see `settle_round`).
-    relaxations: u64,
-}
-
-impl SspNode {
-    fn new(ctx: &NodeContext<'_>, is_source: bool) -> Self {
-        let n = ctx.num_nodes();
-        let me = ctx.node_id();
-        let degree = ctx.degree();
-        let mut delta = vec![INFINITY; n];
-        let mut li = vec![std::collections::BTreeSet::new(); degree];
-        if is_source {
-            delta[me as usize] = 0;
-            for set in &mut li {
-                set.insert(me);
-            }
-        }
-        SspNode {
-            n: n as u32,
-            delta,
-            parent: vec![u32::MAX; n],
-            li,
-            girth_candidate: INFINITY,
-            relaxations: 0,
-        }
-    }
-
-    /// The priority of a queued id: the `(dist, id)` pair it would be sent
-    /// as. Smaller is more urgent.
-    fn priority(&self, id: u32) -> (u32, u32) {
-        (self.delta[id as usize] + 1, id)
-    }
-
-    /// Pops the most urgent queued id for a port, by `(dist, id)`.
-    fn pop_head(&mut self, port: usize) -> Option<(u32, u32)> {
-        let head = self.li[port].iter().map(|&id| self.priority(id)).min();
-        if let Some((_, id)) = head {
-            self.li[port].remove(&id);
-        }
-        head
-    }
-
-    /// Processes one round of arrivals.
-    ///
-    /// Two refinements over the paper's as-written pseudocode (see the
-    /// module docs):
-    ///
-    /// * **Every arrival is accepted.** The paper's lines 18–27 drop a
-    ///   message when a smaller id crosses the same edge in the opposite
-    ///   direction and have the sender retry; but in the CONGEST model both
-    ///   `B`-bit messages of a bidirectional crossing *are* delivered — the
-    ///   drop is bookkeeping for the proof, and the retries it forces can
-    ///   pile up beyond the `|S| + D₀` budget. Accepting both sides lets
-    ///   every transmission count.
-    /// * **Relaxation.** A wave blocked on its shortest path can be outrun
-    ///   by its own announcements over a longer, less-contended path, so
-    ///   the first claim for an id need not be shortest (the paper's
-    ///   tie-break assumes it is). A node therefore keeps the best claim
-    ///   per id and re-announces improvements; claims are genuine path
-    ///   lengths, so the final value is exact once the true wavefront
-    ///   lands. Sending is ordered by the lexicographic `(dist, id)`
-    ///   priority (smaller distances first), which keeps wavefronts nearly
-    ///   sorted and makes improvements rare (`relaxations` counts them).
-    fn settle_round(&mut self, arrivals: &[(Port, u32, u32)]) {
-        let mut sorted: Vec<(u32, u32, Port)> = arrivals
-            .iter()
-            .map(|&(port, rid, rdist)| (rid, rdist, port))
-            .collect();
-        sorted.sort_unstable(); // by id, then dist, then port
-        let mut i = 0;
-        while i < sorted.len() {
-            let id = sorted[i].0;
-            let mut j = i;
-            while j < sorted.len() && sorted[j].0 == id {
-                j += 1;
-            }
-            let u = id as usize;
-            let (_, dist, port) = sorted[i]; // smallest dist, lowest port
-            if dist < self.delta[u] {
-                if self.delta[u] != INFINITY {
-                    self.relaxations += 1;
-                }
-                self.delta[u] = dist;
-                self.parent[u] = port;
-                for (p, set) in self.li.iter_mut().enumerate() {
-                    if p != port as usize {
-                        set.insert(id);
-                    }
-                }
-            }
-            for &(_, d, p) in &sorted[i..j] {
-                if p != self.parent[u] {
-                    self.record_candidate(p, id, d);
-                }
-            }
-            i = j;
-        }
-    }
-
-    /// A repeated arrival of a known id closes a walk through that source:
-    /// the same Lemma 7 bookkeeping as in Algorithm 1.
-    fn record_candidate(&mut self, port: Port, id: u32, dist: u32) {
-        let u = id as usize;
-        if self.delta[u] == INFINITY || dist == 0 {
-            return;
-        }
-        let sender_dist = dist - 1;
-        if port != self.parent[u] && sender_dist <= self.delta[u] {
-            self.girth_candidate = self.girth_candidate.min(self.delta[u] + sender_dist + 1);
-        }
-    }
-}
-
-impl NodeAlgorithm for SspNode {
-    type Message = SspMsg;
-    type Output = SspNodeOutput;
-
-    fn on_round(&mut self, ctx: &NodeContext<'_>, inbox: &Inbox<SspMsg>, out: &mut Outbox<SspMsg>) {
-        let arrivals: Vec<(Port, u32, u32)> =
-            inbox.iter().map(|(p, m)| (p, m.id, m.dist)).collect();
-        self.settle_round(&arrivals);
-        // Transmit the most urgent pending id per port (paper lines 13–17,
-        // with the (dist, id) priority).
-        for port in 0..ctx.degree() as Port {
-            if let Some((dist, id)) = self.pop_head(port as usize) {
-                out.send(port, SspMsg { id, dist, n: self.n });
-            }
-        }
-    }
-
-    fn is_active(&self) -> bool {
-        self.li.iter().any(|set| !set.is_empty())
-    }
-
-    fn into_output(self, _ctx: &NodeContext<'_>) -> SspNodeOutput {
-        SspNodeOutput {
-            delta: self.delta,
-            parent: self.parent,
-            girth_candidate: self.girth_candidate,
-            relaxations: self.relaxations,
-        }
-    }
-}
-
-/// Per-node output of the main loop.
-#[derive(Clone, Debug)]
-pub(crate) struct SspNodeOutput {
-    delta: Vec<u32>,
-    parent: Vec<Port>,
-    girth_candidate: u32,
-    relaxations: u64,
-}
 
 /// The result of an S-SP computation.
 #[derive(Clone, Debug)]
@@ -307,7 +121,7 @@ pub fn run_on(topology: &Topology, sources: &[u32]) -> Result<SspResult, CoreErr
 /// `observer`: `"bfs"` and `"agg:max"` for the `D₀` estimate, then
 /// `"ssp:growth"` for the simultaneous growth itself. Since the growth's
 /// announcements carry their source id as
-/// [`stream_id`](Message::stream_id), a
+/// [`stream_id`](dapsp_congest::Message::stream_id), a
 /// [`WaveArrivalProbe`](dapsp_congest::obs::WaveArrivalProbe) attached
 /// here can verify the paper's Lemma 8 delay bound directly.
 ///
@@ -370,26 +184,30 @@ pub fn run_on_obs(
     // Phase 3: the simultaneous growth, run to quiescence.
     let is_source = seen;
     let config = obs.apply(Config::for_n(n), "ssp:growth");
-    let report = run_algorithm_on(topology, config, |ctx| {
-        SspNode::new(ctx, is_source[ctx.node_id() as usize])
+    let report = run_protocol_on(topology, config, |ctx| {
+        WaveKernel::queued_sources(ctx, is_source[ctx.node_id() as usize])
     })?;
-    let mut dist = vec![Vec::with_capacity(sources.len()); n];
-    let mut next_hop = vec![Vec::with_capacity(sources.len()); n];
-    let mut local_girth_candidates = vec![INFINITY; n];
-    let mut relaxations = 0;
-    for (v, out) in report.outputs.into_iter().enumerate() {
-        for &s in sources {
-            dist[v].push(out.delta[s as usize]);
-            let p = out.parent[s as usize];
-            next_hop[v].push(if p == u32::MAX {
-                None
-            } else {
-                Some(topology.neighbor_at(v as u32, p))
-            });
-        }
-        local_girth_candidates[v] = out.girth_candidate;
-        relaxations += out.relaxations;
-    }
+    let seed = (
+        vec![Vec::with_capacity(sources.len()); n],
+        vec![Vec::with_capacity(sources.len()); n],
+        vec![INFINITY; n],
+        0u64,
+    );
+    let (dist, next_hop, local_girth_candidates, relaxations) =
+        fold_outputs(report.outputs, seed, |acc, v, state| {
+            let v = v as usize;
+            for &s in sources {
+                acc.0[v].push(state.dist[s as usize]);
+                let p = state.parent[s as usize];
+                acc.1[v].push(if p == u32::MAX {
+                    None
+                } else {
+                    Some(topology.neighbor_at(v as u32, p))
+                });
+            }
+            acc.2[v] = state.girth_candidate;
+            acc.3 += state.relaxations;
+        });
     let mut stats = t1.stats;
     stats.absorb_sequential(&agg.stats);
     stats.absorb_sequential(&report.stats);

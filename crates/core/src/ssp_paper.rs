@@ -17,31 +17,25 @@
 //! oracle to count those (see the ablation benchmark
 //! `ablation_ssp_variants`).
 
-use dapsp_congest::{
-    bits_for_count, bits_for_id, Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port,
-    RunStats,
-};
+use dapsp_congest::{Config, NodeContext, Port, RunStats, Width};
 use dapsp_graph::{Graph, INFINITY};
 
 use crate::aggregate::{self, AggOp};
 use crate::bfs;
 use crate::error::CoreError;
-use crate::runner::run_algorithm_on;
+use crate::kernel::{run_protocol_on, Protocol, Tx};
+use crate::runner::fold_outputs;
 
-#[derive(Clone, Debug)]
-struct PaperMsg {
+/// One (id, distance) announcement, as in [`crate::ssp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Claim {
     id: u32,
     dist: u32,
-    n: u32,
 }
 
-impl Message for PaperMsg {
-    fn bit_size(&self) -> u32 {
-        bits_for_id(self.n as usize) + bits_for_count(self.dist as usize)
-    }
-}
-
-struct PaperNode {
+/// The verbatim Algorithm 2 as a [`Protocol`]: bare-id priority, the
+/// lines 18–27 drop rule, and a fixed `|S| + D₀` schedule.
+struct PaperGrowth {
     n: u32,
     budget: u64,
     rounds_done: u64,
@@ -49,37 +43,51 @@ struct PaperNode {
     parent: Vec<Port>,
     li: Vec<std::collections::BTreeSet<u32>>,
     last_sent: Vec<Option<u32>>,
+    /// This round's arrival per port (`r_i` of the pseudocode).
+    received: Vec<Option<Claim>>,
 }
 
-impl NodeAlgorithm for PaperNode {
-    type Message = PaperMsg;
+impl Protocol for PaperGrowth {
+    type Payload = Claim;
     type Output = Vec<u32>;
 
-    fn on_round(&mut self, ctx: &NodeContext<'_>, inbox: &Inbox<PaperMsg>, out: &mut Outbox<PaperMsg>) {
+    fn on_message(
+        &mut self,
+        _ctx: &NodeContext<'_>,
+        port: Port,
+        payload: Claim,
+        _tx: &mut Tx<Claim>,
+    ) {
+        self.received[port as usize] = Some(payload);
+    }
+
+    fn on_round_end(&mut self, ctx: &NodeContext<'_>, tx: &mut Tx<Claim>) {
         self.rounds_done += 1;
         // Lines 18–27, port by port in increasing index order.
         if self.rounds_done >= 2 {
             for port in 0..ctx.degree() as Port {
-                let r = inbox.from_port(port).map(|m| (m.id, m.dist));
+                let r = self.received[port as usize].take();
                 let l = self.last_sent[port as usize];
                 match (l, r) {
-                    (Some(lid), Some((rid, rdist))) => {
-                        if rid < lid {
+                    (Some(lid), Some(claim)) => {
+                        if claim.id < lid {
                             // Line 19: our send was blocked; process r_i.
-                            self.adopt_if_new(port, rid, rdist);
+                            self.adopt_if_new(port, claim);
                         } else {
                             // Line 25–26: l_i was sent successfully; the
                             // arriving larger id is dropped.
                             self.li[port as usize].remove(&lid);
                         }
                     }
-                    (None, Some((rid, rdist))) => self.adopt_if_new(port, rid, rdist),
+                    (None, Some(claim)) => self.adopt_if_new(port, claim),
                     (Some(lid), None) => {
                         self.li[port as usize].remove(&lid);
                     }
                     (None, None) => {}
                 }
             }
+        } else {
+            self.received.fill(None);
         }
         // Lines 13–17: send min(L_i) per port.
         if self.rounds_done <= self.budget {
@@ -87,12 +95,11 @@ impl NodeAlgorithm for PaperNode {
                 let l = self.li[port as usize].iter().next().copied();
                 self.last_sent[port as usize] = l;
                 if let Some(id) = l {
-                    out.send(
+                    tx.send(
                         port,
-                        PaperMsg {
+                        Claim {
                             id,
                             dist: self.delta[id as usize] + 1,
-                            n: self.n,
                         },
                     );
                 }
@@ -106,22 +113,29 @@ impl NodeAlgorithm for PaperNode {
         self.rounds_done <= self.budget
     }
 
-    fn into_output(self, _ctx: &NodeContext<'_>) -> Vec<u32> {
+    fn width(&self, _payload: &Claim) -> Width {
+        // Fixed-width fields over their domains: an id in `0..n` and a
+        // distance in `0..=n` (charging by the current distance value
+        // would under-count — no delimiter separates the two fields).
+        Width::ZERO.id(self.n as usize).count(self.n as usize)
+    }
+
+    fn finish(self, _ctx: &NodeContext<'_>) -> Vec<u32> {
         self.delta
     }
 }
 
-impl PaperNode {
-    fn adopt_if_new(&mut self, port: Port, id: u32, dist: u32) {
-        let u = id as usize;
+impl PaperGrowth {
+    fn adopt_if_new(&mut self, port: Port, claim: Claim) {
+        let u = claim.id as usize;
         if self.delta[u] == INFINITY {
             // Lines 20–23, with the paper's lowest-index tie-break implied
             // by processing ports in increasing order.
-            self.delta[u] = dist;
+            self.delta[u] = claim.dist;
             self.parent[u] = port;
             for (p, set) in self.li.iter_mut().enumerate() {
                 if p != port as usize {
-                    set.insert(id);
+                    set.insert(claim.id);
                 }
             }
         }
@@ -184,7 +198,7 @@ pub fn run(graph: &Graph, sources: &[u32]) -> Result<PaperSspResult, CoreError> 
     let agg = aggregate::run_on(&topology, &t1.tree, &depths, AggOp::Max)?;
     let d0 = 2 * agg.value as u32;
     let budget = sources.len() as u64 + u64::from(d0);
-    let report = run_algorithm_on(&topology, Config::for_n(n), |ctx| {
+    let report = run_protocol_on(&topology, Config::for_n(n), |ctx| {
         let me = ctx.node_id();
         let mut delta = vec![INFINITY; n];
         let mut li = vec![std::collections::BTreeSet::new(); ctx.degree()];
@@ -194,7 +208,7 @@ pub fn run(graph: &Graph, sources: &[u32]) -> Result<PaperSspResult, CoreError> 
                 set.insert(me);
             }
         }
-        PaperNode {
+        PaperGrowth {
             n: n as u32,
             budget,
             rounds_done: 0,
@@ -202,19 +216,19 @@ pub fn run(graph: &Graph, sources: &[u32]) -> Result<PaperSspResult, CoreError> 
             parent: vec![u32::MAX; n],
             li,
             last_sent: vec![None; ctx.degree()],
+            received: vec![None; ctx.degree()],
         }
     })?;
-    let mut dist = vec![Vec::with_capacity(sources.len()); n];
-    let mut unresolved = 0;
-    for (v, delta) in report.outputs.into_iter().enumerate() {
+    let seed = (vec![Vec::with_capacity(sources.len()); n], 0u64);
+    let (dist, unresolved) = fold_outputs(report.outputs, seed, |acc, v, delta| {
         for &s in sources {
             let d = delta[s as usize];
             if d == INFINITY {
-                unresolved += 1;
+                acc.1 += 1;
             }
-            dist[v].push(d);
+            acc.0[v as usize].push(d);
         }
-    }
+    });
     let mut stats = t1.stats;
     stats.absorb_sequential(&agg.stats);
     stats.absorb_sequential(&report.stats);
@@ -294,9 +308,7 @@ mod tests {
             let sources: Vec<u32> = (0..12).collect();
             let r = run(&g, &sources).unwrap();
             let oracle = reference::s_shortest_paths(&g, &sources);
-            let bad = (0..24).any(|v| {
-                (0..sources.len()).any(|i| r.dist[v][i] != oracle[i][v])
-            });
+            let bad = (0..24).any(|v| (0..sources.len()).any(|i| r.dist[v][i] != oracle[i][v]));
             if bad {
                 deviating_instances += 1;
             }

@@ -90,7 +90,13 @@ pub fn analyze(graph: &Graph) -> Result<NetworkSummary, CoreError> {
     let candidates: Vec<u64> = a
         .local_girth_candidates
         .iter()
-        .map(|&c| if c == INFINITY { sentinel } else { u64::from(c) })
+        .map(|&c| {
+            if c == INFINITY {
+                sentinel
+            } else {
+                u64::from(c)
+            }
+        })
         .collect();
     let min = aggregate::run_on(&topology, &a.tree, &candidates, AggOp::Min)?;
     stats.absorb_sequential(&min.stats);

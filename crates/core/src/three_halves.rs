@@ -103,13 +103,7 @@ pub fn sampled_lower_estimate(graph: &Graph, seed: u64) -> Result<(u32, RunStats
     let w = (far.value % n as u64) as u32;
     // 4. Probe w and its neighborhood (capped to the usual √(n log n)).
     let mut probes = vec![w];
-    probes.extend(
-        graph
-            .neighbors(w)
-            .iter()
-            .copied()
-            .take(degree_threshold(n)),
-    );
+    probes.extend(graph.neighbors(w).iter().copied().take(degree_threshold(n)));
     probes.sort_unstable();
     probes.dedup();
     let sp2 = ssp::run_on(&topology, &probes)?;

@@ -62,7 +62,7 @@ impl TreeKnowledge {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::bfs;
     use dapsp_graph::generators;
 

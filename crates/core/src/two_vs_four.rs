@@ -26,7 +26,6 @@ use dapsp_graph::Graph;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-
 use crate::aggregate::{self, AggOp};
 use crate::bfs;
 use crate::error::CoreError;
@@ -62,7 +61,6 @@ pub fn degree_threshold(n: usize) -> usize {
     let logn = (n.max(2) as f64).log2();
     (n as f64 * logn).sqrt().ceil() as usize
 }
-
 
 /// Phase shared by both probe schedules: elect the smallest-id low-degree
 /// node (or fall back to random sampling when none exists) and derive the

@@ -1,0 +1,146 @@
+//! Per-message budget enforcement, end to end.
+//!
+//! `Config::for_n` sets a per-message budget `B = 2⌈log₂ n⌉ + 8` and, in
+//! debug builds, the engine asserts `bit_size() ≤ B` for **every** message
+//! it commits — on the serial and the pool executor alike. Running every
+//! algorithm in this crate here therefore turns any overweight message
+//! type into a test failure: these tests assert success, and the engine's
+//! debug assertion does the per-message work.
+//!
+//! (In release builds the assertion compiles out and these runs only check
+//! that the algorithms complete; `scripts/verify.sh` runs the test suite
+//! in debug mode, where the checks are live.)
+
+use dapsp_congest::{bits_for_id, Config};
+use dapsp_core::kernel::{run_protocol_on, WaveKernel};
+use dapsp_core::{
+    aggregate, approx, apsp, bfs, dominating, girth, girth_approx, leader, metrics, routing, ssp,
+    ssp_paper, three_halves, two_vs_four,
+};
+use dapsp_graph::{generators, Graph};
+
+fn zoo() -> Vec<Graph> {
+    vec![
+        generators::path(10),
+        generators::cycle(9),
+        generators::grid(3, 4),
+        generators::complete(7),
+        generators::lollipop(4, 5),
+        generators::erdos_renyi_connected(20, 0.2, 11),
+    ]
+}
+
+/// The default budget is the paper's `B = O(log n)`: exactly the
+/// bandwidth, two node ids plus a constant.
+#[test]
+fn default_budget_is_two_ids_plus_constant() {
+    for n in [2usize, 10, 1000, 1 << 20] {
+        let cfg = Config::for_n(n);
+        assert_eq!(cfg.message_budget, Some(2 * bits_for_id(n) + 8));
+        assert_eq!(cfg.message_budget, Some(cfg.bandwidth_bits));
+    }
+}
+
+/// Wave traffic: single-root BFS, Algorithm 1's stacked pebble + waves
+/// (full and truncated), and Algorithm 2's queued growth.
+#[test]
+fn wave_protocols_respect_the_budget() {
+    for g in zoo() {
+        let n = g.num_nodes() as u32;
+        bfs::run(&g, 0).unwrap();
+        apsp::run(&g).unwrap();
+        apsp::run_truncated(&g, 3).unwrap();
+        ssp::run(&g, &[0, n - 1]).unwrap();
+        ssp_paper::run(&g, &[0, n - 1]).unwrap();
+    }
+}
+
+/// Convergecast traffic, including the largest partials this crate ever
+/// aggregates (sums of per-node counts `≤ n`).
+#[test]
+fn aggregation_respects_the_budget() {
+    for g in zoo() {
+        let n = g.num_nodes();
+        let t1 = bfs::run(&g, 0).unwrap().tree;
+        let counts: Vec<u64> = (0..n as u64).collect();
+        for op in [
+            aggregate::AggOp::Max,
+            aggregate::AggOp::Min,
+            aggregate::AggOp::Sum,
+            aggregate::AggOp::Or,
+        ] {
+            aggregate::run(&g, &t1, &counts, op).unwrap();
+        }
+        dominating::run(&g, &t1, 2).unwrap();
+    }
+}
+
+/// The composite pipelines (metrics, girth, approximations, Algorithm 3)
+/// and the remaining message types (leader claims, routed packets).
+#[test]
+fn composite_pipelines_respect_the_budget() {
+    for g in zoo() {
+        metrics::diameter(&g).unwrap();
+        girth::run(&g).unwrap();
+        girth_approx::run(&g, 0.5).unwrap();
+        approx::diameter(&g, 0.5).unwrap();
+        three_halves::run(&g, 7).unwrap();
+        two_vs_four::run(&g, 7).unwrap();
+        leader::elect(&g).unwrap();
+        let tables = routing::RoutingTables::from_apsp(&apsp::run(&g).unwrap());
+        let flows = vec![routing::Flow {
+            source: 0,
+            destination: g.num_nodes() as u32 - 1,
+        }];
+        routing::simulate_flows(&g, &tables, &flows).unwrap();
+    }
+}
+
+/// The pool executor runs the same budget check as the serial one:
+/// kernel traffic must pass it on worker threads too.
+#[test]
+fn pool_executor_checks_kernel_envelopes() {
+    for threads in [2usize, 4] {
+        let g = generators::erdos_renyi_connected(24, 0.2, 3);
+        let topo = g.to_topology();
+        let config = Config::for_n(24).with_threads(threads);
+        let report = run_protocol_on(&topo, config, |ctx| WaveKernel::single_root(ctx, 0)).unwrap();
+        assert!(report.outputs.iter().all(|s| s.dist[0] != u32::MAX));
+    }
+}
+
+/// A message wider than the budget (but within an inflated bandwidth) is
+/// rejected in debug builds — the enforcement the other tests rely on.
+#[test]
+#[cfg(debug_assertions)]
+#[should_panic(expected = "message budget")]
+fn overweight_messages_panic_in_debug() {
+    use dapsp_congest::{Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Simulator};
+
+    #[derive(Clone, Debug)]
+    struct Fat;
+    impl Message for Fat {
+        fn bit_size(&self) -> u32 {
+            1000
+        }
+    }
+    struct Sender;
+    impl NodeAlgorithm for Sender {
+        type Message = Fat;
+        type Output = ();
+        fn on_start(&mut self, _: &NodeContext<'_>, out: &mut Outbox<Fat>) {
+            out.send(0, Fat);
+        }
+        fn on_round(&mut self, _: &NodeContext<'_>, _: &Inbox<Fat>, _: &mut Outbox<Fat>) {}
+        fn into_output(self, _: &NodeContext<'_>) {}
+    }
+
+    let g = generators::path(2);
+    let topo = g.to_topology();
+    // Bandwidth admits the message; the budget alone must reject it.
+    let config = Config::for_n(2)
+        .with_bandwidth_bits(2000)
+        .with_message_budget(Some(8));
+    let sim = Simulator::new(&topo, config, |_| Sender);
+    let _ = sim.run();
+}

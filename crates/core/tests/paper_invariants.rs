@@ -13,7 +13,9 @@
 
 use std::collections::HashMap;
 
-use dapsp_congest::{EdgeCongestionProbe, FanOut, ObserverHandle, SharedObserver, WaveArrivalProbe};
+use dapsp_congest::{
+    EdgeCongestionProbe, FanOut, ObserverHandle, SharedObserver, WaveArrivalProbe,
+};
 use dapsp_core::{apsp, ssp};
 use dapsp_graph::{generators, Graph, INFINITY};
 
@@ -31,8 +33,7 @@ fn families() -> Vec<(&'static str, Graph)> {
 #[test]
 fn lemma1_wave_phase_congestion_and_spacing() {
     for (family, g) in families() {
-        let congestion =
-            SharedObserver::new(EdgeCongestionProbe::new(1).for_phase("apsp:waves"));
+        let congestion = SharedObserver::new(EdgeCongestionProbe::new(1).for_phase("apsp:waves"));
         let arrivals = SharedObserver::new(WaveArrivalProbe::new().for_phase("apsp:waves"));
         let fan = ObserverHandle::new(FanOut::new(vec![
             congestion.observer(),

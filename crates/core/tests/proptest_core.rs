@@ -5,8 +5,10 @@
 
 use proptest::prelude::*;
 
-use dapsp_core::{aggregate, apsp, approx, bfs, dominating, girth, girth_approx, metrics, routing, ssp};
-use dapsp_graph::{generators, reference, Graph};
+use dapsp_core::{
+    aggregate, approx, apsp, bfs, dominating, girth, girth_approx, metrics, routing, ssp, ssp_paper,
+};
+use dapsp_graph::{generators, reference, Graph, INFINITY};
 
 fn connected(n: usize, p: f64, seed: u64) -> Graph {
     generators::erdos_renyi_connected(n, p, seed)
@@ -62,6 +64,38 @@ proptest! {
         // Whole-pipeline bound: two O(D) phases plus the growth; D0 = 2·ecc(1).
         let bound = 4 * u64::from(r.d0) + r.budget + 16;
         prop_assert!(r.stats.rounds <= bound, "rounds={} bound={}", r.stats.rounds, bound);
+    }
+
+    /// The verbatim Algorithm 2 against the kernel-based production S-SP
+    /// and the oracle: the kernel growth is exact, and every entry the
+    /// verbatim schedule resolves is a real walk length — an overestimate
+    /// at worst (the documented DESIGN.md §5 deviation), never an
+    /// underestimate — with the unresolved count bookkept correctly.
+    #[test]
+    fn ssp_paper_never_underestimates_and_kernel_is_exact(
+        n in 2usize..26, p in 0.0f64..0.3, seed in any::<u64>(), nsrc in 1usize..6
+    ) {
+        let g = connected(n, p, seed);
+        let count = nsrc.min(n);
+        let mut sources: Vec<u32> = (0..count).map(|i| (i * n / count) as u32).collect();
+        sources.dedup();
+        let paper = ssp_paper::run(&g, &sources).expect("ssp_paper");
+        let kernel = ssp::run(&g, &sources).expect("ssp");
+        let oracle = reference::s_shortest_paths(&g, &sources);
+        let mut unresolved = 0u64;
+        for (i, _) in sources.iter().enumerate() {
+            for v in 0..n {
+                prop_assert_eq!(kernel.dist[v][i], oracle[i][v], "kernel v={} source#{}", v, i);
+                let got = paper.dist[v][i];
+                if got == INFINITY {
+                    unresolved += 1;
+                } else {
+                    prop_assert!(got >= oracle[i][v], "v={} source#{}: {} < oracle {}",
+                                 v, i, got, oracle[i][v]);
+                }
+            }
+        }
+        prop_assert_eq!(unresolved, paper.unresolved);
     }
 
     /// BFS: distances, tree structure, and Claim 1 agree with the oracle.

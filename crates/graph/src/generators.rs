@@ -126,8 +126,10 @@ pub fn torus(rows: usize, cols: usize) -> Graph {
     let id = |r: usize, c: usize| (r * cols + c) as u32;
     for r in 0..rows {
         for c in 0..cols {
-            b.add_edge(id(r, c), id(r, (c + 1) % cols)).expect("valid edge");
-            b.add_edge(id(r, c), id((r + 1) % rows, c)).expect("valid edge");
+            b.add_edge(id(r, c), id(r, (c + 1) % cols))
+                .expect("valid edge");
+            b.add_edge(id(r, c), id((r + 1) % rows, c))
+                .expect("valid edge");
         }
     }
     b.build()
@@ -139,7 +141,10 @@ pub fn torus(rows: usize, cols: usize) -> Graph {
 ///
 /// Panics if `dim == 0` or `dim > 20`.
 pub fn hypercube(dim: u32) -> Graph {
-    assert!(dim > 0 && dim <= 20, "hypercube dimension must be in 1..=20");
+    assert!(
+        dim > 0 && dim <= 20,
+        "hypercube dimension must be in 1..=20"
+    );
     let n = 1usize << dim;
     let mut b = Graph::builder(n);
     for v in 0..n as u32 {
@@ -373,7 +378,6 @@ pub fn caterpillar(spine: usize, legs: usize) -> Graph {
     b.build()
 }
 
-
 /// A Watts–Strogatz small-world graph: a ring lattice where each node
 /// connects to its `k` nearest neighbors on each side, with every lattice
 /// edge rewired to a random endpoint with probability `beta`. Connectivity
@@ -553,7 +557,9 @@ mod tests {
     #[test]
     fn erdos_renyi_connected_is_connected() {
         for seed in 0..5 {
-            assert!(reference::is_connected(&erdos_renyi_connected(50, 0.02, seed)));
+            assert!(reference::is_connected(&erdos_renyi_connected(
+                50, 0.02, seed
+            )));
         }
     }
 
@@ -583,7 +589,6 @@ mod tests {
             assert_eq!(reference::girth(&g), Some(g_target as u32));
         }
     }
-
 
     #[test]
     fn watts_strogatz_shape() {

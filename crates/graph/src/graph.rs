@@ -233,7 +233,10 @@ mod tests {
     #[test]
     fn builder_rejects_self_loop() {
         let mut b = Graph::builder(3);
-        assert_eq!(b.add_edge(2, 2).unwrap_err(), GraphError::SelfLoop { node: 2 });
+        assert_eq!(
+            b.add_edge(2, 2).unwrap_err(),
+            GraphError::SelfLoop { node: 2 }
+        );
     }
 
     #[test]
@@ -241,7 +244,10 @@ mod tests {
         let mut b = Graph::builder(3);
         assert!(matches!(
             b.add_edge(0, 3).unwrap_err(),
-            GraphError::NodeOutOfRange { node: 3, num_nodes: 3 }
+            GraphError::NodeOutOfRange {
+                node: 3,
+                num_nodes: 3
+            }
         ));
     }
 

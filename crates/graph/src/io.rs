@@ -99,7 +99,11 @@ pub fn from_edge_list(text: &str) -> Result<Graph, ParseError> {
             _ => return Err(malformed()),
         }
     }
-    let n = declared_n.unwrap_or(if pairs.is_empty() { 0 } else { max_id as usize + 1 });
+    let n = declared_n.unwrap_or(if pairs.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    });
     let mut b = Graph::builder(n);
     for (u, v) in pairs {
         b.add_edge(u, v)?;

@@ -237,7 +237,9 @@ pub fn diameter_gap(k: usize, h: usize, alice: &[IndexPair], bob: &[IndexPair]) 
     for row in 0..(2 * k) as u32 {
         let head = 2 + row * h as u32;
         for t in 1..h as u32 {
-            builder.add_edge(head + t - 1, head + t).expect("valid edge");
+            builder
+                .add_edge(head + t - 1, head + t)
+                .expect("valid edge");
         }
     }
     let expected_diameter = (2 * h - 2) as u32 + base.expected_diameter;
@@ -268,7 +270,10 @@ pub fn diameter_gap(k: usize, h: usize, alice: &[IndexPair], bob: &[IndexPair]) 
 /// Panics if `k < 2` or `density` is not in `[0, 1]`.
 pub fn random_pair_set(k: usize, density: f64, seed: u64) -> Vec<IndexPair> {
     assert!(k >= 2, "need at least two indices");
-    assert!((0.0..=1.0).contains(&density), "density must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&density),
+        "density must be a probability"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut pairs = Vec::new();
     for i in 0..k as u32 {

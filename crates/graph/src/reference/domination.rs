@@ -70,9 +70,9 @@ pub fn is_dominating_set(g: &Graph, dom: &[u32], targets: &[u32]) -> bool {
     for &d in dom {
         in_dom[d as usize] = true;
     }
-    targets.iter().all(|&t| {
-        in_dom[t as usize] || g.neighbors(t).iter().any(|&u| in_dom[u as usize])
-    })
+    targets
+        .iter()
+        .all(|&t| in_dom[t as usize] || g.neighbors(t).iter().any(|&u| in_dom[u as usize]))
 }
 
 /// Distance from every node to its nearest member of `sources`
@@ -135,9 +135,7 @@ mod tests {
         let g = generators::erdos_renyi_connected(20, 0.15, 7);
         let dom = [0u32, 10];
         for k in 0..6 {
-            let expected = (0..20u32).all(|v| {
-                dom.iter().any(|&d| bfs(&g, d)[v as usize] <= k)
-            });
+            let expected = (0..20u32).all(|v| dom.iter().any(|&d| bfs(&g, d)[v as usize] <= k));
             assert_eq!(is_k_dominating_set(&g, &dom, k), expected, "k={k}");
         }
     }

@@ -12,9 +12,7 @@ mod girth;
 mod metrics;
 
 pub use bfs::{apsp, bfs, is_connected, s_shortest_paths};
-pub use floyd_warshall::floyd_warshall;
 pub use domination::{distance_to_set, is_dominating_set, is_k_dominating_set};
+pub use floyd_warshall::floyd_warshall;
 pub use girth::{girth, is_tree};
-pub use metrics::{
-    center, diameter, eccentricities, eccentricity, peripheral_vertices, radius,
-};
+pub use metrics::{center, diameter, eccentricities, eccentricity, peripheral_vertices, radius};

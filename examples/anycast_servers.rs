@@ -17,10 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = network.num_nodes();
     // Four replicas, roughly one per quadrant.
     let servers = vec![13u32, 22, 121, 130];
-    println!(
-        "network: {} switches; replicas at {:?}\n",
-        n, servers
-    );
+    println!("network: {} switches; replicas at {:?}\n", n, servers);
 
     let r = ssp::run(&network, &servers)?;
     println!(

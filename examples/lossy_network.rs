@@ -70,7 +70,12 @@ mod flood {
                 out.send_to_all(0..ctx.degree() as Port, Token);
             }
         }
-        fn on_round(&mut self, ctx: &NodeContext<'_>, inbox: &Inbox<Token>, out: &mut Outbox<Token>) {
+        fn on_round(
+            &mut self,
+            ctx: &NodeContext<'_>,
+            inbox: &Inbox<Token>,
+            out: &mut Outbox<Token>,
+        ) {
             if !inbox.is_empty() && self.seen.is_none() {
                 self.seen = Some(ctx.round());
                 out.send_to_all(0..ctx.degree() as Port, Token);

@@ -23,7 +23,8 @@ fn isp_topology(cores: usize, leaves: usize) -> Graph {
     for i in 0..cores {
         b.add_edge(core(i), core(i + 1)).expect("ring edge");
         if i % 3 == 0 && cores > 4 {
-            b.add_edge(core(i), core(i + cores / 2)).expect("cross link");
+            b.add_edge(core(i), core(i + cores / 2))
+                .expect("cross link");
         }
         for l in 0..leaves {
             let leaf = (cores + i * leaves + l) as u32;
@@ -52,11 +53,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(a.distances, ls.distances);
     assert_eq!(a.distances, dv_rr.distances);
 
-    println!("{:<28} {:>8} {:>10} {:>12}", "algorithm", "rounds", "messages", "bits");
+    println!(
+        "{:<28} {:>8} {:>10} {:>12}",
+        "algorithm", "rounds", "messages", "bits"
+    );
     for (name, rounds, stats) in [
         ("APSP (Algorithm 1)", a.stats.rounds, &a.stats),
         ("distance-vector (eager)", dv.rounds_to_converge, &dv.stats),
-        ("distance-vector (rnd-robin)", dv_rr.rounds_to_converge, &dv_rr.stats),
+        (
+            "distance-vector (rnd-robin)",
+            dv_rr.rounds_to_converge,
+            &dv_rr.stats,
+        ),
         ("link-state flooding", ls.rounds_to_converge, &ls.stats),
     ] {
         println!(

@@ -14,7 +14,11 @@ use dapsp::core::{leader, summary};
 use dapsp::graph::{generators, io, properties, Graph};
 
 fn profile(name: &str, g: &Graph) -> Result<(), Box<dyn std::error::Error>> {
-    println!("== {name}: {} nodes, {} edges", g.num_nodes(), g.num_edges());
+    println!(
+        "== {name}: {} nodes, {} edges",
+        g.num_nodes(),
+        g.num_edges()
+    );
     let deg = properties::degree_stats(g);
     println!(
         "   degrees: min {} / mean {:.2} / max {}; density {:.4}; bipartite: {}",

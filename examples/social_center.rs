@@ -12,7 +12,7 @@
 //! ```
 
 use dapsp::core::{approx, metrics};
-use dapsp::graph::{Graph};
+use dapsp::graph::Graph;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -34,7 +34,8 @@ fn social_graph(communities: usize, size: usize, seed: u64) -> Graph {
         }
         // Chain connector: last member of c knows first member of c+1.
         if c + 1 < communities {
-            b.add_edge(member(c, size - 1), member(c + 1, 0)).expect("edge");
+            b.add_edge(member(c, size - 1), member(c + 1, 0))
+                .expect("edge");
         }
         // The celebrity knows one member of each community.
         b.add_edge(celebrity, member(c, 0)).expect("edge");
@@ -48,7 +49,11 @@ fn social_graph(communities: usize, size: usize, seed: u64) -> Graph {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let g = social_graph(6, 12, 7);
-    println!("social graph: {} people, {} ties", g.num_nodes(), g.num_edges());
+    println!(
+        "social graph: {} people, {} ties",
+        g.num_nodes(),
+        g.num_edges()
+    );
     let celebrity = g.num_nodes() as u32 - 1;
 
     let center = metrics::center(&g)?;
@@ -66,7 +71,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "the celebrity (node {celebrity}) is{} in the center",
-        if center.members[celebrity as usize] { "" } else { " not" }
+        if center.members[celebrity as usize] {
+            ""
+        } else {
+            " not"
+        }
     );
 
     // Approximate center: must contain the exact one (Corollary 4).

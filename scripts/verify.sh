@@ -9,6 +9,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --check
+
 echo "==> cargo build --release"
 cargo build --offline --release --workspace
 
@@ -34,4 +37,11 @@ echo "==> engine_profile --smoke --threads 1,2"
 # target/BENCH_profile_smoke.json, never the committed BENCH_profile.json.
 cargo run --offline --release -p dapsp-bench --bin engine_profile -- --smoke --threads 1,2
 
-echo "OK: build + tests + clippy + docs + profile smoke all green"
+echo "==> message-budget smoke (debug build, threads 1,2)"
+# Same smoke in a debug build: debug_assertions arm the engine's
+# per-message `bit_size() <= message_budget` check on both executors, so
+# any overweight message type aborts this step (release builds compile
+# the check out, which is why the run above does not cover it).
+cargo run --offline -p dapsp-bench --bin engine_profile -- --smoke --threads 1,2
+
+echo "OK: fmt + build + tests + clippy + docs + profile & budget smokes all green"

@@ -3,7 +3,7 @@
 
 use dapsp::baselines;
 use dapsp::congest::Config;
-use dapsp::core::{apsp, approx, metrics, ssp, three_halves, two_vs_four};
+use dapsp::core::{approx, apsp, metrics, ssp, three_halves, two_vs_four};
 use dapsp::graph::{generators, lowerbound, reference, Graph};
 
 fn zoo() -> Vec<(String, Graph)> {
@@ -176,9 +176,18 @@ fn routing_layer_delivers_along_shortest_paths() {
     let a = apsp::run(&g).expect("apsp");
     let tables = routing::RoutingTables::from_apsp(&a);
     let flows: Vec<Flow> = vec![
-        Flow { source: 0, destination: 35 },
-        Flow { source: 5, destination: 30 },
-        Flow { source: 14, destination: 21 },
+        Flow {
+            source: 0,
+            destination: 35,
+        },
+        Flow {
+            source: 5,
+            destination: 30,
+        },
+        Flow {
+            source: 14,
+            destination: 21,
+        },
     ];
     let r = routing::simulate_flows(&g, &tables, &flows).expect("flows");
     let oracle = reference::apsp(&g);
