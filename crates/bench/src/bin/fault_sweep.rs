@@ -1,0 +1,306 @@
+//! Fault-adversary sweep: what does exactness under message loss cost?
+//!
+//! The [`ReliableKernel`](dapsp_core::kernel::ReliableKernel) promises that
+//! `apsp::run_faulty` and `ssp::run_faulty` return *bit-identical* results
+//! to their fault-free counterparts for any loss rate below one, at the
+//! price of extra rounds (the stop-and-wait synchronizer roughly doubles
+//! the round count fault-free, and loss `p` inflates it by about
+//! `1/(1 − p)` on top). This benchmark measures that price across the
+//! engine-benchmark topology families and *checks the promise while doing
+//! so*: every cell's distances are compared against the sequential oracle,
+//! and every pool run against the serial run of the same cell.
+//!
+//! Sweep: **apsp** and **ssp** over path / random tree / near-regular /
+//! clique, each at loss rates 0 / 0.05 / 0.1 / 0.2 under the serial
+//! executor and the worker pool at every requested thread count. The
+//! loss-0 reliable rows isolate the synchronizer's own overhead from the
+//! retransmission cost.
+//!
+//! Results go to stdout as a table and to `BENCH_faults.json` at the repo
+//! root: one JSON object per row with `label`, `family`, `workload`, `n`,
+//! `loss`, `executor`, `threads`, `rounds`, `clean_rounds`, `overhead`
+//! (rounds ÷ fault-free-unwrapped rounds), `messages`, `dropped`,
+//! `frames`, `retransmissions`, `acks`, `wall_ms`.
+//!
+//! Usage: `fault_sweep [--smoke] [--threads LIST] [OUT_PATH]`. `--smoke`
+//! runs tiny instances and writes to `target/BENCH_faults_smoke.json`, so
+//! CI exercises the full path without touching the committed numbers.
+
+use dapsp_bench::print_table;
+use dapsp_bench::workloads::{executor_for, family_graph, json_array, parse_bench_args};
+use dapsp_congest::FaultPlan;
+use dapsp_core::kernel::RelStats;
+use dapsp_core::{apsp, ssp, Obs};
+use dapsp_graph::reference;
+
+/// One measured cell of the sweep.
+struct Row {
+    label: String,
+    family: &'static str,
+    workload: &'static str,
+    n: usize,
+    loss: f64,
+    executor: &'static str,
+    threads: usize,
+    rounds: u64,
+    clean_rounds: u64,
+    overhead: f64,
+    messages: u64,
+    dropped: u64,
+    frames: u64,
+    retransmissions: u64,
+    acks: u64,
+    wall_ms: f64,
+}
+
+impl Row {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"label\":\"{}\",\"family\":\"{}\",\"workload\":\"{}\",\"n\":{},",
+                "\"loss\":{},\"executor\":\"{}\",\"threads\":{},\"rounds\":{},",
+                "\"clean_rounds\":{},\"overhead\":{:.4},\"messages\":{},\"dropped\":{},",
+                "\"frames\":{},\"retransmissions\":{},\"acks\":{},\"wall_ms\":{:.4}}}"
+            ),
+            self.label,
+            self.family,
+            self.workload,
+            self.n,
+            self.loss,
+            self.executor,
+            self.threads,
+            self.rounds,
+            self.clean_rounds,
+            self.overhead,
+            self.messages,
+            self.dropped,
+            self.frames,
+            self.retransmissions,
+            self.acks,
+            self.wall_ms,
+        )
+    }
+}
+
+const MS: f64 = 1e3;
+
+/// What one reliable run must expose for checking and reporting.
+struct Run {
+    /// Order-sensitive fingerprint of every per-node result — equal
+    /// fingerprints mean bit-identical outputs.
+    fingerprint: u64,
+    rounds: u64,
+    messages: u64,
+    dropped: u64,
+    wall_ms: f64,
+    rel: RelStats,
+}
+
+fn fingerprint<H: std::hash::Hash>(value: &H) -> u64 {
+    use std::hash::Hasher;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// Runs one workload cell at every executor in the sweep, asserting the
+/// pool runs reproduce the serial run bit-for-bit.
+#[allow(clippy::too_many_arguments)] // a flat description of one sweep cell
+fn sweep_cell<F>(
+    label: &str,
+    family: &'static str,
+    workload: &'static str,
+    n: usize,
+    loss: f64,
+    clean_rounds: u64,
+    threads_list: &[usize],
+    run: F,
+) -> Vec<Row>
+where
+    F: Fn(Obs<'_>) -> Run,
+{
+    let mut rows = Vec::new();
+    let mut serial_fp = None;
+    for &threads in threads_list {
+        let kind = executor_for(threads);
+        let r = run(Obs::none().with_executor(kind));
+        assert!(!r.rel.gave_up, "{label}: a link exhausted its retries");
+        assert_eq!(r.rel.truncated_sends, 0, "{label}: horizon too short");
+        match serial_fp {
+            None => serial_fp = Some(r.fingerprint),
+            Some(fp) => assert_eq!(
+                fp,
+                r.fingerprint,
+                "{label}: {}@{threads} diverged from the first executor",
+                kind.name()
+            ),
+        }
+        rows.push(Row {
+            label: label.into(),
+            family,
+            workload,
+            n,
+            loss,
+            executor: kind.name(),
+            threads,
+            rounds: r.rounds,
+            clean_rounds,
+            overhead: r.rounds as f64 / clean_rounds as f64,
+            messages: r.messages,
+            dropped: r.dropped,
+            frames: r.rel.frames_sent,
+            retransmissions: r.rel.retransmissions,
+            acks: r.rel.acks_sent,
+            wall_ms: r.wall_ms,
+        });
+    }
+    rows
+}
+
+/// (family, apsp size, ssp size) per sweep mode. Reliable runs cost
+/// `O(n)` sim rounds at ~2×/(1−p) real rounds each, so sizes stay modest.
+const FULL: &[(&str, usize, usize)] = &[
+    ("path", 64, 64),
+    ("tree", 64, 64),
+    ("regular6", 64, 64),
+    ("clique", 32, 32),
+];
+const SMOKE: &[(&str, usize, usize)] = &[("path", 12, 12), ("regular6", 12, 12)];
+
+const FULL_LOSSES: &[f64] = &[0.0, 0.05, 0.1, 0.2];
+const SMOKE_LOSSES: &[f64] = &[0.0, 0.2];
+
+/// Deterministic per-cell adversary seed, so rerunning the sweep
+/// reproduces the committed numbers exactly.
+fn cell_seed(family: &str, workload: &str, loss: f64) -> u64 {
+    fingerprint(&(family, workload, (loss * 1000.0) as u64))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = parse_bench_args(&args, &[1, 2, 4]);
+    let smoke = parsed.smoke;
+    let threads_list = parsed.threads;
+    let default_path = if smoke {
+        format!(
+            "{}/../../target/BENCH_faults_smoke.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    } else {
+        format!("{}/../../BENCH_faults.json", env!("CARGO_MANIFEST_DIR"))
+    };
+    let out_path = parsed.out_path.unwrap_or(default_path);
+
+    println!("# Fault sweep: round overhead of exact APSP/S-SP under message loss\n");
+
+    let losses = if smoke { SMOKE_LOSSES } else { FULL_LOSSES };
+    let mut rows: Vec<Row> = Vec::new();
+    for &(family, apsp_n, ssp_n) in if smoke { SMOKE } else { FULL } {
+        // APSP: fault-free baseline, oracle, then the loss × executor grid.
+        let g = family_graph(family, apsp_n);
+        let topo = g.to_topology();
+        let oracle = reference::apsp(&g);
+        let clean = apsp::run_on(&topo).expect("fault-free apsp runs");
+        assert_eq!(clean.distances, oracle, "{family}: clean apsp is wrong");
+        for &loss in losses {
+            let label = format!("apsp/{family}/n={apsp_n}/p={loss}");
+            let plan = FaultPlan::uniform_loss(loss, cell_seed(family, "apsp", loss));
+            rows.extend(sweep_cell(
+                &label,
+                family,
+                "apsp",
+                apsp_n,
+                loss,
+                clean.stats.rounds,
+                &threads_list,
+                |obs| {
+                    let (r, rel) = apsp::run_faulty_on(&topo, plan.clone(), obs)
+                        .expect("reliable apsp runs to completion");
+                    assert_eq!(r.distances, oracle, "{label}: distances diverged");
+                    Run {
+                        fingerprint: fingerprint(&(&r.next_hop, r.girth_candidate)),
+                        rounds: r.stats.rounds,
+                        messages: r.stats.messages,
+                        dropped: r.stats.dropped,
+                        wall_ms: r.stats.wall_time.as_secs_f64() * MS,
+                        rel,
+                    }
+                },
+            ));
+        }
+
+        // S-SP with |S| = n/4 spread sources, same grid.
+        let g = family_graph(family, ssp_n);
+        let topo = g.to_topology();
+        let sources: Vec<u32> = (0..ssp_n as u32).step_by(4).collect();
+        let s_oracle = reference::s_shortest_paths(&g, &sources);
+        let clean = ssp::run_on(&topo, &sources).expect("fault-free ssp runs");
+        for &loss in losses {
+            let label = format!("ssp/{family}/n={ssp_n}/p={loss}");
+            let plan = FaultPlan::uniform_loss(loss, cell_seed(family, "ssp", loss));
+            rows.extend(sweep_cell(
+                &label,
+                family,
+                "ssp",
+                ssp_n,
+                loss,
+                clean.stats.rounds,
+                &threads_list,
+                |obs| {
+                    let (r, rel) = ssp::run_faulty_on(&topo, &sources, plan.clone(), obs)
+                        .expect("reliable ssp runs to completion");
+                    for (i, src_dists) in s_oracle.iter().enumerate() {
+                        for (v, &d) in src_dists.iter().enumerate() {
+                            assert_eq!(r.dist[v][i], d, "{label}: d({v}, src {i}) diverged");
+                        }
+                    }
+                    Run {
+                        fingerprint: fingerprint(&(&r.dist, &r.next_hop, r.d0)),
+                        rounds: r.stats.rounds,
+                        messages: r.stats.messages,
+                        dropped: r.stats.dropped,
+                        wall_ms: r.stats.wall_time.as_secs_f64() * MS,
+                        rel,
+                    }
+                },
+            ));
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                r.executor.to_string(),
+                r.threads.to_string(),
+                r.rounds.to_string(),
+                format!("{:.2}x", r.overhead),
+                r.dropped.to_string(),
+                r.retransmissions.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "fault sweep",
+        &[
+            "workload", "executor", "thr", "rounds", "overhead", "dropped", "retx",
+        ],
+        &table,
+    );
+
+    // Mean round-overhead factor per loss rate: the headline number.
+    for &loss in losses {
+        let overheads: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.loss == loss)
+            .map(|r| r.overhead)
+            .collect();
+        let mean = overheads.iter().sum::<f64>() / overheads.len() as f64;
+        println!("mean round overhead at loss {loss}: {mean:.2}x");
+    }
+
+    let objects: Vec<String> = rows.iter().map(Row::json).collect();
+    std::fs::write(&out_path, json_array(&objects)).expect("write BENCH_faults.json");
+    println!("wrote {out_path}");
+}

@@ -160,21 +160,32 @@ pub fn engine_config(n: usize) -> Config {
 /// The four topology families both engine benchmarks sweep.
 pub const FAMILY_NAMES: &[&str] = &["path", "tree", "regular6", "clique"];
 
+/// Builds the `n`-node member of `family` as a [`Graph`](dapsp_graph::Graph)
+/// (deterministic
+/// seeds) — for benchmarks that also need the sequential oracles.
+///
+/// # Panics
+///
+/// Panics on an unknown family name (see [`FAMILY_NAMES`]).
+pub fn family_graph(family: &str, n: usize) -> dapsp_graph::Graph {
+    match family {
+        "path" => generators::path(n),
+        "tree" => generators::random_tree(n, 12),
+        // Near-regular random graph: a Watts–Strogatz rewired ring, every
+        // degree 6 before rewiring and 6 on average after.
+        "regular6" => generators::watts_strogatz(n, 3, 0.1, 12),
+        "clique" => generators::complete(n),
+        other => panic!("unknown family {other}"),
+    }
+}
+
 /// Builds the `n`-node member of `family` (deterministic seeds).
 ///
 /// # Panics
 ///
 /// Panics on an unknown family name (see [`FAMILY_NAMES`]).
 pub fn family_topology(family: &str, n: usize) -> Topology {
-    match family {
-        "path" => generators::path(n).to_topology(),
-        "tree" => generators::random_tree(n, 12).to_topology(),
-        // Near-regular random graph: a Watts–Strogatz rewired ring, every
-        // degree 6 before rewiring and 6 on average after.
-        "regular6" => generators::watts_strogatz(n, 3, 0.1, 12).to_topology(),
-        "clique" => generators::complete(n).to_topology(),
-        other => panic!("unknown family {other}"),
-    }
+    family_graph(family, n).to_topology()
 }
 
 /// The executor [`Config::with_threads`] maps `threads` onto — benchmarks

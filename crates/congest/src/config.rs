@@ -40,6 +40,194 @@ impl LossPlan {
     }
 }
 
+/// One deterministic loss pattern inside a [`FaultPlan`].
+///
+/// Every rule is a pure function of `(seed, round, sender, port)` — no
+/// hidden RNG state — so the adversary is identical across executors,
+/// thread counts, and reruns.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LossRule {
+    /// Drop each delivery independently with `probability` (the classic
+    /// [`LossPlan`] behavior).
+    Uniform {
+        /// Per-message drop probability in `[0, 1]`.
+        probability: f64,
+    },
+    /// Periodic interference: the loss probability applies only while
+    /// `round % period < len`; outside the burst the rule drops nothing.
+    Burst {
+        /// Drop probability during a burst.
+        probability: f64,
+        /// Length of the repeating cycle, in rounds (`0` disables the rule).
+        period: u64,
+        /// How many rounds at the start of each cycle are lossy.
+        len: u64,
+    },
+    /// An adversary that degrades the network over time: probability
+    /// `min(cap, base + per_round · round)`.
+    Adaptive {
+        /// Loss probability at round 0.
+        base: f64,
+        /// Probability added per elapsed round.
+        per_round: f64,
+        /// Upper bound on the probability.
+        cap: f64,
+    },
+}
+
+impl LossRule {
+    /// The effective drop probability of this rule at `round`.
+    pub fn probability_at(&self, round: u64) -> f64 {
+        match *self {
+            LossRule::Uniform { probability } => probability,
+            LossRule::Burst {
+                probability,
+                period,
+                len,
+            } => {
+                if period > 0 && round % period < len {
+                    probability
+                } else {
+                    0.0
+                }
+            }
+            LossRule::Adaptive {
+                base,
+                per_round,
+                cap,
+            } => cap.min(base + per_round * round as f64),
+        }
+    }
+}
+
+/// A scheduled crash: `node` is down for every round in
+/// `from_round..until_round` and restarts (with its state intact, as under
+/// crash-recovery with stable storage) at `until_round`.
+///
+/// While crashed, a node is not stepped at all and every message addressed
+/// to it is discarded at delivery time; since the schedule is part of the
+/// static plan, both facts are decided at the engine's single validation
+/// point and the run stays bit-for-bit identical across executors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// The crashing node.
+    pub node: u32,
+    /// First round (inclusive) the node is down.
+    pub from_round: u64,
+    /// First round the node is up again (exclusive end of the window).
+    pub until_round: u64,
+}
+
+/// A composable deterministic fault adversary: any number of loss rules
+/// plus a schedule of node crash windows.
+///
+/// This generalizes [`LossPlan`]: a plan with one [`LossRule::Uniform`]
+/// rule and no crashes makes exactly the same per-message decisions as the
+/// equivalent `LossPlan` (same hash, same seed). Loss rules compose as
+/// independent adversaries — a message is dropped if *any* rule drops it —
+/// and each rule hashes with its own salt so rules never correlate.
+///
+/// The paper's model assumes reliable synchronous links; fault plans exist
+/// to *break* that assumption reproducibly, so the recovery layer
+/// (`ReliableKernel` in `dapsp-core`) and the tests around it have a
+/// deterministic adversary to run against.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed of every drop decision.
+    pub seed: u64,
+    /// Loss rules, composed as independent adversaries.
+    pub losses: Vec<LossRule>,
+    /// Scheduled crash windows (may overlap; a node is down while any of
+    /// its windows covers the round).
+    pub crashes: Vec<CrashWindow>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no loss, no crashes) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            losses: Vec::new(),
+            crashes: Vec::new(),
+        }
+    }
+
+    /// The [`LossPlan`]-equivalent plan: uniform loss, no crashes.
+    pub fn uniform_loss(probability: f64, seed: u64) -> Self {
+        FaultPlan::new(seed).with_rule(LossRule::Uniform { probability })
+    }
+
+    /// Adds a loss rule.
+    pub fn with_rule(mut self, rule: LossRule) -> Self {
+        self.losses.push(rule);
+        self
+    }
+
+    /// Schedules `node` to be crashed for `from_round..until_round`.
+    pub fn with_crash(mut self, node: u32, from_round: u64, until_round: u64) -> Self {
+        self.crashes.push(CrashWindow {
+            node,
+            from_round,
+            until_round,
+        });
+        self
+    }
+
+    /// Whether the message sent by `node` on `port` in `round` is dropped
+    /// by some loss rule. Crash-induced drops are separate (see
+    /// [`FaultPlan::crashed`]).
+    pub fn drops(&self, round: u64, node: u32, port: u32) -> bool {
+        self.losses.iter().enumerate().any(|(i, rule)| {
+            // Salt the seed per rule (rule 0 keeps the plain seed, so a
+            // single-rule uniform plan reproduces LossPlan decisions).
+            let salted = self
+                .seed
+                .wrapping_add((i as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+            LossPlan {
+                probability: rule.probability_at(round),
+                seed: salted,
+            }
+            .drops(round, node, port)
+        })
+    }
+
+    /// Whether `node` is down at `round`.
+    pub fn crashed(&self, round: u64, node: u32) -> bool {
+        self.crashes
+            .iter()
+            .any(|w| w.node == node && round >= w.from_round && round < w.until_round)
+    }
+
+    /// True if the plan schedules at least one crash window.
+    pub fn has_crashes(&self) -> bool {
+        !self.crashes.is_empty()
+    }
+
+    /// The nodes down at `round`, deduplicated, in increasing id order —
+    /// the deterministic order observer `on_crash` hooks fire in.
+    pub fn crashed_nodes(&self, round: u64) -> Vec<u32> {
+        let mut nodes: Vec<u32> = self
+            .crashes
+            .iter()
+            .filter(|w| round >= w.from_round && round < w.until_round)
+            .map(|w| w.node)
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+}
+
+/// Why the engine discarded a message (see
+/// [`Observer::on_drop`](crate::obs::Observer::on_drop)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// A loss rule of the active [`FaultPlan`] dropped it in transit.
+    Loss,
+    /// The receiver is inside a [`CrashWindow`] at the delivery round.
+    ReceiverCrashed,
+}
+
 /// Which executor drives the round pipeline in
 /// [`Simulator::run`](crate::Simulator::run).
 ///
@@ -127,8 +315,9 @@ pub struct Config {
     /// Whether to record the per-round delivered-message counts in
     /// [`Report::round_profile`](crate::Report::round_profile).
     pub round_profile: bool,
-    /// Optional deterministic message-loss injection.
-    pub loss: Option<LossPlan>,
+    /// Optional deterministic fault adversary (message loss + node
+    /// crashes); see [`FaultPlan`].
+    pub faults: Option<FaultPlan>,
     /// Which executor drives the round pipeline (default
     /// [`ExecutorKind::Serial`]). Any choice produces bit-for-bit identical
     /// runs: outboxes are always committed in node-id order, so outputs,
@@ -156,7 +345,7 @@ impl PartialEq for Config {
             && self.trace == other.trace
             && self.trace_capacity == other.trace_capacity
             && self.round_profile == other.round_profile
-            && self.loss == other.loss
+            && self.faults == other.faults
             && self.executor == other.executor
             && self.phase == other.phase
     }
@@ -179,7 +368,7 @@ impl Config {
             trace: false,
             trace_capacity: crate::trace::Trace::DEFAULT_CAPACITY,
             round_profile: false,
-            loss: None,
+            faults: None,
             executor: ExecutorKind::Serial,
             observer: None,
             phase: String::new(),
@@ -217,9 +406,16 @@ impl Config {
         self
     }
 
-    /// Injects deterministic message loss (see [`LossPlan`]).
-    pub fn with_loss(mut self, probability: f64, seed: u64) -> Self {
-        self.loss = Some(LossPlan { probability, seed });
+    /// Injects uniform deterministic message loss — shorthand for a
+    /// single-rule [`FaultPlan`] that makes exactly the decisions the old
+    /// [`LossPlan`] made for the same `(probability, seed)`.
+    pub fn with_loss(self, probability: f64, seed: u64) -> Self {
+        self.with_faults(FaultPlan::uniform_loss(probability, seed))
+    }
+
+    /// Installs a composable fault adversary (see [`FaultPlan`]).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -406,5 +602,104 @@ mod tests {
         // Roughly half of many coordinates drop.
         let hits = (0..1000).filter(|&r| plan.drops(r, 1, 0)).count();
         assert!((350..650).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn uniform_fault_plan_reproduces_loss_plan_decisions() {
+        let loss = LossPlan {
+            probability: 0.3,
+            seed: 42,
+        };
+        let plan = FaultPlan::uniform_loss(0.3, 42);
+        for round in 0..200 {
+            for port in 0..4 {
+                assert_eq!(
+                    plan.drops(round, 7, port),
+                    loss.drops(round, 7, port),
+                    "round={round} port={port}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn burst_rule_is_quiet_outside_its_window() {
+        let plan = FaultPlan::new(9).with_rule(LossRule::Burst {
+            probability: 1.0,
+            period: 10,
+            len: 3,
+        });
+        for round in 0..50u64 {
+            let expect = round % 10 < 3;
+            assert_eq!(plan.drops(round, 0, 0), expect, "round={round}");
+        }
+        // A zero period disables the rule instead of dividing by zero.
+        let degenerate = FaultPlan::new(9).with_rule(LossRule::Burst {
+            probability: 1.0,
+            period: 0,
+            len: 3,
+        });
+        assert!(!degenerate.drops(5, 0, 0));
+    }
+
+    #[test]
+    fn adaptive_rule_ramps_and_caps() {
+        let rule = LossRule::Adaptive {
+            base: 0.0,
+            per_round: 0.1,
+            cap: 0.5,
+        };
+        assert_eq!(rule.probability_at(0), 0.0);
+        assert!((rule.probability_at(3) - 0.3).abs() < 1e-12);
+        assert_eq!(rule.probability_at(100), 0.5);
+        // At cap 1.0 with a steep ramp, late rounds drop everything.
+        let plan = FaultPlan::new(1).with_rule(LossRule::Adaptive {
+            base: 0.0,
+            per_round: 1.0,
+            cap: 1.0,
+        });
+        assert!(!plan.drops(0, 0, 0));
+        assert!(plan.drops(1, 0, 0));
+    }
+
+    #[test]
+    fn composed_rules_drop_when_any_rule_drops() {
+        let burst = LossRule::Burst {
+            probability: 1.0,
+            period: 7,
+            len: 1,
+        };
+        let solo_uniform = FaultPlan::new(3).with_rule(LossRule::Uniform { probability: 0.2 });
+        let composed = solo_uniform.clone().with_rule(burst);
+        for round in 0..100u64 {
+            let expect = solo_uniform.drops(round, 2, 1) || round % 7 == 0;
+            assert_eq!(composed.drops(round, 2, 1), expect, "round={round}");
+        }
+    }
+
+    #[test]
+    fn crash_windows_cover_half_open_ranges() {
+        let plan = FaultPlan::new(0)
+            .with_crash(3, 5, 8)
+            .with_crash(1, 6, 7)
+            .with_crash(3, 20, 22);
+        assert!(!plan.crashed(4, 3));
+        assert!(plan.crashed(5, 3));
+        assert!(plan.crashed(7, 3));
+        assert!(!plan.crashed(8, 3)); // restarted
+        assert!(plan.crashed(21, 3));
+        assert!(!plan.crashed(6, 0));
+        assert!(plan.has_crashes());
+        assert!(!FaultPlan::new(0).has_crashes());
+        assert_eq!(plan.crashed_nodes(6), vec![1, 3]);
+        assert_eq!(plan.crashed_nodes(0), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn with_loss_builds_a_uniform_fault_plan() {
+        let c = Config::for_n(8).with_loss(0.25, 11);
+        assert_eq!(c.faults, Some(FaultPlan::uniform_loss(0.25, 11)));
+        let crashy = Config::for_n(8).with_faults(FaultPlan::new(0).with_crash(2, 1, 4));
+        assert!(crashy.faults.unwrap().crashed(2, 2));
     }
 }

@@ -2,7 +2,7 @@
 //! merge that keeps the pool executor bit-for-bit identical to serial.
 //!
 //! Every message, on every executor, passes through exactly one call to
-//! [`validate`] (port range → duplicate-send → bandwidth → loss decision,
+//! [`validate`] (port range → duplicate-send → bandwidth → fault decision,
 //! in that order) and exactly one accounting step on the engine thread
 //! ([`Core::account_deliver`] / [`Core::account_drop`]). The serial
 //! executor fuses the two in [`Core::commit_outbox`]; the pool executor
@@ -15,7 +15,7 @@
 
 use std::sync::MutexGuard;
 
-use crate::config::LossPlan;
+use crate::config::{DropReason, FaultPlan};
 use crate::error::SimError;
 use crate::message::Message;
 use crate::node::{NodeId, Port};
@@ -98,21 +98,27 @@ enum Verdict {
         to_port: Port,
         bits: u32,
     },
-    /// Discarded by the loss plan (accounted as a drop).
-    Dropped,
+    /// Discarded by the fault plan (accounted as a drop).
+    Dropped(DropReason),
 }
 
 /// Validates one `(port, msg)` outbox item of node `v`. The check order —
-/// port range, duplicate send, bandwidth, loss — is part of the engine's
-/// observable behavior (it decides *which* error a doubly-faulty send
-/// reports), so both the serial commit and the worker-side staging call
-/// exactly this function.
+/// port range, duplicate send, bandwidth, fault decision — is part of the
+/// engine's observable behavior (it decides *which* error a doubly-faulty
+/// send reports), so both the serial commit and the worker-side staging
+/// call exactly this function.
+///
+/// The fault plan is consulted last, in a fixed order of its own: loss
+/// rules first (the message is lost in transit), then the receiver's crash
+/// schedule at the delivery round `send_round + 1` (the message arrives at
+/// a dead node and is discarded). Because the plan is a pure function of
+/// static data, this decision is identical on every executor.
 #[inline]
 #[allow(clippy::too_many_arguments)] // one validation check, described flat
 fn validate<M: Message>(
     topology: &Topology,
     limits: Limits,
-    loss: &Option<LossPlan>,
+    faults: &Option<FaultPlan>,
     scratch: &mut DupScratch,
     v: NodeId,
     port: Port,
@@ -157,13 +163,19 @@ fn validate<M: Message>(
              {send_round}, over the B = O(log n) budget of {budget} bits ({msg:?})"
         );
     }
-    if let Some(plan) = loss {
+    let to = topology.neighbor_at(v, port);
+    if let Some(plan) = faults {
         if plan.drops(send_round, v, port) {
-            return Ok(Verdict::Dropped);
+            return Ok(Verdict::Dropped(DropReason::Loss));
+        }
+        // Delivery happens at send_round + 1; a receiver down then never
+        // sees the message (its inbox therefore stays empty while crashed).
+        if plan.crashed(send_round + 1, to) {
+            return Ok(Verdict::Dropped(DropReason::ReceiverCrashed));
         }
     }
     Ok(Verdict::Deliver {
-        to: topology.neighbor_at(v, port),
+        to,
         to_port: topology.reverse_port(v, port),
         bits,
     })
@@ -189,12 +201,14 @@ pub(crate) enum Staged<M> {
         /// The message itself.
         msg: M,
     },
-    /// The loss plan dropped `from`'s send on `port`.
+    /// The fault plan dropped `from`'s send on `port`.
     Dropped {
         /// Sending node.
         from: NodeId,
         /// Sender-side port.
         port: Port,
+        /// Why the message was discarded.
+        reason: DropReason,
     },
 }
 
@@ -225,7 +239,7 @@ impl<M> Default for StagedShard<M> {
 pub(crate) fn stage_outbox<M: Message>(
     topology: &Topology,
     limits: Limits,
-    loss: &Option<LossPlan>,
+    faults: &Option<FaultPlan>,
     scratch: &mut DupScratch,
     v: NodeId,
     items: &mut Vec<(Port, M)>,
@@ -234,7 +248,7 @@ pub(crate) fn stage_outbox<M: Message>(
 ) -> bool {
     scratch.begin_outbox();
     for (port, msg) in items.drain(..) {
-        match validate(topology, limits, loss, scratch, v, port, &msg, send_round) {
+        match validate(topology, limits, faults, scratch, v, port, &msg, send_round) {
             Ok(Verdict::Deliver { to, to_port, bits }) => shard.entries.push(Staged::Deliver {
                 from: v,
                 to,
@@ -243,7 +257,11 @@ pub(crate) fn stage_outbox<M: Message>(
                 bits,
                 msg,
             }),
-            Ok(Verdict::Dropped) => shard.entries.push(Staged::Dropped { from: v, port }),
+            Ok(Verdict::Dropped(reason)) => shard.entries.push(Staged::Dropped {
+                from: v,
+                port,
+                reason,
+            }),
             Err(err) => {
                 // Dropping the `drain` clears the rest of the outbox.
                 shard.error = Some(err);
@@ -306,7 +324,7 @@ impl<M: Message> Core<'_, M> {
         self.in_flight += 1;
     }
 
-    /// Books one loss-plan drop.
+    /// Books one fault-plan drop.
     #[inline]
     fn account_drop(
         &mut self,
@@ -314,10 +332,11 @@ impl<M: Message> Core<'_, M> {
         send_round: u64,
         from: NodeId,
         port: Port,
+        reason: DropReason,
     ) {
         self.stats.dropped += 1;
         if let Some(obs) = observer.as_deref_mut() {
-            obs.on_drop(send_round, from, port);
+            obs.on_drop(send_round, from, port, reason);
         }
     }
 
@@ -342,7 +361,7 @@ impl<M: Message> Core<'_, M> {
             match validate(
                 self.topology,
                 limits,
-                &self.config.loss,
+                &self.config.faults,
                 scratch,
                 v,
                 port,
@@ -352,7 +371,9 @@ impl<M: Message> Core<'_, M> {
                 Verdict::Deliver { to, to_port, bits } => {
                     self.account_deliver(observer, send_round, v, port, to, to_port, bits, msg);
                 }
-                Verdict::Dropped => self.account_drop(observer, send_round, v, port),
+                Verdict::Dropped(reason) => {
+                    self.account_drop(observer, send_round, v, port, reason);
+                }
             }
         }
         Ok(())
@@ -380,8 +401,8 @@ impl<M: Message> Core<'_, M> {
                     bits,
                     msg,
                 } => self.account_deliver(observer, send_round, from, port, to, to_port, bits, msg),
-                Staged::Dropped { from, port } => {
-                    self.account_drop(observer, send_round, from, port);
+                Staged::Dropped { from, port, reason } => {
+                    self.account_drop(observer, send_round, from, port, reason);
                 }
             }
         }

@@ -10,7 +10,7 @@
 //!    filling outboxes (node-local work, the only phase that
 //!    parallelizes);
 //! 3. **commit** — every outbox is validated and booked **in node-id
-//!    order**: bandwidth/duplicate/port checks, loss decisions, trace
+//!    order**: bandwidth/duplicate/port checks, fault decisions, trace
 //!    events, observer callbacks, statistics, and next-round inboxes.
 //!
 //! The pipeline itself lives in [`Simulator::run`]; *how* each phase
@@ -253,9 +253,10 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
                 // the scope's implicit join).
                 let topology = self.core.topology;
                 let limits = commit::Limits::of(&self.core.config);
-                let loss = self.core.config.loss;
+                let faults = self.core.config.faults.clone();
                 std::thread::scope(move |scope| {
-                    let executor = PoolExecutor::new(scope, topology, limits, loss, nodes, workers);
+                    let executor =
+                        PoolExecutor::new(scope, topology, limits, faults, nodes, workers);
                     self.drive(executor, started)
                 })
             }
@@ -319,6 +320,21 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
         let mut timing = RoundTiming::default();
         if let Some(obs) = &core.config.observer {
             obs.lock().on_round_start(core.round, delivered);
+        }
+        // Crash windows are booked here, on the engine thread, before the
+        // pipeline phases run — in node-id order, so the observer stream
+        // and the crashed counter are identical for every executor.
+        if let Some(plan) = &core.config.faults {
+            if plan.has_crashes() {
+                let down = plan.crashed_nodes(core.round);
+                core.stats.crashed += down.len() as u64;
+                if let Some(obs) = &core.config.observer {
+                    let mut obs = obs.lock();
+                    for &v in &down {
+                        obs.on_crash(core.round, v);
+                    }
+                }
+            }
         }
         let clock = watch.then(std::time::Instant::now);
         executor.deliver(core);
@@ -688,6 +704,61 @@ mod tests {
             assert!(sim.run().is_ok());
         }
     }
+
+    /// Node 0 fires one token per round for 5 rounds; node 1 counts them.
+    struct Repeater {
+        me: NodeId,
+        sent: u64,
+        got: u64,
+    }
+    impl NodeAlgorithm for Repeater {
+        type Message = Token;
+        type Output = u64;
+        fn on_start(&mut self, ctx: &NodeContext<'_>, out: &mut Outbox<Token>) {
+            if ctx.node_id() == 0 {
+                self.sent = 1;
+                out.send(0, Token);
+            }
+        }
+        fn on_round(&mut self, _: &NodeContext<'_>, inbox: &Inbox<Token>, out: &mut Outbox<Token>) {
+            self.got += inbox.iter().count() as u64;
+            if self.me == 0 && self.sent < 5 {
+                self.sent += 1;
+                out.send(0, Token);
+            }
+        }
+        fn is_active(&self) -> bool {
+            self.me == 0 && self.sent < 5
+        }
+        fn into_output(self, _: &NodeContext<'_>) -> u64 {
+            self.got
+        }
+    }
+
+    /// A crash window freezes the node (no step, deliveries into the
+    /// window vanish) and the node resumes with its state intact once the
+    /// window closes — identically on every executor.
+    #[test]
+    fn crashed_node_freezes_and_resumes() {
+        let topo = path(2);
+        // Node 1 is down for rounds 2 and 3: the tokens *delivered* in
+        // those rounds (sent in rounds 1 and 2) are lost; the rest arrive.
+        let faults = crate::FaultPlan::new(0).with_crash(1, 2, 4);
+        for executor in [ExecutorKind::Serial, ExecutorKind::Pool { workers: 2 }] {
+            let cfg = Config::for_n(2)
+                .with_faults(faults.clone())
+                .with_executor(executor);
+            let sim = Simulator::new(&topo, cfg, |ctx| Repeater {
+                me: ctx.node_id(),
+                sent: 0,
+                got: 0,
+            });
+            let report = sim.run().unwrap();
+            assert_eq!(report.outputs, vec![0, 3], "{executor:?}");
+            assert_eq!(report.stats.dropped, 2, "{executor:?}");
+            assert_eq!(report.stats.crashed, 2, "{executor:?}");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -910,6 +981,60 @@ mod obs_tests {
         assert_eq!(
             stream.iter().map(|r| r.dropped).sum::<u64>(),
             report.stats.dropped
+        );
+    }
+
+    /// The full adversary — burst loss composed with crash windows — makes
+    /// all three engines (serial, pooled, reference) produce bit-identical
+    /// outputs, stats, and metric streams, with the crash column of the
+    /// stream summing to the stats counter.
+    #[test]
+    fn fault_adversary_is_identical_across_engines() {
+        use crate::{FaultPlan, LossRule, ReferenceSimulator};
+        let topo = ring(9);
+        // Burst probability stays below 1.0 so round 0 (inside the first
+        // burst window) cannot silence the whole network.
+        let faults = FaultPlan::new(11)
+            .with_rule(LossRule::Burst {
+                probability: 0.7,
+                period: 5,
+                len: 2,
+            })
+            .with_rule(LossRule::Uniform { probability: 0.05 })
+            .with_crash(3, 1, 4)
+            .with_crash(6, 2, 3);
+        let cfg = || Config::for_n(9).with_faults(faults.clone());
+        let observed = |cfg: Config| {
+            let rec = SharedObserver::new(MetricsRecorder::new());
+            (cfg.with_observer(rec.observer()), rec)
+        };
+        let (serial_cfg, _) = observed(cfg());
+        let serial = Simulator::new(&topo, serial_cfg, gossip(9)).run().unwrap();
+        let (pool_cfg, _) = observed(cfg().with_threads(3));
+        let pooled = Simulator::new(&topo, pool_cfg, gossip(9)).run().unwrap();
+        let (seed_cfg, _) = observed(cfg());
+        let seed = ReferenceSimulator::new(&topo, seed_cfg, gossip(9))
+            .run()
+            .unwrap();
+        assert!(serial.stats.dropped > 0, "adversary should drop something");
+        assert_eq!(
+            serial.stats.crashed, 4,
+            "3 rounds down for node 3 + 1 for node 6"
+        );
+        assert_eq!(serial.stats, pooled.stats);
+        assert_eq!(serial.stats, seed.stats);
+        assert_eq!(serial.outputs, pooled.outputs);
+        assert_eq!(serial.outputs, seed.outputs);
+        assert_eq!(serial.metrics, pooled.metrics);
+        assert_eq!(serial.metrics, seed.metrics);
+        let stream = serial.metrics.expect("recorder attached");
+        assert_eq!(
+            stream.iter().map(|r| r.crashed).sum::<u64>(),
+            serial.stats.crashed
+        );
+        assert_eq!(
+            stream.iter().map(|r| r.dropped).sum::<u64>(),
+            serial.stats.dropped
         );
     }
 }

@@ -35,7 +35,7 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::{Scope, ScopedJoinHandle};
 
 use crate::algorithm::NodeAlgorithm;
-use crate::config::LossPlan;
+use crate::config::FaultPlan;
 use crate::error::SimError;
 use crate::node::{NodeContext, NodeId, Outbox, Port};
 use crate::topology::Topology;
@@ -107,7 +107,7 @@ fn worker_loop<A: NodeAlgorithm>(
     n: usize,
     base: usize,
     limits: Limits,
-    loss: Option<LossPlan>,
+    faults: Option<FaultPlan>,
     cmd: Receiver<Command<A>>,
     reply: Sender<Reply<A>>,
 ) {
@@ -131,7 +131,7 @@ fn worker_loop<A: NodeAlgorithm>(
                     base,
                     round,
                     limits,
-                    &loss,
+                    &faults,
                     &mut scratch,
                     &mut nodes,
                     &mut inboxes,
@@ -171,7 +171,7 @@ fn step_shard<A: NodeAlgorithm>(
     base: usize,
     round: u64,
     limits: Limits,
-    loss: &Option<LossPlan>,
+    faults: &Option<FaultPlan>,
     scratch: &mut DupScratch,
     nodes: &mut [Option<A>],
     inboxes: &mut [Vec<(Port, A::Message)>],
@@ -184,21 +184,20 @@ fn step_shard<A: NodeAlgorithm>(
         .zip(outboxes.iter_mut())
         .enumerate()
     {
-        step_node(
-            topology,
-            n,
-            round,
-            (base + j) as NodeId,
-            node,
-            inbox,
-            outbox,
-        );
+        let v = (base + j) as NodeId;
+        // Same crash rule as the serial executor: a crashed node's state
+        // freezes and its (empty-by-construction) inbox is left untouched.
+        if faults.as_ref().is_some_and(|f| f.crashed(round, v)) {
+            debug_assert!(inbox.is_empty(), "crashed node received a message");
+            continue;
+        }
+        step_node(topology, n, round, v, node, inbox, outbox);
     }
     for (j, outbox) in outboxes.iter_mut().enumerate() {
         if !stage_outbox(
             topology,
             limits,
-            loss,
+            faults,
             scratch,
             (base + j) as NodeId,
             &mut outbox.items,
@@ -220,7 +219,7 @@ pub(crate) struct PoolExecutor<'t, 'scope, A: NodeAlgorithm> {
     topology: &'t Topology,
     n: usize,
     limits: Limits,
-    loss: Option<LossPlan>,
+    faults: Option<FaultPlan>,
     /// All node states before `start` hands the spawned workers their
     /// shards; shard 0's states afterwards.
     nodes: Vec<Option<A>>,
@@ -262,7 +261,7 @@ where
         scope: &'scope Scope<'scope, 'env>,
         topology: &'t Topology,
         limits: Limits,
-        loss: Option<LossPlan>,
+        faults: Option<FaultPlan>,
         nodes: Vec<Option<A>>,
         workers: usize,
     ) -> Self
@@ -281,8 +280,10 @@ where
             let (cmd_tx, cmd_rx) = channel();
             let (reply_tx, reply_rx) = channel();
             SPAWNED.fetch_add(1, Ordering::Relaxed);
+            // Each worker owns its copy of the (static, read-only) plan.
+            let worker_faults = faults.clone();
             let thread = scope.spawn(move || {
-                worker_loop::<A>(topology, n, base, limits, loss, cmd_rx, reply_tx);
+                worker_loop::<A>(topology, n, base, limits, worker_faults, cmd_rx, reply_tx);
             });
             pool.push(Worker {
                 base,
@@ -297,7 +298,7 @@ where
             topology,
             n,
             limits,
-            loss,
+            faults,
             nodes,
             local_len,
             local_inboxes: Vec::new(),
@@ -328,6 +329,15 @@ where
             let handle = core.config.observer.clone();
             let mut observer = handle.as_ref().map(|h| h.lock());
             for v in 0..n {
+                // Mirror the serial executor: nodes crashed at round 0
+                // never run `on_start`.
+                if self
+                    .faults
+                    .as_ref()
+                    .is_some_and(|f| f.crashed(0, v as NodeId))
+                {
+                    continue;
+                }
                 let ctx = NodeContext {
                     node_id: v as NodeId,
                     num_nodes: n,
@@ -395,7 +405,7 @@ where
             0,
             core.round,
             self.limits,
-            &self.loss,
+            &self.faults,
             &mut self.scratch,
             &mut self.nodes,
             &mut self.local_inboxes,

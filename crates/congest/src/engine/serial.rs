@@ -43,6 +43,17 @@ impl<A: NodeAlgorithm> Executor<A> for SerialExecutor<'_, A> {
         let handle = core.config.observer.clone();
         let mut observer = handle.as_ref().map(|h| h.lock());
         for v in 0..n {
+            // A node already inside a crash window at round 0 never boots;
+            // it runs `on_start` only conceptually, after restarting (i.e.
+            // not at all — restarts resume the frozen state).
+            if core
+                .config
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.crashed(0, v as NodeId))
+            {
+                continue;
+            }
             let ctx = NodeContext {
                 node_id: v as NodeId,
                 num_nodes: n,
@@ -72,6 +83,8 @@ impl<A: NodeAlgorithm> Executor<A> for SerialExecutor<'_, A> {
 
     fn step(&mut self, core: &mut Core<'_, A::Message>) {
         let n = self.nodes.len();
+        let round = core.round;
+        let faults = &core.config.faults;
         for (v, ((node, inbox), outbox)) in self
             .nodes
             .iter_mut()
@@ -79,15 +92,17 @@ impl<A: NodeAlgorithm> Executor<A> for SerialExecutor<'_, A> {
             .zip(self.outboxes.iter_mut())
             .enumerate()
         {
-            step_node(
-                self.topology,
-                n,
-                core.round,
-                v as NodeId,
-                node,
-                inbox,
-                outbox,
-            );
+            // Crashed nodes are not stepped: their state freezes until the
+            // window ends. Their inboxes are empty by construction — every
+            // message to them was discarded at the validation point.
+            if faults
+                .as_ref()
+                .is_some_and(|f| f.crashed(round, v as NodeId))
+            {
+                debug_assert!(inbox.is_empty(), "crashed node received a message");
+                continue;
+            }
+            step_node(self.topology, n, round, v as NodeId, node, inbox, outbox);
         }
     }
 

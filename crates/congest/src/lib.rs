@@ -86,7 +86,7 @@ pub mod obs;
 pub mod trace;
 
 pub use algorithm::NodeAlgorithm;
-pub use config::{Config, ExecutorKind, LossPlan};
+pub use config::{Config, CrashWindow, DropReason, ExecutorKind, FaultPlan, LossPlan, LossRule};
 pub use engine::pool_workers_spawned;
 pub use engine::{Report, Simulator};
 pub use error::SimError;

@@ -63,6 +63,14 @@ impl<'a> NodeContext<'a> {
     pub fn round(&self) -> u64 {
         self.round
     }
+
+    /// A copy of this context with the round overridden — for wrappers
+    /// that drive an inner protocol on a *simulated* clock (e.g. a
+    /// synchronizer replaying lock-step rounds over an unreliable
+    /// transport), so the inner kernel sees its own consistent time.
+    pub fn at_round(&self, round: u64) -> NodeContext<'a> {
+        NodeContext { round, ..*self }
+    }
 }
 
 /// The messages a node received at the start of a round, tagged with the
@@ -164,6 +172,10 @@ mod tests {
         assert_eq!(ctx.num_nodes(), 10);
         assert_eq!(ctx.degree(), 2);
         assert_eq!(ctx.neighbor(1), 7);
+        assert_eq!(ctx.round(), 2);
+        let shifted = ctx.at_round(9);
+        assert_eq!(shifted.round(), 9);
+        assert_eq!(shifted.node_id(), 5);
         assert_eq!(ctx.round(), 2);
     }
 

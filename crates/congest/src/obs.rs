@@ -60,6 +60,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
+use crate::config::DropReason;
 use crate::node::{NodeId, Port};
 use crate::stats::RunStats;
 
@@ -154,8 +155,15 @@ pub trait Observer: Send {
     /// A message passed validation and was accepted for delivery.
     fn on_message(&mut self, _ev: &MessageEvent) {}
     /// A message was dropped by the configured
-    /// [`LossPlan`](crate::LossPlan) during round `send_round`'s commit.
-    fn on_drop(&mut self, _send_round: u64, _from: NodeId, _from_port: Port) {}
+    /// [`FaultPlan`](crate::FaultPlan) during round `send_round`'s commit;
+    /// `reason` says whether a loss rule fired or the receiver was inside a
+    /// crash window at delivery time.
+    fn on_drop(&mut self, _send_round: u64, _from: NodeId, _from_port: Port, _reason: DropReason) {}
+    /// Node `node` sits out round `round` inside a
+    /// [`CrashWindow`](crate::CrashWindow). Called once per crashed node
+    /// per round, in node-id order, between `on_round_start` and the
+    /// round's commit events.
+    fn on_crash(&mut self, _round: u64, _node: NodeId) {}
     /// Round `round` finished committing.
     fn on_round_end(&mut self, _round: u64, _timing: &RoundTiming) {}
     /// The run reached quiescence; `stats` is final (including wall time).
@@ -275,9 +283,14 @@ impl Observer for FanOut {
             obs.lock().on_message(ev);
         }
     }
-    fn on_drop(&mut self, send_round: u64, from: NodeId, from_port: Port) {
+    fn on_drop(&mut self, send_round: u64, from: NodeId, from_port: Port, reason: DropReason) {
         for obs in &self.observers {
-            obs.lock().on_drop(send_round, from, from_port);
+            obs.lock().on_drop(send_round, from, from_port, reason);
+        }
+    }
+    fn on_crash(&mut self, round: u64, node: NodeId) {
+        for obs in &self.observers {
+            obs.lock().on_crash(round, node);
         }
     }
     fn on_round_end(&mut self, round: u64, timing: &RoundTiming) {
@@ -301,7 +314,8 @@ impl Observer for FanOut {
 ///
 /// Row `r` accounts for the commits performed during round `r` (row 0 holds
 /// the `on_start` sends): `messages`/`bits` were accepted for delivery at
-/// round `r + 1`, `dropped` were discarded by the loss plan. Summing a
+/// round `r + 1`, `dropped` were discarded by the fault plan, `crashed`
+/// counts the nodes sitting out round `r` inside a crash window. Summing a
 /// column over the stream therefore reproduces the corresponding
 /// [`RunStats`] total exactly, and a stream always has
 /// `stats.rounds + 1` rows.
@@ -315,8 +329,11 @@ pub struct RoundMetrics {
     pub messages: u64,
     /// Payload bits committed this round.
     pub bits: u64,
-    /// Messages dropped by the loss plan this round.
+    /// Messages dropped by the fault plan this round (loss rules plus
+    /// deliveries into crash windows).
     pub dropped: u64,
+    /// Nodes sitting out this round inside a crash window.
+    pub crashed: u64,
     /// Distinct nodes that sent at least one message this round.
     pub active_nodes: u32,
     /// The largest number of messages any single *undirected* edge carried
@@ -343,6 +360,7 @@ impl RoundMetrics {
             messages: 0,
             bits: 0,
             dropped: 0,
+            crashed: 0,
             active_nodes: 0,
             max_edge_load: 0,
             edge_load_hist: Vec::new(),
@@ -358,7 +376,7 @@ impl RoundMetrics {
         format!(
             concat!(
                 "{{\"phase\":\"{}\",\"round\":{},\"messages\":{},\"bits\":{},",
-                "\"dropped\":{},\"active_nodes\":{},\"max_edge_load\":{},",
+                "\"dropped\":{},\"crashed\":{},\"active_nodes\":{},\"max_edge_load\":{},",
                 "\"edge_load_hist\":[{}],\"deliver_ns\":{},\"step_ns\":{},",
                 "\"commit_ns\":{}}}"
             ),
@@ -367,6 +385,7 @@ impl RoundMetrics {
             self.messages,
             self.bits,
             self.dropped,
+            self.crashed,
             self.active_nodes,
             self.max_edge_load,
             hist.join(","),
@@ -387,6 +406,7 @@ impl PartialEq for RoundMetrics {
             && self.messages == other.messages
             && self.bits == other.bits
             && self.dropped == other.dropped
+            && self.crashed == other.crashed
             && self.active_nodes == other.active_nodes
             && self.max_edge_load == other.max_edge_load
             && self.edge_load_hist == other.edge_load_hist
@@ -503,7 +523,7 @@ impl Observer for MetricsRecorder {
         }
     }
 
-    fn on_drop(&mut self, _send_round: u64, from: NodeId, _from_port: Port) {
+    fn on_drop(&mut self, _send_round: u64, from: NodeId, _from_port: Port, _reason: DropReason) {
         let row = self.row();
         row.dropped += 1;
         // A dropped send still makes the sender active this round.
@@ -511,6 +531,10 @@ impl Observer for MetricsRecorder {
             self.last_sender = Some(from);
             self.row().active_nodes += 1;
         }
+    }
+
+    fn on_crash(&mut self, _round: u64, _node: NodeId) {
+        self.row().crashed += 1;
     }
 
     fn on_round_end(&mut self, _round: u64, timing: &RoundTiming) {
@@ -543,6 +567,10 @@ pub struct PhaseProfile {
     pub rounds: u64,
     /// Messages committed.
     pub messages: u64,
+    /// Messages dropped by the fault plan.
+    pub dropped: u64,
+    /// Crashed node-rounds.
+    pub crashed: u64,
     /// Total inbox-turnover time.
     pub deliver: Duration,
     /// Total node-stepping time.
@@ -588,6 +616,8 @@ impl PhaseProfiler {
         for p in &self.profiles {
             total.rounds += p.rounds;
             total.messages += p.messages;
+            total.dropped += p.dropped;
+            total.crashed += p.crashed;
             total.deliver += p.deliver;
             total.step += p.step;
             total.commit += p.commit;
@@ -611,6 +641,18 @@ impl Observer for PhaseProfiler {
     fn on_message(&mut self, _ev: &MessageEvent) {
         if let Some(p) = self.profiles.last_mut() {
             p.messages += 1;
+        }
+    }
+
+    fn on_drop(&mut self, _send_round: u64, _from: NodeId, _from_port: Port, _reason: DropReason) {
+        if let Some(p) = self.profiles.last_mut() {
+            p.dropped += 1;
+        }
+    }
+
+    fn on_crash(&mut self, _round: u64, _node: NodeId) {
+        if let Some(p) = self.profiles.last_mut() {
+            p.crashed += 1;
         }
     }
 
@@ -872,7 +914,8 @@ mod tests {
         rec.on_round_start(1, 1);
         rec.on_message(&ev(1, 1, 0, 2, 5, None));
         rec.on_message(&ev(1, 1, 2, 3, 0, None));
-        rec.on_drop(1, 2, 0);
+        rec.on_drop(1, 2, 0, DropReason::Loss);
+        rec.on_crash(1, 3);
         rec.on_run_end(&RunStats::default());
         let stream = rec.stream();
         assert_eq!(stream.len(), 2);
@@ -880,6 +923,7 @@ mod tests {
         assert_eq!(stream[0].messages, 1);
         assert_eq!(stream[1].messages, 2);
         assert_eq!(stream[1].dropped, 1);
+        assert_eq!(stream[1].crashed, 1);
         assert_eq!(stream[1].active_nodes, 2); // sender 1 (twice) + dropped sender 2
         assert_eq!(stream[1].max_edge_load, 1);
         assert_eq!(stream[1].edge_load_hist, vec![2]);
@@ -992,6 +1036,8 @@ mod tests {
         for phase in ["a", "b"] {
             prof.on_run_start(&info(phase));
             prof.on_message(&ev(0, 0, 1, 0, 3, None));
+            prof.on_drop(0, 2, 0, DropReason::ReceiverCrashed);
+            prof.on_crash(1, 3);
             prof.on_round_end(
                 1,
                 &RoundTiming {
@@ -1007,6 +1053,8 @@ mod tests {
         assert_eq!(prof.profiles()[0].messages, 1);
         let total = prof.total();
         assert_eq!(total.rounds, 2);
+        assert_eq!(total.dropped, 2);
+        assert_eq!(total.crashed, 2);
         assert_eq!(total.phase, "a+b");
         assert!((total.commit_share() - 0.7).abs() < 1e-9);
     }

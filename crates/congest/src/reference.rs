@@ -9,7 +9,7 @@
 //! `dapsp-bench/engine_throughput`) quantify the throughput difference.
 
 use crate::algorithm::NodeAlgorithm;
-use crate::config::Config;
+use crate::config::{Config, DropReason};
 use crate::engine::Report;
 use crate::error::SimError;
 use crate::message::Message;
@@ -105,16 +105,26 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
                     bandwidth_bits: self.config.bandwidth_bits,
                 });
             }
-            if let Some(plan) = &self.config.loss {
-                if plan.drops(send_round, v, port) {
+            let to = self.topology.neighbor_at(v, port);
+            if let Some(plan) = &self.config.faults {
+                // Same decision order as the optimized engine's validate:
+                // loss rules first, then the receiver's crash window at
+                // delivery time (send_round + 1).
+                let reason = if plan.drops(send_round, v, port) {
+                    Some(DropReason::Loss)
+                } else if plan.crashed(send_round + 1, to) {
+                    Some(DropReason::ReceiverCrashed)
+                } else {
+                    None
+                };
+                if let Some(reason) = reason {
                     self.stats.dropped += 1;
                     if let Some(obs) = observer.as_deref_mut() {
-                        obs.on_drop(send_round, v, port);
+                        obs.on_drop(send_round, v, port, reason);
                     }
                     continue;
                 }
             }
-            let to = self.topology.neighbor_at(v, port);
             let to_port = self.topology.reverse_port(v, port);
             if let Some(trace) = &mut self.trace {
                 trace.record(Event {
@@ -149,6 +159,15 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
 
     fn start_all(&mut self) -> Result<(), SimError> {
         for v in 0..self.nodes.len() {
+            // A node already inside a crash window at round 0 never boots.
+            if self
+                .config
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.crashed(0, v as NodeId))
+            {
+                continue;
+            }
             let ctx = NodeContext {
                 node_id: v as NodeId,
                 num_nodes: self.nodes.len(),
@@ -180,6 +199,21 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
         if let Some(obs) = &self.config.observer {
             obs.lock().on_round_start(self.round, delivered);
         }
+        // Crash bookkeeping sits between round start and delivery, exactly
+        // where the optimized engine books it, so observers see identical
+        // event orders from both engines.
+        if let Some(plan) = &self.config.faults {
+            if plan.has_crashes() {
+                let down = plan.crashed_nodes(self.round);
+                self.stats.crashed += down.len() as u64;
+                if let Some(obs) = &self.config.observer {
+                    let mut obs = obs.lock();
+                    for &v in &down {
+                        obs.on_crash(self.round, v);
+                    }
+                }
+            }
+        }
         // The seed engine allocates n fresh inboxes per round — its
         // "deliver" time is real work, unlike the optimized engine's swap.
         let clock = watch.then(std::time::Instant::now);
@@ -192,6 +226,17 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
         // accumulates per-node durations instead of bracketing two loops.
         #[allow(clippy::needless_range_loop)] // v doubles as the node id
         for v in 0..n {
+            // Crashed nodes freeze: no step, no commit. Their inboxes are
+            // empty by construction (deliveries into the window dropped).
+            if self
+                .config
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.crashed(self.round, v as NodeId))
+            {
+                debug_assert!(inboxes[v].is_empty(), "crashed node received a message");
+                continue;
+            }
             let clock = watch.then(std::time::Instant::now);
             inboxes[v].sort_by_key(|(p, _)| *p);
             let inbox = Inbox {

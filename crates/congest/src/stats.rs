@@ -18,9 +18,14 @@ pub struct RunStats {
     pub max_message_bits: u32,
     /// Largest number of messages delivered in any single round.
     pub max_messages_per_round: u64,
-    /// Messages dropped by fault injection (see
-    /// [`LossPlan`](crate::Config)); always 0 without a loss plan.
+    /// Messages dropped by fault injection — loss rules plus deliveries
+    /// into crash windows (see [`FaultPlan`](crate::FaultPlan)); always 0
+    /// without a fault plan.
     pub dropped: u64,
+    /// Crashed node-rounds: how many times some node sat out a round
+    /// inside a [`CrashWindow`](crate::CrashWindow); always 0 without
+    /// scheduled crashes.
+    pub crashed: u64,
     /// Wall-clock time of the run, filled in by the simulator. Excluded
     /// from equality so determinism checks (`stats_a == stats_b`) compare
     /// only model-level quantities.
@@ -37,6 +42,7 @@ impl PartialEq for RunStats {
             && self.max_message_bits == other.max_message_bits
             && self.max_messages_per_round == other.max_messages_per_round
             && self.dropped == other.dropped
+            && self.crashed == other.crashed
     }
 }
 
@@ -55,6 +61,7 @@ impl RunStats {
             .max_messages_per_round
             .max(other.max_messages_per_round);
         self.dropped += other.dropped;
+        self.crashed += other.crashed;
         self.wall_time += other.wall_time;
     }
 }
@@ -71,6 +78,9 @@ impl std::fmt::Display for RunStats {
         }
         if self.dropped > 0 {
             write!(f, ", {} dropped", self.dropped)?;
+        }
+        if self.crashed > 0 {
+            write!(f, ", {} crashed node-rounds", self.crashed)?;
         }
         Ok(())
     }
@@ -89,6 +99,7 @@ mod tests {
             max_message_bits: 16,
             max_messages_per_round: 30,
             dropped: 1,
+            crashed: 4,
             wall_time: std::time::Duration::from_millis(3),
         };
         let b = RunStats {
@@ -98,6 +109,7 @@ mod tests {
             max_message_bits: 20,
             max_messages_per_round: 10,
             dropped: 2,
+            crashed: 1,
             wall_time: std::time::Duration::from_millis(4),
         };
         a.absorb_sequential(&b);
@@ -107,6 +119,7 @@ mod tests {
         assert_eq!(a.max_message_bits, 20);
         assert_eq!(a.max_messages_per_round, 30);
         assert_eq!(a.dropped, 3);
+        assert_eq!(a.crashed, 5);
         assert_eq!(a.wall_time, std::time::Duration::from_millis(7));
     }
 
@@ -149,10 +162,12 @@ mod tests {
             messages: 9,
             max_messages_per_round: 4,
             dropped: 2,
+            crashed: 3,
             ..RunStats::default()
         };
         let rendered = s.to_string();
         assert!(rendered.contains("peak 4/round"), "{rendered}");
         assert!(rendered.contains("2 dropped"), "{rendered}");
+        assert!(rendered.contains("3 crashed node-rounds"), "{rendered}");
     }
 }

@@ -7,11 +7,13 @@
 //! the total flows back down so *every* node knows it, as Definition 6
 //! requires.
 
-use dapsp_congest::{Config, RunStats, Topology};
+use dapsp_congest::{Config, FaultPlan, RunStats, Topology};
 use dapsp_graph::Graph;
 
 use crate::error::CoreError;
-use crate::kernel::{run_protocol_on, ConvergecastKernel};
+use crate::kernel::{
+    run_protocol_on, split_reliable_report, ConvergecastKernel, RelStats, ReliableKernel,
+};
 use crate::observe::Obs;
 use crate::tree::TreeKnowledge;
 
@@ -161,6 +163,72 @@ pub fn run_on_obs(
         value,
         stats: report.stats,
     })
+}
+
+/// Like [`run_on_obs`], over links a [`FaultPlan`] drops messages from:
+/// the convergecast runs inside the
+/// [`ReliableKernel`], so the aggregate is
+/// exact for any loss rate below one. Returns the transport statistics
+/// alongside the result.
+///
+/// # Errors
+///
+/// Same as [`run`]; unbeatable adversaries fail loudly via
+/// [`CoreError::Sim`].
+pub fn run_faulty_on(
+    topology: &Topology,
+    tree: &TreeKnowledge,
+    values: &[u64],
+    op: AggOp,
+    faults: FaultPlan,
+    obs: Obs<'_>,
+) -> Result<(AggregateResult, RelStats), CoreError> {
+    let n = topology.num_nodes();
+    if n == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    if values.len() != n {
+        return Err(CoreError::InvalidParameter(format!(
+            "got {} values for {} nodes",
+            values.len(),
+            n
+        )));
+    }
+    if !tree.spans_all() {
+        return Err(CoreError::InvalidParameter(
+            "aggregation tree does not span the graph".into(),
+        ));
+    }
+    // Convergecast up plus broadcast down is 2·depth(T) + O(1) rounds
+    // fault-free; depth ≤ n − 1.
+    let horizon = 2 * n as u64 + 4;
+    let label = match op {
+        AggOp::Max => "agg:max:reliable",
+        AggOp::Min => "agg:min:reliable",
+        AggOp::Sum => "agg:sum:reliable",
+        AggOp::Or => "agg:or:reliable",
+    };
+    let config = obs.apply(Config::for_n(n), label).with_faults(faults);
+    let report = run_protocol_on(topology, config, |ctx| {
+        ReliableKernel::new(
+            ConvergecastKernel::new(ctx, tree, values[ctx.node_id() as usize], op),
+            horizon,
+            crate::bfs::FAULTY_MAX_RETRIES,
+        )
+    })?;
+    let (report, rel) = split_reliable_report(report);
+    let value = report.outputs[tree.root as usize];
+    debug_assert!(
+        report.outputs.iter().all(|&r| r == value),
+        "all nodes must agree on the aggregate"
+    );
+    Ok((
+        AggregateResult {
+            value,
+            stats: report.stats,
+        },
+        rel,
+    ))
 }
 
 #[cfg(test)]

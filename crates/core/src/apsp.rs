@@ -22,12 +22,15 @@
 //! also record *cycle candidates* (two wave receipts for the same root),
 //! which is exactly what Lemma 7 needs to compute the girth.
 
-use dapsp_congest::{Config, NodeContext, ObserverHandle, RunStats, Topology};
+use dapsp_congest::{Config, FaultPlan, NodeContext, ObserverHandle, RunStats, Topology};
 use dapsp_graph::{DistanceMatrix, Graph, INFINITY};
 
 use crate::bfs;
 use crate::error::CoreError;
-use crate::kernel::{run_protocol_on, Coupling, PebbleKernel, Stack, WaveKernel, WaveState};
+use crate::kernel::{
+    run_protocol_on, split_reliable_report, Coupling, PebbleKernel, RelStats, ReliableKernel,
+    Stack, WaveKernel, WaveState,
+};
 use crate::observe::Obs;
 use crate::runner::fold_outputs;
 use crate::tree::TreeKnowledge;
@@ -185,6 +188,70 @@ pub fn run_profiled(graph: &Graph) -> Result<(ApspResult, Vec<u64>), CoreError> 
     }
     run_phases(&graph.to_topology(), true, u32::MAX, true, Obs::none())
         .map(|(result, profile)| (result, profile.expect("profiling was requested")))
+}
+
+/// Like [`run`], over links a [`FaultPlan`] adversary drops messages
+/// from: both phases run inside the
+/// [`ReliableKernel`] synchronizer, so for
+/// any loss rate `p < 1` the distance matrix, next hops, and girth
+/// candidates are *bit-identical* to the fault-free run. The returned
+/// [`RelStats`] aggregates both phases' transport cost; the result's
+/// `stats.rounds` against a fault-free run's measures the round
+/// inflation (≈ 2× fault-free, ≈ 2/(1−p)× under loss `p`).
+///
+/// # Errors
+///
+/// Same as [`run`]; an adversary no retransmission budget can beat (e.g.
+/// a permanently severed link) fails loudly with a round-limit
+/// [`CoreError::Sim`] instead of returning corrupted distances.
+pub fn run_faulty(graph: &Graph, faults: FaultPlan) -> Result<(ApspResult, RelStats), CoreError> {
+    if graph.num_nodes() == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    run_faulty_on(&graph.to_topology(), faults, Obs::none())
+}
+
+/// Like [`run_faulty`], over a prebuilt [`Topology`] with an optional
+/// observer (`"bfs:reliable"` and `"apsp:waves:reliable"` phases) — the
+/// entry point the fault-sweep benchmark drives.
+///
+/// # Errors
+///
+/// Same as [`run_faulty`].
+pub fn run_faulty_on(
+    topology: &Topology,
+    faults: FaultPlan,
+    obs: Obs<'_>,
+) -> Result<(ApspResult, RelStats), CoreError> {
+    let n = topology.num_nodes();
+    if n == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    // Phase A: build T_1 reliably.
+    let (t1, mut rel) = bfs::run_faulty_on(topology, 0, faults.clone(), obs)?;
+    if !t1.reached_all() {
+        return Err(CoreError::Disconnected);
+    }
+    // Phase B: Theorem 1 bounds the fault-free pebble + wave phase by
+    // 4n + 10 rounds; the horizon pads that.
+    let horizon = 4 * n as u64 + 16;
+    let config = obs
+        .apply(Config::for_n(n), "apsp:waves:reliable")
+        .with_faults(faults);
+    let report = run_protocol_on(topology, config, |ctx| {
+        ReliableKernel::new(
+            Stack::coupled(
+                PebbleKernel::new(ctx, &t1.tree, true),
+                WaveKernel::all_roots(ctx, u32::MAX),
+                StartWaveOnRelease,
+            ),
+            horizon,
+            crate::bfs::FAULTY_MAX_RETRIES,
+        )
+    })?;
+    let (report, rel_b) = split_reliable_report(report);
+    rel.absorb(&rel_b);
+    Ok((assemble(topology, t1, report), rel))
 }
 
 /// Computes **all k-BFS trees** (Definition 7 of the paper): every node
@@ -413,6 +480,41 @@ mod tests {
         let r = run(&g).unwrap();
         assert_eq!(r.distances.get(0, 0), Some(0));
         assert_eq!(r.girth_candidate, None);
+    }
+
+    #[test]
+    fn reliable_apsp_is_exact_under_loss() {
+        for (g, seed) in [
+            (generators::cycle(8), 3u64),
+            (generators::grid(3, 3), 7),
+            (generators::lollipop(4, 4), 11),
+        ] {
+            let clean = run(&g).unwrap();
+            let (faulty, rel) = run_faulty(&g, FaultPlan::uniform_loss(0.1, seed)).unwrap();
+            assert_eq!(faulty.distances, reference::apsp(&g));
+            assert_eq!(faulty.distances, clean.distances);
+            assert_eq!(faulty.next_hop, clean.next_hop);
+            assert_eq!(faulty.girth_candidate, clean.girth_candidate);
+            assert_eq!(faulty.local_girth_candidates, clean.local_girth_candidates);
+            assert!(faulty.stats.dropped > 0, "adversary never fired");
+            assert!(rel.retransmissions > 0, "loss never forced a retransmit");
+            assert!(!rel.gave_up);
+            assert_eq!(rel.truncated_sends, 0, "horizon cut the run short");
+        }
+    }
+
+    #[test]
+    fn reliable_apsp_matches_clean_run_without_faults() {
+        let g = generators::grid(3, 4);
+        let clean = run(&g).unwrap();
+        let (faulty, rel) = run_faulty(&g, FaultPlan::new(5)).unwrap();
+        assert_eq!(faulty.distances, clean.distances);
+        assert_eq!(faulty.girth_candidate, clean.girth_candidate);
+        assert_eq!(
+            rel.retransmissions, 0,
+            "fault-free runs must not retransmit"
+        );
+        assert_eq!(faulty.stats.dropped, 0);
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //!   immediate start.
 //! * [`ConvergecastKernel`] — aggregate up `T_1`, broadcast the total
 //!   down (Definition 6).
+//! * [`ReliableKernel`] — a bounded-horizon synchronizer giving any
+//!   kernel (or stack of kernels) exact fault-free semantics over links a
+//!   [`FaultPlan`](dapsp_congest::FaultPlan) adversary drops messages
+//!   from, with per-link stop-and-wait retransmission and acks charged
+//!   against the same `B`-bit budget.
 //! * [`Stack`] / [`compose!`](crate::compose) — run several kernels on
 //!   one node, multiplexing their payloads into one
 //!   [`Envelope`](dapsp_congest::Envelope) per edge per round with a
@@ -36,12 +41,14 @@
 mod convergecast;
 mod pebble;
 mod protocol;
+mod reliable;
 mod stack;
 mod wave;
 
 pub use convergecast::{CastMsg, ConvergecastKernel};
 pub use pebble::{PebbleKernel, Token};
 pub use protocol::{Protocol, ProtocolHost, Tx};
+pub use reliable::{split_reliable_report, Frame, RelStats, ReliableKernel};
 pub use stack::{Both, Coupling, Stack};
 pub use wave::{WaveKernel, WaveMsg, WaveState};
 

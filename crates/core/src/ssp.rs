@@ -25,13 +25,15 @@
 //! repeated wave arrivals; the girth approximation (Theorem 5) feeds on
 //! them.
 
-use dapsp_congest::{Config, ObserverHandle, RunStats, Topology};
+use dapsp_congest::{Config, FaultPlan, ObserverHandle, Report, RunStats, Topology};
 use dapsp_graph::{Graph, INFINITY};
 
 use crate::aggregate::{self, AggOp};
 use crate::bfs;
 use crate::error::CoreError;
-use crate::kernel::{run_protocol_on, WaveKernel};
+use crate::kernel::{
+    run_protocol_on, split_reliable_report, RelStats, ReliableKernel, WaveKernel, WaveState,
+};
 use crate::observe::Obs;
 use crate::runner::fold_outputs;
 use crate::tree::TreeKnowledge;
@@ -154,6 +156,92 @@ pub fn run_on_obs(
     if n == 0 {
         return Err(CoreError::EmptyGraph);
     }
+    let is_source = validate_sources(n, sources)?;
+    // Phase 1+2: T_1, then D0 = 2·ecc(1) via max-aggregation of depths.
+    let t1 = bfs::run_on_obs(topology, 0, obs)?;
+    if !t1.reached_all() {
+        return Err(CoreError::Disconnected);
+    }
+    let depths: Vec<u64> = t1.dist.iter().map(|&d| u64::from(d)).collect();
+    let agg = aggregate::run_on_obs(topology, &t1.tree, &depths, AggOp::Max, obs)?;
+    // Phase 3: the simultaneous growth, run to quiescence.
+    let config = obs.apply(Config::for_n(n), "ssp:growth");
+    let report = run_protocol_on(topology, config, |ctx| {
+        WaveKernel::queued_sources(ctx, is_source[ctx.node_id() as usize])
+    })?;
+    Ok(assemble(topology, sources, t1, &agg, report))
+}
+
+/// Like [`run`], over links a [`FaultPlan`] adversary drops messages
+/// from: all three phases (`T_1`, the `D₀` aggregation, and the
+/// simultaneous growth) run inside the
+/// [`ReliableKernel`], so the distances and
+/// next hops are *bit-identical* to the fault-free run for any loss rate
+/// below one. The returned [`RelStats`] sums the transport cost of all
+/// phases.
+///
+/// # Errors
+///
+/// Same as [`run`]; an unbeatable adversary (a severed link) fails loudly
+/// with a round-limit [`CoreError::Sim`].
+pub fn run_faulty(
+    graph: &Graph,
+    sources: &[u32],
+    faults: FaultPlan,
+) -> Result<(SspResult, RelStats), CoreError> {
+    if graph.num_nodes() == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    run_faulty_on(&graph.to_topology(), sources, faults, Obs::none())
+}
+
+/// Like [`run_faulty`], over a prebuilt [`Topology`] with an optional
+/// observer (`"bfs:reliable"`, `"agg:max:reliable"`, and
+/// `"ssp:growth:reliable"` phases).
+///
+/// # Errors
+///
+/// Same as [`run_faulty`].
+pub fn run_faulty_on(
+    topology: &Topology,
+    sources: &[u32],
+    faults: FaultPlan,
+    obs: Obs<'_>,
+) -> Result<(SspResult, RelStats), CoreError> {
+    let n = topology.num_nodes();
+    if n == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    let is_source = validate_sources(n, sources)?;
+    let (t1, mut rel) = bfs::run_faulty_on(topology, 0, faults.clone(), obs)?;
+    if !t1.reached_all() {
+        return Err(CoreError::Disconnected);
+    }
+    let depths: Vec<u64> = t1.dist.iter().map(|&d| u64::from(d)).collect();
+    let (agg, rel_agg) =
+        aggregate::run_faulty_on(topology, &t1.tree, &depths, AggOp::Max, faults.clone(), obs)?;
+    rel.absorb(&rel_agg);
+    // Theorem 3 bounds the fault-free growth by |S| + D₀ ≤ |S| + 2(n−1)
+    // rounds; the horizon pads that.
+    let horizon = 2 * n as u64 + sources.len() as u64 + 8;
+    let config = obs
+        .apply(Config::for_n(n), "ssp:growth:reliable")
+        .with_faults(faults);
+    let report = run_protocol_on(topology, config, |ctx| {
+        ReliableKernel::new(
+            WaveKernel::queued_sources(ctx, is_source[ctx.node_id() as usize]),
+            horizon,
+            crate::bfs::FAULTY_MAX_RETRIES,
+        )
+    })?;
+    let (report, rel_growth) = split_reliable_report(report);
+    rel.absorb(&rel_growth);
+    Ok((assemble(topology, sources, t1, &agg, report), rel))
+}
+
+/// Rejects empty, out-of-range, and duplicated source sets; returns the
+/// source-membership mask.
+fn validate_sources(n: usize, sources: &[u32]) -> Result<Vec<bool>, CoreError> {
     if sources.is_empty() {
         return Err(CoreError::EmptySourceSet);
     }
@@ -172,21 +260,21 @@ pub fn run_on_obs(
         }
         seen[s as usize] = true;
     }
-    // Phase 1+2: T_1, then D0 = 2·ecc(1) via max-aggregation of depths.
-    let t1 = bfs::run_on_obs(topology, 0, obs)?;
-    if !t1.reached_all() {
-        return Err(CoreError::Disconnected);
-    }
-    let depths: Vec<u64> = t1.dist.iter().map(|&d| u64::from(d)).collect();
-    let agg = aggregate::run_on_obs(topology, &t1.tree, &depths, AggOp::Max, obs)?;
+    Ok(seen)
+}
+
+/// Folds the growth-phase wave states into the [`SspResult`], merging the
+/// statistics of all three phases.
+fn assemble(
+    topology: &Topology,
+    sources: &[u32],
+    t1: bfs::BfsResult,
+    agg: &aggregate::AggregateResult,
+    report: Report<WaveState>,
+) -> SspResult {
+    let n = topology.num_nodes();
     let d0 = 2 * agg.value as u32;
     let budget = sources.len() as u64 + u64::from(d0);
-    // Phase 3: the simultaneous growth, run to quiescence.
-    let is_source = seen;
-    let config = obs.apply(Config::for_n(n), "ssp:growth");
-    let report = run_protocol_on(topology, config, |ctx| {
-        WaveKernel::queued_sources(ctx, is_source[ctx.node_id() as usize])
-    })?;
     let seed = (
         vec![Vec::with_capacity(sources.len()); n],
         vec![Vec::with_capacity(sources.len()); n],
@@ -215,7 +303,7 @@ pub fn run_on_obs(
         dist.iter().all(|row| row.iter().all(|&d| d != INFINITY)),
         "quiescence implies every source was learned on a connected graph"
     );
-    Ok(SspResult {
+    SspResult {
         sources: sources.to_vec(),
         dist,
         next_hop,
@@ -225,7 +313,7 @@ pub fn run_on_obs(
         relaxations,
         tree: t1.tree,
         stats,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -344,6 +432,27 @@ mod tests {
                     assert!(g.has_edge(v, h));
                 }
             }
+        }
+    }
+
+    #[test]
+    fn reliable_ssp_is_exact_under_loss() {
+        for (g, sources, seed) in [
+            (generators::path(10), vec![0, 9], 2u64),
+            (generators::grid(3, 3), vec![0, 4, 8], 5),
+            (generators::cycle(8), vec![1, 6], 13),
+        ] {
+            let clean = run(&g, &sources).unwrap();
+            let (faulty, rel) =
+                run_faulty(&g, &sources, FaultPlan::uniform_loss(0.1, seed)).unwrap();
+            assert_eq!(faulty.dist, clean.dist);
+            assert_eq!(faulty.next_hop, clean.next_hop);
+            assert_eq!(faulty.d0, clean.d0);
+            assert_eq!(faulty.local_girth_candidates, clean.local_girth_candidates);
+            assert!(faulty.stats.dropped > 0, "adversary never fired");
+            assert!(rel.retransmissions > 0, "loss never forced a retransmit");
+            assert!(!rel.gave_up);
+            assert_eq!(rel.truncated_sends, 0, "horizon cut the run short");
         }
     }
 

@@ -1,0 +1,126 @@
+//! Exhaustive small-graph conformance: every distributed algorithm against
+//! its sequential oracle on *every* connected graph with at most
+//! [`MAX_ENUMERATED_NODES`](enumerate::MAX_ENUMERATED_NODES) nodes.
+//!
+//! Randomized and zoo tests sample the graph space; this suite covers it.
+//! All 996 isomorphism classes of connected graphs on 1–7 nodes (OEIS
+//! A001349) pass through APSP, S-SP, girth, and the eccentricity /
+//! diameter / radius pipeline, and every answer must match the sequential
+//! reference exactly — not approximately, not probabilistically.
+
+use dapsp_core::{apsp, girth, ssp, summary};
+use dapsp_graph::enumerate::{self, MAX_ENUMERATED_NODES};
+use dapsp_graph::{reference, Graph, INFINITY};
+
+/// Every enumerated connected graph, tagged with its size.
+fn all_graphs() -> impl Iterator<Item = (usize, Graph)> {
+    (1..=MAX_ENUMERATED_NODES).flat_map(|n| {
+        enumerate::connected_graphs(n)
+            .into_iter()
+            .map(move |g| (n, g))
+    })
+}
+
+#[test]
+fn apsp_matches_oracle_on_every_small_connected_graph() {
+    for (n, g) in all_graphs() {
+        let r = apsp::run(&g).unwrap_or_else(|e| panic!("apsp failed on n={n} {g:?}: {e}"));
+        assert_eq!(r.distances, reference::apsp(&g), "distances wrong on {g:?}");
+        // Next hops must step exactly one unit closer to each root.
+        for v in 0..n as u32 {
+            for root in 0..n as u32 {
+                match r.next_hop[v as usize][root as usize] {
+                    None => assert_eq!(v, root, "only the root lacks a next hop: {g:?}"),
+                    Some(h) => {
+                        assert!(g.has_edge(v, h), "next hop off-graph on {g:?}");
+                        assert_eq!(
+                            r.distances.get(h, root).unwrap() + 1,
+                            r.distances.get(v, root).unwrap(),
+                            "next hop not on a shortest path on {g:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ssp_matches_oracle_on_every_small_connected_graph() {
+    for (n, g) in all_graphs() {
+        // Every other node as a source: exercises contention without
+        // degenerating into the APSP case (except at n = 1, 2).
+        let sources: Vec<u32> = (0..n as u32).step_by(2).collect();
+        let r = ssp::run(&g, &sources).unwrap_or_else(|e| panic!("ssp failed on n={n} {g:?}: {e}"));
+        let oracle = reference::s_shortest_paths(&g, &sources);
+        for (i, dists) in oracle.iter().enumerate() {
+            for (v, &d) in dists.iter().enumerate() {
+                assert_eq!(
+                    r.dist[v][i], d,
+                    "d({v}, source {}) wrong on {g:?}",
+                    sources[i]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn girth_matches_oracle_on_every_small_connected_graph() {
+    for (_, g) in all_graphs() {
+        let r = girth::run(&g).unwrap_or_else(|e| panic!("girth failed on {g:?}: {e}"));
+        assert_eq!(r.girth, reference::girth(&g), "girth wrong on {g:?}");
+    }
+}
+
+#[test]
+fn metrics_match_oracles_on_every_small_connected_graph() {
+    for (_, g) in all_graphs() {
+        let s = summary::analyze(&g).unwrap_or_else(|e| panic!("summary failed on {g:?}: {e}"));
+        assert_eq!(
+            Some(s.eccentricities.clone()),
+            reference::eccentricities(&g),
+            "eccentricities wrong on {g:?}"
+        );
+        assert_eq!(
+            Some(s.diameter),
+            reference::diameter(&g),
+            "diameter wrong on {g:?}"
+        );
+        assert_eq!(
+            Some(s.radius),
+            reference::radius(&g),
+            "radius wrong on {g:?}"
+        );
+        assert_eq!(
+            Some(s.center_ids()),
+            reference::center(&g),
+            "center wrong on {g:?}"
+        );
+        assert_eq!(
+            Some(s.peripheral_ids()),
+            reference::peripheral_vertices(&g),
+            "peripheral vertices wrong on {g:?}"
+        );
+        assert_eq!(
+            s.girth,
+            reference::girth(&g),
+            "summary girth wrong on {g:?}"
+        );
+    }
+}
+
+#[test]
+fn local_girth_candidates_never_undershoot_on_small_graphs() {
+    // Lemma 7's soundness half, exhaustively: no node ever claims a cycle
+    // shorter than the girth, and on non-trees some node claims it exactly.
+    for (_, g) in all_graphs() {
+        let r = apsp::run(&g).unwrap();
+        let oracle = reference::girth(&g);
+        let min = r.local_girth_candidates.iter().copied().min().unwrap();
+        match oracle {
+            None => assert_eq!(min, INFINITY, "cycle claimed on a tree: {g:?}"),
+            Some(girth) => assert_eq!(min, girth, "girth candidate wrong on {g:?}"),
+        }
+    }
+}

@@ -109,6 +109,97 @@ fn pool_executor_checks_kernel_envelopes() {
     }
 }
 
+/// The reliable transport's worst frame fits the budget exactly. A frame
+/// spends 5 bits of overhead (data-presence + frame parity +
+/// payload-presence + ack-presence + ack parity) around its payload; the
+/// widest payload any pipeline ships is Algorithm 1's stacked pebble +
+/// wave (two stack tags, a root id, a depth count). At power-of-two `n`
+/// that sum lands on `B` with zero bits to spare — this pins the
+/// arithmetic so a future field on any layer fails here first.
+#[test]
+fn worst_case_reliable_frame_is_exactly_the_budget() {
+    use dapsp_congest::{bits_for_count, Width};
+    for n in [4usize, 8, 16, 64, 1 << 10, 1 << 16] {
+        let budget = Config::for_n(n).message_budget.unwrap();
+        let frame_overhead = Width::ZERO.tag().tag().tag().tag().tag().bits();
+        assert_eq!(frame_overhead, 5);
+        // Stacked APSP wave payload: pebble tag + wave tag + root id +
+        // depth counter (depths reach n − 1, encoded as count(n)).
+        let stacked_wave = Width::ZERO.tag().tag().id(n).count(n).bits();
+        assert!(
+            frame_overhead + stacked_wave <= budget,
+            "n={n}: frame {frame_overhead}+{stacked_wave} exceeds budget {budget}"
+        );
+        if n.is_power_of_two() && bits_for_count(n) == bits_for_id(n) {
+            assert_eq!(
+                frame_overhead + stacked_wave,
+                budget,
+                "n={n}: the worst frame should use the whole budget"
+            );
+        }
+    }
+}
+
+/// End-to-end: the reliable pipelines' frames — acks, retransmissions,
+/// piggybacked data — all pass the live debug budget assert on both
+/// executors. Loss forces retransmissions, so the retransmit path is
+/// exercised, not just the happy path.
+#[test]
+fn reliable_pipelines_respect_the_budget_under_loss() {
+    use dapsp_congest::FaultPlan;
+    for g in zoo() {
+        let n = g.num_nodes() as u32;
+        let plan = FaultPlan::uniform_loss(0.15, 77);
+        bfs::run_faulty(&g, 0, plan.clone()).unwrap();
+        apsp::run_faulty(&g, plan.clone()).unwrap();
+        ssp::run_faulty(&g, &[0, n - 1], plan).unwrap();
+    }
+}
+
+/// An over-budget *ack* is rejected in debug builds: wrap a kernel whose
+/// payload alone fills the whole budget, so the reliable frame around it
+/// (parity + presence + ack bits) must overflow. The panic proves ack
+/// overhead is charged against `B`, not smuggled past it.
+#[test]
+#[cfg(debug_assertions)]
+#[should_panic(expected = "message budget")]
+fn over_budget_ack_frame_panics_in_debug() {
+    use dapsp_congest::{NodeContext, Port, Width};
+    use dapsp_core::kernel::{Protocol, ReliableKernel, Tx};
+
+    /// A kernel whose single payload is declared exactly as wide as the
+    /// budget — legal bare, one bit too heavy once framed.
+    struct FullWidth {
+        budget: u32,
+    }
+    impl Protocol for FullWidth {
+        type Payload = ();
+        type Output = ();
+        fn init(&mut self, ctx: &NodeContext<'_>, tx: &mut Tx<()>) {
+            if ctx.node_id() == 0 {
+                tx.send(0, ());
+            }
+        }
+        fn on_message(&mut self, _: &NodeContext<'_>, _: Port, _: (), _: &mut Tx<()>) {}
+        fn width(&self, _: &()) -> Width {
+            Width::ZERO.raw(self.budget)
+        }
+        fn finish(self, _: &NodeContext<'_>) {}
+    }
+
+    let g = generators::path(2);
+    let topo = g.to_topology();
+    let budget = Config::for_n(2).message_budget.unwrap();
+    // Bandwidth admits the framed payload; the budget alone must reject
+    // the frame's extra bits.
+    let config = Config::for_n(2)
+        .with_bandwidth_bits(2000)
+        .with_message_budget(Some(budget));
+    let _ = run_protocol_on(&topo, config, |_| {
+        ReliableKernel::new(FullWidth { budget }, 2, 3)
+    });
+}
+
 /// A message wider than the budget (but within an inflated bandwidth) is
 /// rejected in debug builds — the enforcement the other tests rely on.
 #[test]

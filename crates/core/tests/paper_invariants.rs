@@ -10,14 +10,21 @@
 //! * **Lemma 8 / Theorem 3** (S-SP): during the simultaneous growth of
 //!   `|S|` BFS trees, a wave's first arrival at any node lags the ideal
 //!   uncongested schedule by at most `|S|` rounds.
+//! * **Fault model**: under a [`FaultPlan`] adversary, the
+//!   `ReliableKernel`-wrapped pipelines stay *exact* for any loss rate
+//!   below one, and even the unwrapped wave kernels can only lose
+//!   information — a dropped message may leave a distance unknown or
+//!   stale, never too small.
 
 use std::collections::HashMap;
 
 use dapsp_congest::{
-    EdgeCongestionProbe, FanOut, ObserverHandle, SharedObserver, WaveArrivalProbe,
+    Config, EdgeCongestionProbe, FanOut, FaultPlan, ObserverHandle, SharedObserver,
+    WaveArrivalProbe,
 };
+use dapsp_core::kernel::{run_protocol_on, WaveKernel};
 use dapsp_core::{apsp, ssp};
-use dapsp_graph::{generators, Graph, INFINITY};
+use dapsp_graph::{generators, reference, Graph, INFINITY};
 
 /// The four topology families of the acceptance criteria. Cliques are kept
 /// smaller: pebble-APSP traffic is cubic in `n` there.
@@ -122,6 +129,78 @@ fn ssp_wave_delay_is_at_most_the_source_count() {
                 "{family}/|S|={}: wave delay {max_delay} exceeds |S|",
                 sources.len()
             );
+        }
+    }
+}
+
+#[test]
+fn reliable_apsp_equals_oracle_on_random_graphs_under_any_loss_below_one() {
+    // The ReliableKernel exactness claim, probed across random topologies
+    // and loss rates up to 50% (where barely a quarter of frame/ack round
+    // trips survive): the distance matrix must equal the sequential oracle
+    // bit-for-bit, with the adversary verifiably active.
+    for seed in 0..4 {
+        let g = generators::erdos_renyi_connected(16, 0.18, seed);
+        let oracle = reference::apsp(&g);
+        for loss in [0.05, 0.25, 0.5] {
+            let plan = FaultPlan::uniform_loss(loss, seed.wrapping_mul(31) + 7);
+            let (r, rel) = apsp::run_faulty(&g, plan)
+                .unwrap_or_else(|e| panic!("seed {seed} loss {loss}: {e}"));
+            assert_eq!(
+                r.distances, oracle,
+                "seed {seed} loss {loss}: wrong distances"
+            );
+            assert!(!rel.gave_up, "seed {seed} loss {loss}: a link gave up");
+            assert!(
+                r.stats.dropped > 0,
+                "seed {seed} loss {loss}: adversary never fired"
+            );
+        }
+    }
+}
+
+#[test]
+fn reliable_ssp_equals_oracle_on_random_graphs_under_loss() {
+    for seed in 0..3 {
+        let g = generators::erdos_renyi_connected(16, 0.18, seed);
+        let sources: Vec<u32> = (0..16).step_by(3).collect();
+        let oracle = reference::s_shortest_paths(&g, &sources);
+        let plan = FaultPlan::uniform_loss(0.2, 1000 + seed);
+        let (r, rel) =
+            ssp::run_faulty(&g, &sources, plan).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        for (i, dists) in oracle.iter().enumerate() {
+            for (v, &d) in dists.iter().enumerate() {
+                assert_eq!(r.dist[v][i], d, "seed {seed}: d({v}, source {i}) wrong");
+            }
+        }
+        assert!(!rel.gave_up && r.stats.dropped > 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn lossy_waves_without_the_synchronizer_never_underestimate() {
+    // The fault layer's delivery semantics, probed on the raw wave kernel:
+    // a drop can only *remove* information. Whatever distance a node ends
+    // up claiming was carried by some real path, so it is never below the
+    // true distance — unreached stays INFINITY, never wrong.
+    for seed in 0..6 {
+        let g = generators::erdos_renyi_connected(20, 0.15, seed);
+        let topo = g.to_topology();
+        let oracle = reference::bfs(&g, 0);
+        for loss in [0.1, 0.4, 0.8] {
+            let config = Config::for_n(20).with_faults(FaultPlan::uniform_loss(loss, 500 + seed));
+            let report = run_protocol_on(&topo, config, |ctx| WaveKernel::single_root(ctx, 0))
+                .expect("lossy wave still terminates");
+            for (v, state) in report.outputs.iter().enumerate() {
+                let d = state.dist[0];
+                assert!(
+                    d == INFINITY || d >= oracle[v],
+                    "seed {seed} loss {loss}: node {v} claims {d} < true {}",
+                    oracle[v]
+                );
+            }
+            // The root always knows itself exactly.
+            assert_eq!(report.outputs[0].dist[0], 0);
         }
     }
 }

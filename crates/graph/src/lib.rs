@@ -34,6 +34,7 @@
 mod distance;
 mod graph;
 
+pub mod enumerate;
 pub mod generators;
 pub mod io;
 pub mod lowerbound;

@@ -1,32 +1,40 @@
-//! What happens when the CONGEST model's reliable-link assumption breaks:
-//! deterministic fault injection on the simulator.
+//! What happens when the CONGEST model's reliable-link assumption breaks —
+//! and what it costs to restore it.
 //!
-//! The paper's algorithms assume every `B`-bit message arrives. This
-//! example drives a BFS under increasing message-loss rates and shows that
-//! failures are *detectable* (unreached nodes, drop counters), not silent —
-//! which is exactly the guarantee a deployment needs before layering
-//! retransmission underneath.
+//! A [`FaultPlan`] is a deterministic adversary: per-(round, node, port)
+//! message loss (uniform, bursty, or ramping) plus scheduled node crash
+//! windows. This example drives the same network through three stages:
+//!
+//! 1. a bare flood under increasing loss — failures are *detectable*
+//!    (unreached nodes, drop counters), never silent;
+//! 2. the same loss rates under `bfs::run_faulty`, whose reliable
+//!    transport retransmits until every distance is **exact** — asserted
+//!    against the sequential oracle each time;
+//! 3. a composed adversary (burst loss + background loss + a crash
+//!    window) against `apsp::run_faulty`, asserting full recovery and
+//!    reporting the round overhead the reliability layer paid.
 //!
 //! ```text
 //! cargo run --release --example lossy_network
 //! ```
 
-use dapsp::congest::{Config, Simulator};
-use dapsp::graph::generators;
+use dapsp::congest::{Config, FaultPlan, LossRule, Simulator};
+use dapsp::core::{apsp, bfs};
+use dapsp::graph::{generators, reference};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let network = generators::grid(8, 8);
     let topo = network.to_topology();
     let n = network.num_nodes();
+
     println!("8x8 grid, BFS from node 0 under injected message loss\n");
+    println!("-- bare flood: loss is visible, results are partial --");
     println!(
         "{:>6} {:>10} {:>10} {:>10}",
         "loss", "reached", "dropped", "delivered"
     );
     for loss in [0.0, 0.05, 0.2, 0.5, 0.9] {
-        // The internal BFS node algorithm is not public; a minimal flood
-        // stands in for it — same delivery semantics, same detectability.
-        let cfg = Config::for_n(n).with_loss(loss, 42);
+        let cfg = Config::for_n(n).with_faults(FaultPlan::uniform_loss(loss, 42));
         let sim = Simulator::new(&topo, cfg, |_| flood::Flood::default());
         let report = sim.run()?;
         let reached = report.outputs.iter().filter(|r| r.is_some()).count();
@@ -39,9 +47,66 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.stats.messages
         );
     }
-    println!("\nLoss shows up in two observable places: nodes that never hear the");
-    println!("wave (their output stays None) and the simulator's drop counter —");
-    println!("an operator never has to *guess* whether a run was clean.");
+
+    println!("\n-- bfs::run_faulty: same adversary, exact recovery --");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>8}",
+        "loss", "dropped", "frames", "retx", "rounds"
+    );
+    let oracle = reference::bfs(&network, 0);
+    for loss in [0.0, 0.05, 0.2, 0.5] {
+        let (result, rel) = bfs::run_faulty(&network, 0, FaultPlan::uniform_loss(loss, 42))?;
+        assert_eq!(result.dist, oracle, "reliable BFS must match the oracle");
+        assert!(!rel.gave_up);
+        println!(
+            "{:>5.0}% {:>10} {:>10} {:>10} {:>8}",
+            loss * 100.0,
+            result.stats.dropped,
+            rel.frames_sent,
+            rel.retransmissions,
+            result.stats.rounds
+        );
+    }
+
+    println!("\n-- apsp::run_faulty vs a composed adversary --");
+    // 35% loss bursts two of every ten rounds, 5% background loss, and
+    // node 27 crashes outright for rounds 40..80.
+    let adversary = FaultPlan::new(7)
+        .with_rule(LossRule::Burst {
+            probability: 0.35,
+            period: 10,
+            len: 2,
+        })
+        .with_rule(LossRule::Uniform { probability: 0.05 })
+        .with_crash(27, 40, 80);
+    let clean = apsp::run(&network)?;
+    let (faulty, rel) = apsp::run_faulty(&network, adversary)?;
+    assert_eq!(
+        faulty.distances,
+        reference::apsp(&network),
+        "reliable APSP must match the oracle"
+    );
+    assert_eq!(
+        faulty.distances, clean.distances,
+        "recovery must be bit-identical to the fault-free run"
+    );
+    assert_eq!(faulty.girth_candidate, clean.girth_candidate);
+    assert!(faulty.stats.dropped > 0, "the adversary was live");
+    assert!(faulty.stats.crashed > 0, "the crash window was entered");
+    println!(
+        "dropped {} messages, {} node-rounds crashed, {} retransmissions",
+        faulty.stats.dropped, faulty.stats.crashed, rel.retransmissions
+    );
+    println!(
+        "rounds: {} fault-free -> {} reliable-under-attack ({:.1}x)",
+        clean.stats.rounds,
+        faulty.stats.rounds,
+        faulty.stats.rounds as f64 / clean.stats.rounds as f64
+    );
+
+    println!("\nLoss shows up in observable places (outputs stuck at None, drop and");
+    println!("crash counters), and the reliable pipelines turn it into exactness at");
+    println!("a measured round cost -- recovery asserted, not hoped for.");
     Ok(())
 }
 

@@ -44,4 +44,18 @@ echo "==> message-budget smoke (debug build, threads 1,2)"
 # the check out, which is why the run above does not cover it).
 cargo run --offline -p dapsp-bench --bin engine_profile -- --smoke --threads 1,2
 
-echo "OK: fmt + build + tests + clippy + docs + profile & budget smokes all green"
+echo "==> small-graph conformance suite"
+# Redundant with the workspace run, named so the log shows the exhaustive
+# oracle check ran: every algorithm vs the sequential oracles on all 996
+# connected graphs with <= 7 nodes.
+cargo test --offline -q -p dapsp-core --test conformance_small_graphs
+
+echo "==> fault_sweep --smoke --threads 1,2"
+# Fault-injection smoke: reliable APSP/S-SP under a live FaultPlan
+# adversary on the serial and pool executors. The binary itself asserts
+# oracle exactness and cross-executor bit-identity, so a fault-layer or
+# synchronizer regression fails this step. Writes to
+# target/BENCH_faults_smoke.json, never the committed BENCH_faults.json.
+cargo run --offline --release -p dapsp-bench --bin fault_sweep -- --smoke --threads 1,2
+
+echo "OK: fmt + build + tests + clippy + docs + profile, budget, conformance & fault smokes all green"
