@@ -17,13 +17,24 @@
 //! asserts the recorded per-round stream sums back to exactly the
 //! `RunStats` the timed rows report).
 //!
+//! A `scaling` row family stresses the active-set scheduler where it
+//! matters: **bfs-flood** on Watts–Strogatz (`ws`) and Barabási–Albert
+//! (`ba`) graphs at n = 10⁴, 10⁵, 10⁶. Per round only the BFS frontier is
+//! live, so the dense seed engine (which steps all n nodes every round) is
+//! the baseline the active-set engine must beat — the `vs seed` column is
+//! that ratio, and the `sched` column shows the mean fraction of node
+//! slots the sparse schedule actually touched.
+//!
 //! Results go to stdout as a table and to `BENCH_engine.json` at the repo
 //! root: one JSON object per row with `label`, `family`, `n`, `engine`,
-//! `executor`, `threads`, `rounds`, `messages`, `wall_ms`,
-//! `msgs_per_sec`. `executor` names the engine that produced the row:
-//! `reference` (the seed engine), `serial`, or `pool`.
+//! `executor`, `threads`, `rounds`, `messages`, `scheduled_node_rounds`,
+//! `mean_scheduled_fraction`, `wall_ms`, `msgs_per_sec`. `executor` names
+//! the engine that produced the row: `reference` (the seed engine),
+//! `serial`, or `pool`.
 //!
-//! Usage: `engine_throughput [--threads LIST] [OUT_PATH]`.
+//! Usage: `engine_throughput [--smoke] [--threads LIST] [OUT_PATH]`.
+//! `--smoke` runs CI-sized instances of every family plus one large-n
+//! scaling row, and writes to `target/BENCH_engine_smoke.json` instead.
 
 use dapsp_bench::print_table;
 use dapsp_bench::workloads::{
@@ -60,12 +71,26 @@ impl Row {
         }
     }
 
+    /// Scheduled node-rounds over total node slots (`(rounds + 1) · n`,
+    /// counting the on_start row) — 1.0 means the run was effectively
+    /// dense, small values are the active-set scheduler's win.
+    fn mean_scheduled_fraction(&self) -> f64 {
+        let slots = (self.stats.rounds + 1).saturating_mul(self.n as u64);
+        if slots == 0 {
+            0.0
+        } else {
+            self.stats.scheduled_node_rounds as f64 / slots as f64
+        }
+    }
+
     fn json(&self) -> String {
         format!(
             concat!(
                 "{{\"label\":\"{}\",\"family\":\"{}\",\"n\":{},",
                 "\"engine\":\"{}\",\"executor\":\"{}\",\"threads\":{},\"rounds\":{},",
-                "\"messages\":{},\"wall_ms\":{:.4},\"msgs_per_sec\":{:.1}}}"
+                "\"messages\":{},\"scheduled_node_rounds\":{},",
+                "\"mean_scheduled_fraction\":{:.4},",
+                "\"wall_ms\":{:.4},\"msgs_per_sec\":{:.1}}}"
             ),
             self.label,
             self.family,
@@ -75,6 +100,8 @@ impl Row {
             self.threads,
             self.stats.rounds,
             self.stats.messages,
+            self.stats.scheduled_node_rounds,
+            self.mean_scheduled_fraction(),
             self.wall_ms(),
             self.msgs_per_sec(),
         )
@@ -187,18 +214,50 @@ const FAMILIES: &[(&str, &[usize], &[usize])] = &[
     ("clique", &[128, 256, 512], &[48, 96]),
 ];
 
+/// `--smoke` counterpart of [`FAMILIES`]: one CI-sized instance per cell.
+const FAMILIES_SMOKE: &[(&str, &[usize], &[usize])] = &[
+    ("path", &[96], &[32]),
+    ("tree", &[96], &[32]),
+    ("regular6", &[96], &[32]),
+    ("clique", &[48], &[24]),
+];
+
+/// The `scaling` row family: frontier-sparse bfs-flood at large `n` on
+/// small-world and preferential-attachment graphs. The seed row doubles
+/// as the dense-iteration baseline (it steps every node every round).
+const SCALING: &[(&str, &[usize])] = &[
+    ("ws", &[10_000, 100_000, 1_000_000]),
+    ("ba", &[10_000, 100_000, 1_000_000]),
+];
+
+/// `--smoke` keeps one large-n scaling row so CI still crosses the
+/// sparse-frontier path at scale.
+const SCALING_SMOKE: &[(&str, &[usize])] = &[("ws", &[100_000])];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let parsed = parse_bench_args(&args, &[1, 4]);
     let threads_list = parsed.threads;
-    let out_path = parsed
-        .out_path
-        .unwrap_or_else(|| format!("{}/../../BENCH_engine.json", env!("CARGO_MANIFEST_DIR")));
+    let families = if parsed.smoke {
+        FAMILIES_SMOKE
+    } else {
+        FAMILIES
+    };
+    let scaling = if parsed.smoke { SCALING_SMOKE } else { SCALING };
+    let default_path = if parsed.smoke {
+        format!(
+            "{}/../../target/BENCH_engine_smoke.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    } else {
+        format!("{}/../../BENCH_engine.json", env!("CARGO_MANIFEST_DIR"))
+    };
+    let out_path = parsed.out_path.unwrap_or(default_path);
     let mut rows: Vec<Row> = Vec::new();
 
     println!("# Engine throughput: seed vs zero-allocation engine\n");
 
-    for &(family, flood_sizes, gossip_sizes) in FAMILIES {
+    for &(family, flood_sizes, gossip_sizes) in families {
         for (i, &n) in flood_sizes.iter().enumerate() {
             let topo = family_topology(family, n);
             let label = format!("bfs-flood/{family}/n={n}");
@@ -231,6 +290,27 @@ fn main() {
         }
     }
 
+    // Scaling rows: bfs-flood only — the gossip workload's per-node state
+    // is Θ(n), so it has no business at n = 10⁶ — dense seed baseline vs
+    // the active-set engine at every requested thread count.
+    for &(family, sizes) in scaling {
+        for (i, &n) in sizes.iter().enumerate() {
+            let topo = family_topology(family, n);
+            let label = format!("scaling/{family}/n={n}");
+            rows.extend(measure(
+                &label,
+                family,
+                &topo,
+                |_| BfsFlood::new(),
+                &threads_list,
+            ));
+            if i == 0 {
+                let expected = rows.last().expect("rows recorded").stats;
+                verify_recorder(&label, &topo, |_| BfsFlood::new(), &expected);
+            }
+        }
+    }
+
     // Rows per workload: one seed row plus one optimized row per thread
     // count. The speedup column compares the seed row against the first
     // optimized row (sequential when 1 leads the list).
@@ -248,6 +328,7 @@ fn main() {
                 r.threads.to_string(),
                 r.stats.rounds.to_string(),
                 r.stats.messages.to_string(),
+                format!("{:.3}", r.mean_scheduled_fraction()),
                 format!("{:.3}", r.wall_ms()),
                 format!("{:.2e}", r.msgs_per_sec()),
                 if i == 1 {
@@ -261,7 +342,7 @@ fn main() {
     print_table(
         "engine throughput",
         &[
-            "workload", "executor", "thr", "rounds", "msgs", "wall ms", "msg/s", "vs seed",
+            "workload", "executor", "thr", "rounds", "msgs", "sched", "wall ms", "msg/s", "vs seed",
         ],
         &table,
     );

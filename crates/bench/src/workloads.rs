@@ -160,13 +160,20 @@ pub fn engine_config(n: usize) -> Config {
 /// The four topology families both engine benchmarks sweep.
 pub const FAMILY_NAMES: &[&str] = &["path", "tree", "regular6", "clique"];
 
+/// The large-`n` scaling families (`engine_throughput`'s `scaling` rows):
+/// small-world (`ws`) and preferential-attachment (`ba`) graphs whose BFS
+/// frontier per round is a vanishing fraction of `n` — the regime the
+/// active-set scheduler exists for.
+pub const SCALING_FAMILY_NAMES: &[&str] = &["ws", "ba"];
+
 /// Builds the `n`-node member of `family` as a [`Graph`](dapsp_graph::Graph)
 /// (deterministic
 /// seeds) — for benchmarks that also need the sequential oracles.
 ///
 /// # Panics
 ///
-/// Panics on an unknown family name (see [`FAMILY_NAMES`]).
+/// Panics on an unknown family name (see [`FAMILY_NAMES`] and
+/// [`SCALING_FAMILY_NAMES`]).
 pub fn family_graph(family: &str, n: usize) -> dapsp_graph::Graph {
     match family {
         "path" => generators::path(n),
@@ -175,6 +182,13 @@ pub fn family_graph(family: &str, n: usize) -> dapsp_graph::Graph {
         // degree 6 before rewiring and 6 on average after.
         "regular6" => generators::watts_strogatz(n, 3, 0.1, 12),
         "clique" => generators::complete(n),
+        // Scaling families: distinct seeds from regular6 so the small
+        // CI instances and the large scaling instances never coincide.
+        // The sparser rewiring (beta = 0.02) keeps the small-world
+        // diameter in the tens of rounds, so the BFS frontier stays a
+        // small fraction of n for long enough to measure.
+        "ws" => generators::watts_strogatz(n, 3, 0.02, 42),
+        "ba" => generators::barabasi_albert(n, 3, 42),
         other => panic!("unknown family {other}"),
     }
 }
@@ -288,7 +302,7 @@ mod tests {
 
     #[test]
     fn families_build_and_flood_converges() {
-        for &family in FAMILY_NAMES {
+        for &family in FAMILY_NAMES.iter().chain(SCALING_FAMILY_NAMES) {
             let topo = family_topology(family, 16);
             let report = Simulator::new(&topo, engine_config(16), |_| BfsFlood::new())
                 .run()

@@ -322,6 +322,13 @@ impl<M: Message> Core<'_, M> {
         self.stats.max_message_bits = self.stats.max_message_bits.max(bits);
         self.pending[to as usize].push((to_port, msg));
         self.in_flight += 1;
+        // Wake the receiver: an arrival forces `to` onto next round's
+        // schedule. The `woken` mark makes the list duplicate-free without
+        // a scan; `sorted_wake` clears the marks when it hands the list out.
+        if !self.woken[to as usize] {
+            self.woken[to as usize] = true;
+            self.wake.push(to);
+        }
     }
 
     /// Books one fault-plan drop.

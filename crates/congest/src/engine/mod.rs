@@ -1,17 +1,27 @@
-//! The synchronous round engine, structured as an explicit three-phase
+//! The synchronous round engine: an event-driven (active-set) three-phase
 //! pipeline over pluggable executors.
 //!
-//! Every round is `deliver → step → commit`:
+//! Every round first builds a **schedule** — the sorted set of nodes that
+//! either have messages arriving this round (the engine's *wake list*,
+//! populated at the previous commit) or declared themselves
+//! [`awake`](NodeAlgorithm::is_active) after their last step — and then
+//! runs `deliver → step → commit` over *only those nodes*:
 //!
 //! 1. **deliver** — the inboxes accumulated last round become this
-//!    round's inputs (a buffer swap for the serial executor; a shard
+//!    round's inputs (read in place by the serial executor; a frontier
 //!    dispatch for the pool);
-//! 2. **step** — [`NodeAlgorithm::on_round`] runs on every node,
-//!    filling outboxes (node-local work, the only phase that
-//!    parallelizes);
-//! 3. **commit** — every outbox is validated and booked **in node-id
-//!    order**: bandwidth/duplicate/port checks, fault decisions, trace
-//!    events, observer callbacks, statistics, and next-round inboxes.
+//! 2. **step** — [`NodeAlgorithm::on_round`] runs on every scheduled
+//!    node, filling outboxes (node-local work, the only phase that
+//!    parallelizes). Skipped nodes are inactive with empty inboxes, so
+//!    skipping them is unobservable;
+//! 3. **commit** — every scheduled node's outbox is validated and booked
+//!    **in node-id order**: bandwidth/duplicate/port checks, fault
+//!    decisions, trace events, observer callbacks, statistics, and
+//!    next-round inboxes (which populate the next wake list).
+//!
+//! Per-round cost therefore tracks the frontier, not `n`: a BFS wave on a
+//! 10⁶-node graph touches only the wavefront each round. Termination is
+//! governed by the per-node [`Quiescence`] votes (see that type).
 //!
 //! The pipeline itself lives in [`Simulator::run`]; *how* each phase
 //! executes is delegated to an [`Executor`]. Two implementations exist:
@@ -29,7 +39,7 @@
 //! [`Observer::on_round_end`](crate::Observer::on_round_end) — executors
 //! never touch the clock.
 
-use crate::algorithm::NodeAlgorithm;
+use crate::algorithm::{NodeAlgorithm, Quiescence};
 use crate::config::{Config, ExecutorKind};
 use crate::error::SimError;
 use crate::node::{Inbox, NodeContext, NodeId, Outbox, Port};
@@ -83,6 +93,12 @@ pub(crate) struct Core<'t, M> {
     /// `pending[v]` accumulates the messages to be delivered to `v` next
     /// round.
     pub(crate) pending: Vec<Vec<(Port, M)>>,
+    /// Node ids with at least one message in `pending` — the arrival
+    /// component of next round's schedule. Deduplicated via `woken`
+    /// marks; unsorted until [`Core::sorted_wake`] drains it.
+    pub(crate) wake: Vec<NodeId>,
+    /// `woken[v]` marks that `v` is already on the wake list.
+    pub(crate) woken: Vec<bool>,
     pub(crate) in_flight: u64,
     pub(crate) round: u64,
     pub(crate) stats: RunStats,
@@ -90,26 +106,129 @@ pub(crate) struct Core<'t, M> {
     pub(crate) round_profile: Vec<u64>,
 }
 
-/// One phase-pipeline backend. The pipeline calls `start` once, then
-/// `deliver`/`step`/`commit` once per round in that order, then
-/// `into_outputs` once; `any_active` is polled between rounds for the
-/// quiescence check.
+impl<M> Core<'_, M> {
+    /// Sorts the wake list in place, clears the dedup marks, and hands the
+    /// caller the sorted ids; the caller merges them with its awake list
+    /// and must clear the list afterwards (see [`Core::clear_wake`]).
+    pub(crate) fn sorted_wake(&mut self) -> &[NodeId] {
+        self.wake.sort_unstable();
+        for &v in &self.wake {
+            self.woken[v as usize] = false;
+        }
+        &self.wake
+    }
+
+    /// Empties the wake list (capacity kept) once a schedule absorbed it.
+    pub(crate) fn clear_wake(&mut self) {
+        self.wake.clear();
+    }
+
+    /// How many nodes run `on_start` in round 0 — everyone not inside a
+    /// crash window at round 0.
+    pub(crate) fn started_nodes(&self) -> u64 {
+        let n = self.topology.num_nodes();
+        match &self.config.faults {
+            Some(f) if f.has_crashes() => {
+                (0..n).filter(|&v| !f.crashed(0, v as NodeId)).count() as u64
+            }
+            _ => n as u64,
+        }
+    }
+}
+
+/// The executor's aggregated termination signal after `start` or the most
+/// recent `step`, combining every node's [`Quiescence`] vote.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct QuiescenceState {
+    /// No node votes [`Quiescence::Active`]. (Nodes off the awake list
+    /// are inactive and thus vote `Passive` by contract.)
+    pub(crate) passive: bool,
+    /// Every node votes [`Quiescence::Shutdown`].
+    pub(crate) shutdown: bool,
+}
+
+impl QuiescenceState {
+    /// Whether the run may end now given the in-flight message count.
+    pub(crate) fn terminal(self, in_flight: u64) -> bool {
+        self.shutdown || (self.passive && in_flight == 0)
+    }
+
+    /// Folds one node's vote into the aggregate.
+    pub(crate) fn vote(&mut self, q: Quiescence) {
+        self.passive &= q != Quiescence::Active;
+        self.shutdown &= q == Quiescence::Shutdown;
+    }
+
+    /// The identity for [`QuiescenceState::vote`] folds over `total`
+    /// nodes, of which `voting` will actually be polled: if some nodes are
+    /// off the awake list they are inactive (`Passive`), which keeps
+    /// `passive` but vetoes `shutdown`.
+    pub(crate) fn fold_start(voting: usize, total: usize) -> Self {
+        QuiescenceState {
+            passive: true,
+            shutdown: voting == total,
+        }
+    }
+}
+
+/// One phase-pipeline backend. The pipeline calls `start` once, then per
+/// round `schedule` followed by `deliver`/`step`/`commit` in that order,
+/// then `into_outputs` once; `quiescence` is polled between rounds for
+/// the termination check.
 pub(crate) trait Executor<A: NodeAlgorithm> {
     /// Round 0: run every node's [`NodeAlgorithm::on_start`] and commit
-    /// the queued sends in node-id order.
+    /// the queued sends in node-id order, then seed the awake list with
+    /// every node reporting [`NodeAlgorithm::is_active`].
     fn start(&mut self, core: &mut Core<'_, A::Message>) -> Result<(), SimError>;
+    /// Builds the round's schedule — the sorted union of the core's wake
+    /// list (nodes with pending arrivals) and the executor's awake list —
+    /// and returns its size. Called once per round, after `core.round`
+    /// advances and before any phase runs.
+    fn schedule(&mut self, core: &mut Core<'_, A::Message>) -> u64;
     /// Phase 1 — hand the inboxes accumulated in `core.pending` to the
-    /// nodes for the round `core.round`.
+    /// scheduled nodes for the round `core.round`.
     fn deliver(&mut self, core: &mut Core<'_, A::Message>);
-    /// Phase 2 — run [`NodeAlgorithm::on_round`] on every node.
+    /// Phase 2 — run [`NodeAlgorithm::on_round`] on every scheduled node
+    /// and rebuild the awake list from their post-step
+    /// [`is_active`](NodeAlgorithm::is_active) answers.
     fn step(&mut self, core: &mut Core<'_, A::Message>);
-    /// Phase 3 — validate and book every outbox in node-id order.
+    /// Phase 3 — validate and book every scheduled node's outbox in
+    /// node-id order.
     fn commit(&mut self, core: &mut Core<'_, A::Message>) -> Result<(), SimError>;
-    /// Whether any node reported [`NodeAlgorithm::is_active`] after the
-    /// most recent `start`/`step`.
-    fn any_active(&self) -> bool;
+    /// The aggregated termination votes after the most recent
+    /// `start`/`step`.
+    fn quiescence(&self) -> QuiescenceState;
     /// Tears the executor down and extracts outputs in node-id order.
     fn into_outputs(self, final_round: u64) -> Vec<A::Output>;
+}
+
+/// Merges two sorted id lists — the wake list (pending arrivals) and the
+/// awake list (self-declared active) — into `out`, deduplicating: the
+/// round's schedule, in ascending node-id order.
+pub(crate) fn merge_schedule(wake: &[NodeId], awake: &[NodeId], out: &mut Vec<NodeId>) {
+    out.clear();
+    out.reserve(wake.len() + awake.len());
+    let (mut i, mut j) = (0, 0);
+    while i < wake.len() && j < awake.len() {
+        let (a, b) = (wake[i], awake[j]);
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => {
+                out.push(a);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&wake[i..]);
+    out.extend_from_slice(&awake[j..]);
 }
 
 /// Runs `on_round` for one node: sorts its inbox (only when messages
@@ -151,10 +270,12 @@ pub(crate) fn step_node<A: NodeAlgorithm>(
 /// Drives one [`NodeAlgorithm`] instance per node in synchronous lock-step.
 ///
 /// The simulator delivers messages sent in round `t` at the beginning of
-/// round `t+1`, calls [`NodeAlgorithm::on_round`] on *every* node each round
-/// (so nodes can run local timers), enforces the `B`-bit-per-edge-direction
-/// bandwidth constraint, and stops when the network is silent and no node is
-/// [`active`](NodeAlgorithm::is_active).
+/// round `t+1`, calls [`NodeAlgorithm::on_round`] each round on every node
+/// with arriving messages or reporting
+/// [`is_active`](NodeAlgorithm::is_active) (so nodes can run local timers
+/// by staying active), enforces the `B`-bit-per-edge-direction bandwidth
+/// constraint, and stops when the per-node [`Quiescence`] votes allow it —
+/// by default, when the network is silent and no node is active.
 ///
 /// Execution is fully deterministic for every [`ExecutorKind`]: inboxes are
 /// sorted by port, and every outbox is committed (delivered, traced,
@@ -196,6 +317,8 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
                 topology,
                 config,
                 pending: (0..n).map(|_| Vec::new()).collect(),
+                wake: Vec::new(),
+                woken: vec![false; n],
                 in_flight: 0,
                 round: 0,
                 stats: RunStats::default(),
@@ -238,6 +361,7 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
                 phase: &self.core.config.phase,
                 nodes: self.core.topology.num_nodes(),
                 directed_edges: self.core.topology.num_directed_edges(),
+                started: self.core.started_nodes(),
             });
         }
         let nodes = std::mem::take(&mut self.nodes);
@@ -273,10 +397,15 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
         started: std::time::Instant,
     ) -> Result<Report<A::Output>, SimError> {
         executor.start(&mut self.core)?;
-        // Quiescence: no messages in flight and no node still active. The
-        // in-flight count is checked first so the executor's node scan
-        // only runs when delivery has drained.
-        while self.core.in_flight != 0 || executor.any_active() {
+        // Round 0 schedules every node that boots (runs `on_start`).
+        let started_nodes = self.core.started_nodes();
+        self.core.stats.scheduled_node_rounds += started_nodes;
+        self.core.stats.max_scheduled_per_round =
+            self.core.stats.max_scheduled_per_round.max(started_nodes);
+        // Termination: no messages in flight and no node voting `Active`,
+        // or every node voting `Shutdown` (see `Quiescence`). The votes
+        // are aggregated by the executor over the awake list only.
+        while !executor.quiescence().terminal(self.core.in_flight) {
             if self.core.round >= self.core.config.max_rounds {
                 return Err(SimError::RoundLimitExceeded {
                     limit: self.core.config.max_rounds,
@@ -314,12 +443,15 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
         }
         let delivered = core.in_flight;
         core.in_flight = 0;
+        let scheduled = executor.schedule(core);
+        core.stats.scheduled_node_rounds += scheduled;
+        core.stats.max_scheduled_per_round = core.stats.max_scheduled_per_round.max(scheduled);
         // Wall-clock phase timing exists only while observed: with no
         // observer the `watch` checks below are the entire cost.
         let watch = core.config.observer.is_some();
         let mut timing = RoundTiming::default();
         if let Some(obs) = &core.config.observer {
-            obs.lock().on_round_start(core.round, delivered);
+            obs.lock().on_round_start(core.round, delivered, scheduled);
         }
         // Crash windows are booked here, on the engine thread, before the
         // pipeline phases run — in node-id order, so the observer stream

@@ -13,15 +13,26 @@
 //! `k + 1` with one parked) and the per-round rendezvous costs one
 //! wake/park pair per *spawned* worker.
 //!
-//! Per round the engine thread sends every spawned worker a
-//! [`Command::Step`] carrying the shard's inboxes plus an empty
-//! [`StagedShard`]; each worker steps its nodes, validates their outboxes
-//! into the shard queue (per-worker [`DupScratch`], so stamps can never
-//! alias across concurrently-validating shards), and sends everything
-//! back. Meanwhile the engine thread steps and stages shard 0 in place.
-//! The engine thread then merges the queues in shard order — which is
-//! node-id order, because shards are contiguous and ascending — doing all
-//! accounting (stats, trace, observer hooks, pending inboxes) itself.
+//! The pool shards the **frontier**, not the id space: each round the
+//! engine thread builds the global schedule (sorted union of the wake and
+//! awake lists), slices it into per-shard sub-frontiers by id range, and
+//! sends every spawned worker whose sub-frontier is non-empty a
+//! [`Command::Step`] carrying the frontier ids plus the matching inbox
+//! buffers (taken out of `Core::pending`) and an empty [`StagedShard`].
+//! Workers owning no frontier node this round are **not woken at all** —
+//! on a sparse round the rendezvous cost tracks the frontier, not the
+//! thread count. Each dispatched worker steps exactly its frontier nodes,
+//! validates their outboxes into the shard queue (per-worker
+//! [`DupScratch`], so stamps can never alias across
+//! concurrently-validating shards), and sends everything back together
+//! with its shard-local awake list and termination votes. Meanwhile the
+//! engine thread steps its own sub-frontier of shard 0 in place.
+//!
+//! The engine thread then merges the staged queues in shard order — which
+//! is node-id order, because shards are contiguous and ascending and each
+//! sub-frontier is sorted — doing all accounting (stats, trace, observer
+//! hooks, pending inboxes) itself. The per-shard awake lists concatenate
+//! in the same order into the next round's globally sorted awake list.
 //! Every container round-trips through the channels and is recycled, so
 //! the steady state stays allocation-free.
 //!
@@ -41,7 +52,7 @@ use crate::node::{NodeContext, NodeId, Outbox, Port};
 use crate::topology::Topology;
 
 use super::commit::{stage_outbox, DupScratch, Limits, StagedShard};
-use super::{step_node, Core, Executor};
+use super::{merge_schedule, step_node, Core, Executor, QuiescenceState};
 
 /// Total worker threads ever spawned by pool executors, process-wide.
 /// Exists so tests and benches can pin the "threads are created once per
@@ -50,9 +61,9 @@ use super::{step_node, Core, Executor};
 /// carrying shard 0 itself), independent of how many rounds ran.
 static SPAWNED: AtomicU64 = AtomicU64::new(0);
 
-/// One shard's worth of inbox buffers: `bufs[j]` holds the pending
-/// messages for the shard's `j`-th node. Shipped between the engine and a
-/// worker each round with capacities intact.
+/// One sub-frontier's worth of inbox buffers: `bufs[j]` holds the pending
+/// messages for the frontier's `j`-th node. Shipped between the engine
+/// and a worker each round with capacities intact.
 type ShardInboxes<M> = Vec<Vec<(Port, M)>>;
 
 /// Process-wide count of pool worker threads spawned so far; see
@@ -66,12 +77,16 @@ enum Command<A: NodeAlgorithm> {
     /// Take ownership of the shard's node states (sent once, right after
     /// the engine thread ran `on_start`).
     Load(Vec<Option<A>>),
-    /// Step the shard for `round`: `inboxes[j]` belongs to node
-    /// `base + j`. Stage the resulting outboxes into `shard`.
+    /// Step the shard's sub-frontier for `round`: `inboxes[j]` belongs to
+    /// node `frontier[j]`. Stage the resulting outboxes into `shard` and
+    /// fill `awake` with the frontier nodes still active afterwards.
+    /// `awake` arrives cleared; it rides along purely for recycling.
     Step {
         round: u64,
+        frontier: Vec<NodeId>,
         inboxes: ShardInboxes<A::Message>,
         shard: StagedShard<A::Message>,
+        awake: Vec<NodeId>,
     },
     /// Return the node states for output extraction; the worker exits.
     Finish,
@@ -79,12 +94,15 @@ enum Command<A: NodeAlgorithm> {
 
 /// Worker-to-engine replies.
 enum Reply<A: NodeAlgorithm> {
-    /// One stepped round: the (drained, capacity-keeping) inbox buffers,
-    /// the staged commit queue, and whether any shard node `is_active`.
+    /// One stepped round: the frontier and its (drained, capacity-keeping)
+    /// inbox buffers, the staged commit queue, the shard-local sorted
+    /// awake list, and the shard's aggregated termination votes.
     Stepped {
+        frontier: Vec<NodeId>,
         inboxes: ShardInboxes<A::Message>,
         shard: StagedShard<A::Message>,
-        any_active: bool,
+        awake: Vec<NodeId>,
+        votes: QuiescenceState,
     },
     /// Response to [`Command::Finish`].
     Finished { nodes: Vec<Option<A>> },
@@ -100,8 +118,8 @@ struct Worker<'scope, A: NodeAlgorithm> {
     _thread: ScopedJoinHandle<'scope, ()>,
 }
 
-/// The body of one worker thread: step the shard, stage its outboxes,
-/// repeat until the command channel closes or `Finish` arrives.
+/// The body of one worker thread: step the sub-frontier, stage its
+/// outboxes, repeat until the command channel closes or `Finish` arrives.
 fn worker_loop<A: NodeAlgorithm>(
     topology: &Topology,
     n: usize,
@@ -117,15 +135,16 @@ fn worker_loop<A: NodeAlgorithm>(
     while let Ok(command) = cmd.recv() {
         match command {
             Command::Load(shard_nodes) => {
-                outboxes = (0..shard_nodes.len()).map(|_| Outbox::new()).collect();
                 nodes = shard_nodes;
             }
             Command::Step {
                 round,
+                frontier,
                 mut inboxes,
                 mut shard,
+                mut awake,
             } => {
-                let any_active = step_shard(
+                let votes = step_shard(
                     topology,
                     n,
                     base,
@@ -134,15 +153,19 @@ fn worker_loop<A: NodeAlgorithm>(
                     &faults,
                     &mut scratch,
                     &mut nodes,
+                    &frontier,
                     &mut inboxes,
                     &mut outboxes,
                     &mut shard,
+                    &mut awake,
                 );
                 if reply
                     .send(Reply::Stepped {
+                        frontier,
                         inboxes,
                         shard,
-                        any_active,
+                        awake,
+                        votes,
                     })
                     .is_err()
                 {
@@ -159,11 +182,17 @@ fn worker_loop<A: NodeAlgorithm>(
     }
 }
 
-/// Steps one contiguous shard and stages its outboxes: the shared body of
-/// the worker threads and of the engine thread's own shard 0. Staging
-/// walks nodes in id order and stops at the shard's first validation
-/// error (mirroring the serial abort point). Returns whether any shard
-/// node `is_active`.
+/// Steps one shard's sub-frontier and stages its outboxes: the shared
+/// body of the worker threads and of the engine thread's own shard 0.
+/// `frontier` holds global node ids, ascending, all within
+/// `base..base + nodes.len()`; `inboxes` and `outboxes` are positional to
+/// it. Staging walks the frontier in id order and stops at the shard's
+/// first validation error (mirroring the serial abort point) — nodes off
+/// the frontier are inactive with empty inboxes, so they could not have
+/// sent anything and the staged order equals full id order. Fills `awake`
+/// (cleared first) with the frontier nodes reporting `is_active`
+/// afterwards and returns the shard's aggregated termination votes over
+/// exactly the frontier nodes.
 #[allow(clippy::too_many_arguments)] // one shard-step, described flat
 fn step_shard<A: NodeAlgorithm>(
     topology: &Topology,
@@ -174,42 +203,64 @@ fn step_shard<A: NodeAlgorithm>(
     faults: &Option<FaultPlan>,
     scratch: &mut DupScratch,
     nodes: &mut [Option<A>],
+    frontier: &[NodeId],
     inboxes: &mut [Vec<(Port, A::Message)>],
-    outboxes: &mut [Outbox<A::Message>],
+    outboxes: &mut Vec<Outbox<A::Message>>,
     shard: &mut StagedShard<A::Message>,
-) -> bool {
-    for (j, ((node, inbox), outbox)) in nodes
-        .iter_mut()
-        .zip(inboxes.iter_mut())
-        .zip(outboxes.iter_mut())
-        .enumerate()
-    {
-        let v = (base + j) as NodeId;
+    awake: &mut Vec<NodeId>,
+) -> QuiescenceState {
+    while outboxes.len() < frontier.len() {
+        outboxes.push(Outbox::new());
+    }
+    awake.clear();
+    // Shard-locally every vote starts vacuously true; the engine thread
+    // vetoes the global `shutdown` bit unless every node in the network
+    // was polled this round.
+    let mut votes = QuiescenceState {
+        passive: true,
+        shutdown: true,
+    };
+    for ((j, &v), inbox) in frontier.iter().enumerate().zip(inboxes.iter_mut()) {
         // Same crash rule as the serial executor: a crashed node's state
-        // freezes and its (empty-by-construction) inbox is left untouched.
+        // freezes (it can only be scheduled through the awake list — sends
+        // to it were dropped at the validation point) and its frozen state
+        // keeps voting.
         if faults.as_ref().is_some_and(|f| f.crashed(round, v)) {
             debug_assert!(inbox.is_empty(), "crashed node received a message");
-            continue;
+        } else {
+            step_node(
+                topology,
+                n,
+                round,
+                v,
+                &mut nodes[v as usize - base],
+                inbox,
+                &mut outboxes[j],
+            );
         }
-        step_node(topology, n, round, v, node, inbox, outbox);
+        let node = nodes[v as usize - base]
+            .as_ref()
+            .expect("node state present");
+        if node.is_active() {
+            awake.push(v);
+        }
+        votes.vote(node.quiescence());
     }
-    for (j, outbox) in outboxes.iter_mut().enumerate() {
+    for (j, &v) in frontier.iter().enumerate() {
         if !stage_outbox(
             topology,
             limits,
             faults,
             scratch,
-            (base + j) as NodeId,
-            &mut outbox.items,
+            v,
+            &mut outboxes[j].items,
             round,
             shard,
         ) {
             break;
         }
     }
-    nodes
-        .iter()
-        .any(|node| node.as_ref().expect("node state present").is_active())
+    votes
 }
 
 /// The pool executor. Lives inside the `thread::scope` that `run` opens;
@@ -225,22 +276,39 @@ pub(crate) struct PoolExecutor<'t, 'scope, A: NodeAlgorithm> {
     nodes: Vec<Option<A>>,
     /// Shard 0's size — the engine thread steps these nodes itself.
     local_len: usize,
-    /// Recycled inbox containers and outboxes for shard 0.
+    /// This round's global schedule: sorted union of wake and awake.
+    schedule: Vec<NodeId>,
+    /// Nodes reporting `is_active` after their last step, globally
+    /// sorted — rebuilt every round by concatenating the shard-local
+    /// awake lists in shard order.
+    awake: Vec<NodeId>,
+    awake_next: Vec<NodeId>,
+    /// Shard 0's slice of the schedule (copied out so `step` can borrow
+    /// the node states mutably alongside it).
+    local_frontier: Vec<NodeId>,
+    /// Recycled inbox containers, outboxes, and awake list for shard 0.
     local_inboxes: ShardInboxes<A::Message>,
     local_outboxes: Vec<Outbox<A::Message>>,
+    local_awake: Vec<NodeId>,
     /// Shard 0's staged commit queue (drained by every merge, so one
     /// long-lived instance suffices).
     local_shard: StagedShard<A::Message>,
-    local_active: bool,
     /// The spawned workers, owning shards 1.. in ascending node-id order.
     workers: Vec<Worker<'scope, A>>,
+    /// Whether worker `w` was sent a `Step` this round (its sub-frontier
+    /// was non-empty); only dispatched workers are awaited in `step` and
+    /// merged in `commit`.
+    dispatched: Vec<bool>,
     /// Staged queues received this round, one per spawned worker; merged
     /// by `commit` and recycled into `spare_shards`.
     staged: Vec<Option<StagedShard<A::Message>>>,
     spare_shards: Vec<StagedShard<A::Message>>,
-    /// Recycled per-worker inbox containers for the deliver phase.
+    /// Recycled per-worker frontier / inbox / awake containers for the
+    /// deliver phase.
+    spare_frontiers: Vec<Vec<NodeId>>,
     spare_inboxes: Vec<ShardInboxes<A::Message>>,
-    any_active: bool,
+    spare_awake: Vec<Vec<NodeId>>,
+    quiescence: QuiescenceState,
     /// Scratch for the `on_start` commits and shard 0's staging, all on
     /// the engine thread.
     scratch: DupScratch,
@@ -301,15 +369,22 @@ where
             faults,
             nodes,
             local_len,
+            schedule: Vec::new(),
+            awake: Vec::new(),
+            awake_next: Vec::new(),
+            local_frontier: Vec::new(),
             local_inboxes: Vec::new(),
-            local_outboxes: (0..local_len).map(|_| Outbox::new()).collect(),
+            local_outboxes: Vec::new(),
+            local_awake: Vec::new(),
             local_shard: StagedShard::default(),
-            local_active: false,
+            dispatched: vec![false; spawned],
             staged: (0..spawned).map(|_| None).collect(),
             spare_shards: (0..spawned).map(|_| StagedShard::default()).collect(),
+            spare_frontiers: (0..spawned).map(|_| Vec::new()).collect(),
             spare_inboxes: (0..spawned).map(|_| Vec::new()).collect(),
+            spare_awake: (0..spawned).map(|_| Vec::new()).collect(),
             workers: pool,
-            any_active: false,
+            quiescence: QuiescenceState::default(),
             scratch: DupScratch::new(topology.max_degree()),
             start_outbox: Outbox::new(),
         }
@@ -356,10 +431,18 @@ where
                 )?;
             }
         }
-        self.any_active = self
-            .nodes
-            .iter()
-            .any(|node| node.as_ref().expect("node state present").is_active());
+        // Seed the awake list and the termination votes with one full
+        // scan, identically to the serial executor (crashed-at-0 nodes
+        // participate with their frozen initial state).
+        let mut quiescence = QuiescenceState::fold_start(n, n);
+        for (v, node) in self.nodes.iter().enumerate() {
+            let node = node.as_ref().expect("node state present");
+            if node.is_active() {
+                self.awake.push(v as NodeId);
+            }
+            quiescence.vote(node.quiescence());
+        }
+        self.quiescence = quiescence;
         // Hand each spawned worker its shard's node states — the only time
         // node state crosses threads until `into_outputs`. Shard 0 stays
         // in `self.nodes`.
@@ -371,35 +454,70 @@ where
         Ok(())
     }
 
+    fn schedule(&mut self, core: &mut Core<'_, A::Message>) -> u64 {
+        merge_schedule(core.sorted_wake(), &self.awake, &mut self.schedule);
+        core.clear_wake();
+        self.schedule.len() as u64
+    }
+
     fn deliver(&mut self, core: &mut Core<'_, A::Message>) {
-        // Move each shard's pending inboxes into the worker's (recycled)
-        // container and dispatch; workers begin stepping as soon as their
-        // own shard arrives. Shard 0's inboxes are pulled last — the
-        // engine thread steps them itself during the step phase.
+        // Slice the sorted schedule into contiguous per-shard
+        // sub-frontiers, move each frontier node's pending inbox into the
+        // worker's (recycled) container, and dispatch; workers begin
+        // stepping as soon as their own sub-frontier arrives, and workers
+        // with an empty sub-frontier are not woken at all. Shard 0's
+        // slice is copied out last — the engine thread steps it itself
+        // during the step phase.
         let round = core.round;
+        let local_end = self
+            .schedule
+            .partition_point(|&v| (v as usize) < self.local_len);
+        let mut cursor = local_end;
         for (w, worker) in self.workers.iter().enumerate() {
+            let shard_end = worker.base + worker.len;
+            let end =
+                cursor + self.schedule[cursor..].partition_point(|&v| (v as usize) < shard_end);
+            let slice = &self.schedule[cursor..end];
+            cursor = end;
+            if slice.is_empty() {
+                self.dispatched[w] = false;
+                continue;
+            }
+            self.dispatched[w] = true;
+            let mut frontier = std::mem::take(&mut self.spare_frontiers[w]);
+            frontier.clear();
+            frontier.extend_from_slice(slice);
             let mut inboxes = std::mem::take(&mut self.spare_inboxes[w]);
-            for pending in &mut core.pending[worker.base..worker.base + worker.len] {
-                inboxes.push(std::mem::take(pending));
+            for &v in &frontier {
+                inboxes.push(std::mem::take(&mut core.pending[v as usize]));
             }
             let shard = std::mem::take(&mut self.spare_shards[w]);
+            let awake = std::mem::take(&mut self.spare_awake[w]);
             let _ = worker.cmd.send(Command::Step {
                 round,
+                frontier,
                 inboxes,
                 shard,
+                awake,
             });
         }
-        for pending in &mut core.pending[..self.local_len] {
-            self.local_inboxes.push(std::mem::take(pending));
+        self.local_frontier.clear();
+        self.local_frontier
+            .extend_from_slice(&self.schedule[..local_end]);
+        for &v in &self.local_frontier {
+            self.local_inboxes
+                .push(std::mem::take(&mut core.pending[v as usize]));
         }
     }
 
     fn step(&mut self, core: &mut Core<'_, A::Message>) {
-        // Step shard 0 on this thread while the spawned workers run, then
-        // rendezvous: collect every worker's reply, restore the drained
-        // inbox buffers to `pending` (keeping their capacity), and park
-        // the staged queues for the commit phase.
-        self.local_active = step_shard(
+        // Step shard 0's sub-frontier on this thread while the dispatched
+        // workers run, then rendezvous: collect every dispatched worker's
+        // reply, restore the drained inbox buffers to `pending` (keeping
+        // their capacity), concatenate the shard-local awake lists in
+        // shard order (= globally sorted), fold the votes, and park the
+        // staged queues for the commit phase.
+        let mut votes = step_shard(
             self.topology,
             self.n,
             0,
@@ -408,41 +526,64 @@ where
             &self.faults,
             &mut self.scratch,
             &mut self.nodes,
+            &self.local_frontier,
             &mut self.local_inboxes,
             &mut self.local_outboxes,
             &mut self.local_shard,
+            &mut self.local_awake,
         );
         for (j, buf) in self.local_inboxes.drain(..).enumerate() {
-            core.pending[j] = buf;
+            core.pending[self.local_frontier[j] as usize] = buf;
         }
-        self.any_active = self.local_active;
+        self.awake_next.clear();
+        self.awake_next.extend_from_slice(&self.local_awake);
+        let mut polled = self.local_frontier.len();
         for (w, worker) in self.workers.iter().enumerate() {
+            if !self.dispatched[w] {
+                continue;
+            }
             match worker.reply.recv() {
                 Ok(Reply::Stepped {
+                    frontier,
                     mut inboxes,
                     shard,
-                    any_active,
+                    awake,
+                    votes: shard_votes,
                 }) => {
                     for (j, buf) in inboxes.drain(..).enumerate() {
-                        core.pending[worker.base + j] = buf;
+                        core.pending[frontier[j] as usize] = buf;
                     }
+                    self.awake_next.extend_from_slice(&awake);
+                    polled += frontier.len();
+                    votes.passive &= shard_votes.passive;
+                    votes.shutdown &= shard_votes.shutdown;
+                    self.spare_frontiers[w] = frontier;
                     self.spare_inboxes[w] = inboxes;
+                    self.spare_awake[w] = awake;
                     self.staged[w] = Some(shard);
-                    self.any_active |= any_active;
                 }
                 Ok(Reply::Finished { .. }) => unreachable!("worker finished mid-run"),
                 Err(_) => panic!("pool worker {w} disconnected (node panic?)"),
             }
         }
+        // Unanimous shutdown requires every node's consent; nodes off the
+        // schedule are necessarily `Passive`, which vetoes it.
+        votes.shutdown &= polled == self.n;
+        self.quiescence = votes;
+        std::mem::swap(&mut self.awake, &mut self.awake_next);
     }
 
     fn commit(&mut self, core: &mut Core<'_, A::Message>) -> Result<(), SimError> {
         let handle = core.config.observer.clone();
         let mut observer = handle.as_ref().map(|h| h.lock());
-        // Shard 0 first, then the spawned workers in ascending shard
-        // order: exactly node-id order.
+        // Shard 0 first, then the dispatched workers in ascending shard
+        // order: exactly node-id order (undispatched shards staged
+        // nothing).
         core.merge_shard(&mut observer, &mut self.local_shard)?;
         for w in 0..self.workers.len() {
+            if !self.dispatched[w] {
+                continue;
+            }
             let mut shard = self.staged[w]
                 .take()
                 .expect("staged shard present after step");
@@ -453,8 +594,8 @@ where
         Ok(())
     }
 
-    fn any_active(&self) -> bool {
-        self.any_active
+    fn quiescence(&self) -> QuiescenceState {
+        self.quiescence
     }
 
     fn into_outputs(self, final_round: u64) -> Vec<A::Output> {

@@ -1,6 +1,6 @@
 //! The single-threaded executor: every phase runs in place on the calling
-//! thread. This is the pre-pipeline engine's behavior verbatim — zero
-//! coordination overhead — and stays the default.
+//! thread, over the round's schedule only. Zero coordination overhead —
+//! this stays the default.
 
 use crate::algorithm::NodeAlgorithm;
 use crate::error::SimError;
@@ -8,31 +8,40 @@ use crate::node::{NodeContext, NodeId, Outbox};
 use crate::topology::Topology;
 
 use super::commit::DupScratch;
-use super::{step_node, Core, Executor};
+use super::{merge_schedule, step_node, Core, Executor, QuiescenceState};
 
-/// Runs the pipeline phases in place: deliver is a buffer swap, step is a
-/// sequential sweep over the nodes, commit validates and books each outbox
-/// immediately.
+/// Runs the pipeline phases in place: the schedule is the sorted union of
+/// the wake and awake lists, step sweeps it reading inboxes straight out
+/// of `Core::pending`, and commit validates and books each scheduled
+/// node's outbox immediately — ascending schedule order *is* node-id
+/// order.
 pub(crate) struct SerialExecutor<'t, A: NodeAlgorithm> {
     topology: &'t Topology,
     nodes: Vec<Option<A>>,
-    /// `delivering[v]` is the inbox buffer handed to `v` this round;
-    /// swapped with `Core::pending` each deliver phase and recycled.
-    delivering: Vec<Vec<(u32, A::Message)>>,
-    /// `outboxes[v]` is `v`'s send buffer, drained on commit and recycled.
+    /// This round's schedule: sorted ids with pending arrivals or awake.
+    schedule: Vec<NodeId>,
+    /// Nodes reporting `is_active` after their last step, sorted. Always
+    /// a subset of the next schedule.
+    awake: Vec<NodeId>,
+    awake_next: Vec<NodeId>,
+    /// Send buffers, positionally matched to `schedule`; grown on demand
+    /// and recycled (commit drains them in place).
     outboxes: Vec<Outbox<A::Message>>,
     scratch: DupScratch,
+    quiescence: QuiescenceState,
 }
 
 impl<'t, A: NodeAlgorithm> SerialExecutor<'t, A> {
     pub(crate) fn new(topology: &'t Topology, nodes: Vec<Option<A>>) -> Self {
-        let n = nodes.len();
         SerialExecutor {
             topology,
             nodes,
-            delivering: (0..n).map(|_| Vec::new()).collect(),
-            outboxes: (0..n).map(|_| Outbox::new()).collect(),
+            schedule: Vec::new(),
+            awake: Vec::new(),
+            awake_next: Vec::new(),
+            outboxes: Vec::new(),
             scratch: DupScratch::new(topology.max_degree()),
+            quiescence: QuiescenceState::default(),
         }
     }
 }
@@ -40,91 +49,126 @@ impl<'t, A: NodeAlgorithm> SerialExecutor<'t, A> {
 impl<A: NodeAlgorithm> Executor<A> for SerialExecutor<'_, A> {
     fn start(&mut self, core: &mut Core<'_, A::Message>) -> Result<(), SimError> {
         let n = self.nodes.len();
-        let handle = core.config.observer.clone();
-        let mut observer = handle.as_ref().map(|h| h.lock());
-        for v in 0..n {
-            // A node already inside a crash window at round 0 never boots;
-            // it runs `on_start` only conceptually, after restarting (i.e.
-            // not at all — restarts resume the frozen state).
-            if core
-                .config
-                .faults
-                .as_ref()
-                .is_some_and(|f| f.crashed(0, v as NodeId))
-            {
-                continue;
+        let mut start_outbox = Outbox::new();
+        {
+            let handle = core.config.observer.clone();
+            let mut observer = handle.as_ref().map(|h| h.lock());
+            for v in 0..n {
+                // A node already inside a crash window at round 0 never
+                // boots; it runs `on_start` only conceptually, after
+                // restarting (i.e. not at all — restarts resume the
+                // frozen state).
+                if core
+                    .config
+                    .faults
+                    .as_ref()
+                    .is_some_and(|f| f.crashed(0, v as NodeId))
+                {
+                    continue;
+                }
+                let ctx = NodeContext {
+                    node_id: v as NodeId,
+                    num_nodes: n,
+                    neighbor_ids: self.topology.neighbors(v as NodeId),
+                    round: 0,
+                };
+                self.nodes[v]
+                    .as_mut()
+                    .expect("node state present")
+                    .on_start(&ctx, &mut start_outbox);
+                core.commit_outbox(
+                    &mut observer,
+                    &mut self.scratch,
+                    v as NodeId,
+                    &mut start_outbox.items,
+                )?;
             }
-            let ctx = NodeContext {
-                node_id: v as NodeId,
-                num_nodes: n,
-                neighbor_ids: self.topology.neighbors(v as NodeId),
-                round: 0,
-            };
-            self.nodes[v]
-                .as_mut()
-                .expect("node state present")
-                .on_start(&ctx, &mut self.outboxes[v]);
-            core.commit_outbox(
-                &mut observer,
-                &mut self.scratch,
-                v as NodeId,
-                &mut self.outboxes[v].items,
-            )?;
         }
+        // Seed the awake list and the termination votes with one full
+        // scan — the only O(n) sweep after construction. Crashed-at-0
+        // nodes participate with their (frozen) initial state, exactly as
+        // the dense reference engine polls them.
+        let mut quiescence = QuiescenceState::fold_start(n, n);
+        for (v, node) in self.nodes.iter().enumerate() {
+            let node = node.as_ref().expect("node state present");
+            if node.is_active() {
+                self.awake.push(v as NodeId);
+            }
+            quiescence.vote(node.quiescence());
+        }
+        self.quiescence = quiescence;
         Ok(())
     }
 
-    fn deliver(&mut self, core: &mut Core<'_, A::Message>) {
-        // Swap the accumulated inboxes in so sends this round are buffered
-        // for the next one; `delivering`'s buffers were cleared (capacity
-        // kept) at the end of the previous step.
-        std::mem::swap(&mut core.pending, &mut self.delivering);
+    fn schedule(&mut self, core: &mut Core<'_, A::Message>) -> u64 {
+        merge_schedule(core.sorted_wake(), &self.awake, &mut self.schedule);
+        core.clear_wake();
+        while self.outboxes.len() < self.schedule.len() {
+            self.outboxes.push(Outbox::new());
+        }
+        self.schedule.len() as u64
+    }
+
+    fn deliver(&mut self, _core: &mut Core<'_, A::Message>) {
+        // Nothing to move: step reads each scheduled node's inbox straight
+        // out of `core.pending` (and leaves the drained buffer behind for
+        // the commit phase to refill).
     }
 
     fn step(&mut self, core: &mut Core<'_, A::Message>) {
         let n = self.nodes.len();
         let round = core.round;
         let faults = &core.config.faults;
-        for (v, ((node, inbox), outbox)) in self
-            .nodes
-            .iter_mut()
-            .zip(self.delivering.iter_mut())
-            .zip(self.outboxes.iter_mut())
-            .enumerate()
-        {
-            // Crashed nodes are not stepped: their state freezes until the
-            // window ends. Their inboxes are empty by construction — every
-            // message to them was discarded at the validation point.
-            if faults
-                .as_ref()
-                .is_some_and(|f| f.crashed(round, v as NodeId))
-            {
-                debug_assert!(inbox.is_empty(), "crashed node received a message");
-                continue;
+        self.awake_next.clear();
+        let mut quiescence = QuiescenceState::fold_start(self.schedule.len(), n);
+        for (i, &v) in self.schedule.iter().enumerate() {
+            // Crashed nodes are not stepped: their state freezes until
+            // the window ends. They can only be on the schedule through
+            // the awake list (messages to them were discarded at the
+            // validation point), and their frozen state keeps voting.
+            if faults.as_ref().is_some_and(|f| f.crashed(round, v)) {
+                debug_assert!(
+                    core.pending[v as usize].is_empty(),
+                    "crashed node received a message"
+                );
+            } else {
+                step_node(
+                    self.topology,
+                    n,
+                    round,
+                    v,
+                    &mut self.nodes[v as usize],
+                    &mut core.pending[v as usize],
+                    &mut self.outboxes[i],
+                );
             }
-            step_node(self.topology, n, round, v as NodeId, node, inbox, outbox);
+            let node = self.nodes[v as usize].as_ref().expect("node state present");
+            if node.is_active() {
+                self.awake_next.push(v);
+            }
+            quiescence.vote(node.quiescence());
         }
+        self.quiescence = quiescence;
+        std::mem::swap(&mut self.awake, &mut self.awake_next);
     }
 
     fn commit(&mut self, core: &mut Core<'_, A::Message>) -> Result<(), SimError> {
         // One observer lock per commit phase; `None` when unobserved.
         let handle = core.config.observer.clone();
         let mut observer = handle.as_ref().map(|h| h.lock());
-        for (v, outbox) in self.outboxes.iter_mut().enumerate() {
+        for (i, &v) in self.schedule.iter().enumerate() {
             core.commit_outbox(
                 &mut observer,
                 &mut self.scratch,
-                v as NodeId,
-                &mut outbox.items,
+                v,
+                &mut self.outboxes[i].items,
             )?;
         }
         Ok(())
     }
 
-    fn any_active(&self) -> bool {
-        self.nodes
-            .iter()
-            .any(|node| node.as_ref().expect("node state present").is_active())
+    fn quiescence(&self) -> QuiescenceState {
+        self.quiescence
     }
 
     fn into_outputs(mut self, final_round: u64) -> Vec<A::Output> {

@@ -85,7 +85,7 @@ mod topology;
 pub mod obs;
 pub mod trace;
 
-pub use algorithm::NodeAlgorithm;
+pub use algorithm::{NodeAlgorithm, Quiescence};
 pub use config::{Config, CrashWindow, DropReason, ExecutorKind, FaultPlan, LossPlan, LossRule};
 pub use engine::pool_workers_spawned;
 pub use engine::{Report, Simulator};

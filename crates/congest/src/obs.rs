@@ -75,6 +75,10 @@ pub struct RunInfo<'a> {
     /// Number of *directed* edges (`2m`); directed edge indices in
     /// [`MessageEvent::edge`] range over `0..directed_edges`.
     pub directed_edges: usize,
+    /// Number of nodes that run `on_start` (everyone not crashed at round
+    /// 0) — the round-0 scheduled count, mirrored into the metric
+    /// stream's first row.
+    pub started: u64,
 }
 
 /// One committed (accepted-for-delivery) message, as seen by the engine's
@@ -150,8 +154,11 @@ pub trait Observer: Send {
     /// produce one call per phase).
     fn on_run_start(&mut self, _info: &RunInfo<'_>) {}
     /// Round `round` begins; `delivered` messages (sent in `round - 1`) are
-    /// about to be handed to the nodes.
-    fn on_round_start(&mut self, _round: u64, _delivered: u64) {}
+    /// about to be handed to the nodes, and `scheduled` nodes are on this
+    /// round's schedule (nodes with arrivals or awake — the set the
+    /// active-set engine steps; the dense reference engine reports the
+    /// same count while still stepping everyone).
+    fn on_round_start(&mut self, _round: u64, _delivered: u64, _scheduled: u64) {}
     /// A message passed validation and was accepted for delivery.
     fn on_message(&mut self, _ev: &MessageEvent) {}
     /// A message was dropped by the configured
@@ -273,9 +280,9 @@ impl Observer for FanOut {
             obs.lock().on_run_start(info);
         }
     }
-    fn on_round_start(&mut self, round: u64, delivered: u64) {
+    fn on_round_start(&mut self, round: u64, delivered: u64, scheduled: u64) {
         for obs in &self.observers {
-            obs.lock().on_round_start(round, delivered);
+            obs.lock().on_round_start(round, delivered, scheduled);
         }
     }
     fn on_message(&mut self, ev: &MessageEvent) {
@@ -336,6 +343,12 @@ pub struct RoundMetrics {
     pub crashed: u64,
     /// Distinct nodes that sent at least one message this round.
     pub active_nodes: u32,
+    /// Nodes on this round's schedule (arrivals waiting or awake) — the
+    /// set the active-set engine steps. Row 0 counts the nodes that ran
+    /// `on_start`. Summing the column reproduces
+    /// [`RunStats::scheduled_node_rounds`]; the column maximum is
+    /// [`RunStats::max_scheduled_per_round`].
+    pub scheduled_nodes: u64,
     /// The largest number of messages any single *undirected* edge carried
     /// this round (at most 2 — one per direction — by the engine's
     /// bandwidth discipline; the interesting signal is how close the
@@ -362,6 +375,7 @@ impl RoundMetrics {
             dropped: 0,
             crashed: 0,
             active_nodes: 0,
+            scheduled_nodes: 0,
             max_edge_load: 0,
             edge_load_hist: Vec::new(),
             deliver_ns: 0,
@@ -376,7 +390,8 @@ impl RoundMetrics {
         format!(
             concat!(
                 "{{\"phase\":\"{}\",\"round\":{},\"messages\":{},\"bits\":{},",
-                "\"dropped\":{},\"crashed\":{},\"active_nodes\":{},\"max_edge_load\":{},",
+                "\"dropped\":{},\"crashed\":{},\"active_nodes\":{},",
+                "\"scheduled_nodes\":{},\"max_edge_load\":{},",
                 "\"edge_load_hist\":[{}],\"deliver_ns\":{},\"step_ns\":{},",
                 "\"commit_ns\":{}}}"
             ),
@@ -387,6 +402,7 @@ impl RoundMetrics {
             self.dropped,
             self.crashed,
             self.active_nodes,
+            self.scheduled_nodes,
             self.max_edge_load,
             hist.join(","),
             self.deliver_ns,
@@ -408,6 +424,7 @@ impl PartialEq for RoundMetrics {
             && self.dropped == other.dropped
             && self.crashed == other.crashed
             && self.active_nodes == other.active_nodes
+            && self.scheduled_nodes == other.scheduled_nodes
             && self.max_edge_load == other.max_edge_load
             && self.edge_load_hist == other.edge_load_hist
     }
@@ -497,14 +514,18 @@ impl Observer for MetricsRecorder {
         self.edge_load.resize(info.directed_edges, 0);
         self.touched.clear();
         self.last_sender = None;
-        self.stream.push(RoundMetrics::new(phase.clone(), 0));
+        let mut row = RoundMetrics::new(phase.clone(), 0);
+        row.scheduled_nodes = info.started;
+        self.stream.push(row);
         self.phase = Some(phase);
     }
 
-    fn on_round_start(&mut self, round: u64, _delivered: u64) {
+    fn on_round_start(&mut self, round: u64, _delivered: u64, scheduled: u64) {
         self.seal_round();
         let phase = self.phase.clone().unwrap_or_else(|| Arc::from(""));
-        self.stream.push(RoundMetrics::new(phase, round));
+        let mut row = RoundMetrics::new(phase, round);
+        row.scheduled_nodes = scheduled;
+        self.stream.push(row);
     }
 
     fn on_message(&mut self, ev: &MessageEvent) {
@@ -751,7 +772,7 @@ impl Observer for EdgeCongestionProbe {
         }
     }
 
-    fn on_round_start(&mut self, round: u64, _delivered: u64) {
+    fn on_round_start(&mut self, round: u64, _delivered: u64, _scheduled: u64) {
         if self.active {
             self.reset_round();
             self.round = round;
@@ -883,6 +904,7 @@ mod tests {
             phase,
             nodes: 4,
             directed_edges: 6,
+            started: 4,
         }
     }
 
@@ -911,7 +933,7 @@ mod tests {
         let mut rec = MetricsRecorder::new();
         rec.on_run_start(&info("demo"));
         rec.on_message(&ev(0, 0, 1, 0, 3, None));
-        rec.on_round_start(1, 1);
+        rec.on_round_start(1, 1, 4);
         rec.on_message(&ev(1, 1, 0, 2, 5, None));
         rec.on_message(&ev(1, 1, 2, 3, 0, None));
         rec.on_drop(1, 2, 0, DropReason::Loss);
@@ -938,7 +960,7 @@ mod tests {
         rec.on_run_end(&RunStats::default());
         assert_eq!(rec.take_run_stream().unwrap().len(), 1);
         rec.on_run_start(&info("b"));
-        rec.on_round_start(1, 0);
+        rec.on_round_start(1, 0, 4);
         rec.on_run_end(&RunStats::default());
         let second = rec.take_run_stream().unwrap();
         assert_eq!(second.len(), 2);
@@ -964,7 +986,7 @@ mod tests {
     fn congestion_probe_flags_overload() {
         let mut probe = EdgeCongestionProbe::new(1);
         probe.on_run_start(&info(""));
-        probe.on_round_start(1, 0);
+        probe.on_round_start(1, 0, 4);
         probe.on_message(&ev(1, 0, 1, 0, 3, None));
         assert!(probe.is_clean());
         probe.on_message(&ev(1, 0, 1, 0, 3, None));
@@ -980,7 +1002,7 @@ mod tests {
             }]
         );
         // A new round resets the counts.
-        probe.on_round_start(2, 0);
+        probe.on_round_start(2, 0, 4);
         probe.on_message(&ev(2, 0, 1, 0, 3, None));
         assert_eq!(probe.violations().len(), 1);
     }
@@ -989,11 +1011,11 @@ mod tests {
     fn congestion_probe_phase_filter() {
         let mut probe = EdgeCongestionProbe::new(0).for_phase("watched");
         probe.on_run_start(&info("other"));
-        probe.on_round_start(1, 0);
+        probe.on_round_start(1, 0, 4);
         probe.on_message(&ev(1, 0, 1, 0, 3, None));
         assert!(probe.is_clean());
         probe.on_run_start(&info("watched"));
-        probe.on_round_start(1, 0);
+        probe.on_round_start(1, 0, 4);
         probe.on_message(&ev(1, 0, 1, 0, 3, None));
         assert!(!probe.is_clean());
     }
@@ -1002,7 +1024,7 @@ mod tests {
     fn wave_probe_tracks_first_arrivals_and_collisions() {
         let mut probe = WaveArrivalProbe::new();
         probe.on_run_start(&info(""));
-        probe.on_round_start(1, 0);
+        probe.on_round_start(1, 0, 4);
         probe.on_message(&ev(1, 0, 1, 0, 3, Some(7)));
         probe.on_message(&ev(1, 0, 1, 0, 3, Some(7))); // repeat: not a new arrival
         probe.on_message(&ev(1, 2, 1, 4, 1, Some(9))); // second stream, same node+round
@@ -1022,7 +1044,7 @@ mod tests {
         let probe = SharedObserver::new(EdgeCongestionProbe::new(1));
         let mut fan = FanOut::new(vec![rec.observer(), probe.observer()]);
         fan.on_run_start(&info(""));
-        fan.on_round_start(1, 0);
+        fan.on_round_start(1, 0, 4);
         fan.on_message(&ev(1, 0, 1, 0, 3, None));
         fan.on_run_end(&RunStats::default());
         assert!(fan.take_run_stream().is_some(), "recorder is first");

@@ -10,7 +10,7 @@
 
 use crate::algorithm::NodeAlgorithm;
 use crate::config::{Config, DropReason};
-use crate::engine::Report;
+use crate::engine::{QuiescenceState, Report};
 use crate::error::SimError;
 use crate::message::Message;
 use crate::node::{Inbox, NodeContext, NodeId, Outbox};
@@ -35,6 +35,13 @@ pub struct ReferenceSimulator<'t, A: NodeAlgorithm> {
     stats: RunStats,
     trace: Option<Trace>,
     round_profile: Vec<u64>,
+    /// Pre-pass marks: `scheduled[v]` iff the active-set engine would
+    /// schedule `v` this round. The reference engine still steps every
+    /// node (that is what makes it the dense baseline), but it must book
+    /// the same per-round scheduled counts and poll termination votes
+    /// over the same set, or the two engines' reports would diverge.
+    scheduled: Vec<bool>,
+    quiescence: QuiescenceState,
 }
 
 impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
@@ -67,6 +74,19 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
             stats: RunStats::default(),
             trace,
             round_profile: Vec::new(),
+            scheduled: vec![false; n],
+            quiescence: QuiescenceState::default(),
+        }
+    }
+
+    /// Nodes that run `on_start` (everyone not crashed at round 0).
+    fn started_nodes(&self) -> u64 {
+        let n = self.nodes.len();
+        match &self.config.faults {
+            Some(f) if f.has_crashes() => {
+                (0..n).filter(|&v| !f.crashed(0, v as NodeId)).count() as u64
+            }
+            _ => n as u64,
         }
     }
 
@@ -181,6 +201,15 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
                 .on_start(&ctx, &mut outbox);
             self.commit_outbox(v as NodeId, outbox, 0)?;
         }
+        // Seed the termination votes with one full poll, exactly as the
+        // optimized executors do after their `on_start` sweep (crashed-at-0
+        // nodes participate with their frozen initial state).
+        let n = self.nodes.len();
+        let mut quiescence = QuiescenceState::fold_start(n, n);
+        for node in &self.nodes {
+            quiescence.vote(node.as_ref().expect("node state present").quiescence());
+        }
+        self.quiescence = quiescence;
         Ok(())
     }
 
@@ -194,10 +223,29 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
         let delivered = self.in_flight;
         self.in_flight = 0;
         let n = self.nodes.len();
+        // Pre-pass: mark the set the active-set engine would schedule —
+        // nodes with arrivals waiting or reporting `is_active` after their
+        // last step. The marks drive the scheduled-count metrics and the
+        // post-step vote poll; the dense step loop below still visits
+        // every node.
+        let mut scheduled_count: u64 = 0;
+        for v in 0..n {
+            let active = self.nodes[v]
+                .as_ref()
+                .expect("node state present")
+                .is_active();
+            let on = !self.pending[v].is_empty() || active;
+            self.scheduled[v] = on;
+            scheduled_count += u64::from(on);
+        }
+        self.stats.scheduled_node_rounds += scheduled_count;
+        self.stats.max_scheduled_per_round =
+            self.stats.max_scheduled_per_round.max(scheduled_count);
         let watch = self.config.observer.is_some();
         let mut timing = RoundTiming::default();
         if let Some(obs) = &self.config.observer {
-            obs.lock().on_round_start(self.round, delivered);
+            obs.lock()
+                .on_round_start(self.round, delivered, scheduled_count);
         }
         // Crash bookkeeping sits between round start and delivery, exactly
         // where the optimized engine books it, so observers see identical
@@ -265,15 +313,23 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
         if let Some(obs) = &self.config.observer {
             obs.lock().on_round_end(self.round, &timing);
         }
+        // Poll termination votes over exactly the scheduled set: the
+        // active-set engine only polls the nodes it stepped (off-schedule
+        // nodes are inactive, hence at most `Passive` by contract), and a
+        // mismatch in who votes could shift the termination round.
+        let mut quiescence = QuiescenceState::fold_start(scheduled_count as usize, n);
+        for v in 0..n {
+            if self.scheduled[v] {
+                quiescence.vote(
+                    self.nodes[v]
+                        .as_ref()
+                        .expect("node state present")
+                        .quiescence(),
+                );
+            }
+        }
+        self.quiescence = quiescence;
         Ok(())
-    }
-
-    fn is_quiescent(&self) -> bool {
-        self.in_flight == 0
-            && self
-                .nodes
-                .iter()
-                .all(|node| !node.as_ref().expect("node state present").is_active())
     }
 
     /// Runs to quiescence; same contract as
@@ -287,15 +343,20 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
     /// within [`Config::max_rounds`].
     pub fn run(mut self) -> Result<Report<A::Output>, SimError> {
         let started = std::time::Instant::now();
+        let started_nodes = self.started_nodes();
         if let Some(obs) = &self.config.observer {
             obs.lock().on_run_start(&RunInfo {
                 phase: &self.config.phase,
                 nodes: self.topology.num_nodes(),
                 directed_edges: self.topology.num_directed_edges(),
+                started: started_nodes,
             });
         }
         self.start_all()?;
-        while !self.is_quiescent() {
+        // Round 0 schedules every started node (they all run `on_start`).
+        self.stats.scheduled_node_rounds += started_nodes;
+        self.stats.max_scheduled_per_round = self.stats.max_scheduled_per_round.max(started_nodes);
+        while !self.quiescence.terminal(self.in_flight) {
             if self.round >= self.config.max_rounds {
                 return Err(SimError::RoundLimitExceeded {
                     limit: self.config.max_rounds,

@@ -26,6 +26,14 @@ pub struct RunStats {
     /// inside a [`CrashWindow`](crate::CrashWindow); always 0 without
     /// scheduled crashes.
     pub crashed: u64,
+    /// Scheduled node-rounds: total nodes placed on a round schedule
+    /// (arrivals waiting or awake) over the whole run, with round 0
+    /// counting every node that ran `on_start`. The dense engines step
+    /// `rounds × n` node-rounds; the ratio against this counter is the
+    /// sparseness the active-set engine exploits.
+    pub scheduled_node_rounds: u64,
+    /// Largest single-round scheduled count (round 0 included).
+    pub max_scheduled_per_round: u64,
     /// Wall-clock time of the run, filled in by the simulator. Excluded
     /// from equality so determinism checks (`stats_a == stats_b`) compare
     /// only model-level quantities.
@@ -43,12 +51,25 @@ impl PartialEq for RunStats {
             && self.max_messages_per_round == other.max_messages_per_round
             && self.dropped == other.dropped
             && self.crashed == other.crashed
+            && self.scheduled_node_rounds == other.scheduled_node_rounds
+            && self.max_scheduled_per_round == other.max_scheduled_per_round
     }
 }
 
 impl Eq for RunStats {}
 
 impl RunStats {
+    /// The peak active fraction: the largest single-round scheduled count
+    /// as a fraction of `n` (0 for an empty network). A frontier-sparse
+    /// workload keeps this well under 1; a flood touches 1.0.
+    pub fn peak_scheduled_fraction(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.max_scheduled_per_round as f64 / n as f64
+        }
+    }
+
     /// Accumulates another run's statistics into this one, summing rounds
     /// and wall-clock time — used when an algorithm is composed of
     /// sequential phases.
@@ -62,6 +83,10 @@ impl RunStats {
             .max(other.max_messages_per_round);
         self.dropped += other.dropped;
         self.crashed += other.crashed;
+        self.scheduled_node_rounds += other.scheduled_node_rounds;
+        self.max_scheduled_per_round = self
+            .max_scheduled_per_round
+            .max(other.max_scheduled_per_round);
         self.wall_time += other.wall_time;
     }
 }
@@ -100,6 +125,8 @@ mod tests {
             max_messages_per_round: 30,
             dropped: 1,
             crashed: 4,
+            scheduled_node_rounds: 40,
+            max_scheduled_per_round: 8,
             wall_time: std::time::Duration::from_millis(3),
         };
         let b = RunStats {
@@ -110,6 +137,8 @@ mod tests {
             max_messages_per_round: 10,
             dropped: 2,
             crashed: 1,
+            scheduled_node_rounds: 25,
+            max_scheduled_per_round: 12,
             wall_time: std::time::Duration::from_millis(4),
         };
         a.absorb_sequential(&b);
@@ -120,7 +149,19 @@ mod tests {
         assert_eq!(a.max_messages_per_round, 30);
         assert_eq!(a.dropped, 3);
         assert_eq!(a.crashed, 5);
+        assert_eq!(a.scheduled_node_rounds, 65);
+        assert_eq!(a.max_scheduled_per_round, 12);
         assert_eq!(a.wall_time, std::time::Duration::from_millis(7));
+    }
+
+    #[test]
+    fn peak_scheduled_fraction_is_per_node() {
+        let s = RunStats {
+            max_scheduled_per_round: 5,
+            ..RunStats::default()
+        };
+        assert!((s.peak_scheduled_fraction(20) - 0.25).abs() < 1e-12);
+        assert_eq!(RunStats::default().peak_scheduled_fraction(0), 0.0);
     }
 
     #[test]

@@ -155,6 +155,19 @@ fn assert_decomposes(stream: &[RoundMetrics], stats: &RunStats, tag: &str) {
     // so the per-round delivery peak equals the per-row commit peak.
     let peak = stream.iter().map(|m| m.messages).max().unwrap_or(0);
     assert_eq!(peak, stats.max_messages_per_round, "{tag}: peak");
+    // The scheduled column decomposes the active-set accounting the same
+    // way: row 0 carries the on_start count, later rows the per-round
+    // schedule sizes.
+    let scheduled: u64 = stream.iter().map(|m| m.scheduled_nodes).sum();
+    assert_eq!(
+        scheduled, stats.scheduled_node_rounds,
+        "{tag}: scheduled node-rounds"
+    );
+    let sched_peak = stream.iter().map(|m| m.scheduled_nodes).max().unwrap_or(0);
+    assert_eq!(
+        sched_peak, stats.max_scheduled_per_round,
+        "{tag}: scheduled peak"
+    );
     for m in stream {
         assert_eq!(&*m.phase, "gossip", "{tag}: phase label");
     }

@@ -500,6 +500,14 @@ mod tests {
             assert!(rel.retransmissions > 0, "loss never forced a retransmit");
             assert!(!rel.gave_up);
             assert_eq!(rel.truncated_sends, 0, "horizon cut the run short");
+            // Shutdown quiescence ends the run at the wrapped protocol's
+            // actual quiescence round, not the padded worst-case horizon.
+            let horizon = 4 * g.num_nodes() as u64 + 16;
+            assert!(
+                rel.sim_rounds < horizon,
+                "early shutdown should beat the {horizon}-round horizon (simulated {})",
+                rel.sim_rounds
+            );
         }
     }
 
@@ -515,6 +523,11 @@ mod tests {
             "fault-free runs must not retransmit"
         );
         assert_eq!(faulty.stats.dropped, 0);
+        assert!(
+            rel.sim_rounds < 4 * g.num_nodes() as u64 + 16,
+            "fault-free reliable run should quiesce before the horizon (simulated {})",
+            rel.sim_rounds
+        );
     }
 
     #[test]

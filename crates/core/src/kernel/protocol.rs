@@ -3,7 +3,7 @@
 
 use std::fmt::Debug;
 
-use dapsp_congest::{Envelope, Inbox, NodeAlgorithm, NodeContext, Outbox, Port, Width};
+use dapsp_congest::{Envelope, Inbox, NodeAlgorithm, NodeContext, Outbox, Port, Quiescence, Width};
 
 /// A per-node protocol kernel: the state machine interface the wave-kernel
 /// layer builds algorithms from.
@@ -40,17 +40,39 @@ pub trait Protocol {
         tx: &mut Tx<Self::Payload>,
     );
 
-    /// End of the round: called on **every** node every round, after all
-    /// deliveries, so kernels can run timers and contention schedules.
+    /// End of the round: called after all deliveries on every node the
+    /// engine *scheduled* this round, so kernels can run timers and
+    /// contention schedules. Under the active-set scheduler a node is
+    /// scheduled when it received a payload this round or reported
+    /// [`is_active`](Self::is_active) after its last step — a kernel whose
+    /// timer is running must therefore report itself active, or the tick
+    /// never fires.
     fn on_round_end(&mut self, ctx: &NodeContext<'_>, tx: &mut Tx<Self::Payload>) {
         let _ = (ctx, tx);
     }
 
     /// True while this kernel may still send without first receiving
     /// (e.g. a pending delayed wave start). Mirrors
-    /// [`NodeAlgorithm::is_active`].
+    /// [`NodeAlgorithm::is_active`] — including its wake-signal role: an
+    /// active kernel is stepped every round, an inactive one only on
+    /// arrivals.
     fn is_active(&self) -> bool {
         false
+    }
+
+    /// This kernel's termination vote; mirrors
+    /// [`NodeAlgorithm::quiescence`] (and must uphold the same contract:
+    /// an inactive kernel never votes [`Quiescence::Active`]). The default
+    /// derives the vote from [`is_active`](Self::is_active); synchronizer
+    /// wrappers that stay active to a fixed horizon but know their inner
+    /// protocol is finished override it to vote
+    /// [`Quiescence::Shutdown`].
+    fn quiescence(&self) -> Quiescence {
+        if self.is_active() {
+            Quiescence::Active
+        } else {
+            Quiescence::Passive
+        }
     }
 
     /// The declared encoded width of `payload`, built from the
@@ -166,6 +188,10 @@ impl<P: Protocol> NodeAlgorithm for ProtocolHost<P> {
 
     fn is_active(&self) -> bool {
         self.proto.is_active()
+    }
+
+    fn quiescence(&self) -> Quiescence {
+        self.proto.quiescence()
     }
 
     fn into_output(self, ctx: &NodeContext<'_>) -> Self::Output {

@@ -33,7 +33,13 @@
 //! as the caller's `horizon` covers the fault-free quiescence round.
 //! Fault-free, a simulated round costs two real rounds (frame out, ack
 //! back), so the wrapper's round inflation is ≈ 2×; under loss `p` each
-//! loss adds one 2-round timeout, ≈ `2/(1-p)`× overall.
+//! loss adds one 2-round timeout, ≈ `2/(1-p)`× overall. The horizon is a
+//! worst-case bound, not a sentence: once every node's inner kernel is
+//! finished and no real payload remains anywhere, the kernels vote
+//! [`Quiescence::Shutdown`] (see
+//! [`quiescence`](ReliableKernel::quiescence)) and the engine terminates
+//! the run early instead of circulating empty marker frames to the
+//! horizon.
 //!
 //! # Budget
 //!
@@ -46,7 +52,7 @@
 
 use std::collections::VecDeque;
 
-use dapsp_congest::{NodeContext, Port, Width};
+use dapsp_congest::{NodeContext, Port, Quiescence, Width};
 
 use super::protocol::{Protocol, Tx};
 
@@ -72,7 +78,11 @@ pub struct Frame<P> {
 /// Per-node transport counters accumulated by a [`ReliableKernel`] run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RelStats {
-    /// Simulated (inner) rounds executed; equals the horizon on success.
+    /// Simulated (inner) rounds executed. May be *less* than the horizon
+    /// on success: when every node's wrapped kernel is finished and no
+    /// real payload remains buffered or unacknowledged anywhere, the
+    /// kernels vote [`Quiescence::Shutdown`] and the engine stops early
+    /// instead of ticking marker frames to the horizon.
     pub sim_rounds: u64,
     /// Data frames transmitted, including retransmissions.
     pub frames_sent: u64,
@@ -309,6 +319,31 @@ impl<P: Protocol> Protocol for ReliableKernel<P> {
         // acknowledged. A stalled (gave-up) link keeps the node active
         // forever, forcing the engine's round limit to fire.
         self.sim_executed < self.horizon || self.out.iter().any(|q| !q.is_empty())
+    }
+
+    fn quiescence(&self) -> Quiescence {
+        // Consent to immediate shutdown once this node can prove it no
+        // longer matters to the inner execution: its wrapped kernel is
+        // finished (not voting `Active`), no real payload sits buffered
+        // inbound, and no real payload is outbound-unacknowledged. Acks
+        // and empty marker frames may still be circulating, but they only
+        // advance simulated clocks — if *every* node is in this state,
+        // no real payload exists anywhere (stop-and-wait retains an
+        // unacked payload in `out`, which would keep its sender out of
+        // this state), so discarding the markers changes nothing. A
+        // gave-up link never consents: the run must end in the loud
+        // round-limit error.
+        let done = !self.stats.gave_up
+            && self.inner.quiescence() != Quiescence::Active
+            && self.in_queue.iter().flatten().all(|p| p.is_none())
+            && self.out.iter().flatten().all(|p| p.is_none());
+        if done {
+            Quiescence::Shutdown
+        } else if self.is_active() {
+            Quiescence::Active
+        } else {
+            Quiescence::Passive
+        }
     }
 
     fn width(&self, frame: &Self::Payload) -> Width {

@@ -152,6 +152,13 @@ impl<A: Protocol, B: Protocol, C: Coupling<A, B>> Protocol for Stack<A, B, C> {
         self.a.is_active() || self.b.is_active()
     }
 
+    fn quiescence(&self) -> dapsp_congest::Quiescence {
+        // The least-far-along component rules: `Active < Passive <
+        // Shutdown`, so the stack is active if either kernel is and only
+        // consents to shutdown when both do.
+        self.a.quiescence().min(self.b.quiescence())
+    }
+
     fn width(&self, payload: &Self::Payload) -> Width {
         let mut w = Width::ZERO.tag().tag(); // one presence tag per kernel
         if let Some(pa) = &payload.a {

@@ -21,8 +21,11 @@ cargo test --offline --workspace -q
 echo "==> executor parity suites (serial vs pool vs reference)"
 # Redundant with the workspace run above, but named explicitly so a log
 # reader can see the determinism suites ran: the four-way engine
-# equivalence proptests and the pool lifecycle/stamp regressions.
-cargo test --offline -q -p dapsp-congest --test engine_equivalence --test engine_pipeline
+# equivalence proptests (including the sparse-vs-dense active-set
+# workloads and the idle-protocol quiescence regressions), the pool
+# lifecycle/stamp regressions, and the observer-stream decomposition
+# invariants over the scheduled-nodes column.
+cargo test --offline -q -p dapsp-congest --test engine_equivalence --test engine_pipeline --test obs_stream
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
@@ -50,6 +53,14 @@ echo "==> small-graph conformance suite"
 # connected graphs with <= 7 nodes.
 cargo test --offline -q -p dapsp-core --test conformance_small_graphs
 
+echo "==> engine_throughput --smoke --threads 1,2"
+# Active-set scheduler end to end at scale: CI-sized instances of every
+# family plus one 100k-node Watts-Strogatz scaling row, where the dense
+# seed baseline and the sparse frontier engine must agree bit-for-bit
+# on outputs and RunStats (the binary asserts it). Writes to
+# target/BENCH_engine_smoke.json, never the committed BENCH_engine.json.
+cargo run --offline --release -p dapsp-bench --bin engine_throughput -- --smoke --threads 1,2
+
 echo "==> fault_sweep --smoke --threads 1,2"
 # Fault-injection smoke: reliable APSP/S-SP under a live FaultPlan
 # adversary on the serial and pool executors. The binary itself asserts
@@ -58,4 +69,4 @@ echo "==> fault_sweep --smoke --threads 1,2"
 # target/BENCH_faults_smoke.json, never the committed BENCH_faults.json.
 cargo run --offline --release -p dapsp-bench --bin fault_sweep -- --smoke --threads 1,2
 
-echo "OK: fmt + build + tests + clippy + docs + profile, budget, conformance & fault smokes all green"
+echo "OK: fmt + build + tests + clippy + docs + profile, budget, conformance, throughput & fault smokes all green"
