@@ -1,0 +1,513 @@
+//! `dapsp-inspect` — run a workload under the structured trace recorder and
+//! inspect the result, or gate benchmark JSON against a committed baseline.
+//!
+//! Subcommands:
+//!
+//! * `summary` — run a workload with a [`TraceRecorder`] attached and print
+//!   the per-kernel traffic breakdown, the most congested undirected edges,
+//!   the wave-delay histogram, and the termination story.
+//! * `diff` — run the same workload on the serial executor and the worker
+//!   pool and line-diff the two JSONL event streams (they must be
+//!   bit-identical; any divergence prints the first differing line).
+//! * `perfetto` — export the trace as Chrome-trace/Perfetto JSON
+//!   (`ui.perfetto.dev` / `chrome://tracing`).
+//! * `bench-gate BASELINE CURRENT` — compare two `BENCH_engine.json`-shaped
+//!   files on matching `(label, engine, executor, threads)` rows: fail on
+//!   any round-count or message-count mismatch (determinism) or on a
+//!   throughput regression beyond `--max-ratio` (default 3×).
+//! * `--smoke` — self-check every subcommand on tiny instances.
+//!
+//! Workload flags (for `summary`/`diff`/`perfetto`):
+//! `[--workload apsp|bfs|ssp] [--family FAM] [--n N] [--loss P]
+//! [--threads T] [--seed S]`; `perfetto` adds `[--out PATH]
+//! [--by node|kernel]`, `bench-gate` adds `[--max-ratio R]`.
+
+use std::process::ExitCode;
+
+use dapsp_bench::workloads::{executor_for, family_graph};
+use dapsp_bench::{print_table, render_table};
+use dapsp_congest::{FaultPlan, SharedObserver, TraceEvent, TraceRecorder, TrackBy};
+use dapsp_core::{apsp, bfs, ssp, Obs};
+
+/// One traced workload configuration.
+#[derive(Clone, Debug)]
+struct RunOpts {
+    workload: String,
+    family: String,
+    n: usize,
+    loss: f64,
+    threads: usize,
+    seed: u64,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            workload: "apsp".into(),
+            family: "regular6".into(),
+            n: 48,
+            loss: 0.0,
+            threads: 1,
+            seed: 7,
+        }
+    }
+}
+
+impl RunOpts {
+    fn describe(&self) -> String {
+        format!(
+            "{}/{}/n={} loss={} threads={}",
+            self.workload, self.family, self.n, self.loss, self.threads
+        )
+    }
+}
+
+/// Runs the configured workload with a fresh [`TraceRecorder`] attached and
+/// returns the recorder.
+fn run_traced(opts: &RunOpts) -> SharedObserver<TraceRecorder> {
+    let graph = family_graph(&opts.family, opts.n);
+    let topology = graph.to_topology();
+    let shared = SharedObserver::new(TraceRecorder::new());
+    let handle = shared.observer();
+    let obs = Obs::watching(&handle).with_executor(executor_for(opts.threads));
+    let sources: Vec<u32> = vec![0, (opts.n / 2) as u32];
+    let outcome = if opts.loss > 0.0 {
+        let faults = FaultPlan::uniform_loss(opts.loss, opts.seed);
+        match opts.workload.as_str() {
+            "bfs" => bfs::run_faulty_on(&topology, 0, faults, obs).map(|_| ()),
+            "ssp" => ssp::run_faulty_on(&topology, &sources, faults, obs).map(|_| ()),
+            "apsp" => apsp::run_faulty_on(&topology, faults, obs).map(|_| ()),
+            other => panic!("unknown workload {other}; expected apsp|bfs|ssp"),
+        }
+    } else {
+        match opts.workload.as_str() {
+            "bfs" => bfs::run_on_obs(&topology, 0, obs).map(|_| ()),
+            "ssp" => ssp::run_on_obs(&topology, &sources, obs).map(|_| ()),
+            "apsp" => apsp::run_on_obs(&topology, obs).map(|_| ()),
+            other => panic!("unknown workload {other}; expected apsp|bfs|ssp"),
+        }
+    };
+    outcome.unwrap_or_else(|e| panic!("{}: workload failed: {e}", opts.describe()));
+    shared
+}
+
+fn cmd_summary(opts: &RunOpts) -> ExitCode {
+    let shared = run_traced(opts);
+    shared.with(|rec| {
+        println!(
+            "# trace summary: {} — {} events recorded, {} stored, {} overflowed\n",
+            opts.describe(),
+            rec.total_events(),
+            rec.total_events() - rec.overflow(),
+            rec.overflow()
+        );
+        let kernel_rows: Vec<Vec<String>> = rec
+            .kernels()
+            .iter()
+            .map(|(mask, k)| {
+                vec![
+                    format!("{mask:#010b}"),
+                    k.messages.to_string(),
+                    k.bits.to_string(),
+                    k.dropped.to_string(),
+                    k.retransmits.to_string(),
+                    k.acks.to_string(),
+                ]
+            })
+            .collect();
+        print_table(
+            "per-kernel traffic (mask bit i = kernel i of the stack)",
+            &["mask", "messages", "bits", "dropped", "retransmits", "acks"],
+            &kernel_rows,
+        );
+        let edge_rows: Vec<Vec<String>> = rec
+            .top_edges(10)
+            .iter()
+            .map(|((u, v), load)| vec![format!("{u}-{v}"), load.to_string()])
+            .collect();
+        print_table("top congested edges", &["edge", "messages"], &edge_rows);
+        let hist = rec.wave_delay_histogram();
+        let hist_rows: Vec<Vec<String>> = hist
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(d, &c)| vec![d.to_string(), c.to_string()])
+            .collect();
+        print_table(
+            "wave-delay histogram (rounds after wave start)",
+            &["delay", "arrivals"],
+            &hist_rows,
+        );
+        let mut term_rows: Vec<Vec<String>> = Vec::new();
+        for e in rec.events() {
+            match e {
+                TraceEvent::QuiescenceVotes {
+                    round,
+                    active,
+                    passive,
+                    shutdown,
+                } => {
+                    term_rows.push(vec![
+                        format!("votes@{round}"),
+                        format!("active={active} passive={passive} shutdown={shutdown}"),
+                    ]);
+                }
+                TraceEvent::EarlyTermination { round, in_flight } => {
+                    term_rows.push(vec![
+                        format!("terminate@{round}"),
+                        format!("in_flight={in_flight}"),
+                    ]);
+                }
+                TraceEvent::Transport {
+                    frames_sent,
+                    retransmissions,
+                    acks_sent,
+                    gave_up,
+                } => {
+                    term_rows.push(vec![
+                        "transport".into(),
+                        format!(
+                            "frames={frames_sent} retransmits={retransmissions} acks={acks_sent} gave_up={gave_up}"
+                        ),
+                    ]);
+                }
+                _ => {}
+            }
+        }
+        // The full per-round vote series would swamp the table; keep the
+        // first and last three vote rows around the termination story.
+        if term_rows.len() > 8 {
+            let tail = term_rows.split_off(term_rows.len() - 5);
+            term_rows.truncate(3);
+            term_rows.push(vec!["...".into(), "...".into()]);
+            term_rows.extend(tail);
+        }
+        print_table("termination story", &["event", "detail"], &term_rows);
+    });
+    ExitCode::SUCCESS
+}
+
+fn cmd_diff(opts: &RunOpts) -> ExitCode {
+    let serial = RunOpts {
+        threads: 1,
+        ..opts.clone()
+    };
+    let pool = RunOpts {
+        threads: opts.threads.max(2),
+        ..opts.clone()
+    };
+    let a = run_traced(&serial).with(|r| r.events_jsonl());
+    let b = run_traced(&pool).with(|r| r.events_jsonl());
+    diff_streams(
+        &format!("serial ({})", serial.describe()),
+        &a,
+        &format!("pool ({})", pool.describe()),
+        &b,
+    )
+}
+
+/// Line-diffs two JSONL event streams; identical streams succeed.
+fn diff_streams(label_a: &str, a: &str, label_b: &str, b: &str) -> ExitCode {
+    if a == b {
+        println!(
+            "identical: {} events — {label_a} == {label_b}",
+            a.lines().count()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+        if la != lb {
+            println!("streams diverge at event {i}:");
+            println!("  {label_a}: {la}");
+            println!("  {label_b}: {lb}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "streams diverge in length: {label_a} has {} events, {label_b} has {}",
+        a.lines().count(),
+        b.lines().count()
+    );
+    ExitCode::FAILURE
+}
+
+fn cmd_perfetto(opts: &RunOpts, out: Option<&str>, by: TrackBy) -> ExitCode {
+    let default_out = format!(
+        "{}/../../target/TRACE_perfetto.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let out = out.unwrap_or(&default_out);
+    let shared = run_traced(opts);
+    let (json, events) = shared.with(|rec| (rec.to_perfetto(by), rec.total_events()));
+    std::fs::write(out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!(
+        "wrote {out}: {} bytes from {events} events ({})",
+        json.len(),
+        opts.describe()
+    );
+    ExitCode::SUCCESS
+}
+
+/// One parsed `BENCH_engine.json` row, keyed for baseline matching.
+#[derive(Clone, Debug)]
+struct BenchRow {
+    key: String,
+    rounds: u64,
+    messages: u64,
+    msgs_per_sec: f64,
+}
+
+/// Extracts `"key":value` from a flat JSON object line; strings lose their
+/// quotes. The rows are machine-written with no commas inside values.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Parses the flat-row JSON array format of `BENCH_engine.json`.
+fn parse_bench_rows(text: &str, path: &str) -> Vec<BenchRow> {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        if !line.contains("\"label\"") {
+            continue;
+        }
+        let get = |key: &str| {
+            field(line, key).unwrap_or_else(|| panic!("{path}: row missing \"{key}\": {line}"))
+        };
+        let key = format!(
+            "{}|{}|{}|{}",
+            get("label"),
+            get("engine"),
+            get("executor"),
+            get("threads")
+        );
+        rows.push(BenchRow {
+            key,
+            rounds: get("rounds").parse().expect("rounds"),
+            messages: get("messages").parse().expect("messages"),
+            msgs_per_sec: get("msgs_per_sec").parse().expect("msgs_per_sec"),
+        });
+    }
+    assert!(!rows.is_empty(), "{path}: no benchmark rows found");
+    rows
+}
+
+/// Gates `current` rows against `baseline` rows on matching keys. Returns
+/// the rendered comparison table and the failure messages (empty = pass).
+fn gate_rows(baseline: &[BenchRow], current: &[BenchRow], max_ratio: f64) -> (String, Vec<String>) {
+    let mut failures = Vec::new();
+    let mut table_rows = Vec::new();
+    let mut matched = 0usize;
+    for cur in current {
+        let Some(base) = baseline.iter().find(|b| b.key == cur.key) else {
+            continue;
+        };
+        matched += 1;
+        if base.rounds != cur.rounds {
+            failures.push(format!(
+                "{}: round count changed {} -> {} (determinism break)",
+                cur.key, base.rounds, cur.rounds
+            ));
+        }
+        if base.messages != cur.messages {
+            failures.push(format!(
+                "{}: message count changed {} -> {} (determinism break)",
+                cur.key, base.messages, cur.messages
+            ));
+        }
+        let ratio = if cur.msgs_per_sec > 0.0 {
+            base.msgs_per_sec / cur.msgs_per_sec
+        } else {
+            f64::INFINITY
+        };
+        if ratio > max_ratio {
+            failures.push(format!(
+                "{}: throughput regressed {:.1}x (baseline {:.0} msgs/s, current {:.0} msgs/s, limit {max_ratio}x)",
+                cur.key, ratio, base.msgs_per_sec, cur.msgs_per_sec
+            ));
+        }
+        table_rows.push(vec![
+            cur.key.clone(),
+            format!("{:.0}", base.msgs_per_sec),
+            format!("{:.0}", cur.msgs_per_sec),
+            format!("{ratio:.2}x"),
+            if base.rounds == cur.rounds {
+                "ok"
+            } else {
+                "MISMATCH"
+            }
+            .to_string(),
+        ]);
+    }
+    if matched == 0 {
+        failures.push(
+            "no matching (label, engine, executor, threads) rows — the gate compared nothing"
+                .into(),
+        );
+    }
+    let table = render_table(
+        "bench gate (ratio = baseline / current throughput)",
+        &["row", "base msgs/s", "cur msgs/s", "ratio", "rounds"],
+        &table_rows,
+    );
+    (table, failures)
+}
+
+fn cmd_bench_gate(baseline_path: &str, current_path: &str, max_ratio: f64) -> ExitCode {
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+    };
+    let baseline = parse_bench_rows(&read(baseline_path), baseline_path);
+    let current = parse_bench_rows(&read(current_path), current_path);
+    let (table, failures) = gate_rows(&baseline, &current, max_ratio);
+    print!("{table}");
+    if failures.is_empty() {
+        println!("bench gate passed ({baseline_path} vs {current_path})");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("bench gate FAILED: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Self-check: every subcommand on tiny instances; panics on failure.
+fn cmd_smoke() -> ExitCode {
+    // summary path: a lossy BFS records kernel masks, drops and waves.
+    let opts = RunOpts {
+        workload: "bfs".into(),
+        family: "path".into(),
+        n: 16,
+        loss: 0.2,
+        ..RunOpts::default()
+    };
+    let shared = run_traced(&opts);
+    shared.with(|rec| {
+        assert!(rec.total_events() > 0, "smoke: trace recorded no events");
+        assert!(
+            !rec.kernels().is_empty(),
+            "smoke: no kernel attribution recorded"
+        );
+        assert!(
+            rec.events()
+                .any(|e| matches!(e, TraceEvent::Transport { .. })),
+            "smoke: reliable run reported no transport summary"
+        );
+    });
+    println!("smoke: summary recorded traced events with kernel attribution");
+
+    // diff path: serial vs pool event streams must be bit-identical.
+    let opts = RunOpts {
+        workload: "apsp".into(),
+        family: "path".into(),
+        n: 12,
+        loss: 0.15,
+        threads: 2,
+        ..RunOpts::default()
+    };
+    assert!(
+        cmd_diff(&opts) == ExitCode::SUCCESS,
+        "smoke: serial/pool trace streams diverged"
+    );
+
+    // perfetto path: balanced JSON written to target/.
+    let opts = RunOpts {
+        workload: "apsp".into(),
+        family: "tree".into(),
+        n: 16,
+        ..RunOpts::default()
+    };
+    let out = format!(
+        "{}/../../target/TRACE_perfetto_smoke.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    assert!(cmd_perfetto(&opts, Some(&out), TrackBy::Kernel) == ExitCode::SUCCESS);
+    let json = std::fs::read_to_string(&out).expect("smoke perfetto output");
+    assert_eq!(
+        json.matches(['{', '[']).count(),
+        json.matches(['}', ']']).count(),
+        "smoke: unbalanced perfetto JSON"
+    );
+
+    // bench-gate path: a file gates cleanly against itself and catches a
+    // doctored regression.
+    let row = |msgs_per_sec: f64, rounds: u64| BenchRow {
+        key: "demo/path/n=8|optimized|serial|1".into(),
+        rounds,
+        messages: 14,
+        msgs_per_sec,
+    };
+    let (_, failures) = gate_rows(&[row(1000.0, 8)], &[row(1000.0, 8)], 3.0);
+    assert!(failures.is_empty(), "smoke: self-gate failed: {failures:?}");
+    let (_, failures) = gate_rows(&[row(1000.0, 8)], &[row(100.0, 8)], 3.0);
+    assert!(!failures.is_empty(), "smoke: 10x regression not caught");
+    let (_, failures) = gate_rows(&[row(1000.0, 8)], &[row(1000.0, 9)], 3.0);
+    assert!(!failures.is_empty(), "smoke: round mismatch not caught");
+    println!("smoke: all inspect self-checks passed");
+    ExitCode::SUCCESS
+}
+
+const USAGE: &str = "usage: dapsp-inspect <summary|diff|perfetto|bench-gate|--smoke> \
+[--workload apsp|bfs|ssp] [--family FAM] [--n N] [--loss P] [--threads T] [--seed S] \
+[--out PATH] [--by node|kernel] [--max-ratio R] [BASELINE CURRENT]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let mut opts = RunOpts::default();
+    let mut out: Option<String> = None;
+    let mut by = TrackBy::Node;
+    let mut max_ratio = 3.0;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value; {USAGE}"))
+                .clone()
+        };
+        match arg.as_str() {
+            "--workload" => opts.workload = value("--workload"),
+            "--family" => opts.family = value("--family"),
+            "--n" => opts.n = value("--n").parse().expect("--n"),
+            "--loss" => opts.loss = value("--loss").parse().expect("--loss"),
+            "--threads" => opts.threads = value("--threads").parse().expect("--threads"),
+            "--seed" => opts.seed = value("--seed").parse().expect("--seed"),
+            "--out" => out = Some(value("--out")),
+            "--by" => {
+                by = match value("--by").as_str() {
+                    "node" => TrackBy::Node,
+                    "kernel" => TrackBy::Kernel,
+                    other => panic!("--by {other}: expected node|kernel"),
+                }
+            }
+            "--max-ratio" => max_ratio = value("--max-ratio").parse().expect("--max-ratio"),
+            flag if flag.starts_with("--") => panic!("unknown flag {flag}; {USAGE}"),
+            other => positional.push(other.to_string()),
+        }
+    }
+    match cmd.as_str() {
+        "summary" => cmd_summary(&opts),
+        "diff" => cmd_diff(&opts),
+        "perfetto" => cmd_perfetto(&opts, out.as_deref(), by),
+        "bench-gate" => {
+            let [baseline, current] = positional.as_slice() else {
+                eprintln!("bench-gate needs BASELINE and CURRENT paths; {USAGE}");
+                return ExitCode::FAILURE;
+            };
+            cmd_bench_gate(baseline, current, max_ratio)
+        }
+        "--smoke" | "smoke" => cmd_smoke(),
+        other => {
+            eprintln!("unknown subcommand {other}; {USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -17,7 +17,7 @@ use std::sync::MutexGuard;
 
 use crate::config::{DropReason, FaultPlan};
 use crate::error::SimError;
-use crate::message::Message;
+use crate::message::{Message, TraceTags};
 use crate::node::{NodeId, Port};
 use crate::obs::{MessageEvent, Observer};
 use crate::topology::Topology;
@@ -209,6 +209,10 @@ pub(crate) enum Staged<M> {
         port: Port,
         /// Why the message was discarded.
         reason: DropReason,
+        /// The dropped message's attribution tags (captured before the
+        /// message itself is discarded, so observers can attribute the
+        /// loss to a kernel).
+        tags: TraceTags,
     },
 }
 
@@ -261,6 +265,7 @@ pub(crate) fn stage_outbox<M: Message>(
                 from: v,
                 port,
                 reason,
+                tags: msg.trace_tags(),
             }),
             Err(err) => {
                 // Dropping the `drain` clears the rest of the outbox.
@@ -315,6 +320,7 @@ impl<M: Message> Core<'_, M> {
                 reverse_edge: self.topology.directed_edge_index(to, to_port),
                 bits,
                 stream: msg.stream_id(),
+                tags: msg.trace_tags(),
             });
         }
         self.stats.messages += 1;
@@ -340,10 +346,11 @@ impl<M: Message> Core<'_, M> {
         from: NodeId,
         port: Port,
         reason: DropReason,
+        tags: TraceTags,
     ) {
         self.stats.dropped += 1;
         if let Some(obs) = observer.as_deref_mut() {
-            obs.on_drop(send_round, from, port, reason);
+            obs.on_drop(send_round, from, port, reason, tags);
         }
     }
 
@@ -379,7 +386,7 @@ impl<M: Message> Core<'_, M> {
                     self.account_deliver(observer, send_round, v, port, to, to_port, bits, msg);
                 }
                 Verdict::Dropped(reason) => {
-                    self.account_drop(observer, send_round, v, port, reason);
+                    self.account_drop(observer, send_round, v, port, reason, msg.trace_tags());
                 }
             }
         }
@@ -408,8 +415,13 @@ impl<M: Message> Core<'_, M> {
                     bits,
                     msg,
                 } => self.account_deliver(observer, send_round, from, port, to, to_port, bits, msg),
-                Staged::Dropped { from, port, reason } => {
-                    self.account_drop(observer, send_round, from, port, reason);
+                Staged::Dropped {
+                    from,
+                    port,
+                    reason,
+                    tags,
+                } => {
+                    self.account_drop(observer, send_round, from, port, reason, tags);
                 }
             }
         }

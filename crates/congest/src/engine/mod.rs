@@ -81,6 +81,87 @@ pub struct Report<O> {
     /// records one (see
     /// [`MetricsRecorder`](crate::obs::MetricsRecorder)); `None` otherwise.
     pub metrics: Option<Vec<RoundMetrics>>,
+    /// Why the run was allowed to stop: the final quiescence vote of every
+    /// node, polled once at the moment the termination condition became
+    /// terminal. Present on every successful run (the only terminating
+    /// path); a run aborted by the round horizon returns an error and
+    /// carries no report at all.
+    pub certificate: Option<TerminationCertificate>,
+}
+
+/// The termination condition a run's final votes satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TerminationReason {
+    /// Every node voted [`Quiescence::Shutdown`] — the run stops even
+    /// with messages still in flight.
+    ShutdownUnanimous,
+    /// No node voted [`Quiescence::Active`] and the network was silent
+    /// (zero messages in flight).
+    PassiveDrained,
+}
+
+/// An auditable record of *why* a run terminated: the round it stopped
+/// after, the in-flight message count at that instant, and every node's
+/// final [`Quiescence`] vote (polled once, deterministically, when the
+/// engine's termination check succeeded).
+///
+/// The per-node votes are re-polled over **all** nodes — including nodes
+/// that were off the final round's schedule (whose vote the engine
+/// inferred as `Passive` by contract) — so the certificate stands on its
+/// own: `votes_active`/`votes_passive`/`votes_shutdown` sum to `n` and
+/// are consistent with `reason`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TerminationCertificate {
+    /// The last round executed before the run stopped.
+    pub round: u64,
+    /// Messages still in flight when the run stopped (nonzero only under
+    /// [`TerminationReason::ShutdownUnanimous`]).
+    pub in_flight: u64,
+    /// Which termination condition fired.
+    pub reason: TerminationReason,
+    /// Nodes whose final vote was [`Quiescence::Active`].
+    pub votes_active: u64,
+    /// Nodes whose final vote was [`Quiescence::Passive`].
+    pub votes_passive: u64,
+    /// Nodes whose final vote was [`Quiescence::Shutdown`].
+    pub votes_shutdown: u64,
+    /// Every node's final vote, in node-id order.
+    pub node_votes: Vec<(NodeId, Quiescence)>,
+}
+
+impl TerminationCertificate {
+    /// Builds a certificate from the triggering aggregate state and the
+    /// full final vote poll, tallying the per-kind counts.
+    pub(crate) fn from_votes(
+        round: u64,
+        in_flight: u64,
+        state: QuiescenceState,
+        node_votes: Vec<(NodeId, Quiescence)>,
+    ) -> Self {
+        let mut votes_active = 0u64;
+        let mut votes_passive = 0u64;
+        let mut votes_shutdown = 0u64;
+        for &(_, q) in &node_votes {
+            match q {
+                Quiescence::Active => votes_active += 1,
+                Quiescence::Passive => votes_passive += 1,
+                Quiescence::Shutdown => votes_shutdown += 1,
+            }
+        }
+        TerminationCertificate {
+            round,
+            in_flight,
+            reason: if state.shutdown {
+                TerminationReason::ShutdownUnanimous
+            } else {
+                TerminationReason::PassiveDrained
+            },
+            votes_active,
+            votes_passive,
+            votes_shutdown,
+            node_votes,
+        }
+    }
 }
 
 /// Engine state shared by every executor: the network, the run's
@@ -137,7 +218,11 @@ impl<M> Core<'_, M> {
 }
 
 /// The executor's aggregated termination signal after `start` or the most
-/// recent `step`, combining every node's [`Quiescence`] vote.
+/// recent `step`, combining every node's [`Quiescence`] vote. Alongside
+/// the two decision bits it tallies how many *polled* nodes cast each
+/// vote kind — the decomposition the observers'
+/// [`on_quiescence`](crate::Observer::on_quiescence) hook reports (counts
+/// sum to `n` after `start` and to the scheduled count after each round).
 #[derive(Clone, Copy, Debug, Default)]
 pub(crate) struct QuiescenceState {
     /// No node votes [`Quiescence::Active`]. (Nodes off the awake list
@@ -145,6 +230,12 @@ pub(crate) struct QuiescenceState {
     pub(crate) passive: bool,
     /// Every node votes [`Quiescence::Shutdown`].
     pub(crate) shutdown: bool,
+    /// Polled nodes voting [`Quiescence::Active`].
+    pub(crate) votes_active: u64,
+    /// Polled nodes voting [`Quiescence::Passive`].
+    pub(crate) votes_passive: u64,
+    /// Polled nodes voting [`Quiescence::Shutdown`].
+    pub(crate) votes_shutdown: u64,
 }
 
 impl QuiescenceState {
@@ -157,16 +248,35 @@ impl QuiescenceState {
     pub(crate) fn vote(&mut self, q: Quiescence) {
         self.passive &= q != Quiescence::Active;
         self.shutdown &= q == Quiescence::Shutdown;
+        match q {
+            Quiescence::Active => self.votes_active += 1,
+            Quiescence::Passive => self.votes_passive += 1,
+            Quiescence::Shutdown => self.votes_shutdown += 1,
+        }
+    }
+
+    /// Folds another partial aggregate (one pool shard's) into this one:
+    /// decision bits AND together, counts add.
+    pub(crate) fn absorb(&mut self, other: QuiescenceState) {
+        self.passive &= other.passive;
+        self.shutdown &= other.shutdown;
+        self.votes_active += other.votes_active;
+        self.votes_passive += other.votes_passive;
+        self.votes_shutdown += other.votes_shutdown;
     }
 
     /// The identity for [`QuiescenceState::vote`] folds over `total`
     /// nodes, of which `voting` will actually be polled: if some nodes are
     /// off the awake list they are inactive (`Passive`), which keeps
-    /// `passive` but vetoes `shutdown`.
+    /// `passive` but vetoes `shutdown`. Counts start at zero — they tally
+    /// polled nodes only.
     pub(crate) fn fold_start(voting: usize, total: usize) -> Self {
         QuiescenceState {
             passive: true,
             shutdown: voting == total,
+            votes_active: 0,
+            votes_passive: 0,
+            votes_shutdown: 0,
         }
     }
 }
@@ -198,6 +308,12 @@ pub(crate) trait Executor<A: NodeAlgorithm> {
     /// The aggregated termination votes after the most recent
     /// `start`/`step`.
     fn quiescence(&self) -> QuiescenceState;
+    /// Polls every node's current [`Quiescence`] vote, in node-id order —
+    /// called exactly once, after the termination check succeeds and
+    /// before `into_outputs`, to build the run's
+    /// [`TerminationCertificate`]. `quiescence()` (the per-node method) is
+    /// a pure function of node state, so this re-poll is deterministic.
+    fn final_votes(&mut self) -> Vec<(NodeId, Quiescence)>;
     /// Tears the executor down and extracts outputs in node-id order.
     fn into_outputs(self, final_round: u64) -> Vec<A::Output>;
 }
@@ -402,6 +518,11 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
         self.core.stats.scheduled_node_rounds += started_nodes;
         self.core.stats.max_scheduled_per_round =
             self.core.stats.max_scheduled_per_round.max(started_nodes);
+        if let Some(obs) = &self.core.config.observer {
+            let q = executor.quiescence();
+            obs.lock()
+                .on_quiescence(0, q.votes_active, q.votes_passive, q.votes_shutdown);
+        }
         // Termination: no messages in flight and no node voting `Active`,
         // or every node voting `Shutdown` (see `Quiescence`). The votes
         // are aggregated by the executor over the awake list only.
@@ -413,6 +534,16 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
             }
             self.step_round(&mut executor)?;
         }
+        if let Some(obs) = &self.core.config.observer {
+            obs.lock()
+                .on_terminate(self.core.round, self.core.in_flight);
+        }
+        let certificate = Some(TerminationCertificate::from_votes(
+            self.core.round,
+            self.core.in_flight,
+            executor.quiescence(),
+            executor.final_votes(),
+        ));
         let outputs = executor.into_outputs(self.core.round);
         self.core.stats.wall_time = started.elapsed();
         let metrics = if let Some(obs) = &self.core.config.observer {
@@ -428,6 +559,7 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
             trace: self.core.trace,
             round_profile: self.core.round_profile,
             metrics,
+            certificate,
         })
     }
 
@@ -484,7 +616,18 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
             timing.commit = t.elapsed();
         }
         if let Some(obs) = &core.config.observer {
-            obs.lock().on_round_end(core.round, &timing);
+            let mut obs = obs.lock();
+            obs.on_round_end(core.round, &timing);
+            // Vote decomposition after the round seals — the reference
+            // engine polls its votes after `on_round_end`, so this hook
+            // must sit there on every engine for streams to be identical.
+            let q = executor.quiescence();
+            obs.on_quiescence(
+                core.round,
+                q.votes_active,
+                q.votes_passive,
+                q.votes_shutdown,
+            );
         }
         Ok(())
     }

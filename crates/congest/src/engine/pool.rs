@@ -45,7 +45,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::{Scope, ScopedJoinHandle};
 
-use crate::algorithm::NodeAlgorithm;
+use crate::algorithm::{NodeAlgorithm, Quiescence};
 use crate::config::FaultPlan;
 use crate::error::SimError;
 use crate::node::{NodeContext, NodeId, Outbox, Port};
@@ -88,6 +88,9 @@ enum Command<A: NodeAlgorithm> {
         shard: StagedShard<A::Message>,
         awake: Vec<NodeId>,
     },
+    /// Poll every shard node's current quiescence vote (for the run's
+    /// termination certificate); the worker stays alive.
+    Votes,
     /// Return the node states for output extraction; the worker exits.
     Finish,
 }
@@ -104,6 +107,9 @@ enum Reply<A: NodeAlgorithm> {
         awake: Vec<NodeId>,
         votes: QuiescenceState,
     },
+    /// Response to [`Command::Votes`]: the shard's final votes, in
+    /// node-id order (ids are global).
+    Votes(Vec<(NodeId, Quiescence)>),
     /// Response to [`Command::Finish`].
     Finished { nodes: Vec<Option<A>> },
 }
@@ -172,6 +178,19 @@ fn worker_loop<A: NodeAlgorithm>(
                     return; // engine gone (run aborted)
                 }
             }
+            Command::Votes => {
+                let votes = nodes
+                    .iter()
+                    .enumerate()
+                    .map(|(j, node)| {
+                        let q = node.as_ref().expect("node state present").quiescence();
+                        ((base + j) as NodeId, q)
+                    })
+                    .collect();
+                if reply.send(Reply::Votes(votes)).is_err() {
+                    return; // engine gone (run aborted)
+                }
+            }
             Command::Finish => {
                 let _ = reply.send(Reply::Finished {
                     nodes: std::mem::take(&mut nodes),
@@ -215,10 +234,12 @@ fn step_shard<A: NodeAlgorithm>(
     awake.clear();
     // Shard-locally every vote starts vacuously true; the engine thread
     // vetoes the global `shutdown` bit unless every node in the network
-    // was polled this round.
+    // was polled this round. Counts start at zero and add up across
+    // shards when the engine absorbs the replies.
     let mut votes = QuiescenceState {
         passive: true,
         shutdown: true,
+        ..QuiescenceState::default()
     };
     for ((j, &v), inbox) in frontier.iter().enumerate().zip(inboxes.iter_mut()) {
         // Same crash rule as the serial executor: a crashed node's state
@@ -555,13 +576,13 @@ where
                     }
                     self.awake_next.extend_from_slice(&awake);
                     polled += frontier.len();
-                    votes.passive &= shard_votes.passive;
-                    votes.shutdown &= shard_votes.shutdown;
+                    votes.absorb(shard_votes);
                     self.spare_frontiers[w] = frontier;
                     self.spare_inboxes[w] = inboxes;
                     self.spare_awake[w] = awake;
                     self.staged[w] = Some(shard);
                 }
+                Ok(Reply::Votes(_)) => unreachable!("worker voted mid-run"),
                 Ok(Reply::Finished { .. }) => unreachable!("worker finished mid-run"),
                 Err(_) => panic!("pool worker {w} disconnected (node panic?)"),
             }
@@ -596,6 +617,31 @@ where
 
     fn quiescence(&self) -> QuiescenceState {
         self.quiescence
+    }
+
+    fn final_votes(&mut self) -> Vec<(NodeId, Quiescence)> {
+        // Shard 0 locally, then each worker's shard in ascending shard
+        // order — node-id order overall. Workers keep their states (the
+        // `Finish` handoff happens later, in `into_outputs`).
+        let mut votes: Vec<(NodeId, Quiescence)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(v, node)| {
+                let q = node.as_ref().expect("node state present").quiescence();
+                (v as NodeId, q)
+            })
+            .collect();
+        for worker in &self.workers {
+            let _ = worker.cmd.send(Command::Votes);
+        }
+        for (w, worker) in self.workers.iter().enumerate() {
+            match worker.reply.recv() {
+                Ok(Reply::Votes(shard_votes)) => votes.extend(shard_votes),
+                _ => panic!("pool worker {w} disconnected before voting"),
+            }
+        }
+        votes
     }
 
     fn into_outputs(self, final_round: u64) -> Vec<A::Output> {

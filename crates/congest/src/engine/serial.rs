@@ -171,6 +171,17 @@ impl<A: NodeAlgorithm> Executor<A> for SerialExecutor<'_, A> {
         self.quiescence
     }
 
+    fn final_votes(&mut self) -> Vec<(NodeId, crate::algorithm::Quiescence)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(v, node)| {
+                let q = node.as_ref().expect("node state present").quiescence();
+                (v as NodeId, q)
+            })
+            .collect()
+    }
+
     fn into_outputs(mut self, final_round: u64) -> Vec<A::Output> {
         let n = self.nodes.len();
         self.nodes

@@ -84,19 +84,21 @@ mod topology;
 
 pub mod obs;
 pub mod trace;
+pub mod trace2;
 
 pub use algorithm::{NodeAlgorithm, Quiescence};
 pub use config::{Config, CrashWindow, DropReason, ExecutorKind, FaultPlan, LossPlan, LossRule};
 pub use engine::pool_workers_spawned;
-pub use engine::{Report, Simulator};
+pub use engine::{Report, Simulator, TerminationCertificate, TerminationReason};
 pub use error::SimError;
-pub use message::{bits_for_count, bits_for_id, Envelope, Message, Width};
+pub use message::{bits_for_count, bits_for_id, Envelope, Message, TraceTags, Width};
 pub use node::{Inbox, NodeContext, NodeId, Outbox, Port};
 pub use obs::{
     EdgeCongestionProbe, FanOut, MetricsRecorder, Observer, ObserverHandle, PhaseProfiler,
-    SharedObserver, WaveArrivalProbe,
+    SharedObserver, TransportSummary, WaveArrivalProbe,
 };
 pub use reference::ReferenceSimulator;
 pub use stats::RunStats;
 pub use topology::Topology;
 pub use trace::Trace;
+pub use trace2::{TraceEvent, TraceRecorder, TrackBy};

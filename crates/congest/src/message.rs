@@ -39,6 +39,43 @@ pub trait Message: Clone + std::fmt::Debug {
     fn stream_id(&self) -> Option<u32> {
         None
     }
+
+    /// Per-kernel attribution tags for this message (see [`TraceTags`]).
+    /// Plain message types keep the default — one anonymous kernel, no
+    /// transport flags. Kernel-layer envelopes override this so observers
+    /// can attribute traffic to individual kernels in a `Stack` and spot
+    /// retransmitted/ack frames.
+    fn trace_tags(&self) -> TraceTags {
+        TraceTags::default()
+    }
+}
+
+/// Observer-facing attribution tags carried by a message: which kernels of
+/// a composed `Stack` contributed components to this frame (a bitmask, bit
+/// *i* = kernel *i* in composition order), and whether the transport layer
+/// marked it as a retransmission or as carrying an acknowledgement.
+///
+/// Tags cost **zero wire bits** — they are diagnostic metadata read at the
+/// engine's commit choke point, never encoded into the message budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceTags {
+    /// Bitmask of kernel slots present in this frame. A plain (non-kernel)
+    /// message reports `1`: one anonymous kernel.
+    pub kernels: u8,
+    /// The transport layer resent this frame (alternating-bit retry).
+    pub retransmit: bool,
+    /// This frame carries an acknowledgement.
+    pub ack: bool,
+}
+
+impl Default for TraceTags {
+    fn default() -> Self {
+        TraceTags {
+            kernels: 1,
+            retransmit: false,
+            ack: false,
+        }
+    }
 }
 
 /// An accumulator for the declared encoded width of a message, built from
@@ -107,6 +144,8 @@ pub struct Envelope<P> {
     pub width: u32,
     /// The logical stream this message serves (e.g. a BFS wave's root id).
     pub stream: Option<u32>,
+    /// Per-kernel attribution tags (zero wire bits; see [`TraceTags`]).
+    pub tags: TraceTags,
 }
 
 impl<P: Clone + std::fmt::Debug> Message for Envelope<P> {
@@ -116,6 +155,10 @@ impl<P: Clone + std::fmt::Debug> Message for Envelope<P> {
 
     fn stream_id(&self) -> Option<u32> {
         self.stream
+    }
+
+    fn trace_tags(&self) -> TraceTags {
+        self.tags
     }
 }
 
@@ -208,14 +251,39 @@ mod tests {
             payload: 42u32,
             width: Width::ZERO.tag().id(16).bits(),
             stream: Some(3),
+            tags: TraceTags::default(),
         };
         assert_eq!(env.bit_size(), 1 + bits_for_id(16));
         assert_eq!(env.stream_id(), Some(3));
+        assert_eq!(env.trace_tags(), TraceTags::default());
         let silent = Envelope {
             payload: (),
             width: 1,
             stream: None,
+            tags: TraceTags {
+                kernels: 0b10,
+                retransmit: true,
+                ack: false,
+            },
         };
         assert_eq!(silent.stream_id(), None);
+        assert_eq!(silent.trace_tags().kernels, 0b10);
+        assert!(silent.trace_tags().retransmit);
+    }
+
+    #[test]
+    fn default_tags_name_one_anonymous_kernel() {
+        let t = TraceTags::default();
+        assert_eq!(t.kernels, 1);
+        assert!(!t.retransmit && !t.ack);
+        // Plain messages inherit the default through the trait.
+        #[derive(Clone, Debug)]
+        struct Plain;
+        impl Message for Plain {
+            fn bit_size(&self) -> u32 {
+                1
+            }
+        }
+        assert_eq!(Plain.trace_tags(), TraceTags::default());
     }
 }

@@ -61,6 +61,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
 use crate::config::DropReason;
+use crate::message::TraceTags;
 use crate::node::{NodeId, Port};
 use crate::stats::RunStats;
 
@@ -107,6 +108,11 @@ pub struct MessageEvent {
     /// reports one via [`Message::stream_id`](crate::Message::stream_id)
     /// (e.g. the BFS root a wave announcement serves).
     pub stream: Option<u32>,
+    /// Per-kernel attribution tags reported by the message via
+    /// [`Message::trace_tags`](crate::Message::trace_tags): which kernels
+    /// of a composed stack contributed components, and whether the
+    /// transport layer marked the frame as a retransmission / ack carrier.
+    pub tags: TraceTags,
 }
 
 /// Wall-clock split of one engine round. Only measured while an observer is
@@ -138,14 +144,38 @@ pub struct RoundTiming {
     pub commit: Duration,
 }
 
+/// End-of-run transport-layer telemetry: what a reliable-delivery
+/// synchronizer (the kernel layer's `ReliableKernel`) did over a whole run,
+/// aggregated across nodes. Reported to observers via
+/// [`Observer::on_transport`] by entry points that wrap their protocol in a
+/// reliable transport, so retransmission telemetry lands in the same stream
+/// as the per-round metrics instead of only in an end-of-run struct.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportSummary {
+    /// Simulated rounds the transport ran for.
+    pub sim_rounds: u64,
+    /// Frames put on the wire (first sends and retries).
+    pub frames_sent: u64,
+    /// Frames re-sent after an ack timeout.
+    pub retransmissions: u64,
+    /// Acknowledgements sent.
+    pub acks_sent: u64,
+    /// Sends refused because the retry horizon was exhausted.
+    pub truncated_sends: u64,
+    /// Node-links that gave up entirely.
+    pub gave_up: u64,
+}
+
 /// Hooks called by [`Simulator`](crate::Simulator) and
 /// [`ReferenceSimulator`](crate::ReferenceSimulator) while a run executes.
 ///
 /// All hooks run on the engine's main thread, in deterministic order:
 /// `on_run_start`, then per round `on_round_start` → `on_message`/`on_drop`
-/// (in node-id commit order) → `on_round_end`, and finally `on_run_end`.
+/// (in node-id commit order) → `on_round_end` → `on_quiescence`, and
+/// finally (`on_terminate` if the run quiesced early, then) `on_run_end`.
 /// Messages queued in `on_start` are committed *before* the first
-/// `on_round_start`, with `send_round == 0`.
+/// `on_round_start`, with `send_round == 0`, and the round-0 vote poll
+/// reports via `on_quiescence(0, …)` right after.
 ///
 /// Every hook has a no-op default, so an observer implements only what it
 /// needs.
@@ -164,8 +194,17 @@ pub trait Observer: Send {
     /// A message was dropped by the configured
     /// [`FaultPlan`](crate::FaultPlan) during round `send_round`'s commit;
     /// `reason` says whether a loss rule fired or the receiver was inside a
-    /// crash window at delivery time.
-    fn on_drop(&mut self, _send_round: u64, _from: NodeId, _from_port: Port, _reason: DropReason) {}
+    /// crash window at delivery time. `tags` carries the dropped message's
+    /// per-kernel attribution (see [`TraceTags`]).
+    fn on_drop(
+        &mut self,
+        _send_round: u64,
+        _from: NodeId,
+        _from_port: Port,
+        _reason: DropReason,
+        _tags: TraceTags,
+    ) {
+    }
     /// Node `node` sits out round `round` inside a
     /// [`CrashWindow`](crate::CrashWindow). Called once per crashed node
     /// per round, in node-id order, between `on_round_start` and the
@@ -173,6 +212,22 @@ pub trait Observer: Send {
     fn on_crash(&mut self, _round: u64, _node: NodeId) {}
     /// Round `round` finished committing.
     fn on_round_end(&mut self, _round: u64, _timing: &RoundTiming) {}
+    /// The termination-vote tally of round `round`'s quiescence poll:
+    /// `active + passive + shutdown` counts sum to the number of polled
+    /// nodes (everyone for the round-0 poll after `on_start`, the round's
+    /// scheduled set afterwards — crashed scheduled nodes vote with their
+    /// frozen state). Called after `on_round_end` (and after the start
+    /// commits for round 0), on every engine at the same points.
+    fn on_quiescence(&mut self, _round: u64, _active: u64, _passive: u64, _shutdown: u64) {}
+    /// The run is about to stop early because the quiescence votes became
+    /// terminal after round `round` with `in_flight` undelivered messages
+    /// (zero unless the vote was unanimous shutdown). Called before
+    /// `on_run_end`; never called when the round horizon aborts the run.
+    fn on_terminate(&mut self, _round: u64, _in_flight: u64) {}
+    /// A reliable-transport entry point finished a run and reports its
+    /// aggregated transport telemetry (called after `on_run_end`, outside
+    /// the engine, by wrappers that own the transport state).
+    fn on_transport(&mut self, _summary: &TransportSummary) {}
     /// The run reached quiescence; `stats` is final (including wall time).
     fn on_run_end(&mut self, _stats: &RunStats) {}
     /// Called once after `on_run_end`: an observer that records a per-round
@@ -290,9 +345,17 @@ impl Observer for FanOut {
             obs.lock().on_message(ev);
         }
     }
-    fn on_drop(&mut self, send_round: u64, from: NodeId, from_port: Port, reason: DropReason) {
+    fn on_drop(
+        &mut self,
+        send_round: u64,
+        from: NodeId,
+        from_port: Port,
+        reason: DropReason,
+        tags: TraceTags,
+    ) {
         for obs in &self.observers {
-            obs.lock().on_drop(send_round, from, from_port, reason);
+            obs.lock()
+                .on_drop(send_round, from, from_port, reason, tags);
         }
     }
     fn on_crash(&mut self, round: u64, node: NodeId) {
@@ -303,6 +366,21 @@ impl Observer for FanOut {
     fn on_round_end(&mut self, round: u64, timing: &RoundTiming) {
         for obs in &self.observers {
             obs.lock().on_round_end(round, timing);
+        }
+    }
+    fn on_quiescence(&mut self, round: u64, active: u64, passive: u64, shutdown: u64) {
+        for obs in &self.observers {
+            obs.lock().on_quiescence(round, active, passive, shutdown);
+        }
+    }
+    fn on_terminate(&mut self, round: u64, in_flight: u64) {
+        for obs in &self.observers {
+            obs.lock().on_terminate(round, in_flight);
+        }
+    }
+    fn on_transport(&mut self, summary: &TransportSummary) {
+        for obs in &self.observers {
+            obs.lock().on_transport(summary);
         }
     }
     fn on_run_end(&mut self, stats: &RunStats) {
@@ -341,6 +419,21 @@ pub struct RoundMetrics {
     pub dropped: u64,
     /// Nodes sitting out this round inside a crash window.
     pub crashed: u64,
+    /// Frames committed (or dropped) this round that the transport layer
+    /// marked as retransmissions. Summing the column over a reliable run
+    /// reproduces the transport's `retransmissions` total exactly — every
+    /// sent frame is either delivered or dropped.
+    pub retransmits: u64,
+    /// Frames committed (or dropped) this round carrying an ack.
+    pub acks: u64,
+    /// Nodes voting `Active` in this round's quiescence poll.
+    pub votes_active: u64,
+    /// Nodes voting `Passive` in this round's quiescence poll.
+    pub votes_passive: u64,
+    /// Nodes voting `Shutdown` in this round's quiescence poll. The three
+    /// vote columns sum to the polled-node count: everyone in row 0, the
+    /// round's `scheduled_nodes` afterwards.
+    pub votes_shutdown: u64,
     /// Distinct nodes that sent at least one message this round.
     pub active_nodes: u32,
     /// Nodes on this round's schedule (arrivals waiting or awake) — the
@@ -374,6 +467,11 @@ impl RoundMetrics {
             bits: 0,
             dropped: 0,
             crashed: 0,
+            retransmits: 0,
+            acks: 0,
+            votes_active: 0,
+            votes_passive: 0,
+            votes_shutdown: 0,
             active_nodes: 0,
             scheduled_nodes: 0,
             max_edge_load: 0,
@@ -390,7 +488,9 @@ impl RoundMetrics {
         format!(
             concat!(
                 "{{\"phase\":\"{}\",\"round\":{},\"messages\":{},\"bits\":{},",
-                "\"dropped\":{},\"crashed\":{},\"active_nodes\":{},",
+                "\"dropped\":{},\"crashed\":{},\"retransmits\":{},\"acks\":{},",
+                "\"votes_active\":{},\"votes_passive\":{},\"votes_shutdown\":{},",
+                "\"active_nodes\":{},",
                 "\"scheduled_nodes\":{},\"max_edge_load\":{},",
                 "\"edge_load_hist\":[{}],\"deliver_ns\":{},\"step_ns\":{},",
                 "\"commit_ns\":{}}}"
@@ -401,6 +501,11 @@ impl RoundMetrics {
             self.bits,
             self.dropped,
             self.crashed,
+            self.retransmits,
+            self.acks,
+            self.votes_active,
+            self.votes_passive,
+            self.votes_shutdown,
             self.active_nodes,
             self.scheduled_nodes,
             self.max_edge_load,
@@ -423,6 +528,11 @@ impl PartialEq for RoundMetrics {
             && self.bits == other.bits
             && self.dropped == other.dropped
             && self.crashed == other.crashed
+            && self.retransmits == other.retransmits
+            && self.acks == other.acks
+            && self.votes_active == other.votes_active
+            && self.votes_passive == other.votes_passive
+            && self.votes_shutdown == other.votes_shutdown
             && self.active_nodes == other.active_nodes
             && self.scheduled_nodes == other.scheduled_nodes
             && self.max_edge_load == other.max_edge_load
@@ -449,6 +559,10 @@ pub struct MetricsRecorder {
     edge_load: Vec<u32>,
     touched: Vec<u32>,
     last_sender: Option<NodeId>,
+    /// End-of-run transport telemetry, one entry per reliable run that
+    /// reported via [`Observer::on_transport`], labeled with the phase it
+    /// arrived under.
+    transports: Vec<(Arc<str>, TransportSummary)>,
 }
 
 impl MetricsRecorder {
@@ -462,8 +576,15 @@ impl MetricsRecorder {
         &self.stream
     }
 
+    /// Transport-layer telemetry reported via [`Observer::on_transport`],
+    /// one `(phase, summary)` entry per reliable run observed.
+    pub fn transports(&self) -> &[(Arc<str>, TransportSummary)] {
+        &self.transports
+    }
+
     /// Writes the stream as JSONL (one [`RoundMetrics::to_json`] object per
-    /// line).
+    /// line), followed by one `"transport"` row per reliable run that
+    /// reported end-of-run transport telemetry.
     ///
     /// # Errors
     ///
@@ -471,6 +592,23 @@ impl MetricsRecorder {
     pub fn write_jsonl<W: std::io::Write>(&self, out: &mut W) -> std::io::Result<()> {
         for row in &self.stream {
             writeln!(out, "{}", row.to_json())?;
+        }
+        for (phase, t) in &self.transports {
+            writeln!(
+                out,
+                concat!(
+                    "{{\"transport\":\"{}\",\"sim_rounds\":{},\"frames_sent\":{},",
+                    "\"retransmissions\":{},\"acks_sent\":{},\"truncated_sends\":{},",
+                    "\"gave_up\":{}}}"
+                ),
+                phase,
+                t.sim_rounds,
+                t.frames_sent,
+                t.retransmissions,
+                t.acks_sent,
+                t.truncated_sends,
+                t.gave_up,
+            )?;
         }
         Ok(())
     }
@@ -538,15 +676,28 @@ impl Observer for MetricsRecorder {
         let row = self.row();
         row.messages += 1;
         row.bits += u64::from(ev.bits);
+        row.retransmits += u64::from(ev.tags.retransmit);
+        row.acks += u64::from(ev.tags.ack);
         if self.last_sender != Some(ev.from) {
             self.last_sender = Some(ev.from);
             self.row().active_nodes += 1;
         }
     }
 
-    fn on_drop(&mut self, _send_round: u64, from: NodeId, _from_port: Port, _reason: DropReason) {
+    fn on_drop(
+        &mut self,
+        _send_round: u64,
+        from: NodeId,
+        _from_port: Port,
+        _reason: DropReason,
+        tags: TraceTags,
+    ) {
         let row = self.row();
         row.dropped += 1;
+        // Dropped frames still count toward the transport columns — that
+        // keeps the column sums equal to the transport's send-side totals.
+        row.retransmits += u64::from(tags.retransmit);
+        row.acks += u64::from(tags.ack);
         // A dropped send still makes the sender active this round.
         if self.last_sender != Some(from) {
             self.last_sender = Some(from);
@@ -556,6 +707,18 @@ impl Observer for MetricsRecorder {
 
     fn on_crash(&mut self, _round: u64, _node: NodeId) {
         self.row().crashed += 1;
+    }
+
+    fn on_quiescence(&mut self, _round: u64, active: u64, passive: u64, shutdown: u64) {
+        let row = self.row();
+        row.votes_active = active;
+        row.votes_passive = passive;
+        row.votes_shutdown = shutdown;
+    }
+
+    fn on_transport(&mut self, summary: &TransportSummary) {
+        let phase = self.phase.clone().unwrap_or_else(|| Arc::from(""));
+        self.transports.push((phase, *summary));
     }
 
     fn on_round_end(&mut self, _round: u64, timing: &RoundTiming) {
@@ -665,7 +828,14 @@ impl Observer for PhaseProfiler {
         }
     }
 
-    fn on_drop(&mut self, _send_round: u64, _from: NodeId, _from_port: Port, _reason: DropReason) {
+    fn on_drop(
+        &mut self,
+        _send_round: u64,
+        _from: NodeId,
+        _from_port: Port,
+        _reason: DropReason,
+        _tags: TraceTags,
+    ) {
         if let Some(p) = self.profiles.last_mut() {
             p.dropped += 1;
         }
@@ -925,6 +1095,7 @@ mod tests {
             reverse_edge,
             bits: 8,
             stream,
+            tags: TraceTags::default(),
         }
     }
 
@@ -936,8 +1107,9 @@ mod tests {
         rec.on_round_start(1, 1, 4);
         rec.on_message(&ev(1, 1, 0, 2, 5, None));
         rec.on_message(&ev(1, 1, 2, 3, 0, None));
-        rec.on_drop(1, 2, 0, DropReason::Loss);
+        rec.on_drop(1, 2, 0, DropReason::Loss, TraceTags::default());
         rec.on_crash(1, 3);
+        rec.on_quiescence(1, 2, 1, 1);
         rec.on_run_end(&RunStats::default());
         let stream = rec.stream();
         assert_eq!(stream.len(), 2);
@@ -949,7 +1121,58 @@ mod tests {
         assert_eq!(stream[1].active_nodes, 2); // sender 1 (twice) + dropped sender 2
         assert_eq!(stream[1].max_edge_load, 1);
         assert_eq!(stream[1].edge_load_hist, vec![2]);
+        assert_eq!(
+            (
+                stream[1].votes_active,
+                stream[1].votes_passive,
+                stream[1].votes_shutdown
+            ),
+            (2, 1, 1)
+        );
         assert_eq!(&*stream[0].phase, "demo");
+    }
+
+    #[test]
+    fn recorder_counts_transport_tags_on_delivery_and_drop() {
+        let retx = TraceTags {
+            kernels: 1,
+            retransmit: true,
+            ack: false,
+        };
+        let ack = TraceTags {
+            kernels: 1,
+            retransmit: false,
+            ack: true,
+        };
+        let mut rec = MetricsRecorder::new();
+        rec.on_run_start(&info("rel"));
+        let mut e = ev(0, 0, 1, 0, 3, None);
+        e.tags = retx;
+        rec.on_message(&e);
+        e.tags = ack;
+        rec.on_message(&e);
+        rec.on_drop(0, 2, 0, DropReason::Loss, retx);
+        rec.on_transport(&TransportSummary {
+            sim_rounds: 4,
+            frames_sent: 3,
+            retransmissions: 2,
+            acks_sent: 1,
+            truncated_sends: 0,
+            gave_up: 0,
+        });
+        rec.on_run_end(&RunStats::default());
+        let row = &rec.stream()[0];
+        assert_eq!(row.retransmits, 2); // one delivered + one dropped
+        assert_eq!(row.acks, 1);
+        assert_eq!(rec.transports().len(), 1);
+        assert_eq!(&*rec.transports()[0].0, "rel");
+        assert_eq!(rec.transports()[0].1.retransmissions, 2);
+        let mut out = Vec::new();
+        rec.write_jsonl(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"retransmits\":2"));
+        assert!(text.contains("\"transport\":\"rel\""));
+        assert!(text.contains("\"frames_sent\":3"));
     }
 
     #[test]
@@ -1058,7 +1281,7 @@ mod tests {
         for phase in ["a", "b"] {
             prof.on_run_start(&info(phase));
             prof.on_message(&ev(0, 0, 1, 0, 3, None));
-            prof.on_drop(0, 2, 0, DropReason::ReceiverCrashed);
+            prof.on_drop(0, 2, 0, DropReason::ReceiverCrashed, TraceTags::default());
             prof.on_crash(1, 3);
             prof.on_round_end(
                 1,

@@ -10,7 +10,7 @@
 
 use crate::algorithm::NodeAlgorithm;
 use crate::config::{Config, DropReason};
-use crate::engine::{QuiescenceState, Report};
+use crate::engine::{QuiescenceState, Report, TerminationCertificate};
 use crate::error::SimError;
 use crate::message::Message;
 use crate::node::{Inbox, NodeContext, NodeId, Outbox};
@@ -140,7 +140,7 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
                 if let Some(reason) = reason {
                     self.stats.dropped += 1;
                     if let Some(obs) = observer.as_deref_mut() {
-                        obs.on_drop(send_round, v, port, reason);
+                        obs.on_drop(send_round, v, port, reason, msg.trace_tags());
                     }
                     continue;
                 }
@@ -166,6 +166,7 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
                     reverse_edge: self.topology.directed_edge_index(to, to_port),
                     bits,
                     stream: msg.stream_id(),
+                    tags: msg.trace_tags(),
                 });
             }
             self.stats.messages += 1;
@@ -329,6 +330,16 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
             }
         }
         self.quiescence = quiescence;
+        // Vote decomposition, emitted after `on_round_end` — the same
+        // position the optimized pipeline uses, so streams stay identical.
+        if let Some(obs) = &self.config.observer {
+            obs.lock().on_quiescence(
+                self.round,
+                quiescence.votes_active,
+                quiescence.votes_passive,
+                quiescence.votes_shutdown,
+            );
+        }
         Ok(())
     }
 
@@ -356,6 +367,11 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
         // Round 0 schedules every started node (they all run `on_start`).
         self.stats.scheduled_node_rounds += started_nodes;
         self.stats.max_scheduled_per_round = self.stats.max_scheduled_per_round.max(started_nodes);
+        if let Some(obs) = &self.config.observer {
+            let q = self.quiescence;
+            obs.lock()
+                .on_quiescence(0, q.votes_active, q.votes_passive, q.votes_shutdown);
+        }
         while !self.quiescence.terminal(self.in_flight) {
             if self.round >= self.config.max_rounds {
                 return Err(SimError::RoundLimitExceeded {
@@ -364,6 +380,24 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
             }
             self.step()?;
         }
+        if let Some(obs) = &self.config.observer {
+            obs.lock().on_terminate(self.round, self.in_flight);
+        }
+        let final_votes = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(v, node)| {
+                let q = node.as_ref().expect("node state present").quiescence();
+                (v as NodeId, q)
+            })
+            .collect();
+        let certificate = Some(TerminationCertificate::from_votes(
+            self.round,
+            self.in_flight,
+            self.quiescence,
+            final_votes,
+        ));
         let n = self.nodes.len();
         let outputs = self
             .nodes
@@ -393,6 +427,7 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
             trace: self.trace,
             round_profile: self.round_profile,
             metrics,
+            certificate,
         })
     }
 }

@@ -5,8 +5,17 @@
 //! structural claims about executions — for instance Lemma 1 of the paper
 //! (no node is simultaneously active for two BFS waves) is verified by
 //! inspecting delivery events rather than by trusting the algorithm.
+//!
+//! `Trace` is a thin adapter over the structured trace subsystem's
+//! [`Ring`] buffer (configured keep-first: the ring's
+//! pinned prefix is the whole capacity), so overflow accounting —
+//! [`Trace::dropped`], [`Trace::truncated`], [`Trace::total_events`] — is
+//! exact by construction. For typed, causally-linked events with per-kernel
+//! attribution, attach a [`TraceRecorder`](crate::trace2::TraceRecorder)
+//! observer instead.
 
 use crate::node::{NodeId, Port};
+use crate::trace2::Ring;
 
 /// One message delivery, as seen by the receiver.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -32,9 +41,7 @@ pub struct Event {
 /// dropped, so tracing long runs cannot exhaust memory.
 #[derive(Clone, Debug)]
 pub struct Trace {
-    events: Vec<Event>,
-    capacity: usize,
-    dropped: u64,
+    ring: Ring<Event>,
 }
 
 impl Trace {
@@ -46,18 +53,13 @@ impl Trace {
     /// Creates an empty trace holding at most `capacity` events.
     pub fn new(capacity: usize) -> Self {
         Trace {
-            events: Vec::new(),
-            capacity,
-            dropped: 0,
+            // Keep-first semantics: the whole capacity is pinned prefix.
+            ring: Ring::new(capacity, 0),
         }
     }
 
     pub(crate) fn record(&mut self, event: Event) {
-        if self.events.len() < self.capacity {
-            self.events.push(event);
-        } else {
-            self.dropped += 1;
-        }
+        self.ring.push(event);
     }
 
     /// Whether the next [`Trace::record`] would store its event. When this
@@ -66,35 +68,40 @@ impl Trace {
     /// [`Trace::count_overflow`] instead, so a truncated trace costs one
     /// counter increment per message rather than an allocation.
     pub(crate) fn will_store(&self) -> bool {
-        self.events.len() < self.capacity
+        self.ring.stored() < self.ring.prefix_capacity()
     }
 
     /// Counts an event past capacity without materializing it. Equivalent
     /// to `record(..)` once the trace is full.
     pub(crate) fn count_overflow(&mut self) {
-        self.dropped += 1;
+        self.ring.skip();
+    }
+
+    /// The stored-event capacity.
+    pub fn capacity(&self) -> usize {
+        self.ring.prefix_capacity()
     }
 
     /// The recorded events, in delivery order.
     pub fn events(&self) -> &[Event] {
-        &self.events
+        self.ring.prefix()
     }
 
     /// How many events were dropped after the capacity was reached.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.ring.overflow()
     }
 
     /// Whether any event was dropped, i.e. [`Trace::events`] is an
     /// incomplete record of the run. A caller analyzing a trace should
     /// check this before trusting absence-of-event conclusions.
     pub fn truncated(&self) -> bool {
-        self.dropped > 0
+        self.ring.overflow() > 0
     }
 
     /// Total events the run produced — stored plus dropped.
     pub fn total_events(&self) -> u64 {
-        self.events.len() as u64 + self.dropped
+        self.ring.total_pushed()
     }
 }
 
@@ -131,11 +138,14 @@ mod tests {
         assert_eq!(t.dropped(), 1);
         assert!(t.truncated());
         assert_eq!(t.total_events(), 3);
+        // Keep-first semantics: the stored events are the earliest ones.
+        assert_eq!(t.events()[0].round, 1);
+        assert_eq!(t.events()[1].round, 2);
     }
 
     #[test]
     fn default_is_large() {
-        assert!(Trace::default().capacity >= Trace::DEFAULT_CAPACITY);
+        assert!(Trace::default().capacity() >= Trace::DEFAULT_CAPACITY);
     }
 
     #[test]

@@ -8,7 +8,8 @@ use proptest::prelude::*;
 
 use dapsp_congest::{
     Config, ExecutorKind, Inbox, Message, MetricsRecorder, NodeAlgorithm, NodeContext, Outbox,
-    Port, ReferenceSimulator, SharedObserver, Simulator, Topology,
+    Port, ReferenceSimulator, SharedObserver, Simulator, TerminationReason, Topology,
+    TraceRecorder,
 };
 
 /// A gossip token: (origin id, hop count). Sized like a real CONGEST
@@ -447,6 +448,71 @@ proptest! {
             prop_assert_eq!(&dense.metrics, &sparse.metrics, "metrics vs {}", label);
             let (dt, st) = (dense.trace.as_ref().unwrap(), sparse.trace.as_ref().unwrap());
             prop_assert_eq!(dt.events(), st.events(), "trace vs {}", label);
+        }
+    }
+
+    /// The structured trace contract: the typed event stream recorded by
+    /// [`TraceRecorder`] renders to bit-identical JSONL on Serial, Pool(2),
+    /// Pool(4) and the seed reference engine, under loss × trace-attached
+    /// runs — and the termination certificate every engine attaches to its
+    /// report is equal too, with internally consistent vote tallies.
+    #[test]
+    fn trace2_streams_and_certificates_match_four_ways(
+        n in 2usize..24,
+        seed in any::<u64>(),
+        lossy in any::<bool>(),
+    ) {
+        let adj = random_connected_adj(n, seed, 1);
+        let topo = Topology::from_adjacency(adj).expect("valid");
+        let init = |_: &NodeContext<'_>| Gossip {
+            first_heard: vec![None; n],
+            queue: std::collections::VecDeque::new(),
+        };
+        let run_one = |executor: ExecutorKind, reference: bool| {
+            let mut config = gossip_config(n).with_phase("trace2").with_executor(executor);
+            if lossy {
+                config = config.with_loss(0.25, seed);
+            }
+            let rec = SharedObserver::new(TraceRecorder::new());
+            let config = config.with_observer(rec.observer());
+            let report = if reference {
+                ReferenceSimulator::new(&topo, config, init).run().expect("reference runs")
+            } else {
+                Simulator::new(&topo, config, init).run().expect("pipeline runs")
+            };
+            let (jsonl, total) = rec.with(|r| (r.events_jsonl(), r.total_events()));
+            (report, jsonl, total)
+        };
+        let (base_report, base_jsonl, base_total) = run_one(ExecutorKind::Serial, false);
+        // Certificate invariants: present on success, every node votes,
+        // the tallies decompose n, and the final poll saw no active node.
+        let cert = base_report.certificate.as_ref().expect("success carries a certificate");
+        prop_assert_eq!(cert.node_votes.len(), n, "one vote per node");
+        prop_assert_eq!(
+            cert.votes_active + cert.votes_passive + cert.votes_shutdown,
+            n as u64,
+            "vote tallies decompose n"
+        );
+        prop_assert_eq!(cert.votes_active, 0, "terminated with an active voter");
+        prop_assert_eq!(cert.round, base_report.stats.rounds, "certificate round");
+        if cert.reason == TerminationReason::PassiveDrained {
+            prop_assert_eq!(cert.in_flight, 0, "passive-drained with messages in flight");
+        } else {
+            prop_assert_eq!(cert.votes_shutdown, n as u64, "shutdown-unanimous tally");
+        }
+        for (executor, reference) in [
+            (ExecutorKind::Pool { workers: 2 }, false),
+            (ExecutorKind::Pool { workers: 4 }, false),
+            (ExecutorKind::Serial, true),
+        ] {
+            let (other_report, other_jsonl, other_total) = run_one(executor, reference);
+            let label = if reference { "reference" } else { executor.name() };
+            prop_assert_eq!(&base_jsonl, &other_jsonl, "trace2 JSONL vs {}", label);
+            prop_assert_eq!(base_total, other_total, "trace2 totals vs {}", label);
+            prop_assert_eq!(
+                &base_report.certificate, &other_report.certificate,
+                "certificate vs {}", label
+            );
         }
     }
 

@@ -171,6 +171,22 @@ fn assert_decomposes(stream: &[RoundMetrics], stats: &RunStats, tag: &str) {
     for m in stream {
         assert_eq!(&*m.phase, "gossip", "{tag}: phase label");
     }
+    // The quiescence-vote decomposition: each row's three vote columns
+    // tally exactly the nodes polled in that round's termination check —
+    // everyone after on_start (row 0), the scheduled set afterwards. The
+    // crash-free workloads here make row 0's scheduled count n itself, so
+    // one invariant covers both cases.
+    for m in stream {
+        assert_eq!(
+            m.votes_active + m.votes_passive + m.votes_shutdown,
+            m.scheduled_nodes,
+            "{tag}: row {} vote tally != polled nodes",
+            m.round
+        );
+    }
+    // The run terminated, so the final poll saw no active node.
+    let last = stream.last().expect("nonempty stream");
+    assert_eq!(last.votes_active, 0, "{tag}: final row has active voters");
 }
 
 /// Pins the `dropped` column to a run that demonstrably loses messages,

@@ -217,6 +217,7 @@ pub fn run_faulty_on(
         )
     })?;
     let (report, rel) = split_reliable_report(report);
+    obs.report_transport(&rel.summary());
     let value = report.outputs[tree.root as usize];
     debug_assert!(
         report.outputs.iter().all(|&r| r == value),

@@ -250,6 +250,7 @@ pub fn run_faulty_on(
         )
     })?;
     let (report, rel_b) = split_reliable_report(report);
+    obs.report_transport(&rel_b.summary());
     rel.absorb(&rel_b);
     Ok((assemble(topology, t1, report), rel))
 }

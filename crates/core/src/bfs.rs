@@ -224,6 +224,7 @@ pub fn run_faulty_on(
         )
     })?;
     let (report, rel) = split_reliable_report(report);
+    obs.report_transport(&rel.summary());
     Ok((fold_bfs(root, n, report), rel))
 }
 

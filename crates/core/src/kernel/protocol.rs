@@ -3,7 +3,9 @@
 
 use std::fmt::Debug;
 
-use dapsp_congest::{Envelope, Inbox, NodeAlgorithm, NodeContext, Outbox, Port, Quiescence, Width};
+use dapsp_congest::{
+    Envelope, Inbox, NodeAlgorithm, NodeContext, Outbox, Port, Quiescence, TraceTags, Width,
+};
 
 /// A per-node protocol kernel: the state machine interface the wave-kernel
 /// layer builds algorithms from.
@@ -24,6 +26,15 @@ pub trait Protocol {
     type Payload: Clone + Debug;
     /// The per-node result extracted when the run ends.
     type Output;
+
+    /// How many kernel slots this protocol occupies in a composed stack's
+    /// [`TraceTags::kernels`] bitmask. Leaf kernels keep the default `1`;
+    /// a [`Stack`](super::Stack) occupies the sum of its components, with
+    /// the lower kernel in the low bits. Observers use the mask to
+    /// attribute per-message traffic to individual kernels (masks wider
+    /// than the 8-bit tag truncate — stacks deeper than 8 lose per-kernel
+    /// resolution, never correctness).
+    const KERNELS: u32 = 1;
 
     /// One-time initialization before round 1 (the engine's `on_start`).
     fn init(&mut self, ctx: &NodeContext<'_>, tx: &mut Tx<Self::Payload>) {
@@ -85,6 +96,17 @@ pub trait Protocol {
     fn stream(&self, payload: &Self::Payload) -> Option<u32> {
         let _ = payload;
         None
+    }
+
+    /// Observer attribution tags for `payload` (zero wire bits; see
+    /// [`TraceTags`]). Leaf kernels keep the default — kernel slot 0
+    /// present, no transport flags. [`Stack`](super::Stack) shifts and ORs
+    /// its components' masks; transport wrappers
+    /// ([`ReliableKernel`](super::ReliableKernel)) set the
+    /// retransmit/ack flags.
+    fn tags(&self, payload: &Self::Payload) -> TraceTags {
+        let _ = payload;
+        TraceTags::default()
     }
 
     /// Consumes the kernel and produces the node's final output.
@@ -151,12 +173,17 @@ impl<P: Protocol> ProtocolHost<P> {
         for (port, payload) in self.tx.drain() {
             let width = self.proto.width(&payload).bits();
             let stream = self.proto.stream(&payload);
+            // Tags are computed before the payload moves into the
+            // envelope; they ride as zero-wire-bit diagnostics read at
+            // the engine's commit choke point.
+            let tags = self.proto.tags(&payload);
             out.send(
                 port,
                 Envelope {
                     payload,
                     width,
                     stream,
+                    tags,
                 },
             );
         }

@@ -52,7 +52,7 @@
 
 use std::collections::VecDeque;
 
-use dapsp_congest::{NodeContext, Port, Quiescence, Width};
+use dapsp_congest::{NodeContext, Port, Quiescence, TraceTags, Width};
 
 use super::protocol::{Protocol, Tx};
 
@@ -73,6 +73,11 @@ pub struct Frame<P> {
     pub data: Option<(bool, Option<P>)>,
     /// Acknowledgment of the last frame received on this link, by parity.
     pub ack: Option<bool>,
+    /// Diagnostic only: this frame's data sub-frame is a retransmission.
+    /// Costs **zero wire bits** — [`width`](ReliableKernel::width) never
+    /// counts it; it exists so observers can attribute retry traffic (see
+    /// [`TraceTags::retransmit`]).
+    pub retransmit: bool,
 }
 
 /// Per-node transport counters accumulated by a [`ReliableKernel`] run.
@@ -110,6 +115,21 @@ impl RelStats {
         self.acks_sent += other.acks_sent;
         self.truncated_sends += other.truncated_sends;
         self.gave_up |= other.gave_up;
+    }
+
+    /// These counters as the observer-facing
+    /// [`TransportSummary`](dapsp_congest::TransportSummary), the shape
+    /// [`Observer::on_transport`](dapsp_congest::Observer::on_transport)
+    /// receives from the `run_faulty` entry points.
+    pub fn summary(&self) -> dapsp_congest::TransportSummary {
+        dapsp_congest::TransportSummary {
+            sim_rounds: self.sim_rounds,
+            frames_sent: self.frames_sent,
+            retransmissions: self.retransmissions,
+            acks_sent: self.acks_sent,
+            truncated_sends: self.truncated_sends,
+            gave_up: u64::from(self.gave_up),
+        }
     }
 }
 
@@ -230,6 +250,7 @@ impl<P: Protocol> ReliableKernel<P> {
             if self.cooldown[port] > 0 {
                 self.cooldown[port] -= 1;
             }
+            let mut retransmit = false;
             let data = match self.out[port].front() {
                 Some(head) if self.cooldown[port] == 0 => {
                     if self.attempts[port] > self.max_retries {
@@ -241,6 +262,7 @@ impl<P: Protocol> ReliableKernel<P> {
                     } else {
                         if self.attempts[port] > 0 {
                             self.stats.retransmissions += 1;
+                            retransmit = true;
                         }
                         self.attempts[port] += 1;
                         self.cooldown[port] = RETRY_TIMEOUT;
@@ -255,7 +277,14 @@ impl<P: Protocol> ReliableKernel<P> {
                 self.stats.acks_sent += 1;
             }
             if data.is_some() || ack.is_some() {
-                tx.send(port as Port, Frame { data, ack });
+                tx.send(
+                    port as Port,
+                    Frame {
+                        data,
+                        ack,
+                        retransmit,
+                    },
+                );
             }
         }
     }
@@ -264,6 +293,11 @@ impl<P: Protocol> ReliableKernel<P> {
 impl<P: Protocol> Protocol for ReliableKernel<P> {
     type Payload = Frame<P::Payload>;
     type Output = (P::Output, RelStats);
+
+    /// The transport is not a kernel slot of its own — it reports the
+    /// wrapped protocol's slots and flags its own traffic through the
+    /// retransmit/ack tag bits instead.
+    const KERNELS: u32 = P::KERNELS;
 
     fn init(&mut self, ctx: &NodeContext<'_>, tx: &mut Tx<Self::Payload>) {
         let degree = ctx.degree();
@@ -372,6 +406,24 @@ impl<P: Protocol> Protocol for ReliableKernel<P> {
             .and_then(|payload| self.inner.stream(payload))
     }
 
+    fn tags(&self, frame: &Self::Payload) -> TraceTags {
+        // A marker or ack-only frame carries no inner kernel's payload,
+        // so its kernel mask is empty; a real payload reports the wrapped
+        // protocol's mask. The transport's own contribution rides in the
+        // retransmit/ack flags.
+        let mut tags = match frame.data.as_ref().and_then(|(_, p)| p.as_ref()) {
+            Some(payload) => self.inner.tags(payload),
+            None => TraceTags {
+                kernels: 0,
+                retransmit: false,
+                ack: false,
+            },
+        };
+        tags.retransmit |= frame.retransmit;
+        tags.ack |= frame.ack.is_some();
+        tags
+    }
+
     fn finish(self, ctx: &NodeContext<'_>) -> Self::Output {
         let ictx = ctx.at_round(self.sim_executed);
         (self.inner.finish(&ictx), self.stats)
@@ -400,6 +452,7 @@ pub fn split_reliable_report<T>(
             trace: report.trace,
             round_profile: report.round_profile,
             metrics: report.metrics,
+            certificate: report.certificate,
         },
         rel,
     )

@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use dapsp_congest::{NodeContext, Port, Width};
+use dapsp_congest::{NodeContext, Port, TraceTags, Width};
 
 use super::protocol::{Protocol, Tx};
 
@@ -119,6 +119,10 @@ impl<A: Protocol, B: Protocol, C: Coupling<A, B>> Protocol for Stack<A, B, C> {
     type Payload = Both<A::Payload, B::Payload>;
     type Output = (A::Output, B::Output);
 
+    /// The stack occupies both components' kernel slots: `A`'s in the low
+    /// bits, `B`'s shifted above them.
+    const KERNELS: u32 = A::KERNELS + B::KERNELS;
+
     fn init(&mut self, ctx: &NodeContext<'_>, tx: &mut Tx<Self::Payload>) {
         self.a.init(ctx, &mut self.tx_a);
         self.coupling.couple(ctx, &mut self.a, &mut self.b);
@@ -176,6 +180,34 @@ impl<A: Protocol, B: Protocol, C: Coupling<A, B>> Protocol for Stack<A, B, C> {
             .as_ref()
             .and_then(|pa| self.a.stream(pa))
             .or_else(|| payload.b.as_ref().and_then(|pb| self.b.stream(pb)))
+    }
+
+    fn tags(&self, payload: &Self::Payload) -> TraceTags {
+        // Present components contribute their masks — `A`'s verbatim,
+        // `B`'s shifted past `A`'s slots — and their transport flags OR.
+        // An empty frame (both absent) reports no kernels at all.
+        let mut tags = TraceTags {
+            kernels: 0,
+            retransmit: false,
+            ack: false,
+        };
+        if let Some(pa) = &payload.a {
+            let t = self.a.tags(pa);
+            tags.kernels |= t.kernels;
+            tags.retransmit |= t.retransmit;
+            tags.ack |= t.ack;
+        }
+        if let Some(pb) = &payload.b {
+            let t = self.b.tags(pb);
+            // Widen before shifting; slots past bit 7 truncate out of the
+            // 8-bit mask instead of panicking on shift overflow.
+            if A::KERNELS < 8 {
+                tags.kernels |= ((u32::from(t.kernels)) << A::KERNELS) as u8;
+            }
+            tags.retransmit |= t.retransmit;
+            tags.ack |= t.ack;
+        }
+        tags
     }
 
     fn finish(self, ctx: &NodeContext<'_>) -> Self::Output {

@@ -35,7 +35,7 @@
 //! # }
 //! ```
 
-use dapsp_congest::{Config, ExecutorKind, ObserverHandle};
+use dapsp_congest::{Config, ExecutorKind, ObserverHandle, TransportSummary};
 
 /// An optional, borrowed observer to attach to each phase of a pipeline,
 /// plus the round-engine executor every phase should run on.
@@ -89,6 +89,16 @@ impl<'a> Obs<'a> {
     /// Whether an observer is attached.
     pub fn is_watching(&self) -> bool {
         self.handle.is_some()
+    }
+
+    /// Reports a reliable phase's aggregated transport counters to the
+    /// attached observer (a no-op when nobody is watching). Called by the
+    /// `run_faulty` entry points after folding the per-node `RelStats`,
+    /// i.e. outside the engine, after that phase's `on_run_end`.
+    pub fn report_transport(&self, summary: &TransportSummary) {
+        if let Some(h) = self.handle {
+            h.lock().on_transport(summary);
+        }
     }
 
     /// Labels `config` with `phase`, attaches the observer, and selects

@@ -235,6 +235,7 @@ pub fn run_faulty_on(
         )
     })?;
     let (report, rel_growth) = split_reliable_report(report);
+    obs.report_transport(&rel_growth.summary());
     rel.absorb(&rel_growth);
     Ok((assemble(topology, sources, t1, &agg, report), rel))
 }

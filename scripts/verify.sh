@@ -53,13 +53,32 @@ echo "==> small-graph conformance suite"
 # connected graphs with <= 7 nodes.
 cargo test --offline -q -p dapsp-core --test conformance_small_graphs
 
-echo "==> engine_throughput --smoke --threads 1,2"
+echo "==> engine_throughput --smoke --threads 1,2,4"
 # Active-set scheduler end to end at scale: CI-sized instances of every
 # family plus one 100k-node Watts-Strogatz scaling row, where the dense
 # seed baseline and the sparse frontier engine must agree bit-for-bit
-# on outputs and RunStats (the binary asserts it). Writes to
+# on outputs and RunStats (the binary asserts it). Threads 4 is included
+# so the smoke emits the same label|engine|executor|threads keys as the
+# committed baseline's pool rows, for the gate below. Writes to
 # target/BENCH_engine_smoke.json, never the committed BENCH_engine.json.
-cargo run --offline --release -p dapsp-bench --bin engine_throughput -- --smoke --threads 1,2
+cargo run --offline --release -p dapsp-bench --bin engine_throughput -- --smoke --threads 1,2,4
+
+echo "==> bench-regression gate vs committed BENCH_engine.json"
+# Compares the smoke rows just written against the committed baseline on
+# matching label|engine|executor|threads keys: any round- or
+# message-count mismatch is a determinism break and fails outright; a
+# msgs/s ratio worse than 3x fails as a performance regression (the
+# margin absorbs CI-machine noise but catches an accidental return to
+# dense per-node scheduling, which costs ~10x on the scaling row).
+cargo run --offline --release -p dapsp-bench --bin dapsp-inspect -- bench-gate BENCH_engine.json target/BENCH_engine_smoke.json
+
+echo "==> dapsp-inspect --smoke"
+# Self-check of the trace subsystem end to end: a lossy traced BFS
+# records kernel-attributed events, a serial-vs-pool stream diff under
+# 15% loss is bit-identical, the Perfetto export is well-formed, and the
+# bench gate provably passes on identical rows and catches both an
+# injected 10x regression and a round-count mismatch.
+cargo run --offline --release -p dapsp-bench --bin dapsp-inspect -- --smoke
 
 echo "==> fault_sweep --smoke --threads 1,2"
 # Fault-injection smoke: reliable APSP/S-SP under a live FaultPlan
@@ -69,4 +88,4 @@ echo "==> fault_sweep --smoke --threads 1,2"
 # target/BENCH_faults_smoke.json, never the committed BENCH_faults.json.
 cargo run --offline --release -p dapsp-bench --bin fault_sweep -- --smoke --threads 1,2
 
-echo "OK: fmt + build + tests + clippy + docs + profile, budget, conformance, throughput & fault smokes all green"
+echo "OK: fmt + build + tests + clippy + docs + profile, budget, conformance, throughput, bench-gate, inspect & fault smokes all green"
