@@ -4,7 +4,9 @@
 //! The workloads and topology families are shared with `engine_profile`
 //! (see [`dapsp_bench::workloads`]): **bfs-flood** (sparse, per-round
 //! overhead dominated) and **apsp-gossip** (dense, per-message commit cost
-//! dominated) over path / random tree / near-regular / clique graphs.
+//! dominated) over path / random tree / near-regular / clique graphs,
+//! plus a `hub` family (a high-degree star overlaid on a Watts–Strogatz
+//! ring) whose lopsided frontier exercises the pool's work stealing.
 //!
 //! Engines compared: the verbatim seed engine ([`ReferenceSimulator`])
 //! and the optimized engine at every requested worker-thread count
@@ -212,6 +214,7 @@ const FAMILIES: &[(&str, &[usize], &[usize])] = &[
     ("tree", &[256, 1024, 4096], &[64, 128, 256]),
     ("regular6", &[256, 1024, 4096], &[64, 128, 256]),
     ("clique", &[128, 256, 512], &[48, 96]),
+    ("hub", &[256, 1024, 4096], &[64, 128, 256]),
 ];
 
 /// `--smoke` counterpart of [`FAMILIES`]: one CI-sized instance per cell.
@@ -220,6 +223,7 @@ const FAMILIES_SMOKE: &[(&str, &[usize], &[usize])] = &[
     ("tree", &[96], &[32]),
     ("regular6", &[96], &[32]),
     ("clique", &[48], &[24]),
+    ("hub", &[96], &[32]),
 ];
 
 /// The `scaling` row family: frontier-sparse bfs-flood at large `n` on

@@ -157,8 +157,8 @@ pub fn engine_config(n: usize) -> Config {
     base.with_bandwidth_bits(bw)
 }
 
-/// The four topology families both engine benchmarks sweep.
-pub const FAMILY_NAMES: &[&str] = &["path", "tree", "regular6", "clique"];
+/// The topology families both engine benchmarks sweep.
+pub const FAMILY_NAMES: &[&str] = &["path", "tree", "regular6", "clique", "hub"];
 
 /// The large-`n` scaling families (`engine_throughput`'s `scaling` rows):
 /// small-world (`ws`) and preferential-attachment (`ba`) graphs whose BFS
@@ -182,6 +182,22 @@ pub fn family_graph(family: &str, n: usize) -> dapsp_graph::Graph {
         // degree 6 before rewiring and 6 on average after.
         "regular6" => generators::watts_strogatz(n, 3, 0.1, 12),
         "clique" => generators::complete(n),
+        // A high-degree hub inside a small world: a Watts–Strogatz ring
+        // with a star overlay from node 0 to every 8th node. The hub's
+        // per-round work dwarfs its peers', which makes static per-worker
+        // schedule splits lopsided — the imbalance the pool executor's
+        // work stealing exists to absorb.
+        "hub" => {
+            let base = generators::watts_strogatz(n, 3, 0.1, 7);
+            let mut b = dapsp_graph::Graph::builder(n);
+            for (u, v) in base.edges() {
+                b.add_edge(u, v).expect("valid edge");
+            }
+            for v in (8..n as u32).step_by(8) {
+                b.add_edge(0, v).expect("valid edge");
+            }
+            b.build()
+        }
         // Scaling families: distinct seeds from regular6 so the small
         // CI instances and the large scaling instances never coincide.
         // The sparser rewiring (beta = 0.02) keeps the small-world

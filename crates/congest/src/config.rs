@@ -242,12 +242,16 @@ pub enum ExecutorKind {
     #[default]
     Serial,
     /// A persistent pool of worker threads created once per run (never per
-    /// round). Workers step disjoint shards of consecutive node ids and
-    /// stage validated outbound messages into per-worker commit queues;
-    /// the engine merges the queues in node-id order on the calling
-    /// thread. The calling thread doubles as the first worker (it steps
-    /// shard 0 itself), so `workers` threads of compute spawn only
-    /// `workers - 1` new threads.
+    /// round). The round's schedule is cut into fixed-size chunks dealt
+    /// into per-worker deques; an idle worker steals the back half of a
+    /// loaded deque, so a high-degree frontier node cannot serialize its
+    /// worker's whole share. Each chunk stages its validated outbound
+    /// messages locally and the engine merges chunks in schedule order on
+    /// the calling thread, which keeps results bit-identical to serial no
+    /// matter who stole what. The calling thread doubles as the first
+    /// worker (it owns deque 0), so `workers` threads of compute spawn
+    /// only `workers - 1` new threads. Chunk size: `Config::pool_chunk`,
+    /// else the `DAPSP_POOL_CHUNK` env var, else adaptive.
     Pool {
         /// Number of worker threads. Clamped at run time to
         /// `1..=num_nodes`, so oversubscribing a small network degrades to
@@ -323,6 +327,14 @@ pub struct Config {
     /// runs: outboxes are always committed in node-id order, so outputs,
     /// statistics, traces, and round counts do not depend on this.
     pub executor: ExecutorKind,
+    /// Fixed frontier-chunk size for the pool executor's work-stealing
+    /// scheduler. `None` — the default — sizes chunks adaptively per round
+    /// (`max(16, sched / (4 · workers))`); the `DAPSP_POOL_CHUNK`
+    /// environment variable supplies a process-wide fallback when this is
+    /// unset (how CI forces the stealing path on tiny graphs). Has no
+    /// effect on [`ExecutorKind::Serial`] and, like the executor choice,
+    /// never changes simulation results — only load balance.
+    pub pool_chunk: Option<usize>,
     /// Optional observer receiving round/message/timing events as the run
     /// executes (see [`crate::obs`]). `None` — the default — keeps every
     /// hook site a single branch, so observation is free when disabled.
@@ -347,6 +359,7 @@ impl PartialEq for Config {
             && self.round_profile == other.round_profile
             && self.faults == other.faults
             && self.executor == other.executor
+            && self.pool_chunk == other.pool_chunk
             && self.phase == other.phase
     }
 }
@@ -370,6 +383,7 @@ impl Config {
             round_profile: false,
             faults: None,
             executor: ExecutorKind::Serial,
+            pool_chunk: None,
             observer: None,
             phase: String::new(),
         }
@@ -444,6 +458,14 @@ impl Config {
     /// shorthand for the same choice.
     pub fn with_executor(mut self, executor: ExecutorKind) -> Self {
         self.executor = executor;
+        self
+    }
+
+    /// Fixes the pool executor's frontier-chunk size (clamped to at least
+    /// 1 at run time); see [`Config::pool_chunk`]. Tests force `1` to make
+    /// steals happen even on tiny graphs.
+    pub fn with_pool_chunk(mut self, chunk: usize) -> Self {
+        self.pool_chunk = Some(chunk);
         self
     }
 
@@ -570,6 +592,14 @@ mod tests {
         );
         // Budget participates in semantic equality.
         assert_ne!(Config::for_n(n), Config::for_n(n).with_message_budget(None));
+    }
+
+    #[test]
+    fn pool_chunk_participates_in_semantic_equality() {
+        let c = Config::for_n(8).with_pool_chunk(1);
+        assert_eq!(c.pool_chunk, Some(1));
+        assert_ne!(c, Config::for_n(8));
+        assert_eq!(Config::for_n(8).pool_chunk, None);
     }
 
     #[test]

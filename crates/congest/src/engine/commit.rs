@@ -6,12 +6,14 @@
 //! in that order) and exactly one accounting step on the engine thread
 //! ([`Core::account_deliver`] / [`Core::account_drop`]). The serial
 //! executor fuses the two in [`Core::commit_outbox`]; the pool executor
-//! splits them — workers validate into per-worker [`StagedShard`] queues
+//! splits them — workers validate into per-chunk [`StagedShard`] queues
 //! during the step phase, and [`Core::merge_shard`] replays each queue on
-//! the engine thread in node-id order. Because shards hold consecutive
-//! node ids and are merged in shard order, the replay visits outboxes in
-//! plain node-id order: stats, trace events, observer callbacks, and
-//! delivery order are byte-identical to the serial engine's.
+//! the engine thread in schedule order. Because a chunk holds a
+//! consecutive slice of the sorted schedule and chunks are merged by
+//! their position in it — regardless of which worker stepped them, or
+//! stole them — the replay visits outboxes in plain node-id order:
+//! stats, trace events, observer callbacks, and delivery order are
+//! byte-identical to the serial engine's.
 
 use std::sync::MutexGuard;
 
@@ -326,13 +328,13 @@ impl<M: Message> Core<'_, M> {
         self.stats.messages += 1;
         self.stats.bits += u64::from(bits);
         self.stats.max_message_bits = self.stats.max_message_bits.max(bits);
-        self.pending[to as usize].push((to_port, msg));
+        self.arrivals.push(to, to_port, msg);
         self.in_flight += 1;
         // Wake the receiver: an arrival forces `to` onto next round's
         // schedule. The `woken` mark makes the list duplicate-free without
         // a scan; `sorted_wake` clears the marks when it hands the list out.
-        if !self.woken[to as usize] {
-            self.woken[to as usize] = true;
+        if !self.woken.get(to as usize) {
+            self.woken.set(to as usize);
             self.wake.push(to);
         }
     }

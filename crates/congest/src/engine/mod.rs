@@ -51,9 +51,11 @@ use crate::trace::Trace;
 mod commit;
 mod pool;
 mod serial;
+pub(crate) mod store;
 
 use pool::PoolExecutor;
 use serial::SerialExecutor;
+use store::{BitSet, InboxArena, NodeStore};
 
 /// Process-wide count of pool worker threads spawned so far. The delta
 /// across a run equals the clamped worker count minus one (the engine
@@ -87,6 +89,39 @@ pub struct Report<O> {
     /// path); a run aborted by the round horizon returns an error and
     /// carries no report at all.
     pub certificate: Option<TerminationCertificate>,
+    /// Work-stealing scheduler telemetry — present only when the run used
+    /// the pool executor. Timing-dependent (which worker steps which chunk
+    /// varies run to run), so it is *not* part of the determinism contract;
+    /// the per-worker counts still sum exactly to the run's
+    /// [`RunStats::chunks_stepped`] and scheduled-node totals.
+    pub sched: Option<PoolSched>,
+}
+
+/// How the pool executor's work-stealing scheduler balanced one run: the
+/// chunking policy plus per-worker execution counts (index 0 is the engine
+/// thread). The *partition* of work across workers is timing-dependent,
+/// but the totals are exact: `chunks_per_worker` sums to
+/// [`RunStats::chunks_stepped`], `nodes_per_worker` plus the started-node
+/// count sums to [`RunStats::scheduled_node_rounds`], and `steals` equals
+/// [`RunStats::steals`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PoolSched {
+    /// Worker count after clamping to the node count (including the
+    /// engine thread).
+    pub workers: usize,
+    /// The configured fixed chunk size ([`Config::pool_chunk`] or the
+    /// `DAPSP_POOL_CHUNK` environment variable), or `None` when the
+    /// per-round adaptive size was used.
+    pub chunk_size: Option<usize>,
+    /// Frontier chunks stepped by each worker (engine thread first).
+    pub chunks_per_worker: Vec<u64>,
+    /// Scheduled nodes stepped by each worker (engine thread first);
+    /// excludes the round-0 `on_start` sweep, which runs on the engine
+    /// thread outside the chunk scheduler.
+    pub nodes_per_worker: Vec<u64>,
+    /// Chunks executed by a worker other than the one they were initially
+    /// queued on.
+    pub steals: u64,
 }
 
 /// The termination condition a run's final votes satisfied.
@@ -171,15 +206,16 @@ impl TerminationCertificate {
 pub(crate) struct Core<'t, M> {
     pub(crate) topology: &'t Topology,
     pub(crate) config: Config,
-    /// `pending[v]` accumulates the messages to be delivered to `v` next
-    /// round.
-    pub(crate) pending: Vec<Vec<(Port, M)>>,
-    /// Node ids with at least one message in `pending` — the arrival
-    /// component of next round's schedule. Deduplicated via `woken`
-    /// marks; unsorted until [`Core::sorted_wake`] drains it.
+    /// Messages to be delivered next round, staged flat in commit order;
+    /// the deliver phase carves them into per-node slices (see
+    /// [`InboxArena`]).
+    pub(crate) arrivals: InboxArena<M>,
+    /// Node ids with at least one staged arrival — the arrival component
+    /// of next round's schedule. Deduplicated via `woken` marks; unsorted
+    /// until [`Core::sorted_wake`] drains it.
     pub(crate) wake: Vec<NodeId>,
-    /// `woken[v]` marks that `v` is already on the wake list.
-    pub(crate) woken: Vec<bool>,
+    /// Bit `v` marks that `v` is already on the wake list.
+    pub(crate) woken: BitSet,
     pub(crate) in_flight: u64,
     pub(crate) round: u64,
     pub(crate) stats: RunStats,
@@ -194,7 +230,7 @@ impl<M> Core<'_, M> {
     pub(crate) fn sorted_wake(&mut self) -> &[NodeId] {
         self.wake.sort_unstable();
         for &v in &self.wake {
-            self.woken[v as usize] = false;
+            self.woken.clear(v as usize);
         }
         &self.wake
     }
@@ -295,8 +331,9 @@ pub(crate) trait Executor<A: NodeAlgorithm> {
     /// and returns its size. Called once per round, after `core.round`
     /// advances and before any phase runs.
     fn schedule(&mut self, core: &mut Core<'_, A::Message>) -> u64;
-    /// Phase 1 — hand the inboxes accumulated in `core.pending` to the
-    /// scheduled nodes for the round `core.round`.
+    /// Phase 1 — carve the arrivals staged in `core.arrivals` into
+    /// per-node inbox slices for the round `core.round` (and, for the
+    /// pool, enqueue the round's frontier chunks).
     fn deliver(&mut self, core: &mut Core<'_, A::Message>);
     /// Phase 2 — run [`NodeAlgorithm::on_round`] on every scheduled node
     /// and rebuild the awake list from their post-step
@@ -314,6 +351,18 @@ pub(crate) trait Executor<A: NodeAlgorithm> {
     /// [`TerminationCertificate`]. `quiescence()` (the per-node method) is
     /// a pure function of node state, so this re-poll is deterministic.
     fn final_votes(&mut self) -> Vec<(NodeId, Quiescence)>;
+    /// Scheduler telemetry for the round just committed: `(chunks
+    /// stepped, chunks stolen)`. Accumulated into [`RunStats`] and
+    /// reported through [`Observer::on_sched`](crate::Observer::on_sched);
+    /// always `(0, 0)` for executors without a chunk scheduler.
+    fn round_telemetry(&self) -> (u64, u64) {
+        (0, 0)
+    }
+    /// The run's aggregate scheduler telemetry, if this executor has a
+    /// chunk scheduler; read once, right before `into_outputs`.
+    fn sched(&self) -> Option<PoolSched> {
+        None
+    }
     /// Tears the executor down and extracts outputs in node-id order.
     fn into_outputs(self, final_round: u64) -> Vec<A::Output>;
 }
@@ -432,9 +481,9 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
             core: Core {
                 topology,
                 config,
-                pending: (0..n).map(|_| Vec::new()).collect(),
+                arrivals: InboxArena::new(n),
                 wake: Vec::new(),
-                woken: vec![false; n],
+                woken: BitSet::new(n),
                 in_flight: 0,
                 round: 0,
                 stats: RunStats::default(),
@@ -480,10 +529,10 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
                 started: self.core.started_nodes(),
             });
         }
-        let nodes = std::mem::take(&mut self.nodes);
+        let store = NodeStore::new(std::mem::take(&mut self.nodes));
         match self.core.config.executor {
             ExecutorKind::Serial => {
-                let executor = SerialExecutor::new(self.core.topology, nodes);
+                let executor = SerialExecutor::new(self.core.topology, store);
                 self.drive(executor, started)
             }
             ExecutorKind::Pool { workers } => {
@@ -494,9 +543,10 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
                 let topology = self.core.topology;
                 let limits = commit::Limits::of(&self.core.config);
                 let faults = self.core.config.faults.clone();
+                let chunk = pool::chunk_override(&self.core.config);
                 std::thread::scope(move |scope| {
                     let executor =
-                        PoolExecutor::new(scope, topology, limits, faults, nodes, workers);
+                        PoolExecutor::new(scope, topology, limits, faults, store, workers, chunk);
                     self.drive(executor, started)
                 })
             }
@@ -544,6 +594,7 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
             executor.quiescence(),
             executor.final_votes(),
         ));
+        let sched = executor.sched();
         let outputs = executor.into_outputs(self.core.round);
         self.core.stats.wall_time = started.elapsed();
         let metrics = if let Some(obs) = &self.core.config.observer {
@@ -560,6 +611,7 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
             round_profile: self.core.round_profile,
             metrics,
             certificate,
+            sched,
         })
     }
 
@@ -615,8 +667,15 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
         if let Some(t) = clock {
             timing.commit = t.elapsed();
         }
+        // Chunk-scheduler accounting for the round: totals are exact and
+        // deterministic; the steal split is timing-dependent and therefore
+        // excluded from the stats/metrics equality contracts.
+        let (chunks, steals) = executor.round_telemetry();
+        core.stats.chunks_stepped += chunks;
+        core.stats.steals += steals;
         if let Some(obs) = &core.config.observer {
             let mut obs = obs.lock();
+            obs.on_sched(core.round, chunks, steals);
             obs.on_round_end(core.round, &timing);
             // Vote decomposition after the round seals — the reference
             // engine polls its votes after `on_round_end`, so this hook

@@ -1,70 +1,79 @@
-//! The persistent-pool executor: long-lived worker threads created once
-//! per run, with one channel rendezvous per round instead of a per-round
-//! `thread::scope` spawn/join (the ~50–100 µs/round overhead PR 2
-//! measured).
+//! The work-stealing pool executor: long-lived worker threads created
+//! once per run, balancing each round's frontier dynamically over
+//! fixed-size chunks instead of static id-range shards.
 //!
 //! # Protocol
 //!
-//! The node ids are split into `workers` contiguous shards of
-//! `ceil(n / workers)` ids each. The **engine thread itself owns shard 0**
-//! and only `workers - 1` threads are spawned: while the spawned workers
-//! step their shards, the engine thread steps shard 0 instead of blocking,
-//! so a pool of `k` workers uses exactly `k` threads of compute (not
-//! `k + 1` with one parked) and the per-round rendezvous costs one
-//! wake/park pair per *spawned* worker.
+//! Each round the engine thread builds the global schedule (sorted union
+//! of the wake and awake lists), carves the arrival arena over it, and
+//! splits it into **chunks** of consecutive schedule positions. A chunk is
+//! self-contained work: it carries its node ids, their algorithm states
+//! (checked out of the [`NodeStore`] slab by `Option::take` — ownership
+//! transfer is what makes concurrent stepping safe without `unsafe`),
+//! their inbox slices (moved flat out of the arena), and an empty
+//! [`StagedShard`] for the validated outboxes. Chunks are distributed in
+//! contiguous blocks over one `Mutex<VecDeque>` **deque per worker**
+//! (deque 0 belongs to the engine thread), and exactly the workers whose
+//! deques received chunks are woken — a sparse round costs wakes
+//! proportional to its frontier, never to the thread count.
 //!
-//! The pool shards the **frontier**, not the id space: each round the
-//! engine thread builds the global schedule (sorted union of the wake and
-//! awake lists), slices it into per-shard sub-frontiers by id range, and
-//! sends every spawned worker whose sub-frontier is non-empty a
-//! [`Command::Step`] carrying the frontier ids plus the matching inbox
-//! buffers (taken out of `Core::pending`) and an empty [`StagedShard`].
-//! Workers owning no frontier node this round are **not woken at all** —
-//! on a sparse round the rendezvous cost tracks the frontier, not the
-//! thread count. Each dispatched worker steps exactly its frontier nodes,
-//! validates their outboxes into the shard queue (per-worker
-//! [`DupScratch`], so stamps can never alias across
-//! concurrently-validating shards), and sends everything back together
-//! with its shard-local awake list and termination votes. Meanwhile the
-//! engine thread steps its own sub-frontier of shard 0 in place.
+//! Every worker (the engine thread included) then runs the same drain
+//! loop: pop a chunk from the front of its own deque; when that is empty,
+//! **steal the back half** of the first non-empty victim deque (cyclic
+//! scan). A stolen chunk keeps its `home` tag, so `stepped_by != home`
+//! counts one steal. Stepping a chunk is two passes, exactly like the old
+//! shard protocol: step every node (rebuilding the chunk-local awake list
+//! and folding termination votes), then validate every outbox into the
+//! chunk's staged queue, stopping at the chunk's first error (the serial
+//! abort point). Finished chunks are sent to the engine over one shared
+//! results channel.
 //!
-//! The engine thread then merges the staged queues in shard order — which
-//! is node-id order, because shards are contiguous and ascending and each
-//! sub-frontier is sorted — doing all accounting (stats, trace, observer
-//! hooks, pending inboxes) itself. The per-shard awake lists concatenate
-//! in the same order into the next round's globally sorted awake list.
-//! Every container round-trips through the channels and is recycled, so
-//! the steady state stays allocation-free.
+//! Determinism survives because nothing observable happens on a worker:
+//! the engine thread collects all chunks, then replays them **in
+//! chunk-index order** — which is node-id order, because chunks are
+//! consecutive slices of the sorted schedule — restoring states to the
+//! slab, concatenating the chunk-local awake lists, and (in the commit
+//! phase) merging the staged queues through the same accounting path the
+//! serial executor uses. *Which worker* stepped a chunk is the only
+//! timing-dependent fact, and it is exported solely through the
+//! steal/chunk telemetry ([`PoolSched`], `RunStats::steals`) that the
+//! equality contracts deliberately exclude.
 //!
-//! The crate forbids `unsafe`, so workers are scoped threads: `run`
-//! wraps the whole round loop in one `std::thread::scope`, and the
-//! executor's channel senders drop when the loop ends, which makes each
-//! worker's `recv` fail and the thread exit before the scope joins.
+//! Chunk size: [`Config::pool_chunk`] if set, else the `DAPSP_POOL_CHUNK`
+//! environment variable, else adaptively `max(16, sched / (4 · workers))`
+//! so every worker has a few chunks' worth of slack to steal. All chunk
+//! containers are recycled through a [`Scratch`] pool, so the steady
+//! state stays allocation-free.
+//!
+//! The crate forbids `unsafe`, so workers are scoped threads: `run` wraps
+//! the whole round loop in one `std::thread::scope`, and the executor's
+//! kick senders drop when the loop ends, which makes each worker's `recv`
+//! fail and the thread exit before the scope joins. A worker that panics
+//! mid-chunk trips its [`PanicFuse`], so the engine fails loudly instead
+//! of waiting forever for the lost chunk.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::{Scope, ScopedJoinHandle};
 
 use crate::algorithm::{NodeAlgorithm, Quiescence};
-use crate::config::FaultPlan;
+use crate::config::{Config, FaultPlan};
 use crate::error::SimError;
 use crate::node::{NodeContext, NodeId, Outbox, Port};
 use crate::topology::Topology;
 
 use super::commit::{stage_outbox, DupScratch, Limits, StagedShard};
-use super::{merge_schedule, step_node, Core, Executor, QuiescenceState};
+use super::store::{NodeStore, Scratch};
+use super::{step_node, Core, Executor, PoolSched, QuiescenceState};
 
 /// Total worker threads ever spawned by pool executors, process-wide.
 /// Exists so tests and benches can pin the "threads are created once per
 /// run, never once per round" property: the counter's delta across a run
 /// must equal the spawned-thread count (`workers - 1`, the engine thread
-/// carrying shard 0 itself), independent of how many rounds ran.
+/// working deque 0 itself), independent of how many rounds ran.
 static SPAWNED: AtomicU64 = AtomicU64::new(0);
-
-/// One sub-frontier's worth of inbox buffers: `bufs[j]` holds the pending
-/// messages for the frontier's `j`-th node. Shipped between the engine
-/// and a worker each round with capacities intact.
-type ShardInboxes<M> = Vec<Vec<(Port, M)>>;
 
 /// Process-wide count of pool worker threads spawned so far; see
 /// [`pool_workers_spawned`](crate::pool_workers_spawned).
@@ -72,202 +81,218 @@ pub(crate) fn workers_spawned() -> u64 {
     SPAWNED.load(Ordering::Relaxed)
 }
 
-/// Engine-to-worker commands.
-enum Command<A: NodeAlgorithm> {
-    /// Take ownership of the shard's node states (sent once, right after
-    /// the engine thread ran `on_start`).
-    Load(Vec<Option<A>>),
-    /// Step the shard's sub-frontier for `round`: `inboxes[j]` belongs to
-    /// node `frontier[j]`. Stage the resulting outboxes into `shard` and
-    /// fill `awake` with the frontier nodes still active afterwards.
-    /// `awake` arrives cleared; it rides along purely for recycling.
-    Step {
-        round: u64,
-        frontier: Vec<NodeId>,
-        inboxes: ShardInboxes<A::Message>,
-        shard: StagedShard<A::Message>,
-        awake: Vec<NodeId>,
-    },
-    /// Poll every shard node's current quiescence vote (for the run's
-    /// termination certificate); the worker stays alive.
-    Votes,
-    /// Return the node states for output extraction; the worker exits.
-    Finish,
+/// The effective fixed chunk-size override for a run: the config knob
+/// wins, then the `DAPSP_POOL_CHUNK` environment variable (how CI forces
+/// the stealing path on tiny graphs); `None` selects the per-round
+/// adaptive size.
+pub(crate) fn chunk_override(config: &Config) -> Option<usize> {
+    config
+        .pool_chunk
+        .or_else(|| {
+            std::env::var("DAPSP_POOL_CHUNK")
+                .ok()
+                .and_then(|s| s.parse().ok())
+        })
+        .map(|c: usize| c.max(1))
 }
 
-/// Worker-to-engine replies.
-enum Reply<A: NodeAlgorithm> {
-    /// One stepped round: the frontier and its (drained, capacity-keeping)
-    /// inbox buffers, the staged commit queue, the shard-local sorted
-    /// awake list, and the shard's aggregated termination votes.
-    Stepped {
-        frontier: Vec<NodeId>,
-        inboxes: ShardInboxes<A::Message>,
-        shard: StagedShard<A::Message>,
-        awake: Vec<NodeId>,
-        votes: QuiescenceState,
-    },
-    /// Response to [`Command::Votes`]: the shard's final votes, in
-    /// node-id order (ids are global).
-    Votes(Vec<(NodeId, Quiescence)>),
-    /// Response to [`Command::Finish`].
-    Finished { nodes: Vec<Option<A>> },
+/// One unit of stealable work: a consecutive slice of the round's
+/// schedule, carrying everything needed to step it off-thread and
+/// everything produced by doing so. All containers are recycled through
+/// the executor's [`Scratch`] pool.
+struct Chunk<A: NodeAlgorithm> {
+    /// The round this chunk belongs to (chunks are self-contained, so a
+    /// worker still draining when the next round is enqueued stays
+    /// correct).
+    round: u64,
+    /// Position of this chunk's slice in the schedule — the engine's
+    /// replay key: ascending `index` is ascending node id.
+    index: u32,
+    /// The deque this chunk was initially pushed onto.
+    home: u32,
+    /// The worker that actually stepped it; `!= home` counts one steal.
+    stepped_by: u32,
+    /// The chunk's node ids (consecutive schedule entries, ascending).
+    ids: Vec<NodeId>,
+    /// The nodes' algorithm states, checked out of the store slab
+    /// (positional to `ids`); returned by the engine after the step.
+    states: Vec<Option<A>>,
+    /// All arrivals of the chunk, flat; `inbox_lens[j]` of them belong to
+    /// `ids[j]`, in arrival order.
+    inbox_data: Vec<(Port, A::Message)>,
+    /// Per-node arrival counts, positional to `ids`.
+    inbox_lens: Vec<u32>,
+    /// The validated outboxes, staged in id order up to the chunk's first
+    /// validation error.
+    shard: StagedShard<A::Message>,
+    /// Chunk-local awake list (ids reporting `is_active` post-step),
+    /// ascending.
+    awake: Vec<NodeId>,
+    /// Chunk-local termination vote aggregate.
+    votes: QuiescenceState,
 }
 
-struct Worker<'scope, A: NodeAlgorithm> {
-    /// First node id of this worker's shard.
-    base: usize,
-    /// Number of nodes in the shard.
-    len: usize,
-    cmd: Sender<Command<A>>,
-    reply: Receiver<Reply<A>>,
-    _thread: ScopedJoinHandle<'scope, ()>,
-}
-
-/// The body of one worker thread: step the sub-frontier, stage its
-/// outboxes, repeat until the command channel closes or `Finish` arrives.
-fn worker_loop<A: NodeAlgorithm>(
-    topology: &Topology,
-    n: usize,
-    base: usize,
-    limits: Limits,
-    faults: Option<FaultPlan>,
-    cmd: Receiver<Command<A>>,
-    reply: Sender<Reply<A>>,
-) {
-    let mut nodes: Vec<Option<A>> = Vec::new();
-    let mut outboxes: Vec<Outbox<A::Message>> = Vec::new();
-    let mut scratch = DupScratch::new(topology.max_degree());
-    while let Ok(command) = cmd.recv() {
-        match command {
-            Command::Load(shard_nodes) => {
-                nodes = shard_nodes;
-            }
-            Command::Step {
-                round,
-                frontier,
-                mut inboxes,
-                mut shard,
-                mut awake,
-            } => {
-                let votes = step_shard(
-                    topology,
-                    n,
-                    base,
-                    round,
-                    limits,
-                    &faults,
-                    &mut scratch,
-                    &mut nodes,
-                    &frontier,
-                    &mut inboxes,
-                    &mut outboxes,
-                    &mut shard,
-                    &mut awake,
-                );
-                if reply
-                    .send(Reply::Stepped {
-                        frontier,
-                        inboxes,
-                        shard,
-                        awake,
-                        votes,
-                    })
-                    .is_err()
-                {
-                    return; // engine gone (run aborted)
-                }
-            }
-            Command::Votes => {
-                let votes = nodes
-                    .iter()
-                    .enumerate()
-                    .map(|(j, node)| {
-                        let q = node.as_ref().expect("node state present").quiescence();
-                        ((base + j) as NodeId, q)
-                    })
-                    .collect();
-                if reply.send(Reply::Votes(votes)).is_err() {
-                    return; // engine gone (run aborted)
-                }
-            }
-            Command::Finish => {
-                let _ = reply.send(Reply::Finished {
-                    nodes: std::mem::take(&mut nodes),
-                });
-                return;
-            }
+impl<A: NodeAlgorithm> Default for Chunk<A> {
+    fn default() -> Self {
+        Chunk {
+            round: 0,
+            index: 0,
+            home: 0,
+            stepped_by: 0,
+            ids: Vec::new(),
+            states: Vec::new(),
+            inbox_data: Vec::new(),
+            inbox_lens: Vec::new(),
+            shard: StagedShard::default(),
+            awake: Vec::new(),
+            votes: QuiescenceState::default(),
         }
     }
 }
 
-/// Steps one shard's sub-frontier and stages its outboxes: the shared
-/// body of the worker threads and of the engine thread's own shard 0.
-/// `frontier` holds global node ids, ascending, all within
-/// `base..base + nodes.len()`; `inboxes` and `outboxes` are positional to
-/// it. Staging walks the frontier in id order and stops at the shard's
-/// first validation error (mirroring the serial abort point) — nodes off
-/// the frontier are inactive with empty inboxes, so they could not have
-/// sent anything and the staged order equals full id order. Fills `awake`
-/// (cleared first) with the frontier nodes reporting `is_active`
-/// afterwards and returns the shard's aggregated termination votes over
-/// exactly the frontier nodes.
-#[allow(clippy::too_many_arguments)] // one shard-step, described flat
-fn step_shard<A: NodeAlgorithm>(
+impl<A: NodeAlgorithm> Chunk<A> {
+    /// Empties every container (keeping capacity) so the chunk can go
+    /// back into the spare pool.
+    fn recycle(&mut self) {
+        self.ids.clear();
+        self.states.clear();
+        self.inbox_data.clear();
+        self.inbox_lens.clear();
+        self.awake.clear();
+        debug_assert!(self.shard.entries.is_empty() && self.shard.error.is_none());
+    }
+}
+
+/// One chunk deque per worker; index 0 is the engine thread's.
+type Deques<A> = Vec<Mutex<VecDeque<Chunk<A>>>>;
+
+/// Sent by a worker's [`PanicFuse`] when the worker unwinds: carries the
+/// worker index so the engine can fail loudly instead of deadlocking on a
+/// chunk that will never arrive.
+struct WorkerPanic(usize);
+
+/// What workers send back on the shared results channel.
+type ChunkResult<A> = Result<Chunk<A>, WorkerPanic>;
+
+/// Armed for a worker thread's whole life: if the thread unwinds (a node
+/// algorithm or a debug assertion panicked mid-chunk), `Drop` runs during
+/// the unwind and tells the engine, which re-panics on receipt. Normal
+/// exit drops the fuse without `thread::panicking()` set, sending nothing.
+struct PanicFuse<A: NodeAlgorithm> {
+    me: usize,
+    results: Sender<ChunkResult<A>>,
+}
+
+impl<A: NodeAlgorithm> Drop for PanicFuse<A> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let _ = self.results.send(Err(WorkerPanic(self.me)));
+        }
+    }
+}
+
+/// Pops one chunk for worker `me`: front of its own deque first, else the
+/// first non-empty victim in cyclic order loses its back half (the chunks
+/// the victim would reach last). The extra stolen chunks land on `me`'s
+/// own deque — which is empty, or we would not be stealing.
+fn grab<A: NodeAlgorithm>(deques: &Deques<A>, me: usize) -> Option<Chunk<A>> {
+    if let Some(chunk) = deques[me].lock().expect("chunk deque poisoned").pop_front() {
+        return Some(chunk);
+    }
+    let k = deques.len();
+    for offset in 1..k {
+        let victim = (me + offset) % k;
+        let mut vq = deques[victim].lock().expect("chunk deque poisoned");
+        let len = vq.len();
+        if len == 0 {
+            continue;
+        }
+        let mut stolen = vq.split_off(len / 2);
+        drop(vq);
+        let first = stolen.pop_front().expect("stole at least one chunk");
+        if !stolen.is_empty() {
+            deques[me]
+                .lock()
+                .expect("chunk deque poisoned")
+                .append(&mut stolen);
+        }
+        return Some(first);
+    }
+    None
+}
+
+/// Steps one chunk in place: pass 1 steps every node (feeding each its
+/// slice of the flat inbox data), rebuilding the chunk's awake list and
+/// vote aggregate; pass 2 validates every outbox into the chunk's staged
+/// queue, stopping at the first error exactly where the serial commit
+/// would abort. Shared verbatim by the worker threads and the engine
+/// thread's own drain loop.
+#[allow(clippy::too_many_arguments)] // one chunk-step, described flat
+fn step_chunk<A: NodeAlgorithm>(
     topology: &Topology,
     n: usize,
-    base: usize,
-    round: u64,
     limits: Limits,
     faults: &Option<FaultPlan>,
     scratch: &mut DupScratch,
-    nodes: &mut [Option<A>],
-    frontier: &[NodeId],
-    inboxes: &mut [Vec<(Port, A::Message)>],
     outboxes: &mut Vec<Outbox<A::Message>>,
-    shard: &mut StagedShard<A::Message>,
-    awake: &mut Vec<NodeId>,
-) -> QuiescenceState {
-    while outboxes.len() < frontier.len() {
+    inbox_buf: &mut Vec<(Port, A::Message)>,
+    chunk: &mut Chunk<A>,
+    me: u32,
+) {
+    chunk.stepped_by = me;
+    let Chunk {
+        round,
+        ids,
+        states,
+        inbox_data,
+        inbox_lens,
+        shard,
+        awake,
+        ..
+    } = chunk;
+    let round = *round;
+    while outboxes.len() < ids.len() {
         outboxes.push(Outbox::new());
     }
     awake.clear();
-    // Shard-locally every vote starts vacuously true; the engine thread
+    // Chunk-locally every vote starts vacuously true; the engine thread
     // vetoes the global `shutdown` bit unless every node in the network
-    // was polled this round. Counts start at zero and add up across
-    // shards when the engine absorbs the replies.
+    // was polled this round. Counts start at zero and add up when the
+    // engine absorbs the chunks.
     let mut votes = QuiescenceState {
         passive: true,
         shutdown: true,
         ..QuiescenceState::default()
     };
-    for ((j, &v), inbox) in frontier.iter().enumerate().zip(inboxes.iter_mut()) {
+    let mut data = inbox_data.drain(..);
+    for (j, &v) in ids.iter().enumerate() {
+        inbox_buf.extend(data.by_ref().take(inbox_lens[j] as usize));
         // Same crash rule as the serial executor: a crashed node's state
         // freezes (it can only be scheduled through the awake list — sends
         // to it were dropped at the validation point) and its frozen state
         // keeps voting.
         if faults.as_ref().is_some_and(|f| f.crashed(round, v)) {
-            debug_assert!(inbox.is_empty(), "crashed node received a message");
+            debug_assert!(inbox_buf.is_empty(), "crashed node received a message");
+            inbox_buf.clear();
         } else {
             step_node(
                 topology,
                 n,
                 round,
                 v,
-                &mut nodes[v as usize - base],
-                inbox,
+                &mut states[j],
+                inbox_buf,
                 &mut outboxes[j],
             );
         }
-        let node = nodes[v as usize - base]
-            .as_ref()
-            .expect("node state present");
+        let node = states[j].as_ref().expect("node state present");
         if node.is_active() {
             awake.push(v);
         }
         votes.vote(node.quiescence());
     }
-    for (j, &v) in frontier.iter().enumerate() {
+    drop(data);
+    for (j, &v) in ids.iter().enumerate() {
         if !stage_outbox(
             topology,
             limits,
@@ -281,60 +306,91 @@ fn step_shard<A: NodeAlgorithm>(
             break;
         }
     }
-    votes
+    chunk.votes = votes;
 }
 
-/// The pool executor. Lives inside the `thread::scope` that `run` opens;
-/// dropping it (normally or on error) closes the command channels, which
-/// terminates every worker before the scope joins them.
+/// The body of one worker thread: sleep until kicked, then drain chunks
+/// (own deque first, stealing when empty) until the whole round is dry,
+/// sending each stepped chunk back to the engine. Exits when the kick
+/// channel closes (executor dropped) or the engine stops receiving.
+#[allow(clippy::too_many_arguments)] // one worker's full context, described flat
+fn worker_loop<A: NodeAlgorithm>(
+    topology: &Topology,
+    n: usize,
+    me: usize,
+    limits: Limits,
+    faults: Option<FaultPlan>,
+    deques: Arc<Deques<A>>,
+    kick: Receiver<()>,
+    results: Sender<ChunkResult<A>>,
+) {
+    let _fuse = PanicFuse {
+        me,
+        results: results.clone(),
+    };
+    let mut scratch = DupScratch::new(topology.max_degree());
+    let mut outboxes: Vec<Outbox<A::Message>> = Vec::new();
+    let mut inbox_buf: Vec<(Port, A::Message)> = Vec::new();
+    while kick.recv().is_ok() {
+        while let Some(mut chunk) = grab(&deques, me) {
+            step_chunk(
+                topology,
+                n,
+                limits,
+                &faults,
+                &mut scratch,
+                &mut outboxes,
+                &mut inbox_buf,
+                &mut chunk,
+                me as u32,
+            );
+            if results.send(Ok(chunk)).is_err() {
+                return; // engine gone (run aborted)
+            }
+        }
+    }
+}
+
+/// The work-stealing pool executor. Lives inside the `thread::scope` that
+/// `run` opens; dropping it (normally or on error) closes the kick
+/// channels, which terminates every worker before the scope joins them.
 pub(crate) struct PoolExecutor<'t, 'scope, A: NodeAlgorithm> {
     topology: &'t Topology,
     n: usize,
     limits: Limits,
     faults: Option<FaultPlan>,
-    /// All node states before `start` hands the spawned workers their
-    /// shards; shard 0's states afterwards.
-    nodes: Vec<Option<A>>,
-    /// Shard 0's size — the engine thread steps these nodes itself.
-    local_len: usize,
-    /// This round's global schedule: sorted union of wake and awake.
-    schedule: Vec<NodeId>,
-    /// Nodes reporting `is_active` after their last step, globally
-    /// sorted — rebuilt every round by concatenating the shard-local
-    /// awake lists in shard order.
-    awake: Vec<NodeId>,
-    awake_next: Vec<NodeId>,
-    /// Shard 0's slice of the schedule (copied out so `step` can borrow
-    /// the node states mutably alongside it).
-    local_frontier: Vec<NodeId>,
-    /// Recycled inbox containers, outboxes, and awake list for shard 0.
-    local_inboxes: ShardInboxes<A::Message>,
-    local_outboxes: Vec<Outbox<A::Message>>,
-    local_awake: Vec<NodeId>,
-    /// Shard 0's staged commit queue (drained by every merge, so one
-    /// long-lived instance suffices).
-    local_shard: StagedShard<A::Message>,
-    /// The spawned workers, owning shards 1.. in ascending node-id order.
-    workers: Vec<Worker<'scope, A>>,
-    /// Whether worker `w` was sent a `Step` this round (its sub-frontier
-    /// was non-empty); only dispatched workers are awaited in `step` and
-    /// merged in `commit`.
-    dispatched: Vec<bool>,
-    /// Staged queues received this round, one per spawned worker; merged
-    /// by `commit` and recycled into `spare_shards`.
-    staged: Vec<Option<StagedShard<A::Message>>>,
-    spare_shards: Vec<StagedShard<A::Message>>,
-    /// Recycled per-worker frontier / inbox / awake containers for the
-    /// deliver phase.
-    spare_frontiers: Vec<Vec<NodeId>>,
-    spare_inboxes: Vec<ShardInboxes<A::Message>>,
-    spare_awake: Vec<Vec<NodeId>>,
+    /// All node state; chunks check states out per round and the engine
+    /// checks them back in before the round's votes are read.
+    store: NodeStore<A>,
+    /// Fixed chunk size (config/env), `None` for per-round adaptive.
+    chunk_cap: Option<usize>,
+    deques: Arc<Deques<A>>,
+    /// One wake signal per spawned worker (`kicks[w - 1]` is deque `w`'s
+    /// owner); only workers whose deques received chunks are kicked.
+    kicks: Vec<Sender<()>>,
+    results: Receiver<ChunkResult<A>>,
+    _threads: Vec<ScopedJoinHandle<'scope, ()>>,
+    /// Chunks enqueued for the round in flight.
+    total_chunks: usize,
+    /// The round's stepped chunks, keyed by chunk index — the replay
+    /// order; filled by `step`, drained (and recycled) by `commit`.
+    done: Vec<Option<Chunk<A>>>,
+    /// Recycled chunk containers.
+    spare: Scratch<Chunk<A>>,
     quiescence: QuiescenceState,
-    /// Scratch for the `on_start` commits and shard 0's staging, all on
-    /// the engine thread.
+    /// Scratch for the `on_start` commits and the engine thread's own
+    /// chunk stepping.
     scratch: DupScratch,
+    outboxes: Vec<Outbox<A::Message>>,
+    inbox_buf: Vec<(Port, A::Message)>,
     /// Outbox recycled across the `on_start` calls.
     start_outbox: Outbox<A::Message>,
+    /// Telemetry for the round in flight / the whole run.
+    round_chunks: u64,
+    round_steals: u64,
+    steals_total: u64,
+    chunks_per_worker: Vec<u64>,
+    nodes_per_worker: Vec<u64>,
 }
 
 impl<'t, 'scope, A> PoolExecutor<'t, 'scope, A>
@@ -342,72 +398,80 @@ where
     A: NodeAlgorithm + Send,
     A::Message: Send,
 {
-    /// Splits the node ids into `workers` (clamped to `1..=n`) contiguous
-    /// shards, keeps shard 0 on the engine thread, and spawns one thread
-    /// per remaining shard. This is the only place the pool creates
-    /// threads; rounds are pure channel rendezvous.
+    /// Creates the deques (one per worker, clamped to `1..=n`) and spawns
+    /// `workers - 1` threads — the engine thread works deque 0 itself.
+    /// This is the only place the pool creates threads; rounds are pure
+    /// deque pushes plus one wake per busy worker.
     pub(crate) fn new<'env>(
         scope: &'scope Scope<'scope, 'env>,
         topology: &'t Topology,
         limits: Limits,
         faults: Option<FaultPlan>,
-        nodes: Vec<Option<A>>,
+        store: NodeStore<A>,
         workers: usize,
+        chunk_cap: Option<usize>,
     ) -> Self
     where
         't: 'scope,
         A: 'scope,
     {
-        let n = nodes.len();
+        let n = store.len();
         let workers = workers.clamp(1, n.max(1));
-        let chunk = n.div_ceil(workers).max(1);
-        let local_len = chunk.min(n);
-        let mut pool = Vec::with_capacity(workers.saturating_sub(1));
-        for w in 1..workers {
-            let base = (w * chunk).min(n);
-            let len = chunk.min(n - base);
-            let (cmd_tx, cmd_rx) = channel();
-            let (reply_tx, reply_rx) = channel();
+        let deques: Arc<Deques<A>> =
+            Arc::new((0..workers).map(|_| Mutex::new(VecDeque::new())).collect());
+        let (results_tx, results_rx) = channel();
+        let mut kicks = Vec::with_capacity(workers.saturating_sub(1));
+        let mut threads = Vec::with_capacity(workers.saturating_sub(1));
+        for me in 1..workers {
+            let (kick_tx, kick_rx) = channel();
             SPAWNED.fetch_add(1, Ordering::Relaxed);
-            // Each worker owns its copy of the (static, read-only) plan.
+            // Each worker owns its copy of the (static, read-only) plan
+            // and a clone of the shared deques and results sender.
             let worker_faults = faults.clone();
-            let thread = scope.spawn(move || {
-                worker_loop::<A>(topology, n, base, limits, worker_faults, cmd_rx, reply_tx);
-            });
-            pool.push(Worker {
-                base,
-                len,
-                cmd: cmd_tx,
-                reply: reply_rx,
-                _thread: thread,
-            });
+            let worker_deques = Arc::clone(&deques);
+            let worker_results = results_tx.clone();
+            threads.push(scope.spawn(move || {
+                worker_loop::<A>(
+                    topology,
+                    n,
+                    me,
+                    limits,
+                    worker_faults,
+                    worker_deques,
+                    kick_rx,
+                    worker_results,
+                );
+            }));
+            kicks.push(kick_tx);
         }
-        let spawned = pool.len();
+        // The engine keeps no sender: once every worker exits, the results
+        // channel closes and a blocked `recv` fails loudly instead of
+        // hanging.
+        drop(results_tx);
         PoolExecutor {
             topology,
             n,
             limits,
             faults,
-            nodes,
-            local_len,
-            schedule: Vec::new(),
-            awake: Vec::new(),
-            awake_next: Vec::new(),
-            local_frontier: Vec::new(),
-            local_inboxes: Vec::new(),
-            local_outboxes: Vec::new(),
-            local_awake: Vec::new(),
-            local_shard: StagedShard::default(),
-            dispatched: vec![false; spawned],
-            staged: (0..spawned).map(|_| None).collect(),
-            spare_shards: (0..spawned).map(|_| StagedShard::default()).collect(),
-            spare_frontiers: (0..spawned).map(|_| Vec::new()).collect(),
-            spare_inboxes: (0..spawned).map(|_| Vec::new()).collect(),
-            spare_awake: (0..spawned).map(|_| Vec::new()).collect(),
-            workers: pool,
+            store,
+            chunk_cap,
+            deques,
+            kicks,
+            results: results_rx,
+            _threads: threads,
+            total_chunks: 0,
+            done: Vec::new(),
+            spare: Scratch::new(),
             quiescence: QuiescenceState::default(),
             scratch: DupScratch::new(topology.max_degree()),
+            outboxes: Vec::new(),
+            inbox_buf: Vec::new(),
             start_outbox: Outbox::new(),
+            round_chunks: 0,
+            round_steals: 0,
+            steals_total: 0,
+            chunks_per_worker: vec![0; workers],
+            nodes_per_worker: vec![0; workers],
         }
     }
 }
@@ -419,7 +483,7 @@ where
 {
     fn start(&mut self, core: &mut Core<'_, A::Message>) -> Result<(), SimError> {
         // `on_start` and its commits run on the engine thread, exactly as
-        // the serial executor does: round 0 has no step phase to shard.
+        // the serial executor does: round 0 has no step phase to chunk.
         let n = self.n;
         {
             let handle = core.config.observer.clone();
@@ -440,9 +504,8 @@ where
                     neighbor_ids: self.topology.neighbors(v as NodeId),
                     round: 0,
                 };
-                self.nodes[v]
-                    .as_mut()
-                    .expect("node state present")
+                self.store
+                    .state_mut(v as NodeId)
                     .on_start(&ctx, &mut self.start_outbox);
                 core.commit_outbox(
                     &mut observer,
@@ -455,161 +518,159 @@ where
         // Seed the awake list and the termination votes with one full
         // scan, identically to the serial executor (crashed-at-0 nodes
         // participate with their frozen initial state).
-        let mut quiescence = QuiescenceState::fold_start(n, n);
-        for (v, node) in self.nodes.iter().enumerate() {
-            let node = node.as_ref().expect("node state present");
-            if node.is_active() {
-                self.awake.push(v as NodeId);
-            }
-            quiescence.vote(node.quiescence());
-        }
-        self.quiescence = quiescence;
-        // Hand each spawned worker its shard's node states — the only time
-        // node state crosses threads until `into_outputs`. Shard 0 stays
-        // in `self.nodes`.
-        let mut rest = self.nodes.split_off(self.local_len).into_iter();
-        for worker in &self.workers {
-            let shard_nodes: Vec<Option<A>> = rest.by_ref().take(worker.len).collect();
-            let _ = worker.cmd.send(Command::Load(shard_nodes));
-        }
+        self.quiescence = self.store.seed_awake_and_votes();
         Ok(())
     }
 
     fn schedule(&mut self, core: &mut Core<'_, A::Message>) -> u64 {
-        merge_schedule(core.sorted_wake(), &self.awake, &mut self.schedule);
+        let scheduled = self.store.build_schedule(core.sorted_wake());
         core.clear_wake();
-        self.schedule.len() as u64
+        scheduled
     }
 
     fn deliver(&mut self, core: &mut Core<'_, A::Message>) {
-        // Slice the sorted schedule into contiguous per-shard
-        // sub-frontiers, move each frontier node's pending inbox into the
-        // worker's (recycled) container, and dispatch; workers begin
-        // stepping as soon as their own sub-frontier arrives, and workers
-        // with an empty sub-frontier are not woken at all. Shard 0's
-        // slice is copied out last — the engine thread steps it itself
-        // during the step phase.
-        let round = core.round;
-        let local_end = self
-            .schedule
-            .partition_point(|&v| (v as usize) < self.local_len);
-        let mut cursor = local_end;
-        for (w, worker) in self.workers.iter().enumerate() {
-            let shard_end = worker.base + worker.len;
-            let end =
-                cursor + self.schedule[cursor..].partition_point(|&v| (v as usize) < shard_end);
-            let slice = &self.schedule[cursor..end];
-            cursor = end;
-            if slice.is_empty() {
-                self.dispatched[w] = false;
-                continue;
-            }
-            self.dispatched[w] = true;
-            let mut frontier = std::mem::take(&mut self.spare_frontiers[w]);
-            frontier.clear();
-            frontier.extend_from_slice(slice);
-            let mut inboxes = std::mem::take(&mut self.spare_inboxes[w]);
-            for &v in &frontier {
-                inboxes.push(std::mem::take(&mut core.pending[v as usize]));
-            }
-            let shard = std::mem::take(&mut self.spare_shards[w]);
-            let awake = std::mem::take(&mut self.spare_awake[w]);
-            let _ = worker.cmd.send(Command::Step {
-                round,
-                frontier,
-                inboxes,
-                shard,
-                awake,
-            });
+        // Carve the arena, cut the schedule into chunks, check the chunk's
+        // states out of the slab, and enqueue — then wake exactly the
+        // workers whose deques got work. Workers begin stepping (and
+        // stealing) immediately; the engine thread joins in during the
+        // step phase.
+        core.arrivals.carve(&self.store.schedule);
+        self.round_chunks = 0;
+        self.round_steals = 0;
+        self.total_chunks = 0;
+        let sched = self.store.schedule.len();
+        if sched == 0 {
+            return;
         }
-        self.local_frontier.clear();
-        self.local_frontier
-            .extend_from_slice(&self.schedule[..local_end]);
-        for &v in &self.local_frontier {
-            self.local_inboxes
-                .push(std::mem::take(&mut core.pending[v as usize]));
+        let k = self.deques.len();
+        let size = self
+            .chunk_cap
+            .unwrap_or_else(|| sched.div_ceil(k * 4).max(16))
+            .max(1);
+        let chunks = sched.div_ceil(size);
+        let per_deque = chunks.div_ceil(k);
+        self.total_chunks = chunks;
+        if self.done.len() < chunks {
+            self.done.resize_with(chunks, || None);
+        }
+        let round = core.round;
+        for index in 0..chunks {
+            let lo = index * size;
+            let hi = (lo + size).min(sched);
+            let mut chunk = self.spare.get();
+            chunk.round = round;
+            chunk.index = index as u32;
+            chunk.home = (index / per_deque) as u32;
+            for (pos, &v) in self.store.schedule[lo..hi].iter().enumerate() {
+                chunk.ids.push(v);
+                let before = chunk.inbox_data.len();
+                core.arrivals.take_into(lo + pos, &mut chunk.inbox_data);
+                chunk
+                    .inbox_lens
+                    .push((chunk.inbox_data.len() - before) as u32);
+                chunk.states.push(self.store.slots[v as usize].take());
+            }
+            self.deques[chunk.home as usize]
+                .lock()
+                .expect("chunk deque poisoned")
+                .push_back(chunk);
+        }
+        for (w, kick) in self.kicks.iter().enumerate() {
+            let busy = !self.deques[w + 1]
+                .lock()
+                .expect("chunk deque poisoned")
+                .is_empty();
+            if busy {
+                let _ = kick.send(());
+            }
         }
     }
 
     fn step(&mut self, core: &mut Core<'_, A::Message>) {
-        // Step shard 0's sub-frontier on this thread while the dispatched
-        // workers run, then rendezvous: collect every dispatched worker's
-        // reply, restore the drained inbox buffers to `pending` (keeping
-        // their capacity), concatenate the shard-local awake lists in
-        // shard order (= globally sorted), fold the votes, and park the
-        // staged queues for the commit phase.
-        let mut votes = step_shard(
-            self.topology,
-            self.n,
-            0,
-            core.round,
-            self.limits,
-            &self.faults,
-            &mut self.scratch,
-            &mut self.nodes,
-            &self.local_frontier,
-            &mut self.local_inboxes,
-            &mut self.local_outboxes,
-            &mut self.local_shard,
-            &mut self.local_awake,
-        );
-        for (j, buf) in self.local_inboxes.drain(..).enumerate() {
-            core.pending[self.local_frontier[j] as usize] = buf;
+        // Work deque 0 (and steal) on this thread until the round is dry,
+        // then collect the remaining chunks from the workers and replay
+        // everything in chunk-index order: states back into the slab,
+        // awake lists concatenated (= globally sorted), votes folded,
+        // telemetry booked. The staged queues stay parked in `done` for
+        // the commit phase.
+        let _ = core;
+        let chunks = self.total_chunks;
+        let mut local = 0usize;
+        while let Some(mut chunk) = grab(&self.deques, 0) {
+            step_chunk(
+                self.topology,
+                self.n,
+                self.limits,
+                &self.faults,
+                &mut self.scratch,
+                &mut self.outboxes,
+                &mut self.inbox_buf,
+                &mut chunk,
+                0,
+            );
+            let at = chunk.index as usize;
+            self.done[at] = Some(chunk);
+            local += 1;
         }
-        self.awake_next.clear();
-        self.awake_next.extend_from_slice(&self.local_awake);
-        let mut polled = self.local_frontier.len();
-        for (w, worker) in self.workers.iter().enumerate() {
-            if !self.dispatched[w] {
-                continue;
-            }
-            match worker.reply.recv() {
-                Ok(Reply::Stepped {
-                    frontier,
-                    mut inboxes,
-                    shard,
-                    awake,
-                    votes: shard_votes,
-                }) => {
-                    for (j, buf) in inboxes.drain(..).enumerate() {
-                        core.pending[frontier[j] as usize] = buf;
-                    }
-                    self.awake_next.extend_from_slice(&awake);
-                    polled += frontier.len();
-                    votes.absorb(shard_votes);
-                    self.spare_frontiers[w] = frontier;
-                    self.spare_inboxes[w] = inboxes;
-                    self.spare_awake[w] = awake;
-                    self.staged[w] = Some(shard);
+        for _ in 0..chunks - local {
+            match self.results.recv() {
+                Ok(Ok(chunk)) => {
+                    let at = chunk.index as usize;
+                    self.done[at] = Some(chunk);
                 }
-                Ok(Reply::Votes(_)) => unreachable!("worker voted mid-run"),
-                Ok(Reply::Finished { .. }) => unreachable!("worker finished mid-run"),
-                Err(_) => panic!("pool worker {w} disconnected (node panic?)"),
+                Ok(Err(WorkerPanic(w))) => {
+                    panic!("pool worker {w} panicked while stepping a chunk")
+                }
+                Err(_) => panic!("pool worker disconnected (node panic?)"),
             }
         }
+        let mut votes = QuiescenceState {
+            passive: true,
+            shutdown: true,
+            ..QuiescenceState::default()
+        };
+        let NodeStore {
+            slots, awake_next, ..
+        } = &mut self.store;
+        awake_next.clear();
+        let mut polled = 0usize;
+        for done in self.done[..chunks].iter_mut() {
+            let chunk = done.as_mut().expect("chunk stepped");
+            for (j, &v) in chunk.ids.iter().enumerate() {
+                slots[v as usize] = chunk.states[j].take();
+            }
+            awake_next.extend_from_slice(&chunk.awake);
+            votes.absorb(chunk.votes);
+            polled += chunk.ids.len();
+            let by = chunk.stepped_by as usize;
+            self.chunks_per_worker[by] += 1;
+            self.nodes_per_worker[by] += chunk.ids.len() as u64;
+            if chunk.stepped_by != chunk.home {
+                self.round_steals += 1;
+            }
+        }
+        self.round_chunks = chunks as u64;
+        self.steals_total += self.round_steals;
         // Unanimous shutdown requires every node's consent; nodes off the
         // schedule are necessarily `Passive`, which vetoes it.
         votes.shutdown &= polled == self.n;
         self.quiescence = votes;
-        std::mem::swap(&mut self.awake, &mut self.awake_next);
+        self.store.publish_awake();
     }
 
     fn commit(&mut self, core: &mut Core<'_, A::Message>) -> Result<(), SimError> {
         let handle = core.config.observer.clone();
         let mut observer = handle.as_ref().map(|h| h.lock());
-        // Shard 0 first, then the dispatched workers in ascending shard
-        // order: exactly node-id order (undispatched shards staged
-        // nothing).
-        core.merge_shard(&mut observer, &mut self.local_shard)?;
-        for w in 0..self.workers.len() {
-            if !self.dispatched[w] {
-                continue;
-            }
-            let mut shard = self.staged[w]
-                .take()
-                .expect("staged shard present after step");
-            let merged = core.merge_shard(&mut observer, &mut shard);
-            self.spare_shards[w] = shard;
+        // Replay the staged queues in chunk-index order — node-id order,
+        // since chunks are consecutive slices of the sorted schedule —
+        // recycling each chunk as it drains. An error aborts exactly where
+        // the serial commit would: after the partial accounting that
+        // precedes the faulty item, with later chunks never booked.
+        for index in 0..self.total_chunks {
+            let mut chunk = self.done[index].take().expect("chunk stepped");
+            let merged = core.merge_shard(&mut observer, &mut chunk.shard);
+            chunk.recycle();
+            self.spare.put(chunk);
             merged?;
         }
         Ok(())
@@ -620,58 +681,27 @@ where
     }
 
     fn final_votes(&mut self) -> Vec<(NodeId, Quiescence)> {
-        // Shard 0 locally, then each worker's shard in ascending shard
-        // order — node-id order overall. Workers keep their states (the
-        // `Finish` handoff happens later, in `into_outputs`).
-        let mut votes: Vec<(NodeId, Quiescence)> = self
-            .nodes
-            .iter()
-            .enumerate()
-            .map(|(v, node)| {
-                let q = node.as_ref().expect("node state present").quiescence();
-                (v as NodeId, q)
-            })
-            .collect();
-        for worker in &self.workers {
-            let _ = worker.cmd.send(Command::Votes);
-        }
-        for (w, worker) in self.workers.iter().enumerate() {
-            match worker.reply.recv() {
-                Ok(Reply::Votes(shard_votes)) => votes.extend(shard_votes),
-                _ => panic!("pool worker {w} disconnected before voting"),
-            }
-        }
-        votes
+        self.store.final_votes()
+    }
+
+    fn round_telemetry(&self) -> (u64, u64) {
+        (self.round_chunks, self.round_steals)
+    }
+
+    fn sched(&self) -> Option<PoolSched> {
+        Some(PoolSched {
+            workers: self.deques.len(),
+            chunk_size: self.chunk_cap,
+            chunks_per_worker: self.chunks_per_worker.clone(),
+            nodes_per_worker: self.nodes_per_worker.clone(),
+            steals: self.steals_total,
+        })
     }
 
     fn into_outputs(self, final_round: u64) -> Vec<A::Output> {
-        let n = self.n;
-        for worker in &self.workers {
-            let _ = worker.cmd.send(Command::Finish);
-        }
-        let output_of = |v: NodeId, node: Option<A>| {
-            let ctx = NodeContext {
-                node_id: v,
-                num_nodes: n,
-                neighbor_ids: self.topology.neighbors(v),
-                round: final_round,
-            };
-            node.expect("node state present").into_output(&ctx)
-        };
-        let mut outputs = Vec::with_capacity(n);
-        for (j, node) in self.nodes.into_iter().enumerate() {
-            outputs.push(output_of(j as NodeId, node));
-        }
-        for worker in &self.workers {
-            match worker.reply.recv() {
-                Ok(Reply::Finished { nodes }) => {
-                    for (j, node) in nodes.into_iter().enumerate() {
-                        outputs.push(output_of((worker.base + j) as NodeId, node));
-                    }
-                }
-                _ => panic!("pool worker disconnected before finishing"),
-            }
-        }
-        outputs
+        // Dropping `self` right after closes the kick channels; every
+        // worker's `recv` then fails and the thread exits before the
+        // enclosing scope joins it.
+        self.store.into_outputs(self.topology, final_round)
     }
 }

@@ -4,42 +4,39 @@
 
 use crate::algorithm::NodeAlgorithm;
 use crate::error::SimError;
-use crate::node::{NodeContext, NodeId, Outbox};
+use crate::node::{NodeContext, NodeId, Outbox, Port};
 use crate::topology::Topology;
 
 use super::commit::DupScratch;
-use super::{merge_schedule, step_node, Core, Executor, QuiescenceState};
+use super::store::NodeStore;
+use super::{step_node, Core, Executor, QuiescenceState};
 
-/// Runs the pipeline phases in place: the schedule is the sorted union of
-/// the wake and awake lists, step sweeps it reading inboxes straight out
-/// of `Core::pending`, and commit validates and books each scheduled
-/// node's outbox immediately — ascending schedule order *is* node-id
-/// order.
+/// Runs the pipeline phases in place over a [`NodeStore`]: the schedule is
+/// the sorted union of the wake and awake lists, deliver carves the
+/// arrival arena into schedule-ordered inbox slices, step sweeps the
+/// state slab forward through them, and commit validates and books each
+/// scheduled node's outbox immediately — ascending schedule order *is*
+/// node-id order.
 pub(crate) struct SerialExecutor<'t, A: NodeAlgorithm> {
     topology: &'t Topology,
-    nodes: Vec<Option<A>>,
-    /// This round's schedule: sorted ids with pending arrivals or awake.
-    schedule: Vec<NodeId>,
-    /// Nodes reporting `is_active` after their last step, sorted. Always
-    /// a subset of the next schedule.
-    awake: Vec<NodeId>,
-    awake_next: Vec<NodeId>,
-    /// Send buffers, positionally matched to `schedule`; grown on demand
+    store: NodeStore<A>,
+    /// Send buffers, positionally matched to the schedule; grown on demand
     /// and recycled (commit drains them in place).
     outboxes: Vec<Outbox<A::Message>>,
+    /// The one inbox buffer every step borrows: filled from the arena,
+    /// drained by `step_node`, reused for the next node.
+    inbox_buf: Vec<(Port, A::Message)>,
     scratch: DupScratch,
     quiescence: QuiescenceState,
 }
 
 impl<'t, A: NodeAlgorithm> SerialExecutor<'t, A> {
-    pub(crate) fn new(topology: &'t Topology, nodes: Vec<Option<A>>) -> Self {
+    pub(crate) fn new(topology: &'t Topology, store: NodeStore<A>) -> Self {
         SerialExecutor {
             topology,
-            nodes,
-            schedule: Vec::new(),
-            awake: Vec::new(),
-            awake_next: Vec::new(),
+            store,
             outboxes: Vec::new(),
+            inbox_buf: Vec::new(),
             scratch: DupScratch::new(topology.max_degree()),
             quiescence: QuiescenceState::default(),
         }
@@ -48,7 +45,7 @@ impl<'t, A: NodeAlgorithm> SerialExecutor<'t, A> {
 
 impl<A: NodeAlgorithm> Executor<A> for SerialExecutor<'_, A> {
     fn start(&mut self, core: &mut Core<'_, A::Message>) -> Result<(), SimError> {
-        let n = self.nodes.len();
+        let n = self.store.len();
         let mut start_outbox = Outbox::new();
         {
             let handle = core.config.observer.clone();
@@ -72,9 +69,8 @@ impl<A: NodeAlgorithm> Executor<A> for SerialExecutor<'_, A> {
                     neighbor_ids: self.topology.neighbors(v as NodeId),
                     round: 0,
                 };
-                self.nodes[v]
-                    .as_mut()
-                    .expect("node state present")
+                self.store
+                    .state_mut(v as NodeId)
                     .on_start(&ctx, &mut start_outbox);
                 core.commit_outbox(
                     &mut observer,
@@ -88,75 +84,74 @@ impl<A: NodeAlgorithm> Executor<A> for SerialExecutor<'_, A> {
         // scan — the only O(n) sweep after construction. Crashed-at-0
         // nodes participate with their (frozen) initial state, exactly as
         // the dense reference engine polls them.
-        let mut quiescence = QuiescenceState::fold_start(n, n);
-        for (v, node) in self.nodes.iter().enumerate() {
-            let node = node.as_ref().expect("node state present");
-            if node.is_active() {
-                self.awake.push(v as NodeId);
-            }
-            quiescence.vote(node.quiescence());
-        }
-        self.quiescence = quiescence;
+        self.quiescence = self.store.seed_awake_and_votes();
         Ok(())
     }
 
     fn schedule(&mut self, core: &mut Core<'_, A::Message>) -> u64 {
-        merge_schedule(core.sorted_wake(), &self.awake, &mut self.schedule);
+        let scheduled = self.store.build_schedule(core.sorted_wake());
         core.clear_wake();
-        while self.outboxes.len() < self.schedule.len() {
+        while self.outboxes.len() < self.store.schedule.len() {
             self.outboxes.push(Outbox::new());
         }
-        self.schedule.len() as u64
+        scheduled
     }
 
-    fn deliver(&mut self, _core: &mut Core<'_, A::Message>) {
-        // Nothing to move: step reads each scheduled node's inbox straight
-        // out of `core.pending` (and leaves the drained buffer behind for
-        // the commit phase to refill).
+    fn deliver(&mut self, core: &mut Core<'_, A::Message>) {
+        core.arrivals.carve(&self.store.schedule);
     }
 
     fn step(&mut self, core: &mut Core<'_, A::Message>) {
-        let n = self.nodes.len();
+        let n = self.store.len();
         let round = core.round;
         let faults = &core.config.faults;
-        self.awake_next.clear();
-        let mut quiescence = QuiescenceState::fold_start(self.schedule.len(), n);
-        for (i, &v) in self.schedule.iter().enumerate() {
+        // Split the store's borrows: the schedule is read while the state
+        // slab is stepped and the next awake list is rebuilt.
+        let NodeStore {
+            slots,
+            schedule,
+            awake_next,
+            ..
+        } = &mut self.store;
+        awake_next.clear();
+        let mut quiescence = QuiescenceState::fold_start(schedule.len(), n);
+        for (i, &v) in schedule.iter().enumerate() {
             // Crashed nodes are not stepped: their state freezes until
             // the window ends. They can only be on the schedule through
             // the awake list (messages to them were discarded at the
             // validation point), and their frozen state keeps voting.
             if faults.as_ref().is_some_and(|f| f.crashed(round, v)) {
                 debug_assert!(
-                    core.pending[v as usize].is_empty(),
+                    core.arrivals.len_at(i) == 0,
                     "crashed node received a message"
                 );
             } else {
+                core.arrivals.take_into(i, &mut self.inbox_buf);
                 step_node(
                     self.topology,
                     n,
                     round,
                     v,
-                    &mut self.nodes[v as usize],
-                    &mut core.pending[v as usize],
+                    &mut slots[v as usize],
+                    &mut self.inbox_buf,
                     &mut self.outboxes[i],
                 );
             }
-            let node = self.nodes[v as usize].as_ref().expect("node state present");
+            let node = slots[v as usize].as_ref().expect("node state present");
             if node.is_active() {
-                self.awake_next.push(v);
+                awake_next.push(v);
             }
             quiescence.vote(node.quiescence());
         }
         self.quiescence = quiescence;
-        std::mem::swap(&mut self.awake, &mut self.awake_next);
+        self.store.publish_awake();
     }
 
     fn commit(&mut self, core: &mut Core<'_, A::Message>) -> Result<(), SimError> {
         // One observer lock per commit phase; `None` when unobserved.
         let handle = core.config.observer.clone();
         let mut observer = handle.as_ref().map(|h| h.lock());
-        for (i, &v) in self.schedule.iter().enumerate() {
+        for (i, &v) in self.store.schedule.iter().enumerate() {
             core.commit_outbox(
                 &mut observer,
                 &mut self.scratch,
@@ -172,30 +167,10 @@ impl<A: NodeAlgorithm> Executor<A> for SerialExecutor<'_, A> {
     }
 
     fn final_votes(&mut self) -> Vec<(NodeId, crate::algorithm::Quiescence)> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .map(|(v, node)| {
-                let q = node.as_ref().expect("node state present").quiescence();
-                (v as NodeId, q)
-            })
-            .collect()
+        self.store.final_votes()
     }
 
-    fn into_outputs(mut self, final_round: u64) -> Vec<A::Output> {
-        let n = self.nodes.len();
-        self.nodes
-            .iter_mut()
-            .enumerate()
-            .map(|(v, node)| {
-                let ctx = NodeContext {
-                    node_id: v as NodeId,
-                    num_nodes: n,
-                    neighbor_ids: self.topology.neighbors(v as NodeId),
-                    round: final_round,
-                };
-                node.take().expect("node state present").into_output(&ctx)
-            })
-            .collect()
+    fn into_outputs(self, final_round: u64) -> Vec<A::Output> {
+        self.store.into_outputs(self.topology, final_round)
     }
 }

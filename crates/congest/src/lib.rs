@@ -89,7 +89,7 @@ pub mod trace2;
 pub use algorithm::{NodeAlgorithm, Quiescence};
 pub use config::{Config, CrashWindow, DropReason, ExecutorKind, FaultPlan, LossPlan, LossRule};
 pub use engine::pool_workers_spawned;
-pub use engine::{Report, Simulator, TerminationCertificate, TerminationReason};
+pub use engine::{PoolSched, Report, Simulator, TerminationCertificate, TerminationReason};
 pub use error::SimError;
 pub use message::{bits_for_count, bits_for_id, Envelope, Message, TraceTags, Width};
 pub use node::{Inbox, NodeContext, NodeId, Outbox, Port};

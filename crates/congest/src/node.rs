@@ -97,8 +97,17 @@ impl<M> Inbox<M> {
     }
 
     /// The message received on `port` this round, if any.
+    ///
+    /// The items are sorted by port (the engines sort arrivals before
+    /// handing the inbox to the node, and a round delivers at most one
+    /// message per port), so the lookup binary-searches — O(log degree)
+    /// instead of a linear scan, which matters for hub nodes doing a
+    /// per-neighbor `from_port` sweep.
     pub fn from_port(&self, port: Port) -> Option<&M> {
-        self.items.iter().find(|(p, _)| *p == port).map(|(_, m)| m)
+        self.items
+            .binary_search_by_key(&port, |&(p, _)| p)
+            .ok()
+            .map(|i| &self.items[i].1)
     }
 }
 
@@ -189,6 +198,31 @@ mod tests {
         assert!(inbox.from_port(1).is_none());
         let ports: Vec<Port> = inbox.iter().map(|(p, _)| p).collect();
         assert_eq!(ports, vec![0, 2]);
+    }
+
+    #[test]
+    fn inbox_lookup_high_degree() {
+        // A hub inbox: arrivals on every third port of a 3000-port node,
+        // sorted by port as the engines guarantee. Every present port must
+        // be found and every absent one missed — including the ends.
+        #[derive(Clone, Debug, PartialEq)]
+        struct Tagged(u32);
+        impl Message for Tagged {
+            fn bit_size(&self) -> u32 {
+                32
+            }
+        }
+        let inbox = Inbox {
+            items: (0..1000u32).map(|i| (3 * i, Tagged(i))).collect(),
+        };
+        for i in 0..1000u32 {
+            assert_eq!(inbox.from_port(3 * i), Some(&Tagged(i)));
+            assert_eq!(inbox.from_port(3 * i + 1), None);
+            assert_eq!(inbox.from_port(3 * i + 2), None);
+        }
+        assert_eq!(inbox.from_port(3000), None);
+        let empty: Inbox<Tagged> = Inbox { items: Vec::new() };
+        assert_eq!(empty.from_port(0), None);
     }
 
     #[test]

@@ -171,7 +171,8 @@ pub struct TransportSummary {
 ///
 /// All hooks run on the engine's main thread, in deterministic order:
 /// `on_run_start`, then per round `on_round_start` → `on_message`/`on_drop`
-/// (in node-id commit order) → `on_round_end` → `on_quiescence`, and
+/// (in node-id commit order) → `on_sched` → `on_round_end` →
+/// `on_quiescence`, and
 /// finally (`on_terminate` if the run quiesced early, then) `on_run_end`.
 /// Messages queued in `on_start` are committed *before* the first
 /// `on_round_start`, with `send_round == 0`, and the round-0 vote poll
@@ -210,6 +211,16 @@ pub trait Observer: Send {
     /// per round, in node-id order, between `on_round_start` and the
     /// round's commit events.
     fn on_crash(&mut self, _round: u64, _node: NodeId) {}
+    /// Round `round`'s scheduler telemetry: the executor stepped the
+    /// round's schedule as `chunks` frontier chunks, of which `steals`
+    /// were executed by a worker other than their home worker (see
+    /// [`PoolSched`](crate::PoolSched)). Called immediately before
+    /// `on_round_end`, on every engine; executors without a chunk
+    /// scheduler (serial, the dense reference) report `(0, 0)`. The
+    /// counts are timing-dependent load-balance telemetry, *not* part of
+    /// the deterministic model — recorders must keep them out of
+    /// equality comparisons.
+    fn on_sched(&mut self, _round: u64, _chunks: u64, _steals: u64) {}
     /// Round `round` finished committing.
     fn on_round_end(&mut self, _round: u64, _timing: &RoundTiming) {}
     /// The termination-vote tally of round `round`'s quiescence poll:
@@ -363,6 +374,11 @@ impl Observer for FanOut {
             obs.lock().on_crash(round, node);
         }
     }
+    fn on_sched(&mut self, round: u64, chunks: u64, steals: u64) {
+        for obs in &self.observers {
+            obs.lock().on_sched(round, chunks, steals);
+        }
+    }
     fn on_round_end(&mut self, round: u64, timing: &RoundTiming) {
         for obs in &self.observers {
             obs.lock().on_round_end(round, timing);
@@ -442,6 +458,16 @@ pub struct RoundMetrics {
     /// [`RunStats::scheduled_node_rounds`]; the column maximum is
     /// [`RunStats::max_scheduled_per_round`].
     pub scheduled_nodes: u64,
+    /// Frontier chunks the executor stepped this round (0 on executors
+    /// without a chunk scheduler). Summing the column reproduces
+    /// [`RunStats::chunks_stepped`]. Load-balance telemetry like the
+    /// `*_ns` columns: excluded from equality, included in the JSON.
+    pub chunks: u64,
+    /// Chunks stepped by a worker other than their home worker this round
+    /// (see [`PoolSched`](crate::PoolSched)). Summing the column
+    /// reproduces [`RunStats::steals`]; timing-dependent, excluded from
+    /// equality.
+    pub steals: u64,
     /// The largest number of messages any single *undirected* edge carried
     /// this round (at most 2 — one per direction — by the engine's
     /// bandwidth discipline; the interesting signal is how close the
@@ -474,6 +500,8 @@ impl RoundMetrics {
             votes_shutdown: 0,
             active_nodes: 0,
             scheduled_nodes: 0,
+            chunks: 0,
+            steals: 0,
             max_edge_load: 0,
             edge_load_hist: Vec::new(),
             deliver_ns: 0,
@@ -491,7 +519,8 @@ impl RoundMetrics {
                 "\"dropped\":{},\"crashed\":{},\"retransmits\":{},\"acks\":{},",
                 "\"votes_active\":{},\"votes_passive\":{},\"votes_shutdown\":{},",
                 "\"active_nodes\":{},",
-                "\"scheduled_nodes\":{},\"max_edge_load\":{},",
+                "\"scheduled_nodes\":{},\"chunks\":{},\"steals\":{},",
+                "\"max_edge_load\":{},",
                 "\"edge_load_hist\":[{}],\"deliver_ns\":{},\"step_ns\":{},",
                 "\"commit_ns\":{}}}"
             ),
@@ -508,6 +537,8 @@ impl RoundMetrics {
             self.votes_shutdown,
             self.active_nodes,
             self.scheduled_nodes,
+            self.chunks,
+            self.steals,
             self.max_edge_load,
             hist.join(","),
             self.deliver_ns,
@@ -517,9 +548,10 @@ impl RoundMetrics {
     }
 }
 
-/// Equality over the model-level columns only; the `*_ns` wall-clock fields
-/// are ignored so that deterministic runs compare equal across engines and
-/// thread counts (the same convention as [`RunStats`]'s `PartialEq`).
+/// Equality over the model-level columns only; the `*_ns` wall-clock
+/// fields and the `chunks`/`steals` scheduler telemetry are ignored so
+/// that deterministic runs compare equal across engines and thread counts
+/// (the same convention as [`RunStats`]'s `PartialEq`).
 impl PartialEq for RoundMetrics {
     fn eq(&self, other: &Self) -> bool {
         self.phase == other.phase
@@ -719,6 +751,12 @@ impl Observer for MetricsRecorder {
     fn on_transport(&mut self, summary: &TransportSummary) {
         let phase = self.phase.clone().unwrap_or_else(|| Arc::from(""));
         self.transports.push((phase, *summary));
+    }
+
+    fn on_sched(&mut self, _round: u64, chunks: u64, steals: u64) {
+        let row = self.row();
+        row.chunks = chunks;
+        row.steals = steals;
     }
 
     fn on_round_end(&mut self, _round: u64, timing: &RoundTiming) {
@@ -1173,6 +1211,23 @@ mod tests {
         assert!(text.contains("\"retransmits\":2"));
         assert!(text.contains("\"transport\":\"rel\""));
         assert!(text.contains("\"frames_sent\":3"));
+    }
+
+    #[test]
+    fn recorder_books_scheduler_telemetry_outside_equality() {
+        let mut rec = MetricsRecorder::new();
+        rec.on_run_start(&info("s"));
+        rec.on_round_start(1, 0, 4);
+        rec.on_sched(1, 3, 1);
+        rec.on_run_end(&RunStats::default());
+        let row = &rec.stream()[1];
+        assert_eq!((row.chunks, row.steals), (3, 1));
+        let mut other = row.clone();
+        other.chunks = 0;
+        other.steals = 0;
+        assert_eq!(*row, other, "scheduler telemetry stays out of equality");
+        assert!(row.to_json().contains("\"chunks\":3"));
+        assert!(row.to_json().contains("\"steals\":1"));
     }
 
     #[test]

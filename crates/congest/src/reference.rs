@@ -10,6 +10,7 @@
 
 use crate::algorithm::NodeAlgorithm;
 use crate::config::{Config, DropReason};
+use crate::engine::store::NodeStore;
 use crate::engine::{QuiescenceState, Report, TerminationCertificate};
 use crate::error::SimError;
 use crate::message::Message;
@@ -27,7 +28,10 @@ use crate::trace::{Event, Trace};
 pub struct ReferenceSimulator<'t, A: NodeAlgorithm> {
     topology: &'t Topology,
     config: Config,
-    nodes: Vec<Option<A>>,
+    /// The shared state slab: the reference engine steps the same
+    /// [`NodeStore`] the optimized executors do (its schedule/awake lists
+    /// stay unused — the dense engine visits every node).
+    store: NodeStore<A>,
     /// `pending[v]` holds the messages to be delivered to `v` next round.
     pending: Vec<Vec<(u32, A::Message)>>,
     in_flight: u64,
@@ -67,7 +71,7 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
         ReferenceSimulator {
             topology,
             config,
-            nodes,
+            store: NodeStore::new(nodes),
             pending: (0..n).map(|_| Vec::new()).collect(),
             in_flight: 0,
             round: 0,
@@ -81,7 +85,7 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
 
     /// Nodes that run `on_start` (everyone not crashed at round 0).
     fn started_nodes(&self) -> u64 {
-        let n = self.nodes.len();
+        let n = self.store.len();
         match &self.config.faults {
             Some(f) if f.has_crashes() => {
                 (0..n).filter(|&v| !f.crashed(0, v as NodeId)).count() as u64
@@ -179,7 +183,7 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
     }
 
     fn start_all(&mut self) -> Result<(), SimError> {
-        for v in 0..self.nodes.len() {
+        for v in 0..self.store.len() {
             // A node already inside a crash window at round 0 never boots.
             if self
                 .config
@@ -191,23 +195,22 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
             }
             let ctx = NodeContext {
                 node_id: v as NodeId,
-                num_nodes: self.nodes.len(),
+                num_nodes: self.store.len(),
                 neighbor_ids: self.topology.neighbors(v as NodeId),
                 round: 0,
             };
             let mut outbox = Outbox::new();
-            self.nodes[v]
-                .as_mut()
-                .expect("node state present")
+            self.store
+                .state_mut(v as NodeId)
                 .on_start(&ctx, &mut outbox);
             self.commit_outbox(v as NodeId, outbox, 0)?;
         }
         // Seed the termination votes with one full poll, exactly as the
         // optimized executors do after their `on_start` sweep (crashed-at-0
         // nodes participate with their frozen initial state).
-        let n = self.nodes.len();
+        let n = self.store.len();
         let mut quiescence = QuiescenceState::fold_start(n, n);
-        for node in &self.nodes {
+        for node in &self.store.slots {
             quiescence.vote(node.as_ref().expect("node state present").quiescence());
         }
         self.quiescence = quiescence;
@@ -223,7 +226,7 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
         }
         let delivered = self.in_flight;
         self.in_flight = 0;
-        let n = self.nodes.len();
+        let n = self.store.len();
         // Pre-pass: mark the set the active-set engine would schedule —
         // nodes with arrivals waiting or reporting `is_active` after their
         // last step. The marks drive the scheduled-count metrics and the
@@ -231,10 +234,7 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
         // every node.
         let mut scheduled_count: u64 = 0;
         for v in 0..n {
-            let active = self.nodes[v]
-                .as_ref()
-                .expect("node state present")
-                .is_active();
+            let active = self.store.state(v as NodeId).is_active();
             let on = !self.pending[v].is_empty() || active;
             self.scheduled[v] = on;
             scheduled_count += u64::from(on);
@@ -298,9 +298,8 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
                 round: self.round,
             };
             let mut outbox = Outbox::new();
-            self.nodes[v]
-                .as_mut()
-                .expect("node state present")
+            self.store
+                .state_mut(v as NodeId)
                 .on_round(&ctx, &inbox, &mut outbox);
             if let Some(t) = clock {
                 timing.step += t.elapsed();
@@ -312,7 +311,12 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
             }
         }
         if let Some(obs) = &self.config.observer {
-            obs.lock().on_round_end(self.round, &timing);
+            let mut obs = obs.lock();
+            // The reference engine has no chunk scheduler; it still emits
+            // the hook (all-zero) so observers see the same call sequence
+            // as from the optimized pipeline.
+            obs.on_sched(self.round, 0, 0);
+            obs.on_round_end(self.round, &timing);
         }
         // Poll termination votes over exactly the scheduled set: the
         // active-set engine only polls the nodes it stepped (off-schedule
@@ -321,12 +325,7 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
         let mut quiescence = QuiescenceState::fold_start(scheduled_count as usize, n);
         for v in 0..n {
             if self.scheduled[v] {
-                quiescence.vote(
-                    self.nodes[v]
-                        .as_ref()
-                        .expect("node state present")
-                        .quiescence(),
-                );
+                quiescence.vote(self.store.state(v as NodeId).quiescence());
             }
         }
         self.quiescence = quiescence;
@@ -383,36 +382,13 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
         if let Some(obs) = &self.config.observer {
             obs.lock().on_terminate(self.round, self.in_flight);
         }
-        let final_votes = self
-            .nodes
-            .iter()
-            .enumerate()
-            .map(|(v, node)| {
-                let q = node.as_ref().expect("node state present").quiescence();
-                (v as NodeId, q)
-            })
-            .collect();
         let certificate = Some(TerminationCertificate::from_votes(
             self.round,
             self.in_flight,
             self.quiescence,
-            final_votes,
+            self.store.final_votes(),
         ));
-        let n = self.nodes.len();
-        let outputs = self
-            .nodes
-            .iter_mut()
-            .enumerate()
-            .map(|(v, node)| {
-                let ctx = NodeContext {
-                    node_id: v as NodeId,
-                    num_nodes: n,
-                    neighbor_ids: self.topology.neighbors(v as NodeId),
-                    round: self.round,
-                };
-                node.take().expect("node state present").into_output(&ctx)
-            })
-            .collect();
+        let outputs = self.store.into_outputs(self.topology, self.round);
         self.stats.wall_time = started.elapsed();
         let metrics = if let Some(obs) = &self.config.observer {
             let mut obs = obs.lock();
@@ -428,6 +404,7 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
             round_profile: self.round_profile,
             metrics,
             certificate,
+            sched: None,
         })
     }
 }

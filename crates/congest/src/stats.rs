@@ -34,14 +34,26 @@ pub struct RunStats {
     pub scheduled_node_rounds: u64,
     /// Largest single-round scheduled count (round 0 included).
     pub max_scheduled_per_round: u64,
+    /// Frontier chunks stepped by the pool executor's work-stealing
+    /// scheduler over the whole run; always 0 on executors without a
+    /// chunk scheduler. Like `wall_time`, this is scheduling telemetry —
+    /// excluded from equality so serial and pool runs of the same
+    /// simulation still compare equal.
+    pub chunks_stepped: u64,
+    /// Chunks executed by a worker other than their home worker (see
+    /// [`PoolSched`](crate::PoolSched)). Timing-dependent run to run;
+    /// excluded from equality alongside `chunks_stepped`.
+    pub steals: u64,
     /// Wall-clock time of the run, filled in by the simulator. Excluded
     /// from equality so determinism checks (`stats_a == stats_b`) compare
     /// only model-level quantities.
     pub wall_time: std::time::Duration,
 }
 
-/// Equality over the model-level counters only; `wall_time` is ignored so
-/// that two runs of the same deterministic simulation compare equal.
+/// Equality over the model-level counters only; `wall_time` and the
+/// scheduler telemetry (`chunks_stepped`, `steals`) are ignored so that
+/// two runs of the same deterministic simulation compare equal regardless
+/// of executor and load balance.
 impl PartialEq for RunStats {
     fn eq(&self, other: &Self) -> bool {
         self.rounds == other.rounds
@@ -70,6 +82,18 @@ impl RunStats {
         }
     }
 
+    /// The fraction of stepped chunks that were stolen (0 when no chunks
+    /// were stepped, e.g. on the serial executor). A well-balanced
+    /// frontier keeps this near 0; a hub-dominated frontier pushes it up
+    /// as idle workers drain the hub chunks' home deque.
+    pub fn steal_fraction(&self) -> f64 {
+        if self.chunks_stepped == 0 {
+            0.0
+        } else {
+            self.steals as f64 / self.chunks_stepped as f64
+        }
+    }
+
     /// Accumulates another run's statistics into this one, summing rounds
     /// and wall-clock time — used when an algorithm is composed of
     /// sequential phases.
@@ -87,6 +111,8 @@ impl RunStats {
         self.max_scheduled_per_round = self
             .max_scheduled_per_round
             .max(other.max_scheduled_per_round);
+        self.chunks_stepped += other.chunks_stepped;
+        self.steals += other.steals;
         self.wall_time += other.wall_time;
     }
 }
@@ -106,6 +132,13 @@ impl std::fmt::Display for RunStats {
         }
         if self.crashed > 0 {
             write!(f, ", {} crashed node-rounds", self.crashed)?;
+        }
+        if self.chunks_stepped > 0 {
+            write!(
+                f,
+                ", {} chunks ({} stolen)",
+                self.chunks_stepped, self.steals
+            )?;
         }
         Ok(())
     }
@@ -127,6 +160,8 @@ mod tests {
             crashed: 4,
             scheduled_node_rounds: 40,
             max_scheduled_per_round: 8,
+            chunks_stepped: 6,
+            steals: 2,
             wall_time: std::time::Duration::from_millis(3),
         };
         let b = RunStats {
@@ -139,6 +174,8 @@ mod tests {
             crashed: 1,
             scheduled_node_rounds: 25,
             max_scheduled_per_round: 12,
+            chunks_stepped: 3,
+            steals: 1,
             wall_time: std::time::Duration::from_millis(4),
         };
         a.absorb_sequential(&b);
@@ -151,7 +188,26 @@ mod tests {
         assert_eq!(a.crashed, 5);
         assert_eq!(a.scheduled_node_rounds, 65);
         assert_eq!(a.max_scheduled_per_round, 12);
+        assert_eq!(a.chunks_stepped, 9);
+        assert_eq!(a.steals, 3);
         assert_eq!(a.wall_time, std::time::Duration::from_millis(7));
+    }
+
+    #[test]
+    fn equality_ignores_scheduler_telemetry() {
+        let a = RunStats {
+            rounds: 3,
+            chunks_stepped: 12,
+            steals: 4,
+            ..RunStats::default()
+        };
+        let b = RunStats {
+            rounds: 3,
+            ..RunStats::default()
+        };
+        assert_eq!(a, b);
+        assert!((a.steal_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(b.steal_fraction(), 0.0);
     }
 
     #[test]

@@ -461,6 +461,13 @@ pub struct TraceRecorder {
     edge_load: BTreeMap<(NodeId, NodeId), u64>,
     wave_start: BTreeMap<u32, (u64, NodeId)>,
     wave_arrival: BTreeMap<(u32, NodeId), u64>,
+    /// Scheduler telemetry from [`Observer::on_sched`], kept as side
+    /// counters and deliberately *not* pushed into the event ring: the
+    /// ring (and [`TraceRecorder::events_jsonl`]) must stay bit-identical
+    /// across executors, while chunk/steal counts are timing-dependent
+    /// load-balance data.
+    chunks_stepped: u64,
+    steals: u64,
 }
 
 impl Default for TraceRecorder {
@@ -485,7 +492,16 @@ impl TraceRecorder {
             edge_load: BTreeMap::new(),
             wave_start: BTreeMap::new(),
             wave_arrival: BTreeMap::new(),
+            chunks_stepped: 0,
+            steals: 0,
         }
+    }
+
+    /// Accumulated scheduler telemetry `(chunks_stepped, steals)` across
+    /// every observed run — side counters from [`Observer::on_sched`],
+    /// never part of the event stream.
+    pub fn sched_totals(&self) -> (u64, u64) {
+        (self.chunks_stepped, self.steals)
     }
 
     /// The stored events, oldest first.
@@ -806,6 +822,13 @@ impl Observer for TraceRecorder {
 
     fn on_crash(&mut self, round: u64, node: NodeId) {
         self.ring.push(TraceEvent::Crash { round, node });
+    }
+
+    fn on_sched(&mut self, _round: u64, chunks: u64, steals: u64) {
+        // Side counters only — no ring event, so `events_jsonl` stays
+        // bit-identical between serial and pool runs.
+        self.chunks_stepped += chunks;
+        self.steals += steals;
     }
 
     fn on_round_end(&mut self, round: u64, _timing: &crate::obs::RoundTiming) {

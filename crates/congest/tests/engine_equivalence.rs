@@ -287,6 +287,25 @@ proptest! {
         }
     }
 
+    /// Forcing unit chunks puts every node in its own work-stealing chunk —
+    /// the maximum-stealing regime — and the pool must still be
+    /// bit-identical to the serial run: chunk boundaries and steal counts
+    /// are pure scheduling, invisible to the model.
+    #[test]
+    fn forced_unit_chunks_stay_deterministic(n in 2usize..32, seed in any::<u64>()) {
+        let adj = random_connected_adj(n, seed, 1);
+        let topo = Topology::from_adjacency(adj).expect("valid");
+        let sequential = run_with(&topo, gossip_config(n));
+        for k in [2usize, 4] {
+            let threaded = run_with(&topo, gossip_config(n).with_threads(k).with_pool_chunk(1));
+            prop_assert_eq!(&sequential.outputs, &threaded.outputs, "outputs, k={}", k);
+            prop_assert_eq!(sequential.stats, threaded.stats, "stats, k={}", k);
+            prop_assert_eq!(&sequential.round_profile, &threaded.round_profile, "profile, k={}", k);
+            let (st, tt) = (sequential.trace.as_ref().unwrap(), threaded.trace.as_ref().unwrap());
+            prop_assert_eq!(st.events(), tt.events(), "trace, k={}", k);
+        }
+    }
+
     /// Oversubscription (more threads than nodes) and loss injection keep
     /// the same guarantee: the loss plan keys on (round, sender, port), all
     /// of which are thread-count independent.

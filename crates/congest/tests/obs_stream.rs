@@ -168,6 +168,13 @@ fn assert_decomposes(stream: &[RoundMetrics], stats: &RunStats, tag: &str) {
         sched_peak, stats.max_scheduled_per_round,
         "{tag}: scheduled peak"
     );
+    // The scheduler-telemetry columns (excluded from row equality) sum to
+    // the RunStats totals: every stepped chunk and every steal the pool
+    // booked appears in exactly one row. All-zero on serial/seed runs.
+    let chunks: u64 = stream.iter().map(|m| m.chunks).sum();
+    let steals: u64 = stream.iter().map(|m| m.steals).sum();
+    assert_eq!(chunks, stats.chunks_stepped, "{tag}: chunks column sum");
+    assert_eq!(steals, stats.steals, "{tag}: steals column sum");
     for m in stream {
         assert_eq!(&*m.phase, "gossip", "{tag}: phase label");
     }

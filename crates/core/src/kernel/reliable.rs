@@ -453,6 +453,7 @@ pub fn split_reliable_report<T>(
             round_profile: report.round_profile,
             metrics: report.metrics,
             certificate: report.certificate,
+            sched: report.sched,
         },
         rel,
     )

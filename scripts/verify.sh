@@ -27,6 +27,25 @@ echo "==> executor parity suites (serial vs pool vs reference)"
 # invariants over the scheduled-nodes column.
 cargo test --offline -q -p dapsp-congest --test engine_equivalence --test engine_pipeline --test obs_stream
 
+echo "==> forced-stealing parity (DAPSP_POOL_CHUNK=1)"
+# Reruns the four-way equivalence proptests and the stealing regressions
+# with the work-stealing chunk size forced to a single node, the
+# maximum-contention regime: every scheduled node is its own chunk, so
+# workers steal constantly and the bit-for-bit determinism contract is
+# exercised under the scheduler's worst case rather than its default
+# adaptive chunking.
+DAPSP_POOL_CHUNK=1 cargo test --offline -q -p dapsp-congest \
+    --test engine_equivalence --test pool_stealing
+
+echo "==> dapsp-inspect diff on the hub family (serial vs pool)"
+# The hub family embeds a high-degree star in a Watts-Strogatz ring — the
+# load-imbalance workload work stealing exists for. The diff runs APSP on
+# the serial executor and the 2-thread pool with unit chunks and
+# line-diffs the two trace2 JSONL event streams; any scheduler-induced
+# divergence prints the first differing event and fails this step.
+DAPSP_POOL_CHUNK=1 cargo run --offline --release -p dapsp-bench --bin dapsp-inspect -- \
+    diff --workload apsp --family hub --n 64 --threads 2
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
