@@ -1,0 +1,257 @@
+//! Churn-repair benchmark: rounds-to-repair versus rounds-to-recompute
+//! across churn rates.
+//!
+//! The repair protocol's whole premise is that patching a converged
+//! distance computation after a topology change is cheaper — in CONGEST
+//! rounds, the paper's complexity measure — than recomputing from scratch,
+//! *as long as the change set is small*. This benchmark measures both
+//! sides of that trade on the Watts–Strogatz `ws` scaling family
+//! (`watts_strogatz(n, 3, 0.02, 42)`, the same instances as
+//! `engine_throughput`'s scaling rows):
+//!
+//! 1. run churned APSP with a plan that removes `k` spread-out edges in
+//!    one batch *after* the initial computation has converged, and count
+//!    the rounds from the event to quiescence (**rounds_repair**);
+//! 2. run the same computation from scratch on the post-churn graph and
+//!    count its rounds (**rounds_recompute**).
+//!
+//! For small `k` the repair wave only travels as far as the damage, so
+//! `rounds_repair < rounds_recompute`. As `k` grows past the adaptive
+//! threshold (`max(4, n/8)` directed port halves), every node falls back
+//! to a full cache recompute — the `policy` column flips from `repair` to
+//! `recompute` and the two round counts converge. Every removal batch is
+//! chosen to keep the graph connected, so no row mixes repair latency
+//! with count-to-infinity retraction.
+//!
+//! Results go to stdout as a table and to `BENCH_churn.json` at the repo
+//! root: one JSON object per row with `family`, `n`, `churn_edges`,
+//! `batch_halves`, `threshold`, `policy`, `event_round`, `rounds_total`,
+//! `rounds_repair`, `rounds_recompute`, `repaired_node_rounds`,
+//! `recompute_fallbacks`, `messages`, plus the host-identification fields
+//! (`host_cpus`, `host_parallelism`) every bench row carries.
+//!
+//! Usage: `churn_repair [--smoke] [--threads LIST] [OUT_PATH]`. Every row
+//! is additionally recomputed at every requested thread count (default
+//! `1,2`) and asserted bit-identical — combined with an external
+//! `DAPSP_POOL_CHUNK=1` this is the forced-stealing parity check CI runs.
+
+use dapsp_bench::print_table;
+use dapsp_bench::workloads::{
+    executor_for, family_graph, host_json_fields, json_array, parse_bench_args,
+};
+use dapsp_congest::TopologyPlan;
+use dapsp_core::{apsp, churned_graph, ChurnedResult, Obs};
+use dapsp_graph::{reference, Graph, INFINITY};
+
+struct Row {
+    n: usize,
+    churn_edges: usize,
+    batch_halves: u32,
+    threshold: u32,
+    policy: &'static str,
+    event_round: u64,
+    rounds_total: u64,
+    rounds_repair: u64,
+    rounds_recompute: u64,
+    repaired_node_rounds: u64,
+    recompute_fallbacks: u64,
+    messages: u64,
+}
+
+impl Row {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"family\":\"ws\",\"n\":{},\"churn_edges\":{},\"batch_halves\":{},",
+                "\"threshold\":{},\"policy\":\"{}\",\"event_round\":{},\"rounds_total\":{},",
+                "\"rounds_repair\":{},\"rounds_recompute\":{},\"repaired_node_rounds\":{},",
+                "\"recompute_fallbacks\":{},\"messages\":{},{}}}"
+            ),
+            self.n,
+            self.churn_edges,
+            self.batch_halves,
+            self.threshold,
+            self.policy,
+            self.event_round,
+            self.rounds_total,
+            self.rounds_repair,
+            self.rounds_recompute,
+            self.repaired_node_rounds,
+            self.recompute_fallbacks,
+            self.messages,
+            host_json_fields(),
+        )
+    }
+}
+
+/// `k` spread-out edges whose removal keeps `g` connected, found by a
+/// deterministic scan (greedy: strided candidates, skip any edge whose
+/// removal would disconnect the current mutated graph).
+fn removal_batch(g: &Graph, k: usize) -> Vec<(u32, u32)> {
+    let edges: Vec<(u32, u32)> = g.edges().collect();
+    let stride = (edges.len() / k).max(1);
+    let mut picked: Vec<(u32, u32)> = Vec::new();
+    for offset in 0..edges.len() {
+        if picked.len() == k {
+            break;
+        }
+        let (u, v) = edges[(offset * stride + offset / stride) % edges.len()];
+        if picked.contains(&(u, v)) {
+            continue;
+        }
+        let mut b = Graph::builder(g.num_nodes());
+        for &(a, c) in edges
+            .iter()
+            .filter(|e| !picked.contains(e) && **e != (u, v))
+        {
+            b.add_edge(a, c).expect("valid edge");
+        }
+        let candidate = b.build();
+        if reference::bfs(&candidate, 0).iter().all(|&d| d != INFINITY) {
+            picked.push((u, v));
+        }
+    }
+    assert_eq!(picked.len(), k, "could not find {k} safe removals");
+    picked
+}
+
+/// Churned APSP at the given thread count.
+fn run(g: &Graph, plan: &TopologyPlan, threads: usize) -> ChurnedResult {
+    let obs = Obs::none().with_executor(executor_for(threads));
+    apsp::run_churned_on(&g.to_topology(), plan, obs).expect("churned apsp runs")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = parse_bench_args(&args, &[1, 2]);
+    let smoke = parsed.smoke;
+    let threads_list = parsed.threads;
+    let default_path = if smoke {
+        format!(
+            "{}/../../target/BENCH_churn_smoke.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    } else {
+        format!("{}/../../BENCH_churn.json", env!("CARGO_MANIFEST_DIR"))
+    };
+    let out_path = parsed.out_path.unwrap_or(default_path);
+
+    println!("# Churn repair: rounds to patch vs rounds to recompute (ws family)\n");
+
+    let sizes: &[usize] = if smoke { &[24] } else { &[48, 96] };
+    let churn_counts: &[usize] = if smoke { &[1, 4] } else { &[1, 2, 4, 8, 16] };
+    let mut rows: Vec<Row> = Vec::new();
+    for &n in sizes {
+        let g = family_graph("ws", n);
+        let threshold = dapsp_core::kernel::repair_threshold(n);
+        // Natural convergence round of the from-scratch computation on the
+        // unchurned graph; churn events land two rounds after it, so every
+        // repair starts from a fully converged state.
+        let baseline = run(&g, &TopologyPlan::new(), threads_list[0]);
+        let event_round = baseline.stats.rounds + 2;
+        for &k in churn_counts {
+            let batch = removal_batch(&g, k);
+            let mut plan = TopologyPlan::new();
+            for &(u, v) in &batch {
+                plan = plan.with_remove(event_round, u, v);
+            }
+            let repaired = run(&g, &plan, threads_list[0]);
+            // Engine parity at every requested thread count (CI wraps this
+            // in DAPSP_POOL_CHUNK=1 for the forced-stealing regime).
+            for &threads in &threads_list[1..] {
+                let other = run(&g, &plan, threads);
+                assert_eq!(repaired.dist, other.dist, "t{threads}: dist diverged");
+                assert_eq!(
+                    repaired.parent_port, other.parent_port,
+                    "t{threads}: parents diverged"
+                );
+                assert_eq!(repaired.stats, other.stats, "t{threads}: stats diverged");
+            }
+            let mutated = churned_graph(&g, &plan).expect("plan applies");
+            let oracle = reference::apsp(&mutated);
+            for v in 0..n as u32 {
+                for r in 0..n as u32 {
+                    assert_eq!(
+                        repaired.dist_to(v, r),
+                        oracle.get(v, r).or(Some(INFINITY)),
+                        "n={n} k={k}: repaired d({v},{r}) is wrong"
+                    );
+                }
+            }
+            let recompute = run(&mutated, &TopologyPlan::new(), threads_list[0]);
+            let fallbacks = repaired.stats.recompute_fallbacks;
+            rows.push(Row {
+                n,
+                churn_edges: k,
+                batch_halves: 2 * k as u32,
+                threshold,
+                policy: if fallbacks > 0 { "recompute" } else { "repair" },
+                event_round,
+                rounds_total: repaired.stats.rounds,
+                rounds_repair: repaired.stats.rounds.saturating_sub(event_round),
+                rounds_recompute: recompute.stats.rounds,
+                repaired_node_rounds: repaired.stats.repaired_node_rounds,
+                recompute_fallbacks: fallbacks,
+                messages: repaired.stats.messages,
+            });
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("ws/n={}", r.n),
+                r.churn_edges.to_string(),
+                format!("{}/{}", r.batch_halves, r.threshold),
+                r.policy.to_string(),
+                r.rounds_repair.to_string(),
+                r.rounds_recompute.to_string(),
+                r.recompute_fallbacks.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "churn repair",
+        &[
+            "instance",
+            "edges",
+            "batch/thr",
+            "policy",
+            "repair",
+            "recompute",
+            "fallbacks",
+        ],
+        &table,
+    );
+
+    // The headline claims, asserted so CI notices if repair stops paying:
+    // small batches repair in fewer rounds than a recompute takes, and the
+    // largest batch crosses the adaptive threshold.
+    for r in &rows {
+        if r.batch_halves < r.threshold {
+            assert!(
+                r.rounds_repair < r.rounds_recompute,
+                "n={}, k={}: repair ({}) not cheaper than recompute ({})",
+                r.n,
+                r.churn_edges,
+                r.rounds_repair,
+                r.rounds_recompute
+            );
+            assert_eq!(r.recompute_fallbacks, 0, "small batch must not fall back");
+        } else {
+            assert!(
+                r.recompute_fallbacks > 0,
+                "n={}, k={}: batch {} >= threshold {} must fall back",
+                r.n,
+                r.churn_edges,
+                r.batch_halves,
+                r.threshold
+            );
+        }
+    }
+
+    let json_rows: Vec<String> = rows.iter().map(Row::json).collect();
+    std::fs::write(&out_path, json_array(&json_rows)).expect("write bench json");
+    println!("\nwrote {}", out_path);
+}

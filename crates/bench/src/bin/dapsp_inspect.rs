@@ -14,19 +14,29 @@
 //! * `bench-gate BASELINE CURRENT` — compare two `BENCH_engine.json`-shaped
 //!   files on matching `(label, engine, executor, threads)` rows: fail on
 //!   any round-count or message-count mismatch (determinism) or on a
-//!   throughput regression beyond `--max-ratio` (default 3×).
+//!   throughput regression beyond `--max-ratio` (default 3×). Rows carry
+//!   `host_cpus`; when the two files were measured on different hosts the
+//!   gate still checks determinism but warns that the throughput ratios
+//!   are not comparable.
 //! * `--smoke` — self-check every subcommand on tiny instances.
 //!
 //! Workload flags (for `summary`/`diff`/`perfetto`):
 //! `[--workload apsp|bfs|ssp] [--family FAM] [--n N] [--loss P]
-//! [--threads T] [--seed S]`; `perfetto` adds `[--out PATH]
-//! [--by node|kernel]`, `bench-gate` adds `[--max-ratio R]`.
+//! [--threads T] [--seed S] [--churn K]`; `--churn K` runs the *churned*
+//! variant of the workload — a [`TopologyPlan`] removing `K` edges and
+//! inserting one mid-run — so the trace carries `TopologyChange` events
+//! and the summary shows them alongside the per-kernel drop attribution.
+//! `perfetto` adds `[--out PATH] [--by node|kernel]`, `bench-gate` adds
+//! `[--max-ratio R]`.
 
 use std::process::ExitCode;
 
 use dapsp_bench::workloads::{executor_for, family_graph};
 use dapsp_bench::{print_table, render_table};
-use dapsp_congest::{FaultPlan, SharedObserver, TraceEvent, TraceRecorder, TrackBy};
+use dapsp_congest::{
+    EdgeEvent, FaultPlan, NodeEvent, SharedObserver, TopologyEvent, TopologyPlan, TraceEvent,
+    TraceRecorder, TrackBy,
+};
 use dapsp_core::{apsp, bfs, ssp, Obs};
 
 /// One traced workload configuration.
@@ -38,6 +48,7 @@ struct RunOpts {
     loss: f64,
     threads: usize,
     seed: u64,
+    churn: usize,
 }
 
 impl Default for RunOpts {
@@ -49,6 +60,7 @@ impl Default for RunOpts {
             loss: 0.0,
             threads: 1,
             seed: 7,
+            churn: 0,
         }
     }
 }
@@ -56,9 +68,31 @@ impl Default for RunOpts {
 impl RunOpts {
     fn describe(&self) -> String {
         format!(
-            "{}/{}/n={} loss={} threads={}",
-            self.workload, self.family, self.n, self.loss, self.threads
+            "{}/{}/n={} loss={} threads={} churn={}",
+            self.workload, self.family, self.n, self.loss, self.threads, self.churn
         )
+    }
+
+    /// The churn plan `--churn K` stands for: `K` edge removals at round 2
+    /// (deterministic spread picks) plus the first available non-edge
+    /// inserted at round 3.
+    fn churn_plan(&self, graph: &dapsp_graph::Graph) -> TopologyPlan {
+        let edges: Vec<(u32, u32)> = graph.edges().collect();
+        let mut plan = TopologyPlan::new();
+        let stride = (edges.len() / self.churn.max(1)).max(1);
+        for i in 0..self.churn.min(edges.len()) {
+            let (u, v) = edges[(i * stride) % edges.len()];
+            plan = plan.with_remove(2, u, v);
+        }
+        'outer: for u in 0..self.n as u32 {
+            for v in (u + 1)..self.n as u32 {
+                if !edges.contains(&(u, v)) && !edges.contains(&(v, u)) {
+                    plan = plan.with_insert(3, u, v);
+                    break 'outer;
+                }
+            }
+        }
+        plan
     }
 }
 
@@ -71,7 +105,17 @@ fn run_traced(opts: &RunOpts) -> SharedObserver<TraceRecorder> {
     let handle = shared.observer();
     let obs = Obs::watching(&handle).with_executor(executor_for(opts.threads));
     let sources: Vec<u32> = vec![0, (opts.n / 2) as u32];
-    let outcome = if opts.loss > 0.0 {
+    let outcome = if opts.churn > 0 {
+        // The churned entry points repair in place of recomputing; loss is
+        // not composed here (the repair kernel assumes reliable links).
+        let plan = opts.churn_plan(&graph);
+        match opts.workload.as_str() {
+            "bfs" => bfs::run_churned_on(&topology, 0, &plan, obs).map(|_| ()),
+            "ssp" => ssp::run_churned_on(&topology, &sources, &plan, obs).map(|_| ()),
+            "apsp" => apsp::run_churned_on(&topology, &plan, obs).map(|_| ()),
+            other => panic!("unknown workload {other}; expected apsp|bfs|ssp"),
+        }
+    } else if opts.loss > 0.0 {
         let faults = FaultPlan::uniform_loss(opts.loss, opts.seed);
         match opts.workload.as_str() {
             "bfs" => bfs::run_faulty_on(&topology, 0, faults, obs).map(|_| ()),
@@ -120,6 +164,37 @@ fn cmd_summary(opts: &RunOpts) -> ExitCode {
             &["mask", "messages", "bits", "dropped", "retransmits", "acks"],
             &kernel_rows,
         );
+        // Churned runs: every TopologyPlan event that took effect, in
+        // commit order. The drops such an event forces (in-flight messages
+        // on severed ports) are already attributed to their kernels in the
+        // `dropped` column above.
+        let topo_rows: Vec<Vec<String>> = rec
+            .events()
+            .filter_map(|e| match e {
+                TraceEvent::TopologyChange { round, event } => Some(match event {
+                    TopologyEvent::Edge(EdgeEvent::Insert { u, v }) => {
+                        vec![round.to_string(), "insert".into(), format!("{u}-{v}")]
+                    }
+                    TopologyEvent::Edge(EdgeEvent::Remove { u, v }) => {
+                        vec![round.to_string(), "remove".into(), format!("{u}-{v}")]
+                    }
+                    TopologyEvent::Node(NodeEvent::Crash(n)) => {
+                        vec![round.to_string(), "crash".into(), format!("node {n}")]
+                    }
+                    TopologyEvent::Node(NodeEvent::Join(n)) => {
+                        vec![round.to_string(), "join".into(), format!("node {n}")]
+                    }
+                }),
+                _ => None,
+            })
+            .collect();
+        if !topo_rows.is_empty() {
+            print_table(
+                "topology changes",
+                &["round", "kind", "where"],
+                &topo_rows,
+            );
+        }
         let edge_rows: Vec<Vec<String>> = rec
             .top_edges(10)
             .iter()
@@ -255,6 +330,9 @@ struct BenchRow {
     rounds: u64,
     messages: u64,
     msgs_per_sec: f64,
+    /// `host_cpus` when the row carries it (rows written before the field
+    /// existed don't).
+    host_cpus: Option<u64>,
 }
 
 /// Extracts `"key":value` from a flat JSON object line; strings lose their
@@ -289,6 +367,7 @@ fn parse_bench_rows(text: &str, path: &str) -> Vec<BenchRow> {
             rounds: get("rounds").parse().expect("rounds"),
             messages: get("messages").parse().expect("messages"),
             msgs_per_sec: get("msgs_per_sec").parse().expect("msgs_per_sec"),
+            host_cpus: field(line, "host_cpus").and_then(|v| v.parse().ok()),
         });
     }
     assert!(!rows.is_empty(), "{path}: no benchmark rows found");
@@ -296,11 +375,38 @@ fn parse_bench_rows(text: &str, path: &str) -> Vec<BenchRow> {
 }
 
 /// Gates `current` rows against `baseline` rows on matching keys. Returns
-/// the rendered comparison table and the failure messages (empty = pass).
-fn gate_rows(baseline: &[BenchRow], current: &[BenchRow], max_ratio: f64) -> (String, Vec<String>) {
+/// the rendered comparison table, the failure messages (empty = pass), and
+/// warnings (printed but non-fatal).
+fn gate_rows(
+    baseline: &[BenchRow],
+    current: &[BenchRow],
+    max_ratio: f64,
+) -> (String, Vec<String>, Vec<String>) {
     let mut failures = Vec::new();
+    let mut warnings = Vec::new();
     let mut table_rows = Vec::new();
     let mut matched = 0usize;
+    // Rows record the host they were measured on; comparing throughput
+    // across different machines is meaningless, so a host mismatch
+    // downgrades ratio violations from failures to warnings (round and
+    // message determinism still gates — those are machine-independent).
+    let cross_host = current.iter().any(|cur| {
+        baseline.iter().any(|base| {
+            base.key == cur.key
+                && matches!(
+                    (base.host_cpus, cur.host_cpus),
+                    (Some(b), Some(c)) if b != c
+                )
+        })
+    });
+    if cross_host {
+        warnings.push(
+            "host mismatch: baseline and current rows were measured on hosts with \
+             different cpu counts — throughput ratios compare different machines \
+             and are advisory only; round/message determinism still gates"
+                .into(),
+        );
+    }
     for cur in current {
         let Some(base) = baseline.iter().find(|b| b.key == cur.key) else {
             continue;
@@ -324,10 +430,15 @@ fn gate_rows(baseline: &[BenchRow], current: &[BenchRow], max_ratio: f64) -> (St
             f64::INFINITY
         };
         if ratio > max_ratio {
-            failures.push(format!(
+            let msg = format!(
                 "{}: throughput regressed {:.1}x (baseline {:.0} msgs/s, current {:.0} msgs/s, limit {max_ratio}x)",
                 cur.key, ratio, base.msgs_per_sec, cur.msgs_per_sec
-            ));
+            );
+            if cross_host {
+                warnings.push(msg);
+            } else {
+                failures.push(msg);
+            }
         }
         table_rows.push(vec![
             cur.key.clone(),
@@ -353,7 +464,7 @@ fn gate_rows(baseline: &[BenchRow], current: &[BenchRow], max_ratio: f64) -> (St
         &["row", "base msgs/s", "cur msgs/s", "ratio", "rounds"],
         &table_rows,
     );
-    (table, failures)
+    (table, failures, warnings)
 }
 
 fn cmd_bench_gate(baseline_path: &str, current_path: &str, max_ratio: f64) -> ExitCode {
@@ -362,8 +473,11 @@ fn cmd_bench_gate(baseline_path: &str, current_path: &str, max_ratio: f64) -> Ex
     };
     let baseline = parse_bench_rows(&read(baseline_path), baseline_path);
     let current = parse_bench_rows(&read(current_path), current_path);
-    let (table, failures) = gate_rows(&baseline, &current, max_ratio);
+    let (table, failures, warnings) = gate_rows(&baseline, &current, max_ratio);
     print!("{table}");
+    for w in &warnings {
+        eprintln!("bench gate warning: {w}");
+    }
     if failures.is_empty() {
         println!("bench gate passed ({baseline_path} vs {current_path})");
         ExitCode::SUCCESS
@@ -399,6 +513,37 @@ fn cmd_smoke() -> ExitCode {
         );
     });
     println!("smoke: summary recorded traced events with kernel attribution");
+
+    // churned summary path: the trace must carry the plan's TopologyChange
+    // events so `summary` can render the topology-changes table.
+    let opts = RunOpts {
+        workload: "apsp".into(),
+        family: "regular6".into(),
+        n: 12,
+        churn: 1,
+        ..RunOpts::default()
+    };
+    let shared = run_traced(&opts);
+    shared.with(|rec| {
+        let topo_events = rec
+            .events()
+            .filter(|e| matches!(e, TraceEvent::TopologyChange { .. }))
+            .count();
+        assert!(
+            topo_events >= 2,
+            "smoke: churned trace recorded {topo_events} TopologyChange events, expected the \
+             plan's remove + insert"
+        );
+        assert!(
+            !rec.kernels().is_empty(),
+            "smoke: churned run lost kernel attribution"
+        );
+    });
+    assert!(
+        cmd_summary(&opts) == ExitCode::SUCCESS,
+        "smoke: churned summary failed"
+    );
+    println!("smoke: churned summary shows TopologyChange events");
 
     // diff path: serial vs pool event streams must be bit-identical.
     let opts = RunOpts {
@@ -440,20 +585,41 @@ fn cmd_smoke() -> ExitCode {
         rounds,
         messages: 14,
         msgs_per_sec,
+        host_cpus: Some(8),
     };
-    let (_, failures) = gate_rows(&[row(1000.0, 8)], &[row(1000.0, 8)], 3.0);
+    let (_, failures, warnings) = gate_rows(&[row(1000.0, 8)], &[row(1000.0, 8)], 3.0);
     assert!(failures.is_empty(), "smoke: self-gate failed: {failures:?}");
-    let (_, failures) = gate_rows(&[row(1000.0, 8)], &[row(100.0, 8)], 3.0);
+    assert!(warnings.is_empty(), "smoke: same-host gate warned");
+    let (_, failures, _) = gate_rows(&[row(1000.0, 8)], &[row(100.0, 8)], 3.0);
     assert!(!failures.is_empty(), "smoke: 10x regression not caught");
-    let (_, failures) = gate_rows(&[row(1000.0, 8)], &[row(1000.0, 9)], 3.0);
+    let (_, failures, _) = gate_rows(&[row(1000.0, 8)], &[row(1000.0, 9)], 3.0);
     assert!(!failures.is_empty(), "smoke: round mismatch not caught");
+    // Cross-host comparison: determinism still gates, throughput does not.
+    let other_host = |msgs_per_sec: f64, rounds: u64| BenchRow {
+        host_cpus: Some(128),
+        ..row(msgs_per_sec, rounds)
+    };
+    let (_, failures, warnings) = gate_rows(&[row(1000.0, 8)], &[other_host(100.0, 8)], 3.0);
+    assert!(
+        failures.is_empty(),
+        "smoke: cross-host throughput gap must warn, not fail: {failures:?}"
+    );
+    assert!(
+        warnings.len() >= 2,
+        "smoke: cross-host gate missing host + ratio warnings: {warnings:?}"
+    );
+    let (_, failures, _) = gate_rows(&[row(1000.0, 8)], &[other_host(1000.0, 9)], 3.0);
+    assert!(
+        !failures.is_empty(),
+        "smoke: cross-host round mismatch must still fail"
+    );
     println!("smoke: all inspect self-checks passed");
     ExitCode::SUCCESS
 }
 
 const USAGE: &str = "usage: dapsp-inspect <summary|diff|perfetto|bench-gate|--smoke> \
 [--workload apsp|bfs|ssp] [--family FAM] [--n N] [--loss P] [--threads T] [--seed S] \
-[--out PATH] [--by node|kernel] [--max-ratio R] [BASELINE CURRENT]";
+[--churn K] [--out PATH] [--by node|kernel] [--max-ratio R] [BASELINE CURRENT]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -480,6 +646,7 @@ fn main() -> ExitCode {
             "--loss" => opts.loss = value("--loss").parse().expect("--loss"),
             "--threads" => opts.threads = value("--threads").parse().expect("--threads"),
             "--seed" => opts.seed = value("--seed").parse().expect("--seed"),
+            "--churn" => opts.churn = value("--churn").parse().expect("--churn"),
             "--out" => out = Some(value("--out")),
             "--by" => {
                 by = match value("--by").as_str() {

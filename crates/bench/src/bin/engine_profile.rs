@@ -64,7 +64,7 @@ impl Row {
                 "{{\"label\":\"{}\",\"family\":\"{}\",\"workload\":\"{}\",\"n\":{},",
                 "\"engine\":\"{}\",\"executor\":\"{}\",\"threads\":{},\"rounds\":{},",
                 "\"messages\":{},\"wall_ms\":{:.4},\"deliver_ms\":{:.4},\"step_ms\":{:.4},",
-                "\"commit_ms\":{:.4},\"commit_share\":{:.4}}}"
+                "\"commit_ms\":{:.4},\"commit_share\":{:.4},{}}}"
             ),
             self.label,
             self.family,
@@ -80,6 +80,7 @@ impl Row {
             self.step_ms,
             self.commit_ms,
             self.commit_share,
+            dapsp_bench::workloads::host_json_fields(),
         )
     }
 }

@@ -92,7 +92,7 @@ impl Row {
                 "\"engine\":\"{}\",\"executor\":\"{}\",\"threads\":{},\"rounds\":{},",
                 "\"messages\":{},\"scheduled_node_rounds\":{},",
                 "\"mean_scheduled_fraction\":{:.4},",
-                "\"wall_ms\":{:.4},\"msgs_per_sec\":{:.1}}}"
+                "\"wall_ms\":{:.4},\"msgs_per_sec\":{:.1},{}}}"
             ),
             self.label,
             self.family,
@@ -106,6 +106,7 @@ impl Row {
             self.mean_scheduled_fraction(),
             self.wall_ms(),
             self.msgs_per_sec(),
+            dapsp_bench::workloads::host_json_fields(),
         )
     }
 }

@@ -60,7 +60,7 @@ impl Row {
                 "{{\"label\":\"{}\",\"family\":\"{}\",\"workload\":\"{}\",\"n\":{},",
                 "\"loss\":{},\"executor\":\"{}\",\"threads\":{},\"rounds\":{},",
                 "\"clean_rounds\":{},\"overhead\":{:.4},\"messages\":{},\"dropped\":{},",
-                "\"frames\":{},\"retransmissions\":{},\"acks\":{},\"wall_ms\":{:.4}}}"
+                "\"frames\":{},\"retransmissions\":{},\"acks\":{},\"wall_ms\":{:.4},{}}}"
             ),
             self.label,
             self.family,
@@ -78,6 +78,7 @@ impl Row {
             self.retransmissions,
             self.acks,
             self.wall_ms,
+            dapsp_bench::workloads::host_json_fields(),
         )
     }
 }

@@ -283,6 +283,39 @@ fn parse_threads_list(list: &str) -> Vec<usize> {
     parsed
 }
 
+/// The host's logical CPU count, from `/proc/cpuinfo` where available
+/// (Linux), else [`host_parallelism`] — recorded in every bench JSON row
+/// so cross-host comparisons are detectable (`dapsp-inspect bench-gate`
+/// warns when rows disagree).
+pub fn host_cpus() -> usize {
+    if let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") {
+        let count = info.lines().filter(|l| l.starts_with("processor")).count();
+        if count > 0 {
+            return count;
+        }
+    }
+    host_parallelism()
+}
+
+/// `std::thread::available_parallelism()` as a plain number (0 when the
+/// platform cannot say) — the parallelism the pool executor actually gets,
+/// which on cgroup-limited CI boxes can be far below [`host_cpus`].
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(0)
+}
+
+/// The host-identification fields every bench JSON row carries, as a JSON
+/// fragment (no surrounding braces): `"host_cpus":…,"host_parallelism":…`.
+pub fn host_json_fields() -> String {
+    format!(
+        "\"host_cpus\":{},\"host_parallelism\":{}",
+        host_cpus(),
+        host_parallelism()
+    )
+}
+
 /// Order-sensitive hash of a run's outputs, for cross-engine equality
 /// checks.
 pub fn digest<O: std::hash::Hash>(outputs: &[O]) -> u64 {

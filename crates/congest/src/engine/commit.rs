@@ -63,6 +63,11 @@ impl DupScratch {
 
     /// Marks `port` used by the current outbox; `false` if it already was.
     fn mark(&mut self, port: Port) -> bool {
+        // Churn-inserted ports can exceed the run-start max degree the
+        // scratch was sized for; grow on demand (zero = never stamped).
+        if port as usize >= self.stamps.len() {
+            self.stamps.resize(port as usize + 1, 0);
+        }
         let slot = &mut self.stamps[port as usize];
         if *slot == self.stamp {
             false
@@ -80,6 +85,8 @@ impl DupScratch {
 #[derive(Clone, Copy)]
 pub(crate) struct Limits {
     pub(crate) bandwidth_bits: u32,
+    // Only consulted by the debug-assertion budget check below.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
     pub(crate) message_budget: Option<u32>,
 }
 
@@ -166,6 +173,13 @@ fn validate<M: Message>(
         );
     }
     let to = topology.neighbor_at(v, port);
+    // A send on a port the round's churn batch tombstoned (or whose
+    // endpoint was removed) is discarded before the fault plan is even
+    // consulted — removal wins over crash windows, as documented on
+    // [`CrashWindow`](crate::CrashWindow).
+    if !topology.port_live(v, port) {
+        return Ok(Verdict::Dropped(DropReason::TopologyChange));
+    }
     if let Some(plan) = faults {
         if plan.drops(send_round, v, port) {
             return Ok(Verdict::Dropped(DropReason::Loss));
@@ -313,13 +327,16 @@ impl<M: Message> Core<'_, M> {
             }
         }
         if let Some(obs) = observer.as_deref_mut() {
+            // Resolve edge indices through the churned view: inserted
+            // edges only exist in the overlay.
+            let topo = self.live_topology();
             obs.on_message(&MessageEvent {
                 send_round,
                 from,
                 to,
                 to_port,
-                edge: self.topology.directed_edge_index(from, port),
-                reverse_edge: self.topology.directed_edge_index(to, to_port),
+                edge: topo.directed_edge_index(from, port),
+                reverse_edge: topo.directed_edge_index(to, to_port),
                 bits,
                 stream: msg.stream_id(),
                 tags: msg.trace_tags(),
@@ -375,7 +392,7 @@ impl<M: Message> Core<'_, M> {
         let limits = Limits::of(&self.config);
         for (port, msg) in items.drain(..) {
             match validate(
-                self.topology,
+                self.live_topology(),
                 limits,
                 &self.config.faults,
                 scratch,

@@ -39,9 +39,13 @@
 //! [`Observer::on_round_end`](crate::Observer::on_round_end) — executors
 //! never touch the clock.
 
+use std::sync::Arc;
+
 use crate::algorithm::{NodeAlgorithm, Quiescence};
-use crate::config::{Config, ExecutorKind};
+use crate::churn::{self, RoundChanges};
+use crate::config::{Config, DropReason, ExecutorKind, TopologyEvent};
 use crate::error::SimError;
+use crate::message::Message;
 use crate::node::{Inbox, NodeContext, NodeId, Outbox, Port};
 use crate::obs::{RoundMetrics, RoundTiming, RunInfo};
 use crate::stats::RunStats;
@@ -199,12 +203,29 @@ impl TerminationCertificate {
     }
 }
 
+/// Live-topology state of a churned run: the working copy every engine
+/// mutates at the choke point, plus the cursor into the plan's sorted
+/// event list. Present iff the config carries a non-empty
+/// [`TopologyPlan`](crate::TopologyPlan); static runs never clone the
+/// topology.
+pub(crate) struct ChurnState {
+    /// The working copy (base CSR + overlay) reflecting every applied
+    /// event, behind an `Arc` so pool chunks can hold a cheap per-round
+    /// snapshot while the engine thread keeps the authoritative handle
+    /// (`Arc::make_mut` copies-on-write only if a chunk still holds one).
+    pub(crate) topo: Arc<Topology>,
+    /// Events before this index are applied.
+    pub(crate) next_event: usize,
+}
+
 /// Engine state shared by every executor: the network, the run's
 /// bookkeeping, and the accounting sinks (stats, trace, profile). The
 /// executor owns everything node-local (states, inboxes-in-flight,
 /// outboxes); the `Core` owns everything observable.
 pub(crate) struct Core<'t, M> {
     pub(crate) topology: &'t Topology,
+    /// The churned working topology, when the run has a topology plan.
+    pub(crate) churn: Option<ChurnState>,
     pub(crate) config: Config,
     /// Messages to be delivered next round, staged flat in commit order;
     /// the deliver phase carves them into per-node slices (see
@@ -238,6 +259,47 @@ impl<M> Core<'_, M> {
     /// Empties the wake list (capacity kept) once a schedule absorbed it.
     pub(crate) fn clear_wake(&mut self) {
         self.wake.clear();
+    }
+
+    /// The topology every phase must consult: the churned working copy
+    /// when a topology plan is active, the static borrow otherwise.
+    pub(crate) fn live_topology(&self) -> &Topology {
+        match &self.churn {
+            Some(c) => &c.topo,
+            None => self.topology,
+        }
+    }
+
+    /// True while the run's topology plan still has unapplied events — the
+    /// engine keeps ticking rounds through quiescent stretches so a later
+    /// event can still fire.
+    pub(crate) fn churn_pending(&self) -> bool {
+        matches!(
+            (&self.churn, &self.config.topology),
+            (Some(c), Some(p)) if c.next_event < p.events().len()
+        )
+    }
+
+    /// Rebuilds the wake list (and its dedup marks) from the staged
+    /// arrivals — used after a churn purge removed messages whose
+    /// receivers may no longer have any arrival.
+    pub(crate) fn rebuild_wake(&mut self) {
+        for &v in &self.wake {
+            self.woken.clear(v as usize);
+        }
+        self.wake.clear();
+        let Core {
+            arrivals,
+            wake,
+            woken,
+            ..
+        } = self;
+        for to in arrivals.staged_receivers() {
+            if !woken.get(to as usize) {
+                woken.set(to as usize);
+                wake.push(to);
+            }
+        }
     }
 
     /// How many nodes run `on_start` in round 0 — everyone not inside a
@@ -342,6 +404,18 @@ pub(crate) trait Executor<A: NodeAlgorithm> {
     /// Phase 3 — validate and book every scheduled node's outbox in
     /// node-id order.
     fn commit(&mut self, core: &mut Core<'_, A::Message>) -> Result<(), SimError>;
+    /// Churn choke point (runs on the engine thread, after the round's
+    /// batch mutated `topo` and in-flight purges were booked): forward the
+    /// per-node [`TopologyDelta`](crate::TopologyDelta)s to the algorithm
+    /// layer in node-id order and rebuild the awake set against the new
+    /// topology. Returns the `(repaired, recompute)` tallies for
+    /// [`RunStats`].
+    fn notify_topology(
+        &mut self,
+        core: &mut Core<'_, A::Message>,
+        topo: &Topology,
+        changes: &RoundChanges,
+    ) -> (u64, u64);
     /// The aggregated termination votes after the most recent
     /// `start`/`step`.
     fn quiescence(&self) -> QuiescenceState;
@@ -364,7 +438,10 @@ pub(crate) trait Executor<A: NodeAlgorithm> {
         None
     }
     /// Tears the executor down and extracts outputs in node-id order.
-    fn into_outputs(self, final_round: u64) -> Vec<A::Output>;
+    /// `topology` is the run's final view — the churned working copy when
+    /// a topology plan ran, so `into_output` contexts see the post-churn
+    /// neighborhoods.
+    fn into_outputs(self, topology: &Topology, final_round: u64) -> Vec<A::Output>;
 }
 
 /// Merges two sorted id lists — the wake list (pending arrivals) and the
@@ -477,9 +554,20 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
             })
             .collect();
         let trace = config.trace.then(|| Trace::new(config.trace_capacity));
+        // A non-empty topology plan needs a mutable working copy; static
+        // runs keep borrowing the caller's topology unclones.
+        let churn = config
+            .topology
+            .as_ref()
+            .filter(|plan| !plan.is_empty())
+            .map(|_| ChurnState {
+                topo: Arc::new(topology.clone()),
+                next_event: 0,
+            });
         Simulator {
             core: Core {
                 topology,
+                churn,
                 config,
                 arrivals: InboxArena::new(n),
                 wake: Vec::new(),
@@ -575,8 +663,10 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
         }
         // Termination: no messages in flight and no node voting `Active`,
         // or every node voting `Shutdown` (see `Quiescence`). The votes
-        // are aggregated by the executor over the awake list only.
-        while !executor.quiescence().terminal(self.core.in_flight) {
+        // are aggregated by the executor over the awake list only. A
+        // pending topology plan keeps the engine ticking through quiescent
+        // stretches so later events still fire.
+        while self.core.churn_pending() || !executor.quiescence().terminal(self.core.in_flight) {
             if self.core.round >= self.core.config.max_rounds {
                 return Err(SimError::RoundLimitExceeded {
                     limit: self.core.config.max_rounds,
@@ -595,7 +685,7 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
             executor.final_votes(),
         ));
         let sched = executor.sched();
-        let outputs = executor.into_outputs(self.core.round);
+        let outputs = executor.into_outputs(self.core.live_topology(), self.core.round);
         self.core.stats.wall_time = started.elapsed();
         let metrics = if let Some(obs) = &self.core.config.observer {
             let mut obs = obs.lock();
@@ -621,6 +711,13 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
         let core = &mut self.core;
         core.round += 1;
         core.stats.rounds = core.round;
+        // Churn choke point: all plan events with `round <= core.round`
+        // that are not yet applied take effect now — before this round's
+        // deliveries, purging in-flight messages whose link died. Events
+        // at round 0 therefore land entering round 1, after `on_start`.
+        if core.churn.is_some() {
+            Self::apply_churn(core, executor)?;
+        }
         core.stats.max_messages_per_round = core.stats.max_messages_per_round.max(core.in_flight);
         if core.config.round_profile {
             core.round_profile.push(core.in_flight);
@@ -688,6 +785,78 @@ impl<'t, A: NodeAlgorithm> Simulator<'t, A> {
                 q.votes_shutdown,
             );
         }
+        Ok(())
+    }
+
+    /// Applies every not-yet-applied topology-plan event with
+    /// `round <= core.round`, then books the fallout: observer
+    /// notifications in plan order, the purge of in-flight messages whose
+    /// link died (booked as [`DropReason::TopologyChange`] drops against
+    /// their send round), and the algorithm layer's `on_topology` sweep
+    /// via the executor. Runs entirely on the engine thread; the order of
+    /// every side effect here is part of the cross-engine determinism
+    /// contract (the reference simulator mirrors it verbatim).
+    fn apply_churn<E: Executor<A>>(
+        core: &mut Core<'_, A::Message>,
+        executor: &mut E,
+    ) -> Result<(), SimError> {
+        let round = core.round;
+        let (changes, batch_events) = {
+            let Core { churn, config, .. } = &mut *core;
+            let (Some(churn), Some(plan)) = (churn.as_mut(), config.topology.as_ref()) else {
+                return Ok(());
+            };
+            let events = plan.events();
+            let lo = churn.next_event;
+            let mut hi = lo;
+            while hi < events.len() && events[hi].0 <= round {
+                hi += 1;
+            }
+            if hi == lo {
+                return Ok(());
+            }
+            churn.next_event = hi;
+            let batch_events: Vec<TopologyEvent> = events[lo..hi].iter().map(|&(_, e)| e).collect();
+            let changes = churn::apply_events(Arc::make_mut(&mut churn.topo), &events[lo..hi])?;
+            (changes, batch_events)
+        };
+        core.stats.topo_events += batch_events.len() as u64;
+        if let Some(obs) = &core.config.observer {
+            let mut obs = obs.lock();
+            for ev in &batch_events {
+                obs.on_topology(round, ev);
+            }
+        }
+        // Purge in-flight messages that were crossing a link the batch
+        // killed: they were sent last round (already counted as messages),
+        // and are now additionally counted as drops — on every engine.
+        let topo = Arc::clone(&core.churn.as_ref().expect("churn state present").topo);
+        let mut purged = core.arrivals.purge(|to, port| topo.port_live(to, port));
+        if !purged.is_empty() {
+            // The engine stages arrivals in commit order; the reference
+            // engine purges its per-receiver queues in receiver order. A
+            // stable sort by receiver makes the drop streams identical.
+            purged.sort_by_key(|&(to, _, _)| to);
+            core.stats.dropped += purged.len() as u64;
+            core.in_flight -= purged.len() as u64;
+            if let Some(obs) = &core.config.observer {
+                let mut obs = obs.lock();
+                for &(to, to_port, ref msg) in &purged {
+                    // Tombstoned ports still resolve sender and port.
+                    obs.on_drop(
+                        round - 1,
+                        topo.neighbor_at(to, to_port),
+                        topo.reverse_port(to, to_port),
+                        DropReason::TopologyChange,
+                        msg.trace_tags(),
+                    );
+                }
+            }
+            core.rebuild_wake();
+        }
+        let (repaired, recompute) = executor.notify_topology(core, &topo, &changes);
+        core.stats.repaired_node_rounds += repaired;
+        core.stats.recompute_fallbacks += recompute;
         Ok(())
     }
 }

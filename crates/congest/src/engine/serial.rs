@@ -7,6 +7,8 @@ use crate::error::SimError;
 use crate::node::{NodeContext, NodeId, Outbox, Port};
 use crate::topology::Topology;
 
+use crate::churn::RoundChanges;
+
 use super::commit::DupScratch;
 use super::store::NodeStore;
 use super::{step_node, Core, Executor, QuiescenceState};
@@ -103,8 +105,22 @@ impl<A: NodeAlgorithm> Executor<A> for SerialExecutor<'_, A> {
 
     fn step(&mut self, core: &mut Core<'_, A::Message>) {
         let n = self.store.len();
-        let round = core.round;
-        let faults = &core.config.faults;
+        // Split the core's borrows: the arrival arena is drained while
+        // the live (possibly churned) topology is read.
+        let Core {
+            topology,
+            churn,
+            config,
+            arrivals,
+            round,
+            ..
+        } = core;
+        let topo: &Topology = match churn {
+            Some(c) => &c.topo,
+            None => topology,
+        };
+        let round = *round;
+        let faults = &config.faults;
         // Split the store's borrows: the schedule is read while the state
         // slab is stepped and the next awake list is rebuilt.
         let NodeStore {
@@ -121,14 +137,11 @@ impl<A: NodeAlgorithm> Executor<A> for SerialExecutor<'_, A> {
             // the awake list (messages to them were discarded at the
             // validation point), and their frozen state keeps voting.
             if faults.as_ref().is_some_and(|f| f.crashed(round, v)) {
-                debug_assert!(
-                    core.arrivals.len_at(i) == 0,
-                    "crashed node received a message"
-                );
+                debug_assert!(arrivals.len_at(i) == 0, "crashed node received a message");
             } else {
-                core.arrivals.take_into(i, &mut self.inbox_buf);
+                arrivals.take_into(i, &mut self.inbox_buf);
                 step_node(
-                    self.topology,
+                    topo,
                     n,
                     round,
                     v,
@@ -162,6 +175,16 @@ impl<A: NodeAlgorithm> Executor<A> for SerialExecutor<'_, A> {
         Ok(())
     }
 
+    fn notify_topology(
+        &mut self,
+        core: &mut Core<'_, A::Message>,
+        topo: &Topology,
+        changes: &RoundChanges,
+    ) -> (u64, u64) {
+        self.store
+            .notify_topology(topo, &core.config.faults, core.round, changes)
+    }
+
     fn quiescence(&self) -> QuiescenceState {
         self.quiescence
     }
@@ -170,7 +193,7 @@ impl<A: NodeAlgorithm> Executor<A> for SerialExecutor<'_, A> {
         self.store.final_votes()
     }
 
-    fn into_outputs(self, final_round: u64) -> Vec<A::Output> {
-        self.store.into_outputs(self.topology, final_round)
+    fn into_outputs(self, topology: &Topology, final_round: u64) -> Vec<A::Output> {
+        self.store.into_outputs(topology, final_round)
     }
 }

@@ -73,6 +73,7 @@
 #![warn(missing_docs)]
 
 mod algorithm;
+mod churn;
 mod config;
 mod engine;
 mod error;
@@ -86,8 +87,12 @@ pub mod obs;
 pub mod trace;
 pub mod trace2;
 
-pub use algorithm::{NodeAlgorithm, Quiescence};
-pub use config::{Config, CrashWindow, DropReason, ExecutorKind, FaultPlan, LossPlan, LossRule};
+pub use algorithm::{NodeAlgorithm, Quiescence, RepairAction, TopologyDelta};
+pub use churn::churned_topology;
+pub use config::{
+    Config, CrashWindow, DropReason, EdgeEvent, ExecutorKind, FaultPlan, LossPlan, LossRule,
+    NodeEvent, TopologyEvent, TopologyPlan,
+};
 pub use engine::pool_workers_spawned;
 pub use engine::{PoolSched, Report, Simulator, TerminationCertificate, TerminationReason};
 pub use error::SimError;

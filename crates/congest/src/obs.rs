@@ -60,7 +60,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
-use crate::config::DropReason;
+use crate::config::{DropReason, TopologyEvent};
 use crate::message::TraceTags;
 use crate::node::{NodeId, Port};
 use crate::stats::RunStats;
@@ -211,6 +211,14 @@ pub trait Observer: Send {
     /// per round, in node-id order, between `on_round_start` and the
     /// round's commit events.
     fn on_crash(&mut self, _round: u64, _node: NodeId) {}
+    /// One [`TopologyPlan`](crate::TopologyPlan) event took effect at the
+    /// start of round `round` (the churn choke point). Called once per
+    /// event in plan order, *before* `on_round_start(round, …)` — the
+    /// batch mutates the topology before the round's schedule is built.
+    /// Any in-flight messages purged off the batch's dead links follow as
+    /// `on_drop` calls with [`DropReason::TopologyChange`] and the
+    /// previous round as their send round.
+    fn on_topology(&mut self, _round: u64, _event: &TopologyEvent) {}
     /// Round `round`'s scheduler telemetry: the executor stepped the
     /// round's schedule as `chunks` frontier chunks, of which `steals`
     /// were executed by a worker other than their home worker (see
@@ -374,6 +382,11 @@ impl Observer for FanOut {
             obs.lock().on_crash(round, node);
         }
     }
+    fn on_topology(&mut self, round: u64, event: &TopologyEvent) {
+        for obs in &self.observers {
+            obs.lock().on_topology(round, event);
+        }
+    }
     fn on_sched(&mut self, round: u64, chunks: u64, steals: u64) {
         for obs in &self.observers {
             obs.lock().on_sched(round, chunks, steals);
@@ -435,6 +448,12 @@ pub struct RoundMetrics {
     pub dropped: u64,
     /// Nodes sitting out this round inside a crash window.
     pub crashed: u64,
+    /// [`TopologyPlan`](crate::TopologyPlan) events that took effect
+    /// entering this row's round (applied at the churn choke point, before
+    /// the round's deliveries). Summing the column reproduces
+    /// [`RunStats::topo_events`]; deterministic, so it participates in
+    /// equality.
+    pub topo_events: u64,
     /// Frames committed (or dropped) this round that the transport layer
     /// marked as retransmissions. Summing the column over a reliable run
     /// reproduces the transport's `retransmissions` total exactly — every
@@ -493,6 +512,7 @@ impl RoundMetrics {
             bits: 0,
             dropped: 0,
             crashed: 0,
+            topo_events: 0,
             retransmits: 0,
             acks: 0,
             votes_active: 0,
@@ -516,7 +536,8 @@ impl RoundMetrics {
         format!(
             concat!(
                 "{{\"phase\":\"{}\",\"round\":{},\"messages\":{},\"bits\":{},",
-                "\"dropped\":{},\"crashed\":{},\"retransmits\":{},\"acks\":{},",
+                "\"dropped\":{},\"crashed\":{},\"topo_events\":{},",
+                "\"retransmits\":{},\"acks\":{},",
                 "\"votes_active\":{},\"votes_passive\":{},\"votes_shutdown\":{},",
                 "\"active_nodes\":{},",
                 "\"scheduled_nodes\":{},\"chunks\":{},\"steals\":{},",
@@ -530,6 +551,7 @@ impl RoundMetrics {
             self.bits,
             self.dropped,
             self.crashed,
+            self.topo_events,
             self.retransmits,
             self.acks,
             self.votes_active,
@@ -560,6 +582,7 @@ impl PartialEq for RoundMetrics {
             && self.bits == other.bits
             && self.dropped == other.dropped
             && self.crashed == other.crashed
+            && self.topo_events == other.topo_events
             && self.retransmits == other.retransmits
             && self.acks == other.acks
             && self.votes_active == other.votes_active
@@ -591,6 +614,11 @@ pub struct MetricsRecorder {
     edge_load: Vec<u32>,
     touched: Vec<u32>,
     last_sender: Option<NodeId>,
+    /// Topology events seen since the last `on_round_start`. The churn
+    /// choke point fires `on_topology` for round `r` *before*
+    /// `on_round_start(r, …)`, so the count is buffered here and folded
+    /// into round `r`'s row when that row is opened.
+    pending_topo: u64,
     /// End-of-run transport telemetry, one entry per reliable run that
     /// reported via [`Observer::on_transport`], labeled with the phase it
     /// arrived under.
@@ -684,6 +712,7 @@ impl Observer for MetricsRecorder {
         self.edge_load.resize(info.directed_edges, 0);
         self.touched.clear();
         self.last_sender = None;
+        self.pending_topo = 0;
         let mut row = RoundMetrics::new(phase.clone(), 0);
         row.scheduled_nodes = info.started;
         self.stream.push(row);
@@ -695,11 +724,22 @@ impl Observer for MetricsRecorder {
         let phase = self.phase.clone().unwrap_or_else(|| Arc::from(""));
         let mut row = RoundMetrics::new(phase, round);
         row.scheduled_nodes = scheduled;
+        row.topo_events = self.pending_topo;
+        self.pending_topo = 0;
         self.stream.push(row);
+    }
+
+    fn on_topology(&mut self, _round: u64, _event: &TopologyEvent) {
+        self.pending_topo += 1;
     }
 
     fn on_message(&mut self, ev: &MessageEvent) {
         let key = ev.edge.min(ev.reverse_edge);
+        // Churn-inserted edges carry directed indices past the run-start
+        // `2m` sizing; grow the per-edge counters on demand.
+        if key as usize >= self.edge_load.len() {
+            self.edge_load.resize(key as usize + 1, 0);
+        }
         let load = &mut self.edge_load[key as usize];
         *load += 1;
         if *load == 1 {
@@ -991,6 +1031,10 @@ impl Observer for EdgeCongestionProbe {
         if !self.active {
             return;
         }
+        // Churn-inserted edges index past the run-start `2m` sizing.
+        if ev.edge as usize >= self.load.len() {
+            self.load.resize(ev.edge as usize + 1, 0);
+        }
         let load = &mut self.load[ev.edge as usize];
         *load += 1;
         if *load == 1 {
@@ -1228,6 +1272,33 @@ mod tests {
         assert_eq!(*row, other, "scheduler telemetry stays out of equality");
         assert!(row.to_json().contains("\"chunks\":3"));
         assert!(row.to_json().contains("\"steals\":1"));
+    }
+
+    #[test]
+    fn recorder_buffers_topology_events_into_next_row() {
+        use crate::config::{EdgeEvent, TopologyEvent};
+        let mut rec = MetricsRecorder::new();
+        rec.on_run_start(&info("churn"));
+        rec.on_round_start(1, 0, 4);
+        // The choke point fires on_topology for round 2 before
+        // on_round_start(2): the events must land in row 2, not row 1.
+        let remove = TopologyEvent::Edge(EdgeEvent::Remove { u: 0, v: 1 });
+        let insert = TopologyEvent::Edge(EdgeEvent::Insert { u: 0, v: 2 });
+        rec.on_topology(2, &remove);
+        rec.on_topology(2, &insert);
+        rec.on_round_start(2, 0, 4);
+        // Churn-inserted edges index past the run-start 2m sizing; the
+        // recorder must grow its counters instead of panicking.
+        rec.on_message(&ev(2, 0, 2, 6, 7, None));
+        rec.on_run_end(&RunStats::default());
+        let stream = rec.stream();
+        assert_eq!(stream[1].topo_events, 0);
+        assert_eq!(stream[2].topo_events, 2);
+        assert_eq!(stream[2].messages, 1);
+        assert!(stream[2].to_json().contains("\"topo_events\":2"));
+        let mut other = stream[2].clone();
+        other.topo_events = 0;
+        assert_ne!(stream[2], other, "topo_events participates in equality");
     }
 
     #[test]

@@ -8,10 +8,13 @@
 //! produce bit-for-bit identical reports; benchmarks (see
 //! `dapsp-bench/engine_throughput`) quantify the throughput difference.
 
+use std::sync::Arc;
+
 use crate::algorithm::NodeAlgorithm;
-use crate::config::{Config, DropReason};
+use crate::churn;
+use crate::config::{Config, DropReason, TopologyEvent};
 use crate::engine::store::NodeStore;
-use crate::engine::{QuiescenceState, Report, TerminationCertificate};
+use crate::engine::{ChurnState, QuiescenceState, Report, TerminationCertificate};
 use crate::error::SimError;
 use crate::message::Message;
 use crate::node::{Inbox, NodeContext, NodeId, Outbox};
@@ -34,6 +37,10 @@ pub struct ReferenceSimulator<'t, A: NodeAlgorithm> {
     store: NodeStore<A>,
     /// `pending[v]` holds the messages to be delivered to `v` next round.
     pending: Vec<Vec<(u32, A::Message)>>,
+    /// The live (possibly churned) topology plus the plan cursor; `None`
+    /// when the run has no topology plan. Mirrors the optimized engine's
+    /// churn state exactly — same choke point, same event batching.
+    churn: Option<ChurnState>,
     in_flight: u64,
     round: u64,
     stats: RunStats,
@@ -68,11 +75,20 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
             })
             .collect();
         let trace = config.trace.then(|| Trace::new(config.trace_capacity));
+        let churn = config
+            .topology
+            .as_ref()
+            .filter(|plan| !plan.is_empty())
+            .map(|_| ChurnState {
+                topo: Arc::new(topology.clone()),
+                next_event: 0,
+            });
         ReferenceSimulator {
             topology,
             config,
             store: NodeStore::new(nodes),
             pending: (0..n).map(|_| Vec::new()).collect(),
+            churn,
             in_flight: 0,
             round: 0,
             stats: RunStats::default(),
@@ -100,7 +116,11 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
         outbox: Outbox<A::Message>,
         send_round: u64,
     ) -> Result<(), SimError> {
-        let degree = self.topology.degree(v);
+        // An owned snapshot sidesteps the borrow of `self` the per-item
+        // accounting below needs; within one commit the view is constant.
+        let churn_topo = self.churn.as_ref().map(|c| Arc::clone(&c.topo));
+        let topo: &Topology = churn_topo.as_deref().unwrap_or(self.topology);
+        let degree = topo.degree(v);
         let mut used = vec![false; degree];
         let mut observer = self.config.observer.as_ref().map(|h| h.lock());
         for (port, msg) in outbox.items {
@@ -129,7 +149,22 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
                     bandwidth_bits: self.config.bandwidth_bits,
                 });
             }
-            let to = self.topology.neighbor_at(v, port);
+            let to = topo.neighbor_at(v, port);
+            // Removal wins over crash windows, as documented on
+            // `CrashWindow`: the dead-port check precedes the fault plan.
+            if !topo.port_live(v, port) {
+                self.stats.dropped += 1;
+                if let Some(obs) = observer.as_deref_mut() {
+                    obs.on_drop(
+                        send_round,
+                        v,
+                        port,
+                        DropReason::TopologyChange,
+                        msg.trace_tags(),
+                    );
+                }
+                continue;
+            }
             if let Some(plan) = &self.config.faults {
                 // Same decision order as the optimized engine's validate:
                 // loss rules first, then the receiver's crash window at
@@ -149,7 +184,7 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
                     continue;
                 }
             }
-            let to_port = self.topology.reverse_port(v, port);
+            let to_port = topo.reverse_port(v, port);
             if let Some(trace) = &mut self.trace {
                 trace.record(Event {
                     round: send_round + 1,
@@ -166,8 +201,8 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
                     from: v,
                     to,
                     to_port,
-                    edge: self.topology.directed_edge_index(v, port),
-                    reverse_edge: self.topology.directed_edge_index(to, to_port),
+                    edge: topo.directed_edge_index(v, port),
+                    reverse_edge: topo.directed_edge_index(to, to_port),
                     bits,
                     stream: msg.stream_id(),
                     tags: msg.trace_tags(),
@@ -217,9 +252,96 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
         Ok(())
     }
 
+    /// True while the topology plan still has unapplied events: the run
+    /// must keep stepping to reach them even through quiet stretches.
+    fn churn_pending(&self) -> bool {
+        matches!(
+            (&self.churn, &self.config.topology),
+            (Some(c), Some(p)) if c.next_event < p.events().len()
+        )
+    }
+
+    /// Mirror of the optimized engine's choke point (same batching, same
+    /// observer order, same drop stream): applies every plan event due by
+    /// this round, purges pending deliveries that were crossing a killed
+    /// link — per receiver ascending, entries in commit order, exactly the
+    /// optimized engine's receiver-sorted purge — and notifies affected
+    /// nodes through the shared [`NodeStore`].
+    fn apply_churn(&mut self) -> Result<(), SimError> {
+        let round = self.round;
+        let (changes, batch_events) = {
+            let (Some(churn), Some(plan)) = (self.churn.as_mut(), self.config.topology.as_ref())
+            else {
+                return Ok(());
+            };
+            let events = plan.events();
+            let lo = churn.next_event;
+            let mut hi = lo;
+            while hi < events.len() && events[hi].0 <= round {
+                hi += 1;
+            }
+            if hi == lo {
+                return Ok(());
+            }
+            churn.next_event = hi;
+            let batch_events: Vec<TopologyEvent> = events[lo..hi].iter().map(|&(_, e)| e).collect();
+            let changes = churn::apply_events(Arc::make_mut(&mut churn.topo), &events[lo..hi])?;
+            (changes, batch_events)
+        };
+        self.stats.topo_events += batch_events.len() as u64;
+        if let Some(obs) = &self.config.observer {
+            let mut obs = obs.lock();
+            for ev in &batch_events {
+                obs.on_topology(round, ev);
+            }
+        }
+        let topo = Arc::clone(&self.churn.as_ref().expect("churn state present").topo);
+        let mut purged: u64 = 0;
+        {
+            let mut observer = self.config.observer.as_ref().map(|h| h.lock());
+            for (v, queue) in self.pending.iter_mut().enumerate() {
+                let v = v as NodeId;
+                queue.retain(|&(port, ref msg)| {
+                    let live = topo.port_live(v, port);
+                    if !live {
+                        purged += 1;
+                        if let Some(obs) = observer.as_deref_mut() {
+                            // Tombstoned ports still resolve sender and
+                            // port; the message was sent last round.
+                            obs.on_drop(
+                                round - 1,
+                                topo.neighbor_at(v, port),
+                                topo.reverse_port(v, port),
+                                DropReason::TopologyChange,
+                                msg.trace_tags(),
+                            );
+                        }
+                    }
+                    live
+                });
+            }
+        }
+        self.stats.dropped += purged;
+        self.in_flight -= purged;
+        let (repaired, recompute) =
+            self.store
+                .notify_topology(&topo, &self.config.faults, round, &changes);
+        self.stats.repaired_node_rounds += repaired;
+        self.stats.recompute_fallbacks += recompute;
+        Ok(())
+    }
+
     fn step(&mut self) -> Result<(), SimError> {
         self.round += 1;
         self.stats.rounds = self.round;
+        // The topology choke point: identical position to the optimized
+        // engine's (after the round stamp, before the in-flight peak is
+        // booked — purged messages never count toward the peak).
+        if self.churn.is_some() {
+            self.apply_churn()?;
+        }
+        let churn_topo = self.churn.as_ref().map(|c| Arc::clone(&c.topo));
+        let topo: &Topology = churn_topo.as_deref().unwrap_or(self.topology);
         self.stats.max_messages_per_round = self.stats.max_messages_per_round.max(self.in_flight);
         if self.config.round_profile {
             self.round_profile.push(self.in_flight);
@@ -235,7 +357,10 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
         let mut scheduled_count: u64 = 0;
         for v in 0..n {
             let active = self.store.state(v as NodeId).is_active();
-            let on = !self.pending[v].is_empty() || active;
+            // Absent (removed) nodes are never scheduled: their arrivals
+            // were purged at the choke point and the active-set engine
+            // filters them out of its awake rebuild.
+            let on = topo.node_present(v as NodeId) && (!self.pending[v].is_empty() || active);
             self.scheduled[v] = on;
             scheduled_count += u64::from(on);
         }
@@ -275,6 +400,12 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
         // accumulates per-node durations instead of bracketing two loops.
         #[allow(clippy::needless_range_loop)] // v doubles as the node id
         for v in 0..n {
+            // Removed nodes are gone: no step, no commit, inboxes purged
+            // at the choke point.
+            if !topo.node_present(v as NodeId) {
+                debug_assert!(inboxes[v].is_empty(), "absent node received a message");
+                continue;
+            }
             // Crashed nodes freeze: no step, no commit. Their inboxes are
             // empty by construction (deliveries into the window dropped).
             if self
@@ -294,7 +425,7 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
             let ctx = NodeContext {
                 node_id: v as NodeId,
                 num_nodes: n,
-                neighbor_ids: self.topology.neighbors(v as NodeId),
+                neighbor_ids: topo.neighbors(v as NodeId),
                 round: self.round,
             };
             let mut outbox = Outbox::new();
@@ -371,7 +502,7 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
             obs.lock()
                 .on_quiescence(0, q.votes_active, q.votes_passive, q.votes_shutdown);
         }
-        while !self.quiescence.terminal(self.in_flight) {
+        while self.churn_pending() || !self.quiescence.terminal(self.in_flight) {
             if self.round >= self.config.max_rounds {
                 return Err(SimError::RoundLimitExceeded {
                     limit: self.config.max_rounds,
@@ -388,7 +519,10 @@ impl<'t, A: NodeAlgorithm> ReferenceSimulator<'t, A> {
             self.quiescence,
             self.store.final_votes(),
         ));
-        let outputs = self.store.into_outputs(self.topology, self.round);
+        let churn_topo = self.churn.as_ref().map(|c| Arc::clone(&c.topo));
+        let outputs = self
+            .store
+            .into_outputs(churn_topo.as_deref().unwrap_or(self.topology), self.round);
         self.stats.wall_time = started.elapsed();
         let metrics = if let Some(obs) = &self.config.observer {
             let mut obs = obs.lock();

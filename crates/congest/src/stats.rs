@@ -26,6 +26,21 @@ pub struct RunStats {
     /// inside a [`CrashWindow`](crate::CrashWindow); always 0 without
     /// scheduled crashes.
     pub crashed: u64,
+    /// Topology events applied from the run's
+    /// [`TopologyPlan`](crate::TopologyPlan) (edge inserts/removes, node
+    /// removals/joins); always 0 without a churn plan.
+    pub topo_events: u64,
+    /// Repaired node-rounds: how many `on_topology` notifications returned
+    /// [`RepairAction::Repaired`](crate::RepairAction) — nodes that patched
+    /// their state incrementally instead of recomputing. Deterministic (the
+    /// choke point notifies every present node in id order), so it
+    /// participates in equality.
+    pub repaired_node_rounds: u64,
+    /// How many `on_topology` notifications returned
+    /// [`RepairAction::Recompute`](crate::RepairAction) — the
+    /// divergence-adaptive policy giving up on incremental repair.
+    /// Deterministic; participates in equality.
+    pub recompute_fallbacks: u64,
     /// Scheduled node-rounds: total nodes placed on a round schedule
     /// (arrivals waiting or awake) over the whole run, with round 0
     /// counting every node that ran `on_start`. The dense engines step
@@ -63,6 +78,9 @@ impl PartialEq for RunStats {
             && self.max_messages_per_round == other.max_messages_per_round
             && self.dropped == other.dropped
             && self.crashed == other.crashed
+            && self.topo_events == other.topo_events
+            && self.repaired_node_rounds == other.repaired_node_rounds
+            && self.recompute_fallbacks == other.recompute_fallbacks
             && self.scheduled_node_rounds == other.scheduled_node_rounds
             && self.max_scheduled_per_round == other.max_scheduled_per_round
     }
@@ -107,6 +125,9 @@ impl RunStats {
             .max(other.max_messages_per_round);
         self.dropped += other.dropped;
         self.crashed += other.crashed;
+        self.topo_events += other.topo_events;
+        self.repaired_node_rounds += other.repaired_node_rounds;
+        self.recompute_fallbacks += other.recompute_fallbacks;
         self.scheduled_node_rounds += other.scheduled_node_rounds;
         self.max_scheduled_per_round = self
             .max_scheduled_per_round
@@ -133,6 +154,13 @@ impl std::fmt::Display for RunStats {
         if self.crashed > 0 {
             write!(f, ", {} crashed node-rounds", self.crashed)?;
         }
+        if self.topo_events > 0 {
+            write!(
+                f,
+                ", {} topology events ({} repaired, {} recomputed)",
+                self.topo_events, self.repaired_node_rounds, self.recompute_fallbacks
+            )?;
+        }
         if self.chunks_stepped > 0 {
             write!(
                 f,
@@ -158,6 +186,9 @@ mod tests {
             max_messages_per_round: 30,
             dropped: 1,
             crashed: 4,
+            topo_events: 2,
+            repaired_node_rounds: 5,
+            recompute_fallbacks: 1,
             scheduled_node_rounds: 40,
             max_scheduled_per_round: 8,
             chunks_stepped: 6,
@@ -172,6 +203,9 @@ mod tests {
             max_messages_per_round: 10,
             dropped: 2,
             crashed: 1,
+            topo_events: 3,
+            repaired_node_rounds: 4,
+            recompute_fallbacks: 2,
             scheduled_node_rounds: 25,
             max_scheduled_per_round: 12,
             chunks_stepped: 3,
@@ -186,6 +220,9 @@ mod tests {
         assert_eq!(a.max_messages_per_round, 30);
         assert_eq!(a.dropped, 3);
         assert_eq!(a.crashed, 5);
+        assert_eq!(a.topo_events, 5);
+        assert_eq!(a.repaired_node_rounds, 9);
+        assert_eq!(a.recompute_fallbacks, 3);
         assert_eq!(a.scheduled_node_rounds, 65);
         assert_eq!(a.max_scheduled_per_round, 12);
         assert_eq!(a.chunks_stepped, 9);
@@ -266,5 +303,27 @@ mod tests {
         assert!(rendered.contains("peak 4/round"), "{rendered}");
         assert!(rendered.contains("2 dropped"), "{rendered}");
         assert!(rendered.contains("3 crashed node-rounds"), "{rendered}");
+    }
+
+    #[test]
+    fn repair_counters_participate_in_equality_and_display() {
+        let churned = RunStats {
+            rounds: 3,
+            topo_events: 2,
+            repaired_node_rounds: 6,
+            recompute_fallbacks: 1,
+            ..RunStats::default()
+        };
+        let quiet = RunStats {
+            rounds: 3,
+            ..RunStats::default()
+        };
+        assert_ne!(churned, quiet);
+        let rendered = churned.to_string();
+        assert!(
+            rendered.contains("2 topology events (6 repaired, 1 recomputed)"),
+            "{rendered}"
+        );
+        assert!(!quiet.to_string().contains("topology"));
     }
 }

@@ -29,7 +29,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use crate::config::DropReason;
+use crate::config::{DropReason, EdgeEvent, NodeEvent, TopologyEvent};
 use crate::node::{NodeId, Port};
 use crate::obs::{MessageEvent, Observer, RunInfo, TransportSummary};
 use crate::stats::RunStats;
@@ -132,6 +132,16 @@ pub enum TraceEvent {
         from: NodeId,
         /// Receiver.
         to: NodeId,
+    },
+    /// A [`TopologyPlan`](crate::TopologyPlan) event took effect at the
+    /// churn choke point entering `round` — before the round's
+    /// deliveries, after the previous round's commits (see
+    /// [`Observer::on_topology`]).
+    TopologyChange {
+        /// The round the event takes effect in.
+        round: u64,
+        /// The applied plan event.
+        event: TopologyEvent,
     },
     /// A node sat out this round inside a crash window.
     Crash {
@@ -266,6 +276,17 @@ impl TraceEvent {
             }
             TraceEvent::Ack { round, from, to } => {
                 format!("{{\"ev\":\"ack\",\"round\":{round},\"from\":{from},\"to\":{to}}}")
+            }
+            TraceEvent::TopologyChange { round, event } => {
+                let (kind, u, v) = match *event {
+                    TopologyEvent::Edge(EdgeEvent::Insert { u, v }) => ("insert", u, v),
+                    TopologyEvent::Edge(EdgeEvent::Remove { u, v }) => ("remove", u, v),
+                    TopologyEvent::Node(NodeEvent::Crash(n)) => ("crash", n, n),
+                    TopologyEvent::Node(NodeEvent::Join(n)) => ("join", n, n),
+                };
+                format!(
+                    "{{\"ev\":\"topology\",\"round\":{round},\"kind\":\"{kind}\",\"u\":{u},\"v\":{v}}}"
+                )
             }
             TraceEvent::Crash { round, node } => {
                 format!("{{\"ev\":\"crash\",\"round\":{round},\"node\":{node}}}")
@@ -678,6 +699,10 @@ impl TraceRecorder {
                     "{{\"name\":\"votes\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\"tid\":0,\"args\":{{\"active\":{active},\"passive\":{passive},\"shutdown\":{shutdown}}}}}",
                     round * US
                 )),
+                TraceEvent::TopologyChange { round, event } => out.push(format!(
+                    "{{\"name\":\"topology {event:?}\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{},\"pid\":0,\"tid\":0}}",
+                    round * US
+                )),
                 TraceEvent::EarlyTermination { round, in_flight } => out.push(format!(
                     "{{\"name\":\"early termination\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{},\"pid\":0,\"tid\":0,\"args\":{{\"in_flight\":{in_flight}}}}}",
                     (round + 1) * US
@@ -822,6 +847,13 @@ impl Observer for TraceRecorder {
 
     fn on_crash(&mut self, round: u64, node: NodeId) {
         self.ring.push(TraceEvent::Crash { round, node });
+    }
+
+    fn on_topology(&mut self, round: u64, event: &TopologyEvent) {
+        self.ring.push(TraceEvent::TopologyChange {
+            round,
+            event: *event,
+        });
     }
 
     fn on_sched(&mut self, _round: u64, chunks: u64, steals: u64) {
@@ -1015,6 +1047,36 @@ mod tests {
         let spans = rec.wave_spans();
         assert_eq!(spans, vec![(7, 0, 0, 2, 2)]);
         assert_eq!(rec.wave_delay_histogram(), vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn topology_events_render_kind_and_endpoints() {
+        let mut rec = TraceRecorder::new();
+        rec.on_run_start(&RunInfo {
+            phase: "churn",
+            nodes: 4,
+            directed_edges: 6,
+            started: 4,
+        });
+        rec.on_topology(2, &TopologyEvent::Edge(EdgeEvent::Remove { u: 1, v: 2 }));
+        rec.on_topology(2, &TopologyEvent::Node(NodeEvent::Crash(3)));
+        rec.on_topology(5, &TopologyEvent::Edge(EdgeEvent::Insert { u: 0, v: 3 }));
+        rec.on_topology(5, &TopologyEvent::Node(NodeEvent::Join(3)));
+        rec.on_run_end(&RunStats::default());
+        let text = rec.events_jsonl();
+        assert!(
+            text.contains("{\"ev\":\"topology\",\"round\":2,\"kind\":\"remove\",\"u\":1,\"v\":2}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("\"kind\":\"crash\",\"u\":3,\"v\":3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("\"kind\":\"insert\",\"u\":0,\"v\":3"),
+            "{text}"
+        );
+        assert!(text.contains("\"kind\":\"join\",\"u\":3,\"v\":3"), "{text}");
     }
 
     #[test]

@@ -7,9 +7,9 @@
 use proptest::prelude::*;
 
 use dapsp_congest::{
-    Config, ExecutorKind, Inbox, Message, MetricsRecorder, NodeAlgorithm, NodeContext, Outbox,
-    Port, ReferenceSimulator, SharedObserver, Simulator, TerminationReason, Topology,
-    TraceRecorder,
+    Config, ExecutorKind, FaultPlan, Inbox, Message, MetricsRecorder, NodeAlgorithm, NodeContext,
+    Outbox, Port, ReferenceSimulator, SharedObserver, Simulator, TerminationReason, Topology,
+    TopologyPlan, TraceRecorder,
 };
 
 /// A gossip token: (origin id, hop count). Sized like a real CONGEST
@@ -535,6 +535,103 @@ proptest! {
         }
     }
 
+    /// Churned runs stay deterministic four ways: Serial, Pool(2),
+    /// Pool(2) with forced unit chunks (maximum stealing), and the seed
+    /// reference engine must agree on outputs, stats (including the new
+    /// `topo_events` / `repaired_node_rounds` / `recompute_fallbacks`
+    /// columns) and the trace2 stream — `TopologyChange` events included —
+    /// on random graphs × random plans × loss × observer modes.
+    #[test]
+    fn churned_runs_match_four_ways(
+        n in 3usize..20,
+        seed in any::<u64>(),
+        lossy in any::<bool>(),
+        observed in any::<bool>(),
+        crash in any::<bool>(),
+    ) {
+        let adj = random_connected_adj(n, seed, 1);
+        let topo = Topology::from_adjacency(adj.clone()).expect("valid");
+        // Build a plan that is valid against the initial graph: insert a
+        // non-edge (when one exists) at round 1, remove an original edge
+        // at round 2, optionally remove a whole node at round 3.
+        let mut edges = Vec::new();
+        let mut non_edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in u + 1..n as u32 {
+                if adj[u as usize].contains(&v) {
+                    edges.push((u, v));
+                } else {
+                    non_edges.push((u, v));
+                }
+            }
+        }
+        let mut plan = TopologyPlan::new();
+        if !non_edges.is_empty() {
+            let (u, v) = non_edges[seed as usize % non_edges.len()];
+            plan = plan.with_insert(1, u, v);
+        }
+        let (u, v) = edges[(seed / 7) as usize % edges.len()];
+        plan = plan.with_remove(2, u, v);
+        if crash {
+            plan = plan.with_crash(3, (seed % n as u64) as u32);
+        }
+        let init = |_: &NodeContext<'_>| Gossip {
+            first_heard: vec![None; n],
+            queue: std::collections::VecDeque::new(),
+        };
+        let run_one = |executor: ExecutorKind, chunk: usize, reference: bool| {
+            let mut config = gossip_config(n)
+                .with_phase("churn")
+                .with_executor(executor)
+                .with_topology(plan.clone());
+            if chunk > 0 {
+                config = config.with_pool_chunk(chunk);
+            }
+            if lossy {
+                config = config.with_loss(0.25, seed);
+            }
+            let rec = observed.then(|| SharedObserver::new(TraceRecorder::new()));
+            if let Some(rec) = &rec {
+                config = config.with_observer(rec.observer());
+            }
+            let report = if reference {
+                ReferenceSimulator::new(&topo, config, init).run().expect("reference runs")
+            } else {
+                Simulator::new(&topo, config, init).run().expect("pipeline runs")
+            };
+            let jsonl = rec.map(|r| r.with(|t| t.events_jsonl()));
+            (report, jsonl)
+        };
+        let (baseline, base_jsonl) = run_one(ExecutorKind::Serial, 0, false);
+        let applied = plan.events().len() as u64;
+        prop_assert_eq!(baseline.stats.topo_events, applied, "every event applies");
+        if let Some(jsonl) = &base_jsonl {
+            prop_assert_eq!(
+                jsonl.matches("\"ev\":\"topology\"").count() as u64,
+                applied,
+                "one trace2 event per plan event"
+            );
+        }
+        for (executor, chunk, reference) in [
+            (ExecutorKind::Pool { workers: 2 }, 0, false),
+            (ExecutorKind::Pool { workers: 2 }, 1, false),
+            (ExecutorKind::Serial, 0, true),
+        ] {
+            let (other, other_jsonl) = run_one(executor, chunk, reference);
+            let label = if reference {
+                "reference".to_string()
+            } else {
+                format!("{}/chunk{}", executor.name(), chunk)
+            };
+            prop_assert_eq!(&baseline.outputs, &other.outputs, "outputs vs {}", &label);
+            prop_assert_eq!(baseline.stats, other.stats, "stats vs {}", &label);
+            prop_assert_eq!(&baseline.round_profile, &other.round_profile, "profile vs {}", &label);
+            prop_assert_eq!(&base_jsonl, &other_jsonl, "trace2 vs {}", &label);
+            let (bt, ot) = (baseline.trace.as_ref().unwrap(), other.trace.as_ref().unwrap());
+            prop_assert_eq!(bt.events(), ot.events(), "trace vs {}", &label);
+        }
+    }
+
     /// The optimized engine agrees with the verbatim seed engine on every
     /// observable — the buffer recycling and skip-sort paths change nothing.
     #[test]
@@ -554,4 +651,110 @@ proptest! {
         let (ot, rt) = (optimized.trace.as_ref().unwrap(), reference.trace.as_ref().unwrap());
         prop_assert_eq!(ot.events(), rt.events());
     }
+}
+
+/// A node that sends a token on port 0 every round for `rounds` rounds —
+/// a steady message source for drop-attribution tests.
+struct Pinger {
+    remaining: u64,
+}
+impl NodeAlgorithm for Pinger {
+    type Message = Token;
+    type Output = ();
+
+    fn on_round(&mut self, ctx: &NodeContext<'_>, _: &Inbox<Token>, out: &mut Outbox<Token>) {
+        if self.remaining > 0 && ctx.degree() > 0 {
+            self.remaining -= 1;
+            out.send(
+                0,
+                Token {
+                    origin: ctx.node_id(),
+                    hops: 0,
+                },
+            );
+        }
+    }
+
+    fn is_active(&self) -> bool {
+        self.remaining > 0
+    }
+
+    fn into_output(self, _: &NodeContext<'_>) {}
+}
+
+/// The documented composition of [`FaultPlan`] crash windows with
+/// [`TopologyPlan`] removals: a *crashed* node keeps its edges (messages
+/// to it drop as [`DropReason::ReceiverCrashed`] and delivery resumes when
+/// the window closes), while a *removed* edge is gone for good — and when
+/// both apply to the same delivery, **removal wins**: the dead-port check
+/// runs before the fault-plan check at the commit choke point, so the
+/// drop is attributed to [`DropReason::TopologyChange`]. Verified on both
+/// the optimized and the seed reference engine.
+#[test]
+fn removal_wins_over_crash_windows() {
+    // Path 0 – 1: node 0 pings node 1 every round. Node 1 is inside a
+    // crash window for rounds 1..=4; the plan removes the edge at round 3,
+    // mid-window.
+    let topo = Topology::from_adjacency(vec![vec![1], vec![0]]).expect("valid");
+    let faults = FaultPlan::new(7).with_crash(1, 1, 4);
+    let plan = TopologyPlan::new().with_remove(3, 0, 1);
+    let run_one = |reference: bool| {
+        let config = Config::for_n(2)
+            .with_bandwidth_bits(16)
+            .with_faults(faults.clone())
+            .with_topology(plan.clone());
+        let rec = SharedObserver::new(TraceRecorder::new());
+        let config = config.with_observer(rec.observer());
+        let init = |ctx: &NodeContext<'_>| Pinger {
+            remaining: if ctx.node_id() == 0 { 6 } else { 0 },
+        };
+        let report = if reference {
+            ReferenceSimulator::new(&topo, config, init)
+                .run()
+                .expect("reference runs")
+        } else {
+            Simulator::new(&topo, config, init).run().expect("runs")
+        };
+        (report, rec.with(|t| t.events_jsonl()))
+    };
+    let (report, jsonl) = run_one(false);
+    // Rounds 1–2: in the window, edge intact → ReceiverCrashed. Rounds
+    // 3–6: the edge is gone; round 3 overlaps the window and must still be
+    // attributed to the removal, not the crash.
+    let crashed = jsonl.matches("\"reason\":\"ReceiverCrashed\"").count();
+    let churned = jsonl.matches("\"reason\":\"TopologyChange\"").count();
+    assert_eq!(crashed, 2, "rounds 1-2 drop as crashes:\n{jsonl}");
+    assert_eq!(churned, 4, "rounds 3-6 drop as removals:\n{jsonl}");
+    assert_eq!(report.stats.dropped, 6);
+    let (ref_report, ref_jsonl) = run_one(true);
+    assert_eq!(
+        report.stats, ref_report.stats,
+        "engines agree on precedence"
+    );
+    assert_eq!(jsonl, ref_jsonl, "trace2 agrees on precedence");
+}
+
+/// The other half of the composition: a crash window alone never touches
+/// the topology — the node resumes with all its edges when the window
+/// closes, and every drop is attributed to the crash.
+#[test]
+fn crash_windows_keep_edges() {
+    let topo = Topology::from_adjacency(vec![vec![1], vec![0]]).expect("valid");
+    // Node 1 is crashed for rounds 1–3 (windows are half-open). A send in
+    // round R delivers in round R+1, and the crash check keys on the
+    // delivery round: sends of rounds 1–2 drop, everything later lands.
+    let faults = FaultPlan::new(7).with_crash(1, 1, 4);
+    let config = Config::for_n(2).with_bandwidth_bits(16).with_faults(faults);
+    let rec = SharedObserver::new(TraceRecorder::new());
+    let config = config.with_observer(rec.observer());
+    let report = Simulator::new(&topo, config, |ctx| Pinger {
+        remaining: if ctx.node_id() == 0 { 5 } else { 0 },
+    })
+    .run()
+    .expect("runs");
+    let jsonl = rec.with(|t| t.events_jsonl());
+    assert_eq!(jsonl.matches("\"reason\":\"ReceiverCrashed\"").count(), 2);
+    assert_eq!(jsonl.matches("\"reason\":\"TopologyChange\"").count(), 0);
+    assert_eq!(report.stats.dropped, 2);
+    assert_eq!(report.stats.messages, 3, "post-window pings deliver");
 }

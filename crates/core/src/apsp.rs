@@ -22,10 +22,13 @@
 //! also record *cycle candidates* (two wave receipts for the same root),
 //! which is exactly what Lemma 7 needs to compute the girth.
 
-use dapsp_congest::{Config, FaultPlan, NodeContext, ObserverHandle, RunStats, Topology};
+use dapsp_congest::{
+    Config, FaultPlan, NodeContext, ObserverHandle, RunStats, Topology, TopologyPlan,
+};
 use dapsp_graph::{DistanceMatrix, Graph, INFINITY};
 
 use crate::bfs;
+use crate::churned::{run_repair, ChurnedResult, RepairMode};
 use crate::error::CoreError;
 use crate::kernel::{
     run_protocol_on, split_reliable_report, Coupling, PebbleKernel, RelStats, ReliableKernel,
@@ -350,6 +353,50 @@ impl KbfsResult {
 /// same input validation as [`run`].
 pub fn run_without_wait(graph: &Graph) -> Result<ApspResult, CoreError> {
     run_with_wait(graph, false)
+}
+
+/// Like [`run`], but over a network whose topology changes mid-run per
+/// `plan`: every node maintains its full distance row through edge
+/// insertions/removals and node churn via a
+/// [`RepairKernel`](crate::kernel::RepairKernel) (affected-subtree
+/// invalidation after removals, bounded relaxation waves after insertions,
+/// adaptive full recompute on large batches). The returned
+/// [`ChurnedResult`] holds the all-pairs distances on the *post-churn*
+/// graph, with `roots = 0..n`.
+///
+/// Unlike the static [`run`], the repair protocol does not use the pebble
+/// schedule (waves must be restartable), so disconnected post-churn graphs
+/// are fine: unreachable pairs report
+/// [`INFINITY`].
+///
+/// # Errors
+///
+/// Same as [`run`] minus the connectivity requirement; a plan that does
+/// not apply cleanly surfaces as [`CoreError::Sim`].
+pub fn run_churned(graph: &Graph, plan: &TopologyPlan) -> Result<ChurnedResult, CoreError> {
+    if graph.num_nodes() == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    run_churned_on(&graph.to_topology(), plan, Obs::none())
+}
+
+/// Like [`run_churned`], over a prebuilt [`Topology`] with an optional
+/// observer (phase label `"apsp:churn"`).
+///
+/// # Errors
+///
+/// Same as [`run_churned`].
+pub fn run_churned_on(
+    topology: &Topology,
+    plan: &TopologyPlan,
+    obs: Obs<'_>,
+) -> Result<ChurnedResult, CoreError> {
+    let n = topology.num_nodes();
+    if n == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    let roots: Vec<u32> = (0..n as u32).collect();
+    run_repair(topology, plan, roots, RepairMode::All, obs, "apsp:churn")
 }
 
 fn run_with_wait(graph: &Graph, wait_one_slot: bool) -> Result<ApspResult, CoreError> {

@@ -11,9 +11,10 @@
 //! adoption-announcing configuration; this module only validates input and
 //! folds the per-node [`WaveState`]s into a [`BfsResult`].
 
-use dapsp_congest::{Config, FaultPlan, Port, Topology};
+use dapsp_congest::{Config, FaultPlan, Port, Topology, TopologyPlan};
 use dapsp_graph::{Graph, INFINITY};
 
+use crate::churned::{run_repair, ChurnedResult, RepairMode};
 use crate::error::CoreError;
 use crate::kernel::{
     run_protocol_on, split_reliable_report, RelStats, ReliableKernel, WaveKernel, WaveState,
@@ -226,6 +227,59 @@ pub fn run_faulty_on(
     let (report, rel) = split_reliable_report(report);
     obs.report_transport(&rel.summary());
     Ok((fold_bfs(root, n, report), rel))
+}
+
+/// Like [`run`], but over a network whose topology changes mid-run per
+/// `plan`: a [`RepairKernel`](crate::kernel::RepairKernel) maintains the
+/// root's distances through edge insertions/removals and node churn, and
+/// the returned [`ChurnedResult`] holds distances on the *post-churn*
+/// graph (validated against a fresh recompute by the conformance suite).
+///
+/// # Errors
+///
+/// Same as [`run`]; additionally a plan that does not apply cleanly to the
+/// graph (removing a missing edge, …) surfaces as [`CoreError::Sim`].
+pub fn run_churned(
+    graph: &Graph,
+    root: u32,
+    plan: &TopologyPlan,
+) -> Result<ChurnedResult, CoreError> {
+    if graph.num_nodes() == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    run_churned_on(&graph.to_topology(), root, plan, Obs::none())
+}
+
+/// Like [`run_churned`], over a prebuilt [`Topology`] with an optional
+/// observer (phase label `"bfs:churn"`).
+///
+/// # Errors
+///
+/// Same as [`run_churned`].
+pub fn run_churned_on(
+    topology: &Topology,
+    root: u32,
+    plan: &TopologyPlan,
+    obs: Obs<'_>,
+) -> Result<ChurnedResult, CoreError> {
+    let n = topology.num_nodes();
+    if n == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    if root as usize >= n {
+        return Err(CoreError::InvalidNode {
+            node: root,
+            num_nodes: n,
+        });
+    }
+    run_repair(
+        topology,
+        plan,
+        vec![root],
+        RepairMode::Single(root),
+        obs,
+        "bfs:churn",
+    )
 }
 
 /// Folds per-node wave states into the host-side [`BfsResult`].

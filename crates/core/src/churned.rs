@@ -1,0 +1,284 @@
+//! Shared plumbing for churn-tolerant shortest-path runs: the
+//! [`ChurnedResult`] all three `run_churned` entry points ([`bfs`](crate::bfs),
+//! [`apsp`](crate::apsp), [`ssp`](crate::ssp)) return, the
+//! [`RepairKernel`]-driving runner behind them, and the
+//! [`churned_graph`] oracle helper conformance tests recompute reference
+//! answers on.
+//!
+//! A churned run hands the engine a
+//! [`TopologyPlan`] next to the usual config; the engine applies each
+//! event at its choke point, notifies affected nodes through
+//! [`Protocol::on_topology`](crate::kernel::Protocol::on_topology), and the
+//! repair kernel patches its distances in place (see the
+//! [`kernel::repair`](crate::kernel::RepairKernel) docs for the policy).
+//! When the run quiesces, every *present* node's distances equal a fresh
+//! computation on the post-churn graph.
+
+use dapsp_congest::{churned_topology, Config, Port, RunStats, Topology, TopologyPlan};
+use dapsp_graph::Graph;
+
+use crate::error::CoreError;
+use crate::kernel::{repair_threshold, run_protocol_on, RepairKernel};
+use crate::observe::Obs;
+
+/// The result of a churn-tolerant shortest-path run: distances on the
+/// *post-churn* graph, per node per requested root.
+#[derive(Clone, Debug)]
+pub struct ChurnedResult {
+    /// The roots/sources distances were maintained for, as requested.
+    pub roots: Vec<u32>,
+    /// `dist[v][i]` = hop distance from `v` to `roots[i]` on the final
+    /// (post-churn) graph; [`INFINITY`](dapsp_graph::INFINITY) when
+    /// unreachable. Rows of removed nodes are frozen at their last
+    /// pre-removal state — check [`present`](Self::present).
+    pub dist: Vec<Vec<u32>>,
+    /// `parent_port[v][i]` = `v`'s port toward its parent in the repaired
+    /// tree of `roots[i]` (`None` at the root and at unreached nodes).
+    pub parent_port: Vec<Vec<Option<Port>>>,
+    /// Whether each node is still part of the final topology; removed
+    /// nodes keep their last outputs but no guarantee covers them.
+    pub present: Vec<bool>,
+    /// Statistics of the run — `topo_events`, `repaired_node_rounds` and
+    /// `recompute_fallbacks` tell how the adaptive policy played out.
+    pub stats: RunStats,
+}
+
+impl ChurnedResult {
+    /// Distance from `v` to `root` on the post-churn graph, if `root` was
+    /// in the maintained set.
+    pub fn dist_to(&self, v: u32, root: u32) -> Option<u32> {
+        let i = self.roots.iter().position(|&r| r == root)?;
+        Some(self.dist[v as usize][i])
+    }
+}
+
+/// Which distances a churned run maintains.
+pub(crate) enum RepairMode {
+    /// One root (churned BFS).
+    Single(u32),
+    /// Every node (churned APSP).
+    All,
+    /// A source subset, as a membership mask (churned S-SP).
+    Sources(Vec<bool>),
+}
+
+/// Runs a [`RepairKernel`] under `plan` and folds the per-node states into
+/// a [`ChurnedResult`]. The round limit is stretched past the plan's last
+/// event by the `O(n)` a repair (or count-to-infinity retraction chain)
+/// can take.
+pub(crate) fn run_repair(
+    topology: &Topology,
+    plan: &TopologyPlan,
+    roots: Vec<u32>,
+    mode: RepairMode,
+    obs: Obs<'_>,
+    phase: &str,
+) -> Result<ChurnedResult, CoreError> {
+    let n = topology.num_nodes();
+    let mut config = obs
+        .apply(Config::for_n(n), phase)
+        .with_topology(plan.clone());
+    let horizon = plan.last_round().unwrap_or(0) + 4 * n as u64 + 16;
+    config.max_rounds = config.max_rounds.max(horizon);
+    let threshold = repair_threshold(n);
+    let report = run_protocol_on(topology, config, |ctx| match &mode {
+        RepairMode::Single(root) => RepairKernel::single_root(ctx, *root, threshold),
+        RepairMode::All => RepairKernel::all_roots(ctx, threshold),
+        RepairMode::Sources(is_source) => {
+            RepairKernel::sources(ctx, is_source[ctx.node_id() as usize], threshold)
+        }
+    })?;
+    let final_topo = churned_topology(topology, plan)?;
+    let slot_of: Vec<usize> = match mode {
+        RepairMode::Single(_) => vec![0; roots.len()],
+        _ => roots.iter().map(|&r| r as usize).collect(),
+    };
+    let mut dist = Vec::with_capacity(n);
+    let mut parent_port = Vec::with_capacity(n);
+    for state in &report.outputs {
+        dist.push(slot_of.iter().map(|&s| state.dist[s]).collect::<Vec<_>>());
+        parent_port.push(
+            slot_of
+                .iter()
+                .map(|&s| (state.parent[s] != u32::MAX).then_some(state.parent[s]))
+                .collect::<Vec<_>>(),
+        );
+    }
+    let present = (0..n as u32).map(|v| final_topo.node_present(v)).collect();
+    Ok(ChurnedResult {
+        roots,
+        dist,
+        parent_port,
+        present,
+        stats: report.stats,
+    })
+}
+
+/// The graph `graph` ends up as after every event of `plan` — the oracle
+/// side of churn conformance: run the reference algorithms on this and
+/// compare against a churned run's repaired outputs. Removed nodes stay in
+/// the vertex set as isolated nodes (distances to them are
+/// [`INFINITY`](dapsp_graph::INFINITY)).
+///
+/// # Errors
+///
+/// [`CoreError::Sim`] if the plan does not apply cleanly to the graph
+/// (removing a missing edge, inserting a duplicate, …).
+pub fn churned_graph(graph: &Graph, plan: &TopologyPlan) -> Result<Graph, CoreError> {
+    let topo = churned_topology(&graph.to_topology(), plan)?;
+    let adj = topo.to_adjacency();
+    let mut b = Graph::builder(adj.len());
+    for (u, nbrs) in adj.iter().enumerate() {
+        for &v in nbrs {
+            if (u as u32) < v {
+                b.add_edge(u as u32, v)
+                    .map_err(|e| CoreError::InvalidParameter(e.to_string()))?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{apsp, bfs, ssp};
+    use dapsp_graph::{generators, reference, INFINITY};
+
+    /// Repaired distances must equal a fresh reference BFS on the
+    /// post-churn graph.
+    fn assert_bfs_matches(g: &Graph, root: u32, plan: &TopologyPlan) {
+        let r = bfs::run_churned(g, root, plan).unwrap();
+        let oracle = reference::bfs(&churned_graph(g, plan).unwrap(), root);
+        for (v, &want) in oracle.iter().enumerate() {
+            if !r.present[v] {
+                continue;
+            }
+            assert_eq!(
+                r.dist[v][0], want,
+                "node {v} after plan {plan:?}: got {}, oracle {want}",
+                r.dist[v][0]
+            );
+        }
+    }
+
+    #[test]
+    fn churned_bfs_repairs_a_removal() {
+        let g = generators::cycle(8);
+        assert_bfs_matches(&g, 0, &TopologyPlan::new().with_remove(2, 0, 1));
+    }
+
+    #[test]
+    fn churned_bfs_uses_an_insertion() {
+        let g = generators::path(8);
+        let plan = TopologyPlan::new().with_insert(3, 0, 7);
+        let r = bfs::run_churned(&g, 0, &plan).unwrap();
+        assert_eq!(r.dist_to(7, 0), Some(1));
+        assert_bfs_matches(&g, 0, &plan);
+    }
+
+    #[test]
+    fn churned_bfs_retracts_when_disconnected() {
+        // Removing the middle edge severs nodes 4..8 from the root; their
+        // distances must retract to INFINITY (count-to-infinity clamp).
+        let g = generators::path(8);
+        let plan = TopologyPlan::new().with_remove(2, 3, 4);
+        let r = bfs::run_churned(&g, 0, &plan).unwrap();
+        for v in 4..8 {
+            assert_eq!(r.dist[v][0], INFINITY, "node {v} must be unreachable");
+        }
+        assert_bfs_matches(&g, 0, &plan);
+    }
+
+    #[test]
+    fn churned_bfs_handles_a_crash() {
+        // Crashing node 2 of a cycle leaves a path; the survivors' repaired
+        // distances match the oracle and the victim is flagged absent.
+        let g = generators::cycle(6);
+        let plan = TopologyPlan::new().with_crash(2, 2);
+        let r = bfs::run_churned(&g, 0, &plan).unwrap();
+        assert!(!r.present[2]);
+        assert_bfs_matches(&g, 0, &plan);
+    }
+
+    #[test]
+    fn churned_apsp_matches_oracle() {
+        let g = generators::grid(3, 3);
+        let plan = TopologyPlan::new()
+            .with_remove(2, 0, 1)
+            .with_insert(4, 0, 8);
+        let r = apsp::run_churned(&g, &plan).unwrap();
+        let oracle = reference::apsp(&churned_graph(&g, &plan).unwrap());
+        for v in 0..9u32 {
+            for root in 0..9u32 {
+                assert_eq!(
+                    r.dist_to(v, root),
+                    oracle.get(v, root).or(Some(INFINITY)),
+                    "d({v}, {root})"
+                );
+            }
+        }
+        assert_eq!(r.stats.topo_events, 2);
+        assert!(r.stats.repaired_node_rounds > 0);
+    }
+
+    #[test]
+    fn churned_ssp_matches_oracle() {
+        let g = generators::grid(3, 3);
+        let sources = [0u32, 8];
+        let plan = TopologyPlan::new().with_remove(3, 4, 5);
+        let r = ssp::run_churned(&g, &sources, &plan).unwrap();
+        let mutated = churned_graph(&g, &plan).unwrap();
+        for (i, &s) in sources.iter().enumerate() {
+            let oracle = reference::bfs(&mutated, s);
+            for (v, &want) in oracle.iter().enumerate() {
+                assert_eq!(r.dist[v][i], want, "d({v}, {s})");
+            }
+        }
+        assert_eq!(r.roots, sources);
+    }
+
+    #[test]
+    fn large_batches_trigger_the_adaptive_fallback() {
+        // n = 9 → threshold max(4, 1) = 4; two removals in one round are 4
+        // directed halves, so every notified node takes the full-recompute
+        // branch and the counter records it.
+        let g = generators::grid(3, 3);
+        let plan = TopologyPlan::new()
+            .with_remove(2, 0, 1)
+            .with_remove(2, 4, 5);
+        let r = apsp::run_churned(&g, &plan).unwrap();
+        assert!(
+            r.stats.recompute_fallbacks > 0,
+            "batch of 4 halves must cross threshold 4"
+        );
+        let oracle = reference::apsp(&churned_graph(&g, &plan).unwrap());
+        for v in 0..9u32 {
+            for root in 0..9u32 {
+                assert_eq!(r.dist_to(v, root), oracle.get(v, root).or(Some(INFINITY)));
+            }
+        }
+    }
+
+    #[test]
+    fn single_removals_stay_below_the_fallback() {
+        let g = generators::grid(3, 3);
+        let plan = TopologyPlan::new().with_remove(2, 0, 1);
+        let r = apsp::run_churned(&g, &plan).unwrap();
+        assert_eq!(r.stats.recompute_fallbacks, 0, "2 halves < threshold 4");
+        assert!(r.stats.repaired_node_rounds > 0);
+    }
+
+    #[test]
+    fn churned_graph_applies_the_whole_plan() {
+        let g = generators::path(4);
+        let plan = TopologyPlan::new()
+            .with_remove(1, 1, 2)
+            .with_insert(2, 0, 3)
+            .with_crash(3, 2);
+        let mutated = churned_graph(&g, &plan).unwrap();
+        assert_eq!(mutated.num_nodes(), 4);
+        let d = reference::bfs(&mutated, 0);
+        assert_eq!(d, vec![0, 1, INFINITY, 1]);
+    }
+}

@@ -22,6 +22,12 @@
 //!   immediate start.
 //! * [`ConvergecastKernel`] — aggregate up `T_1`, broadcast the total
 //!   down (Definition 6).
+//! * [`RepairKernel`] — churn-tolerant distance growth: a synchronous
+//!   distance-vector protocol with per-port neighbor caches that survives
+//!   a [`TopologyPlan`](dapsp_congest::TopologyPlan) — affected-subtree
+//!   invalidation and re-waves after removals, bounded relaxation waves
+//!   after insertions, and a divergence-adaptive full recompute when the
+//!   change batch is large.
 //! * [`ReliableKernel`] — a bounded-horizon synchronizer giving any
 //!   kernel (or stack of kernels) exact fault-free semantics over links a
 //!   [`FaultPlan`](dapsp_congest::FaultPlan) adversary drops messages
@@ -42,6 +48,7 @@ mod convergecast;
 mod pebble;
 mod protocol;
 mod reliable;
+mod repair;
 mod stack;
 mod wave;
 
@@ -49,6 +56,7 @@ pub use convergecast::{CastMsg, ConvergecastKernel};
 pub use pebble::{PebbleKernel, Token};
 pub use protocol::{Protocol, ProtocolHost, Tx};
 pub use reliable::{split_reliable_report, Frame, RelStats, ReliableKernel};
+pub use repair::{repair_threshold, RepairKernel, RepairMsg};
 pub use stack::{Both, Coupling, Stack};
 pub use wave::{WaveKernel, WaveMsg, WaveState};
 

@@ -1,0 +1,458 @@
+//! [`RepairKernel`]: churn-tolerant wave growth — the dynamic sibling of
+//! [`WaveKernel`](super::WaveKernel) for runs whose topology changes
+//! mid-flight (a [`TopologyPlan`](dapsp_congest::TopologyPlan)).
+//!
+//! The static wave kernels are write-once: a node adopts the first (or
+//! best) claim per root and never revisits it, which is exactly what makes
+//! them unable to survive an edge removal. This kernel instead runs a
+//! synchronous distance-vector protocol with *per-port neighbor caches*:
+//! every node remembers the last distance each neighbor announced for each
+//! root slot, so when [`on_topology`](super::Protocol::on_topology)
+//! tombstones a port the node can re-derive the affected distances locally
+//! from the surviving caches — no network round trip for the common case.
+//!
+//! * **Removal** — affected-slot invalidation: only slots whose parent
+//!   pointer crossed the dead port are recomputed; a changed value is
+//!   re-announced and the correction wave propagates exactly as far as the
+//!   damage. Cycles cannot count to infinity: any distance reaching `n`
+//!   clamps to [`INFINITY`], so retraction chatter dies within `O(n)`
+//!   rounds.
+//! * **Insertion** — bounded relaxation wave: both endpoints (each is
+//!   notified) queue their known-finite slots on the new port, closest
+//!   first; the transmit filter drops announcements the peer demonstrably
+//!   cannot use, so the exchange self-prunes as the tables cross.
+//! * **Adaptive fallback** — when a round's global change batch reaches
+//!   the kernel's `reset_threshold`, per-slot surgery is pointless: the
+//!   node recomputes *every* slot from its caches in one sweep and
+//!   reports [`RepairAction::Recompute`]. The batch size is identical at
+//!   every notified node, so all engines (and all nodes) take the same
+//!   branch deterministically.
+//!
+//! One message per port per round carries one `(slot, dist)` pair —
+//! `⌈log₂ n⌉ + ⌈log₂ (n+1)⌉ ≤ B` bits — so the repair traffic lives inside
+//! the same CONGEST budget as the waves it patches.
+
+use std::collections::BTreeSet;
+
+use dapsp_congest::{NodeContext, Port, RepairAction, TopologyDelta, Width};
+use dapsp_graph::INFINITY;
+
+use super::protocol::{Protocol, Tx};
+use super::wave::WaveState;
+
+/// The divergence-adaptive default: fall back to a full per-node recompute
+/// when a round's global change batch reaches `max(4, n / 8)` directed
+/// port halves (each edge event counts both endpoints' ports; node events
+/// add one).
+pub fn repair_threshold(n: usize) -> u32 {
+    (n as u32 / 8).max(4)
+}
+
+/// Which slots this kernel maintains distances for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Slots {
+    /// One slot, for the given root (churned BFS).
+    Single(u32),
+    /// `n` slots indexed by root id; this node owns slot `me` iff it is a
+    /// source (churned APSP: everyone; churned S-SP: the source set).
+    PerNode,
+}
+
+/// The wire message: "my current distance for `slot` is `dist`"
+/// (`dist = n` encodes unreachable — the count-to-infinity clamp).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RepairMsg {
+    /// The root slot the distance belongs to (always 0 in single-root
+    /// mode, where it costs no wire bits).
+    pub slot: u32,
+    /// The sender's clamped distance for that slot.
+    pub dist: u32,
+}
+
+/// Churn-tolerant multi-root distance computation (see module docs).
+pub struct RepairKernel {
+    n: u32,
+    slots: Slots,
+    /// True iff this node is a source (owns distance 0 in its own slot).
+    own: bool,
+    /// Distances reaching this value clamp to [`INFINITY`] (`= n`; every
+    /// real shortest path is shorter).
+    clamp: u32,
+    /// Global-batch size at which `on_topology` abandons per-slot surgery.
+    reset_threshold: u32,
+    /// `cache[p][s]`: the last distance the neighbor on port `p` announced
+    /// for slot `s` ([`INFINITY`] = nothing heard / retracted).
+    cache: Vec<Vec<u32>>,
+    /// `told[p][s]`: the last wire value *we* announced on port `p` for
+    /// slot `s` — clamped, so "unreachable" records as `n`, not
+    /// [`INFINITY`] ([`INFINITY`] = never told anything).
+    told: Vec<Vec<u32>>,
+    /// Per-port pending announcement sets (slot ids); drained one useful
+    /// entry per port per round, priority `(dist, slot)`.
+    pending: Vec<BTreeSet<u32>>,
+    /// Tombstoned ports (no sends, caches cleared).
+    port_dead: Vec<bool>,
+    /// This node was removed from the topology; it freezes.
+    removed: bool,
+    /// Arrivals of the current round: `(slot, dist, port)`.
+    arrivals: Vec<(u32, u32, Port)>,
+    state: WaveState,
+}
+
+impl RepairKernel {
+    fn base(ctx: &NodeContext<'_>, slots: Slots, own: bool, reset_threshold: u32) -> Self {
+        let n = ctx.num_nodes();
+        let degree = ctx.degree();
+        let slot_count = match slots {
+            Slots::Single(_) => 1,
+            Slots::PerNode => n,
+        };
+        let mut k = RepairKernel {
+            n: n as u32,
+            slots,
+            own,
+            clamp: n as u32,
+            reset_threshold,
+            cache: vec![vec![INFINITY; slot_count]; degree],
+            told: vec![vec![INFINITY; slot_count]; degree],
+            pending: vec![BTreeSet::new(); degree],
+            port_dead: vec![false; degree],
+            removed: false,
+            arrivals: Vec::new(),
+            state: WaveState {
+                dist: vec![INFINITY; slot_count],
+                parent: vec![u32::MAX; slot_count],
+                children_ports: Vec::new(),
+                receipts: 0,
+                girth_candidate: INFINITY,
+                relaxations: 0,
+            },
+        };
+        if own {
+            let s = k.own_slot(ctx.node_id());
+            k.state.dist[s] = 0;
+        }
+        k
+    }
+
+    /// Churned single-root BFS: one slot, rooted at `root`.
+    pub fn single_root(ctx: &NodeContext<'_>, root: u32, reset_threshold: u32) -> Self {
+        Self::base(
+            ctx,
+            Slots::Single(root),
+            ctx.node_id() == root,
+            reset_threshold,
+        )
+    }
+
+    /// Churned APSP: every node owns its own slot.
+    pub fn all_roots(ctx: &NodeContext<'_>, reset_threshold: u32) -> Self {
+        Self::base(ctx, Slots::PerNode, true, reset_threshold)
+    }
+
+    /// Churned S-SP: per-node slots, distance 0 only at the sources.
+    pub fn sources(ctx: &NodeContext<'_>, is_source: bool, reset_threshold: u32) -> Self {
+        Self::base(ctx, Slots::PerNode, is_source, reset_threshold)
+    }
+
+    /// The slot this node's own wave occupies (meaningful only when `own`).
+    fn own_slot(&self, me: u32) -> usize {
+        match self.slots {
+            Slots::Single(_) => 0,
+            Slots::PerNode => me as usize,
+        }
+    }
+
+    fn slot_count(&self) -> usize {
+        self.state.dist.len()
+    }
+
+    /// Recomputes slot `s` from the live caches; returns true iff the
+    /// value changed. Parent = lowest live port achieving the minimum.
+    fn recompute(&mut self, me: u32, s: usize) -> bool {
+        let (mut best, mut best_port) = if self.own && s == self.own_slot(me) {
+            (0, u32::MAX)
+        } else {
+            (INFINITY, u32::MAX)
+        };
+        if best != 0 {
+            for (p, cached) in self.cache.iter().enumerate() {
+                if self.port_dead[p] {
+                    continue;
+                }
+                let c = cached[s];
+                if c < self.clamp && c + 1 < self.clamp && c + 1 < best {
+                    best = c + 1;
+                    best_port = p as Port;
+                }
+            }
+        }
+        let changed = self.state.dist[s] != best;
+        if changed && self.state.dist[s] != INFINITY {
+            self.state.relaxations += 1;
+        }
+        self.state.dist[s] = best;
+        self.state.parent[s] = best_port;
+        changed
+    }
+
+    /// Queues slot `s` for announcement on every live port.
+    fn announce_everywhere(&mut self, s: usize) {
+        for (p, queue) in self.pending.iter_mut().enumerate() {
+            if !self.port_dead[p] {
+                queue.insert(s as u32);
+            }
+        }
+    }
+
+    /// Grows the per-port tables to `degree` (ports only ever append).
+    fn grow_ports(&mut self, degree: usize) {
+        let slot_count = self.slot_count();
+        while self.cache.len() < degree {
+            self.cache.push(vec![INFINITY; slot_count]);
+            self.told.push(vec![INFINITY; slot_count]);
+            self.pending.push(BTreeSet::new());
+            self.port_dead.push(false);
+        }
+    }
+
+    /// One announcement per live port: pop pending slots in `(dist, slot)`
+    /// priority, discarding entries the peer demonstrably cannot use —
+    /// sent before (`told` unchanged), or no improvement over the peer's
+    /// cached distance with nothing previously told to correct.
+    fn transmit(&mut self, tx: &mut Tx<RepairMsg>) {
+        for p in 0..self.pending.len() {
+            if self.port_dead[p] {
+                self.pending[p].clear();
+                continue;
+            }
+            loop {
+                let head = self.pending[p]
+                    .iter()
+                    .map(|&s| (self.state.dist[s as usize].min(self.clamp), s))
+                    .min();
+                let Some((dist, s)) = head else { break };
+                self.pending[p].remove(&s);
+                let su = s as usize;
+                let useful = dist != self.told[p][su]
+                    && (dist.saturating_add(1) < self.cache[p][su] || self.told[p][su] != INFINITY);
+                if useful {
+                    // Record the wire value verbatim — a clamped
+                    // "unreachable" included — so an identical repeat is
+                    // suppressed by the `dist != told` check above (else
+                    // two severed nodes bounce retractions forever).
+                    self.told[p][su] = dist;
+                    tx.send(p as Port, RepairMsg { slot: s, dist });
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl Protocol for RepairKernel {
+    type Payload = RepairMsg;
+    type Output = WaveState;
+
+    fn init(&mut self, ctx: &NodeContext<'_>, tx: &mut Tx<RepairMsg>) {
+        if self.own {
+            let s = self.own_slot(ctx.node_id());
+            self.announce_everywhere(s);
+        }
+        self.transmit(tx);
+    }
+
+    fn on_message(
+        &mut self,
+        _ctx: &NodeContext<'_>,
+        port: Port,
+        payload: RepairMsg,
+        _tx: &mut Tx<RepairMsg>,
+    ) {
+        self.state.receipts = self.state.receipts.saturating_add(1);
+        self.arrivals.push((payload.slot, payload.dist, port));
+    }
+
+    fn on_round_end(&mut self, ctx: &NodeContext<'_>, tx: &mut Tx<RepairMsg>) {
+        if self.removed {
+            self.arrivals.clear();
+            return;
+        }
+        let me = ctx.node_id();
+        let mut arrivals = std::mem::take(&mut self.arrivals);
+        arrivals.sort_unstable();
+        let mut touched: BTreeSet<u32> = BTreeSet::new();
+        for &(s, dist, port) in &arrivals {
+            let p = port as usize;
+            if p < self.cache.len() && !self.port_dead[p] {
+                self.cache[p][s as usize] = if dist >= self.clamp { INFINITY } else { dist };
+                touched.insert(s);
+                // Counter-offer check: even if our value is unchanged, the
+                // peer's may have worsened past it; the transmit filter
+                // decides whether replying is useful.
+                self.pending[p].insert(s);
+            }
+        }
+        arrivals.clear();
+        self.arrivals = arrivals;
+        for s in touched {
+            if self.recompute(me, s as usize) {
+                self.announce_everywhere(s as usize);
+            }
+        }
+        self.transmit(tx);
+    }
+
+    fn on_topology(&mut self, ctx: &NodeContext<'_>, delta: &TopologyDelta<'_>) -> RepairAction {
+        if delta.removed {
+            // Final notification: freeze (outputs keep the last state).
+            self.removed = true;
+            for queue in &mut self.pending {
+                queue.clear();
+            }
+            self.arrivals.clear();
+            return RepairAction::Ignored;
+        }
+        let me = ctx.node_id();
+        self.grow_ports(ctx.degree());
+        if delta.joined {
+            // Fresh boot, edgeless: everything resets; later insertions
+            // reconnect the node.
+            let own_slot = self.own.then(|| self.own_slot(me));
+            for s in 0..self.slot_count() {
+                self.state.dist[s] = if own_slot == Some(s) { 0 } else { INFINITY };
+                self.state.parent[s] = u32::MAX;
+            }
+            for p in 0..self.cache.len() {
+                self.cache[p].fill(INFINITY);
+                self.told[p].fill(INFINITY);
+                self.pending[p].clear();
+            }
+        }
+        for &p in delta.removed_ports {
+            let p = p as usize;
+            self.port_dead[p] = true;
+            self.cache[p].fill(INFINITY);
+            self.told[p].fill(INFINITY);
+            self.pending[p].clear();
+        }
+        for &(p, _) in delta.inserted_ports {
+            let p = p as usize;
+            self.port_dead[p] = false;
+            self.cache[p].fill(INFINITY);
+            self.told[p].fill(INFINITY);
+        }
+        let full_reset = delta.batch >= self.reset_threshold;
+        if full_reset {
+            // Divergence-adaptive fallback: the batch is too large for
+            // per-slot surgery — re-derive every slot from the caches.
+            for s in 0..self.slot_count() {
+                if self.recompute(me, s) {
+                    self.announce_everywhere(s);
+                }
+            }
+        } else {
+            // Affected-slot invalidation: only distances routed through a
+            // dead port can have worsened.
+            for &p in delta.removed_ports {
+                for s in 0..self.slot_count() {
+                    if self.state.parent[s] == p && self.recompute(me, s) {
+                        self.announce_everywhere(s);
+                    }
+                }
+            }
+        }
+        // Bounded relaxation wave: offer every finite distance on the new
+        // ports, closest first; the transmit filter prunes the exchange as
+        // the peer's table crosses ours.
+        for &(p, _) in delta.inserted_ports {
+            let p = p as usize;
+            for s in 0..self.slot_count() {
+                if self.state.dist[s] != INFINITY {
+                    self.pending[p].insert(s as u32);
+                }
+            }
+        }
+        if full_reset {
+            RepairAction::Recompute
+        } else {
+            RepairAction::Repaired
+        }
+    }
+
+    fn is_active(&self) -> bool {
+        !self.removed && self.pending.iter().any(|queue| !queue.is_empty())
+    }
+
+    fn width(&self, _payload: &RepairMsg) -> Width {
+        let mut w = Width::ZERO;
+        if self.slots == Slots::PerNode {
+            w = w.id(self.n as usize);
+        }
+        // The distance field is fixed-width over its clamped domain
+        // `0..=n`, like the static wave kernels'.
+        w.count(self.n as usize)
+    }
+
+    fn stream(&self, payload: &RepairMsg) -> Option<u32> {
+        match self.slots {
+            Slots::PerNode => Some(payload.slot),
+            Slots::Single(_) => None,
+        }
+    }
+
+    fn finish(self, _ctx: &NodeContext<'_>) -> WaveState {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod width_tests {
+    use super::*;
+    use dapsp_congest::Config;
+
+    /// Worst-case repair messages fit `B = 2⌈log₂ n⌉ + 8` in every mode.
+    #[test]
+    fn worst_case_widths_fit_the_budget() {
+        for n in [2usize, 3, 10, 100, 1 << 16] {
+            let budget = Config::for_n(n).message_budget.unwrap();
+            let worst = RepairMsg {
+                slot: n as u32 - 1,
+                dist: n as u32,
+            };
+            let mut k = RepairKernel {
+                n: n as u32,
+                slots: Slots::Single(0),
+                own: false,
+                clamp: n as u32,
+                reset_threshold: 4,
+                cache: Vec::new(),
+                told: Vec::new(),
+                pending: Vec::new(),
+                port_dead: Vec::new(),
+                removed: false,
+                arrivals: Vec::new(),
+                state: WaveState {
+                    dist: vec![INFINITY],
+                    parent: vec![u32::MAX],
+                    children_ports: Vec::new(),
+                    receipts: 0,
+                    girth_candidate: INFINITY,
+                    relaxations: 0,
+                },
+            };
+            assert!(k.width(&worst).bits() <= budget, "single-root, n={n}");
+            k.slots = Slots::PerNode;
+            assert!(k.width(&worst).bits() <= budget, "per-node, n={n}");
+        }
+    }
+
+    /// The adaptive threshold grows with `n` but never below 4.
+    #[test]
+    fn threshold_floor_and_growth() {
+        assert_eq!(repair_threshold(2), 4);
+        assert_eq!(repair_threshold(32), 4);
+        assert_eq!(repair_threshold(64), 8);
+        assert_eq!(repair_threshold(400), 50);
+    }
+}

@@ -48,6 +48,7 @@ pub mod aggregate;
 pub mod approx;
 pub mod apsp;
 pub mod bfs;
+pub mod churned;
 pub mod dominating;
 pub mod girth;
 pub mod girth_approx;
@@ -63,6 +64,7 @@ pub mod three_halves;
 pub mod tree;
 pub mod two_vs_four;
 
+pub use churned::{churned_graph, ChurnedResult};
 pub use error::CoreError;
 pub use observe::Obs;
 pub use runner::{fold_outputs, run_algorithm, run_algorithm_on};

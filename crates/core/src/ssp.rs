@@ -25,11 +25,12 @@
 //! repeated wave arrivals; the girth approximation (Theorem 5) feeds on
 //! them.
 
-use dapsp_congest::{Config, FaultPlan, ObserverHandle, Report, RunStats, Topology};
+use dapsp_congest::{Config, FaultPlan, ObserverHandle, Report, RunStats, Topology, TopologyPlan};
 use dapsp_graph::{Graph, INFINITY};
 
 use crate::aggregate::{self, AggOp};
 use crate::bfs;
+use crate::churned::{run_repair, ChurnedResult, RepairMode};
 use crate::error::CoreError;
 use crate::kernel::{
     run_protocol_on, split_reliable_report, RelStats, ReliableKernel, WaveKernel, WaveState,
@@ -238,6 +239,60 @@ pub fn run_faulty_on(
     obs.report_transport(&rel_growth.summary());
     rel.absorb(&rel_growth);
     Ok((assemble(topology, sources, t1, &agg, report), rel))
+}
+
+/// Like [`run`], but over a network whose topology changes mid-run per
+/// `plan`: distances to every source in `S` are maintained through edge
+/// insertions/removals and node churn by a
+/// [`RepairKernel`](crate::kernel::RepairKernel). The returned
+/// [`ChurnedResult`] holds `d(v, s)` on the *post-churn* graph for every
+/// source, with `roots = sources`.
+///
+/// The repair protocol skips the `T_1`/`D₀` preamble (its horizon comes
+/// from quiescence plus the count-to-infinity clamp instead), so
+/// disconnected post-churn graphs are fine: unreachable pairs report
+/// [`INFINITY`].
+///
+/// # Errors
+///
+/// Same source-set validation as [`run`]; a plan that does not apply
+/// cleanly surfaces as [`CoreError::Sim`].
+pub fn run_churned(
+    graph: &Graph,
+    sources: &[u32],
+    plan: &TopologyPlan,
+) -> Result<ChurnedResult, CoreError> {
+    if graph.num_nodes() == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    run_churned_on(&graph.to_topology(), sources, plan, Obs::none())
+}
+
+/// Like [`run_churned`], over a prebuilt [`Topology`] with an optional
+/// observer (phase label `"ssp:churn"`).
+///
+/// # Errors
+///
+/// Same as [`run_churned`].
+pub fn run_churned_on(
+    topology: &Topology,
+    sources: &[u32],
+    plan: &TopologyPlan,
+    obs: Obs<'_>,
+) -> Result<ChurnedResult, CoreError> {
+    let n = topology.num_nodes();
+    if n == 0 {
+        return Err(CoreError::EmptyGraph);
+    }
+    let is_source = validate_sources(n, sources)?;
+    run_repair(
+        topology,
+        plan,
+        sources.to_vec(),
+        RepairMode::Sources(is_source),
+        obs,
+        "ssp:churn",
+    )
 }
 
 /// Rejects empty, out-of-range, and duplicated source sets; returns the

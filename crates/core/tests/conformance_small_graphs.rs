@@ -8,7 +8,8 @@
 //! diameter / radius pipeline, and every answer must match the sequential
 //! reference exactly — not approximately, not probabilistically.
 
-use dapsp_core::{apsp, girth, ssp, summary};
+use dapsp_congest::{ExecutorKind, TopologyPlan};
+use dapsp_core::{apsp, bfs, churned_graph, girth, ssp, summary, Obs};
 use dapsp_graph::enumerate::{self, MAX_ENUMERATED_NODES};
 use dapsp_graph::{reference, Graph, INFINITY};
 
@@ -108,6 +109,86 @@ fn metrics_match_oracles_on_every_small_connected_graph() {
             "summary girth wrong on {g:?}"
         );
     }
+}
+
+/// A deterministic pseudo-random pick keyed by the graph's index in the
+/// enumeration — stable across runs without an RNG dependency.
+fn pick(seed: usize, len: usize) -> usize {
+    seed.wrapping_mul(2654435761) % len
+}
+
+/// The churn sweep: every connected graph on up to 6 nodes, a single-edge
+/// delete and (where one exists) a single-edge insert applied mid-run.
+/// The repaired BFS and APSP answers must equal the sequential oracles on
+/// the mutated graph — even when the deletion disconnects it — and the
+/// serial and work-stealing pool engines must agree bit for bit, stats
+/// included.
+#[test]
+fn churned_runs_match_oracles_on_every_small_connected_graph() {
+    let mut idx = 0usize;
+    for (n, g) in all_graphs() {
+        if n > 6 {
+            break;
+        }
+        idx += 1;
+        let edges: Vec<(u32, u32)> = g.edges().collect();
+        if edges.is_empty() {
+            continue;
+        }
+        let (ru, rv) = edges[pick(idx, edges.len())];
+        let non_edges: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|u| (u + 1..n as u32).map(move |v| (u, v)))
+            .filter(|&(u, v)| !g.has_edge(u, v))
+            .collect();
+        let mut plan = TopologyPlan::new().with_remove(2, ru, rv);
+        if !non_edges.is_empty() {
+            let (iu, iv) = non_edges[pick(idx + 1, non_edges.len())];
+            plan = plan.with_insert(3, iu, iv);
+        }
+        let mutated = churned_graph(&g, &plan)
+            .unwrap_or_else(|e| panic!("plan {plan:?} must apply to {g:?}: {e}"));
+
+        // Repaired BFS from node 0 equals the oracle on the mutated graph.
+        let b = bfs::run_churned(&g, 0, &plan)
+            .unwrap_or_else(|e| panic!("churned bfs failed on {g:?} with {plan:?}: {e}"));
+        let oracle = reference::bfs(&mutated, 0);
+        for (v, &want) in oracle.iter().enumerate() {
+            assert_eq!(
+                b.dist[v][0], want,
+                "bfs d({v}, 0) wrong on {g:?} with {plan:?}"
+            );
+        }
+
+        // Repaired APSP equals the oracle, on both engines, bit for bit.
+        let serial = apsp::run_churned(&g, &plan)
+            .unwrap_or_else(|e| panic!("churned apsp failed on {g:?} with {plan:?}: {e}"));
+        let pool = apsp::run_churned_on(
+            &g.to_topology(),
+            &plan,
+            Obs::none().with_executor(ExecutorKind::Pool { workers: 2 }),
+        )
+        .unwrap_or_else(|e| panic!("pooled churned apsp failed on {g:?} with {plan:?}: {e}"));
+        let oracle = reference::apsp(&mutated);
+        for v in 0..n as u32 {
+            for root in 0..n as u32 {
+                assert_eq!(
+                    serial.dist_to(v, root),
+                    oracle.get(v, root).or(Some(INFINITY)),
+                    "apsp d({v}, {root}) wrong on {g:?} with {plan:?}"
+                );
+            }
+        }
+        assert_eq!(serial.dist, pool.dist, "engine distance mismatch on {g:?}");
+        assert_eq!(
+            serial.parent_port, pool.parent_port,
+            "engine parent mismatch on {g:?}"
+        );
+        assert_eq!(
+            serial.stats, pool.stats,
+            "engine stats mismatch on {g:?} with {plan:?}"
+        );
+    }
+    assert!(idx > 100, "sweep must actually cover the enumeration");
 }
 
 #[test]

@@ -107,4 +107,30 @@ echo "==> fault_sweep --smoke --threads 1,2"
 # target/BENCH_faults_smoke.json, never the committed BENCH_faults.json.
 cargo run --offline --release -p dapsp-bench --bin fault_sweep -- --smoke --threads 1,2
 
-echo "OK: fmt + build + tests + clippy + docs + profile, budget, conformance, throughput, bench-gate, inspect & fault smokes all green"
+echo "==> churn conformance suite"
+# Redundant with the workspace run, named so the log shows the churn
+# sweep ran: every connected graph with <= 6 nodes gets a mid-run edge
+# delete (+ insert where one fits), and the repaired BFS/APSP must equal
+# the sequential oracle on the mutated graph, serial vs pool
+# bit-identical.
+cargo test --offline -q -p dapsp-core --test conformance_small_graphs \
+    churned_runs_match_oracles_on_every_small_connected_graph
+
+echo "==> churn_repair --smoke --threads 1,2 (DAPSP_POOL_CHUNK=1)"
+# Churn-repair smoke under the forced-stealing regime: repaired APSP on
+# the ws family is recomputed at 1 and 2 threads with unit chunks and
+# asserted bit-identical, checked against the post-churn oracle, and the
+# repair-vs-recompute and adaptive-fallback claims are asserted per row.
+# Writes to target/BENCH_churn_smoke.json, never the committed
+# BENCH_churn.json.
+DAPSP_POOL_CHUNK=1 cargo run --offline --release -p dapsp-bench --bin churn_repair -- --smoke --threads 1,2
+
+echo "==> dapsp-inspect summary over a churned trace"
+# A churned APSP run under the trace recorder: the summary must render
+# the plan's TopologyChange events (the inspect --smoke above asserts
+# they are present and kernel attribution survives churn; this pass
+# shows them in a full-size summary).
+cargo run --offline --release -p dapsp-bench --bin dapsp-inspect -- \
+    summary --workload apsp --family regular6 --n 32 --churn 2 --threads 2
+
+echo "OK: fmt + build + tests + clippy + docs + profile, budget, conformance, throughput, bench-gate, inspect, fault & churn smokes all green"
