@@ -17,7 +17,10 @@
 //!   throughput regression beyond `--max-ratio` (default 3×). Rows carry
 //!   `host_cpus`; when the two files were measured on different hosts the
 //!   gate still checks determinism but warns that the throughput ratios
-//!   are not comparable.
+//!   are not comparable. `BENCH_serve.json`-shaped rows (carrying `qps`
+//!   instead of `rounds`) gate analogously: a nonzero `wrong` count or
+//!   `correct != queries` fails absolutely (those are oracle checks), qps
+//!   ratios fail same-host and warn cross-host.
 //! * `--smoke` — self-check every subcommand on tiny instances.
 //!
 //! Workload flags (for `summary`/`diff`/`perfetto`):
@@ -345,33 +348,77 @@ fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     Some(rest[..end].trim().trim_matches('"'))
 }
 
-/// Parses the flat-row JSON array format of `BENCH_engine.json`.
+/// One parsed `BENCH_serve.json` row: a query-throughput measurement with
+/// per-query oracle-correctness counters instead of round/message counts.
+#[derive(Clone, Debug)]
+struct ServeRow {
+    key: String,
+    queries: u64,
+    correct: u64,
+    wrong: u64,
+    qps: f64,
+    p99_us: f64,
+    host_cpus: Option<u64>,
+}
+
+/// Parses the flat-row JSON array format of `BENCH_engine.json`. Serve
+/// rows (which carry `qps` instead of `rounds`) are left to
+/// [`parse_serve_rows`].
 fn parse_bench_rows(text: &str, path: &str) -> Vec<BenchRow> {
     let mut rows = Vec::new();
     for line in text.lines() {
-        if !line.contains("\"label\"") {
+        if !line.contains("\"label\"") || line.contains("\"qps\"") {
             continue;
         }
         let get = |key: &str| {
             field(line, key).unwrap_or_else(|| panic!("{path}: row missing \"{key}\": {line}"))
         };
-        let key = format!(
-            "{}|{}|{}|{}",
-            get("label"),
-            get("engine"),
-            get("executor"),
-            get("threads")
-        );
         rows.push(BenchRow {
-            key,
+            key: row_key(line, path),
             rounds: get("rounds").parse().expect("rounds"),
             messages: get("messages").parse().expect("messages"),
             msgs_per_sec: get("msgs_per_sec").parse().expect("msgs_per_sec"),
             host_cpus: field(line, "host_cpus").and_then(|v| v.parse().ok()),
         });
     }
-    assert!(!rows.is_empty(), "{path}: no benchmark rows found");
     rows
+}
+
+/// Parses the serve rows (`qps`-carrying) of a bench JSON file.
+fn parse_serve_rows(text: &str, path: &str) -> Vec<ServeRow> {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        if !line.contains("\"label\"") || !line.contains("\"qps\"") {
+            continue;
+        }
+        let get = |key: &str| {
+            field(line, key).unwrap_or_else(|| panic!("{path}: row missing \"{key}\": {line}"))
+        };
+        rows.push(ServeRow {
+            key: row_key(line, path),
+            queries: get("queries").parse().expect("queries"),
+            correct: get("correct").parse().expect("correct"),
+            wrong: get("wrong").parse().expect("wrong"),
+            qps: get("qps").parse().expect("qps"),
+            p99_us: get("p99_us").parse().expect("p99_us"),
+            host_cpus: field(line, "host_cpus").and_then(|v| v.parse().ok()),
+        });
+    }
+    rows
+}
+
+/// The `label|engine|executor|threads` key both row kinds match on.
+fn row_key(line: &str, path: &str) -> String {
+    let get = |key: &str| {
+        field(line, key).unwrap_or_else(|| panic!("{path}: row missing \"{key}\": {line}"))
+    };
+    format!(
+        "{}|{}|{}|{}",
+        get("label"),
+        get("engine"),
+        get("executor"),
+        get("threads")
+    )
 }
 
 /// Gates `current` rows against `baseline` rows on matching keys. Returns
@@ -467,14 +514,128 @@ fn gate_rows(
     (table, failures, warnings)
 }
 
+/// Gates serve (`qps`) rows. Correctness is absolute: any current row
+/// with `wrong != 0` or `correct != queries` fails regardless of host —
+/// those counters are oracle checks, not performance. Throughput ratios
+/// gate like engine rows: fail same-host, warn-only cross-host (a qps
+/// measured on a different machine is advisory).
+fn gate_serve_rows(
+    baseline: &[ServeRow],
+    current: &[ServeRow],
+    max_ratio: f64,
+) -> (String, Vec<String>, Vec<String>) {
+    let mut failures = Vec::new();
+    let mut warnings = Vec::new();
+    let mut table_rows = Vec::new();
+    let mut matched = 0usize;
+    let cross_host = current.iter().any(|cur| {
+        baseline.iter().any(|base| {
+            base.key == cur.key
+                && matches!(
+                    (base.host_cpus, cur.host_cpus),
+                    (Some(b), Some(c)) if b != c
+                )
+        })
+    });
+    if cross_host {
+        warnings.push(
+            "host mismatch on serve rows: qps ratios compare different machines and are \
+             advisory only; correctness counters still gate"
+                .into(),
+        );
+    }
+    for cur in current {
+        let consistent = cur.wrong == 0 && cur.correct == cur.queries;
+        if cur.wrong != 0 {
+            failures.push(format!(
+                "{}: {} of {} answers disagreed with the oracle",
+                cur.key, cur.wrong, cur.queries
+            ));
+        }
+        if cur.correct != cur.queries {
+            failures.push(format!(
+                "{}: correctness counters don't add up ({} correct of {} queries)",
+                cur.key, cur.correct, cur.queries
+            ));
+        }
+        let Some(base) = baseline.iter().find(|b| b.key == cur.key) else {
+            continue;
+        };
+        matched += 1;
+        let ratio = if cur.qps > 0.0 {
+            base.qps / cur.qps
+        } else {
+            f64::INFINITY
+        };
+        if ratio > max_ratio {
+            let msg = format!(
+                "{}: qps regressed {:.1}x (baseline {:.0}, current {:.0}, limit {max_ratio}x)",
+                cur.key, ratio, base.qps, cur.qps
+            );
+            if cross_host {
+                warnings.push(msg);
+            } else {
+                failures.push(msg);
+            }
+        }
+        table_rows.push(vec![
+            cur.key.clone(),
+            format!("{:.0}", base.qps),
+            format!("{:.0}", cur.qps),
+            format!("{ratio:.2}x"),
+            format!("{:.2}/{:.2}", base.p99_us, cur.p99_us),
+            if consistent { "ok" } else { "WRONG" }.to_string(),
+        ]);
+    }
+    if matched == 0 && !(baseline.is_empty() && current.is_empty()) {
+        failures.push("no matching serve rows — the serve gate compared nothing".into());
+    }
+    let table = render_table(
+        "serve gate (ratio = baseline / current qps)",
+        &[
+            "row",
+            "base qps",
+            "cur qps",
+            "ratio",
+            "p99_us b/c",
+            "oracle",
+        ],
+        &table_rows,
+    );
+    (table, failures, warnings)
+}
+
 fn cmd_bench_gate(baseline_path: &str, current_path: &str, max_ratio: f64) -> ExitCode {
     let read = |path: &str| {
         std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
     };
-    let baseline = parse_bench_rows(&read(baseline_path), baseline_path);
-    let current = parse_bench_rows(&read(current_path), current_path);
-    let (table, failures, warnings) = gate_rows(&baseline, &current, max_ratio);
-    print!("{table}");
+    let (base_text, cur_text) = (read(baseline_path), read(current_path));
+    let baseline = parse_bench_rows(&base_text, baseline_path);
+    let current = parse_bench_rows(&cur_text, current_path);
+    let base_serve = parse_serve_rows(&base_text, baseline_path);
+    let cur_serve = parse_serve_rows(&cur_text, current_path);
+    assert!(
+        !(baseline.is_empty() && base_serve.is_empty()),
+        "{baseline_path}: no benchmark rows found"
+    );
+    assert!(
+        !(current.is_empty() && cur_serve.is_empty()),
+        "{current_path}: no benchmark rows found"
+    );
+    let mut failures = Vec::new();
+    let mut warnings = Vec::new();
+    if !baseline.is_empty() || !current.is_empty() {
+        let (table, f, w) = gate_rows(&baseline, &current, max_ratio);
+        print!("{table}");
+        failures.extend(f);
+        warnings.extend(w);
+    }
+    if !base_serve.is_empty() || !cur_serve.is_empty() {
+        let (table, f, w) = gate_serve_rows(&base_serve, &cur_serve, max_ratio);
+        print!("{table}");
+        failures.extend(f);
+        warnings.extend(w);
+    }
     for w in &warnings {
         eprintln!("bench gate warning: {w}");
     }
@@ -612,6 +773,53 @@ fn cmd_smoke() -> ExitCode {
     assert!(
         !failures.is_empty(),
         "smoke: cross-host round mismatch must still fail"
+    );
+
+    // serve-gate path: qps rows gate like throughput, correctness gates
+    // absolutely.
+    let serve = |qps: f64, correct: u64, wrong: u64| ServeRow {
+        key: "serve/ws/n=192|serve|pool|2".into(),
+        queries: correct + wrong,
+        correct,
+        wrong,
+        qps,
+        p99_us: 0.2,
+        host_cpus: Some(8),
+    };
+    let (_, failures, warnings) =
+        gate_serve_rows(&[serve(1e7, 500, 0)], &[serve(1e7, 500, 0)], 3.0);
+    assert!(
+        failures.is_empty(),
+        "smoke: serve self-gate failed: {failures:?}"
+    );
+    assert!(warnings.is_empty(), "smoke: same-host serve gate warned");
+    let (_, failures, _) = gate_serve_rows(&[serve(1e7, 500, 0)], &[serve(1e6, 500, 0)], 3.0);
+    assert!(!failures.is_empty(), "smoke: 10x qps regression not caught");
+    let (_, failures, _) = gate_serve_rows(&[serve(1e7, 500, 0)], &[serve(1e7, 499, 1)], 3.0);
+    assert!(
+        !failures.is_empty(),
+        "smoke: a wrong answer must fail the serve gate"
+    );
+    // Cross-host: qps becomes advisory, but wrong answers still fail.
+    let other_host_serve = |qps: f64, correct: u64, wrong: u64| ServeRow {
+        host_cpus: Some(128),
+        ..serve(qps, correct, wrong)
+    };
+    let (_, failures, warnings) =
+        gate_serve_rows(&[serve(1e7, 500, 0)], &[other_host_serve(1e6, 500, 0)], 3.0);
+    assert!(
+        failures.is_empty(),
+        "smoke: cross-host qps gap must warn, not fail: {failures:?}"
+    );
+    assert!(
+        warnings.len() >= 2,
+        "smoke: cross-host serve gate missing host + ratio warnings: {warnings:?}"
+    );
+    let (_, failures, _) =
+        gate_serve_rows(&[serve(1e7, 500, 0)], &[other_host_serve(1e7, 499, 1)], 3.0);
+    assert!(
+        !failures.is_empty(),
+        "smoke: cross-host wrong answer must still fail"
     );
     println!("smoke: all inspect self-checks passed");
     ExitCode::SUCCESS

@@ -1,0 +1,283 @@
+//! Serve-layer throughput benchmark: query rate and tail latency **while
+//! the control plane recomputes and swaps tables underneath the readers**.
+//!
+//! The serving layer's claim is that republishing is invisible to the
+//! read path: a recompute runs entirely off-thread and lands as one
+//! atomic pointer swap, so readers never block and never see a torn
+//! table. This benchmark measures exactly that regime — no quiet-period
+//! numbers. For each reader-thread count it:
+//!
+//! 1. builds a [`RouteService`] on the Watts–Strogatz `ws` family
+//!    (`watts_strogatz(192, 3, 0.02, 42)`, the scaling-family seed) and
+//!    spawns its background control plane;
+//! 2. starts `t` reader threads doing point `dist` lookups through a
+//!    shared [`ServeHandle`] (each lookup pays the full read path:
+//!    snapshot load + flat-array read), checking **every** answer against
+//!    the per-epoch sequential oracle and sampling per-query latency;
+//! 3. drives `K` republishes through the control plane back to back
+//!    (alternating chord insert/remove, so each epoch's oracle is
+//!    precomputable), then stops the clock: every measured query ran
+//!    during a live recompute-and-swap window.
+//!
+//! Results go to stdout as a table and to `BENCH_serve.json` at the repo
+//! root: one row per reader count with `label`, `engine` (`serve`),
+//! `executor`/`ctl_threads` (the control plane's), `threads` (readers),
+//! `republishes`, `queries`, `correct`, `wrong`, `qps`, `p99_us`,
+//! `repub_ms`, `final_epoch`, plus the host fields every bench row
+//! carries. `dapsp-inspect bench-gate` gates these rows: `wrong != 0` or
+//! `correct != queries` fails anywhere, qps ratios gate same-host and
+//! warn cross-host.
+//!
+//! Usage: `serve_qps [--smoke] [--threads LIST] [OUT_PATH]` (threads =
+//! reader counts, default `1,2,4`). `--smoke` keeps the same instance and
+//! row keys but fewer republishes, so the smoke rows gate against the
+//! committed baseline.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use dapsp_bench::print_table;
+use dapsp_bench::workloads::{
+    executor_for, family_graph, host_json_fields, json_array, parse_bench_args,
+};
+use dapsp_congest::TopologyPlan;
+use dapsp_core::churned_graph;
+use dapsp_graph::{reference, DistanceMatrix, Graph};
+use dapsp_serve::{RouteService, ServeHandle};
+
+/// Instance size: large enough that a republish takes long enough to
+/// measure readers *during* it, small enough for CI smoke.
+const N: usize = 192;
+/// Control-plane worker threads (fixed so reader-thread sweeps are
+/// comparable).
+const CTL_THREADS: usize = 2;
+/// Latency sample rate: every 32nd query is individually timed.
+const SAMPLE_EVERY: u64 = 32;
+
+struct Row {
+    label: String,
+    threads: usize,
+    republishes: u64,
+    queries: u64,
+    correct: u64,
+    wrong: u64,
+    qps: f64,
+    p99_us: f64,
+    repub_ms: f64,
+    final_epoch: u64,
+}
+
+impl Row {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"label\":\"{}\",\"engine\":\"serve\",\"executor\":\"{}\",",
+                "\"ctl_threads\":{},\"threads\":{},\"republishes\":{},\"queries\":{},",
+                "\"correct\":{},\"wrong\":{},\"qps\":{:.0},\"p99_us\":{:.2},",
+                "\"repub_ms\":{:.1},\"final_epoch\":{},{}}}"
+            ),
+            self.label,
+            executor_for(CTL_THREADS).name(),
+            CTL_THREADS,
+            self.threads,
+            self.republishes,
+            self.queries,
+            self.correct,
+            self.wrong,
+            self.qps,
+            self.p99_us,
+            self.repub_ms,
+            self.final_epoch,
+            host_json_fields(),
+        )
+    }
+}
+
+/// The epoch-`e` churn step: odd epochs insert the (0, n/2) chord, even
+/// epochs remove it again — so the graph at every epoch is known up front.
+fn plan_for(epoch: u64) -> TopologyPlan {
+    if epoch % 2 == 1 {
+        TopologyPlan::new().with_insert(1, 0, N as u32 / 2)
+    } else {
+        TopologyPlan::new().with_remove(1, 0, N as u32 / 2)
+    }
+}
+
+/// Per-epoch distance oracles for epochs `0..=k`.
+fn epoch_oracles(g: &Graph, k: u64) -> Vec<DistanceMatrix> {
+    let mut oracles = Vec::with_capacity(k as usize + 1);
+    let mut current = g.clone();
+    oracles.push(reference::apsp(&current));
+    for epoch in 1..=k {
+        current = churned_graph(&current, &plan_for(epoch)).expect("plan applies");
+        oracles.push(reference::apsp(&current));
+    }
+    oracles
+}
+
+struct ReaderOutcome {
+    queries: u64,
+    correct: u64,
+    wrong: u64,
+    latencies_ns: Vec<u64>,
+}
+
+/// One reader: point lookups through the handle (each pays the full
+/// load-and-read path) until `done`, verifying every answer against the
+/// oracle of the epoch the loaded snapshot claims.
+fn reader(
+    handle: &ServeHandle,
+    oracles: &[DistanceMatrix],
+    seed: u64,
+    done: &AtomicBool,
+) -> ReaderOutcome {
+    let n = N as u32;
+    let mut out = ReaderOutcome {
+        queries: 0,
+        correct: 0,
+        wrong: 0,
+        latencies_ns: Vec::with_capacity(1 << 16),
+    };
+    let mut x = seed | 1;
+    while !done.load(Ordering::Acquire) {
+        for _ in 0..1024 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let s = (x >> 33) as u32 % n;
+            let d = (x >> 13) as u32 % n;
+            let sampled = out.queries.is_multiple_of(SAMPLE_EVERY);
+            let t0 = sampled.then(Instant::now);
+            // The measured operation: snapshot load + two flat reads. The
+            // snapshot also tells us which epoch answered.
+            let snap = handle.load();
+            let got = snap.dist(s, d);
+            if let Some(t0) = t0 {
+                out.latencies_ns.push(t0.elapsed().as_nanos() as u64);
+            }
+            let want = oracles[snap.epoch() as usize].get(s, d);
+            out.queries += 1;
+            if got == want {
+                out.correct += 1;
+            } else {
+                out.wrong += 1;
+                eprintln!(
+                    "WRONG: d({s},{d}) at epoch {} = {got:?}, oracle {want:?}",
+                    snap.epoch()
+                );
+            }
+        }
+    }
+    out
+}
+
+fn p99_us(mut samples: Vec<u64>) -> f64 {
+    assert!(!samples.is_empty(), "no latency samples collected");
+    samples.sort_unstable();
+    let idx = (samples.len() - 1) * 99 / 100;
+    samples[idx] as f64 / 1000.0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = parse_bench_args(&args, &[1, 2, 4]);
+    let smoke = parsed.smoke;
+    let reader_counts = parsed.threads;
+    let default_path = if smoke {
+        format!(
+            "{}/../../target/BENCH_serve_smoke.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    } else {
+        format!("{}/../../BENCH_serve.json", env!("CARGO_MANIFEST_DIR"))
+    };
+    let out_path = parsed.out_path.unwrap_or(default_path);
+    let republishes: u64 = if smoke { 2 } else { 6 };
+
+    println!("# Serve qps under live recompute+swap (ws family, n={N})\n");
+
+    let g = family_graph("ws", N);
+    let oracles = epoch_oracles(&g, republishes);
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &t in &reader_counts {
+        // A fresh service per row: every row starts at epoch 0 and sees
+        // the same republish schedule.
+        let service = RouteService::with_threads(&g, CTL_THREADS).expect("apsp runs");
+        let controller = service.spawn();
+        let done = AtomicBool::new(false);
+
+        let (outcomes, repub_ms, elapsed) = std::thread::scope(|scope| {
+            let readers: Vec<_> = (0..t)
+                .map(|r| {
+                    let handle = controller.handle();
+                    let (done, oracles) = (&done, &oracles);
+                    scope.spawn(move || reader(&handle, oracles, 0x9e3779b9 * (r as u64 + 1), done))
+                })
+                .collect();
+
+            let clock = Instant::now();
+            for epoch in 1..=republishes {
+                let published = controller.apply_wait(plan_for(epoch)).expect("republish");
+                assert_eq!(published, epoch, "epochs publish in order");
+            }
+            let elapsed = clock.elapsed();
+            done.store(true, Ordering::Release);
+            let outcomes: Vec<ReaderOutcome> =
+                readers.into_iter().map(|r| r.join().unwrap()).collect();
+            (
+                outcomes,
+                elapsed.as_secs_f64() * 1000.0 / republishes as f64,
+                elapsed,
+            )
+        });
+
+        let service = controller.shutdown();
+        assert_eq!(service.epoch(), republishes);
+
+        let queries: u64 = outcomes.iter().map(|o| o.queries).sum();
+        let correct: u64 = outcomes.iter().map(|o| o.correct).sum();
+        let wrong: u64 = outcomes.iter().map(|o| o.wrong).sum();
+        assert_eq!(wrong, 0, "readers saw wrong answers — see stderr");
+        assert_eq!(correct, queries, "every query must be oracle-checked");
+        let latencies: Vec<u64> = outcomes.into_iter().flat_map(|o| o.latencies_ns).collect();
+        rows.push(Row {
+            label: format!("serve/ws/n={N}"),
+            threads: t,
+            republishes,
+            queries,
+            correct,
+            wrong,
+            qps: queries as f64 / elapsed.as_secs_f64(),
+            p99_us: p99_us(latencies),
+            repub_ms,
+            final_epoch: republishes,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                r.threads.to_string(),
+                r.republishes.to_string(),
+                r.queries.to_string(),
+                format!("{:.0}", r.qps),
+                format!("{:.2}", r.p99_us),
+                format!("{:.1}", r.repub_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        "serve qps during live republishes",
+        &[
+            "instance", "readers", "repubs", "queries", "qps", "p99_us", "repub_ms",
+        ],
+        &table,
+    );
+
+    let json_rows: Vec<String> = rows.iter().map(Row::json).collect();
+    std::fs::write(&out_path, json_array(&json_rows)).expect("write bench json");
+    println!("\nwrote {}", out_path);
+}

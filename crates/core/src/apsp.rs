@@ -23,7 +23,8 @@
 //! which is exactly what Lemma 7 needs to compute the girth.
 
 use dapsp_congest::{
-    Config, FaultPlan, NodeContext, ObserverHandle, RunStats, Topology, TopologyPlan,
+    Config, FaultPlan, NodeContext, ObserverHandle, RunStats, TerminationCertificate, Topology,
+    TopologyPlan,
 };
 use dapsp_graph::{DistanceMatrix, Graph, INFINITY};
 
@@ -72,6 +73,11 @@ pub struct ApspResult {
     pub tree: TreeKnowledge,
     /// Combined statistics of both phases (`T_1` construction + waves).
     pub stats: RunStats,
+    /// Why the wave phase was allowed to stop — the engine's auditable
+    /// quiescence record, carried so downstream consumers (the
+    /// `dapsp-serve` snapshot layer) can attribute every answer to a
+    /// certified run.
+    pub certificate: Option<TerminationCertificate>,
 }
 
 impl ApspResult {
@@ -486,6 +492,7 @@ fn assemble(
         local_girth_candidates,
         tree: t1.tree,
         stats,
+        certificate: report.certificate,
     }
 }
 

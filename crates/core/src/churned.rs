@@ -14,7 +14,9 @@
 //! When the run quiesces, every *present* node's distances equal a fresh
 //! computation on the post-churn graph.
 
-use dapsp_congest::{churned_topology, Config, Port, RunStats, Topology, TopologyPlan};
+use dapsp_congest::{
+    churned_topology, Config, Port, RunStats, TerminationCertificate, Topology, TopologyPlan,
+};
 use dapsp_graph::Graph;
 
 use crate::error::CoreError;
@@ -41,6 +43,10 @@ pub struct ChurnedResult {
     /// Statistics of the run — `topo_events`, `repaired_node_rounds` and
     /// `recompute_fallbacks` tell how the adaptive policy played out.
     pub stats: RunStats,
+    /// Why the repair run was allowed to stop: the engine's final
+    /// quiescence poll, carried so snapshot layers (`dapsp-serve`) can
+    /// attribute republished tables to a certified run.
+    pub certificate: Option<TerminationCertificate>,
 }
 
 impl ChurnedResult {
@@ -111,6 +117,7 @@ pub(crate) fn run_repair(
         parent_port,
         present,
         stats: report.stats,
+        certificate: report.certificate,
     })
 }
 

@@ -11,36 +11,117 @@
 //! simulation*: flows sharing an edge queue up, and the delivery report
 //! shows exactly how much each packet waited beyond its hop distance.
 
+use std::sync::Arc;
+
 use dapsp_congest::{
     bits_for_id, Config, Inbox, Message, NodeAlgorithm, NodeContext, Outbox, Port, RunStats,
+    Topology,
 };
-use dapsp_graph::Graph;
+use dapsp_graph::{DistanceMatrix, Graph, INFINITY};
 
 use crate::apsp::ApspResult;
+use crate::churned::ChurnedResult;
 use crate::error::CoreError;
 use crate::runner::run_algorithm;
 
 /// Per-node forwarding state derived from an APSP computation.
+///
+/// Both payloads are `O(n²)` and live behind [`Arc`]s, so cloning a table
+/// (or handing one to the `dapsp-serve` compaction layer) shares the
+/// matrices instead of duplicating them; [`from_apsp_owned`](Self::from_apsp_owned)
+/// builds the table by *moving* a finished run's matrices, with no copy at
+/// all — the constructor to use at `n = 10⁵⁺`, where a defensive clone
+/// would double peak memory.
 #[derive(Clone, Debug)]
 pub struct RoutingTables {
     /// `next_hop[v][dst]` — the neighbor `v` forwards to for `dst`
-    /// (`None` at `v == dst`).
-    next_hop: Vec<Vec<Option<u32>>>,
-    /// `hops[v][dst]` — path length, for reporting.
-    hops: Vec<Vec<u32>>,
+    /// (`None` at `v == dst` and at unreachable/absent destinations).
+    next_hop: Arc<Vec<Vec<Option<u32>>>>,
+    /// `hops.get(v, dst)` — path length, for reporting.
+    hops: Arc<DistanceMatrix>,
 }
 
 impl RoutingTables {
-    /// Builds tables from a finished APSP run.
+    /// Builds tables from a borrowed APSP run, copying both matrices.
+    /// Prefer [`from_apsp_owned`](Self::from_apsp_owned) when the
+    /// [`ApspResult`] is no longer needed — it moves instead of copying.
     pub fn from_apsp(result: &ApspResult) -> Self {
-        let n = result.distances.num_nodes();
-        let hops = (0..n as u32)
-            .map(|v| result.distances.row(v).to_vec())
-            .collect();
         RoutingTables {
-            next_hop: result.next_hop.clone(),
-            hops,
+            next_hop: Arc::new(result.next_hop.clone()),
+            hops: Arc::new(result.distances.clone()),
         }
+    }
+
+    /// Builds tables by *consuming* a finished APSP run: the `O(n²)`
+    /// next-hop and distance matrices are moved, not cloned, so compacting
+    /// a result into routing tables adds `O(1)` peak memory (pinned by a
+    /// buffer-identity unit test).
+    pub fn from_apsp_owned(result: ApspResult) -> Self {
+        RoutingTables {
+            next_hop: Arc::new(result.next_hop),
+            hops: Arc::new(result.distances),
+        }
+    }
+
+    /// Builds tables from a churn-repaired APSP run
+    /// ([`apsp::run_churned`](crate::apsp::run_churned)): each node's
+    /// parent port per root is resolved to a neighbor id through
+    /// `final_topo`, the *post-churn* topology (see
+    /// [`churned_topology`](dapsp_congest::churned_topology) — ports stay
+    /// stable across churn, so dead ports still resolve). Rows of absent
+    /// nodes and unreachable destinations read back as `None` /
+    /// [`INFINITY`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] unless the result maintains every
+    /// root (`roots = 0..n`, the churned-APSP shape) and `final_topo` has
+    /// matching size.
+    pub fn from_churned(result: &ChurnedResult, final_topo: &Topology) -> Result<Self, CoreError> {
+        let n = result.dist.len();
+        if final_topo.num_nodes() != n {
+            return Err(CoreError::InvalidParameter(format!(
+                "topology covers {} nodes but the churned result has {n}",
+                final_topo.num_nodes()
+            )));
+        }
+        if result.roots.len() != n
+            || result
+                .roots
+                .iter()
+                .enumerate()
+                .any(|(i, &r)| r as usize != i)
+        {
+            return Err(CoreError::InvalidParameter(
+                "churned routing tables need all-pairs roots (0..n); run apsp::run_churned"
+                    .to_string(),
+            ));
+        }
+        let mut hops = DistanceMatrix::new(n);
+        let mut next_hop = vec![vec![None; n]; n];
+        let absent_row = vec![INFINITY; n];
+        for v in 0..n as u32 {
+            if !result.present[v as usize] {
+                // Absent nodes keep frozen kernel state; serve nothing.
+                hops.set_row(v, &absent_row);
+                continue;
+            }
+            hops.set_row(v, &result.dist[v as usize]);
+            for (r, port) in result.parent_port[v as usize].iter().enumerate() {
+                if let Some(p) = port {
+                    next_hop[v as usize][r] = Some(final_topo.neighbor_at(v, *p));
+                }
+            }
+        }
+        Ok(RoutingTables {
+            next_hop: Arc::new(next_hop),
+            hops: Arc::new(hops),
+        })
+    }
+
+    /// The number of nodes the tables cover.
+    pub fn num_nodes(&self) -> usize {
+        self.next_hop.len()
     }
 
     /// The neighbor `v` forwards to when routing toward `dst`.
@@ -52,13 +133,56 @@ impl RoutingTables {
         self.next_hop[v as usize][dst as usize]
     }
 
-    /// Path length from `v` to `dst`.
+    /// Path length from `v` to `dst` ([`INFINITY`] when unreachable).
     ///
     /// # Panics
     ///
     /// Panics if `v` or `dst` is out of range.
     pub fn hops(&self, v: u32, dst: u32) -> u32 {
-        self.hops[v as usize][dst as usize]
+        self.hops.get(v, dst).unwrap_or(INFINITY)
+    }
+
+    /// Row `v` of the next-hop table — the borrow the `dapsp-serve`
+    /// compaction layer flattens from without materializing a copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn next_hop_row(&self, v: u32) -> &[Option<u32>] {
+        &self.next_hop[v as usize]
+    }
+
+    /// Row `v` of the hop-distance table (raw [`INFINITY`] entries for
+    /// unreachable destinations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn hops_row(&self, v: u32) -> &[u32] {
+        self.hops.row(v)
+    }
+
+    /// Reconstructs the full shortest path from `u` to `v` (inclusive) by
+    /// walking next-hop pointers, or `None` when `v` is unreachable from
+    /// `u`. The walk is bounded by the recorded hop count, so a corrupt
+    /// table surfaces as `None` instead of a hang.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn path(&self, u: u32, v: u32) -> Option<Vec<u32>> {
+        let budget = self.hops(u, v);
+        if budget == INFINITY {
+            return None;
+        }
+        let mut path = Vec::with_capacity(budget as usize + 1);
+        path.push(u);
+        let mut cur = u;
+        for _ in 0..budget {
+            cur = self.next_hop(cur, v)?;
+            path.push(cur);
+        }
+        (cur == v).then_some(path)
     }
 }
 
@@ -370,6 +494,46 @@ mod tests {
     }
 
     #[test]
+    fn owned_construction_reuses_the_run_buffers() {
+        // The whole point of `from_apsp_owned`: at n = 10⁵⁺ a defensive
+        // copy of the O(n²) matrices doubles peak memory, so construction
+        // must *move* them. Buffer identity pins that no clone happened.
+        let g = generators::grid(3, 3);
+        let result = apsp::run(&g).unwrap();
+        let hop_ptr = result.next_hop[0].as_ptr();
+        let dist_ptr = result.distances.row(0).as_ptr();
+        let t = RoutingTables::from_apsp_owned(result);
+        assert_eq!(t.next_hop_row(0).as_ptr(), hop_ptr, "next_hop was cloned");
+        assert_eq!(t.hops_row(0).as_ptr(), dist_ptr, "distances were cloned");
+    }
+
+    #[test]
+    fn cloned_tables_share_rather_than_duplicate() {
+        let g = generators::path(5);
+        let t = tables(&g);
+        let u = t.clone();
+        assert_eq!(t.next_hop_row(0).as_ptr(), u.next_hop_row(0).as_ptr());
+        assert_eq!(t.hops_row(0).as_ptr(), u.hops_row(0).as_ptr());
+    }
+
+    #[test]
+    fn path_reconstruction_is_shortest_and_bounded() {
+        let g = generators::grid(4, 4);
+        let t = tables(&g);
+        for u in 0..16u32 {
+            for v in 0..16u32 {
+                let p = t.path(u, v).expect("connected graph");
+                assert_eq!(p.len() as u32 - 1, t.hops(u, v));
+                assert_eq!(*p.first().unwrap(), u);
+                assert_eq!(*p.last().unwrap(), v);
+                for w in p.windows(2) {
+                    assert!(g.has_edge(w[0], w[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
     fn rejects_bad_endpoints() {
         let g = generators::path(3);
         let t = tables(&g);
@@ -384,6 +548,133 @@ mod tests {
             )
             .unwrap_err(),
             CoreError::InvalidNode { node: 9, .. }
+        ));
+    }
+}
+
+#[cfg(test)]
+mod churn_tests {
+    //! `simulate_flows` × churn: packets forwarded over a *post-repair*
+    //! table on the *mutated* topology must still satisfy the
+    //! queueing-delay invariants the static tests pin — the repaired
+    //! next-hop tree is a real shortest-path forest on the new graph, not
+    //! a stale copy of the old one.
+
+    use super::*;
+    use crate::{apsp, churned_graph};
+    use dapsp_congest::{churned_topology, TopologyPlan};
+    use dapsp_graph::generators;
+    use dapsp_graph::reference;
+
+    fn churned_tables(g: &Graph, plan: &TopologyPlan) -> (RoutingTables, Graph) {
+        let topo = g.to_topology();
+        let repaired = apsp::run_churned(g, plan).unwrap();
+        let final_topo = churned_topology(&topo, plan).unwrap();
+        let t = RoutingTables::from_churned(&repaired, &final_topo).unwrap();
+        let mutated = churned_graph(g, plan).unwrap();
+        (t, mutated)
+    }
+
+    #[test]
+    fn post_repair_tables_match_the_mutated_oracle() {
+        let g = generators::grid(4, 4);
+        let plan = TopologyPlan::new()
+            .with_remove(2, 0, 1)
+            .with_insert(3, 0, 15);
+        let (t, mutated) = churned_tables(&g, &plan);
+        let oracle = reference::apsp(&mutated);
+        for s in 0..16u32 {
+            for d in 0..16u32 {
+                assert_eq!(
+                    t.hops(s, d),
+                    oracle.get(s, d).unwrap_or(INFINITY),
+                    "hops({s}, {d})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lone_flows_on_the_repaired_table_arrive_at_hop_distance() {
+        let g = generators::grid(4, 4);
+        let plan = TopologyPlan::new()
+            .with_remove(2, 0, 1)
+            .with_insert(3, 0, 15);
+        let (t, mutated) = churned_tables(&g, &plan);
+        let oracle = reference::apsp(&mutated);
+        for (s, d) in [(0u32, 15u32), (1, 14), (3, 12), (5, 5)] {
+            let r = simulate_flows(
+                &mutated,
+                &t,
+                &[Flow {
+                    source: s,
+                    destination: d,
+                }],
+            )
+            .unwrap();
+            assert_eq!(
+                r.deliveries[0].arrival_round,
+                u64::from(oracle.get(s, d).unwrap()),
+                "flow {s}->{d} took a non-shortest route post-repair"
+            );
+            assert_eq!(r.deliveries[0].queueing_delay, 0);
+        }
+    }
+
+    #[test]
+    fn contending_flows_on_the_repaired_table_keep_the_delay_bound() {
+        // k single-destination flows forward along the repaired next-hop
+        // tree toward the destination; each packet can be overtaken by
+        // every other packet at most once, so queueing delay stays below k.
+        let g = generators::grid(4, 4);
+        let plan = TopologyPlan::new().with_remove(2, 5, 6);
+        let (t, mutated) = churned_tables(&g, &plan);
+        let flows: Vec<Flow> = (0..6)
+            .map(|s| Flow {
+                source: s,
+                destination: 15,
+            })
+            .collect();
+        let r = simulate_flows(&mutated, &t, &flows).unwrap();
+        assert_eq!(r.deliveries.len(), flows.len());
+        for d in &r.deliveries {
+            assert!(
+                d.arrival_round >= u64::from(d.hops),
+                "packet beat its own hop distance"
+            );
+            assert!(
+                d.queueing_delay < flows.len() as u64,
+                "flow {:?} queued {} rounds, more than the other {} packets \
+                 could have caused",
+                d.flow,
+                d.queueing_delay,
+                flows.len() - 1
+            );
+        }
+    }
+
+    #[test]
+    fn severed_pairs_read_back_unroutable() {
+        let g = generators::path(6);
+        let plan = TopologyPlan::new().with_remove(2, 2, 3);
+        let (t, _mutated) = churned_tables(&g, &plan);
+        assert_eq!(t.hops(0, 5), INFINITY);
+        assert_eq!(t.next_hop(0, 5), None);
+        assert_eq!(t.path(0, 5), None);
+        assert_eq!(t.path(0, 2).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn from_churned_rejects_partial_roots() {
+        // A churned BFS maintains one root, not all pairs — no routing
+        // table can be compacted from it.
+        let g = generators::path(4);
+        let plan = TopologyPlan::new();
+        let r = crate::bfs::run_churned(&g, 0, &plan).unwrap();
+        let topo = g.to_topology();
+        assert!(matches!(
+            RoutingTables::from_churned(&r, &topo).unwrap_err(),
+            CoreError::InvalidParameter(_)
         ));
     }
 }

@@ -1,0 +1,90 @@
+//! The read side: a cloneable handle that loads the current snapshot
+//! with one brief lock and answers every query lock-free after that.
+
+use std::sync::{Arc, RwLock};
+
+use crate::table::RouteTable;
+
+/// A cloneable, thread-safe handle onto the currently published
+/// [`RouteTable`].
+///
+/// Hand one clone to each reader thread. [`load`](Self::load) takes a
+/// read lock just long enough to clone an `Arc` (no reader ever blocks on
+/// a recompute — the control plane builds the next table entirely outside
+/// the lock and swaps a pointer); everything after `load` runs against an
+/// immutable snapshot with no synchronization at all. Readers holding an
+/// old snapshot keep it alive and internally consistent until they drop
+/// it — a swap can never tear a table out from under a query.
+///
+/// The convenience forwarders ([`dist`](Self::dist),
+/// [`next_hop`](Self::next_hop), …) load per call; batch work should
+/// `load()` once — or use [`dist_batch`](Self::dist_batch), which
+/// amortizes the pointer load over the whole batch.
+#[derive(Clone, Debug)]
+pub struct ServeHandle {
+    inner: Arc<RwLock<Arc<RouteTable>>>,
+}
+
+impl ServeHandle {
+    /// Wraps `table` as the first published snapshot.
+    pub(crate) fn new(table: Arc<RouteTable>) -> ServeHandle {
+        ServeHandle {
+            inner: Arc::new(RwLock::new(table)),
+        }
+    }
+
+    /// The currently published snapshot. Queries against the returned
+    /// `Arc` are lock-free and see exactly one epoch.
+    pub fn load(&self) -> Arc<RouteTable> {
+        Arc::clone(&self.inner.read().expect("route table publisher panicked"))
+    }
+
+    /// Atomically replaces the published snapshot; in-flight readers keep
+    /// the snapshot they loaded.
+    pub(crate) fn publish(&self, table: Arc<RouteTable>) {
+        *self.inner.write().expect("route table reader panicked") = table;
+    }
+
+    /// The epoch of the currently published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.load().epoch()
+    }
+
+    /// Hop distance on the current snapshot; see [`RouteTable::dist`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `d` is out of range.
+    pub fn dist(&self, s: u32, d: u32) -> Option<u32> {
+        self.load().dist(s, d)
+    }
+
+    /// Next hop on the current snapshot; see [`RouteTable::next_hop`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `d` is out of range.
+    pub fn next_hop(&self, s: u32, d: u32) -> Option<u32> {
+        self.load().next_hop(s, d)
+    }
+
+    /// Full path on the current snapshot; see [`RouteTable::path`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `d` is out of range.
+    pub fn path(&self, s: u32, d: u32) -> Option<Vec<u32>> {
+        self.load().path(s, d)
+    }
+
+    /// Batched distances against one consistent snapshot — a single
+    /// pointer load no matter how many pairs; see
+    /// [`RouteTable::dist_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pair is out of range.
+    pub fn dist_batch(&self, pairs: &[(u32, u32)]) -> Vec<Option<u32>> {
+        self.load().dist_batch(pairs)
+    }
+}

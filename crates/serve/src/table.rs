@@ -1,0 +1,545 @@
+//! The immutable data plane: a finished distributed computation compacted
+//! into flat, cache-friendly query arrays.
+//!
+//! A [`RouteTable`] is built once from an [`ApspResult`] (the initial
+//! epoch) or a [`ChurnedResult`] (every republish after a topology change)
+//! and never mutated afterwards — concurrency comes from swapping whole
+//! tables behind a [`ServeHandle`](crate::ServeHandle), never from locking
+//! rows. Both `O(n²)` payloads are flat `u32` arrays (next hop + hop
+//! count, row-major by source), so a point query is two array reads and a
+//! batch walks contiguous memory.
+//!
+//! Every table carries the attribution trail of the run that produced it:
+//! its topology **epoch**, the engine's
+//! [`TerminationCertificate`], the run's [`RunStats`], and the
+//! [`RebuildPolicy`] that produced it (initial build, kernel repair, or
+//! the adaptive full-recompute fallback). A FNV-folded checksum over the
+//! query-visible payload lets stress tests assert that every observed
+//! answer was internally consistent with exactly one epoch.
+
+use dapsp_congest::{RunStats, TerminationCertificate, Topology};
+use dapsp_core::apsp::ApspResult;
+use dapsp_core::routing::RoutingTables;
+use dapsp_core::{ChurnedResult, CoreError};
+use dapsp_graph::INFINITY;
+
+use crate::error::ServeError;
+
+/// Flat-array sentinel for "no next hop" (`v == dst`, unreachable, or
+/// absent endpoint).
+const NO_HOP: u32 = u32::MAX;
+
+/// How a snapshot's distances were (re)computed — part of the attribution
+/// story a snapshot carries alongside its certificate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RebuildPolicy {
+    /// The initial full Algorithm 1 run (epoch 0).
+    Initial,
+    /// A churn-track repair: the [`RepairKernel`](dapsp_core::kernel::RepairKernel)
+    /// patched the converged computation in place.
+    Repaired,
+    /// The churn track ran, but the change batch crossed the adaptive
+    /// threshold and nodes fell back to a full cache recompute.
+    RecomputeFallback,
+}
+
+impl RebuildPolicy {
+    /// Short label for logs and bench rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            RebuildPolicy::Initial => "initial",
+            RebuildPolicy::Repaired => "repair",
+            RebuildPolicy::RecomputeFallback => "recompute",
+        }
+    }
+}
+
+/// An immutable, queryable compaction of one converged shortest-path
+/// computation. See the crate docs for the design.
+#[derive(Clone, Debug)]
+pub struct RouteTable {
+    n: usize,
+    epoch: u64,
+    /// `next_hop[s * n + d]` — neighbor id, or [`NO_HOP`].
+    next_hop: Vec<u32>,
+    /// `hops[s * n + d]` — hop distance, or [`INFINITY`].
+    hops: Vec<u32>,
+    /// Whether each node is part of the served topology.
+    present: Vec<bool>,
+    /// Per-node eccentricity over present nodes ([`INFINITY`] when the
+    /// node is absent or cannot reach some present node).
+    ecc: Vec<u32>,
+    /// Present nodes of minimum (finite) eccentricity, ascending; empty
+    /// when the served graph is disconnected.
+    centers: Vec<u32>,
+    /// The girth of the served graph (`None` for forests).
+    girth: Option<u32>,
+    policy: RebuildPolicy,
+    stats: RunStats,
+    certificate: Option<TerminationCertificate>,
+    checksum: u64,
+}
+
+impl RouteTable {
+    /// Compacts a finished APSP run into the epoch-`epoch` table,
+    /// **consuming** the result — the `O(n²)` matrices are read out of the
+    /// moved buffers, never defensively cloned.
+    pub fn from_apsp(result: ApspResult, epoch: u64) -> RouteTable {
+        let stats = result.stats;
+        let certificate = result.certificate.clone();
+        let girth = result.girth_candidate;
+        let n = result.distances.num_nodes();
+        let tables = RoutingTables::from_apsp_owned(result);
+        let (next_hop, hops) = flatten(&tables, n);
+        Self::assemble(
+            n,
+            epoch,
+            next_hop,
+            hops,
+            vec![true; n],
+            girth,
+            RebuildPolicy::Initial,
+            stats,
+            certificate,
+        )
+    }
+
+    /// Compacts a churn-repaired APSP run
+    /// ([`apsp::run_churned`](dapsp_core::apsp::run_churned)) into the
+    /// epoch-`epoch` table. `final_topo` must be the *post-churn* topology
+    /// (ports resolve through it); the girth is re-derived host-side from
+    /// the repaired distances plus the live adjacency, since the repair
+    /// kernel maintains distances, not wave-collision witnesses.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidTable`] unless the result maintains all-pairs
+    /// roots and matches `final_topo`'s size.
+    pub fn from_churned(
+        result: &ChurnedResult,
+        final_topo: &Topology,
+        epoch: u64,
+    ) -> Result<RouteTable, ServeError> {
+        let tables = RoutingTables::from_churned(result, final_topo).map_err(|e| match e {
+            CoreError::InvalidParameter(why) => ServeError::InvalidTable(why),
+            other => ServeError::Core(other),
+        })?;
+        let n = result.dist.len();
+        let (next_hop, hops) = flatten(&tables, n);
+        let girth = derive_girth(n, &hops, &final_topo.to_adjacency());
+        let policy = if result.stats.recompute_fallbacks > 0 {
+            RebuildPolicy::RecomputeFallback
+        } else {
+            RebuildPolicy::Repaired
+        };
+        Ok(Self::assemble(
+            n,
+            epoch,
+            next_hop,
+            hops,
+            result.present.clone(),
+            girth,
+            policy,
+            result.stats,
+            result.certificate.clone(),
+        ))
+    }
+
+    #[allow(clippy::too_many_arguments)] // one internal call site, field-per-arg
+    fn assemble(
+        n: usize,
+        epoch: u64,
+        next_hop: Vec<u32>,
+        hops: Vec<u32>,
+        present: Vec<bool>,
+        girth: Option<u32>,
+        policy: RebuildPolicy,
+        stats: RunStats,
+        certificate: Option<TerminationCertificate>,
+    ) -> RouteTable {
+        let ecc = derive_eccentricities(n, &hops, &present);
+        let finite_min = ecc
+            .iter()
+            .zip(&present)
+            .filter(|&(&e, &p)| p && e != INFINITY)
+            .map(|(&e, _)| e)
+            .min();
+        // A disconnected served graph has no finite eccentricity at all
+        // (every present node misses some other present node), so the
+        // center is empty rather than arbitrary.
+        let centers = match finite_min {
+            Some(min) => (0..n as u32)
+                .filter(|&v| present[v as usize] && ecc[v as usize] == min)
+                .collect(),
+            None => Vec::new(),
+        };
+        let mut table = RouteTable {
+            n,
+            epoch,
+            next_hop,
+            hops,
+            present,
+            ecc,
+            centers,
+            girth,
+            policy,
+            stats,
+            certificate,
+            checksum: 0,
+        };
+        table.checksum = table.compute_checksum();
+        table
+    }
+
+    /// The number of nodes the table covers (including absent ones, which
+    /// keep their ids but serve nothing).
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The topology epoch this snapshot serves: 0 for the initial build,
+    /// +1 per applied [`TopologyPlan`](dapsp_congest::TopologyPlan).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether `v` is part of the served topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn is_present(&self, v: u32) -> bool {
+        self.present[v as usize]
+    }
+
+    /// Hop distance from `s` to `d`, `None` when unreachable (or either
+    /// endpoint is absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `d` is out of range.
+    pub fn dist(&self, s: u32, d: u32) -> Option<u32> {
+        let h = self.hops[s as usize * self.n + d as usize];
+        (h != INFINITY && self.present[d as usize]).then_some(h)
+    }
+
+    /// The neighbor `s` forwards to when routing toward `d` (`None` at
+    /// `s == d` and for unroutable pairs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `d` is out of range.
+    pub fn next_hop(&self, s: u32, d: u32) -> Option<u32> {
+        let hop = self.next_hop[s as usize * self.n + d as usize];
+        (hop != NO_HOP).then_some(hop)
+    }
+
+    /// Reconstructs the full shortest path from `s` to `d` (inclusive) by
+    /// walking next-hop pointers; `None` when `d` is unreachable. The walk
+    /// is bounded by the recorded hop count, so a corrupt table reads back
+    /// as `None`, never a hang.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `d` is out of range.
+    pub fn path(&self, s: u32, d: u32) -> Option<Vec<u32>> {
+        let budget = self.dist(s, d)?;
+        let mut path = Vec::with_capacity(budget as usize + 1);
+        path.push(s);
+        let mut cur = s;
+        for _ in 0..budget {
+            cur = self.next_hop(cur, d)?;
+            path.push(cur);
+        }
+        (cur == d).then_some(path)
+    }
+
+    /// Batched distance lookup: one pass over `pairs` against this single
+    /// snapshot (callers holding only a [`ServeHandle`](crate::ServeHandle)
+    /// get the one-pointer-load amortization via
+    /// [`ServeHandle::dist_batch`](crate::ServeHandle::dist_batch)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pair is out of range.
+    pub fn dist_batch(&self, pairs: &[(u32, u32)]) -> Vec<Option<u32>> {
+        pairs.iter().map(|&(s, d)| self.dist(s, d)).collect()
+    }
+
+    /// Eccentricity of `v` over the present nodes, `None` when `v` is
+    /// absent or some present node is unreachable from it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn eccentricity(&self, v: u32) -> Option<u32> {
+        let e = self.ecc[v as usize];
+        (e != INFINITY).then_some(e)
+    }
+
+    /// The served graph's diameter (`None` when disconnected).
+    pub fn diameter(&self) -> Option<u32> {
+        let mut max = None;
+        for (v, &p) in self.present.iter().enumerate() {
+            if !p {
+                continue;
+            }
+            match self.eccentricity(v as u32) {
+                Some(e) => max = Some(max.map_or(e, |m: u32| m.max(e))),
+                None => return None,
+            }
+        }
+        max
+    }
+
+    /// The served graph's radius (`None` when disconnected).
+    pub fn radius(&self) -> Option<u32> {
+        self.centers.first().and_then(|&c| self.eccentricity(c))
+    }
+
+    /// Present nodes of minimum eccentricity, ascending (empty when the
+    /// served graph is disconnected).
+    pub fn centers(&self) -> &[u32] {
+        &self.centers
+    }
+
+    /// The girth of the served graph (`None` for forests).
+    pub fn girth(&self) -> Option<u32> {
+        self.girth
+    }
+
+    /// How this snapshot's distances were computed.
+    pub fn policy(&self) -> RebuildPolicy {
+        self.policy
+    }
+
+    /// Round/message statistics of the run that produced this snapshot.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// The engine's termination certificate for the producing run — why
+    /// the computation was allowed to stop, per-node quiescence votes
+    /// included, so every served answer is attributable.
+    pub fn certificate(&self) -> Option<&TerminationCertificate> {
+        self.certificate.as_ref()
+    }
+
+    /// The checksum stamped at construction over the query-visible payload
+    /// (epoch, sizes, next hops, hop counts, presence, eccentricities,
+    /// centers, girth).
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Recomputes the payload checksum and compares it against the stamp —
+    /// the torn-read probe concurrency stress tests call on every loaded
+    /// snapshot (an `Arc` swap can never tear, and this proves it).
+    pub fn verify(&self) -> bool {
+        self.compute_checksum() == self.checksum
+    }
+
+    fn compute_checksum(&self) -> u64 {
+        let mut h = mix(0xcbf2_9ce4_8422_2325, self.epoch);
+        h = mix(h, self.n as u64);
+        for &x in &self.next_hop {
+            h = mix(h, u64::from(x));
+        }
+        for &x in &self.hops {
+            h = mix(h, u64::from(x));
+        }
+        for &p in &self.present {
+            h = mix(h, u64::from(p));
+        }
+        for &e in &self.ecc {
+            h = mix(h, u64::from(e));
+        }
+        for &c in &self.centers {
+            h = mix(h, u64::from(c));
+        }
+        mix(h, self.girth.map_or(u64::MAX, u64::from))
+    }
+}
+
+/// One deterministic 64-bit mixing step (FNV-fold plus a finalizing shift).
+fn mix(h: u64, x: u64) -> u64 {
+    let v = (h ^ x).wrapping_mul(0x0000_0100_0000_01B3);
+    v ^ (v >> 31)
+}
+
+/// Flattens routing tables into the row-major query arrays.
+fn flatten(tables: &RoutingTables, n: usize) -> (Vec<u32>, Vec<u32>) {
+    let mut next_hop = Vec::with_capacity(n * n);
+    let mut hops = Vec::with_capacity(n * n);
+    for v in 0..n as u32 {
+        next_hop.extend(tables.next_hop_row(v).iter().map(|h| h.unwrap_or(NO_HOP)));
+        hops.extend_from_slice(tables.hops_row(v));
+    }
+    (next_hop, hops)
+}
+
+/// Per-node eccentricity over present destinations, [`INFINITY`] for
+/// absent sources and for sources missing some present destination.
+fn derive_eccentricities(n: usize, hops: &[u32], present: &[bool]) -> Vec<u32> {
+    (0..n)
+        .map(|v| {
+            if !present[v] {
+                return INFINITY;
+            }
+            let row = &hops[v * n..(v + 1) * n];
+            let mut ecc = 0;
+            for (u, &d) in row.iter().enumerate() {
+                if !present[u] {
+                    continue;
+                }
+                if d == INFINITY {
+                    return INFINITY;
+                }
+                ecc = ecc.max(d);
+            }
+            ecc
+        })
+        .collect()
+}
+
+/// Exact girth from a hop-distance matrix plus the live adjacency — the
+/// host-side analogue of the paper's Lemma 7 wave-collision witnesses,
+/// used on republish where the repair kernel maintains distances only.
+///
+/// For every root `w`: an edge `(u, v)` with `d(w,u) = d(w,v)` witnesses
+/// an odd closed walk of length `2·d(w,u) + 1` (an odd closed walk always
+/// contains an odd cycle no longer than itself); a node `x` with two
+/// distinct neighbors at depth `d(w,x) − 1` witnesses two distinct
+/// shortest `w→x` paths, i.e. an even cycle of length at most `2·d(w,x)`.
+/// Minimizing over all roots is exact: a root *on* a shortest cycle
+/// realizes its length through one of the two cases (odd girth `2k+1` via
+/// the opposite edge, even girth `2k` via the opposite node), and
+/// distances between nodes of a shortest cycle equal their along-cycle
+/// distances, or a shorter cycle would exist.
+fn derive_girth(n: usize, hops: &[u32], adj: &[Vec<u32>]) -> Option<u32> {
+    let mut best = INFINITY;
+    for w in 0..n {
+        let dw = &hops[w * n..(w + 1) * n];
+        for (x, nbrs) in adj.iter().enumerate() {
+            let dx = dw[x];
+            if dx == INFINITY {
+                continue;
+            }
+            let mut at_prev_depth = 0u32;
+            for &u in nbrs {
+                let du = dw[u as usize];
+                if du == INFINITY {
+                    continue;
+                }
+                // Odd witness: equal-depth edge (counted once per edge).
+                if du == dx && (x as u32) < u && 2 * dx + 1 < best {
+                    best = 2 * dx + 1;
+                }
+                if du + 1 == dx {
+                    at_prev_depth += 1;
+                }
+            }
+            // Even witness: two distinct parents in w's BFS layering.
+            if at_prev_depth >= 2 && 2 * dx < best {
+                best = 2 * dx;
+            }
+        }
+    }
+    (best != INFINITY).then_some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dapsp_core::apsp;
+    use dapsp_graph::{generators, reference};
+
+    fn table(g: &dapsp_graph::Graph) -> RouteTable {
+        RouteTable::from_apsp(apsp::run(g).unwrap(), 0)
+    }
+
+    #[test]
+    fn point_queries_match_the_oracle() {
+        let g = generators::grid(4, 4);
+        let t = table(&g);
+        let oracle = reference::apsp(&g);
+        for s in 0..16u32 {
+            for d in 0..16u32 {
+                assert_eq!(t.dist(s, d), oracle.get(s, d), "d({s}, {d})");
+                let p = t.path(s, d).unwrap();
+                assert_eq!(p.len() as u32 - 1, oracle.get(s, d).unwrap());
+            }
+        }
+        assert_eq!(t.epoch(), 0);
+        assert_eq!(t.policy(), RebuildPolicy::Initial);
+        assert!(t.certificate().is_some(), "snapshot lost its certificate");
+    }
+
+    #[test]
+    fn derived_quantities_match_the_oracles() {
+        for g in [
+            generators::cycle(9),
+            generators::grid(3, 4),
+            generators::lollipop(5, 4),
+            generators::balanced_tree(2, 3),
+        ] {
+            let t = table(&g);
+            assert_eq!(t.diameter(), reference::diameter(&g));
+            assert_eq!(t.radius(), reference::radius(&g));
+            assert_eq!(Some(t.centers().to_vec()), reference::center(&g));
+            assert_eq!(t.girth(), reference::girth(&g));
+            for v in 0..g.num_nodes() as u32 {
+                assert_eq!(
+                    t.eccentricity(v),
+                    reference::eccentricities(&g).map(|e| e[v as usize])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derived_girth_matches_the_oracle_on_every_small_graph() {
+        // `derive_girth` (the republish path) against the oracle on every
+        // connected graph with <= 6 nodes: 141 isomorphism classes cover
+        // odd/even girths, trees, and every troublesome local structure.
+        for n in 1..=6 {
+            for g in dapsp_graph::enumerate::connected_graphs(n) {
+                let a = apsp::run(&g).unwrap();
+                let mut hops = Vec::new();
+                for v in 0..n as u32 {
+                    hops.extend_from_slice(a.distances.row(v));
+                }
+                let adj = g.to_topology().to_adjacency();
+                assert_eq!(
+                    derive_girth(n, &hops, &adj),
+                    reference::girth(&g),
+                    "girth mismatch on a {n}-node graph: {g:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_verifies_and_pins_the_payload() {
+        let g = generators::cycle(6);
+        let t = table(&g);
+        assert!(t.verify());
+        let mut tampered = t.clone();
+        tampered.hops[7] ^= 1;
+        assert!(!tampered.verify(), "tampered payload must fail verify()");
+        let mut reepoched = t.clone();
+        reepoched.epoch += 1;
+        assert!(!reepoched.verify(), "epoch is part of the checksum");
+    }
+
+    #[test]
+    fn batch_lookup_matches_point_lookups() {
+        let g = generators::grid(3, 3);
+        let t = table(&g);
+        let pairs: Vec<(u32, u32)> = (0..9u32).map(|i| (i, (i * 7 + 3) % 9)).collect();
+        let batch = t.dist_batch(&pairs);
+        for (i, &(s, d)) in pairs.iter().enumerate() {
+            assert_eq!(batch[i], t.dist(s, d));
+        }
+    }
+}

@@ -125,6 +125,38 @@ echo "==> churn_repair --smoke --threads 1,2 (DAPSP_POOL_CHUNK=1)"
 # BENCH_churn.json.
 DAPSP_POOL_CHUNK=1 cargo run --offline --release -p dapsp-bench --bin churn_repair -- --smoke --threads 1,2
 
+echo "==> serve conformance suite"
+# Redundant with the workspace run, named so the log shows the serving
+# layer's oracle check ran: the published RouteTable vs Floyd–Warshall
+# on all 996 connected graphs with <= 7 nodes — every next-hop chain
+# walked to its destination — then every graph churned and the
+# republished epoch-1 snapshot held to the mutated-graph oracle.
+cargo test --offline -q -p dapsp-serve --test serve_conformance
+
+echo "==> serve swap-consistency stress (plain + DAPSP_POOL_CHUNK=1)"
+# Reader threads hammer a ServeHandle while the background control
+# plane republishes under them: every loaded snapshot must
+# checksum-verify and answer exactly per its own epoch's graph, epochs
+# monotone per handle. The second pass forces unit work-stealing chunks
+# so the control plane's pool recomputes run in their most interleaved
+# regime.
+cargo test --offline -q -p dapsp-serve --test swap_consistency
+DAPSP_POOL_CHUNK=1 cargo test --offline -q -p dapsp-serve --test swap_consistency
+
+echo "==> serve_qps --smoke"
+# Serving-layer throughput smoke: readers query during live
+# recompute+swap windows, every answer oracle-checked per epoch (the
+# binary asserts wrong == 0). Same instance and row keys as the
+# committed baseline, fewer republishes. Writes to
+# target/BENCH_serve_smoke.json, never the committed BENCH_serve.json.
+cargo run --offline --release -p dapsp-bench --bin serve_qps -- --smoke
+
+echo "==> bench-regression gate vs committed BENCH_serve.json"
+# Gates the serve smoke rows against the committed baseline: a nonzero
+# wrong count or correct != queries fails absolutely; a qps ratio worse
+# than 3x fails same-host and warns cross-host.
+cargo run --offline --release -p dapsp-bench --bin dapsp-inspect -- bench-gate BENCH_serve.json target/BENCH_serve_smoke.json
+
 echo "==> dapsp-inspect summary over a churned trace"
 # A churned APSP run under the trace recorder: the summary must render
 # the plan's TopologyChange events (the inspect --smoke above asserts
@@ -133,4 +165,4 @@ echo "==> dapsp-inspect summary over a churned trace"
 cargo run --offline --release -p dapsp-bench --bin dapsp-inspect -- \
     summary --workload apsp --family regular6 --n 32 --churn 2 --threads 2
 
-echo "OK: fmt + build + tests + clippy + docs + profile, budget, conformance, throughput, bench-gate, inspect, fault & churn smokes all green"
+echo "OK: fmt + build + tests + clippy + docs + profile, budget, conformance, throughput, bench-gate, inspect, fault, churn & serve smokes all green"

@@ -12,7 +12,10 @@
 //!   peripheral/girth exact and approximate solvers, and the 2-vs-4
 //!   distinguisher (Algorithm 3),
 //! * [`baselines`] — distance-vector, link-state, and unpipelined
-//!   BFS-per-node comparison algorithms.
+//!   BFS-per-node comparison algorithms,
+//! * [`serve`] — routing tables as a service: the computation's results
+//!   compacted into immutable snapshots and served to concurrent readers
+//!   through atomic swaps, with churn-driven republishes.
 //!
 //! # Quickstart
 //!
@@ -33,3 +36,4 @@ pub use dapsp_baselines as baselines;
 pub use dapsp_congest as congest;
 pub use dapsp_core as core;
 pub use dapsp_graph as graph;
+pub use dapsp_serve as serve;
